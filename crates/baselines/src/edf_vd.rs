@@ -1,0 +1,285 @@
+//! EDF-VD (EDF with Virtual Deadlines), Baruah et al., ECRTS 2012.
+//!
+//! For implicit-deadline dual-criticality task sets, EDF-VD shortens the
+//! deadlines of HI tasks in LO mode by a common factor
+//! `x = u_HI(LO) / (1 − u_LO(LO))` and drops all LO tasks at the mode
+//! switch. The classic sufficient schedulability condition is
+//!
+//! ```text
+//! x·u_LO(LO) + u_HI(HI) ≤ 1     with the x above,
+//! ```
+//!
+//! with the trivial case `u_LO(LO) + u_HI(HI) ≤ 1` (worst-case
+//! reservations suffice, no virtual deadlines needed).
+//!
+//! Because EDF-VD's runtime is a special case of the paper's model
+//! (eq. (3) termination + shortened LO deadlines + unit speed),
+//! [`task_set`] materializes it as an `rbs_model::TaskSet`, making the
+//! exact demand analysis of `rbs-core` and the `rbs-sim` simulator
+//! directly applicable.
+
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::{AnalysisError, AnalysisLimits};
+use rbs_model::{
+    scaled_task_set, Criticality, ImplicitTaskSpec, ModelError, ScalingFactors, TaskSet,
+};
+use rbs_timebase::Rational;
+
+/// The three utilization aggregates of the EDF-VD analysis:
+/// `u_LO(LO)`, `u_HI(LO)`, `u_HI(HI)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Utilizations {
+    /// `Σ_{τ_LO} C(LO)/T`.
+    pub lo_tasks_lo: Rational,
+    /// `Σ_{τ_HI} C(LO)/T`.
+    pub hi_tasks_lo: Rational,
+    /// `Σ_{τ_HI} C(HI)/T`.
+    pub hi_tasks_hi: Rational,
+}
+
+/// Computes the utilization aggregates of an implicit-deadline spec
+/// list.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_baselines::edf_vd::utilizations;
+/// use rbs_model::ImplicitTaskSpec;
+/// use rbs_timebase::Rational;
+///
+/// let specs = [
+///     ImplicitTaskSpec::hi("h", Rational::integer(10), Rational::integer(2), Rational::integer(4)),
+///     ImplicitTaskSpec::lo("l", Rational::integer(10), Rational::integer(3)),
+/// ];
+/// let u = utilizations(&specs);
+/// assert_eq!(u.hi_tasks_lo, Rational::new(1, 5));
+/// assert_eq!(u.hi_tasks_hi, Rational::new(2, 5));
+/// assert_eq!(u.lo_tasks_lo, Rational::new(3, 10));
+/// ```
+#[must_use]
+pub fn utilizations(specs: &[ImplicitTaskSpec]) -> Utilizations {
+    let mut u = Utilizations {
+        lo_tasks_lo: Rational::ZERO,
+        hi_tasks_lo: Rational::ZERO,
+        hi_tasks_hi: Rational::ZERO,
+    };
+    for s in specs {
+        match s.criticality() {
+            Criticality::Hi => {
+                u.hi_tasks_lo += s.utilization_lo();
+                u.hi_tasks_hi += s.utilization_hi();
+            }
+            Criticality::Lo => u.lo_tasks_lo += s.utilization_lo(),
+        }
+    }
+    u
+}
+
+/// The EDF-VD deadline-scaling factor `x = u_HI(LO) / (1 − u_LO(LO))`,
+/// clamped into `(0, 1]`; `None` when no valid factor exists
+/// (`u_LO(LO) ≥ 1` or the formula exceeds 1).
+#[must_use]
+pub fn scaling_factor(specs: &[ImplicitTaskSpec]) -> Option<Rational> {
+    let u = utilizations(specs);
+    let headroom = Rational::ONE - u.lo_tasks_lo;
+    if !headroom.is_positive() {
+        return None;
+    }
+    let x = u.hi_tasks_lo / headroom;
+    if x > Rational::ONE {
+        return None;
+    }
+    // x = 0 (no HI tasks) degenerates to plain EDF; report x = 1 so the
+    // returned factor is always usable as a deadline scale.
+    Some(if x.is_positive() { x } else { Rational::ONE })
+}
+
+/// The classic EDF-VD sufficient schedulability test.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_baselines::edf_vd::is_schedulable;
+/// use rbs_model::ImplicitTaskSpec;
+/// use rbs_timebase::Rational;
+///
+/// let light = [
+///     ImplicitTaskSpec::hi("h", Rational::integer(10), Rational::integer(2), Rational::integer(4)),
+///     ImplicitTaskSpec::lo("l", Rational::integer(10), Rational::integer(3)),
+/// ];
+/// assert!(is_schedulable(&light));
+/// ```
+#[must_use]
+pub fn is_schedulable(specs: &[ImplicitTaskSpec]) -> bool {
+    let u = utilizations(specs);
+    // Trivial case: worst-case reservations already fit.
+    if u.lo_tasks_lo + u.hi_tasks_hi <= Rational::ONE {
+        return true;
+    }
+    let headroom = Rational::ONE - u.lo_tasks_lo;
+    if !headroom.is_positive() {
+        return false;
+    }
+    let x = u.hi_tasks_lo / headroom;
+    if x > Rational::ONE {
+        return false;
+    }
+    x * u.lo_tasks_lo + u.hi_tasks_hi <= Rational::ONE
+}
+
+/// Materializes the EDF-VD runtime as a task set of the paper's model:
+/// HI deadlines shortened by the EDF-VD `x` in LO mode, LO tasks
+/// terminated at the switch.
+///
+/// # Errors
+///
+/// Returns `None` when no valid scaling factor exists; propagates model
+/// validation errors otherwise.
+pub fn task_set(specs: &[ImplicitTaskSpec]) -> Option<Result<TaskSet, ModelError>> {
+    let x = scaling_factor(specs)?;
+    let factors = match ScalingFactors::new(x, Rational::ONE) {
+        Ok(f) => f,
+        Err(e) => return Some(Err(e)),
+    };
+    Some(
+        scaled_task_set(specs, factors)
+            .and_then(|set| set.with_lo_terminated()),
+    )
+}
+
+/// The exact minimum speedup EDF-VD would need for its HI mode — `≤ 1`
+/// means the set is HI-mode schedulable under EDF-VD without any
+/// speedup (a demand-exact refinement of the classic utilization test).
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+pub fn exact_speedup_requirement(
+    specs: &[ImplicitTaskSpec],
+    limits: &AnalysisLimits,
+) -> Result<Option<SpeedupBound>, AnalysisError> {
+    let Some(set) = task_set(specs) else {
+        return Ok(None);
+    };
+    let set = set.expect("specs validated by the model crate");
+    Ok(Some(minimum_speedup(&set, limits)?.bound()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_core::lo_mode::is_lo_schedulable;
+    use rbs_model::Mode;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn demanding() -> Vec<ImplicitTaskSpec> {
+        // u_LO(LO) = 0.3, u_HI(LO) = 0.3, u_HI(HI) = 0.6.
+        vec![
+            ImplicitTaskSpec::hi("h1", int(10), int(1), int(2)),
+            ImplicitTaskSpec::hi("h2", int(10), int(2), int(4)),
+            ImplicitTaskSpec::lo("l1", int(10), int(3)),
+        ]
+    }
+
+    #[test]
+    fn scaling_factor_matches_formula() {
+        // x = 0.3 / (1 − 0.3) = 3/7.
+        assert_eq!(scaling_factor(&demanding()), Some(rat(3, 7)));
+    }
+
+    #[test]
+    fn schedulability_test_cases() {
+        // Demanding set: x·u_LO + u_HI(HI) = 3/7·3/10 + 6/10 = 0.728 ≤ 1.
+        assert!(is_schedulable(&demanding()));
+
+        // Over-committed HI side: u_HI(HI) = 1.2.
+        let heavy = vec![
+            ImplicitTaskSpec::hi("h", int(10), int(4), int(12)),
+            ImplicitTaskSpec::lo("l", int(10), int(3)),
+        ];
+        assert!(!is_schedulable(&heavy));
+
+        // u_LO(LO) = 1: no headroom at all.
+        let saturated_lo = vec![
+            ImplicitTaskSpec::hi("h", int(10), int(1), int(1)),
+            ImplicitTaskSpec::lo("l", int(10), int(10)),
+        ];
+        assert!(!is_schedulable(&saturated_lo));
+        assert_eq!(scaling_factor(&saturated_lo), None);
+    }
+
+    #[test]
+    fn trivial_case_accepts_without_virtual_deadlines() {
+        let light = vec![
+            ImplicitTaskSpec::hi("h", int(10), int(2), int(4)),
+            ImplicitTaskSpec::lo("l", int(10), int(3)),
+        ];
+        assert!(is_schedulable(&light));
+    }
+
+    #[test]
+    fn no_hi_tasks_degenerates_to_plain_edf() {
+        let lo_only = vec![ImplicitTaskSpec::lo("l", int(10), int(5))];
+        assert_eq!(scaling_factor(&lo_only), Some(Rational::ONE));
+        assert!(is_schedulable(&lo_only));
+    }
+
+    #[test]
+    fn task_set_models_the_edf_vd_runtime() {
+        let set = task_set(&demanding())
+            .expect("factor exists")
+            .expect("valid model");
+        // HI tasks carry virtual deadlines x·T in LO mode.
+        let h1 = set.by_name("h1").expect("present");
+        assert_eq!(h1.lo().deadline(), rat(3, 7) * int(10));
+        assert_eq!(h1.params(Mode::Hi).expect("continues").deadline(), int(10));
+        // LO tasks are terminated.
+        assert!(set.by_name("l1").expect("present").is_terminated_in_hi());
+    }
+
+    #[test]
+    fn utilization_accepted_sets_pass_the_exact_tests() {
+        // The classic test is sufficient: whenever it accepts, the
+        // materialized task set must be LO-schedulable and need no
+        // HI-mode speedup.
+        let limits = AnalysisLimits::default();
+        let specs = demanding();
+        assert!(is_schedulable(&specs));
+        let set = task_set(&specs).expect("factor").expect("valid");
+        assert!(is_lo_schedulable(&set, &limits).expect("completes"));
+        let bound = exact_speedup_requirement(&specs, &limits)
+            .expect("completes")
+            .expect("factor exists");
+        match bound {
+            SpeedupBound::Finite(s) => assert!(s <= Rational::ONE, "s_min = {s}"),
+            SpeedupBound::Unbounded => panic!("unbounded for accepted set"),
+        }
+    }
+
+    #[test]
+    fn speedup_quantifies_how_far_edf_vd_misses() {
+        // A set both the classic test and the exact demand test reject
+        // under EDF-VD: u_LO = 0.5, u_HI(LO) = 0.3, u_HI(HI) = 0.72 give
+        // x = 0.6 and x·u_LO + u_HI(HI) = 1.02 > 1. The exact analysis
+        // shows a mere 5% temporary speedup rescues it — the paper's
+        // central pitch: the carry-over peak is 42 units of work due 40
+        // after the switch, i.e. s_min = 21/20.
+        let specs = vec![
+            ImplicitTaskSpec::hi("h", int(100), int(30), int(72)),
+            ImplicitTaskSpec::lo("l", int(10), int(5)),
+        ];
+        assert!(!is_schedulable(&specs));
+        let limits = AnalysisLimits::default();
+        let bound = exact_speedup_requirement(&specs, &limits)
+            .expect("completes")
+            .expect("factor exists");
+        assert_eq!(bound, SpeedupBound::Finite(rat(21, 20)));
+    }
+}

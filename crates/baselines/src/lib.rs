@@ -1,0 +1,23 @@
+//! Baseline mixed-criticality schedulers the paper compares against.
+//!
+//! The paper's proposal — temporary processor speedup — is evaluated
+//! against the conventional ways of protecting HI tasks:
+//!
+//! * [`edf_vd`] — classic **EDF-VD** (Baruah et al., ECRTS 2012):
+//!   virtual deadlines in LO mode, LO tasks *terminated* at the mode
+//!   switch, no speedup. Its runtime behaviour is expressible in this
+//!   workspace's task model (shortened LO deadlines + termination), so
+//!   both the classic utilization test and the exact demand test apply,
+//!   and the same simulator executes it;
+//! * [`reservation`] — **worst-case reservation EDF**: schedule every HI
+//!   task by its pessimistic WCET at all times (no modes at all);
+//! * [`no_speedup`] — the paper's own adaptive protocol with the
+//!   speedup forced to 1 (degradation/termination only) — the direct
+//!   ablation of the paper's contribution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edf_vd;
+pub mod no_speedup;
+pub mod reservation;

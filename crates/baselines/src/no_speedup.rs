@@ -1,0 +1,145 @@
+//! The paper's protocol with the speedup ablated (`s = 1`).
+//!
+//! Degradation and termination remain available; only the processor
+//! speedup is removed. Comparing this baseline against speeds `s > 1`
+//! isolates the contribution of the speedup itself (the comparison made
+//! in Figs. 6a and 7: "less than 25% of task sets are schedulable when
+//! `U_bound = 0.9, s_min = 1`, increased to 75% when `s_min = 1.9`").
+
+use rbs_core::lo_mode::is_lo_schedulable;
+use rbs_core::speedup::is_hi_schedulable;
+use rbs_core::{AnalysisError, AnalysisLimits};
+use rbs_model::TaskSet;
+use rbs_timebase::Rational;
+
+/// Whether the full protocol (mode switch, degradation, termination —
+/// but **no** speedup) schedules the set: LO mode feasible at unit speed
+/// and `s_min ≤ 1`.
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_baselines::no_speedup::is_schedulable;
+/// use rbs_core::AnalysisLimits;
+/// use rbs_model::{Criticality, Task, TaskSet};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The reconstructed Table I set needs s_min = 4/3: without speedup
+/// // it is not schedulable.
+/// let set = TaskSet::new(vec![
+///     Task::builder("tau1", Criticality::Hi)
+///         .period(Rational::integer(5))
+///         .deadline_lo(Rational::integer(2))
+///         .deadline_hi(Rational::integer(5))
+///         .wcet_lo(Rational::integer(1))
+///         .wcet_hi(Rational::integer(2))
+///         .build()?,
+///     Task::builder("tau2", Criticality::Lo)
+///         .period(Rational::integer(10))
+///         .deadline(Rational::integer(10))
+///         .wcet(Rational::integer(3))
+///         .build()?,
+/// ]);
+/// assert!(!is_schedulable(&set, &AnalysisLimits::default())?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_schedulable(set: &TaskSet, limits: &AnalysisLimits) -> Result<bool, AnalysisError> {
+    if !is_lo_schedulable(set, limits)? {
+        return Ok(false);
+    }
+    is_hi_schedulable(set, Rational::ONE, limits)
+}
+
+/// Whether the set becomes schedulable at speedup `s` — the ablation's
+/// counterpart (LO mode still at unit speed).
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+pub fn is_schedulable_with_speedup(
+    set: &TaskSet,
+    speedup: Rational,
+    limits: &AnalysisLimits,
+) -> Result<bool, AnalysisError> {
+    if !is_lo_schedulable(set, limits)? {
+        return Ok(false);
+    }
+    is_hi_schedulable(set, speedup, limits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::{Criticality, Task};
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn table1_needs_speedup() {
+        let limits = AnalysisLimits::default();
+        assert!(!is_schedulable(&table1(), &limits).expect("ok"));
+        assert!(
+            is_schedulable_with_speedup(&table1(), Rational::new(4, 3), &limits).expect("ok")
+        );
+        assert!(!is_schedulable_with_speedup(&table1(), Rational::new(5, 4), &limits)
+            .expect("ok"));
+    }
+
+    #[test]
+    fn degradation_can_replace_speedup() {
+        // Example 1's degraded variant has s_min < 1: schedulable even
+        // without any speedup.
+        let set = TaskSet::new(vec![
+            table1()[0].clone(),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .period_hi(int(20))
+                .deadline_hi(int(15))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ]);
+        assert!(is_schedulable(&set, &AnalysisLimits::default()).expect("ok"));
+    }
+
+    #[test]
+    fn lo_infeasible_sets_fail_regardless_of_speedup() {
+        let set = TaskSet::new(vec![Task::builder("t", Criticality::Lo)
+            .period(int(4))
+            .deadline(int(2))
+            .wcet(int(3))
+            .build()
+            .expect("valid")]);
+        let limits = AnalysisLimits::default();
+        assert!(!is_schedulable(&set, &limits).expect("ok"));
+        assert!(!is_schedulable_with_speedup(&set, int(100), &limits).expect("ok"));
+    }
+}

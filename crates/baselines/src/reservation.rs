@@ -1,0 +1,85 @@
+//! Worst-case reservation EDF: no modes, no adaptation.
+//!
+//! The most conservative baseline schedules every task by its most
+//! pessimistic WCET at all times. For implicit-deadline sets EDF is
+//! optimal, so the exact test is the utilization condition
+//! `Σ_LO u(LO) + Σ_HI u(HI) ≤ 1`.
+
+use rbs_model::{Criticality, ImplicitTaskSpec};
+use rbs_timebase::Rational;
+
+/// The total worst-case utilization `Σ_LO u(LO) + Σ_HI u(HI)`.
+#[must_use]
+pub fn worst_case_utilization(specs: &[ImplicitTaskSpec]) -> Rational {
+    specs
+        .iter()
+        .map(|s| match s.criticality() {
+            Criticality::Hi => s.utilization_hi(),
+            Criticality::Lo => s.utilization_lo(),
+        })
+        .sum()
+}
+
+/// Whether worst-case reservations fit on a unit-speed processor.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_baselines::reservation::is_schedulable;
+/// use rbs_model::ImplicitTaskSpec;
+/// use rbs_timebase::Rational;
+///
+/// let specs = [
+///     ImplicitTaskSpec::hi("h", Rational::integer(10), Rational::integer(2), Rational::integer(6)),
+///     ImplicitTaskSpec::lo("l", Rational::integer(10), Rational::integer(3)),
+/// ];
+/// // 0.6 + 0.3 ≤ 1.
+/// assert!(is_schedulable(&specs));
+/// ```
+#[must_use]
+pub fn is_schedulable(specs: &[ImplicitTaskSpec]) -> bool {
+    worst_case_utilization(specs) <= Rational::ONE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    #[test]
+    fn utilization_sums_pessimistic_wcets() {
+        let specs = [
+            ImplicitTaskSpec::hi("h", int(10), int(2), int(6)),
+            ImplicitTaskSpec::lo("l", int(4), int(1)),
+        ];
+        assert_eq!(
+            worst_case_utilization(&specs),
+            Rational::new(6, 10) + Rational::new(1, 4)
+        );
+        assert!(is_schedulable(&specs));
+    }
+
+    #[test]
+    fn overload_is_rejected() {
+        let specs = [
+            ImplicitTaskSpec::hi("h", int(10), int(2), int(9)),
+            ImplicitTaskSpec::lo("l", int(10), int(3)),
+        ];
+        assert!(!is_schedulable(&specs));
+    }
+
+    #[test]
+    fn reservation_is_weaker_than_edf_vd() {
+        // EDF-VD dominates reservations: whenever reservations fit,
+        // EDF-VD accepts too (its trivial case).
+        let specs = [
+            ImplicitTaskSpec::hi("h", int(10), int(2), int(6)),
+            ImplicitTaskSpec::lo("l", int(10), int(3)),
+        ];
+        assert!(is_schedulable(&specs));
+        assert!(crate::edf_vd::is_schedulable(&specs));
+    }
+}

@@ -1,0 +1,64 @@
+//! One benchmark per paper table/figure (scaled-down regeneration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbs_experiments::{fig1, fig3, fig4, fig5, fig6, fig7, table1};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_examples_1_and_2", |b| {
+        b.iter(|| black_box(table1::run()));
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_demand_bound_functions", |b| {
+        b.iter(|| black_box(fig1::run()));
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_resetting_time_sweep", |b| {
+        b.iter(|| black_box(fig3::run()));
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_closed_form_tradeoffs", |b| {
+        b.iter(|| black_box(fig4::run()));
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_fms_contours", |b| {
+        b.iter(|| black_box(fig5::run()));
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = fig6::Fig6Config {
+        sets_per_point: 10,
+        seed: 2015,
+    };
+    c.bench_function("fig6_synthetic_campaign_10_sets", |b| {
+        b.iter(|| black_box(fig6::run(&config)));
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let config = fig7::Fig7Config {
+        sets_per_point: 6,
+        grid_step_twentieths: 5,
+        seed: 77,
+    };
+    c.bench_function("fig7_schedulability_region_4x4", |b| {
+        b.iter(|| black_box(fig7::run(&config)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig1, bench_fig3, bench_fig4, bench_fig5,
+              bench_fig6, bench_fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the `run-and-be-safe` workspace.
+//!
+//! Three suites (run with `cargo bench --workspace`):
+//!
+//! * `analysis` — micro-benchmarks of the exact analyses (Theorem 2's
+//!   `s_min`, Corollary 5's `Δ_R`, demand-curve evaluation, minimal-`x`
+//!   tuning) across workload sizes;
+//! * `figures` — one benchmark per paper table/figure, regenerating a
+//!   scaled-down version of the corresponding experiment;
+//! * `simulation` — event-loop throughput of the variable-speed EDF
+//!   simulator under sustained and sporadic overruns.
+//!
+//! Shared fixtures live here so the suites stay in sync.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rbs_gen::synth::SynthConfig;
+use rbs_model::{Criticality, ImplicitTaskSpec, Task, TaskSet};
+use rbs_timebase::Rational;
+
+/// The reconstructed Table I task set.
+#[must_use]
+pub fn table1() -> TaskSet {
+    TaskSet::new(vec![
+        Task::builder("tau1", Criticality::Hi)
+            .period(Rational::integer(5))
+            .deadline_lo(Rational::integer(2))
+            .deadline_hi(Rational::integer(5))
+            .wcet_lo(Rational::integer(1))
+            .wcet_hi(Rational::integer(2))
+            .build()
+            .expect("valid"),
+        Task::builder("tau2", Criticality::Lo)
+            .period(Rational::integer(10))
+            .deadline(Rational::integer(10))
+            .wcet(Rational::integer(3))
+            .build()
+            .expect("valid"),
+    ])
+}
+
+/// A deterministic synthetic workload of roughly `size` tasks, prepared
+/// with minimal `x` and `y = 2`.
+#[must_use]
+pub fn synthetic_set(size: usize, seed: u64) -> TaskSet {
+    // u per task averages ~0.105, so target utilization ≈ size × 0.105.
+    let target = Rational::new(21 * size as i128, 200);
+    let generator = SynthConfig::new(target).period_range_ms(5, 100);
+    let specs = generator.generate(seed);
+    prepare_or_shrink(&specs)
+}
+
+fn prepare_or_shrink(specs: &[ImplicitTaskSpec]) -> TaskSet {
+    let mut specs = specs.to_vec();
+    loop {
+        if let Some(x) = rbs_core::lo_mode::minimal_x_density(&specs) {
+            let x = x.max(Rational::new(1, 1000)).min(Rational::ONE);
+            let factors = rbs_model::ScalingFactors::new(x, Rational::TWO).expect("valid");
+            return rbs_model::scaled_task_set(&specs, factors).expect("valid");
+        }
+        specs.pop();
+        assert!(!specs.is_empty(), "fixture became empty");
+    }
+}

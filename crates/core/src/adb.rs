@@ -1,0 +1,215 @@
+//! Arrived demand bounds after the mode switch (Theorem 4).
+//!
+//! Where the demand *bound* function of Lemma 1 counts work that must
+//! **finish** inside an interval, the arrived demand bound counts all
+//! work that may have **arrived** in `[t̂, t̂ + Δ]` starting from the
+//! LO→HI transition at `t̂` — including the carried-over partial jobs and
+//! each task's next full job, whether or not its deadline falls inside
+//! the window. Lemma 3 shows the worst case aligns each task's future
+//! arrivals as early as possible; eq. (9) then shifts the carry-over
+//! window to `T(HI) − D(LO)` and eq. (10) adds one full `C(HI)` per
+//! started period.
+//!
+//! The first instant at which a speed-`s` supply has drained every
+//! arrived demand upper-bounds the service resetting time
+//! (Corollary 5, implemented in [`crate::resetting`]).
+
+use rbs_model::{Mode, Task, TaskSet};
+use rbs_timebase::Rational;
+
+use crate::dbf::carry_demand;
+use crate::demand::{DemandProfile, PeriodicDemand};
+
+/// Theorem 4's window term (eq. (9)):
+/// `w'(τ_i, Δ) = (Δ mod T_i(HI)) − (T_i(HI) − D_i(LO))`.
+///
+/// Returns `None` for tasks terminated in HI mode (their pending jobs are
+/// discarded at the switch and no further jobs arrive).
+#[must_use]
+pub fn arrival_window(task: &Task, delta: Rational) -> Option<Rational> {
+    let hi = task.params(Mode::Hi)?;
+    Some(delta.mod_floor(hi.period()) - (hi.period() - task.lo().deadline()))
+}
+
+/// The worst-case arrived demand bound of one task in `[t̂, t̂ + Δ]`
+/// (eq. (10)):
+/// `ADB_HI(τ_i, Δ) = r(τ_i, Δ, w'(·)) + (⌊Δ/T_i(HI)⌋ + 1) · C_i(HI)`.
+///
+/// Tasks terminated in HI mode contribute zero.
+///
+/// # Panics
+///
+/// Panics if `Δ < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::adb::adb_hi;
+/// use rbs_model::{Criticality, Task};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), rbs_model::ModelError> {
+/// let tau1 = Task::builder("tau1", Criticality::Hi)
+///     .period(Rational::integer(5))
+///     .deadline_lo(Rational::integer(2))
+///     .deadline_hi(Rational::integer(5))
+///     .wcet_lo(Rational::integer(1))
+///     .wcet_hi(Rational::integer(2))
+///     .build()?;
+/// // Right after the switch one full HI job may already have arrived.
+/// assert_eq!(adb_hi(&tau1, Rational::ZERO), Rational::integer(2));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn adb_hi(task: &Task, delta: Rational) -> Rational {
+    assert!(!delta.is_negative(), "Δ must be non-negative");
+    let Some(hi) = task.params(Mode::Hi) else {
+        return Rational::ZERO;
+    };
+    let window = arrival_window(task, delta).expect("active in HI mode");
+    carry_demand(task, window)
+        + Rational::integer(delta.floor_div(hi.period()) + 1) * hi.wcet()
+}
+
+/// Total arrived demand bound `Σ_i ADB_HI(τ_i, Δ)`.
+#[must_use]
+pub fn total_adb_hi(set: &TaskSet, delta: Rational) -> Rational {
+    set.iter().map(|t| adb_hi(t, delta)).sum()
+}
+
+/// The arrived demand of the whole set as an exact curve profile
+/// (terminated tasks omitted).
+#[must_use]
+pub fn hi_arrival_profile(set: &TaskSet) -> DemandProfile {
+    set.iter()
+        .filter_map(|t| {
+            let hi = t.params(Mode::Hi)?;
+            let offset = hi.period() - t.lo().deadline();
+            Some(PeriodicDemand::new(
+                hi.period(),
+                hi.wcet(),
+                hi.wcet(), // the "+1" job: one full C(HI) from Δ = 0 on
+                offset,
+                hi.wcet() - t.lo().wcet(),
+                t.lo().wcet(),
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::Criticality;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn adb_point_values_for_hi_task() {
+        let set = table1();
+        let tau1 = &set[0];
+        // δ' = T − D(LO) = 3; one C(HI)=2 at Δ=0; carry jump 1 at 3,
+        // ramp 1 until 4; next arrival at Δ=5 adds 2.
+        assert_eq!(adb_hi(tau1, int(0)), int(2));
+        assert_eq!(adb_hi(tau1, int(2)), int(2));
+        assert_eq!(adb_hi(tau1, int(3)), int(3));
+        assert_eq!(adb_hi(tau1, rat(7, 2)), rat(7, 2));
+        assert_eq!(adb_hi(tau1, int(4)), int(4));
+        assert_eq!(adb_hi(tau1, rat(9, 2)), int(4));
+        // At Δ=5 the carry window resets while the (⌊Δ/T⌋+1) term counts
+        // the new arrival: ADB(5) = 0 + 2·2 = 4 (still non-decreasing).
+        assert_eq!(adb_hi(tau1, int(5)), int(4));
+        assert_eq!(adb_hi(tau1, int(8)), int(5));
+    }
+
+    #[test]
+    fn adb_point_values_for_lo_task() {
+        let set = table1();
+        let tau2 = &set[1];
+        // δ' = 10 − 10 = 0: carry ramp from Δ=0 (w'(0) = 0 → r = min(0,3) = 0).
+        assert_eq!(adb_hi(tau2, int(0)), int(3));
+        assert_eq!(adb_hi(tau2, int(1)), int(4));
+        assert_eq!(adb_hi(tau2, int(3)), int(6));
+        assert_eq!(adb_hi(tau2, int(9)), int(6));
+        assert_eq!(adb_hi(tau2, int(10)), int(6));
+    }
+
+    #[test]
+    fn terminated_tasks_contribute_nothing() {
+        let set = table1().with_lo_terminated().expect("valid");
+        let tau2 = &set[1];
+        for delta in 0..30 {
+            assert_eq!(adb_hi(tau2, int(delta)), int(0));
+        }
+        assert_eq!(arrival_window(tau2, int(5)), None);
+        let profile = hi_arrival_profile(&set);
+        assert_eq!(profile.components().len(), 1);
+    }
+
+    #[test]
+    fn profile_matches_point_formula_on_dense_grid() {
+        let set = table1();
+        let profile = hi_arrival_profile(&set);
+        for i in 0..(60 * 4) {
+            let delta = rat(i, 4);
+            assert_eq!(profile.eval(delta), total_adb_hi(&set, delta), "Δ={delta}");
+        }
+    }
+
+    #[test]
+    fn adb_dominates_dbf_hi() {
+        // Arrived demand counts at least everything that must finish.
+        let set = table1();
+        for i in 0..200 {
+            let delta = rat(i, 3);
+            assert!(total_adb_hi(&set, delta) >= crate::dbf::total_dbf_hi(&set, delta));
+        }
+    }
+
+    #[test]
+    fn adb_with_degraded_lo_task() {
+        let tau2 = Task::builder("tau2", Criticality::Lo)
+            .period(int(10))
+            .deadline(int(10))
+            .period_hi(int(20))
+            .deadline_hi(int(15))
+            .wcet(int(3))
+            .build()
+            .expect("valid");
+        // δ' = T(HI) − D(LO) = 10. One C=3 at 0; carry ramp at 10..13;
+        // next arrival at 20.
+        assert_eq!(adb_hi(&tau2, int(0)), int(3));
+        assert_eq!(adb_hi(&tau2, int(9)), int(3));
+        assert_eq!(adb_hi(&tau2, int(10)), int(3)); // jump 0, ramp starts
+        assert_eq!(adb_hi(&tau2, int(12)), int(5));
+        assert_eq!(adb_hi(&tau2, int(13)), int(6));
+        assert_eq!(adb_hi(&tau2, int(19)), int(6));
+        assert_eq!(adb_hi(&tau2, int(20)), int(6));
+    }
+}

@@ -1,0 +1,320 @@
+//! Closed-form bounds for the implicit-deadline `(x, y)` case
+//! (Section V, Lemmas 6 and 7).
+//!
+//! For implicit-deadline task sets parameterized by the common
+//! overrun-preparation factor `x` (eq. (13)) and service-degradation
+//! factor `y` (eq. (14)), per-task closed-form bounds on
+//! `sup_Δ DBF_HI(τ_i, Δ)/Δ` exist, and their sum upper-bounds Theorem 2's
+//! exact `s_min`:
+//!
+//! * a HI task with utilizations `u_L = C(LO)/T`, `u_H = C(HI)/T`
+//!   contributes at most
+//!   `max{ (u_H − u_L)/(1 − x),  u_H/((1 − x) + u_L),  u_H }`
+//!   (the carry-over jump, the completed carry-over, and the long-run
+//!   rate — the three candidate maxima of its demand curve);
+//! * a LO task with utilization `u` contributes at most
+//!   `u/(u + y − 1)` (which correctly degenerates to `1` at `y = 1`).
+//!
+//! **Note on the reconstruction.** Equation (15) was corrupted in the
+//! source text of the paper; the bound implemented here is derived from
+//! first principles in the same per-task style and is *provably sound*
+//! (property-tested against the exact analysis in this crate). It shares
+//! Lemma 6's monotonicity: it decreases as `x` decreases (more
+//! preparation) and as `y` increases (more degradation).
+//!
+//! Lemma 7 then bounds the service resetting time (eq. (16)):
+//! `Δ_R ≤ Σ_i C_i(HI) / (s − s_min)` — under eqs. (13)–(14) the arrived
+//! demand satisfies `ADB(Δ) = DBF_HI(Δ) + Σ_i C_i(HI)` exactly, so a
+//! speed-`s` supply catches up by that instant.
+
+use rbs_model::{Criticality, ImplicitTaskSpec, ScalingFactors};
+use rbs_timebase::Rational;
+
+use crate::resetting::ResettingBound;
+use crate::speedup::SpeedupBound;
+
+/// Closed-form upper bound on the minimum HI-mode speedup (Lemma 6
+/// reconstruction; see the module docs).
+///
+/// Returns [`SpeedupBound::Unbounded`] when `x = 1` and some HI task has
+/// `C(HI) > C(LO)` — without deadline preparation, overrun demand is due
+/// immediately.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::closed_form::speedup_bound;
+/// use rbs_model::{ImplicitTaskSpec, ScalingFactors};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), rbs_model::ModelError> {
+/// let specs = [
+///     ImplicitTaskSpec::hi("h", Rational::integer(10), Rational::integer(2), Rational::integer(4)),
+///     ImplicitTaskSpec::lo("l", Rational::integer(10), Rational::integer(2)),
+/// ];
+/// let tight = speedup_bound(&specs, ScalingFactors::new(Rational::new(1, 2), Rational::integer(2))?)
+///     .as_finite()
+///     .expect("x < 1 gives a finite bound");
+/// let loose = speedup_bound(&specs, ScalingFactors::new(Rational::new(9, 10), Rational::integer(1))?)
+///     .as_finite()
+///     .expect("x < 1 gives a finite bound");
+/// assert!(tight < loose); // more preparation and degradation → less speedup
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn speedup_bound(specs: &[ImplicitTaskSpec], factors: ScalingFactors) -> SpeedupBound {
+    let one_minus_x = Rational::ONE - factors.x();
+    let y_minus_one = factors.y() - Rational::ONE;
+    let mut total = Rational::ZERO;
+    for spec in specs {
+        match spec.criticality() {
+            Criticality::Hi => {
+                let u_lo = spec.utilization_lo();
+                let u_hi = spec.utilization_hi();
+                if u_hi.is_zero() {
+                    continue;
+                }
+                if one_minus_x.is_zero() && u_hi > u_lo {
+                    return SpeedupBound::Unbounded;
+                }
+                let mut term = u_hi; // long-run rate
+                if !one_minus_x.is_zero() {
+                    term = term.max((u_hi - u_lo) / one_minus_x);
+                }
+                let carry_span = one_minus_x + u_lo;
+                if carry_span.is_positive() {
+                    term = term.max(u_hi / carry_span);
+                }
+                total += term;
+            }
+            Criticality::Lo => {
+                let u = spec.utilization_lo();
+                if u.is_zero() {
+                    continue;
+                }
+                // u/(u + y − 1); equals 1 at y = 1.
+                total += u / (u + y_minus_one);
+            }
+        }
+    }
+    SpeedupBound::Finite(total)
+}
+
+/// Closed-form bound on the service resetting time (Lemma 7, eq. (16)):
+/// `Δ_R ≤ Σ_i C_i(HI) / (s − s_min)` with `s_min` from
+/// [`speedup_bound`].
+///
+/// Returns [`ResettingBound::Unbounded`] when `s ≤ s_min` (running at
+/// exactly the minimum speedup, supply only asymptotically catches up —
+/// the paper notes `Δ_R = +∞` at `s = s_min`).
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::closed_form::resetting_bound;
+/// use rbs_model::{ImplicitTaskSpec, ScalingFactors};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), rbs_model::ModelError> {
+/// let specs = [
+///     ImplicitTaskSpec::hi("h", Rational::integer(10), Rational::integer(2), Rational::integer(4)),
+/// ];
+/// let factors = ScalingFactors::new(Rational::new(1, 2), Rational::integer(1))?;
+/// let fast = resetting_bound(&specs, factors, Rational::integer(3));
+/// let faster = resetting_bound(&specs, factors, Rational::integer(4));
+/// assert!(faster.as_finite() < fast.as_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn resetting_bound(
+    specs: &[ImplicitTaskSpec],
+    factors: ScalingFactors,
+    speed: Rational,
+) -> ResettingBound {
+    let SpeedupBound::Finite(s_min) = speedup_bound(specs, factors) else {
+        return ResettingBound::Unbounded;
+    };
+    if speed <= s_min {
+        return ResettingBound::Unbounded;
+    }
+    let total_hi_wcet: Rational = specs.iter().map(ImplicitTaskSpec::wcet_hi).sum();
+    ResettingBound::Finite(total_hi_wcet / (speed - s_min))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::minimum_speedup;
+    use crate::AnalysisLimits;
+    use rbs_model::scaled_task_set;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn specs() -> Vec<ImplicitTaskSpec> {
+        vec![
+            ImplicitTaskSpec::hi("h1", int(10), int(1), int(3)),
+            ImplicitTaskSpec::hi("h2", int(20), int(2), int(4)),
+            ImplicitTaskSpec::lo("l1", int(8), int(1)),
+            ImplicitTaskSpec::lo("l2", int(40), int(4)),
+        ]
+    }
+
+    fn factor_grid() -> Vec<ScalingFactors> {
+        let mut out = Vec::new();
+        for x in [rat(1, 4), rat(1, 2), rat(3, 4), rat(9, 10)] {
+            for y in [int(1), rat(3, 2), int(2), int(4)] {
+                out.push(ScalingFactors::new(x, y).expect("valid"));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn closed_form_upper_bounds_exact_speedup() {
+        let limits = AnalysisLimits::default();
+        for factors in factor_grid() {
+            let set = scaled_task_set(&specs(), factors).expect("valid");
+            let exact = minimum_speedup(&set, &limits)
+                .expect("ok")
+                .bound()
+                .as_finite()
+                .expect("finite");
+            let SpeedupBound::Finite(cf) = speedup_bound(&specs(), factors) else {
+                panic!("finite expected for x < 1");
+            };
+            assert!(
+                cf >= exact,
+                "closed form {cf} below exact {exact} at x={}, y={}",
+                factors.x(),
+                factors.y()
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_is_monotone_in_x_and_y() {
+        let mut previous_in_x: Option<Rational> = None;
+        for x in [rat(1, 10), rat(3, 10), rat(1, 2), rat(7, 10), rat(9, 10)] {
+            let f = ScalingFactors::new(x, int(2)).expect("valid");
+            let SpeedupBound::Finite(v) = speedup_bound(&specs(), f) else {
+                panic!("finite");
+            };
+            if let Some(p) = previous_in_x {
+                assert!(v >= p, "not increasing in x: {v} < {p}");
+            }
+            previous_in_x = Some(v);
+        }
+        let mut previous_in_y: Option<Rational> = None;
+        for y in [int(1), rat(3, 2), int(2), int(3), int(8)] {
+            let f = ScalingFactors::new(rat(1, 2), y).expect("valid");
+            let SpeedupBound::Finite(v) = speedup_bound(&specs(), f) else {
+                panic!("finite");
+            };
+            if let Some(p) = previous_in_y {
+                assert!(v <= p, "not decreasing in y: {v} > {p}");
+            }
+            previous_in_y = Some(v);
+        }
+    }
+
+    #[test]
+    fn x_equal_one_with_inflation_is_unbounded() {
+        let f = ScalingFactors::new(int(1), int(2)).expect("valid");
+        assert_eq!(speedup_bound(&specs(), f), SpeedupBound::Unbounded);
+        assert_eq!(resetting_bound(&specs(), f, int(100)), ResettingBound::Unbounded);
+    }
+
+    #[test]
+    fn x_equal_one_without_inflation_is_finite() {
+        let flat = vec![
+            ImplicitTaskSpec::hi("h", int(10), int(2), int(2)),
+            ImplicitTaskSpec::lo("l", int(8), int(1)),
+        ];
+        let f = ScalingFactors::new(int(1), int(2)).expect("valid");
+        let SpeedupBound::Finite(v) = speedup_bound(&flat, f) else {
+            panic!("finite expected");
+        };
+        // HI term: max(0/0-skipped, u_hi/u_lo = 1, u_hi) = 1;
+        // LO term: (1/8)/(1/8 + 1) = 1/9.
+        assert_eq!(v, int(1) + rat(1, 9));
+    }
+
+    #[test]
+    fn lo_term_degenerates_to_one_at_y_equal_one() {
+        let lo_only = vec![ImplicitTaskSpec::lo("l", int(8), int(1))];
+        let f = ScalingFactors::new(rat(1, 2), int(1)).expect("valid");
+        assert_eq!(speedup_bound(&lo_only, f), SpeedupBound::Finite(int(1)));
+    }
+
+    #[test]
+    fn zero_utilization_tasks_contribute_nothing() {
+        let zeros = vec![
+            ImplicitTaskSpec::hi("h", int(10), int(0), int(0)),
+            ImplicitTaskSpec::lo("l", int(8), int(0)),
+        ];
+        let f = ScalingFactors::new(rat(1, 2), int(2)).expect("valid");
+        assert_eq!(speedup_bound(&zeros, f), SpeedupBound::Finite(Rational::ZERO));
+    }
+
+    #[test]
+    fn resetting_bound_matches_eq_16() {
+        let f = ScalingFactors::new(rat(1, 2), int(2)).expect("valid");
+        let SpeedupBound::Finite(s_min) = speedup_bound(&specs(), f) else {
+            panic!("finite");
+        };
+        let s = s_min + Rational::ONE;
+        let total_c_hi: Rational = specs().iter().map(ImplicitTaskSpec::wcet_hi).sum();
+        assert_eq!(
+            resetting_bound(&specs(), f, s),
+            ResettingBound::Finite(total_c_hi)
+        );
+    }
+
+    #[test]
+    fn resetting_bound_unbounded_at_or_below_s_min() {
+        let f = ScalingFactors::new(rat(1, 2), int(2)).expect("valid");
+        let SpeedupBound::Finite(s_min) = speedup_bound(&specs(), f) else {
+            panic!("finite");
+        };
+        assert_eq!(resetting_bound(&specs(), f, s_min), ResettingBound::Unbounded);
+        assert_eq!(
+            resetting_bound(&specs(), f, s_min / int(2)),
+            ResettingBound::Unbounded
+        );
+    }
+
+    #[test]
+    fn closed_form_resetting_upper_bounds_exact() {
+        let limits = AnalysisLimits::default();
+        for factors in factor_grid() {
+            let set = scaled_task_set(&specs(), factors).expect("valid");
+            let SpeedupBound::Finite(s_min_cf) = speedup_bound(&specs(), factors) else {
+                continue;
+            };
+            for bump in [rat(1, 2), int(1), int(2)] {
+                let s = s_min_cf + bump;
+                let exact = crate::resetting::resetting_time(&set, s, &limits)
+                    .expect("ok")
+                    .bound();
+                let cf = resetting_bound(&specs(), factors, s);
+                match (exact, cf) {
+                    (ResettingBound::Finite(e), ResettingBound::Finite(c)) => {
+                        assert!(c >= e, "closed form {c} below exact {e}");
+                    }
+                    (_, ResettingBound::Unbounded) => {}
+                    (ResettingBound::Unbounded, ResettingBound::Finite(c)) => {
+                        panic!("closed form finite ({c}) but exact unbounded");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Analysis resource limits.
+
+/// Resource limits for the pseudo-polynomial breakpoint enumerations.
+///
+/// Both Theorem 2 (`s_min`) and Corollary 5 (`Δ_R`) are computed by
+/// walking the breakpoints of exact piecewise-linear demand curves. The
+/// walk is provably finite (it stops at the demand hyperperiod or at a
+/// dynamically shrinking horizon), but adversarial rational parameters can
+/// make the hyperperiod astronomically large; `max_breakpoints` bounds the
+/// work and turns pathological instances into a reported
+/// [`crate::AnalysisError::BreakpointBudgetExhausted`] instead of a hang.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::AnalysisLimits;
+///
+/// let limits = AnalysisLimits::default();
+/// assert!(limits.max_breakpoints() >= 1_000_000);
+/// let tight = AnalysisLimits::new(10_000);
+/// assert_eq!(tight.max_breakpoints(), 10_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnalysisLimits {
+    max_breakpoints: usize,
+}
+
+impl AnalysisLimits {
+    /// Creates limits with an explicit breakpoint budget.
+    #[must_use]
+    pub const fn new(max_breakpoints: usize) -> AnalysisLimits {
+        AnalysisLimits { max_breakpoints }
+    }
+
+    /// The maximum number of demand-curve breakpoints examined per query.
+    #[must_use]
+    pub const fn max_breakpoints(&self) -> usize {
+        self.max_breakpoints
+    }
+}
+
+impl Default for AnalysisLimits {
+    /// A budget generous enough for every experiment in the paper
+    /// (hundreds of tasks with millisecond-granularity periods).
+    fn default() -> AnalysisLimits {
+        AnalysisLimits {
+            max_breakpoints: 4_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_large() {
+        assert_eq!(AnalysisLimits::default().max_breakpoints(), 4_000_000);
+    }
+
+    #[test]
+    fn custom_budget_is_respected() {
+        assert_eq!(AnalysisLimits::new(7).max_breakpoints(), 7);
+    }
+}

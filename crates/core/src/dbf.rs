@@ -1,0 +1,343 @@
+//! Demand bound functions (eq. (4) and Lemma 1).
+//!
+//! * [`dbf_lo`] — the LO-mode demand bound of a task in an interval of
+//!   length `Δ` (eq. (4));
+//! * [`dbf_hi`] — the HI-mode demand bound of Lemma 1 (eqs. (5)–(7)),
+//!   which accounts for the *carry-over* job that was released in LO mode
+//!   but must finish in HI mode;
+//! * [`lo_profile`] / [`hi_profile`] — the same demands as exact
+//!   [`DemandProfile`]s for the sup-ratio and first-fit queries.
+//!
+//! The point functions implement the paper's formulas literally and the
+//! profiles implement them structurally; the test-suite cross-checks the
+//! two against each other on dense grids.
+
+use rbs_model::{Mode, Task, TaskSet};
+use rbs_timebase::Rational;
+
+use crate::demand::{DemandProfile, PeriodicDemand};
+
+/// LO-mode demand bound function of one task (eq. (4)):
+/// `DBF_LO(τ_i, Δ) = max(⌊(Δ − D_i(LO))/T_i(LO)⌋ + 1, 0) · C_i(LO)`.
+///
+/// # Panics
+///
+/// Panics if `Δ < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::dbf::dbf_lo;
+/// use rbs_model::{Criticality, Task};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), rbs_model::ModelError> {
+/// let task = Task::builder("t", Criticality::Lo)
+///     .period(Rational::integer(10))
+///     .deadline(Rational::integer(10))
+///     .wcet(Rational::integer(3))
+///     .build()?;
+/// assert_eq!(dbf_lo(&task, Rational::integer(9)), Rational::ZERO);
+/// assert_eq!(dbf_lo(&task, Rational::integer(10)), Rational::integer(3));
+/// assert_eq!(dbf_lo(&task, Rational::integer(25)), Rational::integer(6));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn dbf_lo(task: &Task, delta: Rational) -> Rational {
+    assert!(!delta.is_negative(), "Δ must be non-negative");
+    let p = task.lo();
+    let jobs = ((delta - p.deadline()).floor_div(p.period()) + 1).max(0);
+    Rational::integer(jobs) * p.wcet()
+}
+
+/// Lemma 1's window term (eq. (5)):
+/// `w(τ_i, Δ) = (Δ mod T_i(HI)) − (D_i(HI) − D_i(LO))`.
+///
+/// Returns `None` for tasks terminated in HI mode (they place no demand
+/// there).
+#[must_use]
+pub fn carry_window(task: &Task, delta: Rational) -> Option<Rational> {
+    let hi = task.params(Mode::Hi)?;
+    Some(delta.mod_floor(hi.period()) - (hi.deadline() - task.lo().deadline()))
+}
+
+/// Lemma 1's carry-over demand (eq. (6)):
+/// `r = min(w, C(LO)) + C(HI) − C(LO)` when `w ≥ 0`, else `0`.
+#[must_use]
+pub fn carry_demand(task: &Task, window: Rational) -> Rational {
+    let Some(hi) = task.params(Mode::Hi) else {
+        return Rational::ZERO;
+    };
+    if window.is_negative() {
+        Rational::ZERO
+    } else {
+        window.min(task.lo().wcet()) + hi.wcet() - task.lo().wcet()
+    }
+}
+
+/// HI-mode demand bound function of Lemma 1 (eq. (7)):
+/// `DBF_HI(τ_i, Δ) = ⌊Δ/T_i(HI)⌋ · C_i(HI) + r(τ_i, Δ, w(·))`.
+///
+/// Tasks terminated in HI mode contribute zero.
+///
+/// # Panics
+///
+/// Panics if `Δ < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::dbf::dbf_hi;
+/// use rbs_model::{Criticality, Task};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), rbs_model::ModelError> {
+/// // Table I (reconstruction): τ1 = HI, C(LO)=1, C(HI)=2, D(LO)=2, D(HI)=T=5.
+/// let tau1 = Task::builder("tau1", Criticality::Hi)
+///     .period(Rational::integer(5))
+///     .deadline_lo(Rational::integer(2))
+///     .deadline_hi(Rational::integer(5))
+///     .wcet_lo(Rational::integer(1))
+///     .wcet_hi(Rational::integer(2))
+///     .build()?;
+/// // The carry-over job shows up D(HI)−D(LO) = 3 after the switch.
+/// assert_eq!(dbf_hi(&tau1, Rational::integer(2)), Rational::ZERO);
+/// assert_eq!(dbf_hi(&tau1, Rational::integer(3)), Rational::integer(1));
+/// assert_eq!(dbf_hi(&tau1, Rational::integer(4)), Rational::integer(2));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn dbf_hi(task: &Task, delta: Rational) -> Rational {
+    assert!(!delta.is_negative(), "Δ must be non-negative");
+    let Some(hi) = task.params(Mode::Hi) else {
+        return Rational::ZERO;
+    };
+    let window = carry_window(task, delta).expect("active in HI mode");
+    Rational::integer(delta.floor_div(hi.period())) * hi.wcet() + carry_demand(task, window)
+}
+
+/// Total LO-mode demand bound `Σ_i DBF_LO(τ_i, Δ)`.
+#[must_use]
+pub fn total_dbf_lo(set: &TaskSet, delta: Rational) -> Rational {
+    set.iter().map(|t| dbf_lo(t, delta)).sum()
+}
+
+/// Total HI-mode demand bound `Σ_i DBF_HI(τ_i, Δ)`.
+#[must_use]
+pub fn total_dbf_hi(set: &TaskSet, delta: Rational) -> Rational {
+    set.iter().map(|t| dbf_hi(t, delta)).sum()
+}
+
+/// The LO-mode demand of the whole set as an exact curve profile.
+#[must_use]
+pub fn lo_profile(set: &TaskSet) -> DemandProfile {
+    set.iter()
+        .map(|t| {
+            let p = t.lo();
+            PeriodicDemand::step(p.period(), p.deadline(), p.wcet())
+        })
+        .collect()
+}
+
+/// The HI-mode demand of the whole set as an exact curve profile
+/// (Lemma 1 per task; terminated tasks omitted).
+#[must_use]
+pub fn hi_profile(set: &TaskSet) -> DemandProfile {
+    set.iter()
+        .filter_map(|t| {
+            let hi = t.params(Mode::Hi)?;
+            let offset = hi.deadline() - t.lo().deadline();
+            Some(PeriodicDemand::new(
+                hi.period(),
+                hi.wcet(),
+                Rational::ZERO,
+                offset,
+                hi.wcet() - t.lo().wcet(),
+                t.lo().wcet(),
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::Criticality;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// The reconstructed Table I task set (see DESIGN.md).
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    /// Table I with the degraded τ2 service of Example 1:
+    /// `D_2(HI) = 15, T_2(HI) = 20`.
+    fn table1_degraded() -> TaskSet {
+        TaskSet::new(vec![
+            table1()[0].clone(),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .period_hi(int(20))
+                .deadline_hi(int(15))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn dbf_lo_point_values() {
+        let set = table1();
+        let tau1 = &set[0];
+        // D(LO)=2, T=5, C(LO)=1: steps at 2, 7, 12, ...
+        assert_eq!(dbf_lo(tau1, int(0)), int(0));
+        assert_eq!(dbf_lo(tau1, int(1)), int(0));
+        assert_eq!(dbf_lo(tau1, int(2)), int(1));
+        assert_eq!(dbf_lo(tau1, int(6)), int(1));
+        assert_eq!(dbf_lo(tau1, int(7)), int(2));
+        assert_eq!(dbf_lo(tau1, int(12)), int(3));
+        let tau2 = &set[1];
+        assert_eq!(dbf_lo(tau2, int(9)), int(0));
+        assert_eq!(dbf_lo(tau2, int(10)), int(3));
+        assert_eq!(dbf_lo(tau2, int(20)), int(6));
+    }
+
+    #[test]
+    fn dbf_hi_point_values_for_hi_task() {
+        let set = table1();
+        let tau1 = &set[0];
+        // δ = D(HI)−D(LO) = 3; jump C(HI)−C(LO)=1 at 3; ramp C(LO)=1 to 4.
+        assert_eq!(dbf_hi(tau1, int(0)), int(0));
+        assert_eq!(dbf_hi(tau1, rat(5, 2)), int(0));
+        assert_eq!(dbf_hi(tau1, int(3)), int(1));
+        assert_eq!(dbf_hi(tau1, rat(7, 2)), rat(3, 2));
+        assert_eq!(dbf_hi(tau1, int(4)), int(2));
+        assert_eq!(dbf_hi(tau1, int(5)), int(2));
+        assert_eq!(dbf_hi(tau1, int(8)), int(3));
+        assert_eq!(dbf_hi(tau1, int(9)), int(4));
+    }
+
+    #[test]
+    fn dbf_hi_point_values_for_undegraded_lo_task() {
+        let set = table1();
+        let tau2 = &set[1];
+        // δ = 0: the carry-over ramp starts immediately — a job that was
+        // due Δ after the switch carries min(Δ, C) demand.
+        assert_eq!(dbf_hi(tau2, int(0)), int(0));
+        assert_eq!(dbf_hi(tau2, int(1)), int(1));
+        assert_eq!(dbf_hi(tau2, int(3)), int(3));
+        assert_eq!(dbf_hi(tau2, int(9)), int(3));
+        assert_eq!(dbf_hi(tau2, int(10)), int(3));
+        assert_eq!(dbf_hi(tau2, int(13)), int(6));
+    }
+
+    #[test]
+    fn dbf_hi_point_values_for_degraded_lo_task() {
+        let set = table1_degraded();
+        let tau2 = &set[1];
+        // δ = D(HI)−D(LO) = 5; T(HI) = 20.
+        assert_eq!(dbf_hi(tau2, int(4)), int(0));
+        assert_eq!(dbf_hi(tau2, int(5)), int(0)); // jump is 0 (C equal)
+        assert_eq!(dbf_hi(tau2, int(6)), int(1));
+        assert_eq!(dbf_hi(tau2, int(8)), int(3));
+        assert_eq!(dbf_hi(tau2, int(19)), int(3));
+        assert_eq!(dbf_hi(tau2, int(20)), int(3));
+        assert_eq!(dbf_hi(tau2, int(26)), int(4));
+    }
+
+    #[test]
+    fn terminated_task_has_zero_hi_demand() {
+        let set = table1().with_lo_terminated().expect("valid");
+        let tau2 = &set[1];
+        for delta in 0..40 {
+            assert_eq!(dbf_hi(tau2, int(delta)), int(0));
+        }
+        assert_eq!(carry_window(tau2, int(5)), None);
+        assert_eq!(carry_demand(tau2, int(5)), int(0));
+    }
+
+    #[test]
+    fn profiles_match_point_formulas_on_dense_grid() {
+        for set in [table1(), table1_degraded()] {
+            let lo = lo_profile(&set);
+            let hi = hi_profile(&set);
+            for i in 0..(50 * 4) {
+                let delta = rat(i, 4);
+                assert_eq!(lo.eval(delta), total_dbf_lo(&set, delta), "LO Δ={delta}");
+                assert_eq!(hi.eval(delta), total_dbf_hi(&set, delta), "HI Δ={delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_match_on_terminated_set() {
+        let set = table1().with_lo_terminated().expect("valid");
+        let hi = hi_profile(&set);
+        assert_eq!(hi.components().len(), 1);
+        for i in 0..80 {
+            let delta = rat(i, 2);
+            assert_eq!(hi.eval(delta), total_dbf_hi(&set, delta));
+        }
+    }
+
+    #[test]
+    fn hi_profile_rate_is_hi_mode_utilization() {
+        let set = table1();
+        let hi = hi_profile(&set);
+        assert_eq!(hi.rate(), rat(2, 5) + rat(3, 10));
+        assert_eq!(hi.rate(), set.utilization(Mode::Hi));
+    }
+
+    #[test]
+    fn dbf_lo_with_rational_parameters() {
+        let task = Task::builder("r", Criticality::Lo)
+            .period(rat(5, 2))
+            .deadline(rat(3, 2))
+            .wcet(rat(1, 2))
+            .build()
+            .expect("valid");
+        assert_eq!(dbf_lo(&task, rat(1, 2)), int(0));
+        assert_eq!(dbf_lo(&task, rat(3, 2)), rat(1, 2));
+        assert_eq!(dbf_lo(&task, int(4)), int(1));
+    }
+
+    #[test]
+    fn implicit_deadline_lo_profile_uses_folded_step() {
+        // D = T: the step at offset T folds into per-period demand.
+        let set = TaskSet::new(vec![Task::builder("t", Criticality::Lo)
+            .period(int(4))
+            .deadline(int(4))
+            .wcet(int(1))
+            .build()
+            .expect("valid")]);
+        let lo = lo_profile(&set);
+        for delta in 0..20 {
+            assert_eq!(lo.eval(int(delta)), total_dbf_lo(&set, int(delta)));
+        }
+    }
+}

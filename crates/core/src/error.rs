@@ -1,0 +1,64 @@
+//! Analysis errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when an analysis query cannot be completed exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The breakpoint walk exceeded
+    /// [`crate::AnalysisLimits::max_breakpoints`] before reaching a
+    /// provable stopping horizon (pathological rational periods whose
+    /// hyperperiod overflows `i128`).
+    BreakpointBudgetExhausted {
+        /// Breakpoints examined before giving up.
+        examined: usize,
+    },
+    /// An intermediate exact value overflowed `i128`.
+    Overflow,
+    /// The requested processor speed is not strictly positive.
+    NonPositiveSpeed,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::BreakpointBudgetExhausted { examined } => write!(
+                f,
+                "breakpoint budget exhausted after {examined} points without reaching a stopping horizon"
+            ),
+            AnalysisError::Overflow => f.write_str("exact rational computation overflowed i128"),
+            AnalysisError::NonPositiveSpeed => {
+                f.write_str("processor speed must be strictly positive")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+impl From<rbs_timebase::RationalOverflowError> for AnalysisError {
+    fn from(_: rbs_timebase::RationalOverflowError) -> AnalysisError {
+        AnalysisError::Overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = AnalysisError::BreakpointBudgetExhausted { examined: 42 };
+        assert!(err.to_string().contains("42"));
+        assert!(!AnalysisError::Overflow.to_string().is_empty());
+        assert!(!AnalysisError::NonPositiveSpeed.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<AnalysisError>();
+    }
+}

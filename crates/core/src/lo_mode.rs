@@ -1,0 +1,318 @@
+//! LO-mode EDF schedulability and overrun-preparation (`x`) tuning.
+//!
+//! The system model requires all tasks to meet their (possibly shortened)
+//! deadlines in LO mode at nominal speed; this module provides the exact
+//! EDF demand test and the choice of the deadline-shortening factor `x`
+//! for the implicit-deadline parameterization:
+//!
+//! * [`lo_speed_requirement`] — the smallest processor speed at which LO
+//!   mode is EDF-schedulable (`sup_Δ Σ DBF_LO/Δ`);
+//! * [`is_lo_schedulable`] — the unit-speed test;
+//! * [`minimal_x_density`] — the utilization/density-based closed form
+//!   `x = U_HI(LO)/(1 − U_LO(LO))` used by the paper's experiments ("x
+//!   is set to the minimum to guarantee LO mode schedulability \[6\]");
+//! * [`minimal_x_exact`] — a bisection against the exact demand test,
+//!   tighter than the closed form by up to the density-test pessimism.
+
+use rbs_model::{scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, TaskSet};
+use rbs_timebase::Rational;
+
+use crate::dbf::lo_profile;
+use crate::demand::SupRatio;
+use crate::{AnalysisError, AnalysisLimits};
+
+/// The smallest processor speed at which the set is EDF-schedulable in LO
+/// mode: `sup_{Δ>0} Σ_i DBF_LO(τ_i, Δ)/Δ`.
+///
+/// # Errors
+///
+/// Propagates breakpoint-budget errors from the curve walk.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::lo_mode::lo_speed_requirement;
+/// use rbs_core::AnalysisLimits;
+/// use rbs_model::{Criticality, Task, TaskSet};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TaskSet::new(vec![Task::builder("t", Criticality::Lo)
+///     .period(Rational::integer(4))
+///     .deadline(Rational::integer(2))
+///     .wcet(Rational::integer(1))
+///     .build()?]);
+/// assert_eq!(lo_speed_requirement(&set, &AnalysisLimits::default())?, Rational::new(1, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn lo_speed_requirement(
+    set: &TaskSet,
+    limits: &AnalysisLimits,
+) -> Result<Rational, AnalysisError> {
+    match lo_profile(set).sup_ratio(limits)? {
+        SupRatio::Finite { value, .. } => Ok(value),
+        // DBF_LO is zero at Δ = 0 (deadlines are positive), so the sup is
+        // always finite.
+        SupRatio::Unbounded => unreachable!("DBF_LO(0) = 0 for validated tasks"),
+    }
+}
+
+/// Whether all tasks meet their LO-mode deadlines under EDF at nominal
+/// (unit) speed.
+///
+/// Uses the fast decision walk ([`crate::demand::DemandProfile::fits`])
+/// rather than computing the exact speed requirement.
+///
+/// # Errors
+///
+/// Propagates breakpoint-budget errors from the curve walk.
+pub fn is_lo_schedulable(set: &TaskSet, limits: &AnalysisLimits) -> Result<bool, AnalysisError> {
+    lo_profile(set).fits(Rational::ONE, limits)
+}
+
+/// The density-based minimal overrun-preparation factor
+/// `x = U_HI(LO) / (1 − U_LO(LO))` for implicit-deadline specs.
+///
+/// Shrinking HI deadlines to `x·T` raises their LO-mode density to
+/// `u_i(LO)/x`; the density test `Σ_LO u + Σ_HI u(LO)/x ≤ 1` is tightest
+/// at this `x`. This is the `x` the paper's experiments use. Returns
+/// `None` when `U_LO(LO) ≥ 1` (no `x` can help) or when the computed
+/// factor exceeds 1 (the set is not LO-schedulable even unprepared).
+///
+/// Note the result may be 0 when there are no HI tasks — callers should
+/// clamp into `(0, 1]` before building [`ScalingFactors`].
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::lo_mode::minimal_x_density;
+/// use rbs_model::ImplicitTaskSpec;
+/// use rbs_timebase::Rational;
+///
+/// let specs = [
+///     ImplicitTaskSpec::hi("h", Rational::integer(10), Rational::integer(2), Rational::integer(4)),
+///     ImplicitTaskSpec::lo("l", Rational::integer(10), Rational::integer(5)),
+/// ];
+/// // U_HI(LO) = 0.2, U_LO(LO) = 0.5 → x = 0.2/0.5 = 2/5.
+/// assert_eq!(minimal_x_density(&specs), Some(Rational::new(2, 5)));
+/// ```
+#[must_use]
+pub fn minimal_x_density(specs: &[ImplicitTaskSpec]) -> Option<Rational> {
+    let u_hi_lo: Rational = specs
+        .iter()
+        .filter(|s| s.criticality() == Criticality::Hi)
+        .map(ImplicitTaskSpec::utilization_lo)
+        .sum();
+    let u_lo_lo: Rational = specs
+        .iter()
+        .filter(|s| s.criticality() == Criticality::Lo)
+        .map(ImplicitTaskSpec::utilization_lo)
+        .sum();
+    let headroom = Rational::ONE - u_lo_lo;
+    if !headroom.is_positive() {
+        return None;
+    }
+    let x = u_hi_lo / headroom;
+    (x <= Rational::ONE).then_some(x)
+}
+
+/// The minimal `x` passing the *exact* LO-mode demand test, found by
+/// bisection to within `tolerance` (the returned `x` is always
+/// schedulable; no schedulable `x` smaller by more than `tolerance`
+/// exists).
+///
+/// Returns `Ok(None)` when even `x = 1` is not LO-schedulable.
+///
+/// # Errors
+///
+/// Propagates breakpoint-budget errors from the exact test.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not strictly positive.
+pub fn minimal_x_exact(
+    specs: &[ImplicitTaskSpec],
+    tolerance: Rational,
+    limits: &AnalysisLimits,
+) -> Result<Option<Rational>, AnalysisError> {
+    assert!(tolerance.is_positive(), "tolerance must be positive");
+    let schedulable = |x: Rational| -> Result<bool, AnalysisError> {
+        let factors = ScalingFactors::new(x, Rational::ONE).expect("x in (0,1], y = 1");
+        let set = scaled_task_set(specs, factors).expect("specs validated by model crate");
+        is_lo_schedulable(&set, limits)
+    };
+    if !schedulable(Rational::ONE)? {
+        return Ok(None);
+    }
+    // Any schedulable x must cover each HI task's own WCET: x·T ≥ C(LO).
+    let mut lower = specs
+        .iter()
+        .filter(|s| s.criticality() == Criticality::Hi)
+        .map(ImplicitTaskSpec::utilization_lo)
+        .max()
+        .unwrap_or(Rational::ZERO);
+    let mut upper = Rational::ONE;
+    if lower.is_positive() && schedulable(lower)? {
+        return Ok(Some(lower));
+    }
+    // Invariant: `upper` schedulable, `lower` not (or the trivial 0).
+    while upper - lower > tolerance {
+        let mid = (upper + lower) / Rational::TWO;
+        if schedulable(mid)? {
+            upper = mid;
+        } else {
+            lower = mid;
+        }
+    }
+    Ok(Some(upper))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::Task;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn table1_is_lo_schedulable() {
+        let limits = AnalysisLimits::default();
+        assert!(is_lo_schedulable(&table1(), &limits).expect("ok"));
+        // Requirement: densest point is Δ=2 (demand 1): 1/2.
+        assert_eq!(lo_speed_requirement(&table1(), &limits).expect("ok"), rat(1, 2));
+    }
+
+    #[test]
+    fn overloaded_set_is_not_lo_schedulable() {
+        let set = TaskSet::new(vec![Task::builder("t", Criticality::Lo)
+            .period(int(4))
+            .deadline(int(2))
+            .wcet(int(3))
+            .build()
+            .expect("valid")]);
+        let limits = AnalysisLimits::default();
+        assert!(!is_lo_schedulable(&set, &limits).expect("ok"));
+        assert_eq!(lo_speed_requirement(&set, &limits).expect("ok"), rat(3, 2));
+    }
+
+    #[test]
+    fn density_x_matches_hand_computation() {
+        let specs = [
+            ImplicitTaskSpec::hi("h1", int(10), int(1), int(2)),
+            ImplicitTaskSpec::hi("h2", int(20), int(2), int(4)),
+            ImplicitTaskSpec::lo("l", int(8), int(2)),
+        ];
+        // U_HI(LO) = 1/10 + 1/10 = 1/5; U_LO(LO) = 1/4 → x = (1/5)/(3/4) = 4/15.
+        assert_eq!(minimal_x_density(&specs), Some(rat(4, 15)));
+    }
+
+    #[test]
+    fn density_x_rejects_hopeless_sets() {
+        let too_lo = [ImplicitTaskSpec::lo("l", int(4), int(4))];
+        assert_eq!(minimal_x_density(&too_lo), None);
+        let too_hi = [
+            ImplicitTaskSpec::hi("h", int(10), int(8), int(8)),
+            ImplicitTaskSpec::lo("l", int(10), int(5)),
+        ];
+        // x = 0.8/0.5 = 1.6 > 1.
+        assert_eq!(minimal_x_density(&too_hi), None);
+    }
+
+    #[test]
+    fn density_x_is_zero_without_hi_tasks() {
+        let specs = [ImplicitTaskSpec::lo("l", int(8), int(2))];
+        assert_eq!(minimal_x_density(&specs), Some(Rational::ZERO));
+    }
+
+    #[test]
+    fn density_x_is_lo_schedulable() {
+        let specs = [
+            ImplicitTaskSpec::hi("h1", int(10), int(1), int(2)),
+            ImplicitTaskSpec::hi("h2", int(20), int(2), int(4)),
+            ImplicitTaskSpec::lo("l", int(8), int(2)),
+        ];
+        let x = minimal_x_density(&specs).expect("feasible");
+        let set = scaled_task_set(
+            &specs,
+            ScalingFactors::new(x, Rational::ONE).expect("valid"),
+        )
+        .expect("valid");
+        assert!(is_lo_schedulable(&set, &AnalysisLimits::default()).expect("ok"));
+    }
+
+    #[test]
+    fn exact_x_is_at_most_density_x() {
+        let specs = [
+            ImplicitTaskSpec::hi("h1", int(10), int(1), int(2)),
+            ImplicitTaskSpec::hi("h2", int(20), int(2), int(4)),
+            ImplicitTaskSpec::lo("l", int(8), int(2)),
+        ];
+        let limits = AnalysisLimits::default();
+        let density = minimal_x_density(&specs).expect("feasible");
+        let exact = minimal_x_exact(&specs, rat(1, 1024), &limits)
+            .expect("ok")
+            .expect("feasible");
+        assert!(exact <= density, "{exact} > {density}");
+        // And the returned x really is schedulable.
+        let set = scaled_task_set(
+            &specs,
+            ScalingFactors::new(exact, Rational::ONE).expect("valid"),
+        )
+        .expect("valid");
+        assert!(is_lo_schedulable(&set, &limits).expect("ok"));
+    }
+
+    #[test]
+    fn exact_x_reports_infeasible_sets() {
+        let specs = [
+            ImplicitTaskSpec::hi("h", int(10), int(6), int(6)),
+            ImplicitTaskSpec::lo("l", int(10), int(5)),
+        ];
+        let result =
+            minimal_x_exact(&specs, rat(1, 64), &AnalysisLimits::default()).expect("ok");
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn exact_x_short_circuits_at_the_utilization_floor() {
+        // Single HI task alone: x = u(LO) is exactly schedulable
+        // (deadline x·T = C(LO)).
+        let specs = [ImplicitTaskSpec::hi("h", int(10), int(2), int(4))];
+        let exact = minimal_x_exact(&specs, rat(1, 1024), &AnalysisLimits::default())
+            .expect("ok")
+            .expect("feasible");
+        assert_eq!(exact, rat(1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn zero_tolerance_panics() {
+        let _ = minimal_x_exact(&[], Rational::ZERO, &AnalysisLimits::default());
+    }
+}

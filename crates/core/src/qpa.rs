@@ -1,0 +1,271 @@
+//! Quick Processor-demand Analysis (QPA) — an independent EDF decision.
+//!
+//! QPA (Zhang & Burns, *"Schedulability Analysis for Real-Time Systems
+//! with EDF Scheduling"*, IEEE TC 2009) decides `h(t) ≤ s·t` for all
+//! `t` by iterating *downward* from the analysis horizon instead of
+//! enumerating every deadline: starting from the largest absolute
+//! deadline below the horizon, it repeatedly jumps to `h(t)/s` (or the
+//! next smaller deadline when demand exactly meets supply), terminating
+//! at the smallest deadline. Typically it visits a small fraction of the
+//! breakpoints the forward walk examines.
+//!
+//! This module applies QPA to the LO-mode demand (`DBF_LO`, eq. (4)).
+//! Its value in this workspace is **redundancy**: a structurally
+//! different algorithm, derived from a different paper, that must agree
+//! verdict-for-verdict with [`crate::demand::DemandProfile::fits`] — and
+//! is property-tested to do so.
+
+use rbs_model::TaskSet;
+use rbs_timebase::Rational;
+
+use crate::dbf::total_dbf_lo;
+use crate::{AnalysisError, AnalysisLimits};
+
+/// Decides LO-mode EDF schedulability at processor speed `speed` using
+/// the QPA iteration.
+///
+/// Returns the same verdict as the demand-curve walk
+/// (`lo_profile(set).fits(speed, limits)`), computed by an independent
+/// algorithm.
+///
+/// # Errors
+///
+/// * [`AnalysisError::NonPositiveSpeed`] if `speed ≤ 0`.
+/// * [`AnalysisError::BreakpointBudgetExhausted`] if the iteration fails
+///   to converge within the breakpoint budget (cannot happen for
+///   well-formed inputs; the guard turns hypothetical non-termination
+///   into an error).
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::qpa::is_lo_schedulable_qpa;
+/// use rbs_core::AnalysisLimits;
+/// use rbs_model::{Criticality, Task, TaskSet};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TaskSet::new(vec![Task::builder("t", Criticality::Lo)
+///     .period(Rational::integer(4))
+///     .deadline(Rational::integer(2))
+///     .wcet(Rational::integer(1))
+///     .build()?]);
+/// assert!(is_lo_schedulable_qpa(&set, Rational::ONE, &AnalysisLimits::default())?);
+/// assert!(!is_lo_schedulable_qpa(&set, Rational::new(1, 4), &AnalysisLimits::default())?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_lo_schedulable_qpa(
+    set: &TaskSet,
+    speed: Rational,
+    limits: &AnalysisLimits,
+) -> Result<bool, AnalysisError> {
+    if !speed.is_positive() {
+        return Err(AnalysisError::NonPositiveSpeed);
+    }
+    let tasks: Vec<(Rational, Rational, Rational)> = set
+        .iter()
+        .filter(|t| t.lo().wcet().is_positive())
+        .map(|t| (t.lo().period(), t.lo().deadline(), t.lo().wcet()))
+        .collect();
+    if tasks.is_empty() {
+        return Ok(true);
+    }
+
+    let utilization: Rational = tasks.iter().map(|(t, _, c)| *c / *t).sum();
+    if utilization > speed {
+        return Ok(false);
+    }
+    // Analysis horizon: beyond L, h(t) ≤ U·t + ΣC ≤ s·t holds whenever
+    // U < s; for U = s fall back to the hyperperiod argument like the
+    // forward walk does.
+    let total_wcet: Rational = tasks.iter().map(|(_, _, c)| *c).sum();
+    let horizon = if utilization < speed {
+        total_wcet / (speed - utilization)
+    } else {
+        let mut hp = Rational::ONE;
+        for (t, _, _) in &tasks {
+            hp = hp
+                .lcm(*t)
+                .ok_or(AnalysisError::BreakpointBudgetExhausted { examined: 0 })?;
+        }
+        hp + tasks
+            .iter()
+            .map(|(_, d, _)| *d)
+            .max()
+            .unwrap_or(Rational::ZERO)
+    };
+
+    let d_min = tasks
+        .iter()
+        .map(|(_, d, _)| *d)
+        .min()
+        .expect("non-empty task list");
+
+    // Largest absolute deadline strictly below `t`.
+    let max_deadline_below = |t: Rational| -> Option<Rational> {
+        let mut best: Option<Rational> = None;
+        for (period, deadline, _) in &tasks {
+            if *deadline >= t {
+                continue;
+            }
+            // Largest k with k·T + D < t: k = ceil((t − D)/T) − 1.
+            let k = {
+                let q = (t - *deadline) / *period;
+                if q.is_integer() {
+                    q.floor() - 1
+                } else {
+                    q.floor()
+                }
+            };
+            let candidate = Rational::integer(k.max(0)) * *period + *deadline;
+            if candidate < t && best.is_none_or(|b| candidate > b) {
+                best = Some(candidate);
+            }
+        }
+        best
+    };
+
+    let Some(mut t) = max_deadline_below(horizon + Rational::new(1, 1_000_000)) else {
+        // No deadline at or below the horizon: vacuously schedulable.
+        return Ok(true);
+    };
+    // Include a deadline exactly at the horizon.
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > limits.max_breakpoints() {
+            return Err(AnalysisError::BreakpointBudgetExhausted {
+                examined: iterations,
+            });
+        }
+        let demand = total_dbf_lo(set, t);
+        let supply = speed * t;
+        if demand > supply {
+            return Ok(false);
+        }
+        if t <= d_min {
+            return Ok(true);
+        }
+        if demand < supply {
+            // Jump to where the supply line meets the current demand.
+            let jump = demand / speed;
+            t = if jump < t {
+                jump.max(d_min)
+            } else {
+                match max_deadline_below(t) {
+                    Some(next) => next,
+                    None => return Ok(true),
+                }
+            };
+        } else {
+            // Exactly met: step to the next smaller deadline.
+            t = match max_deadline_below(t) {
+                Some(next) => next,
+                None => return Ok(true),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbf::lo_profile;
+    use rbs_model::{Criticality, Task};
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn agrees_with_the_curve_walk_on_table1() {
+        let limits = AnalysisLimits::default();
+        let set = table1();
+        let profile = lo_profile(&set);
+        for num in 1..=20 {
+            let speed = rat(num, 8);
+            assert_eq!(
+                is_lo_schedulable_qpa(&set, speed, &limits).expect("completes"),
+                profile.fits(speed, &limits).expect("completes"),
+                "disagreement at speed {speed}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_exact_boundary_speeds() {
+        // Requirement is exactly 1/2 (densest point Δ=2, demand 1).
+        let limits = AnalysisLimits::default();
+        let set = table1();
+        assert!(is_lo_schedulable_qpa(&set, rat(1, 2), &limits).expect("ok"));
+        assert!(!is_lo_schedulable_qpa(&set, rat(127, 256), &limits).expect("ok"));
+    }
+
+    #[test]
+    fn empty_and_zero_wcet_sets_are_schedulable() {
+        let limits = AnalysisLimits::default();
+        assert!(is_lo_schedulable_qpa(&TaskSet::empty(), Rational::ONE, &limits).expect("ok"));
+        let zero = TaskSet::new(vec![Task::builder("z", Criticality::Lo)
+            .period(int(4))
+            .deadline(int(4))
+            .wcet(int(0))
+            .build()
+            .expect("valid")]);
+        assert!(is_lo_schedulable_qpa(&zero, rat(1, 100), &limits).expect("ok"));
+    }
+
+    #[test]
+    fn rejects_non_positive_speed() {
+        assert_eq!(
+            is_lo_schedulable_qpa(&table1(), Rational::ZERO, &AnalysisLimits::default()),
+            Err(AnalysisError::NonPositiveSpeed)
+        );
+    }
+
+    #[test]
+    fn full_utilization_at_exact_speed() {
+        // Implicit-deadline task with U = 1/2 at speed exactly 1/2:
+        // schedulable (hyperperiod fallback path).
+        let set = TaskSet::new(vec![Task::builder("t", Criticality::Lo)
+            .period(int(4))
+            .deadline(int(4))
+            .wcet(int(2))
+            .build()
+            .expect("valid")]);
+        let limits = AnalysisLimits::default();
+        assert!(is_lo_schedulable_qpa(&set, rat(1, 2), &limits).expect("ok"));
+        // Constrained deadline at exact-utilization speed: D < T makes
+        // the demand peak early; 1/2 no longer suffices.
+        let tight = TaskSet::new(vec![Task::builder("t", Criticality::Lo)
+            .period(int(4))
+            .deadline(int(2))
+            .wcet(int(2))
+            .build()
+            .expect("valid")]);
+        assert!(!is_lo_schedulable_qpa(&tight, rat(1, 2), &limits).expect("ok"));
+    }
+}

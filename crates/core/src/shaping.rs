@@ -1,0 +1,303 @@
+//! Per-task overrun-preparation shaping.
+//!
+//! Section V's common factor `x` shortens every HI task's LO-mode
+//! deadline uniformly — simple to analyze (Lemma 6) but blunt: tasks
+//! differ in how much their carry-over demand contributes to the
+//! HI-mode peak. The general model (Section II) allows *per-task*
+//! LO-mode deadlines, and the references the paper builds on (Ekberg &
+//! Yi's demand shaping \[5\]) tune them individually.
+//!
+//! [`shape_lo_deadlines`] implements a greedy coordinate descent: while
+//! some HI task's LO deadline can be shortened by one granularity step
+//! without losing LO-mode feasibility *and* doing so lowers the minimum
+//! required speedup, apply the best such step. Shortening a LO deadline
+//! never increases HI-mode demand (the carry-over window shifts and
+//! shrinks), so the objective is monotone along each coordinate and the
+//! procedure terminates at a locally optimal preparation.
+
+use rbs_model::{Criticality, Mode, Task, TaskSet};
+use rbs_timebase::Rational;
+
+use crate::lo_mode::is_lo_schedulable;
+use crate::speedup::{minimum_speedup, SpeedupBound};
+use crate::{AnalysisError, AnalysisLimits};
+
+/// The result of a shaping run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapingOutcome {
+    /// The tuned task set (only HI tasks' LO-mode deadlines changed).
+    pub set: TaskSet,
+    /// The minimum speedup before tuning.
+    pub before: SpeedupBound,
+    /// The minimum speedup after tuning.
+    pub after: SpeedupBound,
+    /// Accepted shortening steps.
+    pub steps: usize,
+}
+
+/// Greedily shortens HI tasks' LO-mode deadlines (in multiples of
+/// `granularity`) to minimize Theorem 2's `s_min`, subject to LO-mode
+/// EDF feasibility at nominal speed.
+///
+/// Returns the tuned set together with the before/after speedups. The
+/// input set itself need not be LO-schedulable for the *HI* analysis to
+/// improve, but steps are only accepted when the result stays (or
+/// becomes) LO-schedulable — so feeding an unprepared set (`D(LO) =
+/// D(HI)`) is the typical use: shaping then *creates* the preparation.
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+///
+/// # Panics
+///
+/// Panics if `granularity` is not strictly positive.
+///
+/// # Examples
+///
+/// Starting from no preparation at all (`D(LO) = D(HI)`, unbounded
+/// requirement), shaping finds deadlines with a finite — here even
+/// sub-`4/3` — speedup:
+///
+/// ```
+/// use rbs_core::shaping::shape_lo_deadlines;
+/// use rbs_core::speedup::SpeedupBound;
+/// use rbs_core::AnalysisLimits;
+/// use rbs_model::{Criticality, Task, TaskSet};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let unprepared = TaskSet::new(vec![
+///     Task::builder("tau1", Criticality::Hi)
+///         .period(Rational::integer(5))
+///         .deadline(Rational::integer(5)) // D(LO) = D(HI): s_min = +inf
+///         .wcet_lo(Rational::integer(1))
+///         .wcet_hi(Rational::integer(2))
+///         .build()?,
+///     Task::builder("tau2", Criticality::Lo)
+///         .period(Rational::integer(10))
+///         .deadline(Rational::integer(10))
+///         .wcet(Rational::integer(3))
+///         .build()?,
+/// ]);
+/// let outcome = shape_lo_deadlines(
+///     &unprepared,
+///     Rational::ONE,
+///     &AnalysisLimits::default(),
+/// )?;
+/// assert_eq!(outcome.before, SpeedupBound::Unbounded);
+/// assert!(outcome.after.as_finite().expect("finite") <= Rational::new(4, 3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn shape_lo_deadlines(
+    set: &TaskSet,
+    granularity: Rational,
+    limits: &AnalysisLimits,
+) -> Result<ShapingOutcome, AnalysisError> {
+    assert!(granularity.is_positive(), "granularity must be positive");
+    let before = minimum_speedup(set, limits)?.bound();
+    let mut current: Vec<Task> = set.iter().cloned().collect();
+    let mut best = before;
+    let mut steps = 0usize;
+
+    loop {
+        let mut improved: Option<(usize, Task, SpeedupBound)> = None;
+        for (i, task) in current.iter().enumerate() {
+            if task.criticality() != Criticality::Hi {
+                continue;
+            }
+            let new_deadline = task.lo().deadline() - granularity;
+            // A deadline shorter than the optimistic WCET can never be
+            // met; stop shrinking there.
+            if new_deadline < task.lo().wcet() || !new_deadline.is_positive() {
+                continue;
+            }
+            let candidate = rebuild_with_lo_deadline(task, new_deadline);
+            let mut trial: Vec<Task> = current.clone();
+            trial[i] = candidate.clone();
+            let trial_set = TaskSet::new(trial);
+            if !is_lo_schedulable(&trial_set, limits)? {
+                continue;
+            }
+            let bound = minimum_speedup(&trial_set, limits)?.bound();
+            if !strictly_better(bound, improved.as_ref().map_or(best, |(_, _, b)| *b)) {
+                continue;
+            }
+            improved = Some((i, candidate, bound));
+        }
+        let Some((i, candidate, bound)) = improved else {
+            break;
+        };
+        current[i] = candidate;
+        best = bound;
+        steps += 1;
+        // Termination: every accepted step shortens one rational deadline
+        // by `granularity`; deadlines are bounded below by the WCETs.
+    }
+
+    Ok(ShapingOutcome {
+        set: TaskSet::new(current),
+        before,
+        after: best,
+        steps,
+    })
+}
+
+fn strictly_better(candidate: SpeedupBound, incumbent: SpeedupBound) -> bool {
+    match (candidate, incumbent) {
+        (SpeedupBound::Finite(c), SpeedupBound::Finite(b)) => c < b,
+        (SpeedupBound::Finite(_), SpeedupBound::Unbounded) => true,
+        (SpeedupBound::Unbounded, _) => false,
+    }
+}
+
+fn rebuild_with_lo_deadline(task: &Task, deadline: Rational) -> Task {
+    let hi = task
+        .params(Mode::Hi)
+        .expect("HI tasks always continue in HI mode");
+    Task::builder(task.name(), Criticality::Hi)
+        .period(task.lo().period())
+        .deadline_lo(deadline)
+        .deadline_hi(hi.deadline())
+        .wcet_lo(task.lo().wcet())
+        .wcet_hi(hi.wcet())
+        .build()
+        .expect("shortening a validated task's LO deadline stays valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resetting::resetting_time;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn unprepared() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn shaping_rescues_an_unprepared_set() {
+        let limits = AnalysisLimits::default();
+        let outcome = shape_lo_deadlines(&unprepared(), Rational::ONE, &limits).expect("ok");
+        assert_eq!(outcome.before, SpeedupBound::Unbounded);
+        let after = outcome.after.as_finite().expect("finite after shaping");
+        assert!(after <= rat(4, 3), "after = {after}");
+        assert!(outcome.steps >= 1);
+        assert!(is_lo_schedulable(&outcome.set, &limits).expect("ok"));
+        // Reported bound matches the returned set.
+        assert_eq!(
+            minimum_speedup(&outcome.set, &limits).expect("ok").bound(),
+            outcome.after
+        );
+    }
+
+    #[test]
+    fn shaping_beats_or_matches_the_uniform_x_choice() {
+        // The hand-prepared Table I reconstruction uses D(LO) = 2 and
+        // needs s_min = 4/3; per-task shaping from scratch must do at
+        // least as well.
+        let limits = AnalysisLimits::default();
+        let outcome =
+            shape_lo_deadlines(&unprepared(), rat(1, 2), &limits).expect("ok");
+        let after = outcome.after.as_finite().expect("finite");
+        assert!(after <= rat(4, 3), "shaped {after} worse than uniform 4/3");
+    }
+
+    #[test]
+    fn shaping_is_idempotent_at_a_fixpoint() {
+        let limits = AnalysisLimits::default();
+        let first = shape_lo_deadlines(&unprepared(), Rational::ONE, &limits).expect("ok");
+        let second = shape_lo_deadlines(&first.set, Rational::ONE, &limits).expect("ok");
+        assert_eq!(second.steps, 0);
+        assert_eq!(second.before, second.after);
+        assert_eq!(first.after, second.after);
+    }
+
+    #[test]
+    fn shaping_preserves_everything_but_lo_deadlines() {
+        let limits = AnalysisLimits::default();
+        let original = unprepared();
+        let outcome = shape_lo_deadlines(&original, Rational::ONE, &limits).expect("ok");
+        for (before, after) in original.iter().zip(outcome.set.iter()) {
+            assert_eq!(before.name(), after.name());
+            assert_eq!(before.criticality(), after.criticality());
+            assert_eq!(before.lo().period(), after.lo().period());
+            assert_eq!(before.lo().wcet(), after.lo().wcet());
+            assert_eq!(before.params(Mode::Hi), after.params(Mode::Hi));
+            if before.criticality() == Criticality::Lo {
+                assert_eq!(before, after);
+            } else {
+                assert!(after.lo().deadline() <= before.lo().deadline());
+            }
+        }
+    }
+
+    #[test]
+    fn shaping_never_makes_things_worse() {
+        // Already optimally prepared: no steps accepted, bound unchanged.
+        let limits = AnalysisLimits::default();
+        let prepared = TaskSet::new(vec![Task::builder("h", Criticality::Hi)
+            .period(int(6))
+            .deadline_lo(int(2))
+            .deadline_hi(int(6))
+            .wcet_lo(int(2))
+            .wcet_hi(int(4))
+            .build()
+            .expect("valid")]);
+        let outcome = shape_lo_deadlines(&prepared, Rational::ONE, &limits).expect("ok");
+        // D(LO) already equals C(LO): no further shrinking possible.
+        assert_eq!(outcome.steps, 0);
+        assert_eq!(outcome.before, outcome.after);
+    }
+
+    #[test]
+    fn shaping_improves_recovery_too() {
+        // A better-prepared system also drains faster at a given speed
+        // (less carry-over demand) — check the side benefit.
+        let limits = AnalysisLimits::default();
+        let outcome = shape_lo_deadlines(&unprepared(), Rational::ONE, &limits).expect("ok");
+        let before_dr = resetting_time(&unprepared(), int(2), &limits)
+            .expect("ok")
+            .bound()
+            .as_finite()
+            .expect("finite");
+        let after_dr = resetting_time(&outcome.set, int(2), &limits)
+            .expect("ok")
+            .bound()
+            .as_finite()
+            .expect("finite");
+        assert!(after_dr <= before_dr, "{after_dr} > {before_dr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_panics() {
+        let _ = shape_lo_deadlines(
+            &unprepared(),
+            Rational::ZERO,
+            &AnalysisLimits::default(),
+        );
+    }
+}

@@ -1,0 +1,490 @@
+//! Design-parameter tuning: turning the paper's analyses into sizing
+//! procedures.
+//!
+//! The paper exposes three levers — overrun preparation `x`, service
+//! degradation `y`, processor speedup `s` — and two budgets: the
+//! platform's maximum speed and the power/thermal bound on how long
+//! overclocking may last (Section IV's remark cites Intel turbo boost:
+//! ~2× for ~30 s). This module answers the resulting sizing questions:
+//!
+//! * [`minimal_speed_within_budget`] — the smallest HI-mode speed whose
+//!   resetting time fits a given overclock budget (Fig. 7's
+//!   `Δ_R ≤ 5 s` constraint, solved for `s`);
+//! * [`minimal_degradation_for_speed`] — the smallest degradation
+//!   factor `y` at which a given platform speed suffices;
+//! * [`maximal_wcet_inflation`] — how much WCET uncertainty
+//!   (`γ = C(HI)/C(LO)`, the Fig. 5b axis) a given platform speed can
+//!   absorb;
+//! * [`overclock_duty_cycle`] — the Remark's bound on the fraction of
+//!   time spent overclocked, given the minimum separation `T_O` between
+//!   overrun bursts.
+
+use rbs_model::{scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, TaskSet};
+use rbs_timebase::Rational;
+
+use crate::resetting::{resetting_time, ResettingBound};
+use crate::speedup::is_hi_schedulable;
+use crate::{AnalysisError, AnalysisLimits};
+
+/// The smallest speed `s` (within `tolerance`) such that both
+/// `s ≥ s_min` (HI mode schedulable) and `Δ_R(s) ≤ budget`.
+///
+/// Returns `None` when even `max_speed` cannot meet the budget.
+///
+/// Both conditions are monotone in `s` (more speed never hurts
+/// schedulability; Corollary 5's resetting time is non-increasing in
+/// `s`), so bisection applies.
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+///
+/// # Panics
+///
+/// Panics unless `tolerance > 0`, `budget > 0` and `max_speed > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::tuning::minimal_speed_within_budget;
+/// use rbs_core::AnalysisLimits;
+/// use rbs_model::{Criticality, Task, TaskSet};
+/// use rbs_timebase::Rational;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TaskSet::new(vec![
+///     Task::builder("tau1", Criticality::Hi)
+///         .period(Rational::integer(5))
+///         .deadline_lo(Rational::integer(2))
+///         .deadline_hi(Rational::integer(5))
+///         .wcet_lo(Rational::integer(1))
+///         .wcet_hi(Rational::integer(2))
+///         .build()?,
+/// ]);
+/// let s = minimal_speed_within_budget(
+///     &set,
+///     Rational::integer(10),     // reset within 10 time units
+///     Rational::integer(4),      // platform allows up to 4x
+///     Rational::new(1, 64),
+///     &AnalysisLimits::default(),
+/// )?
+/// .expect("feasible");
+/// assert!(s <= Rational::integer(4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimal_speed_within_budget(
+    set: &TaskSet,
+    budget: Rational,
+    max_speed: Rational,
+    tolerance: Rational,
+    limits: &AnalysisLimits,
+) -> Result<Option<Rational>, AnalysisError> {
+    assert!(tolerance.is_positive(), "tolerance must be positive");
+    assert!(budget.is_positive(), "budget must be positive");
+    assert!(max_speed.is_positive(), "max_speed must be positive");
+    let meets = |s: Rational| -> Result<bool, AnalysisError> {
+        if !is_hi_schedulable(set, s, limits)? {
+            return Ok(false);
+        }
+        Ok(match resetting_time(set, s, limits)?.bound() {
+            ResettingBound::Finite(dr) => dr <= budget,
+            ResettingBound::Unbounded => false,
+        })
+    };
+    if !meets(max_speed)? {
+        return Ok(None);
+    }
+    // Invariant: `hi` meets, `lo` does not (start `lo` at an infeasible
+    // floor: speeds at or below zero never help, so use a vanishing one).
+    let mut lo = Rational::ZERO;
+    let mut hi = max_speed;
+    while hi - lo > tolerance {
+        let mid = (hi + lo) / Rational::TWO;
+        if mid.is_positive() && meets(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(hi))
+}
+
+/// The smallest degradation factor `y ∈ [1, y_max]` (within `tolerance`)
+/// at which the platform speed `s` suffices for HI mode, with `x` fixed.
+///
+/// Returns `None` when even `y_max` does not help. Uses that the
+/// required speedup is non-increasing in `y` (Lemma 6's monotonicity;
+/// degrading LO service removes HI-mode demand).
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+///
+/// # Panics
+///
+/// Panics unless `tolerance > 0` and `y_max ≥ 1`.
+pub fn minimal_degradation_for_speed(
+    specs: &[ImplicitTaskSpec],
+    x: Rational,
+    speed: Rational,
+    y_max: Rational,
+    tolerance: Rational,
+    limits: &AnalysisLimits,
+) -> Result<Option<Rational>, AnalysisError> {
+    assert!(tolerance.is_positive(), "tolerance must be positive");
+    assert!(y_max >= Rational::ONE, "y_max must be at least 1");
+    let meets = |y: Rational| -> Result<bool, AnalysisError> {
+        let factors = ScalingFactors::new(x, y).expect("validated by caller ranges");
+        let set = scaled_task_set(specs, factors).expect("specs validated by model crate");
+        is_hi_schedulable(&set, speed, limits)
+    };
+    if meets(Rational::ONE)? {
+        return Ok(Some(Rational::ONE));
+    }
+    if !meets(y_max)? {
+        return Ok(None);
+    }
+    let mut lo = Rational::ONE; // does not meet
+    let mut hi = y_max; // meets
+    while hi - lo > tolerance {
+        let mid = (hi + lo) / Rational::TWO;
+        if meets(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(hi))
+}
+
+/// The largest WCET-inflation factor `γ ∈ [1, gamma_max]` (within
+/// `tolerance`) that the platform speed `s` can absorb: HI tasks'
+/// pessimistic WCETs are set to `γ·C(LO)` (overriding the specs' own
+/// `C(HI)`), the set is scaled by `factors`, and the exact HI-mode
+/// decision test is applied.
+///
+/// Returns `None` when even `γ = 1` (no uncertainty) is not schedulable
+/// at `s`. This answers Fig. 5b's sizing question in reverse: not "how
+/// long to recover at this γ" but "how much γ can we certify at all".
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+///
+/// # Panics
+///
+/// Panics unless `tolerance > 0` and `gamma_max ≥ 1`.
+pub fn maximal_wcet_inflation(
+    specs: &[ImplicitTaskSpec],
+    factors: ScalingFactors,
+    speed: Rational,
+    gamma_max: Rational,
+    tolerance: Rational,
+    limits: &AnalysisLimits,
+) -> Result<Option<Rational>, AnalysisError> {
+    assert!(tolerance.is_positive(), "tolerance must be positive");
+    assert!(gamma_max >= Rational::ONE, "gamma_max must be at least 1");
+    let meets = |gamma: Rational| -> Result<bool, AnalysisError> {
+        let inflated: Vec<ImplicitTaskSpec> = specs
+            .iter()
+            .map(|s| match s.criticality() {
+                Criticality::Hi => ImplicitTaskSpec::hi(
+                    s.name(),
+                    s.period(),
+                    s.wcet_lo(),
+                    gamma * s.wcet_lo(),
+                ),
+                Criticality::Lo => s.clone(),
+            })
+            .collect();
+        let set = scaled_task_set(&inflated, factors).expect("specs stay valid under inflation");
+        is_hi_schedulable(&set, speed, limits)
+    };
+    if !meets(Rational::ONE)? {
+        return Ok(None);
+    }
+    if meets(gamma_max)? {
+        return Ok(Some(gamma_max));
+    }
+    let mut lo = Rational::ONE; // meets
+    let mut hi = gamma_max; // does not meet
+    while hi - lo > tolerance {
+        let mid = (hi + lo) / Rational::TWO;
+        if meets(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+/// Section IV's remark quantified: if two overrun bursts are separated by
+/// at least `t_o` and each HI-mode episode lasts at most `delta_r`, the
+/// long-run fraction of time spent overclocked is at most
+/// `Δ_R / T_O` (clamped to 1).
+///
+/// # Panics
+///
+/// Panics unless `t_o > 0` and `delta_r ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_core::tuning::overclock_duty_cycle;
+/// use rbs_timebase::Rational;
+///
+/// // Recover within 3 s, overruns at least 60 s apart: 5% duty cycle.
+/// let duty = overclock_duty_cycle(Rational::integer(3), Rational::integer(60));
+/// assert_eq!(duty, Rational::new(1, 20));
+/// ```
+#[must_use]
+pub fn overclock_duty_cycle(delta_r: Rational, t_o: Rational) -> Rational {
+    assert!(t_o.is_positive(), "burst separation must be positive");
+    assert!(!delta_r.is_negative(), "resetting time must be non-negative");
+    (delta_r / t_o).min(Rational::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resetting::resetting_time;
+    use crate::speedup::minimum_speedup;
+    use rbs_model::{Criticality, Task};
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn speed_sizing_meets_both_constraints() {
+        let limits = AnalysisLimits::default();
+        let set = table1();
+        let budget = int(4);
+        let s = minimal_speed_within_budget(&set, budget, int(8), rat(1, 128), &limits)
+            .expect("completes")
+            .expect("feasible");
+        // The found speed works...
+        assert!(is_hi_schedulable(&set, s, &limits).expect("ok"));
+        let dr = resetting_time(&set, s, &limits)
+            .expect("ok")
+            .bound()
+            .as_finite()
+            .expect("finite");
+        assert!(dr <= budget);
+        // ...and is within tolerance of the infimum: slightly below it,
+        // some constraint fails.
+        let below = s - rat(1, 32);
+        let ok_below = is_hi_schedulable(&set, below, &limits).expect("ok")
+            && matches!(
+                resetting_time(&set, below, &limits).expect("ok").bound(),
+                ResettingBound::Finite(d) if d <= budget
+            );
+        assert!(!ok_below, "minimum is not tight: {s}");
+        // It must be at least the schedulability floor s_min = 4/3.
+        assert!(s >= rat(4, 3));
+    }
+
+    #[test]
+    fn speed_sizing_detects_infeasible_budgets() {
+        let limits = AnalysisLimits::default();
+        // A sub-s_min max speed can never work.
+        let result = minimal_speed_within_budget(&table1(), int(4), int(1), rat(1, 64), &limits)
+            .expect("completes");
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn degradation_sizing_matches_example_1() {
+        // Table I as implicit specs: at x = 2/5 (D_LO = 2 on T = 5) and
+        // unit speed, some degradation is needed; y = 2 suffices
+        // (cf. Example 1's slowdown observation).
+        let specs = vec![
+            ImplicitTaskSpec::hi("tau1", int(5), int(1), int(2)),
+            ImplicitTaskSpec::lo("tau2", int(10), int(3)),
+        ];
+        let limits = AnalysisLimits::default();
+        let y = minimal_degradation_for_speed(
+            &specs,
+            rat(2, 5),
+            Rational::ONE,
+            int(4),
+            rat(1, 128),
+            &limits,
+        )
+        .expect("completes")
+        .expect("feasible");
+        assert!(y > Rational::ONE, "degradation needed, got y = {y}");
+        assert!(y <= int(2), "y = {y} should not exceed 2");
+        // Tightness: slightly less degradation fails.
+        let factors = ScalingFactors::new(rat(2, 5), y - rat(1, 32)).expect("valid");
+        let set = scaled_task_set(&specs, factors).expect("valid");
+        assert!(!is_hi_schedulable(&set, Rational::ONE, &limits).expect("ok"));
+    }
+
+    #[test]
+    fn degradation_sizing_short_circuits_when_unneeded() {
+        let specs = vec![ImplicitTaskSpec::hi("h", int(10), int(1), int(2))];
+        let limits = AnalysisLimits::default();
+        let y = minimal_degradation_for_speed(
+            &specs,
+            rat(1, 2),
+            int(2),
+            int(4),
+            rat(1, 64),
+            &limits,
+        )
+        .expect("completes")
+        .expect("feasible");
+        assert_eq!(y, Rational::ONE);
+    }
+
+    #[test]
+    fn degradation_sizing_reports_hopeless_cases() {
+        // x = 1 with WCET inflation: unbounded requirement at any y.
+        let specs = vec![
+            ImplicitTaskSpec::hi("h", int(10), int(2), int(4)),
+            ImplicitTaskSpec::lo("l", int(10), int(3)),
+        ];
+        let limits = AnalysisLimits::default();
+        let result = minimal_degradation_for_speed(
+            &specs,
+            Rational::ONE,
+            int(100),
+            int(8),
+            rat(1, 64),
+            &limits,
+        )
+        .expect("completes");
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn wcet_inflation_sizing_is_monotone_in_speed() {
+        use rbs_model::ImplicitTaskSpec;
+        let specs = vec![
+            ImplicitTaskSpec::hi("h", int(10), int(2), int(2)),
+            ImplicitTaskSpec::lo("l", int(8), int(2)),
+        ];
+        let factors = ScalingFactors::new(rat(2, 5), Rational::TWO).expect("valid");
+        let limits = AnalysisLimits::default();
+        let mut prev: Option<Rational> = None;
+        for s in [int(1), rat(3, 2), int(2), int(3)] {
+            let gamma = maximal_wcet_inflation(
+                &specs,
+                factors,
+                s,
+                int(20),
+                rat(1, 128),
+                &limits,
+            )
+            .expect("completes")
+            .expect("γ = 1 must be schedulable here");
+            if let Some(p) = prev {
+                assert!(gamma >= p, "absorbed γ shrank with more speed");
+            }
+            prev = Some(gamma);
+        }
+        // 2x absorbs strictly more uncertainty than 1x.
+        let at_1 = maximal_wcet_inflation(&specs, factors, int(1), int(20), rat(1, 128), &limits)
+            .expect("ok")
+            .expect("feasible");
+        let at_2 = maximal_wcet_inflation(&specs, factors, int(2), int(20), rat(1, 128), &limits)
+            .expect("ok")
+            .expect("feasible");
+        assert!(at_2 > at_1, "{at_2} !> {at_1}");
+    }
+
+    #[test]
+    fn wcet_inflation_result_is_actually_schedulable() {
+        use rbs_model::ImplicitTaskSpec;
+        let specs = vec![ImplicitTaskSpec::hi("h", int(10), int(2), int(2))];
+        let factors = ScalingFactors::new(rat(1, 2), Rational::ONE).expect("valid");
+        let limits = AnalysisLimits::default();
+        let speed = int(2);
+        let gamma = maximal_wcet_inflation(&specs, factors, speed, int(20), rat(1, 256), &limits)
+            .expect("ok")
+            .expect("feasible");
+        // Verify at the returned γ and refute slightly above it.
+        let build = |g: Rational| {
+            let inflated = vec![ImplicitTaskSpec::hi("h", int(10), int(2), g * int(2))];
+            scaled_task_set(&inflated, factors).expect("valid")
+        };
+        assert!(is_hi_schedulable(&build(gamma), speed, &limits).expect("ok"));
+        let above = gamma + rat(1, 64);
+        if above <= int(20) {
+            assert!(
+                !is_hi_schedulable(&build(above), speed, &limits).expect("ok"),
+                "bisection not tight at {gamma}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_inflation_reports_none() {
+        use rbs_model::ImplicitTaskSpec;
+        // Utilization 0.8 can never fit on a half-speed HI mode, even
+        // with zero WCET uncertainty.
+        let specs = vec![ImplicitTaskSpec::hi("h", int(10), int(8), int(8))];
+        let factors = ScalingFactors::new(rat(1, 2), Rational::ONE).expect("valid");
+        let result = maximal_wcet_inflation(
+            &specs,
+            factors,
+            rat(1, 2),
+            int(4),
+            rat(1, 64),
+            &AnalysisLimits::default(),
+        )
+        .expect("completes");
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn duty_cycle_bound() {
+        assert_eq!(overclock_duty_cycle(int(3), int(60)), rat(1, 20));
+        assert_eq!(overclock_duty_cycle(int(0), int(60)), Rational::ZERO);
+        // Longer recovery than separation clamps to always-on.
+        assert_eq!(overclock_duty_cycle(int(90), int(60)), Rational::ONE);
+    }
+
+    #[test]
+    fn sized_speed_is_consistent_with_s_min() {
+        // With an enormous budget the sizing converges to ~s_min.
+        let limits = AnalysisLimits::default();
+        let set = table1();
+        let s = minimal_speed_within_budget(&set, int(1_000_000), int(8), rat(1, 256), &limits)
+            .expect("completes")
+            .expect("feasible");
+        let s_min = minimum_speedup(&set, &limits)
+            .expect("completes")
+            .bound()
+            .as_finite()
+            .expect("finite");
+        assert!(s >= s_min);
+        assert!(s - s_min <= rat(1, 128), "sizing too loose: {s} vs {s_min}");
+    }
+}

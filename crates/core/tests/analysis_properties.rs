@@ -1,0 +1,280 @@
+//! Property-based tests tying the exact analyses to their definitions.
+
+use proptest::prelude::*;
+use rbs_core::adb::total_adb_hi;
+use rbs_core::closed_form;
+use rbs_core::dbf::{hi_profile, lo_profile, total_dbf_hi, total_dbf_lo};
+use rbs_core::lo_mode::{is_lo_schedulable, lo_speed_requirement};
+use rbs_core::qpa::is_lo_schedulable_qpa;
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_model::{
+    scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, Task, TaskSet,
+};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+/// A random well-formed dual-criticality task (integer parameters keep
+/// hyperperiods small enough for exhaustive cross-checks).
+fn arb_task(index: usize) -> impl Strategy<Value = Task> {
+    (2i128..=12, 1i128..=4, any::<bool>(), 1i128..=3, 0i128..=3).prop_map(
+        move |(period, wcet_seed, is_hi, dl_seed, gamma_seed)| {
+            let wcet_lo = wcet_seed.min(period - 1).max(1);
+            if is_hi {
+                // D(LO) in [C(LO), T), D(HI) = T, C(HI) in [C(LO), T].
+                let d_lo = (wcet_lo + dl_seed - 1).min(period - 1).max(1);
+                let wcet_hi = (wcet_lo + gamma_seed).min(period);
+                Task::builder(format!("hi{index}"), Criticality::Hi)
+                    .period(int(period))
+                    .deadline_lo(int(d_lo))
+                    .deadline_hi(int(period))
+                    .wcet_lo(int(wcet_lo))
+                    .wcet_hi(int(wcet_hi))
+                    .build()
+                    .expect("generated HI task is valid")
+            } else {
+                // Possibly degraded LO task.
+                let d_lo = (wcet_lo + dl_seed).min(period).max(1);
+                let degrade = gamma_seed + 1; // ≥ 1
+                Task::builder(format!("lo{index}"), Criticality::Lo)
+                    .period(int(period))
+                    .deadline_lo(int(d_lo))
+                    .period_hi(int(period * degrade))
+                    .deadline_hi(int((d_lo * degrade).min(period * degrade)))
+                    .wcet(int(wcet_lo))
+                    .build()
+                    .expect("generated LO task is valid")
+            }
+        },
+    )
+}
+
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(any::<u8>(), 1..=4).prop_flat_map(|seeds| {
+        let tasks: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_task(i))
+            .collect();
+        tasks.prop_map(TaskSet::new)
+    })
+}
+
+fn arb_specs() -> impl Strategy<Value = Vec<ImplicitTaskSpec>> {
+    prop::collection::vec(
+        (2i128..=12, 1i128..=3, 0i128..=3, any::<bool>()),
+        1..=4,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (period, c_lo, extra, is_hi))| {
+                let c_lo = c_lo.min(period);
+                if is_hi {
+                    ImplicitTaskSpec::hi(
+                        format!("h{i}"),
+                        int(period),
+                        int(c_lo),
+                        int((c_lo + extra).min(period)),
+                    )
+                } else {
+                    ImplicitTaskSpec::lo(format!("l{i}"), int(period), int(c_lo))
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profiles_agree_with_point_formulas(set in arb_task_set()) {
+        let lo = lo_profile(&set);
+        let hi = hi_profile(&set);
+        for i in 0..60 {
+            let delta = Rational::new(i, 2);
+            prop_assert_eq!(lo.eval(delta), total_dbf_lo(&set, delta));
+            prop_assert_eq!(hi.eval(delta), total_dbf_hi(&set, delta));
+        }
+    }
+
+    #[test]
+    fn s_min_dominates_every_sampled_ratio(set in arb_task_set()) {
+        let limits = AnalysisLimits::default();
+        let analysis = minimum_speedup(&set, &limits).expect("analysis completes");
+        if let SpeedupBound::Finite(s_min) = analysis.bound() {
+            for i in 1..200 {
+                let delta = Rational::new(i, 4);
+                prop_assert!(
+                    total_dbf_hi(&set, delta) <= s_min * delta,
+                    "demand beats s_min at Δ={delta}"
+                );
+            }
+            if let Some(witness) = analysis.witness() {
+                prop_assert_eq!(total_dbf_hi(&set, witness) / witness, s_min);
+            }
+        }
+    }
+
+    #[test]
+    fn s_min_is_tight(set in arb_task_set()) {
+        // Slightly below s_min the demand must exceed supply somewhere.
+        let limits = AnalysisLimits::default();
+        let analysis = minimum_speedup(&set, &limits).expect("analysis completes");
+        if let (SpeedupBound::Finite(s_min), Some(witness)) =
+            (analysis.bound(), analysis.witness())
+        {
+            if s_min.is_positive() {
+                let shade = s_min * Rational::new(4095, 4096);
+                prop_assert!(total_dbf_hi(&set, witness) > shade * witness);
+            }
+        }
+    }
+
+    #[test]
+    fn resetting_time_is_a_true_first_fit(set in arb_task_set()) {
+        let limits = AnalysisLimits::default();
+        for speed in [Rational::new(3, 2), int(2), int(3)] {
+            match resetting_time(&set, speed, &limits).expect("completes").bound() {
+                ResettingBound::Finite(dr) => {
+                    prop_assert!(total_adb_hi(&set, dr) <= speed * dr);
+                    // No earlier fit on a sample grid.
+                    for i in 0..64 {
+                        let delta = dr * Rational::new(i, 64);
+                        prop_assert!(
+                            total_adb_hi(&set, delta) > speed * delta,
+                            "earlier fit at {delta} < {dr}"
+                        );
+                    }
+                }
+                ResettingBound::Unbounded => {
+                    // Only possible when the speed does not exceed the
+                    // HI-mode utilization.
+                    prop_assert!(speed <= set.utilization(rbs_model::Mode::Hi));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resetting_time_is_monotone_in_speed(set in arb_task_set()) {
+        let limits = AnalysisLimits::default();
+        let mut prev: Option<Rational> = None;
+        for speed in [int(2), int(3), int(5), int(9)] {
+            if let ResettingBound::Finite(dr) =
+                resetting_time(&set, speed, &limits).expect("completes").bound()
+            {
+                if let Some(p) = prev {
+                    prop_assert!(dr <= p, "Δ_R grew with speed: {dr} > {p}");
+                }
+                prev = Some(dr);
+            }
+        }
+    }
+
+    #[test]
+    fn more_speed_never_hurts_schedulability(set in arb_task_set()) {
+        let limits = AnalysisLimits::default();
+        let analysis = minimum_speedup(&set, &limits).expect("completes");
+        if let SpeedupBound::Finite(s_min) = analysis.bound() {
+            prop_assert!(analysis.bound().is_met_by(s_min + Rational::ONE));
+            prop_assert!(analysis.bound().is_met_by(s_min));
+        }
+    }
+
+    #[test]
+    fn terminating_lo_tasks_never_raises_s_min(set in arb_task_set()) {
+        let limits = AnalysisLimits::default();
+        let full = minimum_speedup(&set, &limits).expect("completes").bound();
+        let term_set = set.with_lo_terminated().expect("valid");
+        let term = minimum_speedup(&term_set, &limits).expect("completes").bound();
+        match (full, term) {
+            (SpeedupBound::Finite(f), SpeedupBound::Finite(t)) => prop_assert!(t <= f),
+            (SpeedupBound::Unbounded, _) => {}
+            (SpeedupBound::Finite(_), SpeedupBound::Unbounded) => {
+                prop_assert!(false, "termination made the set unbounded");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_speedup_is_sound(
+        specs in arb_specs(),
+        x_num in 1i128..=9,
+        y in 1i128..=4,
+    ) {
+        let factors = ScalingFactors::new(Rational::new(x_num, 10), int(y))
+            .expect("valid factors");
+        let set = scaled_task_set(&specs, factors).expect("valid set");
+        let limits = AnalysisLimits::default();
+        let exact = minimum_speedup(&set, &limits).expect("completes").bound();
+        let cf = closed_form::speedup_bound(&specs, factors);
+        match (exact, cf) {
+            (SpeedupBound::Finite(e), SpeedupBound::Finite(c)) => {
+                prop_assert!(c >= e, "closed form {c} < exact {e}");
+            }
+            (SpeedupBound::Unbounded, SpeedupBound::Finite(c)) => {
+                prop_assert!(false, "exact unbounded but closed form {c}");
+            }
+            (_, SpeedupBound::Unbounded) => {}
+        }
+    }
+
+    #[test]
+    fn closed_form_resetting_is_sound(
+        specs in arb_specs(),
+        x_num in 1i128..=9,
+        y in 1i128..=4,
+        bump in 1i128..=3,
+    ) {
+        let factors = ScalingFactors::new(Rational::new(x_num, 10), int(y))
+            .expect("valid factors");
+        if let SpeedupBound::Finite(s_min_cf) = closed_form::speedup_bound(&specs, factors) {
+            let speed = s_min_cf + int(bump);
+            let set = scaled_task_set(&specs, factors).expect("valid set");
+            let exact = resetting_time(&set, speed, &AnalysisLimits::default())
+                .expect("completes")
+                .bound();
+            let cf = closed_form::resetting_bound(&specs, factors, speed);
+            match (exact, cf) {
+                (ResettingBound::Finite(e), ResettingBound::Finite(c)) => {
+                    prop_assert!(c >= e, "closed form {c} < exact {e}");
+                }
+                (ResettingBound::Unbounded, ResettingBound::Finite(c)) => {
+                    prop_assert!(false, "exact unbounded but closed form {c}");
+                }
+                (_, ResettingBound::Unbounded) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn qpa_agrees_with_the_curve_walk(set in arb_task_set(), num in 1i128..=32) {
+        let limits = AnalysisLimits::default();
+        let speed = Rational::new(num, 8);
+        let via_curve = rbs_core::dbf::lo_profile(&set)
+            .fits(speed, &limits)
+            .expect("completes");
+        let via_qpa = is_lo_schedulable_qpa(&set, speed, &limits).expect("completes");
+        prop_assert_eq!(via_curve, via_qpa, "verdicts diverged at speed {}", speed);
+    }
+
+    #[test]
+    fn lo_requirement_dominates_sampled_lo_demand(set in arb_task_set()) {
+        let limits = AnalysisLimits::default();
+        let req = lo_speed_requirement(&set, &limits).expect("completes");
+        for i in 1..120 {
+            let delta = Rational::new(i, 2);
+            prop_assert!(total_dbf_lo(&set, delta) <= req * delta);
+        }
+        prop_assert_eq!(
+            is_lo_schedulable(&set, &limits).expect("completes"),
+            req <= Rational::ONE
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Energy vs. service: the cost side of the paper's argument, measured.
+//!
+//! The paper motivates speedup as the alternative to degrading or
+//! terminating LO tasks — protecting *service* at the price of
+//! *energy* (Section I cites Intel turbo's power-limited 2× boost; the
+//! authors' companion paper \[11\] studies the energy side). This
+//! experiment runs the three mitigation strategies on the same workload
+//! under identical overrun patterns and reports what each one pays:
+//!
+//! * `speedup` — full LO service, processor overclocked to the set's
+//!   `s_min` during episodes;
+//! * `degrade` — LO service halved in HI mode (`y = 2`), no
+//!   overclocking (these sets can even slow down; we keep `s = 1`);
+//! * `terminate` — LO tasks dropped in HI mode, no overclocking.
+//!
+//! Metrics: deadline misses (must be 0 for all), completed LO jobs
+//! (service), dynamic energy under the cubic DVFS model, and the mean
+//! measured recovery.
+
+use std::fmt;
+
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_model::{Criticality, TaskSet};
+use rbs_sim::{ExecutionScenario, SimReport, Simulation, TraceEvent};
+use rbs_timebase::Rational;
+
+use crate::workloads::{table1, table1_degraded};
+
+/// One strategy's measured outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyRow {
+    /// Strategy label.
+    pub label: &'static str,
+    /// HI-mode speed used.
+    pub speed: Rational,
+    /// Deadline misses (must be zero).
+    pub misses: usize,
+    /// Completed jobs of LO-criticality tasks (the service metric).
+    pub lo_completions: u64,
+    /// Jobs dropped or suppressed by termination.
+    pub dropped: u64,
+    /// Dynamic energy (cubic model), normalized time units.
+    pub energy: Rational,
+    /// Mean measured recovery across completed episodes.
+    pub mean_recovery: Option<Rational>,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnergyTradeoffResults {
+    /// One row per strategy.
+    pub rows: Vec<StrategyRow>,
+}
+
+/// Snap a speed up to quarters (keeps simulated denominators small).
+fn snap_up(s: Rational) -> Rational {
+    let q = Rational::new(1, 4);
+    let steps = s / q;
+    if steps.is_integer() {
+        s
+    } else {
+        Rational::integer(steps.floor() + 1) * q
+    }
+}
+
+fn lo_completions(set: &TaskSet, report: &SimReport) -> u64 {
+    let lo_tasks: Vec<usize> = set
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.criticality() == Criticality::Lo)
+        .map(|(i, _)| i)
+        .collect();
+    // Count completions attributable to LO tasks via release events
+    // (completion events carry only the job id, so map ids to tasks).
+    let mut lo_jobs = std::collections::BTreeSet::new();
+    for event in report.trace() {
+        if let TraceEvent::Release { job, task, .. } = event {
+            if lo_tasks.contains(task) {
+                lo_jobs.insert(*job);
+            }
+        }
+    }
+    report
+        .trace()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Completion { job, .. } if lo_jobs.contains(job)))
+        .count() as u64
+}
+
+fn mean_recovery(report: &SimReport) -> Option<Rational> {
+    let recoveries: Vec<Rational> = report
+        .hi_episodes()
+        .iter()
+        .filter_map(rbs_sim::HiEpisode::recovery)
+        .collect();
+    if recoveries.is_empty() {
+        return None;
+    }
+    Some(recoveries.iter().copied().sum::<Rational>() / Rational::integer(recoveries.len() as i128))
+}
+
+fn strategy(
+    label: &'static str,
+    set: TaskSet,
+    speed: Rational,
+    horizon: Rational,
+    seed: u64,
+) -> StrategyRow {
+    let report = Simulation::new(set.clone())
+        .speedup(speed)
+        .horizon(horizon)
+        .execution(ExecutionScenario::RandomOverrun {
+            probability: 0.3,
+            seed,
+        })
+        .run()
+        .expect("simulation runs");
+    StrategyRow {
+        label,
+        speed,
+        misses: report.misses().len(),
+        lo_completions: lo_completions(&set, &report),
+        dropped: report.dropped(),
+        energy: report.energy(),
+        mean_recovery: mean_recovery(&report),
+    }
+}
+
+/// Runs the trade-off on the Table I workload.
+///
+/// # Panics
+///
+/// Panics if any strategy misses a deadline (all three are analytically
+/// safe by construction).
+#[must_use]
+pub fn run() -> EnergyTradeoffResults {
+    let limits = AnalysisLimits::default();
+    let horizon = Rational::integer(2_000);
+    let seed = 2015;
+
+    // Strategy 1: speedup with full service.
+    let full = table1();
+    let SpeedupBound::Finite(s_min) = minimum_speedup(&full, &limits)
+        .expect("completes")
+        .bound()
+    else {
+        unreachable!("Table I has a finite requirement")
+    };
+    let speedup_row = strategy("speedup", full, snap_up(s_min), horizon, seed);
+
+    // Strategy 2: degradation at nominal speed.
+    let degrade_row = strategy("degrade", table1_degraded(), Rational::ONE, horizon, seed);
+
+    // Strategy 3: termination at nominal speed.
+    let terminated = table1().with_lo_terminated().expect("valid");
+    let terminate_row = strategy("terminate", terminated, Rational::ONE, horizon, seed);
+
+    let rows = vec![speedup_row, degrade_row, terminate_row];
+    for row in &rows {
+        assert_eq!(row.misses, 0, "{} missed deadlines", row.label);
+    }
+    EnergyTradeoffResults { rows }
+}
+
+impl fmt::Display for EnergyTradeoffResults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== energy vs service: the cost of each mitigation (Table I, 2000 time units) =="
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>7} {:>7} {:>9} {:>8} {:>10} {:>14}",
+            "strategy", "speed", "misses", "LO compl", "dropped", "energy", "mean recovery"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>7} {:>7} {:>9} {:>8} {:>10.1} {:>14}",
+                row.label,
+                format!("{:.2}", row.speed.to_f64()),
+                row.misses,
+                row.lo_completions,
+                row.dropped,
+                row.energy.to_f64(),
+                row.mean_recovery
+                    .map_or_else(|| "-".to_owned(), |r| format!("{:.2}", r.to_f64())),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strategies_are_safe() {
+        let results = run();
+        assert_eq!(results.rows.len(), 3);
+        assert!(results.rows.iter().all(|r| r.misses == 0));
+    }
+
+    #[test]
+    fn speedup_preserves_the_most_service() {
+        let results = run();
+        let by_label = |l: &str| {
+            results
+                .rows
+                .iter()
+                .find(|r| r.label == l)
+                .expect("row present")
+        };
+        let speedup = by_label("speedup");
+        let degrade = by_label("degrade");
+        let terminate = by_label("terminate");
+        // Service ordering: full service ≥ degraded ≥ terminated.
+        assert!(speedup.lo_completions >= degrade.lo_completions);
+        assert!(degrade.lo_completions >= terminate.lo_completions);
+        // Termination visibly drops jobs; speedup drops none.
+        assert_eq!(speedup.dropped, 0);
+        assert!(terminate.dropped > 0);
+    }
+
+    #[test]
+    fn speedup_pays_in_energy() {
+        let results = run();
+        let speedup = results.rows.iter().find(|r| r.label == "speedup").expect("row");
+        let terminate = results
+            .rows
+            .iter()
+            .find(|r| r.label == "terminate")
+            .expect("row");
+        // Per completed job, the overclocked strategy burns more energy
+        // than the terminating one (which sheds work instead).
+        let speedup_per_job = speedup.energy / Rational::integer(speedup.lo_completions as i128);
+        let terminate_per_job =
+            terminate.energy / Rational::integer(terminate.lo_completions.max(1) as i128);
+        assert!(
+            speedup.energy > terminate.energy || speedup_per_job > terminate_per_job,
+            "speedup energy {} should exceed terminate {}",
+            speedup.energy,
+            terminate.energy
+        );
+    }
+
+    #[test]
+    fn display_renders_all_strategies() {
+        let text = run().to_string();
+        for label in ["speedup", "degrade", "terminate"] {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+}

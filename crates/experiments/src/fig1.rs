@@ -1,0 +1,129 @@
+//! Fig. 1: HI-mode demand bound functions vs the service supplied at the
+//! minimum speedup, for the Table I set with and without service
+//! degradation.
+
+use std::fmt;
+
+use rbs_core::dbf::total_dbf_hi;
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_model::TaskSet;
+use rbs_timebase::Rational;
+
+use crate::workloads::{table1, table1_degraded};
+
+/// One demand/supply curve pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemandSeries {
+    /// Which variant (for display).
+    pub label: &'static str,
+    /// The minimum speedup whose supply line is plotted.
+    pub s_min: SpeedupBound,
+    /// `(Δ, Σ DBF_HI(Δ), s_min·Δ)` samples.
+    pub points: Vec<(Rational, Rational, Rational)>,
+}
+
+/// The two panels of Fig. 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig1Results {
+    /// Panel (a): no service degradation.
+    pub plain: DemandSeries,
+    /// Panel (b): degraded τ2 service.
+    pub degraded: DemandSeries,
+}
+
+fn series(label: &'static str, set: &TaskSet, horizon: i128, step_den: i128) -> DemandSeries {
+    let limits = AnalysisLimits::default();
+    let s_min = minimum_speedup(set, &limits)
+        .expect("analysis completes")
+        .bound();
+    let supply_rate = s_min.as_finite().unwrap_or(Rational::ZERO);
+    let points = (0..=horizon * step_den)
+        .map(|i| {
+            let delta = Rational::new(i, step_den);
+            (delta, total_dbf_hi(set, delta), supply_rate * delta)
+        })
+        .collect();
+    DemandSeries {
+        label,
+        s_min,
+        points,
+    }
+}
+
+/// Runs the Fig. 1 experiment (`Δ ∈ [0, 20]`, quarter-unit sampling).
+#[must_use]
+pub fn run() -> Fig1Results {
+    Fig1Results {
+        plain: series("no degradation", &table1(), 20, 4),
+        degraded: series("with degradation", &table1_degraded(), 20, 4),
+    }
+}
+
+impl fmt::Display for Fig1Results {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Fig. 1: minimum speedup and demand bound functions ==")?;
+        for panel in [&self.plain, &self.degraded] {
+            writeln!(f, "-- {} (s_min = {}) --", panel.label, panel.s_min)?;
+            writeln!(f, "{:>8} {:>12} {:>12}", "Delta", "DBF_HI", "s_min*Delta")?;
+            for (delta, demand, supply) in &panel.points {
+                if delta.is_integer() {
+                    writeln!(
+                        f,
+                        "{:>8} {:>12} {:>12}",
+                        delta.to_string(),
+                        demand.to_string(),
+                        supply.to_string()
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supply_dominates_demand_everywhere() {
+        // Fig. 1's visual claim: "the computed minimum speedup factors do
+        // guarantee HI mode schedulability" — the supply line never dips
+        // below the demand curve.
+        let results = run();
+        for panel in [&results.plain, &results.degraded] {
+            for (delta, demand, supply) in &panel.points {
+                assert!(supply >= demand, "{}: demand beats supply at {delta}", panel.label);
+            }
+        }
+    }
+
+    #[test]
+    fn supply_touches_demand_at_the_witness() {
+        // The bound is tight: equality holds somewhere.
+        let results = run();
+        assert!(results
+            .plain
+            .points
+            .iter()
+            .any(|(d, demand, supply)| d.is_positive() && demand == supply));
+    }
+
+    #[test]
+    fn degraded_panel_has_lower_supply_rate() {
+        let results = run();
+        assert!(
+            results.degraded.s_min.as_finite().expect("finite")
+                < results.plain.s_min.as_finite().expect("finite")
+        );
+    }
+
+    #[test]
+    fn display_renders_both_panels() {
+        let text = run().to_string();
+        assert!(text.contains("no degradation"));
+        assert!(text.contains("with degradation"));
+        assert!(text.contains("DBF_HI"));
+    }
+}

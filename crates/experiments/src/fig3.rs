@@ -1,0 +1,173 @@
+//! Fig. 3: service resetting time under dynamic processor speedup.
+//!
+//! Panel (a) demonstrates the resetting instant for two concrete speeds;
+//! panel (b) sweeps `s` and plots the parametric trend of `Δ_R` — the
+//! clear gain from speeding up more.
+
+use std::fmt;
+
+use rbs_core::adb::total_adb_hi;
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::AnalysisLimits;
+use rbs_timebase::Rational;
+
+use crate::workloads::{table1, table1_degraded};
+
+/// The Fig. 3 data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig3Results {
+    /// Panel (a): `(Δ, ADB(Δ), s_a·Δ, s_b·Δ)` with `s_a = 4/3`,
+    /// `s_b = 2` for the undegraded set.
+    pub arrived_demand: Vec<(Rational, Rational, Rational, Rational)>,
+    /// Resetting instants for the two panel-(a) speeds.
+    pub anchors: [(Rational, ResettingBound); 2],
+    /// Panel (b): `(s, Δ_R plain, Δ_R degraded)` sweep.
+    pub trend: Vec<(Rational, ResettingBound, ResettingBound)>,
+}
+
+/// Runs the Fig. 3 experiment.
+#[must_use]
+pub fn run() -> Fig3Results {
+    let limits = AnalysisLimits::default();
+    let plain = table1();
+    let degraded = table1_degraded();
+    let s_a = Rational::new(4, 3);
+    let s_b = Rational::TWO;
+
+    let arrived_demand = (0..=15 * 4)
+        .map(|i| {
+            let delta = Rational::new(i, 4);
+            (
+                delta,
+                total_adb_hi(&plain, delta),
+                s_a * delta,
+                s_b * delta,
+            )
+        })
+        .collect();
+    let anchors = [
+        (
+            s_a,
+            resetting_time(&plain, s_a, &limits)
+                .expect("analysis completes")
+                .bound(),
+        ),
+        (
+            s_b,
+            resetting_time(&plain, s_b, &limits)
+                .expect("analysis completes")
+                .bound(),
+        ),
+    ];
+    // Sweep s from 0.8 to 4.0 in steps of 1/10.
+    let trend = (8..=40)
+        .map(|i| {
+            let s = Rational::new(i, 10);
+            let plain_dr = resetting_time(&plain, s, &limits)
+                .expect("analysis completes")
+                .bound();
+            let degraded_dr = resetting_time(&degraded, s, &limits)
+                .expect("analysis completes")
+                .bound();
+            (s, plain_dr, degraded_dr)
+        })
+        .collect();
+    Fig3Results {
+        arrived_demand,
+        anchors,
+        trend,
+    }
+}
+
+impl fmt::Display for Fig3Results {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Fig. 3: service resetting time under speedup ==")?;
+        writeln!(f, "-- (a) arrived demand vs supply (no degradation) --")?;
+        writeln!(
+            f,
+            "{:>8} {:>10} {:>12} {:>10}",
+            "Delta", "ADB", "(4/3)*Delta", "2*Delta"
+        )?;
+        for (delta, adb, supply_a, supply_b) in &self.arrived_demand {
+            if delta.is_integer() {
+                writeln!(
+                    f,
+                    "{:>8} {:>10} {:>12} {:>10}",
+                    delta.to_string(),
+                    adb.to_string(),
+                    supply_a.to_string(),
+                    supply_b.to_string()
+                )?;
+            }
+        }
+        for (s, bound) in &self.anchors {
+            writeln!(f, "reset at s={s}: Delta_R = {bound}")?;
+        }
+        writeln!(f, "-- (b) parametric trend --")?;
+        writeln!(f, "{:>8} {:>16} {:>16}", "s", "plain", "degraded")?;
+        for (s, plain, degraded) in &self.trend {
+            writeln!(
+                f,
+                "{:>8} {:>16} {:>16}",
+                s.to_string(),
+                plain.to_string(),
+                degraded.to_string()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_is_never_slower() {
+        let results = run();
+        let mut last_plain: Option<Rational> = None;
+        for (_, plain, _) in &results.trend {
+            if let ResettingBound::Finite(v) = plain {
+                if let Some(prev) = last_plain {
+                    assert!(*v <= prev);
+                }
+                last_plain = Some(*v);
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_at_two_matches_corollary_5() {
+        let results = run();
+        let (s, bound) = results.anchors[1];
+        assert_eq!(s, Rational::TWO);
+        assert_eq!(bound, ResettingBound::Finite(Rational::integer(5)));
+    }
+
+    #[test]
+    fn degradation_shrinks_resetting_time() {
+        // "if service degradation is enabled in parallel to processor
+        // speedup, the service resetting time can be further reduced".
+        let results = run();
+        for (_, plain, degraded) in &results.trend {
+            if let (ResettingBound::Finite(p), ResettingBound::Finite(d)) = (plain, degraded) {
+                assert!(d <= p, "degraded {d} > plain {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn slow_speeds_never_reset() {
+        // Below the HI-mode utilization (7/10) the bound is unbounded.
+        let results = run();
+        let (_, plain, _) = results.trend[0]; // s = 0.8 > 0.7: finite
+        assert!(matches!(plain, ResettingBound::Finite(_)));
+    }
+
+    #[test]
+    fn display_contains_both_panels() {
+        let text = run().to_string();
+        assert!(text.contains("(a) arrived demand"));
+        assert!(text.contains("(b) parametric trend"));
+    }
+}

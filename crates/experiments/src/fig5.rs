@@ -1,0 +1,189 @@
+//! Fig. 5: the flight-management-system case study — contour data for
+//! the required speedup over `(x, y)` and for the resetting time over
+//! `(s, γ)`.
+
+use std::fmt;
+
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_gen::fms;
+use rbs_model::{scaled_task_set, ScalingFactors};
+use rbs_timebase::Rational;
+
+/// The Fig. 5 data (times in milliseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig5Results {
+    /// Panel (a): `(x, y, exact s_min)` over a grid, at `γ = 2`.
+    pub speedup_contour: Vec<(Rational, Rational, SpeedupBound)>,
+    /// Panel (b): `(s, γ, Δ_R in ms)` over a grid, at `x` minimal and
+    /// `y = 2`.
+    pub resetting_contour: Vec<(Rational, Rational, ResettingBound)>,
+    /// The paper's headline: worst-case recovery at `s = 2` across the
+    /// γ grid (paper: < 3 s).
+    pub max_recovery_at_2x: Option<Rational>,
+}
+
+/// Runs the Fig. 5 experiment.
+#[must_use]
+pub fn run() -> Fig5Results {
+    let limits = AnalysisLimits::default();
+
+    // Panel (a): sweep x and y at γ = 2.
+    let specs = fms::specs(Rational::TWO);
+    let mut speedup_contour = Vec::new();
+    for xi in 1..=10 {
+        let x = Rational::new(xi, 10);
+        for yi in [1, 2, 3] {
+            let y = Rational::integer(yi);
+            let factors = ScalingFactors::new(x, y).expect("validated");
+            let set = scaled_task_set(&specs, factors).expect("valid FMS set");
+            let bound = minimum_speedup(&set, &limits)
+                .expect("analysis completes")
+                .bound();
+            speedup_contour.push((x, y, bound));
+        }
+    }
+
+    // Panel (b): sweep s and γ with the experiment campaign's defaults
+    // (x minimal for LO-schedulability, y = 2).
+    let mut resetting_contour = Vec::new();
+    let mut max_recovery_at_2x: Option<Rational> = None;
+    for gi in [10, 15, 20, 25, 30] {
+        let gamma = Rational::new(gi, 10);
+        let specs = fms::specs(gamma);
+        let Some(set) = crate::workloads::prepare(&specs, Rational::TWO) else {
+            continue;
+        };
+        for si in [12, 15, 20, 25, 30] {
+            let s = Rational::new(si, 10);
+            let bound = resetting_time(&set, s, &limits)
+                .expect("analysis completes")
+                .bound();
+            if s == Rational::TWO {
+                if let ResettingBound::Finite(v) = bound {
+                    max_recovery_at_2x =
+                        Some(max_recovery_at_2x.map_or(v, |m: Rational| m.max(v)));
+                }
+            }
+            resetting_contour.push((s, gamma, bound));
+        }
+    }
+
+    Fig5Results {
+        speedup_contour,
+        resetting_contour,
+        max_recovery_at_2x,
+    }
+}
+
+impl fmt::Display for Fig5Results {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Fig. 5: flight management system (times in ms) ==")?;
+        writeln!(f, "-- (a) exact s_min over (x, y), gamma = 2 --")?;
+        writeln!(f, "{:>6} {:>4} {:>12}", "x", "y", "s_min")?;
+        for (x, y, bound) in &self.speedup_contour {
+            let shown = bound
+                .as_finite()
+                .map_or_else(|| "+inf".to_owned(), |v| format!("{:.3}", v.to_f64()));
+            writeln!(f, "{:>6} {:>4} {:>12}", x.to_string(), y.to_string(), shown)?;
+        }
+        writeln!(f, "-- (b) Delta_R [ms] over (s, gamma), y = 2 --")?;
+        writeln!(f, "{:>6} {:>6} {:>12}", "s", "gamma", "Delta_R")?;
+        for (s, gamma, bound) in &self.resetting_contour {
+            let shown = bound
+                .as_finite()
+                .map_or_else(|| "+inf".to_owned(), |v| format!("{:.1}", v.to_f64()));
+            writeln!(
+                f,
+                "{:>6} {:>6} {:>12}",
+                s.to_string(),
+                gamma.to_string(),
+                shown
+            )?;
+        }
+        if let Some(max) = self.max_recovery_at_2x {
+            writeln!(
+                f,
+                "worst-case recovery at s = 2: {:.1} ms  [paper: < 3000 ms]",
+                max.to_f64()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preparation_and_degradation_reduce_the_requirement() {
+        let results = run();
+        // For fixed y, s_min grows with x.
+        for yi in [1i128, 2, 3] {
+            let y = Rational::integer(yi);
+            let values: Vec<Rational> = results
+                .speedup_contour
+                .iter()
+                .filter(|(_, yy, _)| *yy == y)
+                .filter_map(|(_, _, b)| b.as_finite())
+                .collect();
+            assert!(values.windows(2).all(|w| w[0] <= w[1]), "y = {y}");
+        }
+        // For fixed x, s_min shrinks with y.
+        for xi in 1..=9 {
+            let x = Rational::new(xi, 10);
+            let values: Vec<Rational> = results
+                .speedup_contour
+                .iter()
+                .filter(|(xx, _, _)| *xx == x)
+                .filter_map(|(_, _, b)| b.as_finite())
+                .collect();
+            assert!(values.windows(2).all(|w| w[0] >= w[1]), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn recovery_headline_holds() {
+        // Section VI-A: "FMS takes in the worst-case less than 3s to
+        // recover with a speedup of 2".
+        let results = run();
+        let max = results.max_recovery_at_2x.expect("finite recoveries");
+        assert!(
+            max < Rational::integer(3000),
+            "recovery {max} ms >= 3 s"
+        );
+    }
+
+    #[test]
+    fn resetting_grows_with_gamma_and_shrinks_with_speed() {
+        let results = run();
+        // Fixed gamma: decreasing in s.
+        for gi in [10i128, 20, 30] {
+            let gamma = Rational::new(gi, 10);
+            let values: Vec<Rational> = results
+                .resetting_contour
+                .iter()
+                .filter(|(_, gg, _)| *gg == gamma)
+                .filter_map(|(_, _, b)| b.as_finite())
+                .collect();
+            assert!(values.windows(2).all(|w| w[0] >= w[1]), "gamma = {gamma}");
+        }
+        // Fixed s = 2: increasing in gamma.
+        let values: Vec<Rational> = results
+            .resetting_contour
+            .iter()
+            .filter(|(s, _, _)| *s == Rational::TWO)
+            .filter_map(|(_, _, b)| b.as_finite())
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "{values:?}");
+    }
+
+    #[test]
+    fn display_renders_contours() {
+        let text = run().to_string();
+        assert!(text.contains("(a) exact s_min"));
+        assert!(text.contains("(b) Delta_R"));
+    }
+}

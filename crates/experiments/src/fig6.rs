@@ -1,0 +1,348 @@
+//! Fig. 6: the synthetic campaign — distributions of the minimum
+//! required speedup and of the service resetting time across system
+//! utilizations, and the impact of degradation (`y`) and speedup (`s`).
+//!
+//! The paper draws 500 task sets per utilization point with the caption
+//! distributions, sets `x` to the minimum guaranteeing LO-mode
+//! schedulability, and reports box-whisker statistics. Times are in
+//! milliseconds.
+
+use std::fmt;
+
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_gen::synth::SynthConfig;
+use rbs_timebase::Rational;
+
+use crate::stats::{five_number, median, FiveNumber};
+use crate::workloads::prepare;
+
+/// Campaign scale knobs (the paper uses 500 sets per point; tests and
+/// benches use fewer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig6Config {
+    /// Task sets per utilization point.
+    pub sets_per_point: usize,
+    /// RNG master seed.
+    pub seed: u64,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Fig6Config {
+        Fig6Config {
+            sets_per_point: 500,
+            seed: 2015,
+        }
+    }
+}
+
+/// Results for one utilization point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationPoint {
+    /// The generator's `U_bound`.
+    pub u_bound: Rational,
+    /// Box-whisker summary of `s_min` at `y = 2` (panel a).
+    pub s_min_summary: Option<FiveNumber>,
+    /// Fraction of sets schedulable without speedup (`s_min ≤ 1`) and
+    /// with `s_min ≤ 1.9` at `y = 2` (the text's 25%/75% comparison).
+    pub schedulable_at: Vec<(Rational, f64)>,
+    /// Median `s_min` per degradation factor `y` (panel b).
+    pub median_s_min_by_y: Vec<(Rational, Option<Rational>)>,
+    /// Box-whisker summary of `Δ_R` (ms) at `y = 2, s = 3` (panel c).
+    pub resetting_summary: Option<FiveNumber>,
+    /// Median `Δ_R` (ms) per `(s, y)` combination (panel d).
+    pub median_resetting_by_sy: Vec<(Rational, Rational, Option<Rational>)>,
+    /// Sets skipped because no feasible `x` exists.
+    pub infeasible: usize,
+}
+
+/// The whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Results {
+    /// One entry per `U_bound ∈ {0.5, 0.6, 0.7, 0.8, 0.9}`.
+    pub points: Vec<UtilizationPoint>,
+}
+
+/// Runs the Fig. 6 campaign.
+#[must_use]
+pub fn run(config: &Fig6Config) -> Fig6Results {
+    let limits = AnalysisLimits::default();
+    let ys = [Rational::ONE, Rational::TWO, Rational::integer(3)];
+    let speeds = [Rational::TWO, Rational::integer(3)];
+    let points = (5..=9)
+        .map(|ub| {
+            let u_bound = Rational::new(ub, 10);
+            campaign_point(u_bound, config, &limits, &ys, &speeds)
+        })
+        .collect();
+    Fig6Results { points }
+}
+
+fn campaign_point(
+    u_bound: Rational,
+    config: &Fig6Config,
+    limits: &AnalysisLimits,
+    ys: &[Rational],
+    speeds: &[Rational],
+) -> UtilizationPoint {
+    let generator = SynthConfig::new(u_bound);
+    let seed = config.seed ^ (u_bound.numer() as u64);
+    let sets = generator.generate_many(config.sets_per_point, seed);
+
+    let mut infeasible = 0usize;
+    let mut s_min_at_y: Vec<Vec<Rational>> = vec![Vec::new(); ys.len()];
+    let mut resetting_at_sy: Vec<Vec<Rational>> = vec![Vec::new(); ys.len() * speeds.len()];
+
+    for specs in &sets {
+        for (yi, &y) in ys.iter().enumerate() {
+            let Some(set) = prepare(specs, y) else {
+                if yi == 0 {
+                    infeasible += 1;
+                }
+                continue;
+            };
+            if let Ok(analysis) = minimum_speedup(&set, limits) {
+                if let SpeedupBound::Finite(s_min) = analysis.bound() {
+                    s_min_at_y[yi].push(s_min);
+                }
+            }
+            for (si, &s) in speeds.iter().enumerate() {
+                if let Ok(analysis) = resetting_time(&set, s, limits) {
+                    if let ResettingBound::Finite(dr) = analysis.bound() {
+                        resetting_at_sy[yi * speeds.len() + si].push(dr);
+                    }
+                }
+            }
+        }
+    }
+
+    // y = 2 is the paper's default for panels (a) and (c).
+    let y2 = 1usize;
+    let s3 = 1usize; // speeds[1] = 3
+    let s_min_summary = five_number(&s_min_at_y[y2]);
+    let total = s_min_at_y[y2].len().max(1) as f64;
+    let schedulable_at = [Rational::ONE, Rational::new(19, 10)]
+        .iter()
+        .map(|&threshold| {
+            let count = s_min_at_y[y2].iter().filter(|&&v| v <= threshold).count();
+            (threshold, count as f64 / total)
+        })
+        .collect();
+    let median_s_min_by_y = ys
+        .iter()
+        .enumerate()
+        .map(|(yi, &y)| (y, median(&s_min_at_y[yi])))
+        .collect();
+    let resetting_summary = five_number(&resetting_at_sy[y2 * speeds.len() + s3]);
+    let median_resetting_by_sy = ys
+        .iter()
+        .enumerate()
+        .flat_map(|(yi, &y)| {
+            speeds.iter().enumerate().map(move |(si, &s)| (yi, y, si, s))
+        })
+        .map(|(yi, y, si, s)| {
+            (
+                s,
+                y,
+                median(&resetting_at_sy[yi * speeds.len() + si]),
+            )
+        })
+        .collect();
+    UtilizationPoint {
+        u_bound,
+        s_min_summary,
+        schedulable_at,
+        median_s_min_by_y,
+        resetting_summary,
+        median_resetting_by_sy,
+        infeasible,
+    }
+}
+
+fn fmt_opt(v: Option<Rational>) -> String {
+    v.map_or_else(|| "-".to_owned(), |r| format!("{:.3}", r.to_f64()))
+}
+
+impl fmt::Display for Fig6Results {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Fig. 6: synthetic campaign (times in ms) ==")?;
+        writeln!(f, "-- (a) s_min distribution (y = 2) --")?;
+        writeln!(
+            f,
+            "{:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "U_bound", "min", "q1", "median", "q3", "max", "mean"
+        )?;
+        for p in &self.points {
+            if let Some(s) = p.s_min_summary {
+                writeln!(
+                    f,
+                    "{:>7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                    p.u_bound.to_string(),
+                    s.min.to_f64(),
+                    s.q1.to_f64(),
+                    s.median.to_f64(),
+                    s.q3.to_f64(),
+                    s.max.to_f64(),
+                    s.mean.to_f64()
+                )?;
+            }
+        }
+        writeln!(f, "-- schedulable fraction (y = 2) --")?;
+        for p in &self.points {
+            for (threshold, fraction) in &p.schedulable_at {
+                writeln!(
+                    f,
+                    "U_bound {}: s_min <= {} for {:.1}% of sets",
+                    p.u_bound,
+                    threshold,
+                    fraction * 100.0
+                )?;
+            }
+        }
+        writeln!(f, "-- (b) median s_min by degradation y --")?;
+        writeln!(f, "{:>7} {:>6} {:>10}", "U_bound", "y", "median")?;
+        for p in &self.points {
+            for (y, m) in &p.median_s_min_by_y {
+                writeln!(
+                    f,
+                    "{:>7} {:>6} {:>10}",
+                    p.u_bound.to_string(),
+                    y.to_string(),
+                    fmt_opt(*m)
+                )?;
+            }
+        }
+        writeln!(f, "-- (c) Delta_R distribution (y = 2, s = 3) [ms] --")?;
+        writeln!(
+            f,
+            "{:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "U_bound", "min", "q1", "median", "q3", "max"
+        )?;
+        for p in &self.points {
+            if let Some(s) = p.resetting_summary {
+                writeln!(
+                    f,
+                    "{:>7} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                    p.u_bound.to_string(),
+                    s.min.to_f64(),
+                    s.q1.to_f64(),
+                    s.median.to_f64(),
+                    s.q3.to_f64(),
+                    s.max.to_f64()
+                )?;
+            }
+        }
+        writeln!(f, "-- (d) median Delta_R by (s, y) [ms] --")?;
+        writeln!(f, "{:>7} {:>6} {:>6} {:>10}", "U_bound", "s", "y", "median")?;
+        for p in &self.points {
+            for (s, y, m) in &p.median_resetting_by_sy {
+                writeln!(
+                    f,
+                    "{:>7} {:>6} {:>6} {:>10}",
+                    p.u_bound.to_string(),
+                    s.to_string(),
+                    y.to_string(),
+                    fmt_opt(*m)
+                )?;
+            }
+        }
+        for p in &self.points {
+            if p.infeasible > 0 {
+                writeln!(
+                    f,
+                    "note: U_bound {}: {} sets had no LO-feasible x and were skipped",
+                    p.u_bound, p.infeasible
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Fig6Results {
+        run(&Fig6Config {
+            sets_per_point: 16,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn campaign_produces_all_points() {
+        let results = quick();
+        assert_eq!(results.points.len(), 5);
+        for p in &results.points {
+            assert!(p.s_min_summary.is_some(), "U = {}", p.u_bound);
+            assert!(p.resetting_summary.is_some());
+        }
+    }
+
+    #[test]
+    fn median_s_min_grows_with_utilization() {
+        let results = quick();
+        let medians: Vec<Rational> = results
+            .points
+            .iter()
+            .filter_map(|p| p.s_min_summary.map(|s| s.median))
+            .collect();
+        assert!(
+            medians.first() < medians.last(),
+            "median s_min did not grow: {medians:?}"
+        );
+    }
+
+    #[test]
+    fn degradation_reduces_median_s_min() {
+        // Panel (b)'s claim: larger y → smaller required speedup.
+        let results = quick();
+        for p in &results.points {
+            let by_y: Vec<Rational> = p
+                .median_s_min_by_y
+                .iter()
+                .filter_map(|(_, m)| *m)
+                .collect();
+            assert!(
+                by_y.windows(2).all(|w| w[1] <= w[0]),
+                "U {}: {:?}",
+                p.u_bound,
+                by_y
+            );
+        }
+    }
+
+    #[test]
+    fn more_speed_reduces_median_resetting() {
+        // Panel (d)'s claim: larger s → smaller Δ_R at fixed y.
+        let results = quick();
+        for p in &results.points {
+            for (yi, y) in [Rational::ONE, Rational::TWO, Rational::integer(3)]
+                .iter()
+                .enumerate()
+            {
+                let at_y: Vec<Rational> = p
+                    .median_resetting_by_sy
+                    .iter()
+                    .filter(|(_, yy, _)| yy == y)
+                    .filter_map(|(_, _, m)| *m)
+                    .collect();
+                assert!(
+                    at_y.windows(2).all(|w| w[1] <= w[0]),
+                    "U {} yi {yi}: {at_y:?}",
+                    p.u_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_all_panels() {
+        let text = quick().to_string();
+        for marker in ["(a) s_min", "(b) median s_min", "(c) Delta_R", "(d) median Delta_R"] {
+            assert!(text.contains(marker), "missing {marker}");
+        }
+    }
+}

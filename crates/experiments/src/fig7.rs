@@ -1,0 +1,265 @@
+//! Fig. 7: schedulability regions under temporary processor speedup —
+//! `s = 2`, resetting time required to stay within 5 s, LO tasks
+//! terminated at the switch.
+//!
+//! For every `(U_HI, U_LO)` grid point a batch of task sets is generated
+//! in its neighborhood; the reported value is the fraction accepted by
+//! each policy:
+//!
+//! * `speedup` — the paper's scheme: LO-schedulable, HI-schedulable at
+//!   `s = 2`, and `Δ_R ≤ 5000 ms`;
+//! * `no_speedup` — the same protocol at `s = 1` (the "compared to no
+//!   processor speedup" baseline);
+//! * `edf_vd` — the classic EDF-VD utilization test;
+//! * `reservation` — worst-case reservation EDF.
+
+use std::fmt;
+
+use rbs_baselines::{edf_vd, reservation};
+use rbs_core::lo_mode::is_lo_schedulable;
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::is_hi_schedulable;
+use rbs_core::AnalysisLimits;
+use rbs_gen::grid::GridConfig;
+use rbs_timebase::Rational;
+
+use crate::workloads::prepare;
+
+/// Campaign scale knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig7Config {
+    /// Task sets per grid point.
+    pub sets_per_point: usize,
+    /// Grid step numerator over 20 (e.g. 2 → 0.1 steps; the paper uses
+    /// 0.05 steps with thousands of sets).
+    pub grid_step_twentieths: i128,
+    /// RNG master seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Fig7Config {
+        Fig7Config {
+            sets_per_point: 100,
+            grid_step_twentieths: 1,
+            seed: 77,
+        }
+    }
+}
+
+/// Acceptance fractions at one grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionPoint {
+    /// HI-task HI-mode utilization target.
+    pub u_hi: Rational,
+    /// LO-task utilization target.
+    pub u_lo: Rational,
+    /// Sets evaluated.
+    pub evaluated: usize,
+    /// Fraction accepted with 2× speedup and the 5 s reset budget.
+    pub speedup: f64,
+    /// Fraction accepted without speedup.
+    pub no_speedup: f64,
+    /// Fraction accepted by the classic EDF-VD test.
+    pub edf_vd: f64,
+    /// Fraction accepted by worst-case reservations.
+    pub reservation: f64,
+}
+
+/// The schedulability-region data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Results {
+    /// One entry per `(U_HI, U_LO)` grid point.
+    pub points: Vec<RegionPoint>,
+}
+
+/// Runs the Fig. 7 campaign.
+#[must_use]
+pub fn run(config: &Fig7Config) -> Fig7Results {
+    let limits = AnalysisLimits::default();
+    let speed = Rational::TWO;
+    let reset_budget = Rational::integer(5000); // 5 s in ms
+    let step = config.grid_step_twentieths;
+    let mut points = Vec::new();
+    let mut i = step;
+    while i <= 20 {
+        let mut j = step;
+        while j <= 20 {
+            let u_hi = Rational::new(i, 20);
+            let u_lo = Rational::new(j, 20);
+            points.push(region_point(
+                u_hi,
+                u_lo,
+                config,
+                &limits,
+                speed,
+                reset_budget,
+            ));
+            j += step;
+        }
+        i += step;
+    }
+    Fig7Results { points }
+}
+
+fn region_point(
+    u_hi: Rational,
+    u_lo: Rational,
+    config: &Fig7Config,
+    limits: &AnalysisLimits,
+    speed: Rational,
+    reset_budget: Rational,
+) -> RegionPoint {
+    let generator = GridConfig::new(u_hi, u_lo).with_gamma(Rational::integer(10));
+    let mut evaluated = 0usize;
+    let mut accept_speedup = 0usize;
+    let mut accept_no_speedup = 0usize;
+    let mut accept_edf_vd = 0usize;
+    let mut accept_reservation = 0usize;
+    for k in 0..config.sets_per_point {
+        let seed = config
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add((u_hi.numer() as u64) << 32)
+            .wrapping_add((u_lo.numer() as u64) << 16)
+            .wrapping_add(k as u64);
+        let Some(specs) = generator.generate(seed) else {
+            continue;
+        };
+        evaluated += 1;
+        if reservation::is_schedulable(&specs) {
+            accept_reservation += 1;
+        }
+        if edf_vd::is_schedulable(&specs) {
+            accept_edf_vd += 1;
+        }
+        // The paper's scheme: x minimal, LO tasks terminated in HI mode.
+        let Some(set) = prepare(&specs, Rational::ONE) else {
+            continue;
+        };
+        let set = set.with_lo_terminated().expect("LO tasks terminate");
+        let Ok(lo_ok) = is_lo_schedulable(&set, limits) else {
+            continue;
+        };
+        if !lo_ok {
+            continue;
+        }
+        if is_hi_schedulable(&set, Rational::ONE, limits).unwrap_or(false) {
+            accept_no_speedup += 1;
+        }
+        if is_hi_schedulable(&set, speed, limits).unwrap_or(false) {
+            let Ok(reset) = resetting_time(&set, speed, limits) else {
+                continue;
+            };
+            if let ResettingBound::Finite(dr) = reset.bound() {
+                if dr <= reset_budget {
+                    accept_speedup += 1;
+                }
+            }
+        }
+    }
+    let denom = evaluated.max(1) as f64;
+    RegionPoint {
+        u_hi,
+        u_lo,
+        evaluated,
+        speedup: accept_speedup as f64 / denom,
+        no_speedup: accept_no_speedup as f64 / denom,
+        edf_vd: accept_edf_vd as f64 / denom,
+        reservation: accept_reservation as f64 / denom,
+    }
+}
+
+impl fmt::Display for Fig7Results {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Fig. 7: schedulability region (s = 2, Delta_R <= 5 s, LO terminated) =="
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>6} {:>6} {:>9} {:>11} {:>8} {:>12}",
+            "U_HI", "U_LO", "sets", "speedup%", "no-speedup%", "EDF-VD%", "reservation%"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>6} {:>6} {:>6} {:>9.1} {:>11.1} {:>8.1} {:>12.1}",
+                p.u_hi.to_string(),
+                p.u_lo.to_string(),
+                p.evaluated,
+                p.speedup * 100.0,
+                p.no_speedup * 100.0,
+                p.edf_vd * 100.0,
+                p.reservation * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Fig7Results {
+        run(&Fig7Config {
+            sets_per_point: 12,
+            grid_step_twentieths: 5, // 0.25 steps → 4×4 grid
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn speedup_dominates_no_speedup() {
+        let results = quick();
+        for p in &results.points {
+            assert!(
+                p.speedup >= p.no_speedup,
+                "({}, {}): speedup {} < no-speedup {}",
+                p.u_hi,
+                p.u_lo,
+                p.speedup,
+                p.no_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn low_utilization_corner_is_fully_schedulable() {
+        let results = quick();
+        let corner = results
+            .points
+            .iter()
+            .find(|p| p.u_hi == Rational::new(1, 4) && p.u_lo == Rational::new(1, 4))
+            .expect("corner present");
+        assert!(corner.evaluated > 0);
+        assert!(
+            corner.speedup >= 0.95,
+            "low corner only {}",
+            corner.speedup
+        );
+    }
+
+    #[test]
+    fn high_utilization_corner_shows_the_gain() {
+        // The paper: at (0.85, 0.85), 90% schedulable with 2× speedup
+        // while (well) under 25% without.
+        let results = quick();
+        let hot = results
+            .points
+            .iter()
+            .filter(|p| p.u_hi >= Rational::new(3, 4) && p.u_lo >= Rational::new(3, 4))
+            .collect::<Vec<_>>();
+        assert!(!hot.is_empty());
+        let gain: f64 = hot.iter().map(|p| p.speedup - p.no_speedup).sum::<f64>();
+        assert!(gain > 0.0, "no speedup gain in the hot corner");
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let text = quick().to_string();
+        assert!(text.contains("speedup%"));
+        assert!(text.contains("EDF-VD%"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment harness regenerating every table and figure of
+//! *"Run and Be Safe"* (DATE 2015).
+//!
+//! Each module computes one paper artifact and renders it as plain-text
+//! rows/series matching what the paper plots; the binary
+//! (`cargo run -p rbs-experiments --release -- <id>`) dispatches on the
+//! experiment id. See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results.
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `table1` | Table I & Examples 1–2 (minimum speedup, resetting time) |
+//! | `fig1` | HI-mode demand bound functions vs supplied service |
+//! | `fig3` | service resetting time vs speedup |
+//! | `fig4` | closed-form trade-offs `s_min(x, y)` and `Δ_R(s; s_min)` |
+//! | `fig5` | FMS contours: `s_min` over `(x, y)`, `Δ_R` over `(s, γ)` |
+//! | `fig6` | synthetic campaign: distributions of `s_min` and `Δ_R` |
+//! | `fig7` | schedulability regions at `s = 2`, `Δ_R ≤ 5 s` |
+//! | `sim-validate` | simulator-vs-analysis validation runs |
+//! | `analyze FILE` | full report for a user-supplied JSON task set |
+//! | `energy` | energy-vs-service cost of speedup / degradation / termination |
+//! | `multicore` | partitioned multicore acceptance with per-core speedup caps |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod energy_tradeoff;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod multicore;
+pub mod sim_validate;
+pub mod stats;
+pub mod table1;
+pub mod workloads;

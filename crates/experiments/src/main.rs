@@ -1,0 +1,143 @@
+//! CLI for the experiment harness:
+//! `cargo run -p rbs-experiments --release -- <id> [--sets N] [--quick]`.
+
+use std::env;
+use std::process::ExitCode;
+
+use rbs_experiments::{analyze, energy_tradeoff, fig1, fig3, fig4, fig5, fig6, fig7, multicore, sim_validate, table1};
+use rbs_core::AnalysisLimits;
+
+const USAGE: &str = "\
+usage: rbs-experiments <id> [--sets N] [--quick]
+
+ids:
+  table1        Table I & Examples 1-2
+  fig1          demand bound functions vs supplied service
+  fig3          service resetting time vs speedup
+  fig4          closed-form trade-offs (Lemmas 6 & 7)
+  fig5          FMS contours
+  fig6          synthetic campaign (500 sets/point; --sets overrides)
+  fig7          schedulability regions (--sets overrides; --quick coarsens the grid)
+  sim-validate  simulator vs analysis validation
+  all           everything above
+  analyze FILE  analyze a task set serialized as JSON (see examples/workloads/)
+  energy        energy-vs-service cost of speedup / degradation / termination
+  multicore     partitioned multicore acceptance (extension)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(id) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if id == "analyze" {
+        let Some(path) = args.get(1) else {
+            eprintln!("analyze requires a JSON file path");
+            return ExitCode::FAILURE;
+        };
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let set = match serde_json::from_str(&json) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match analyze::run(set, &AnalysisLimits::default()) {
+            Ok(report) => {
+                println!("{report}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("analysis failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let sets = args
+        .iter()
+        .position(|a| a == "--sets")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let run_one = |name: &str| -> bool {
+        match name {
+            "table1" => println!("{}", table1::run()),
+            "fig1" => println!("{}", fig1::run()),
+            "fig3" => println!("{}", fig3::run()),
+            "fig4" => println!("{}", fig4::run()),
+            "fig5" => println!("{}", fig5::run()),
+            "fig6" => {
+                let mut config = fig6::Fig6Config::default();
+                if let Some(n) = sets {
+                    config.sets_per_point = n;
+                }
+                if quick {
+                    config.sets_per_point = config.sets_per_point.min(50);
+                }
+                println!("{}", fig6::run(&config));
+            }
+            "fig7" => {
+                let mut config = fig7::Fig7Config::default();
+                if let Some(n) = sets {
+                    config.sets_per_point = n;
+                }
+                if quick {
+                    config.sets_per_point = config.sets_per_point.min(25);
+                    config.grid_step_twentieths = 4;
+                }
+                println!("{}", fig7::run(&config));
+            }
+            "sim-validate" => println!("{}", sim_validate::run()),
+            "energy" => println!("{}", energy_tradeoff::run()),
+            "multicore" => {
+                let mut config = multicore::MulticoreConfig::default();
+                if let Some(n) = sets {
+                    config.sets_per_cell = n;
+                }
+                if quick {
+                    config.sets_per_cell = config.sets_per_cell.min(10);
+                }
+                println!("{}", multicore::run(&config));
+            }
+            _ => return false,
+        }
+        true
+    };
+
+    let ok = if id == "all" {
+        for name in [
+            "table1",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "sim-validate",
+            "energy",
+            "multicore",
+        ] {
+            assert!(run_one(name), "built-in id {name} must dispatch");
+        }
+        true
+    } else {
+        run_one(id)
+    };
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown experiment id: {id}");
+        eprint!("{USAGE}");
+        ExitCode::FAILURE
+    }
+}

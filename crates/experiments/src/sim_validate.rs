@@ -1,0 +1,174 @@
+//! Simulator-vs-analysis validation: the executable counterpart of
+//! Fig. 1's claim ("the computed minimum speedup factors do guarantee HI
+//! mode schedulability") and of Section VI-A's recovery headline.
+
+use std::fmt;
+
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_gen::fms;
+use rbs_model::TaskSet;
+use rbs_sim::{ArrivalScenario, ExecutionScenario, Simulation};
+use rbs_timebase::Rational;
+
+use crate::workloads::{prepare, table1, table1_degraded};
+
+/// One validation row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationRow {
+    /// Scenario label.
+    pub label: String,
+    /// The simulated HI-mode speedup.
+    pub speed: Rational,
+    /// Deadline misses observed (must be 0 when `speed ≥ s_min`).
+    pub misses: usize,
+    /// HI-mode episodes observed.
+    pub episodes: usize,
+    /// Longest measured recovery.
+    pub max_recovery: Option<Rational>,
+    /// Corollary 5's bound at this speed.
+    pub analytic_recovery: ResettingBound,
+}
+
+/// The validation battery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationResults {
+    /// All rows.
+    pub rows: Vec<ValidationRow>,
+}
+
+fn validate(label: &str, set: &TaskSet, horizon: Rational, seed: u64) -> Vec<ValidationRow> {
+    let limits = AnalysisLimits::default();
+    let s_min = minimum_speedup(set, &limits)
+        .expect("analysis completes")
+        .bound();
+    let SpeedupBound::Finite(s_min) = s_min else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for (suffix, speed) in [
+        ("s_min", s_min.max(Rational::ONE)),
+        ("2x", Rational::TWO.max(s_min)),
+    ] {
+        let analytic_recovery = resetting_time(set, speed, &limits)
+            .expect("analysis completes")
+            .bound();
+        for (scenario_name, scenario) in [
+            ("sustained", ExecutionScenario::HiWcet),
+            (
+                "random",
+                ExecutionScenario::RandomOverrun {
+                    probability: 0.2,
+                    seed,
+                },
+            ),
+        ] {
+            let report = Simulation::new(set.clone())
+                .speedup(speed)
+                .horizon(horizon)
+                .arrivals(ArrivalScenario::Saturated)
+                .execution(scenario)
+                .run()
+                .expect("simulation runs");
+            rows.push(ValidationRow {
+                label: format!("{label}/{suffix}/{scenario_name}"),
+                speed,
+                misses: report.misses().len(),
+                episodes: report.hi_episodes().len(),
+                max_recovery: report.max_recovery(),
+                analytic_recovery,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the validation battery (Table I variants and the FMS).
+#[must_use]
+pub fn run() -> ValidationResults {
+    let mut rows = Vec::new();
+    rows.extend(validate("table1", &table1(), Rational::integer(500), 1));
+    rows.extend(validate(
+        "table1-degraded",
+        &table1_degraded(),
+        Rational::integer(500),
+        2,
+    ));
+    if let Some(fms_set) = prepare(&fms::specs(Rational::TWO), Rational::TWO) {
+        rows.extend(validate(
+            "fms",
+            &fms_set,
+            Rational::integer(60_000), // one minute of milliseconds
+            3,
+        ));
+    }
+    ValidationResults { rows }
+}
+
+impl fmt::Display for ValidationResults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== simulator vs analysis validation ==")?;
+        writeln!(
+            f,
+            "{:<32} {:>8} {:>7} {:>9} {:>14} {:>14}",
+            "scenario", "speed", "misses", "episodes", "max recovery", "bound"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<32} {:>8} {:>7} {:>9} {:>14} {:>14}",
+                row.label,
+                format!("{:.3}", row.speed.to_f64()),
+                row.misses,
+                row.episodes,
+                row.max_recovery
+                    .map_or_else(|| "-".to_owned(), |r| format!("{:.2}", r.to_f64())),
+                row.analytic_recovery.to_string()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_guarantees_hold_in_simulation() {
+        let results = run();
+        assert!(!results.rows.is_empty());
+        for row in &results.rows {
+            assert_eq!(row.misses, 0, "{} missed deadlines", row.label);
+            if let (Some(measured), ResettingBound::Finite(bound)) =
+                (row.max_recovery, row.analytic_recovery)
+            {
+                assert!(
+                    measured <= bound,
+                    "{}: measured {measured} > bound {bound}",
+                    row.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sustained_scenarios_produce_episodes() {
+        let results = run();
+        let sustained: Vec<_> = results
+            .rows
+            .iter()
+            .filter(|r| r.label.contains("sustained"))
+            .collect();
+        assert!(!sustained.is_empty());
+        assert!(sustained.iter().any(|r| r.episodes > 0));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let text = run().to_string();
+        assert!(text.contains("table1/s_min/sustained"));
+        assert!(text.contains("bound"));
+    }
+}

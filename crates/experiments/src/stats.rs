@@ -1,0 +1,175 @@
+//! Exact order statistics for box-whisker summaries (Fig. 6).
+
+use rbs_timebase::Rational;
+
+/// A five-number summary plus mean, as plotted by the paper's
+/// box-whisker figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiveNumber {
+    /// Minimum.
+    pub min: Rational,
+    /// Lower quartile (25th percentile).
+    pub q1: Rational,
+    /// Median (50th percentile).
+    pub median: Rational,
+    /// Upper quartile (75th percentile).
+    pub q3: Rational,
+    /// Maximum.
+    pub max: Rational,
+    /// Arithmetic mean.
+    pub mean: Rational,
+}
+
+/// Computes the five-number summary of a non-empty sample.
+///
+/// Quantiles use the common linear-interpolation rule (R-7), evaluated
+/// exactly in rational arithmetic.
+///
+/// Returns `None` for an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_experiments::stats::five_number;
+/// use rbs_timebase::Rational;
+///
+/// let sample: Vec<Rational> = (1..=5).map(Rational::integer).collect();
+/// let s = five_number(&sample).expect("non-empty");
+/// assert_eq!(s.median, Rational::integer(3));
+/// assert_eq!(s.q1, Rational::integer(2));
+/// assert_eq!(s.q3, Rational::integer(4));
+/// assert_eq!(s.mean, Rational::integer(3));
+/// ```
+#[must_use]
+pub fn five_number(sample: &[Rational]) -> Option<FiveNumber> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    let mean = robust_mean(&sorted);
+    Some(FiveNumber {
+        min: sorted[0],
+        q1: quantile_sorted(&sorted, Rational::new(1, 4)),
+        median: quantile_sorted(&sorted, Rational::new(1, 2)),
+        q3: quantile_sorted(&sorted, Rational::new(3, 4)),
+        max: sorted[sorted.len() - 1],
+        mean,
+    })
+}
+
+/// Exact R-7 quantile of an already-sorted sample.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[Rational], q: Rational) -> Rational {
+    assert!(!sorted.is_empty(), "sample must be non-empty");
+    assert!(
+        !q.is_negative() && q <= Rational::ONE,
+        "quantile must lie in [0, 1]"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    // h = (n − 1)·q; interpolate between floor(h) and floor(h)+1.
+    let h = Rational::integer((n - 1) as i128) * q;
+    let lo = h.floor();
+    let frac = h - Rational::integer(lo);
+    let lo_idx = usize::try_from(lo).expect("index fits");
+    if frac.is_zero() || lo_idx + 1 >= n {
+        sorted[lo_idx]
+    } else {
+        sorted[lo_idx] + frac * (sorted[lo_idx + 1] - sorted[lo_idx])
+    }
+}
+
+/// The mean of a non-empty sample: exact when the rational sum fits in
+/// `i128`, otherwise rounded to a nanoscale grid (summing hundreds of
+/// samples with unrelated denominators can overflow the exact
+/// representation; quantiles never do, as they touch at most two
+/// values).
+fn robust_mean(sample: &[Rational]) -> Rational {
+    let n = Rational::integer(sample.len() as i128);
+    let mut acc = Rational::ZERO;
+    for &v in sample {
+        match acc.checked_add(v) {
+            Ok(sum) => acc = sum,
+            Err(_) => {
+                let approx: f64 =
+                    sample.iter().map(|r| r.to_f64()).sum::<f64>() / sample.len() as f64;
+                return Rational::new((approx * 1e9).round() as i128, 1_000_000_000);
+            }
+        }
+    }
+    acc / n
+}
+
+/// The exact median of a sample (`None` when empty).
+#[must_use]
+pub fn median(sample: &[Rational]) -> Option<Rational> {
+    five_number(sample).map(|s| s.median)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert_eq!(five_number(&[]), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = five_number(&[int(7)]).expect("non-empty");
+        assert_eq!(s.min, int(7));
+        assert_eq!(s.q1, int(7));
+        assert_eq!(s.median, int(7));
+        assert_eq!(s.q3, int(7));
+        assert_eq!(s.max, int(7));
+        assert_eq!(s.mean, int(7));
+    }
+
+    #[test]
+    fn even_sample_interpolates_median() {
+        let s = five_number(&[int(1), int(2), int(3), int(4)]).expect("non-empty");
+        assert_eq!(s.median, Rational::new(5, 2));
+        assert_eq!(s.q1, Rational::new(7, 4));
+        assert_eq!(s.q3, Rational::new(13, 4));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = five_number(&[int(3), int(1), int(2)]).expect("non-empty");
+        let b = five_number(&[int(1), int(2), int(3)]).expect("non-empty");
+        assert_eq!(a, b);
+        assert_eq!(a.median, int(2));
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max() {
+        let sorted = [int(1), int(5), int(9)];
+        assert_eq!(quantile_sorted(&sorted, Rational::ZERO), int(1));
+        assert_eq!(quantile_sorted(&sorted, Rational::ONE), int(9));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let s = five_number(&[Rational::new(1, 3), Rational::new(2, 3)]).expect("non-empty");
+        assert_eq!(s.mean, Rational::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must lie in [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let _ = quantile_sorted(&[Rational::ZERO], Rational::TWO);
+    }
+}

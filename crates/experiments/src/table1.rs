@@ -1,0 +1,145 @@
+//! Table I and Examples 1–2: minimum speedup and resetting time for the
+//! running example.
+
+use std::fmt;
+
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_timebase::Rational;
+
+use crate::workloads::{table1, table1_degraded};
+
+/// The computed Example 1/2 quantities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Results {
+    /// `s_min` with τ2 at its original service (paper: `4/3`).
+    pub s_min_plain: SpeedupBound,
+    /// `s_min` with `D_2(HI) = 15, T_2(HI) = 20` (paper: ≈ 0.94).
+    pub s_min_degraded: SpeedupBound,
+    /// `(s, Δ_R plain, Δ_R degraded)` rows (paper: `Δ_R = 6` at `s = 2`
+    /// for its lost Table I numbers; the reconstruction yields 5).
+    pub resetting_rows: Vec<(Rational, ResettingBound, ResettingBound)>,
+}
+
+/// Runs the Table I experiment.
+///
+/// # Panics
+///
+/// Panics if the exact analysis fails on this two-task example (it
+/// cannot, short of a bug).
+#[must_use]
+pub fn run() -> Table1Results {
+    let limits = AnalysisLimits::default();
+    let plain = table1();
+    let degraded = table1_degraded();
+    let s_min_plain = minimum_speedup(&plain, &limits)
+        .expect("analysis completes")
+        .bound();
+    let s_min_degraded = minimum_speedup(&degraded, &limits)
+        .expect("analysis completes")
+        .bound();
+    let speeds = [
+        Rational::new(4, 3),
+        Rational::new(3, 2),
+        Rational::TWO,
+        Rational::new(5, 2),
+        Rational::integer(3),
+    ];
+    let resetting_rows = speeds
+        .iter()
+        .map(|&s| {
+            let plain_dr = resetting_time(&plain, s, &limits)
+                .expect("analysis completes")
+                .bound();
+            let degraded_dr = resetting_time(&degraded, s, &limits)
+                .expect("analysis completes")
+                .bound();
+            (s, plain_dr, degraded_dr)
+        })
+        .collect();
+    Table1Results {
+        s_min_plain,
+        s_min_degraded,
+        resetting_rows,
+    }
+}
+
+impl fmt::Display for Table1Results {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Table I / Examples 1-2 (reconstructed task set) ==")?;
+        writeln!(f, "tau  chi  C(LO) C(HI) D(LO) D(HI) T(LO) T(HI)")?;
+        writeln!(f, "tau1 HI   1     2     2     5     5     5")?;
+        writeln!(f, "tau2 LO   3     3     10    10    10    10")?;
+        writeln!(f, "degraded tau2: D(HI)=15, T(HI)=20")?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "s_min (no degradation):   {}  [paper: 4/3]",
+            self.s_min_plain
+        )?;
+        writeln!(
+            f,
+            "s_min (with degradation): {} ~= {:.4}  [paper: ~0.94; claim preserved: < 1]",
+            self.s_min_degraded,
+            self.s_min_degraded
+                .as_finite()
+                .map_or(f64::INFINITY, Rational::to_f64)
+        )?;
+        writeln!(f)?;
+        writeln!(f, "service resetting time Delta_R:")?;
+        writeln!(f, "{:>8} {:>16} {:>16}", "s", "plain", "degraded")?;
+        for (s, plain, degraded) in &self.resetting_rows {
+            writeln!(
+                f,
+                "{:>8} {:>16} {:>16}",
+                s.to_string(),
+                plain.to_string(),
+                degraded.to_string()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_paper_anchors() {
+        let results = run();
+        // Exact headline value.
+        assert_eq!(
+            results.s_min_plain,
+            SpeedupBound::Finite(Rational::new(4, 3))
+        );
+        // Qualitative claim: degradation brings the requirement below 1.
+        let degraded = results
+            .s_min_degraded
+            .as_finite()
+            .expect("finite");
+        assert!(degraded < Rational::ONE);
+        // Δ_R at s = 2 for the reconstruction is 5 (paper's lost set: 6).
+        let (_, plain_at_2, _) = results.resetting_rows[2];
+        assert_eq!(plain_at_2, ResettingBound::Finite(Rational::TWO + Rational::integer(3)));
+    }
+
+    #[test]
+    fn resetting_rows_decrease_with_speed() {
+        let results = run();
+        let finite: Vec<Rational> = results
+            .resetting_rows
+            .iter()
+            .filter_map(|(_, plain, _)| plain.as_finite())
+            .collect();
+        assert!(finite.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn display_contains_the_key_rows() {
+        let text = run().to_string();
+        assert!(text.contains("s_min (no degradation):   4/3"));
+        assert!(text.contains("Delta_R"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared workloads: the reconstructed Table I set and helpers that
+//! prepare synthetic specs the way the paper's experiments do.
+
+use rbs_core::lo_mode::minimal_x_density;
+use rbs_model::{scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, Task, TaskSet};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+/// The reconstructed Table I task set (see DESIGN.md *Substitutions*):
+/// `τ1 = HI (C_LO=1, C_HI=2, D_LO=2, D_HI=T=5)`,
+/// `τ2 = LO (C=3, D=T=10)`. Reproduces Example 1's exact
+/// `s_min = 4/3` with no service degradation.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_experiments::workloads::table1;
+///
+/// assert_eq!(table1().len(), 2);
+/// ```
+#[must_use]
+pub fn table1() -> TaskSet {
+    TaskSet::new(vec![
+        Task::builder("tau1", Criticality::Hi)
+            .period(int(5))
+            .deadline_lo(int(2))
+            .deadline_hi(int(5))
+            .wcet_lo(int(1))
+            .wcet_hi(int(2))
+            .build()
+            .expect("Table I τ1 is valid"),
+        Task::builder("tau2", Criticality::Lo)
+            .period(int(10))
+            .deadline(int(10))
+            .wcet(int(3))
+            .build()
+            .expect("Table I τ2 is valid"),
+    ])
+}
+
+/// Table I with Example 1's degraded τ2 service:
+/// `D_2(HI) = 15, T_2(HI) = 20`.
+#[must_use]
+pub fn table1_degraded() -> TaskSet {
+    TaskSet::new(vec![
+        table1()[0].clone(),
+        Task::builder("tau2", Criticality::Lo)
+            .period(int(10))
+            .deadline(int(10))
+            .period_hi(int(20))
+            .deadline_hi(int(15))
+            .wcet(int(3))
+            .build()
+            .expect("degraded τ2 is valid"),
+    ])
+}
+
+/// Prepares a synthetic spec list the way the paper's campaigns do:
+/// `x` is set to the minimum guaranteeing LO-mode schedulability (the
+/// density bound of \[6\], clamped into `(0, 1]`) and LO service is
+/// degraded by `y`. Returns `None` when no feasible `x` exists.
+///
+/// # Panics
+///
+/// Panics if `y < 1`.
+#[must_use]
+pub fn prepare(specs: &[ImplicitTaskSpec], y: Rational) -> Option<TaskSet> {
+    let x = minimal_x_density(specs)?;
+    // Clamp: x = 0 happens for HI-free sets; any positive x works then.
+    let x = x.max(Rational::new(1, 1000)).min(Rational::ONE);
+    let factors = ScalingFactors::new(x, y).expect("validated ranges");
+    Some(scaled_task_set(specs, factors).expect("specs validated by the model crate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_core::lo_mode::is_lo_schedulable;
+    use rbs_core::AnalysisLimits;
+
+    #[test]
+    fn table1_matches_design_doc() {
+        let set = table1();
+        assert_eq!(set[0].lo().deadline(), int(2));
+        assert_eq!(set[1].lo().wcet(), int(3));
+        let degraded = table1_degraded();
+        let hi = degraded[1].params(rbs_model::Mode::Hi).expect("continues");
+        assert_eq!(hi.period(), int(20));
+        assert_eq!(hi.deadline(), int(15));
+    }
+
+    #[test]
+    fn prepared_sets_are_lo_schedulable() {
+        let specs = vec![
+            ImplicitTaskSpec::hi("h", int(10), int(2), int(4)),
+            ImplicitTaskSpec::lo("l", int(8), int(2)),
+        ];
+        let set = prepare(&specs, Rational::TWO).expect("feasible");
+        assert!(is_lo_schedulable(&set, &AnalysisLimits::default()).expect("completes"));
+    }
+
+    #[test]
+    fn infeasible_specs_return_none() {
+        let specs = vec![ImplicitTaskSpec::lo("l", int(4), int(4))];
+        assert_eq!(prepare(&specs, Rational::ONE), None);
+    }
+}

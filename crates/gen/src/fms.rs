@@ -1,0 +1,138 @@
+//! A synthetic flight management system (FMS) workload (Section VI-A).
+//!
+//! The paper evaluates on a subset of an industrial FMS with 7 DO-178B
+//! level-B (HI) and 4 level-C (LO) implicit-deadline sporadic tasks,
+//! minimum inter-arrival times between 100 ms and 5 s. The exact
+//! parameters live in reference \[6\] and are not publicly available;
+//! this module provides a stand-in with the same structure (task count,
+//! criticality split, period range, implicit deadlines) calibrated so
+//! the headline behaviours reproduce: LO-mode schedulable at nominal
+//! speed and worst-case recovery below 3 s at a 2× speedup for moderate
+//! WCET uncertainty `γ` (see EXPERIMENTS.md).
+//!
+//! All times are in milliseconds.
+
+use rbs_model::ImplicitTaskSpec;
+use rbs_timebase::Rational;
+
+/// The number of HI-criticality (DO-178B level B) tasks.
+pub const HI_TASKS: usize = 7;
+
+/// The number of LO-criticality (DO-178B level C) tasks.
+pub const LO_TASKS: usize = 4;
+
+/// The FMS task list with WCET uncertainty `γ = C(HI)/C(LO)` applied
+/// uniformly to the HI tasks (the paper's Fig. 5b sweeps `γ` from 1 to
+/// 3).
+///
+/// # Panics
+///
+/// Panics if `γ < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_gen::fms::{specs, HI_TASKS, LO_TASKS};
+/// use rbs_timebase::Rational;
+///
+/// let fms = specs(Rational::TWO);
+/// assert_eq!(fms.len(), HI_TASKS + LO_TASKS);
+/// // γ scales every HI task's pessimistic WCET.
+/// assert!(fms.iter().all(|s| s.wcet_hi() <= Rational::TWO * s.wcet_lo()));
+/// ```
+#[must_use]
+pub fn specs(gamma: Rational) -> Vec<ImplicitTaskSpec> {
+    assert!(gamma >= Rational::ONE, "γ must be at least 1");
+    let int = Rational::integer;
+    // (name, period ms, C(LO) ms) — periods span the stated 100 ms–5 s
+    // range; LO-mode utilizations total 0.30 (HI) + 0.20 (LO) = 0.50.
+    let hi_rows: [(&str, i128, i128); HI_TASKS] = [
+        ("guidance", 200, 10),
+        ("flight_plan_ctrl", 250, 10),
+        ("loc_consolidation", 500, 25),
+        ("trajectory_pred", 1000, 40),
+        ("nav_radio_tuning", 1600, 64),
+        ("fuel_estimation", 2000, 80),
+        ("nearest_airport", 5000, 200),
+    ];
+    let lo_rows: [(&str, i128, i128); LO_TASKS] = [
+        ("display_update", 100, 5),
+        ("crew_interface", 500, 25),
+        ("datalink_report", 1000, 50),
+        ("maintenance_log", 2000, 100),
+    ];
+    let mut out = Vec::with_capacity(HI_TASKS + LO_TASKS);
+    for (name, period, wcet_lo) in hi_rows {
+        out.push(ImplicitTaskSpec::hi(
+            name,
+            int(period),
+            int(wcet_lo),
+            gamma * int(wcet_lo),
+        ));
+    }
+    for (name, period, wcet) in lo_rows {
+        out.push(ImplicitTaskSpec::lo(name, int(period), int(wcet)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::Criticality;
+
+    #[test]
+    fn structure_matches_the_paper() {
+        let fms = specs(Rational::TWO);
+        assert_eq!(
+            fms.iter()
+                .filter(|s| s.criticality() == Criticality::Hi)
+                .count(),
+            HI_TASKS
+        );
+        assert_eq!(
+            fms.iter()
+                .filter(|s| s.criticality() == Criticality::Lo)
+                .count(),
+            LO_TASKS
+        );
+        for s in &fms {
+            assert!(s.period() >= Rational::integer(100));
+            assert!(s.period() <= Rational::integer(5000));
+        }
+    }
+
+    #[test]
+    fn lo_mode_utilization_is_half() {
+        let fms = specs(Rational::ONE);
+        let total: Rational = fms.iter().map(ImplicitTaskSpec::utilization_lo).sum();
+        assert_eq!(total, Rational::new(1, 2));
+    }
+
+    #[test]
+    fn gamma_scales_hi_wcets() {
+        let base = specs(Rational::ONE);
+        let doubled = specs(Rational::TWO);
+        for (a, b) in base.iter().zip(&doubled) {
+            match a.criticality() {
+                Criticality::Hi => assert_eq!(b.wcet_hi(), Rational::TWO * a.wcet_hi()),
+                Criticality::Lo => assert_eq!(b.wcet_hi(), a.wcet_hi()),
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let fms = specs(Rational::ONE);
+        let mut names: Vec<&str> = fms.iter().map(ImplicitTaskSpec::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), HI_TASKS + LO_TASKS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unit_gamma_is_rejected() {
+        let _ = specs(Rational::new(1, 2));
+    }
+}

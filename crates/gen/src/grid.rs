@@ -1,0 +1,213 @@
+//! Task-set generation on a `(U_HI, U_LO)` utilization grid (Fig. 7).
+//!
+//! The schedulability-region experiment needs task sets whose HI-task
+//! HI-mode utilization `U_HI = Σ_{τ_HI} C_i(HI)/T_i` and LO-task
+//! utilization `U_LO = Σ_{τ_LO} C_i(LO)/T_i` land inside a small
+//! neighborhood (`± 0.025` in the paper) of each grid point. We generate
+//! tasks of each class until its target is entered, drawing per-task
+//! HI-mode utilizations directly so large `γ` values (the paper uses
+//! `γ = 10` here) cannot overshoot a single task past the target.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbs_model::ImplicitTaskSpec;
+use rbs_timebase::Rational;
+
+/// Configuration for grid-point generation.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_gen::grid::GridConfig;
+/// use rbs_timebase::Rational;
+///
+/// let config = GridConfig::new(Rational::new(1, 2), Rational::new(3, 10));
+/// let specs = config.generate(7).expect("grid point is reachable");
+/// let (u_hi, u_lo) = GridConfig::class_utilizations(&specs);
+/// assert!((u_hi - Rational::new(1, 2)).abs() <= config.tolerance());
+/// assert!((u_lo - Rational::new(3, 10)).abs() <= config.tolerance());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridConfig {
+    target_u_hi: Rational,
+    target_u_lo: Rational,
+    tolerance: Rational,
+    gamma: Rational,
+    period_range_ms: (i128, i128),
+    max_attempts: usize,
+}
+
+impl GridConfig {
+    /// Targets the grid point `(U_HI, U_LO)` with the paper's `± 0.025`
+    /// tolerance and `γ = 10`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target is negative.
+    #[must_use]
+    pub fn new(target_u_hi: Rational, target_u_lo: Rational) -> GridConfig {
+        assert!(
+            !target_u_hi.is_negative() && !target_u_lo.is_negative(),
+            "targets must be non-negative"
+        );
+        GridConfig {
+            target_u_hi,
+            target_u_lo,
+            tolerance: Rational::new(1, 40), // 0.025
+            gamma: Rational::integer(10),
+            period_range_ms: (2, 2000),
+            max_attempts: 64,
+        }
+    }
+
+    /// The neighborhood tolerance.
+    #[must_use]
+    pub fn tolerance(&self) -> Rational {
+        self.tolerance
+    }
+
+    /// Overrides the tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: Rational) -> GridConfig {
+        assert!(tolerance.is_positive(), "tolerance must be positive");
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Overrides the WCET inflation factor `γ` of HI tasks.
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: Rational) -> GridConfig {
+        assert!(gamma >= Rational::ONE, "γ must be at least 1");
+        self.gamma = gamma;
+        self
+    }
+
+    /// The pair `(Σ_HI C(HI)/T, Σ_LO C(LO)/T)` of a spec list.
+    #[must_use]
+    pub fn class_utilizations(specs: &[ImplicitTaskSpec]) -> (Rational, Rational) {
+        let mut u_hi = Rational::ZERO;
+        let mut u_lo = Rational::ZERO;
+        for s in specs {
+            match s.criticality() {
+                rbs_model::Criticality::Hi => u_hi += s.utilization_hi(),
+                rbs_model::Criticality::Lo => u_lo += s.utilization_lo(),
+            }
+        }
+        (u_hi, u_lo)
+    }
+
+    /// Generates a task set inside the neighborhood, retrying up to an
+    /// internal attempt budget. Returns `None` only if every attempt
+    /// overshot (possible for tolerances far below the per-task
+    /// utilization floor).
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Option<Vec<ImplicitTaskSpec>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..self.max_attempts {
+            if let Some(specs) = self.attempt(&mut rng) {
+                return Some(specs);
+            }
+        }
+        None
+    }
+
+    fn attempt(&self, rng: &mut StdRng) -> Option<Vec<ImplicitTaskSpec>> {
+        let mut specs = Vec::new();
+        self.fill_class(rng, true, &mut specs)?;
+        self.fill_class(rng, false, &mut specs)?;
+        Some(specs)
+    }
+
+    /// Adds tasks of one class until its utilization enters the target
+    /// neighborhood; `None` on overshoot.
+    fn fill_class(
+        &self,
+        rng: &mut StdRng,
+        hi: bool,
+        specs: &mut Vec<ImplicitTaskSpec>,
+    ) -> Option<()> {
+        let target = if hi { self.target_u_hi } else { self.target_u_lo };
+        let mut total = Rational::ZERO;
+        let (t_min, t_max) = self.period_range_ms;
+        let log_range = Uniform::new_inclusive((t_min as f64).ln(), (t_max as f64).ln());
+        while total < target - self.tolerance {
+            // Draw the class-relevant utilization directly, on a 1/1000
+            // grid, capped so one task cannot jump past the window.
+            let headroom = target + self.tolerance - total;
+            let max_u = Rational::new(1, 5).min(headroom);
+            let min_u = Rational::new(1, 100).min(max_u);
+            let u = crate::synth::sample_rational(rng, min_u, max_u, 1000);
+            let period_ms = (log_range.sample(rng).exp().round() as i128).clamp(t_min, t_max);
+            let period = Rational::integer(period_ms);
+            let index = specs.len();
+            if hi {
+                let wcet_hi = u * period;
+                let wcet_lo = wcet_hi / self.gamma;
+                specs.push(ImplicitTaskSpec::hi(
+                    format!("hi{index}"),
+                    period,
+                    wcet_lo,
+                    wcet_hi,
+                ));
+            } else {
+                specs.push(ImplicitTaskSpec::lo(format!("lo{index}"), period, u * period));
+            }
+            total += u;
+        }
+        ((total - target).abs() <= self.tolerance).then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn hits_the_neighborhood() {
+        for (uh, ul) in [(rat(1, 4), rat(1, 4)), (rat(3, 4), rat(1, 2)), (rat(17, 20), rat(17, 20))] {
+            let config = GridConfig::new(uh, ul);
+            let specs = config.generate(11).expect("reachable");
+            let (got_hi, got_lo) = GridConfig::class_utilizations(&specs);
+            assert!((got_hi - uh).abs() <= config.tolerance(), "{got_hi} vs {uh}");
+            assert!((got_lo - ul).abs() <= config.tolerance(), "{got_lo} vs {ul}");
+        }
+    }
+
+    #[test]
+    fn gamma_is_applied_to_hi_tasks() {
+        let config = GridConfig::new(rat(1, 2), rat(1, 4)).with_gamma(Rational::integer(10));
+        let specs = config.generate(3).expect("reachable");
+        for s in specs
+            .iter()
+            .filter(|s| s.criticality() == rbs_model::Criticality::Hi)
+        {
+            assert_eq!(s.wcet_hi(), Rational::integer(10) * s.wcet_lo());
+        }
+    }
+
+    #[test]
+    fn zero_targets_yield_empty_class() {
+        let config = GridConfig::new(Rational::ZERO, rat(1, 4));
+        let specs = config.generate(5).expect("reachable");
+        assert!(specs
+            .iter()
+            .all(|s| s.criticality() == rbs_model::Criticality::Lo));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = GridConfig::new(rat(1, 2), rat(1, 2));
+        assert_eq!(config.generate(9), config.generate(9));
+    }
+
+    #[test]
+    fn tolerance_accessor_round_trip() {
+        let config = GridConfig::new(rat(1, 2), rat(1, 2)).with_tolerance(rat(1, 20));
+        assert_eq!(config.tolerance(), rat(1, 20));
+    }
+}

@@ -1,0 +1,27 @@
+//! Workload generators for the paper's evaluation (Section VI).
+//!
+//! Three workload sources feed the experiments:
+//!
+//! * [`synth`] — the random task-set generator of Baruah et al. \[4\] as
+//!   described in Section VI-B: start from an empty set and keep adding
+//!   random implicit-deadline tasks until a target system utilization is
+//!   reached, with the parameter distributions of the Fig. 6 caption
+//!   (`T ∈ [2 ms, 2 s]`, `u(LO) ∈ [0.01, 0.2]`, `γ ∈ [1, 3]`);
+//! * [`grid`] — the `(U_HI, U_LO)` grid generator behind the
+//!   schedulability-region experiment (Fig. 7);
+//! * [`fms`] — a synthetic stand-in for the industrial flight management
+//!   system of Section VI-A (7 DO-178B level-B/HI tasks and 4 level-C/LO
+//!   tasks, implicit deadlines, periods between 100 ms and 5 s). The
+//!   original parameters live in reference \[6\] and are not public; see
+//!   DESIGN.md for the substitution rationale.
+//!
+//! All times are in **milliseconds** represented exactly as
+//! [`rbs_timebase::Rational`]; all generators are deterministic for a
+//! given seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fms;
+pub mod grid;
+pub mod synth;

@@ -1,0 +1,373 @@
+//! The random task-set generator of Section VI-B.
+//!
+//! Following Baruah et al. \[4\]: "The task generator starts with an
+//! empty task set and continuously adds new random tasks to this set
+//! until certain system utilization `U_bound` is met." The distributions
+//! are those of the Fig. 6 caption. We interpret *system utilization* as
+//! the HI-mode utilization with undegraded LO service,
+//! `U = Σ_LO u_i(LO) + Σ_HI u_i(HI)` — the dominant of the two per-mode
+//! utilizations — and include the task whose addition first reaches the
+//! bound.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbs_model::{Criticality, ImplicitTaskSpec};
+use rbs_timebase::Rational;
+
+/// Configuration of the synthetic generator.
+///
+/// Defaults match the Fig. 6 caption: periods log-uniform in
+/// `[2 ms, 2000 ms]`, LO-mode utilizations uniform in `[0.01, 0.2]`,
+/// WCET inflation `γ` uniform in `[1, 3]`, fair coin for the criticality
+/// level.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_gen::synth::SynthConfig;
+/// use rbs_timebase::Rational;
+///
+/// let config = SynthConfig::new(Rational::new(7, 10)); // U_bound = 0.7
+/// let specs = config.generate(42);
+/// assert!(!specs.is_empty());
+/// let total = SynthConfig::system_utilization(&specs);
+/// assert!(total >= Rational::new(7, 10));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    target_utilization: Rational,
+    period_range_ms: (i128, i128),
+    u_lo_range: (Rational, Rational),
+    gamma_range: (Rational, Rational),
+    hi_probability: f64,
+}
+
+impl SynthConfig {
+    /// A generator targeting the given `U_bound`, with the paper's
+    /// default distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target utilization is not strictly positive.
+    #[must_use]
+    pub fn new(target_utilization: Rational) -> SynthConfig {
+        assert!(
+            target_utilization.is_positive(),
+            "target utilization must be positive"
+        );
+        SynthConfig {
+            target_utilization,
+            period_range_ms: (2, 2000),
+            u_lo_range: (Rational::new(1, 100), Rational::new(1, 5)),
+            gamma_range: (Rational::ONE, Rational::integer(3)),
+            hi_probability: 0.5,
+        }
+    }
+
+    /// Overrides the period range (milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min ≤ max`.
+    #[must_use]
+    pub fn period_range_ms(mut self, min: i128, max: i128) -> SynthConfig {
+        assert!(0 < min && min <= max, "need 0 < min <= max");
+        self.period_range_ms = (min, max);
+        self
+    }
+
+    /// Overrides the LO-mode utilization range.
+    #[must_use]
+    pub fn u_lo_range(mut self, min: Rational, max: Rational) -> SynthConfig {
+        assert!(min.is_positive() && min <= max, "need 0 < min <= max");
+        self.u_lo_range = (min, max);
+        self
+    }
+
+    /// Overrides the WCET inflation (`γ = C(HI)/C(LO)`) range.
+    #[must_use]
+    pub fn gamma_range(mut self, min: Rational, max: Rational) -> SynthConfig {
+        assert!(min >= Rational::ONE && min <= max, "need 1 <= min <= max");
+        self.gamma_range = (min, max);
+        self
+    }
+
+    /// Overrides the probability that a generated task is HI-criticality.
+    #[must_use]
+    pub fn hi_probability(mut self, p: f64) -> SynthConfig {
+        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
+        self.hi_probability = p;
+        self
+    }
+
+    /// The paper's system-utilization measure of a spec list:
+    /// `Σ_LO u_i(LO) + Σ_HI u_i(HI)`.
+    #[must_use]
+    pub fn system_utilization(specs: &[ImplicitTaskSpec]) -> Rational {
+        specs
+            .iter()
+            .map(|s| match s.criticality() {
+                Criticality::Hi => s.utilization_hi(),
+                Criticality::Lo => s.utilization_lo(),
+            })
+            .sum()
+    }
+
+    /// Generates one task set (deterministic in the seed).
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Vec<ImplicitTaskSpec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates `count` independent task sets from one master seed.
+    #[must_use]
+    pub fn generate_many(&self, count: usize, seed: u64) -> Vec<Vec<ImplicitTaskSpec>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.generate_with(&mut rng)).collect()
+    }
+
+    fn generate_with(&self, rng: &mut StdRng) -> Vec<ImplicitTaskSpec> {
+        let mut specs: Vec<ImplicitTaskSpec> = Vec::new();
+        let mut total = Rational::ZERO;
+        let mut index = 0usize;
+        while total < self.target_utilization {
+            let spec = self.random_task(rng, index);
+            total += match spec.criticality() {
+                Criticality::Hi => spec.utilization_hi(),
+                Criticality::Lo => spec.utilization_lo(),
+            };
+            specs.push(spec);
+            index += 1;
+        }
+        specs
+    }
+
+    fn random_task(&self, rng: &mut StdRng, index: usize) -> ImplicitTaskSpec {
+        // Period: log-uniform over [min, max] ms, kept integer.
+        let (t_min, t_max) = self.period_range_ms;
+        let log_min = (t_min as f64).ln();
+        let log_max = (t_max as f64).ln();
+        let period_ms = Uniform::new_inclusive(log_min, log_max)
+            .sample(rng)
+            .exp()
+            .round() as i128;
+        let period_ms = period_ms.clamp(t_min, t_max);
+        let period = Rational::integer(period_ms);
+
+        // u(LO): uniform over the configured range with granularity 1/1000.
+        let u_lo = sample_rational(rng, self.u_lo_range.0, self.u_lo_range.1, 1000);
+        // Keep WCETs exact: C(LO) = u_lo · T.
+        let wcet_lo = u_lo * period;
+
+        if rng.gen_bool(self.hi_probability) {
+            // γ: uniform with granularity 1/100.
+            let gamma = sample_rational(rng, self.gamma_range.0, self.gamma_range.1, 100);
+            ImplicitTaskSpec::hi(format!("hi{index}"), period, wcet_lo, gamma * wcet_lo)
+        } else {
+            ImplicitTaskSpec::lo(format!("lo{index}"), period, wcet_lo)
+        }
+    }
+}
+
+/// The classic UUniFast utilization generator (Bini & Buttazzo 2005):
+/// draws `n` task utilizations uniformly from the simplex summing to
+/// `total`, snapped onto a `1/granularity` grid (so the exact-rational
+/// sum may differ from `total` by at most `n/granularity`).
+///
+/// Where the Section VI-B generator controls *per-task* utilization and
+/// lets the task count float, UUniFast fixes the count — useful for
+/// experiments that sweep `n` at constant load.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 1`, `total > 0` and `granularity ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_gen::synth::uunifast;
+/// use rbs_timebase::Rational;
+///
+/// let us = uunifast(8, Rational::new(3, 4), 1000, 42);
+/// assert_eq!(us.len(), 8);
+/// let sum: Rational = us.iter().copied().sum();
+/// // Grid snapping keeps the sum within n/granularity of the target.
+/// assert!((sum - Rational::new(3, 4)).abs() <= Rational::new(8, 1000));
+/// ```
+#[must_use]
+pub fn uunifast(n: usize, total: Rational, granularity: i128, seed: u64) -> Vec<Rational> {
+    assert!(n >= 1, "need at least one task");
+    assert!(total.is_positive(), "total utilization must be positive");
+    assert!(granularity >= 1, "granularity must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining = total.to_f64();
+    let mut out = Vec::with_capacity(n);
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        let next = remaining * rng.gen_range(0.0f64..1.0).powf(exponent);
+        out.push(snap(remaining - next, granularity));
+        remaining = next;
+    }
+    out.push(snap(remaining, granularity));
+    out
+}
+
+/// Snaps a non-negative float to the `1/granularity` grid, keeping a
+/// one-grid-cell floor so no task degenerates to zero utilization.
+fn snap(value: f64, granularity: i128) -> Rational {
+    let ticks = ((value * granularity as f64).round() as i128).max(1);
+    Rational::new(ticks, granularity)
+}
+
+/// Samples a rational uniformly from `[min, max]` on a `1/granularity`
+/// grid.
+pub(crate) fn sample_rational(rng: &mut StdRng, min: Rational, max: Rational, granularity: i128) -> Rational {
+    let g = Rational::integer(granularity);
+    let lo = (min * g).ceil();
+    let hi = (max * g).floor();
+    if lo >= hi {
+        return min;
+    }
+    let pick = rng.gen_range(lo..=hi);
+    Rational::new(pick, granularity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SynthConfig {
+        SynthConfig::new(Rational::new(1, 2))
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = config().generate(7);
+        let b = config().generate(7);
+        assert_eq!(a, b);
+        let c = config().generate(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn utilization_reaches_the_bound() {
+        for seed in 0..20 {
+            let specs = config().generate(seed);
+            let total = SynthConfig::system_utilization(&specs);
+            assert!(total >= Rational::new(1, 2), "seed {seed}: {total}");
+            // Without the last task the bound was not yet met.
+            let without_last = &specs[..specs.len() - 1];
+            assert!(
+                SynthConfig::system_utilization(without_last) < Rational::new(1, 2),
+                "seed {seed} overshot by more than one task"
+            );
+        }
+    }
+
+    #[test]
+    fn parameters_respect_the_distributions() {
+        let specs = SynthConfig::new(Rational::integer(3)).generate(123);
+        assert!(specs.len() >= 15); // 3.0 / 0.2 max utilization per task
+        for s in &specs {
+            let t = s.period();
+            assert!(t >= Rational::TWO && t <= Rational::integer(2000), "{t}");
+            assert!(t.is_integer());
+            let u = s.utilization_lo();
+            assert!(u >= Rational::new(1, 100) && u <= Rational::new(1, 5), "{u}");
+            if s.criticality() == Criticality::Hi {
+                let gamma = s.wcet_hi() / s.wcet_lo();
+                assert!(gamma >= Rational::ONE && gamma <= Rational::integer(3), "{gamma}");
+            } else {
+                assert_eq!(s.wcet_hi(), s.wcet_lo());
+            }
+        }
+    }
+
+    #[test]
+    fn both_criticalities_appear() {
+        let specs = SynthConfig::new(Rational::integer(4)).generate(99);
+        assert!(specs.iter().any(|s| s.criticality() == Criticality::Hi));
+        assert!(specs.iter().any(|s| s.criticality() == Criticality::Lo));
+    }
+
+    #[test]
+    fn hi_probability_extremes() {
+        let all_hi = config().hi_probability(1.0).generate(5);
+        assert!(all_hi.iter().all(|s| s.criticality() == Criticality::Hi));
+        let all_lo = config().hi_probability(0.0).generate(5);
+        assert!(all_lo.iter().all(|s| s.criticality() == Criticality::Lo));
+    }
+
+    #[test]
+    fn generate_many_yields_distinct_sets() {
+        let sets = config().generate_many(5, 1);
+        assert_eq!(sets.len(), 5);
+        assert_ne!(sets[0], sets[1]);
+    }
+
+    #[test]
+    fn custom_ranges_are_respected() {
+        let specs = SynthConfig::new(Rational::ONE)
+            .period_range_ms(10, 20)
+            .u_lo_range(Rational::new(1, 10), Rational::new(1, 10))
+            .gamma_range(Rational::TWO, Rational::TWO)
+            .generate(3);
+        for s in &specs {
+            assert!(s.period() >= Rational::integer(10));
+            assert!(s.period() <= Rational::integer(20));
+            assert_eq!(s.utilization_lo(), Rational::new(1, 10));
+            if s.criticality() == Criticality::Hi {
+                assert_eq!(s.wcet_hi(), Rational::TWO * s.wcet_lo());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target utilization must be positive")]
+    fn zero_target_is_rejected() {
+        let _ = SynthConfig::new(Rational::ZERO);
+    }
+
+    #[test]
+    fn uunifast_properties() {
+        for seed in 0..10u64 {
+            let total = Rational::new(3, 4);
+            let us = uunifast(6, total, 1000, seed);
+            assert_eq!(us.len(), 6);
+            for u in &us {
+                assert!(u.is_positive());
+                assert!(*u <= Rational::ONE);
+            }
+            let sum: Rational = us.iter().copied().sum();
+            assert!(
+                (sum - total).abs() <= Rational::new(6, 1000),
+                "seed {seed}: sum {sum}"
+            );
+        }
+        // Deterministic per seed.
+        assert_eq!(uunifast(5, Rational::ONE, 100, 3), uunifast(5, Rational::ONE, 100, 3));
+        assert_ne!(uunifast(5, Rational::ONE, 100, 3), uunifast(5, Rational::ONE, 100, 4));
+        // Degenerate single task takes (almost) everything.
+        let one = uunifast(1, Rational::new(1, 2), 1000, 0);
+        assert_eq!(one, vec![Rational::new(1, 2)]);
+    }
+
+    #[test]
+    fn sample_rational_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let v = sample_rational(
+                &mut rng,
+                Rational::new(1, 100),
+                Rational::new(1, 5),
+                1000,
+            );
+            assert!(v >= Rational::new(1, 100) && v <= Rational::new(1, 5));
+        }
+        // Degenerate range returns min.
+        let v = sample_rational(&mut rng, Rational::new(1, 3), Rational::new(1, 3), 10);
+        assert_eq!(v, Rational::new(1, 3));
+    }
+}

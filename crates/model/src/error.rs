@@ -1,0 +1,196 @@
+//! Validation errors for the task model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Criticality;
+
+/// Returned when task parameters violate the paper's model constraints
+/// (Section II, eqs. (1)–(3)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A period `T_i(χ)` is zero or negative.
+    NonPositivePeriod {
+        /// Task name.
+        task: String,
+    },
+    /// A relative deadline `D_i(χ)` is zero or negative.
+    NonPositiveDeadline {
+        /// Task name.
+        task: String,
+    },
+    /// A WCET `C_i(χ)` is negative.
+    NegativeWcet {
+        /// Task name.
+        task: String,
+    },
+    /// A deadline exceeds the corresponding period (the model assumes
+    /// constrained deadlines, `D_i ≤ T_i`).
+    DeadlineExceedsPeriod {
+        /// Task name.
+        task: String,
+    },
+    /// A HI-criticality task changed its period across modes
+    /// (eq. (1) requires `T_i(HI) = T_i(LO)`).
+    HiTaskPeriodChanged {
+        /// Task name.
+        task: String,
+    },
+    /// A HI-criticality task has `D_i(LO) > D_i(HI)`; preparation for
+    /// overrun requires the LO-mode deadline to be at most the real one.
+    HiDeadlineNotPrepared {
+        /// Task name.
+        task: String,
+    },
+    /// A HI-criticality task has `C_i(HI) < C_i(LO)`; the HI-mode WCET is
+    /// the more pessimistic bound (eq. (1)).
+    HiWcetSmallerThanLo {
+        /// Task name.
+        task: String,
+    },
+    /// A LO-criticality task changed its WCET across modes
+    /// (eq. (2) requires `C_i(HI) = C_i(LO)`).
+    LoWcetChanged {
+        /// Task name.
+        task: String,
+    },
+    /// A LO-criticality task has its service *improved* in HI mode
+    /// (eq. (2) requires `T_i(HI) ≥ T_i(LO)` and `D_i(HI) ≥ D_i(LO)`).
+    LoServiceImproved {
+        /// Task name.
+        task: String,
+    },
+    /// A HI-criticality task was declared [`crate::HiBehavior::Terminated`];
+    /// only LO tasks may be terminated.
+    HiTaskTerminated {
+        /// Task name.
+        task: String,
+    },
+    /// A required builder field was not supplied.
+    MissingField {
+        /// Task name.
+        task: String,
+        /// The field that is missing (e.g. `"period"`).
+        field: &'static str,
+    },
+    /// A scaling factor is outside its valid range (Section V requires
+    /// `0 < x ≤ 1` and `y ≥ 1`).
+    InvalidScalingFactor {
+        /// Which factor (`"x"` or `"y"`).
+        which: &'static str,
+    },
+    /// A task has an unexpected criticality for the requested operation.
+    WrongCriticality {
+        /// Task name.
+        task: String,
+        /// The criticality the operation expected.
+        expected: Criticality,
+    },
+}
+
+impl ModelError {
+    /// The name of the offending task, when the error concerns one.
+    #[must_use]
+    pub fn task(&self) -> Option<&str> {
+        match self {
+            ModelError::NonPositivePeriod { task }
+            | ModelError::NonPositiveDeadline { task }
+            | ModelError::NegativeWcet { task }
+            | ModelError::DeadlineExceedsPeriod { task }
+            | ModelError::HiTaskPeriodChanged { task }
+            | ModelError::HiDeadlineNotPrepared { task }
+            | ModelError::HiWcetSmallerThanLo { task }
+            | ModelError::LoWcetChanged { task }
+            | ModelError::LoServiceImproved { task }
+            | ModelError::HiTaskTerminated { task }
+            | ModelError::MissingField { task, .. }
+            | ModelError::WrongCriticality { task, .. } => Some(task),
+            ModelError::InvalidScalingFactor { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositivePeriod { task } => {
+                write!(f, "task {task:?}: period must be strictly positive")
+            }
+            ModelError::NonPositiveDeadline { task } => {
+                write!(f, "task {task:?}: deadline must be strictly positive")
+            }
+            ModelError::NegativeWcet { task } => {
+                write!(f, "task {task:?}: WCET must be non-negative")
+            }
+            ModelError::DeadlineExceedsPeriod { task } => {
+                write!(
+                    f,
+                    "task {task:?}: constrained deadlines require D <= T in every mode"
+                )
+            }
+            ModelError::HiTaskPeriodChanged { task } => {
+                write!(f, "task {task:?}: HI tasks must keep T(HI) = T(LO)")
+            }
+            ModelError::HiDeadlineNotPrepared { task } => {
+                write!(f, "task {task:?}: HI tasks require D(LO) <= D(HI)")
+            }
+            ModelError::HiWcetSmallerThanLo { task } => {
+                write!(f, "task {task:?}: HI tasks require C(HI) >= C(LO)")
+            }
+            ModelError::LoWcetChanged { task } => {
+                write!(f, "task {task:?}: LO tasks must keep C(HI) = C(LO)")
+            }
+            ModelError::LoServiceImproved { task } => {
+                write!(
+                    f,
+                    "task {task:?}: LO tasks may only degrade service in HI mode (T, D may not shrink)"
+                )
+            }
+            ModelError::HiTaskTerminated { task } => {
+                write!(f, "task {task:?}: only LO-criticality tasks may be terminated")
+            }
+            ModelError::MissingField { task, field } => {
+                write!(f, "task {task:?}: missing required field `{field}`")
+            }
+            ModelError::InvalidScalingFactor { which } => match *which {
+                "x" => write!(f, "scaling factor x must satisfy 0 < x <= 1"),
+                _ => write!(f, "scaling factor y must satisfy y >= 1"),
+            },
+            ModelError::WrongCriticality { task, expected } => {
+                write!(f, "task {task:?}: expected a {expected}-criticality task")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ModelError::HiDeadlineNotPrepared {
+            task: "nav".to_owned(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("nav"));
+        assert!(msg.contains("D(LO) <= D(HI)"));
+        assert_eq!(err.task(), Some("nav"));
+    }
+
+    #[test]
+    fn scaling_factor_error_has_no_task() {
+        let err = ModelError::InvalidScalingFactor { which: "x" };
+        assert_eq!(err.task(), None);
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

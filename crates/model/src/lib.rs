@@ -1,0 +1,64 @@
+//! Dual-criticality sporadic task model with per-mode parameters.
+//!
+//! This crate implements the system model of *"Run and Be Safe:
+//! Mixed-Criticality Scheduling with Temporary Processor Speedup"*
+//! (Huang, Kumar, Giannopoulou, Thiele — DATE 2015), Section II:
+//!
+//! * every task `τ_i` is sporadic with constrained deadlines and carries a
+//!   [`Criticality`] level (`LO` or `HI`);
+//! * task parameters `{T_i(χ), D_i(χ), C_i(χ)}` exist **per operating
+//!   mode** `χ ∈ {LO, HI}` ([`ModeParams`]);
+//! * HI-criticality tasks keep their period across modes, may have their
+//!   LO-mode deadline shortened (*preparation for overrun*, eq. (1)) and a
+//!   larger HI-mode WCET;
+//! * LO-criticality tasks keep their WCET but may have their service
+//!   *degraded* in HI mode (longer period and/or deadline, eq. (2)) or be
+//!   *terminated* outright (eq. (3), modeled as
+//!   [`HiBehavior::Terminated`]).
+//!
+//! Validation of the paper's constraints happens at construction time so
+//! that analysis code can rely on a well-formed [`TaskSet`].
+//!
+//! # Examples
+//!
+//! Building the reconstructed Table I task set:
+//!
+//! ```
+//! use rbs_model::{Criticality, Task, TaskSet};
+//! use rbs_timebase::Rational;
+//!
+//! # fn main() -> Result<(), rbs_model::ModelError> {
+//! let tau1 = Task::builder("tau1", Criticality::Hi)
+//!     .period(Rational::integer(5))
+//!     .deadline_lo(Rational::integer(2))
+//!     .deadline_hi(Rational::integer(5))
+//!     .wcet_lo(Rational::integer(1))
+//!     .wcet_hi(Rational::integer(2))
+//!     .build()?;
+//! let tau2 = Task::builder("tau2", Criticality::Lo)
+//!     .period(Rational::integer(10))
+//!     .deadline(Rational::integer(10))
+//!     .wcet(Rational::integer(3))
+//!     .build()?;
+//! let set = TaskSet::new(vec![tau1, tau2]);
+//! assert_eq!(set.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod criticality;
+mod error;
+mod params;
+mod scaling;
+mod task;
+mod taskset;
+
+pub use criticality::{Criticality, Mode};
+pub use error::ModelError;
+pub use params::ModeParams;
+pub use scaling::{scaled_task_set, ImplicitTaskSpec, ScalingFactors};
+pub use task::{HiBehavior, Task, TaskBuilder};
+pub use taskset::TaskSet;

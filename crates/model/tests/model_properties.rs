@@ -1,0 +1,168 @@
+//! Property-based tests for model validation, serde and scaling.
+
+use proptest::prelude::*;
+use rbs_model::{
+    scaled_task_set, Criticality, ImplicitTaskSpec, Mode, ModelError, ScalingFactors, Task,
+    TaskSet,
+};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+fn rat(n: i128, d: i128) -> Rational {
+    Rational::new(n, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn valid_hi_parameters_always_build(
+        period in 2i128..=1000,
+        c_lo_num in 1i128..=100,
+        dl_frac in 1i128..=100,
+        gamma_num in 100i128..=400,
+    ) {
+        let period = int(period);
+        let c_lo = (rat(c_lo_num, 100) * period).min(period);
+        let d_lo = (rat(dl_frac, 100) * period).max(c_lo).min(period);
+        let c_hi = (rat(gamma_num, 100) * c_lo).min(period);
+        let task = Task::builder("t", Criticality::Hi)
+            .period(period)
+            .deadline_lo(d_lo)
+            .deadline_hi(period)
+            .wcet_lo(c_lo)
+            .wcet_hi(c_hi.max(c_lo))
+            .build();
+        prop_assert!(task.is_ok(), "{task:?}");
+        let task = task.expect("checked");
+        prop_assert!(task.lo().deadline() <= task.params(Mode::Hi).expect("hi").deadline());
+        prop_assert!(task.utilization(Mode::Hi) >= task.utilization(Mode::Lo));
+        if let Some(gamma) = task.gamma() {
+            prop_assert!(gamma >= Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn constraint_violations_yield_the_right_errors(
+        period in 2i128..=50,
+        excess in 1i128..=10,
+    ) {
+        let period = int(period);
+        // D > T.
+        let err = Task::builder("t", Criticality::Lo)
+            .period(period)
+            .deadline(period + int(excess))
+            .wcet(Rational::ONE)
+            .build()
+            .expect_err("unconstrained deadline");
+        let is_expected = matches!(err, ModelError::DeadlineExceedsPeriod { .. });
+        prop_assert!(is_expected, "unexpected error: {err:?}");
+        // HI task shrinking its WCET.
+        let err = Task::builder("t", Criticality::Hi)
+            .period(period)
+            .deadline(period)
+            .wcet_lo(int(excess) + Rational::ONE)
+            .wcet_hi(Rational::ONE)
+            .build()
+            .expect_err("shrinking wcet");
+        let is_expected = matches!(err, ModelError::HiWcetSmallerThanLo { .. });
+        prop_assert!(is_expected, "unexpected error: {err:?}");
+        // LO task improving its period in HI mode.
+        let err = Task::builder("t", Criticality::Lo)
+            .period(period + int(excess))
+            .deadline(period)
+            .period_hi(period)
+            .wcet(Rational::ONE)
+            .build()
+            .expect_err("improved service");
+        let is_expected = matches!(err, ModelError::LoServiceImproved { .. });
+        prop_assert!(is_expected, "unexpected error: {err:?}");
+    }
+
+    #[test]
+    fn task_sets_round_trip_through_json(
+        periods in prop::collection::vec(2i128..=100, 1..=5),
+    ) {
+        let tasks: Vec<Task> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if i % 2 == 0 {
+                    Task::builder(format!("h{i}"), Criticality::Hi)
+                        .period(int(p))
+                        .deadline_lo(rat(p, 2).max(Rational::ONE))
+                        .deadline_hi(int(p))
+                        .wcet_lo(Rational::ONE.min(rat(p, 4)).max(rat(1, 4)))
+                        .wcet_hi(rat(p, 4).max(rat(1, 2)).min(int(p)))
+                        .build()
+                        .expect("valid")
+                } else {
+                    Task::builder(format!("l{i}"), Criticality::Lo)
+                        .period(int(p))
+                        .deadline(int(p))
+                        .wcet(rat(p, 8).max(rat(1, 8)))
+                        .build()
+                        .expect("valid")
+                }
+            })
+            .collect();
+        let set = TaskSet::new(tasks);
+        let json = serde_json::to_string(&set).expect("serialize");
+        let back: TaskSet = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, set);
+    }
+
+    #[test]
+    fn scaling_follows_the_paper_equations(
+        period in 2i128..=200,
+        x_num in 1i128..=100,
+        y_num in 100i128..=400,
+    ) {
+        let x = rat(x_num, 100);
+        let y = rat(y_num, 100);
+        let factors = ScalingFactors::new(x, y).expect("in range");
+        let specs = vec![
+            ImplicitTaskSpec::hi("h", int(period), rat(period, 10).max(rat(1, 10)), rat(period, 5).max(rat(1, 5))),
+            ImplicitTaskSpec::lo("l", int(period), rat(period, 10).max(rat(1, 10))),
+        ];
+        let set = scaled_task_set(&specs, factors).expect("valid");
+        // eq. (13): HI tasks.
+        let h = &set[0];
+        prop_assert_eq!(h.lo().deadline(), x * int(period));
+        prop_assert_eq!(h.params(Mode::Hi).expect("hi").deadline(), int(period));
+        prop_assert_eq!(h.params(Mode::Hi).expect("hi").period(), int(period));
+        // eq. (14): LO tasks.
+        let l = &set[1];
+        prop_assert_eq!(l.lo().deadline(), int(period));
+        prop_assert_eq!(l.params(Mode::Hi).expect("hi").period(), y * int(period));
+        prop_assert_eq!(l.params(Mode::Hi).expect("hi").deadline(), y * int(period));
+    }
+
+    #[test]
+    fn termination_zeroes_hi_contributions(
+        periods in prop::collection::vec(2i128..=100, 1..=4),
+    ) {
+        let tasks: Vec<Task> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Task::builder(format!("l{i}"), Criticality::Lo)
+                    .period(int(p))
+                    .deadline(int(p))
+                    .wcet(rat(p, 4).max(rat(1, 4)))
+                    .build()
+                    .expect("valid")
+            })
+            .collect();
+        let set = TaskSet::new(tasks);
+        let terminated = set.with_lo_terminated().expect("all LO");
+        prop_assert_eq!(terminated.utilization(Mode::Hi), Rational::ZERO);
+        prop_assert_eq!(terminated.total_wcet(Mode::Hi), Rational::ZERO);
+        prop_assert_eq!(terminated.hyperperiod(Mode::Hi), None);
+        // LO mode untouched.
+        prop_assert_eq!(terminated.utilization(Mode::Lo), set.utilization(Mode::Lo));
+    }
+}

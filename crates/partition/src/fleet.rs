@@ -1,0 +1,185 @@
+//! Simulating a partitioned deployment: every core runs the paper's
+//! protocol independently.
+//!
+//! [`simulate`] drives one [`rbs_sim::Simulation`] per core — each at
+//! its own analytically sized speedup — and aggregates the results into
+//! a [`FleetReport`]. Because cores share nothing in the partitioned
+//! model (per-core DVFS domains, no migration), the composition is
+//! exact: the uniprocessor guarantees apply core-wise.
+
+use rbs_core::speedup::SpeedupBound;
+use rbs_sim::{ExecutionScenario, SimError, SimReport, Simulation};
+use rbs_timebase::Rational;
+
+use crate::Partition;
+
+/// Aggregated outcome of simulating every core of a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    per_core: Vec<SimReport>,
+    speeds: Vec<Rational>,
+}
+
+impl FleetReport {
+    /// The per-core simulation reports (empty cores produce quiet
+    /// reports).
+    #[must_use]
+    pub fn per_core(&self) -> &[SimReport] {
+        &self.per_core
+    }
+
+    /// The HI-mode speed each core was driven at.
+    #[must_use]
+    pub fn core_speeds(&self) -> &[Rational] {
+        &self.speeds
+    }
+
+    /// Total deadline misses across the platform.
+    #[must_use]
+    pub fn total_misses(&self) -> usize {
+        self.per_core.iter().map(|r| r.misses().len()).sum()
+    }
+
+    /// Total dynamic energy across the platform (cubic DVFS model).
+    #[must_use]
+    pub fn total_energy(&self) -> Rational {
+        self.per_core.iter().map(SimReport::energy).sum()
+    }
+
+    /// The longest measured recovery on any core.
+    #[must_use]
+    pub fn max_recovery(&self) -> Option<Rational> {
+        self.per_core.iter().filter_map(SimReport::max_recovery).max()
+    }
+
+    /// Total HI-mode episodes across the platform.
+    #[must_use]
+    pub fn total_episodes(&self) -> usize {
+        self.per_core.iter().map(|r| r.hi_episodes().len()).sum()
+    }
+}
+
+/// Rounds a speed up onto a `1/16` grid (keeps exact simulated
+/// timestamps on small denominators).
+fn snap_up(s: Rational) -> Rational {
+    let q = Rational::new(1, 16);
+    let steps = s / q;
+    if steps.is_integer() {
+        s
+    } else {
+        Rational::integer(steps.floor() + 1) * q
+    }
+}
+
+/// Simulates every core of `partition` for `horizon` time units under
+/// the given overrun scenario. Each core runs at its own analytic
+/// `s_min` (snapped up to a `1/16` grid, floored at nominal speed), so
+/// the platform uses exactly as much boost per core as that core needs.
+///
+/// # Errors
+///
+/// Propagates the first core's [`SimError`], if any.
+///
+/// # Panics
+///
+/// Panics if some accepted core has an unbounded speedup requirement
+/// (cannot happen for partitions produced by [`crate::partition`]).
+pub fn simulate(
+    partition: &Partition,
+    horizon: Rational,
+    scenario: &ExecutionScenario,
+) -> Result<FleetReport, SimError> {
+    let mut per_core = Vec::with_capacity(partition.cores().len());
+    let mut speeds = Vec::with_capacity(partition.cores().len());
+    for (core, bound) in partition.cores().iter().zip(partition.core_speedups()) {
+        let speed = match bound {
+            SpeedupBound::Finite(s) => snap_up((*s).max(Rational::ONE)),
+            SpeedupBound::Unbounded => {
+                panic!("accepted partitions have finite per-core speedups")
+            }
+        };
+        let report = Simulation::new(core.clone())
+            .speedup(speed)
+            .horizon(horizon)
+            .execution(scenario.clone())
+            .run()?;
+        per_core.push(report);
+        speeds.push(speed);
+    }
+    Ok(FleetReport { per_core, speeds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition, Heuristic, PlatformCap};
+    use rbs_core::AnalysisLimits;
+    use rbs_model::{Criticality, Task, TaskSet};
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn workload() -> TaskSet {
+        let mut tasks = Vec::new();
+        for i in 0..3 {
+            tasks.push(
+                Task::builder(format!("h{i}"), Criticality::Hi)
+                    .period(int(10))
+                    .deadline_lo(int(4))
+                    .deadline_hi(int(10))
+                    .wcet_lo(int(3))
+                    .wcet_hi(int(6))
+                    .build()
+                    .expect("valid"),
+            );
+        }
+        tasks.push(
+            Task::builder("l0", Criticality::Lo)
+                .period(int(20))
+                .deadline(int(20))
+                .wcet(int(4))
+                .build()
+                .expect("valid"),
+        );
+        TaskSet::new(tasks)
+    }
+
+    #[test]
+    fn partitioned_fleet_meets_all_deadlines() {
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(3, Rational::TWO);
+        let parts = partition(&workload(), cap, Heuristic::WorstFit, &limits)
+            .expect("completes")
+            .expect("fits");
+        let fleet = simulate(&parts, int(500), &ExecutionScenario::HiWcet).expect("runs");
+        assert_eq!(fleet.total_misses(), 0);
+        assert!(fleet.total_episodes() > 0, "overruns should trigger episodes");
+        assert_eq!(fleet.per_core().len(), 3);
+        assert_eq!(fleet.core_speeds().len(), 3);
+        // Speeds are per-core: at least nominal, at most the cap plus
+        // the snap grid.
+        for s in fleet.core_speeds() {
+            assert!(*s >= Rational::ONE);
+            assert!(*s <= Rational::TWO + Rational::new(1, 16));
+        }
+    }
+
+    #[test]
+    fn fleet_energy_aggregates_cores() {
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(3, Rational::TWO);
+        let parts = partition(&workload(), cap, Heuristic::FirstFit, &limits)
+            .expect("completes")
+            .expect("fits");
+        let quiet = simulate(&parts, int(200), &ExecutionScenario::LoWcet).expect("runs");
+        let stressed = simulate(&parts, int(200), &ExecutionScenario::HiWcet).expect("runs");
+        assert_eq!(quiet.total_misses(), 0);
+        assert_eq!(stressed.total_misses(), 0);
+        // Sustained overruns execute more work at boosted speed.
+        assert!(stressed.total_energy() > quiet.total_energy());
+        assert_eq!(quiet.total_episodes(), 0);
+        assert!(quiet.max_recovery().is_none());
+        assert!(stressed.max_recovery().is_some());
+    }
+}

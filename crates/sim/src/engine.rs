@@ -1,0 +1,986 @@
+//! The discrete-event EDF engine.
+
+use rbs_model::{Criticality, Mode, Task, TaskSet};
+use rbs_timebase::Rational;
+
+use crate::report::{DeadlineMiss, ExecSegment, HiEpisode, SimReport, TraceEvent};
+use crate::scenario::DemandSource;
+use crate::{ArrivalScenario, ExecutionScenario, Job, JobId, SimError};
+
+/// A configurable simulation run (builder style).
+///
+/// Defaults: unit speedup, saturated arrivals, no overruns
+/// ([`ExecutionScenario::LoWcet`]), no overclock budget. A horizon must
+/// be set before [`Simulation::run`].
+///
+/// See the [crate docs](crate) for the protocol being simulated and a
+/// complete example.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    set: TaskSet,
+    speedup: Rational,
+    horizon: Option<Rational>,
+    arrivals: ArrivalScenario,
+    execution: ExecutionScenario,
+    overclock_budget: Option<Rational>,
+    release_quantum: Rational,
+    max_events: u64,
+}
+
+impl Simulation {
+    /// Starts configuring a simulation of the given task set.
+    #[must_use]
+    pub fn new(set: TaskSet) -> Simulation {
+        Simulation {
+            set,
+            speedup: Rational::ONE,
+            horizon: None,
+            arrivals: ArrivalScenario::Saturated,
+            execution: ExecutionScenario::LoWcet,
+            overclock_budget: None,
+            release_quantum: Rational::new(1, 64),
+            max_events: 5_000_000,
+        }
+    }
+
+    /// Sets the HI-mode speedup factor `s` (default 1).
+    #[must_use]
+    pub fn speedup(mut self, speedup: Rational) -> Simulation {
+        self.speedup = speedup;
+        self
+    }
+
+    /// Sets the simulated horizon (required).
+    #[must_use]
+    pub fn horizon(mut self, horizon: Rational) -> Simulation {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Sets the arrival scenario (default [`ArrivalScenario::Saturated`]).
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: ArrivalScenario) -> Simulation {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the execution-demand scenario (default
+    /// [`ExecutionScenario::LoWcet`]).
+    #[must_use]
+    pub fn execution(mut self, execution: ExecutionScenario) -> Simulation {
+        self.execution = execution;
+        self
+    }
+
+    /// Bounds how long each HI-mode episode may overclock (Section IV
+    /// remark). When the budget expires, LO tasks are terminated and the
+    /// speed returns to nominal until the idle reset.
+    #[must_use]
+    pub fn overclock_budget(mut self, budget: Rational) -> Simulation {
+        self.overclock_budget = Some(budget);
+        self
+    }
+
+    /// Sets the release-replanning quantum (default `1/64`).
+    ///
+    /// When the saturated adversary re-plans arrivals after an idle
+    /// reset, the earliest legal release instant is rounded *up* to a
+    /// multiple of this quantum. Releasing later than the minimum
+    /// inter-arrival separation is always legal for sporadic tasks, so
+    /// this does not change the model — it keeps the exact rational
+    /// timestamps on a bounded-denominator lattice across arbitrarily
+    /// many mode switches (otherwise fractional speedup factors compound
+    /// denominators until `i128` overflows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantum is not strictly positive.
+    #[must_use]
+    pub fn release_quantum(mut self, quantum: Rational) -> Simulation {
+        assert!(quantum.is_positive(), "release quantum must be positive");
+        self.release_quantum = quantum;
+        self
+    }
+
+    /// Overrides the event-loop safety bound (default 5,000,000).
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Simulation {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Runs the simulation to the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on invalid configuration (non-positive
+    /// speedup/horizon, malformed scripts) or if the event-loop safety
+    /// bound is exceeded.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let horizon = self.horizon.ok_or(SimError::NonPositiveHorizon)?;
+        if !horizon.is_positive() {
+            return Err(SimError::NonPositiveHorizon);
+        }
+        if !self.speedup.is_positive() {
+            return Err(SimError::NonPositiveSpeedup);
+        }
+        self.arrivals.validate(self.set.as_slice())?;
+        Engine::new(self, horizon).run()
+    }
+}
+
+/// Per-task runtime bookkeeping.
+#[derive(Debug)]
+struct TaskState {
+    next_release: Option<Rational>,
+    last_release: Option<Rational>,
+    released: u64,
+}
+
+struct Engine {
+    cfg: Simulation,
+    horizon: Rational,
+    demand: DemandSource,
+
+    now: Rational,
+    mode: Mode,
+    speed: Rational,
+    pending: Vec<Job>,
+    tasks: Vec<TaskState>,
+    /// Set while the overclock monitor has curtailed the current episode.
+    forced_termination: bool,
+    hi_entered: Option<Rational>,
+
+    trace: Vec<TraceEvent>,
+    misses: Vec<DeadlineMiss>,
+    episodes: Vec<HiEpisode>,
+    released: u64,
+    completed: u64,
+    dropped: u64,
+    preemptions: u64,
+    busy_time: Rational,
+    max_response: Vec<Option<Rational>>,
+    energy: Rational,
+    segments: Vec<ExecSegment>,
+    next_job_id: u64,
+    prev_running: Option<JobId>,
+    events: u64,
+}
+
+impl Engine {
+    fn new(cfg: Simulation, horizon: Rational) -> Engine {
+        let tasks = (0..cfg.set.len())
+            .map(|i| TaskState {
+                next_release: cfg.arrivals.first_release(i),
+                last_release: None,
+                released: 0,
+            })
+            .collect();
+        let demand = DemandSource::new(cfg.execution.clone());
+        Engine {
+            horizon,
+            demand,
+            now: Rational::ZERO,
+            mode: Mode::Lo,
+            speed: Rational::ONE,
+            pending: Vec::new(),
+            tasks,
+            forced_termination: false,
+            hi_entered: None,
+            trace: Vec::new(),
+            misses: Vec::new(),
+            episodes: Vec::new(),
+            released: 0,
+            completed: 0,
+            dropped: 0,
+            preemptions: 0,
+            busy_time: Rational::ZERO,
+            max_response: vec![None; cfg.set.len()],
+            energy: Rational::ZERO,
+            segments: Vec::new(),
+            next_job_id: 0,
+            prev_running: None,
+            events: 0,
+            cfg,
+        }
+    }
+
+    fn task(&self, index: usize) -> &Task {
+        &self.cfg.set[index]
+    }
+
+    /// Whether task `index` currently releases no jobs and keeps no
+    /// pending jobs (terminated-by-model or by the overclock monitor).
+    fn is_effectively_terminated(&self, index: usize) -> bool {
+        if self.mode != Mode::Hi {
+            return false;
+        }
+        let task = self.task(index);
+        task.is_terminated_in_hi()
+            || (self.forced_termination && task.criticality() == Criticality::Lo)
+    }
+
+    /// Index into `pending` of the EDF-highest-priority unfinished job.
+    fn running_index(&self) -> Option<usize> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.is_complete())
+            .min_by_key(|(_, j)| (j.deadline(), j.task_index(), j.id()))
+            .map(|(i, _)| i)
+    }
+
+    fn run(mut self) -> Result<SimReport, SimError> {
+        loop {
+            // Phase A: apply all state transitions due at `now` until a
+            // fixpoint (each application consumes its trigger).
+            loop {
+                self.events += 1;
+                if self.events > self.cfg.max_events {
+                    return Err(SimError::EventBudgetExhausted {
+                        events: self.events,
+                    });
+                }
+                if !self.apply_due_events()? {
+                    break;
+                }
+            }
+            if self.now >= self.horizon {
+                break;
+            }
+
+            // Preemption bookkeeping: a previously running, still
+            // unfinished job displaced from the top slot was preempted.
+            let running = self.running_index();
+            let running_id = running.map(|i| self.pending[i].id());
+            if let Some(prev) = self.prev_running {
+                if running_id != Some(prev)
+                    && self
+                        .pending
+                        .iter()
+                        .any(|j| j.id() == prev && !j.is_complete())
+                {
+                    self.preemptions += 1;
+                }
+            }
+            self.prev_running = running_id;
+
+            // Phase B: find the next event time strictly after `now`.
+            let mut t_next = self.horizon;
+            for state in &self.tasks {
+                if let Some(r) = state.next_release {
+                    if r > self.now {
+                        t_next = t_next.min(r);
+                    }
+                }
+            }
+            if let Some(idx) = running {
+                let job = &self.pending[idx];
+                let finish = self.now + job.remaining() / self.speed;
+                t_next = t_next.min(finish);
+                if self.mode == Mode::Lo {
+                    let task = self.task(job.task_index());
+                    let c_lo = task.lo().wcet();
+                    if task.criticality() == Criticality::Hi
+                        && job.demand() > c_lo
+                        && job.executed() < c_lo
+                    {
+                        let boundary = self.now + (c_lo - job.executed()) / self.speed;
+                        t_next = t_next.min(boundary);
+                    }
+                }
+            }
+            for job in self.pending.iter().filter(|j| !j.is_complete()) {
+                if !job.miss_recorded && job.deadline() > self.now {
+                    t_next = t_next.min(job.deadline());
+                }
+            }
+            if let (Mode::Hi, Some(budget), Some(entered), false) = (
+                self.mode,
+                self.cfg.overclock_budget,
+                self.hi_entered,
+                self.forced_termination,
+            ) {
+                let expiry = entered + budget;
+                if expiry > self.now {
+                    t_next = t_next.min(expiry);
+                }
+            }
+
+            // Advance time, executing the running job.
+            debug_assert!(t_next > self.now, "time must advance");
+            let dt = t_next - self.now;
+            if let Some(idx) = running {
+                let task = self.pending[idx].task_index();
+                self.pending[idx].add_executed(self.speed * dt);
+                self.busy_time += dt;
+                // Cubic DVFS power model: P(s) = s³ (normalized).
+                self.energy += self.speed * self.speed * self.speed * dt;
+                match self.segments.last_mut() {
+                    Some(last) if last.task == task && last.to == self.now => {
+                        last.to = t_next;
+                    }
+                    _ => self.segments.push(ExecSegment {
+                        task,
+                        from: self.now,
+                        to: t_next,
+                    }),
+                }
+            }
+            self.now = t_next;
+        }
+
+        Ok(SimReport {
+            horizon: self.horizon,
+            trace: self.trace,
+            misses: self.misses,
+            episodes: self.episodes,
+            released: self.released,
+            completed: self.completed,
+            dropped: self.dropped,
+            preemptions: self.preemptions,
+            busy_time: self.busy_time,
+            max_response: self.max_response,
+            energy: self.energy,
+            segments: self.segments,
+        })
+    }
+
+    /// Applies at most one batch of due transitions; returns whether
+    /// anything happened.
+    fn apply_due_events(&mut self) -> Result<bool, SimError> {
+        // 1. Completions.
+        if let Some(idx) = self.pending.iter().position(Job::is_complete) {
+            let job = self.pending.remove(idx);
+            self.completed += 1;
+            self.record_response(job.task_index(), self.now - job.release());
+            self.trace.push(TraceEvent::Completion {
+                at: self.now,
+                job: job.id(),
+            });
+            return Ok(true);
+        }
+
+        // 2. Overrun boundary: LO→HI mode switch. Checked *before* the
+        //    miss check: an overrun detected exactly at a job's LO-mode
+        //    deadline extends that deadline to its HI-mode value — this
+        //    boundary alignment is exactly the carry-over worst case the
+        //    demand analysis (Lemma 1) accounts for.
+        if self.mode == Mode::Lo {
+            let overran = self.pending.iter().any(|j| {
+                let task = self.task(j.task_index());
+                task.criticality() == Criticality::Hi
+                    && j.demand() > task.lo().wcet()
+                    && j.executed() >= task.lo().wcet()
+            });
+            if overran {
+                self.switch_to_hi();
+                return Ok(true);
+            }
+        }
+
+        // 3. Overclock-budget expiry.
+        if let (Mode::Hi, Some(budget), Some(entered), false) = (
+            self.mode,
+            self.cfg.overclock_budget,
+            self.hi_entered,
+            self.forced_termination,
+        ) {
+            if self.now >= entered + budget {
+                self.curtail_overclock();
+                return Ok(true);
+            }
+        }
+
+        // 4. Deadline misses (against the current-mode deadline).
+        if let Some(job) = self
+            .pending
+            .iter_mut()
+            .find(|j| !j.miss_recorded && j.deadline() <= self.now)
+        {
+            job.miss_recorded = true;
+            let record = DeadlineMiss {
+                job: job.id(),
+                task: job.task_index(),
+                deadline: job.deadline(),
+                mode: self.mode,
+            };
+            let id = job.id();
+            self.misses.push(record);
+            self.trace.push(TraceEvent::Miss { at: self.now, job: id });
+            return Ok(true);
+        }
+
+        // 5. Idle reset: first idle instant in HI mode returns to LO.
+        //    Checked *before* releases due at the same instant — a job
+        //    arriving exactly at the idle instant is served in LO mode,
+        //    matching the closed-interval arrived-demand semantics of
+        //    Corollary 5 (the reset happens at the idle instant itself).
+        if self.mode == Mode::Hi && self.pending.iter().all(Job::is_complete) {
+            self.reset_to_lo();
+            return Ok(true);
+        }
+
+        // 6. Releases due now (events exactly at the horizon are not
+        //    processed).
+        if self.now < self.horizon {
+            for i in 0..self.tasks.len() {
+                let Some(r) = self.tasks[i].next_release else {
+                    continue;
+                };
+                if r > self.now {
+                    continue;
+                }
+                self.release(i, r)?;
+                return Ok(true);
+            }
+        }
+
+        Ok(false)
+    }
+
+    fn release(&mut self, task_index: usize, due: Rational) -> Result<(), SimError> {
+        let sequence = self.tasks[task_index].released;
+        // Advance the per-task arrival plan first.
+        let task = self.task(task_index).clone();
+        self.tasks[task_index].released += 1;
+        self.tasks[task_index].last_release = Some(due);
+        self.tasks[task_index].next_release =
+            self.cfg
+                .arrivals
+                .next_release(&task, task_index, sequence, due, self.mode);
+
+        if self.is_effectively_terminated(task_index) {
+            // Scripted arrivals during a terminated window are suppressed.
+            self.dropped += 1;
+            return Ok(());
+        }
+        let demand = self.demand.demand(&task, task_index, sequence)?;
+        let params = task
+            .params(self.mode)
+            .expect("non-terminated task has params in the current mode");
+        let deadline = due + params.deadline();
+        let id = JobId::new(self.next_job_id);
+        self.next_job_id += 1;
+        self.released += 1;
+        self.trace.push(TraceEvent::Release {
+            at: self.now,
+            job: id,
+            task: task_index,
+            deadline,
+        });
+        let job = Job::new(id, task_index, sequence, due, deadline, demand);
+        if job.is_complete() {
+            // Zero-demand instance: completes instantly.
+            self.completed += 1;
+            self.record_response(task_index, Rational::ZERO);
+            self.trace.push(TraceEvent::Completion { at: self.now, job: id });
+        } else {
+            self.pending.push(job);
+        }
+        Ok(())
+    }
+
+    fn record_response(&mut self, task_index: usize, response: Rational) {
+        let slot = &mut self.max_response[task_index];
+        match slot {
+            Some(current) if *current >= response => {}
+            _ => *slot = Some(response),
+        }
+    }
+
+    fn switch_to_hi(&mut self) {
+        self.mode = Mode::Hi;
+        self.speed = self.cfg.speedup;
+        self.hi_entered = Some(self.now);
+        self.episodes.push(HiEpisode {
+            entered: self.now,
+            exited: None,
+            curtailed: false,
+        });
+        self.trace.push(TraceEvent::ModeSwitch {
+            at: self.now,
+            to: Mode::Hi,
+            speed: self.speed,
+        });
+        self.apply_termination_and_redeadline();
+        // Saturated adversaries re-plan pending arrivals to respect the
+        // HI-mode minimum inter-arrival times.
+        if self.cfg.arrivals.replans_on_mode_switch() {
+            for i in 0..self.tasks.len() {
+                if self.is_effectively_terminated(i) {
+                    self.tasks[i].next_release = None;
+                    continue;
+                }
+                let Some(hi) = self.task(i).params(Mode::Hi) else {
+                    continue;
+                };
+                let hi_period = hi.period();
+                let state = &mut self.tasks[i];
+                if let (Some(next), Some(last)) = (state.next_release, state.last_release) {
+                    state.next_release = Some(next.max(last + hi_period));
+                }
+            }
+        }
+    }
+
+    /// Drops pending jobs of terminated tasks and extends the deadlines
+    /// of surviving jobs to their HI-mode values.
+    fn apply_termination_and_redeadline(&mut self) {
+        let now = self.now;
+        let mut dropped_events = Vec::new();
+        let set = self.cfg.set.clone();
+        let forced = self.forced_termination;
+        self.pending.retain_mut(|job| {
+            let task = &set[job.task_index()];
+            let terminated = task.is_terminated_in_hi()
+                || (forced && task.criticality() == Criticality::Lo);
+            if terminated {
+                dropped_events.push(job.id());
+                return false;
+            }
+            let hi = task
+                .params(Mode::Hi)
+                .expect("non-terminated task has HI params");
+            job.set_deadline(job.release() + hi.deadline());
+            true
+        });
+        for id in dropped_events {
+            self.dropped += 1;
+            self.trace.push(TraceEvent::Dropped { at: now, job: id });
+        }
+    }
+
+    fn curtail_overclock(&mut self) {
+        self.forced_termination = true;
+        self.speed = Rational::ONE;
+        if let Some(episode) = self.episodes.last_mut() {
+            episode.curtailed = true;
+        }
+        self.trace
+            .push(TraceEvent::OverclockCurtailed { at: self.now });
+        // Terminate LO tasks (drop pending, stop arrivals).
+        self.apply_termination_and_redeadline();
+        for i in 0..self.tasks.len() {
+            if self.is_effectively_terminated(i) {
+                self.tasks[i].next_release = None;
+            }
+        }
+    }
+
+    fn reset_to_lo(&mut self) {
+        self.mode = Mode::Lo;
+        self.speed = Rational::ONE;
+        self.forced_termination = false;
+        self.hi_entered = None;
+        if let Some(episode) = self.episodes.last_mut() {
+            episode.exited = Some(self.now);
+        }
+        self.trace.push(TraceEvent::ModeSwitch {
+            at: self.now,
+            to: Mode::Lo,
+            speed: Rational::ONE,
+        });
+        // Resume/replan arrivals under LO-mode parameters: the saturated
+        // adversary releases as early as LO-mode separation now allows.
+        // Scripted plans are fixed (suppressed entries were consumed).
+        if self.cfg.arrivals.replans_on_mode_switch() {
+            for i in 0..self.tasks.len() {
+                let lo_period = self.task(i).lo().period();
+                let state = &mut self.tasks[i];
+                let earliest = match state.last_release {
+                    Some(last) => (last + lo_period).max(self.now),
+                    None => self.now,
+                };
+                state.next_release = Some(quantize_up(earliest, self.cfg.release_quantum));
+            }
+        }
+    }
+}
+
+/// Rounds `t` up to the next multiple of `quantum`.
+fn quantize_up(t: Rational, quantum: Rational) -> Rational {
+    let steps = t / quantum;
+    if steps.is_integer() {
+        t
+    } else {
+        Rational::integer(steps.floor() + 1) * quantum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TraceEvent;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn no_overrun_stays_in_lo_mode() {
+        let report = Simulation::new(table1())
+            .horizon(int(100))
+            .run()
+            .expect("runs");
+        assert!(report.misses().is_empty());
+        assert!(report.hi_episodes().is_empty());
+        // τ1 releases at 0,5,...,95 (20 jobs), τ2 at 0,10,...,90 (10 jobs).
+        assert_eq!(report.released(), 30);
+        assert_eq!(report.completed(), 30);
+        // Busy: 20·1 + 10·3 = 50.
+        assert_eq!(report.busy_time(), int(50));
+        assert_eq!(report.utilization(), rat(1, 2));
+    }
+
+    #[test]
+    fn sustained_overrun_at_s_min_meets_all_deadlines() {
+        let report = Simulation::new(table1())
+            .speedup(rat(4, 3))
+            .horizon(int(200))
+            .execution(ExecutionScenario::HiWcet)
+            .run()
+            .expect("runs");
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        assert!(!report.hi_episodes().is_empty());
+    }
+
+    #[test]
+    fn overloaded_overrun_misses_without_speedup_but_not_with() {
+        // C(HI)=5 due within D(HI)=4 of release: after the switch at t=1
+        // the remaining 4 units cannot finish by the deadline at unit
+        // speed, but can at s=2 (s_min = 2 for this task).
+        let set = TaskSet::new(vec![Task::builder("t", Criticality::Hi)
+            .period(int(5))
+            .deadline_lo(int(2))
+            .deadline_hi(int(4))
+            .wcet_lo(int(1))
+            .wcet_hi(int(5))
+            .build()
+            .expect("valid")]);
+        let slow = Simulation::new(set.clone())
+            .speedup(int(1))
+            .horizon(int(50))
+            .execution(ExecutionScenario::HiWcet)
+            .run()
+            .expect("runs");
+        assert!(!slow.misses().is_empty(), "unit speed must miss");
+        let fast = Simulation::new(set)
+            .speedup(int(2))
+            .horizon(int(50))
+            .execution(ExecutionScenario::HiWcet)
+            .run()
+            .expect("runs");
+        assert!(fast.misses().is_empty(), "misses: {:?}", fast.misses());
+    }
+
+    #[test]
+    fn single_overrun_recovers_and_resets() {
+        let report = Simulation::new(table1())
+            .speedup(int(2))
+            .horizon(int(100))
+            .execution(ExecutionScenario::scripted([(0, 0)]))
+            .run()
+            .expect("runs");
+        assert!(report.misses().is_empty());
+        assert_eq!(report.hi_episodes().len(), 1);
+        let episode = report.hi_episodes()[0];
+        assert!(episode.exited.is_some(), "system should reset");
+        // Corollary 5 for this set at s=2 gives Δ_R = 5; the measured
+        // recovery must not exceed the analytical bound.
+        let recovery = episode.recovery().expect("completed episode");
+        assert!(recovery <= int(5), "recovery {recovery} > 5");
+        assert!(!episode.curtailed);
+    }
+
+    #[test]
+    fn termination_drops_pending_lo_jobs() {
+        let set = table1().with_lo_terminated().expect("valid");
+        let report = Simulation::new(set)
+            .speedup(int(2))
+            .horizon(int(60))
+            .execution(ExecutionScenario::HiWcet)
+            .run()
+            .expect("runs");
+        assert!(report.misses().is_empty());
+        assert!(report.dropped() > 0, "termination should drop jobs");
+        assert!(report
+            .trace()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Dropped { .. })));
+    }
+
+    #[test]
+    fn overclock_budget_curtails_long_episodes() {
+        // Episodes at s=2 under sustained overrun last about 2 time
+        // units; a budget of 1 must trigger curtailment (LO terminated,
+        // speed restored) before the idle reset.
+        let report = Simulation::new(table1())
+            .speedup(int(2))
+            .horizon(int(100))
+            .execution(ExecutionScenario::HiWcet)
+            .overclock_budget(int(1))
+            .run()
+            .expect("runs");
+        assert!(report
+            .trace()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::OverclockCurtailed { .. })));
+        assert!(report.hi_episodes().iter().any(|e| e.curtailed));
+    }
+
+    #[test]
+    fn edf_preempts_longer_jobs() {
+        // A long LO job is preempted by a short-deadline HI job arriving
+        // mid-execution.
+        let set = TaskSet::new(vec![
+            Task::builder("long", Criticality::Lo)
+                .period(int(100))
+                .deadline(int(50))
+                .wcet(int(10))
+                .build()
+                .expect("valid"),
+            Task::builder("short", Criticality::Hi)
+                .period(int(20))
+                .deadline_lo(int(3))
+                .deadline_hi(int(20))
+                .wcet(int(1))
+                .build()
+                .expect("valid"),
+        ]);
+        let arrivals = ArrivalScenario::SaturatedWithOffsets(vec![int(0), int(2)]);
+        let report = Simulation::new(set)
+            .horizon(int(60))
+            .arrivals(arrivals)
+            .run()
+            .expect("runs");
+        assert!(report.preemptions() >= 1);
+        assert!(report.misses().is_empty());
+    }
+
+    #[test]
+    fn scripted_arrivals_are_respected() {
+        let set = table1();
+        let arrivals =
+            ArrivalScenario::Scripted(vec![vec![int(0), int(7)], vec![int(1)]]);
+        let report = Simulation::new(set)
+            .horizon(int(40))
+            .arrivals(arrivals)
+            .run()
+            .expect("runs");
+        assert_eq!(report.released(), 3);
+        assert_eq!(report.completed(), 3);
+        let releases: Vec<Rational> = report
+            .trace()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Release { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(releases, vec![int(0), int(1), int(7)]);
+    }
+
+    #[test]
+    fn degraded_lo_service_slows_arrivals_in_hi_mode() {
+        let set = TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .period_hi(int(20))
+                .deadline_hi(int(15))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ]);
+        // Sustained overrun at the degraded set's (sub-1) requirement:
+        // even slowing down to s_min keeps deadlines.
+        let report = Simulation::new(set)
+            .speedup(int(1))
+            .horizon(int(300))
+            .execution(ExecutionScenario::HiWcet)
+            .run()
+            .expect("runs");
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert_eq!(
+            Simulation::new(table1()).run().expect_err("no horizon"),
+            SimError::NonPositiveHorizon
+        );
+        assert_eq!(
+            Simulation::new(table1())
+                .horizon(int(0))
+                .run()
+                .expect_err("zero horizon"),
+            SimError::NonPositiveHorizon
+        );
+        assert_eq!(
+            Simulation::new(table1())
+                .horizon(int(10))
+                .speedup(int(0))
+                .run()
+                .expect_err("zero speedup"),
+            SimError::NonPositiveSpeedup
+        );
+        assert!(matches!(
+            Simulation::new(table1())
+                .horizon(int(10))
+                .arrivals(ArrivalScenario::Scripted(vec![vec![]]))
+                .run(),
+            Err(SimError::ArrivalScriptMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let result = Simulation::new(table1())
+            .horizon(int(1_000))
+            .max_events(10)
+            .run();
+        assert!(matches!(result, Err(SimError::EventBudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn energy_equals_busy_time_without_overclocking() {
+        let report = Simulation::new(table1())
+            .horizon(int(100))
+            .run()
+            .expect("runs");
+        assert_eq!(report.energy(), report.busy_time());
+        assert_eq!(report.energy_overhead(), Some(Rational::ONE));
+    }
+
+    #[test]
+    fn overclocking_costs_quadratically_per_work_unit() {
+        // Single overrun handled at s = 2: HI-mode work W costs 4W
+        // energy but only W/2 time, so energy = busy_lo + 8·busy_hi.
+        let report = Simulation::new(table1())
+            .speedup(int(2))
+            .horizon(int(40))
+            .execution(ExecutionScenario::scripted([(0, 0)]))
+            .run()
+            .expect("runs");
+        assert!(report.energy() > report.busy_time());
+        let overhead = report.energy_overhead().expect("ran");
+        assert!(overhead > Rational::ONE);
+        assert!(overhead < int(8), "overhead {overhead} exceeds the HI-mode power");
+        // Exact accounting: recompute from the trace-facing quantities.
+        // Episode [1, 3): 2 time units at power 8; the rest at power 1.
+        let hi_time = report
+            .hi_episodes()
+            .iter()
+            .filter_map(HiEpisode::recovery)
+            .sum::<Rational>();
+        let lo_busy = report.busy_time() - hi_time;
+        assert_eq!(report.energy(), lo_busy + int(8) * hi_time);
+    }
+
+    #[test]
+    fn slowdown_saves_energy() {
+        // The degraded set runs HI mode at s = 7/9 < 1: energy overhead
+        // below 1 during episodes.
+        let set = TaskSet::new(vec![
+            table1()[0].clone(),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .period_hi(int(20))
+                .deadline_hi(int(15))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ]);
+        let report = Simulation::new(set)
+            .speedup(rat(7, 9))
+            .horizon(int(200))
+            .execution(ExecutionScenario::HiWcet)
+            .run()
+            .expect("runs");
+        assert!(report.misses().is_empty());
+        let overhead = report.energy_overhead().expect("ran");
+        assert!(overhead < Rational::ONE, "overhead {overhead}");
+    }
+
+    #[test]
+    fn response_times_are_tracked_and_bounded_by_deadlines() {
+        let report = Simulation::new(table1())
+            .speedup(int(2))
+            .horizon(int(200))
+            .execution(ExecutionScenario::scripted([(0, 2), (0, 7)]))
+            .run()
+            .expect("runs");
+        assert!(report.misses().is_empty());
+        let responses = report.max_response_times();
+        assert_eq!(responses.len(), 2);
+        // τ1's worst response stays within its HI deadline (5), τ2's
+        // within its deadline (10); both tasks completed jobs.
+        let r1 = responses[0].expect("tau1 completed jobs");
+        let r2 = responses[1].expect("tau2 completed jobs");
+        assert!(r1 <= int(5), "tau1 response {r1}");
+        assert!(r2 <= int(10), "tau2 response {r2}");
+        // τ1 actually overran twice, so its worst response exceeds C(LO).
+        assert!(r1 > int(1));
+    }
+
+    #[test]
+    fn idle_tasks_report_no_response_time() {
+        // A script that never releases τ2.
+        let report = Simulation::new(table1())
+            .horizon(int(30))
+            .arrivals(ArrivalScenario::Scripted(vec![vec![int(0)], vec![]]))
+            .run()
+            .expect("runs");
+        let responses = report.max_response_times();
+        assert!(responses[0].is_some());
+        assert_eq!(responses[1], None);
+    }
+
+    #[test]
+    fn trace_is_chronological() {
+        let report = Simulation::new(table1())
+            .speedup(int(2))
+            .horizon(int(120))
+            .execution(ExecutionScenario::scripted([(0, 3), (0, 9)]))
+            .run()
+            .expect("runs");
+        let times: Vec<Rational> = report.trace().iter().map(TraceEvent::at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Two separate overruns → two episodes.
+        assert_eq!(report.hi_episodes().len(), 2);
+        assert!(report.hi_episodes().iter().all(|e| e.exited.is_some()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a simulation cannot be run as configured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configured HI-mode speedup factor is zero or negative.
+    NonPositiveSpeedup,
+    /// The configured horizon is zero or negative.
+    NonPositiveHorizon,
+    /// A scripted arrival scenario does not match the task set (wrong
+    /// number of task rows).
+    ArrivalScriptMismatch {
+        /// Tasks in the set.
+        tasks: usize,
+        /// Rows in the script.
+        rows: usize,
+    },
+    /// A scripted arrival sequence violates a task's minimum
+    /// inter-arrival time or is not sorted.
+    ArrivalScriptInvalid {
+        /// Index of the offending task.
+        task: usize,
+    },
+    /// An execution scenario produced a demand outside
+    /// `[0, C(HI)]` (or above `C(LO)` for a LO task).
+    DemandOutOfRange {
+        /// Index of the offending task.
+        task: usize,
+    },
+    /// The event loop exceeded its safety bound without reaching the
+    /// horizon (indicates degenerate parameters, e.g. zero-length
+    /// periods slipping through validation).
+    EventBudgetExhausted {
+        /// Events processed before giving up.
+        events: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NonPositiveSpeedup => {
+                f.write_str("HI-mode speedup factor must be strictly positive")
+            }
+            SimError::NonPositiveHorizon => {
+                f.write_str("simulation horizon must be strictly positive")
+            }
+            SimError::ArrivalScriptMismatch { tasks, rows } => write!(
+                f,
+                "arrival script has {rows} rows but the task set has {tasks} tasks"
+            ),
+            SimError::ArrivalScriptInvalid { task } => write!(
+                f,
+                "arrival script for task #{task} is unsorted or violates its minimum inter-arrival time"
+            ),
+            SimError::DemandOutOfRange { task } => write!(
+                f,
+                "execution scenario produced an out-of-range demand for task #{task}"
+            ),
+            SimError::EventBudgetExhausted { events } => write!(
+                f,
+                "simulation event budget exhausted after {events} events"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::NonPositiveSpeedup.to_string().contains("speedup"));
+        assert!(SimError::ArrivalScriptMismatch { tasks: 3, rows: 2 }
+            .to_string()
+            .contains('3'));
+        assert!(SimError::EventBudgetExhausted { events: 9 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

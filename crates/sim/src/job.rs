@@ -1,0 +1,187 @@
+//! Jobs — task instances tracked by the simulator.
+
+use std::fmt;
+
+use rbs_timebase::Rational;
+
+/// A unique job identifier (global release order).
+///
+/// # Examples
+///
+/// ```
+/// use rbs_sim::JobId;
+///
+/// let id = JobId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "J3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Creates an id from a global release index.
+    #[must_use]
+    pub const fn new(index: u64) -> JobId {
+        JobId(index)
+    }
+
+    /// The global release index.
+    #[must_use]
+    pub const fn index(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// One released job instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    id: JobId,
+    task_index: usize,
+    /// Per-task job sequence number (0-based).
+    sequence: u64,
+    release: Rational,
+    /// Absolute deadline under the *current* mode (updated at mode
+    /// switches).
+    deadline: Rational,
+    /// The actual execution demand of this instance.
+    demand: Rational,
+    /// Work executed so far.
+    executed: Rational,
+    /// Whether a deadline miss has already been recorded for this job.
+    pub(crate) miss_recorded: bool,
+}
+
+impl Job {
+    pub(crate) fn new(
+        id: JobId,
+        task_index: usize,
+        sequence: u64,
+        release: Rational,
+        deadline: Rational,
+        demand: Rational,
+    ) -> Job {
+        Job {
+            id,
+            task_index,
+            sequence,
+            release,
+            deadline,
+            demand,
+            executed: Rational::ZERO,
+            miss_recorded: false,
+        }
+    }
+
+    /// The job's id.
+    #[must_use]
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Index of the owning task in the task set.
+    #[must_use]
+    pub fn task_index(&self) -> usize {
+        self.task_index
+    }
+
+    /// Per-task 0-based job sequence number.
+    #[must_use]
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Absolute release time.
+    #[must_use]
+    pub fn release(&self) -> Rational {
+        self.release
+    }
+
+    /// Absolute deadline under the current mode.
+    #[must_use]
+    pub fn deadline(&self) -> Rational {
+        self.deadline
+    }
+
+    pub(crate) fn set_deadline(&mut self, deadline: Rational) {
+        self.deadline = deadline;
+    }
+
+    /// The actual execution demand of this instance.
+    #[must_use]
+    pub fn demand(&self) -> Rational {
+        self.demand
+    }
+
+    /// Work executed so far.
+    #[must_use]
+    pub fn executed(&self) -> Rational {
+        self.executed
+    }
+
+    pub(crate) fn add_executed(&mut self, amount: Rational) {
+        self.executed += amount;
+    }
+
+    /// Remaining execution demand.
+    #[must_use]
+    pub fn remaining(&self) -> Rational {
+        self.demand - self.executed
+    }
+
+    /// Whether the job has finished.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.executed >= self.demand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    #[test]
+    fn job_accounting() {
+        let mut job = Job::new(JobId::new(0), 2, 5, int(10), int(14), int(3));
+        assert_eq!(job.task_index(), 2);
+        assert_eq!(job.sequence(), 5);
+        assert_eq!(job.release(), int(10));
+        assert_eq!(job.deadline(), int(14));
+        assert_eq!(job.remaining(), int(3));
+        assert!(!job.is_complete());
+        job.add_executed(Rational::new(3, 2));
+        assert_eq!(job.executed(), Rational::new(3, 2));
+        assert_eq!(job.remaining(), Rational::new(3, 2));
+        job.add_executed(Rational::new(3, 2));
+        assert!(job.is_complete());
+        assert_eq!(job.remaining(), Rational::ZERO);
+    }
+
+    #[test]
+    fn deadline_can_be_extended_at_mode_switch() {
+        let mut job = Job::new(JobId::new(1), 0, 0, int(0), int(2), int(1));
+        job.set_deadline(int(5));
+        assert_eq!(job.deadline(), int(5));
+    }
+
+    #[test]
+    fn zero_demand_job_is_immediately_complete() {
+        let job = Job::new(JobId::new(2), 0, 0, int(0), int(2), Rational::ZERO);
+        assert!(job.is_complete());
+    }
+
+    #[test]
+    fn job_id_display_and_order() {
+        assert!(JobId::new(1) < JobId::new(2));
+        assert_eq!(JobId::new(7).to_string(), "J7");
+    }
+}

@@ -1,0 +1,78 @@
+//! Discrete-event simulation of mixed-criticality EDF with temporary
+//! processor speedup.
+//!
+//! This crate implements the runtime side of *"Run and Be Safe"* (DATE
+//! 2015): a preemptive EDF scheduler on a variable-speed uniprocessor
+//! that follows the paper's mode-switch protocol:
+//!
+//! 1. the system starts in LO mode at nominal speed; HI-criticality jobs
+//!    are scheduled against their shortened LO-mode deadlines
+//!    (*preparation for overrun*);
+//! 2. the instant any HI job executes beyond its LO-mode WCET the system
+//!    switches to **HI mode**: the processor speeds up by the configured
+//!    factor `s`, pending job deadlines revert to their HI-mode values,
+//!    LO tasks degrade their service (or are terminated), and new
+//!    arrivals respect the HI-mode parameters;
+//! 3. at the first processor **idle instant** the system resets to LO
+//!    mode and nominal speed (Section IV);
+//! 4. optionally, a runtime monitor bounds how long overclocking may
+//!    last (Section IV remark): when the budget expires, LO tasks are
+//!    terminated and the speed is restored so the overload drains at
+//!    nominal speed.
+//!
+//! The simulator is exact (rational time), deterministic for a given
+//! seed, and records a full event trace plus deadline misses, HI-mode
+//! episodes and measured recovery times — the quantities the paper's
+//! evaluation compares against the offline bounds of `rbs-core`.
+//!
+//! # Examples
+//!
+//! Injecting an overrun and watching the system recover:
+//!
+//! ```
+//! use rbs_sim::{ArrivalScenario, ExecutionScenario, Simulation};
+//! use rbs_model::{Criticality, Task, TaskSet};
+//! use rbs_timebase::Rational;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let set = TaskSet::new(vec![
+//!     Task::builder("tau1", Criticality::Hi)
+//!         .period(Rational::integer(5))
+//!         .deadline_lo(Rational::integer(2))
+//!         .deadline_hi(Rational::integer(5))
+//!         .wcet_lo(Rational::integer(1))
+//!         .wcet_hi(Rational::integer(2))
+//!         .build()?,
+//!     Task::builder("tau2", Criticality::Lo)
+//!         .period(Rational::integer(10))
+//!         .deadline(Rational::integer(10))
+//!         .wcet(Rational::integer(3))
+//!         .build()?,
+//! ]);
+//! let report = Simulation::new(set)
+//!     .speedup(Rational::new(4, 3))
+//!     .horizon(Rational::integer(100))
+//!     .arrivals(ArrivalScenario::Saturated)
+//!     .execution(ExecutionScenario::HiWcet)
+//!     .run()?;
+//! assert!(report.misses().is_empty());
+//! assert!(!report.hi_episodes().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod job;
+mod report;
+mod scenario;
+pub mod timeline;
+
+pub use engine::Simulation;
+pub use error::SimError;
+pub use job::{Job, JobId};
+pub use report::{DeadlineMiss, ExecSegment, HiEpisode, SimReport, TraceEvent};
+pub use scenario::{ArrivalScenario, ExecutionScenario};

@@ -1,0 +1,314 @@
+//! Simulation outputs: trace, misses, episodes, statistics.
+
+use rbs_model::Mode;
+use rbs_timebase::Rational;
+
+use crate::JobId;
+
+/// One entry of the simulation event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A job was released.
+    Release {
+        /// Time of the event.
+        at: Rational,
+        /// The released job.
+        job: JobId,
+        /// Owning task index.
+        task: usize,
+        /// Absolute deadline assigned at release.
+        deadline: Rational,
+    },
+    /// A job finished all its execution demand.
+    Completion {
+        /// Time of the event.
+        at: Rational,
+        /// The finished job.
+        job: JobId,
+    },
+    /// A HI job exceeded its LO-mode WCET: the system switched to HI
+    /// mode.
+    ModeSwitch {
+        /// Time of the event.
+        at: Rational,
+        /// The new mode.
+        to: Mode,
+        /// Processor speed from this instant on.
+        speed: Rational,
+    },
+    /// A pending job was discarded (its task is terminated in HI mode).
+    Dropped {
+        /// Time of the event.
+        at: Rational,
+        /// The dropped job.
+        job: JobId,
+    },
+    /// A job was still unfinished at its (current-mode) deadline.
+    Miss {
+        /// Time of the event (the deadline).
+        at: Rational,
+        /// The tardy job.
+        job: JobId,
+    },
+    /// The overclocking budget expired: LO tasks were terminated and the
+    /// speed restored to nominal while remaining in HI mode.
+    OverclockCurtailed {
+        /// Time of the event.
+        at: Rational,
+    },
+}
+
+impl TraceEvent {
+    /// The time at which the event occurred.
+    #[must_use]
+    pub fn at(&self) -> Rational {
+        match self {
+            TraceEvent::Release { at, .. }
+            | TraceEvent::Completion { at, .. }
+            | TraceEvent::ModeSwitch { at, .. }
+            | TraceEvent::Dropped { at, .. }
+            | TraceEvent::Miss { at, .. }
+            | TraceEvent::OverclockCurtailed { at } => *at,
+        }
+    }
+}
+
+/// A maximal interval during which one job of one task executed
+/// continuously (used by [`crate::timeline`] to render Gantt charts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSegment {
+    /// Owning task index.
+    pub task: usize,
+    /// Segment start.
+    pub from: Rational,
+    /// Segment end (exclusive).
+    pub to: Rational,
+}
+
+/// A recorded deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineMiss {
+    /// The tardy job.
+    pub job: JobId,
+    /// Owning task index.
+    pub task: usize,
+    /// The absolute deadline that passed.
+    pub deadline: Rational,
+    /// The mode the system was in when the deadline passed.
+    pub mode: Mode,
+}
+
+/// One HI-mode episode: from overrun-triggered switch to idle reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HiEpisode {
+    /// When the system entered HI mode.
+    pub entered: Rational,
+    /// When it reset to LO mode (`None` if still in HI mode at the
+    /// horizon).
+    pub exited: Option<Rational>,
+    /// Whether the overclock-budget monitor curtailed the speedup during
+    /// this episode.
+    pub curtailed: bool,
+}
+
+impl HiEpisode {
+    /// The measured recovery (service resetting) time, if the episode
+    /// completed.
+    #[must_use]
+    pub fn recovery(&self) -> Option<Rational> {
+        self.exited.map(|t| t - self.entered)
+    }
+}
+
+/// The full outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    pub(crate) horizon: Rational,
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) misses: Vec<DeadlineMiss>,
+    pub(crate) episodes: Vec<HiEpisode>,
+    pub(crate) released: u64,
+    pub(crate) completed: u64,
+    pub(crate) dropped: u64,
+    pub(crate) preemptions: u64,
+    pub(crate) busy_time: Rational,
+    pub(crate) max_response: Vec<Option<Rational>>,
+    pub(crate) energy: Rational,
+    pub(crate) segments: Vec<ExecSegment>,
+}
+
+impl SimReport {
+    /// The simulated horizon.
+    #[must_use]
+    pub fn horizon(&self) -> Rational {
+        self.horizon
+    }
+
+    /// The chronological event trace.
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// All recorded deadline misses (empty means every job met its
+    /// current-mode deadline).
+    #[must_use]
+    pub fn misses(&self) -> &[DeadlineMiss] {
+        &self.misses
+    }
+
+    /// HI-mode episodes in chronological order.
+    #[must_use]
+    pub fn hi_episodes(&self) -> &[HiEpisode] {
+        &self.episodes
+    }
+
+    /// The longest measured recovery among completed episodes.
+    #[must_use]
+    pub fn max_recovery(&self) -> Option<Rational> {
+        self.episodes.iter().filter_map(HiEpisode::recovery).max()
+    }
+
+    /// Number of released jobs.
+    #[must_use]
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Number of completed jobs.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of jobs dropped by termination.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of preemptions (a running job displaced while unfinished).
+    #[must_use]
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Total processor busy time (in time units, not work units).
+    #[must_use]
+    pub fn busy_time(&self) -> Rational {
+        self.busy_time
+    }
+
+    /// Fraction of the horizon the processor was busy.
+    #[must_use]
+    pub fn utilization(&self) -> Rational {
+        self.busy_time / self.horizon
+    }
+
+    /// The worst observed response time (completion − release) of each
+    /// task, indexed like the task set; `None` for tasks that completed
+    /// no job within the horizon.
+    #[must_use]
+    pub fn max_response_times(&self) -> &[Option<Rational>] {
+        &self.max_response
+    }
+
+    /// Dynamic energy dissipated, in the classic cubic DVFS model: a
+    /// processor at speed `s` draws power `s³` (normalized so one unit
+    /// of busy time at nominal speed costs one unit of energy). Executing
+    /// the same work at speed `s` therefore costs `s²` per work unit —
+    /// the cost side of the paper's speedup lever (cf. its reference
+    /// \[11\], the authors' energy-focused companion paper).
+    #[must_use]
+    pub fn energy(&self) -> Rational {
+        self.energy
+    }
+
+    /// The processor's execution segments in chronological order
+    /// (contiguous same-task stretches are merged).
+    #[must_use]
+    pub fn execution_segments(&self) -> &[ExecSegment] {
+        &self.segments
+    }
+
+    /// The energy overhead of speedup: dissipated energy relative to
+    /// executing the same busy time at nominal speed. 1 means no
+    /// overclocking happened (or only slowdowns that balanced out).
+    ///
+    /// Returns `None` when the processor never ran.
+    #[must_use]
+    pub fn energy_overhead(&self) -> Option<Rational> {
+        if self.busy_time.is_zero() {
+            return None;
+        }
+        Some(self.energy / self.busy_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    #[test]
+    fn episode_recovery() {
+        let done = HiEpisode {
+            entered: int(10),
+            exited: Some(int(16)),
+            curtailed: false,
+        };
+        assert_eq!(done.recovery(), Some(int(6)));
+        let open = HiEpisode {
+            entered: int(50),
+            exited: None,
+            curtailed: true,
+        };
+        assert_eq!(open.recovery(), None);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = SimReport {
+            horizon: int(100),
+            trace: vec![TraceEvent::OverclockCurtailed { at: int(4) }],
+            misses: vec![],
+            episodes: vec![
+                HiEpisode {
+                    entered: int(0),
+                    exited: Some(int(5)),
+                    curtailed: false,
+                },
+                HiEpisode {
+                    entered: int(20),
+                    exited: Some(int(28)),
+                    curtailed: false,
+                },
+            ],
+            released: 10,
+            completed: 9,
+            dropped: 1,
+            preemptions: 3,
+            busy_time: int(60),
+            max_response: vec![Some(int(4)), None],
+            energy: int(90),
+            segments: vec![ExecSegment { task: 0, from: int(0), to: int(4) }],
+        };
+        assert_eq!(report.max_recovery(), Some(int(8)));
+        assert_eq!(report.utilization(), Rational::new(3, 5));
+        assert_eq!(report.trace()[0].at(), int(4));
+        assert_eq!(report.released(), 10);
+        assert_eq!(report.completed(), 9);
+        assert_eq!(report.dropped(), 1);
+        assert_eq!(report.preemptions(), 3);
+        assert_eq!(report.horizon(), int(100));
+        assert!(report.misses().is_empty());
+        assert_eq!(report.max_response_times(), &[Some(int(4)), None]);
+        assert_eq!(report.energy(), int(90));
+        assert_eq!(report.energy_overhead(), Some(Rational::new(3, 2)));
+        assert_eq!(report.execution_segments().len(), 1);
+    }
+}

@@ -1,0 +1,438 @@
+//! Arrival and execution-demand scenarios.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbs_model::{Criticality, Mode, Task};
+use rbs_timebase::Rational;
+
+use crate::SimError;
+
+/// How jobs arrive.
+///
+/// Sporadic tasks give the adversary freedom in arrival times; the
+/// scenarios below cover the interesting corners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArrivalScenario {
+    /// Every task releases as early as legally possible: at time 0 and
+    /// then exactly at its minimum inter-arrival time of the mode current
+    /// at the (re)planning instant. This is the classic synchronous
+    /// worst case for EDF demand.
+    Saturated,
+    /// Like [`ArrivalScenario::Saturated`] but with per-task initial
+    /// offsets.
+    SaturatedWithOffsets(Vec<Rational>),
+    /// Explicit per-task release times (sorted, respecting the LO-mode
+    /// minimum inter-arrival time). Tasks with exhausted scripts release
+    /// no further jobs.
+    Scripted(Vec<Vec<Rational>>),
+    /// Like [`ArrivalScenario::Saturated`] but each release is delayed by
+    /// a deterministic pseudo-random jitter in `[0, max_jitter]` (drawn
+    /// on a `max_jitter/64` grid from the seed) — sporadic tasks that are
+    /// *almost* periodic, as real sensor-driven workloads are.
+    SaturatedWithJitter {
+        /// The largest extra delay past the minimum separation.
+        max_jitter: Rational,
+        /// Derivation seed (runs are reproducible).
+        seed: u64,
+    },
+}
+
+/// SplitMix64: a tiny stateless hash for per-release jitter derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn jitter(seed: u64, task_index: usize, sequence: u64, max_jitter: Rational) -> Rational {
+    let h = splitmix64(seed ^ ((task_index as u64) << 32) ^ sequence);
+    Rational::new((h % 65) as i128, 64) * max_jitter
+}
+
+impl ArrivalScenario {
+    /// Validates the scenario against a task set of `n` tasks.
+    pub(crate) fn validate(&self, tasks: &[Task]) -> Result<(), SimError> {
+        match self {
+            ArrivalScenario::Saturated => Ok(()),
+            ArrivalScenario::SaturatedWithOffsets(offsets) => {
+                if offsets.len() != tasks.len() {
+                    return Err(SimError::ArrivalScriptMismatch {
+                        tasks: tasks.len(),
+                        rows: offsets.len(),
+                    });
+                }
+                Ok(())
+            }
+            ArrivalScenario::SaturatedWithJitter { max_jitter, .. } => {
+                if max_jitter.is_negative() {
+                    return Err(SimError::ArrivalScriptInvalid { task: 0 });
+                }
+                Ok(())
+            }
+            ArrivalScenario::Scripted(rows) => {
+                if rows.len() != tasks.len() {
+                    return Err(SimError::ArrivalScriptMismatch {
+                        tasks: tasks.len(),
+                        rows: rows.len(),
+                    });
+                }
+                for (i, (row, task)) in rows.iter().zip(tasks).enumerate() {
+                    let min_gap = task.lo().period();
+                    for pair in row.windows(2) {
+                        if pair[1] - pair[0] < min_gap {
+                            return Err(SimError::ArrivalScriptInvalid { task: i });
+                        }
+                    }
+                    if row.iter().any(Rational::is_negative) {
+                        return Err(SimError::ArrivalScriptInvalid { task: i });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The first release time of task `i`, if any.
+    pub(crate) fn first_release(&self, task_index: usize) -> Option<Rational> {
+        match self {
+            ArrivalScenario::Saturated => Some(Rational::ZERO),
+            ArrivalScenario::SaturatedWithOffsets(offsets) => Some(offsets[task_index]),
+            ArrivalScenario::Scripted(rows) => rows[task_index].first().copied(),
+            ArrivalScenario::SaturatedWithJitter { max_jitter, seed } => {
+                Some(jitter(*seed, task_index, 0, *max_jitter))
+            }
+        }
+    }
+
+    /// The release following a job of task `i` released at `last` as its
+    /// `sequence`-th job, under mode `mode`.
+    pub(crate) fn next_release(
+        &self,
+        task: &Task,
+        task_index: usize,
+        sequence: u64,
+        last: Rational,
+        mode: Mode,
+    ) -> Option<Rational> {
+        match self {
+            ArrivalScenario::Saturated | ArrivalScenario::SaturatedWithOffsets(_) => {
+                let period = task.params(mode).map(|p| p.period())?;
+                Some(last + period)
+            }
+            ArrivalScenario::SaturatedWithJitter { max_jitter, seed } => {
+                let period = task.params(mode).map(|p| p.period())?;
+                Some(last + period + jitter(*seed, task_index, sequence + 1, *max_jitter))
+            }
+            ArrivalScenario::Scripted(rows) => {
+                let next_index = usize::try_from(sequence).ok()? + 1;
+                rows[task_index].get(next_index).copied()
+            }
+        }
+    }
+
+    /// Whether the scenario re-plans pending releases at mode switches
+    /// (saturated adversaries do; scripts are fixed).
+    pub(crate) fn replans_on_mode_switch(&self) -> bool {
+        !matches!(self, ArrivalScenario::Scripted(_))
+    }
+}
+
+/// How much each job actually executes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ExecutionScenario {
+    /// Every job takes exactly its LO-mode WCET: no overruns ever.
+    LoWcet,
+    /// Every HI job takes its HI-mode WCET (overrunning immediately when
+    /// `C(HI) > C(LO)`); LO jobs take `C(LO)`. This is the sustained
+    /// worst case the offline analysis guards against.
+    HiWcet,
+    /// Specific `(task_index, job_sequence)` instances take `C(HI)`;
+    /// all others take `C(LO)`. Use to inject isolated overruns.
+    Scripted {
+        /// The overrunning instances.
+        overruns: BTreeMap<(usize, u64), ()>,
+    },
+    /// Each HI job independently overruns to `C(HI)` with the given
+    /// probability (as a ratio in `[0, 1]`), deterministically derived
+    /// from the seed.
+    RandomOverrun {
+        /// Overrun probability in `[0, 1]`.
+        probability: f64,
+        /// RNG seed (simulations are reproducible).
+        seed: u64,
+    },
+}
+
+impl ExecutionScenario {
+    /// A scripted scenario from a list of overrunning instances.
+    #[must_use]
+    pub fn scripted(overruns: impl IntoIterator<Item = (usize, u64)>) -> ExecutionScenario {
+        ExecutionScenario::Scripted {
+            overruns: overruns.into_iter().map(|k| (k, ())).collect(),
+        }
+    }
+}
+
+/// Stateful demand source built from an [`ExecutionScenario`].
+#[derive(Debug)]
+pub(crate) struct DemandSource {
+    scenario: ExecutionScenario,
+    rng: StdRng,
+}
+
+impl DemandSource {
+    pub(crate) fn new(scenario: ExecutionScenario) -> DemandSource {
+        let seed = match &scenario {
+            ExecutionScenario::RandomOverrun { seed, .. } => *seed,
+            _ => 0,
+        };
+        DemandSource {
+            scenario,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The actual demand of the `sequence`-th job of `task`.
+    pub(crate) fn demand(
+        &mut self,
+        task: &Task,
+        task_index: usize,
+        sequence: u64,
+    ) -> Result<Rational, SimError> {
+        let c_lo = task.lo().wcet();
+        if task.criticality() == Criticality::Lo {
+            // The model forbids LO tasks from exceeding C(LO).
+            return Ok(c_lo);
+        }
+        let c_hi = task
+            .params(Mode::Hi)
+            .map_or(c_lo, |p| p.wcet());
+        let overruns = match &self.scenario {
+            ExecutionScenario::LoWcet => false,
+            ExecutionScenario::HiWcet => true,
+            ExecutionScenario::Scripted { overruns } => {
+                overruns.contains_key(&(task_index, sequence))
+            }
+            ExecutionScenario::RandomOverrun { probability, .. } => {
+                if !(0.0..=1.0).contains(probability) {
+                    return Err(SimError::DemandOutOfRange { task: task_index });
+                }
+                self.rng.gen_bool(*probability)
+            }
+        };
+        Ok(if overruns { c_hi } else { c_lo })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::Task;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn hi_task() -> Task {
+        Task::builder("h", Criticality::Hi)
+            .period(int(5))
+            .deadline_lo(int(2))
+            .deadline_hi(int(5))
+            .wcet_lo(int(1))
+            .wcet_hi(int(2))
+            .build()
+            .expect("valid")
+    }
+
+    fn lo_task() -> Task {
+        Task::builder("l", Criticality::Lo)
+            .period(int(10))
+            .deadline(int(10))
+            .period_hi(int(20))
+            .deadline_hi(int(20))
+            .wcet(int(3))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn saturated_releases_back_to_back() {
+        let s = ArrivalScenario::Saturated;
+        let h = hi_task();
+        assert_eq!(s.first_release(0), Some(int(0)));
+        assert_eq!(s.next_release(&h, 0, 0, int(0), Mode::Lo), Some(int(5)));
+        assert_eq!(s.next_release(&h, 0, 1, int(5), Mode::Hi), Some(int(10)));
+        // Degraded LO task arrives slower in HI mode.
+        let l = lo_task();
+        assert_eq!(s.next_release(&l, 1, 0, int(0), Mode::Lo), Some(int(10)));
+        assert_eq!(s.next_release(&l, 1, 0, int(0), Mode::Hi), Some(int(20)));
+        assert!(s.replans_on_mode_switch());
+    }
+
+    #[test]
+    fn terminated_tasks_have_no_hi_release() {
+        let s = ArrivalScenario::Saturated;
+        let t = lo_task().terminated().expect("LO task");
+        assert_eq!(s.next_release(&t, 0, 0, int(0), Mode::Hi), None);
+        assert_eq!(s.next_release(&t, 0, 0, int(0), Mode::Lo), Some(int(10)));
+    }
+
+    #[test]
+    fn offsets_shift_first_release() {
+        let s = ArrivalScenario::SaturatedWithOffsets(vec![int(3), int(7)]);
+        assert_eq!(s.first_release(0), Some(int(3)));
+        assert_eq!(s.first_release(1), Some(int(7)));
+        assert!(s.validate(&[hi_task(), lo_task()]).is_ok());
+        assert!(s.validate(&[hi_task()]).is_err());
+    }
+
+    #[test]
+    fn scripts_are_validated() {
+        let tasks = [hi_task(), lo_task()];
+        let good = ArrivalScenario::Scripted(vec![vec![int(0), int(5), int(11)], vec![int(2)]]);
+        assert!(good.validate(&tasks).is_ok());
+        assert!(!good.replans_on_mode_switch());
+        let too_close = ArrivalScenario::Scripted(vec![vec![int(0), int(4)], vec![]]);
+        assert_eq!(
+            too_close.validate(&tasks),
+            Err(SimError::ArrivalScriptInvalid { task: 0 })
+        );
+        let wrong_rows = ArrivalScenario::Scripted(vec![vec![]]);
+        assert!(matches!(
+            wrong_rows.validate(&tasks),
+            Err(SimError::ArrivalScriptMismatch { tasks: 2, rows: 1 })
+        ));
+        let negative = ArrivalScenario::Scripted(vec![vec![int(-1)], vec![]]);
+        assert_eq!(
+            negative.validate(&tasks),
+            Err(SimError::ArrivalScriptInvalid { task: 0 })
+        );
+    }
+
+    #[test]
+    fn scripted_arrivals_follow_the_script() {
+        let s = ArrivalScenario::Scripted(vec![vec![int(0), int(6), int(20)]]);
+        let h = hi_task();
+        assert_eq!(s.first_release(0), Some(int(0)));
+        assert_eq!(s.next_release(&h, 0, 0, int(0), Mode::Lo), Some(int(6)));
+        assert_eq!(s.next_release(&h, 0, 1, int(6), Mode::Hi), Some(int(20)));
+        assert_eq!(s.next_release(&h, 0, 2, int(20), Mode::Lo), None);
+    }
+
+    #[test]
+    fn jitter_delays_are_bounded_and_reproducible() {
+        let s = ArrivalScenario::SaturatedWithJitter {
+            max_jitter: int(2),
+            seed: 99,
+        };
+        let h = hi_task(); // T = 5
+        let first = s.first_release(0).expect("releases");
+        assert!(first >= Rational::ZERO && first <= int(2));
+        let mut last = first;
+        for seq in 0..50 {
+            let next = s
+                .next_release(&h, 0, seq, last, Mode::Lo)
+                .expect("releases");
+            let gap = next - last;
+            assert!(gap >= int(5), "separation violated: {gap}");
+            assert!(gap <= int(7), "jitter exceeded: {gap}");
+            // Denominators stay on the 1/64 lattice.
+            assert!(64 % next.denom() == 0, "off-lattice release {next}");
+            last = next;
+        }
+        // Same seed → same schedule; different seed → different.
+        let again = ArrivalScenario::SaturatedWithJitter {
+            max_jitter: int(2),
+            seed: 99,
+        };
+        assert_eq!(again.first_release(0), Some(first));
+        let other = ArrivalScenario::SaturatedWithJitter {
+            max_jitter: int(2),
+            seed: 100,
+        };
+        assert_ne!(
+            (0..20)
+                .scan(first, |l, seq| {
+                    *l = s.next_release(&h, 0, seq, *l, Mode::Lo).expect("r");
+                    Some(*l)
+                })
+                .collect::<Vec<_>>(),
+            (0..20)
+                .scan(other.first_release(0).expect("r"), |l, seq| {
+                    *l = other.next_release(&h, 0, seq, *l, Mode::Lo).expect("r");
+                    Some(*l)
+                })
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn negative_jitter_is_rejected() {
+        let s = ArrivalScenario::SaturatedWithJitter {
+            max_jitter: Rational::new(-1, 2),
+            seed: 0,
+        };
+        assert_eq!(
+            s.validate(&[hi_task()]),
+            Err(SimError::ArrivalScriptInvalid { task: 0 })
+        );
+    }
+
+    #[test]
+    fn demand_sources_respect_the_model() {
+        let h = hi_task();
+        let l = lo_task();
+
+        let mut lo_only = DemandSource::new(ExecutionScenario::LoWcet);
+        assert_eq!(lo_only.demand(&h, 0, 0).expect("ok"), int(1));
+        assert_eq!(lo_only.demand(&l, 1, 0).expect("ok"), int(3));
+
+        let mut hi = DemandSource::new(ExecutionScenario::HiWcet);
+        assert_eq!(hi.demand(&h, 0, 0).expect("ok"), int(2));
+        // LO tasks never exceed C(LO).
+        assert_eq!(hi.demand(&l, 1, 0).expect("ok"), int(3));
+    }
+
+    #[test]
+    fn scripted_overruns_hit_exact_instances() {
+        let h = hi_task();
+        let mut src = DemandSource::new(ExecutionScenario::scripted([(0, 2)]));
+        assert_eq!(src.demand(&h, 0, 0).expect("ok"), int(1));
+        assert_eq!(src.demand(&h, 0, 1).expect("ok"), int(1));
+        assert_eq!(src.demand(&h, 0, 2).expect("ok"), int(2));
+        assert_eq!(src.demand(&h, 0, 3).expect("ok"), int(1));
+    }
+
+    #[test]
+    fn random_overruns_are_reproducible() {
+        let h = hi_task();
+        let draw = |seed: u64| -> Vec<Rational> {
+            let mut src = DemandSource::new(ExecutionScenario::RandomOverrun {
+                probability: 0.5,
+                seed,
+            });
+            (0..32).map(|i| src.demand(&h, 0, i).expect("ok")).collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8)); // overwhelmingly likely
+    }
+
+    #[test]
+    fn invalid_probability_is_reported() {
+        let h = hi_task();
+        let mut src = DemandSource::new(ExecutionScenario::RandomOverrun {
+            probability: 1.5,
+            seed: 0,
+        });
+        assert_eq!(
+            src.demand(&h, 0, 0),
+            Err(SimError::DemandOutOfRange { task: 0 })
+        );
+    }
+}

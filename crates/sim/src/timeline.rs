@@ -1,0 +1,228 @@
+//! ASCII Gantt rendering of simulation runs.
+//!
+//! Turns a [`SimReport`] into a terminal chart: one
+//! row per task showing when it executed, plus a mode row showing the
+//! HI-mode episodes — the visual counterpart of the paper's Fig. 1/3
+//! demonstrations.
+//!
+//! ```text
+//! time  0.......10........20
+//! ctrl  ##.#..#..##.#..#..#.
+//! log   ..##.##...###.......
+//! mode  .HH........HHH......
+//! ```
+//!
+//! Legend: `#` — the task executed during (part of) the column's time
+//! window; `!` — a deadline miss fell in the window; `.` — idle for this
+//! row. In the mode row, `H` marks HI-mode (overclocked) operation.
+
+use rbs_model::TaskSet;
+use rbs_timebase::Rational;
+
+use crate::report::SimReport;
+
+/// Renders the run as an ASCII chart with `width` time columns.
+///
+/// Task rows are labeled with (possibly truncated) task names from
+/// `set`, which must be the simulated set.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or if `set` has a different task count than
+/// the report tracked.
+#[must_use]
+pub fn render(report: &SimReport, set: &TaskSet, width: usize) -> String {
+    assert!(width > 0, "need at least one column");
+    assert_eq!(
+        set.len(),
+        report.max_response_times().len(),
+        "task set does not match the report"
+    );
+    let horizon = report.horizon();
+    let columns = Rational::integer(width as i128);
+    let col_window = |c: usize| -> (Rational, Rational) {
+        let from = horizon * Rational::integer(c as i128) / columns;
+        let to = horizon * Rational::integer(c as i128 + 1) / columns;
+        (from, to)
+    };
+
+    let label_width = set
+        .iter()
+        .map(|t| t.name().len().min(12))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+
+    // Header with coarse tick marks every 10 columns.
+    out.push_str(&format!("{:<label_width$}  ", "time"));
+    for c in 0..width {
+        if c % 10 == 0 {
+            // Each tick plus its dot padding spans the next 10 columns.
+            let (from, _) = col_window(c);
+            let tick = format!("{:.0}", from.to_f64());
+            let padding = 10_usize.saturating_sub(tick.len());
+            out.push_str(&tick);
+            out.push_str(&".".repeat(padding));
+        }
+    }
+    out.push('\n');
+
+    for (i, task) in set.iter().enumerate() {
+        let mut name = task.name().to_owned();
+        name.truncate(12);
+        out.push_str(&format!("{name:<label_width$}  "));
+        for c in 0..width {
+            let (from, to) = col_window(c);
+            let missed = report
+                .misses()
+                .iter()
+                .any(|m| m.task == i && m.deadline >= from && m.deadline < to);
+            let ran = report
+                .execution_segments()
+                .iter()
+                .any(|s| s.task == i && s.from < to && s.to > from);
+            out.push(if missed {
+                '!'
+            } else if ran {
+                '#'
+            } else {
+                '.'
+            });
+        }
+        out.push('\n');
+    }
+
+    out.push_str(&format!("{:<label_width$}  ", "mode"));
+    for c in 0..width {
+        let (from, to) = col_window(c);
+        let hi = report.hi_episodes().iter().any(|e| {
+            let end = e.exited.unwrap_or(horizon);
+            e.entered < to && end > from
+        });
+        out.push(if hi { 'H' } else { '.' });
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionScenario, Simulation};
+    use rbs_model::{Criticality, Task};
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("ctrl", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("log", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn renders_rows_for_every_task_plus_mode() {
+        let set = table1();
+        let report = Simulation::new(set.clone())
+            .speedup(Rational::TWO)
+            .horizon(int(40))
+            .execution(ExecutionScenario::scripted([(0, 0)]))
+            .run()
+            .expect("runs");
+        let chart = render(&report, &set, 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 tasks + mode
+        assert!(lines[1].starts_with("ctrl"));
+        assert!(lines[2].starts_with("log"));
+        assert!(lines[3].starts_with("mode"));
+        // Both tasks executed; the single overrun shows as an episode.
+        assert!(lines[1].contains('#'));
+        assert!(lines[2].contains('#'));
+        assert!(lines[3].contains('H'));
+        // No misses anywhere.
+        assert!(!chart.contains('!'));
+    }
+
+    #[test]
+    fn misses_are_marked() {
+        // Overloaded single task at unit speed: the miss shows as '!'.
+        let set = TaskSet::new(vec![Task::builder("t", Criticality::Hi)
+            .period(int(5))
+            .deadline_lo(int(2))
+            .deadline_hi(int(4))
+            .wcet_lo(int(1))
+            .wcet_hi(int(5))
+            .build()
+            .expect("valid")]);
+        let report = Simulation::new(set.clone())
+            .horizon(int(20))
+            .execution(ExecutionScenario::HiWcet)
+            .run()
+            .expect("runs");
+        assert!(!report.misses().is_empty());
+        let chart = render(&report, &set, 40);
+        assert!(chart.contains('!'));
+    }
+
+    #[test]
+    fn idle_stays_blank() {
+        let set = table1();
+        let report = Simulation::new(set.clone())
+            .horizon(int(40))
+            .run()
+            .expect("runs");
+        let chart = render(&report, &set, 40);
+        // LO-only run: no H in the mode row, but it exists.
+        let mode_row = chart.lines().last().expect("mode row");
+        assert!(mode_row.starts_with("mode"));
+        assert!(!mode_row.contains('H'));
+        assert!(mode_row.contains('.'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_width_panics() {
+        let set = table1();
+        let report = Simulation::new(set.clone())
+            .horizon(int(10))
+            .run()
+            .expect("runs");
+        let _ = render(&report, &set, 0);
+    }
+
+    #[test]
+    fn segments_are_merged_and_ordered() {
+        let set = table1();
+        let report = Simulation::new(set)
+            .horizon(int(40))
+            .run()
+            .expect("runs");
+        let segments = report.execution_segments();
+        assert!(!segments.is_empty());
+        for pair in segments.windows(2) {
+            assert!(pair[0].to <= pair[1].from, "segments overlap");
+            // Merged: no two adjacent segments of the same task touching.
+            if pair[0].task == pair[1].task {
+                assert!(pair[0].to < pair[1].from, "unmerged adjacency");
+            }
+        }
+        for s in segments {
+            assert!(s.from < s.to);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Regression: long simulations at awkward fractional speedups must not
+//! overflow the exact rational timestamps. The saturated adversary's
+//! release re-planning quantum keeps denominators on a bounded lattice
+//! across hundreds of mode switches (this exact configuration overflowed
+//! `i128` before the quantum existed).
+
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_model::{Criticality, Task, TaskSet};
+use rbs_sim::{ArrivalScenario, ExecutionScenario, Simulation};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+fn rat(n: i128, d: i128) -> Rational {
+    Rational::new(n, d)
+}
+
+fn awkward_set() -> TaskSet {
+    TaskSet::new(vec![
+        Task::builder("l0", Criticality::Lo)
+            .period(int(8))
+            .deadline(int(8))
+            .period_hi(int(16))
+            .deadline_hi(int(16))
+            .wcet(int(3))
+            .build()
+            .expect("valid"),
+        Task::builder("h1", Criticality::Hi)
+            .period(int(3))
+            .deadline_lo(rat(24, 11))
+            .deadline_hi(int(3))
+            .wcet_lo(int(1))
+            .wcet_hi(int(2))
+            .build()
+            .expect("valid"),
+        Task::builder("l2", Criticality::Lo)
+            .period(int(6))
+            .deadline(int(6))
+            .period_hi(int(12))
+            .deadline_hi(int(12))
+            .wcet(int(1))
+            .build()
+            .expect("valid"),
+    ])
+}
+
+#[test]
+fn fractional_speedup_survives_many_mode_switches() {
+    let set = awkward_set();
+    let analysis = minimum_speedup(&set, &AnalysisLimits::default()).expect("completes");
+    let SpeedupBound::Finite(s_min) = analysis.bound() else {
+        panic!("finite expected");
+    };
+    assert_eq!(s_min, rat(11, 9));
+    let speed = s_min.max(Rational::ONE);
+    let report = Simulation::new(set)
+        .speedup(speed)
+        .horizon(int(2000))
+        .arrivals(ArrivalScenario::Saturated)
+        .execution(ExecutionScenario::HiWcet)
+        .run()
+        .expect("no timestamp overflow");
+    assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+    assert!(report.hi_episodes().len() > 50, "expected many episodes");
+}
+
+#[test]
+fn custom_release_quantum_is_respected() {
+    let set = awkward_set();
+    let report = Simulation::new(set)
+        .speedup(rat(11, 9))
+        .horizon(int(500))
+        .release_quantum(rat(1, 4))
+        .execution(ExecutionScenario::HiWcet)
+        .run()
+        .expect("runs");
+    assert!(report.misses().is_empty());
+}
+
+#[test]
+#[should_panic(expected = "release quantum must be positive")]
+fn zero_quantum_is_rejected() {
+    let _ = Simulation::new(awkward_set()).release_quantum(Rational::ZERO);
+}

@@ -1,0 +1,186 @@
+//! Property tests tying the simulated protocol to the offline analysis:
+//! whenever the analysis declares a speed sufficient, the simulator must
+//! observe zero deadline misses, and measured recoveries must stay within
+//! the analytical resetting-time bound.
+
+use proptest::prelude::*;
+use rbs_core::lo_mode::is_lo_schedulable;
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_model::{scaled_task_set, ImplicitTaskSpec, ScalingFactors, TaskSet};
+use rbs_sim::{ArrivalScenario, ExecutionScenario, Simulation};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+/// Implicit-deadline specs with bounded parameters, plus factors chosen
+/// so the scaled set is LO-schedulable by construction (x from the
+/// density bound, clamped into (0, 1]).
+fn arb_scaled_set() -> impl Strategy<Value = TaskSet> {
+    (
+        prop::collection::vec((3i128..=12, 1i128..=3, 0i128..=2, any::<bool>()), 1..=4),
+        1i128..=3,
+    )
+        .prop_filter_map("need a LO-feasible set", |(rows, y)| {
+            let specs: Vec<ImplicitTaskSpec> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (period, c_lo, extra, is_hi))| {
+                    let c_lo = c_lo.min(period - 1).max(1);
+                    if is_hi {
+                        ImplicitTaskSpec::hi(
+                            format!("h{i}"),
+                            int(period),
+                            int(c_lo),
+                            int((c_lo + extra).min(period)),
+                        )
+                    } else {
+                        ImplicitTaskSpec::lo(format!("l{i}"), int(period), int(c_lo))
+                    }
+                })
+                .collect();
+            let x = rbs_core::lo_mode::minimal_x_density(&specs)?;
+            let x = x.max(Rational::new(1, 100)).min(Rational::ONE);
+            let factors = ScalingFactors::new(x, int(y)).ok()?;
+            let set = scaled_task_set(&specs, factors).ok()?;
+            let limits = AnalysisLimits::default();
+            is_lo_schedulable(&set, &limits).ok()?.then_some(set)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sufficient_speed_means_no_misses(set in arb_scaled_set(), seed in 0u64..1000) {
+        let limits = AnalysisLimits::default();
+        let SpeedupBound::Finite(s_min) =
+            minimum_speedup(&set, &limits).expect("completes").bound()
+        else {
+            return Ok(()); // x = 1 corner: nothing to simulate safely
+        };
+        let speed = s_min.max(Rational::ONE);
+        for (arrivals, scenario) in [
+            (ArrivalScenario::Saturated, ExecutionScenario::HiWcet),
+            (
+                ArrivalScenario::Saturated,
+                ExecutionScenario::RandomOverrun { probability: 0.3, seed },
+            ),
+            (
+                ArrivalScenario::SaturatedWithJitter {
+                    max_jitter: Rational::ONE,
+                    seed,
+                },
+                ExecutionScenario::RandomOverrun { probability: 0.3, seed },
+            ),
+        ] {
+            let report = Simulation::new(set.clone())
+                .speedup(speed)
+                .horizon(int(300))
+                .arrivals(arrivals)
+                .execution(scenario)
+                .run()
+                .expect("simulation runs");
+            prop_assert!(
+                report.misses().is_empty(),
+                "misses at analytically sufficient speed {speed}: {:?}",
+                report.misses()
+            );
+            prop_assert!(report.completed() <= report.released());
+            prop_assert!(report.busy_time() <= report.horizon());
+        }
+    }
+
+    #[test]
+    fn measured_recovery_within_analytic_bound(set in arb_scaled_set(), seed in 0u64..1000) {
+        let limits = AnalysisLimits::default();
+        let SpeedupBound::Finite(s_min) =
+            minimum_speedup(&set, &limits).expect("completes").bound()
+        else {
+            return Ok(());
+        };
+        // Give the system real headroom so Δ_R is finite.
+        let speed = s_min.max(Rational::ONE) + Rational::ONE;
+        let ResettingBound::Finite(delta_r) = resetting_time(&set, speed, &limits)
+            .expect("completes")
+            .bound()
+        else {
+            return Ok(());
+        };
+        let report = Simulation::new(set)
+            .speedup(speed)
+            .horizon(int(400))
+            .execution(ExecutionScenario::RandomOverrun { probability: 0.5, seed })
+            .run()
+            .expect("simulation runs");
+        for episode in report.hi_episodes() {
+            if let Some(recovery) = episode.recovery() {
+                prop_assert!(
+                    recovery <= delta_r,
+                    "measured recovery {recovery} exceeds analytic bound {delta_r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_overrun_means_no_hi_mode(set in arb_scaled_set()) {
+        let report = Simulation::new(set)
+            .horizon(int(200))
+            .execution(ExecutionScenario::LoWcet)
+            .run()
+            .expect("simulation runs");
+        prop_assert!(report.hi_episodes().is_empty());
+        prop_assert!(report.misses().is_empty());
+        prop_assert_eq!(report.dropped(), 0);
+    }
+
+    #[test]
+    fn termination_never_increases_recovery(set in arb_scaled_set(), seed in 0u64..1000) {
+        let limits = AnalysisLimits::default();
+        let SpeedupBound::Finite(s_min) =
+            minimum_speedup(&set, &limits).expect("completes").bound()
+        else {
+            return Ok(());
+        };
+        let speed = s_min.max(Rational::ONE) + Rational::ONE;
+        let scenario = ExecutionScenario::RandomOverrun { probability: 0.5, seed };
+        let full = Simulation::new(set.clone())
+            .speedup(speed)
+            .horizon(int(300))
+            .execution(scenario.clone())
+            .run()
+            .expect("runs");
+        let terminated_set = set.with_lo_terminated().expect("valid");
+        let term = Simulation::new(terminated_set)
+            .speedup(speed)
+            .horizon(int(300))
+            .execution(scenario)
+            .run()
+            .expect("runs");
+        prop_assert!(term.misses().is_empty());
+        // Termination frees resources: the *analytic* bound shrinks; the
+        // measured max recovery may vary episode-by-episode, so compare
+        // the analysis, not the noise.
+        let ResettingBound::Finite(full_bound) =
+            resetting_time(&set, speed, &limits).expect("ok").bound()
+        else {
+            return Ok(());
+        };
+        let ResettingBound::Finite(term_bound) = resetting_time(
+            &set.with_lo_terminated().expect("valid"),
+            speed,
+            &limits,
+        )
+        .expect("ok")
+        .bound()
+        else {
+            return Ok(());
+        };
+        prop_assert!(term_bound <= full_bound);
+        prop_assert!(full.misses().is_empty());
+    }
+}

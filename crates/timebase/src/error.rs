@@ -1,0 +1,84 @@
+//! Error types for rational arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when an exact rational operation does not fit in `i128`
+/// numerator/denominator representation.
+///
+/// The checked entry points ([`crate::Rational::checked_add`] and friends)
+/// surface this error; the operator overloads panic instead, mirroring the
+/// behaviour of Rust's built-in integers in debug builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RationalOverflowError {
+    pub(crate) op: &'static str,
+}
+
+impl fmt::Display for RationalOverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rational {} overflowed i128", self.op)
+    }
+}
+
+impl Error for RationalOverflowError {}
+
+/// Returned when a string cannot be parsed as a [`crate::Rational`].
+///
+/// Accepted forms are `"n"`, `"n/d"` and decimal literals such as
+/// `"1.25"`; see [`crate::Rational::from_str`](std::str::FromStr).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParseRationalError {
+    pub(crate) input: String,
+    pub(crate) reason: ParseErrorReason,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ParseErrorReason {
+    Empty,
+    InvalidDigit,
+    ZeroDenominator,
+    Overflow,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let why = match self.reason {
+            ParseErrorReason::Empty => "input is empty",
+            ParseErrorReason::InvalidDigit => "invalid digit",
+            ParseErrorReason::ZeroDenominator => "denominator is zero",
+            ParseErrorReason::Overflow => "value does not fit in i128",
+        };
+        write!(f, "cannot parse {:?} as a rational: {why}", self.input)
+    }
+}
+
+impl Error for ParseRationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_error_display_is_nonempty() {
+        let err = RationalOverflowError { op: "mul" };
+        assert_eq!(err.to_string(), "rational mul overflowed i128");
+    }
+
+    #[test]
+    fn parse_error_display_mentions_input_and_reason() {
+        let err = ParseRationalError {
+            input: "x/y".to_owned(),
+            reason: ParseErrorReason::InvalidDigit,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("x/y"));
+        assert!(msg.contains("invalid digit"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<RationalOverflowError>();
+        assert_error::<ParseRationalError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Euclidean helpers on `i128`.
+
+/// Returns the greatest common divisor of the absolute values of `a` and
+/// `b`.
+///
+/// `gcd_i128(0, 0)` is defined as `0`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_timebase::gcd_i128;
+///
+/// assert_eq!(gcd_i128(12, 18), 6);
+/// assert_eq!(gcd_i128(-4, 6), 2);
+/// assert_eq!(gcd_i128(0, 5), 5);
+/// ```
+#[must_use]
+pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    // `unsigned_abs` of i128::MIN does not fit back into i128, but a gcd of
+    // that magnitude can only arise from inputs that were already out of the
+    // range this crate produces (denominators are kept positive and reduced).
+    i128::try_from(a).expect("gcd magnitude exceeds i128::MAX")
+}
+
+/// Returns the least common multiple of the absolute values of `a` and `b`,
+/// or `None` if it overflows `i128`.
+///
+/// `lcm_i128(0, x)` is `Some(0)`.
+///
+/// # Examples
+///
+/// ```
+/// use rbs_timebase::lcm_i128;
+///
+/// assert_eq!(lcm_i128(4, 6), Some(12));
+/// assert_eq!(lcm_i128(0, 7), Some(0));
+/// assert_eq!(lcm_i128(i128::MAX, 2), None);
+/// ```
+#[must_use]
+pub fn lcm_i128(a: i128, b: i128) -> Option<i128> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd_i128(a, b);
+    (a / g).checked_mul(b).map(i128::abs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic_identities() {
+        assert_eq!(gcd_i128(0, 0), 0);
+        assert_eq!(gcd_i128(7, 0), 7);
+        assert_eq!(gcd_i128(0, -7), 7);
+        assert_eq!(gcd_i128(21, 14), 7);
+        assert_eq!(gcd_i128(14, 21), 7);
+        assert_eq!(gcd_i128(-21, -14), 7);
+        assert_eq!(gcd_i128(1, i128::MAX), 1);
+    }
+
+    #[test]
+    fn gcd_divides_both_arguments() {
+        for a in [-30i128, -7, 0, 1, 6, 45, 1024] {
+            for b in [-12i128, -1, 0, 9, 27, 100] {
+                let g = gcd_i128(a, b);
+                if g != 0 {
+                    assert_eq!(a % g, 0, "gcd({a},{b})={g}");
+                    assert_eq!(b % g, 0, "gcd({a},{b})={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lcm_basic_identities() {
+        assert_eq!(lcm_i128(3, 5), Some(15));
+        assert_eq!(lcm_i128(-3, 5), Some(15));
+        assert_eq!(lcm_i128(12, 18), Some(36));
+        assert_eq!(lcm_i128(1, 1), Some(1));
+    }
+
+    #[test]
+    fn lcm_overflow_is_reported() {
+        assert_eq!(lcm_i128(i128::MAX, i128::MAX - 1), None);
+    }
+
+    #[test]
+    fn lcm_is_multiple_of_both() {
+        for a in [1i128, 2, 3, 4, 6, 10, 37] {
+            for b in [1i128, 5, 6, 14, 37] {
+                let l = lcm_i128(a, b).expect("small lcm fits");
+                assert_eq!(l % a, 0);
+                assert_eq!(l % b, 0);
+            }
+        }
+    }
+}

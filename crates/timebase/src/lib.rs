@@ -1,0 +1,57 @@
+//! Exact rational time arithmetic for mixed-criticality schedulability
+//! analysis.
+//!
+//! Demand-bound analysis with processor speedup produces values such as
+//! `s_min = 4/3` that are meaningful *exactly*: a floating-point
+//! approximation can flip a schedulability verdict right at the boundary.
+//! This crate provides [`Rational`], an arbitrary-sign rational number over
+//! checked `i128` arithmetic, together with the handful of numeric
+//! operations the analysis needs:
+//!
+//! * exact field arithmetic with operator overloads,
+//! * total ordering that never overflows (continued-fraction fallback),
+//! * the paper's extended `mod` operator
+//!   (`a mod b = a - floor(a/b)*b`, for real `a`, `b`) as
+//!   [`Rational::mod_floor`],
+//! * `floor`/`ceil`/[`Rational::floor_div`] used by demand-bound functions,
+//! * rational `lcm` for hyperperiod computations.
+//!
+//! # Examples
+//!
+//! ```
+//! use rbs_timebase::Rational;
+//!
+//! let demand = Rational::new(4, 1);
+//! let interval = Rational::new(3, 1);
+//! let speedup = demand / interval;
+//! assert_eq!(speedup, Rational::new(4, 3));
+//! assert_eq!(speedup.to_string(), "4/3");
+//! assert!(speedup > Rational::ONE);
+//! ```
+//!
+//! All types are `Send + Sync`, implement the common std traits, and
+//! (de)serialize with `serde` as a `{ "num": .., "den": .. }` pair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod euclid;
+mod rational;
+
+pub use error::{ParseRationalError, RationalOverflowError};
+pub use euclid::{gcd_i128, lcm_i128};
+pub use rational::Rational;
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    #[test]
+    fn rational_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Rational>();
+        assert_sync::<Rational>();
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for `Rational` arithmetic and ordering.
+
+use proptest::prelude::*;
+use rbs_timebase::Rational;
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-1_000_000i128..=1_000_000, 1i128..=1_000_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn positive_rational() -> impl Strategy<Value = Rational> {
+    (1i128..=100_000, 1i128..=1_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_is_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(
+        a in small_rational(),
+        b in small_rational(),
+        c in small_rational(),
+    ) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_inverse_of_add(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn div_is_inverse_of_mul(a in small_rational(), b in positive_rational()) {
+        prop_assert_eq!(a * b / b, a);
+    }
+
+    #[test]
+    fn result_is_always_reduced(a in small_rational(), b in small_rational()) {
+        let c = a + b;
+        prop_assert!(c.denom() > 0);
+        prop_assert_eq!(rbs_timebase::gcd_i128(c.numer(), c.denom()), if c.is_zero() { 1 } else { rbs_timebase::gcd_i128(c.numer(), c.denom()) });
+        // Reduced: gcd(|num|, den) == 1 unless zero (0/1 has gcd 1 too).
+        let g = rbs_timebase::gcd_i128(c.numer().abs().max(1), c.denom());
+        prop_assert_eq!(g, if c.is_zero() { c.denom() } else { 1 });
+    }
+
+    #[test]
+    fn ordering_agrees_with_f64_when_far_apart(a in small_rational(), b in small_rational()) {
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        if (fa - fb).abs() > 1e-6 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn ordering_is_total_and_antisymmetric(a in small_rational(), b in small_rational()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn mod_floor_is_in_range(a in small_rational(), b in positive_rational()) {
+        let m = a.mod_floor(b);
+        prop_assert!(m >= Rational::ZERO);
+        prop_assert!(m < b);
+        // a = floor(a/b)*b + m exactly.
+        prop_assert_eq!(Rational::integer(a.floor_div(b)) * b + m, a);
+    }
+
+    #[test]
+    fn floor_ceil_bracket_value(a in small_rational()) {
+        let f = Rational::integer(a.floor());
+        let c = Rational::integer(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(c - f <= Rational::ONE);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        }
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in positive_rational(), b in positive_rational()) {
+        if let Some(l) = a.lcm(b) {
+            prop_assert!((l / a).is_integer());
+            prop_assert!((l / b).is_integer());
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in small_rational()) {
+        let text = a.to_string();
+        let back: Rational = text.parse().expect("display output parses");
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn serde_round_trip(a in small_rational()) {
+        let json = serde_json::to_string(&a).expect("serialize");
+        let back: Rational = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, a);
+    }
+}

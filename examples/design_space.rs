@@ -1,0 +1,76 @@
+//! Design-space exploration (Section V): sweep the overrun-preparation
+//! factor `x` and the service-degradation factor `y` for a workload and
+//! print the trade-off surface — exact `s_min`, the closed-form bound of
+//! Lemma 6, and the resetting time at a 2x speedup — then pick the
+//! gentlest configuration meeting a deployment constraint.
+//!
+//! Run with: `cargo run -p rbs-experiments --example design_space`
+
+use rbs_core::closed_form;
+use rbs_core::lo_mode::is_lo_schedulable;
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::minimum_speedup;
+use rbs_core::AnalysisLimits;
+use rbs_gen::fms;
+use rbs_model::{scaled_task_set, ScalingFactors};
+use rbs_timebase::Rational;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let limits = AnalysisLimits::default();
+    let specs = fms::specs(Rational::TWO);
+    let budget_ms = Rational::integer(5000);
+
+    println!(
+        "{:>6} {:>4} {:>10} {:>12} {:>14} {:>6}",
+        "x", "y", "s_min", "Lemma6", "DeltaR@2x[ms]", "LO ok"
+    );
+    // The gentlest feasible configuration: largest x (least deadline
+    // shortening), then smallest y (least degradation).
+    let mut best: Option<(Rational, Rational)> = None;
+    for xi in (1..=9).rev() {
+        let x = Rational::new(xi, 10);
+        for yi in 1..=3 {
+            let y = Rational::integer(yi);
+            let factors = ScalingFactors::new(x, y)?;
+            let set = scaled_task_set(&specs, factors)?;
+            let lo_ok = is_lo_schedulable(&set, &limits)?;
+            let exact = minimum_speedup(&set, &limits)?.bound();
+            let lemma6 = closed_form::speedup_bound(&specs, factors);
+            let reset = resetting_time(&set, Rational::TWO, &limits)?.bound();
+            println!(
+                "{:>6} {:>4} {:>10} {:>12} {:>14} {:>6}",
+                x.to_string(),
+                y.to_string(),
+                render(exact.as_finite()),
+                render(lemma6.as_finite()),
+                render_reset(reset),
+                if lo_ok { "yes" } else { "no" }
+            );
+            let meets = lo_ok
+                && exact.is_met_by(Rational::TWO)
+                && matches!(reset, ResettingBound::Finite(dr) if dr <= budget_ms);
+            if meets && best.is_none() {
+                best = Some((x, y));
+            }
+        }
+    }
+
+    match best {
+        Some((x, y)) => println!(
+            "\ngentlest configuration meeting s <= 2 and Delta_R <= 5 s: x = {x}, y = {y}"
+        ),
+        None => println!("\nno configuration meets the deployment constraint"),
+    }
+    Ok(())
+}
+
+fn render(v: Option<Rational>) -> String {
+    v.map_or_else(|| "+inf".to_owned(), |r| format!("{:.3}", r.to_f64()))
+}
+
+fn render_reset(bound: ResettingBound) -> String {
+    match bound {
+        ResettingBound::Finite(v) => format!("{:.1}", v.to_f64()),
+        ResettingBound::Unbounded => "+inf".to_owned(),
+    }
+}

@@ -1,0 +1,81 @@
+//! Runtime overclock monitoring (Section IV remark): overclocking is
+//! power/thermally bounded (e.g. Intel turbo boost allows ~2x for ~30 s),
+//! so the protocol watches how long each speedup episode lasts and falls
+//! back to terminating LO tasks at nominal speed when the budget runs
+//! out.
+//!
+//! Run with: `cargo run -p rbs-experiments --example online_monitor`
+
+use rbs_model::{Criticality, Task, TaskSet};
+use rbs_sim::{timeline, ExecutionScenario, Simulation, TraceEvent};
+use rbs_timebase::Rational;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let set = TaskSet::new(vec![
+        Task::builder("control", Criticality::Hi)
+            .period(Rational::integer(5))
+            .deadline_lo(Rational::integer(2))
+            .deadline_hi(Rational::integer(5))
+            .wcet_lo(Rational::integer(1))
+            .wcet_hi(Rational::integer(2))
+            .build()?,
+        Task::builder("logger", Criticality::Lo)
+            .period(Rational::integer(10))
+            .deadline(Rational::integer(10))
+            .wcet(Rational::integer(3))
+            .build()?,
+    ]);
+
+    // Every HI job overruns: the pathological sustained-overrun case the
+    // Section IV remark worries about. The monitor allows at most 1 time
+    // unit of overclocking per episode.
+    let report = Simulation::new(set.clone())
+        .speedup(Rational::TWO)
+        .horizon(Rational::integer(80))
+        .execution(ExecutionScenario::HiWcet)
+        .overclock_budget(Rational::ONE)
+        .run()?;
+
+    println!("sustained overrun with a 1-unit overclock budget:");
+    println!(
+        "  {} episodes, {} curtailed by the monitor, {} jobs dropped",
+        report.hi_episodes().len(),
+        report
+            .hi_episodes()
+            .iter()
+            .filter(|e| e.curtailed)
+            .count(),
+        report.dropped()
+    );
+    println!("  deadline misses: {}", report.misses().len());
+
+    println!("\nfirst episode, event by event:");
+    let mut shown = 0;
+    for event in report.trace() {
+        match event {
+            TraceEvent::ModeSwitch { at, to, speed } => {
+                println!("  t={:<6} mode -> {to} at speed {speed}", at.to_string());
+            }
+            TraceEvent::OverclockCurtailed { at } => {
+                println!(
+                    "  t={:<6} overclock budget exhausted: LO terminated, speed restored",
+                    at.to_string()
+                );
+            }
+            TraceEvent::Dropped { at, job } => {
+                println!("  t={:<6} dropped {job}", at.to_string());
+            }
+            _ => continue,
+        }
+        shown += 1;
+        if shown >= 8 {
+            break;
+        }
+    }
+    println!("\ntimeline (# running, ! miss, H overclocked):");
+    print!("{}", timeline::render(&report, &set, 80));
+
+    assert!(report.hi_episodes().iter().any(|e| e.curtailed));
+    assert!(report.misses().is_empty());
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration: generated workloads → offline analysis →
+//! simulated protocol. Whatever Theorem 2 and Corollary 5 promise, the
+//! simulator must observe.
+
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_experiments::workloads::prepare;
+use rbs_gen::synth::SynthConfig;
+use rbs_sim::{ArrivalScenario, ExecutionScenario, Simulation};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+/// Snap a speed up to a quarter grid: keeps simulated timestamp
+/// denominators small while remaining analytically sufficient.
+fn snap_up(s: Rational) -> Rational {
+    let q = Rational::new(1, 4);
+    let steps = s / q;
+    if steps.is_integer() {
+        s
+    } else {
+        Rational::integer(steps.floor() + 1) * q
+    }
+}
+
+#[test]
+fn generated_workloads_meet_their_guarantees() {
+    let limits = AnalysisLimits::default();
+    let generator = SynthConfig::new(Rational::new(6, 10)).period_range_ms(5, 50);
+    let mut validated = 0;
+    for seed in 0..12u64 {
+        let specs = generator.generate(seed);
+        let Some(set) = prepare(&specs, Rational::TWO) else {
+            continue;
+        };
+        let SpeedupBound::Finite(s_min) = minimum_speedup(&set, &limits)
+            .expect("analysis completes")
+            .bound()
+        else {
+            continue;
+        };
+        let speed = snap_up(s_min.max(Rational::ONE));
+        let bound = resetting_time(&set, speed, &limits)
+            .expect("analysis completes")
+            .bound();
+        let report = Simulation::new(set)
+            .speedup(speed)
+            .horizon(int(2_000))
+            .arrivals(ArrivalScenario::Saturated)
+            .execution(ExecutionScenario::RandomOverrun {
+                probability: 0.4,
+                seed,
+            })
+            .run()
+            .expect("simulation runs");
+        assert!(
+            report.misses().is_empty(),
+            "seed {seed}: misses at analytically sufficient speed {speed}"
+        );
+        if let ResettingBound::Finite(dr) = bound {
+            for episode in report.hi_episodes() {
+                if let Some(recovery) = episode.recovery() {
+                    assert!(
+                        recovery <= dr,
+                        "seed {seed}: recovery {recovery} exceeds bound {dr}"
+                    );
+                }
+            }
+        }
+        validated += 1;
+    }
+    assert!(validated >= 6, "only {validated} seeds were exercised");
+}
+
+#[test]
+fn insufficient_preparation_is_caught_by_both_sides() {
+    // A HI task with no deadline shortening: the analysis says
+    // "unbounded speedup"; the simulator shows a miss at any speed once
+    // the overrun lands at the deadline. (The carry-over job has zero
+    // slack: the paper's argument for D(LO) < D(HI).)
+    use rbs_model::{Criticality, Task, TaskSet};
+    let set = TaskSet::new(vec![
+        // A prepared companion task that keeps the processor busy until
+        // exactly the naive task's deadline.
+        Task::builder("companion", Criticality::Hi)
+            .period(int(4))
+            .deadline_lo(int(2))
+            .deadline_hi(int(4))
+            .wcet(int(2))
+            .build()
+            .expect("valid"),
+        Task::builder("naive", Criticality::Hi)
+            .period(int(4))
+            .deadline(int(4)) // D(LO) = D(HI): no preparation
+            .wcet_lo(int(2))
+            .wcet_hi(int(3))
+            .build()
+            .expect("valid"),
+    ]);
+    let limits = AnalysisLimits::default();
+    let bound = minimum_speedup(&set, &limits)
+        .expect("analysis completes")
+        .bound();
+    assert_eq!(bound, SpeedupBound::Unbounded);
+    // Even an 8x processor cannot fix detection-at-the-deadline: at the
+    // switch instant the job's remaining C(HI)−C(LO) work is already due.
+    let report = Simulation::new(set)
+        .speedup(int(8))
+        .horizon(int(50))
+        .execution(ExecutionScenario::HiWcet)
+        .run()
+        .expect("simulation runs");
+    assert!(!report.misses().is_empty());
+}
+
+#[test]
+fn resetting_bound_is_useful_not_vacuous() {
+    // For the FMS-style workload the analytic bound should be within the
+    // same order of magnitude as observed recoveries (not astronomically
+    // loose).
+    let limits = AnalysisLimits::default();
+    let specs = rbs_gen::fms::specs(Rational::TWO);
+    let set = prepare(&specs, Rational::TWO).expect("feasible");
+    let speed = int(2);
+    let ResettingBound::Finite(bound) = resetting_time(&set, speed, &limits)
+        .expect("analysis completes")
+        .bound()
+    else {
+        panic!("finite bound expected");
+    };
+    let report = Simulation::new(set)
+        .speedup(speed)
+        .horizon(int(120_000))
+        .execution(ExecutionScenario::HiWcet)
+        .run()
+        .expect("simulation runs");
+    let measured = report.max_recovery().expect("episodes complete");
+    assert!(measured <= bound);
+    assert!(
+        bound <= measured * int(50),
+        "bound {bound} is vacuously loose vs measured {measured}"
+    );
+}

@@ -1,0 +1,121 @@
+//! Baseline relations: reservation ⊆ EDF-VD (acceptance), EDF-VD's
+//! runtime is a special case of the model (and simulates cleanly), and
+//! temporary speedup strictly enlarges the schedulable region.
+
+use rbs_baselines::{edf_vd, no_speedup, reservation};
+use rbs_core::speedup::SpeedupBound;
+use rbs_core::AnalysisLimits;
+use rbs_experiments::workloads::prepare;
+use rbs_gen::synth::SynthConfig;
+use rbs_sim::{ExecutionScenario, Simulation};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+#[test]
+fn acceptance_hierarchy_on_random_sets() {
+    let limits = AnalysisLimits::default();
+    let generator = SynthConfig::new(Rational::new(8, 10)).period_range_ms(5, 60);
+    let mut reservation_accepts = 0usize;
+    let mut edf_vd_accepts = 0usize;
+    let mut no_speedup_accepts = 0usize;
+    let mut speedup2_accepts = 0usize;
+    for seed in 0..40u64 {
+        let specs = generator.generate(seed);
+        let res = reservation::is_schedulable(&specs);
+        let vd = edf_vd::is_schedulable(&specs);
+        // Reservation acceptance implies EDF-VD acceptance.
+        if res {
+            assert!(vd, "seed {seed}: reservation accepted but EDF-VD rejected");
+            reservation_accepts += 1;
+        }
+        if vd {
+            edf_vd_accepts += 1;
+        }
+        if let Some(set) = prepare(&specs, Rational::TWO) {
+            if no_speedup::is_schedulable(&set, &limits).expect("completes") {
+                no_speedup_accepts += 1;
+                assert!(
+                    no_speedup::is_schedulable_with_speedup(&set, int(2), &limits)
+                        .expect("completes"),
+                    "seed {seed}: speedup lost an accepted set"
+                );
+            }
+            if no_speedup::is_schedulable_with_speedup(&set, int(2), &limits)
+                .expect("completes")
+            {
+                speedup2_accepts += 1;
+            }
+        }
+    }
+    assert!(edf_vd_accepts >= reservation_accepts);
+    assert!(speedup2_accepts >= no_speedup_accepts);
+    // The speedup scheme must show a real gain on this load level.
+    assert!(
+        speedup2_accepts > no_speedup_accepts,
+        "no gain: {speedup2_accepts} vs {no_speedup_accepts}"
+    );
+}
+
+#[test]
+fn edf_vd_runtime_simulates_without_misses_when_accepted() {
+    let generator = SynthConfig::new(Rational::new(6, 10)).period_range_ms(5, 40);
+    let mut simulated = 0;
+    for seed in 100..130u64 {
+        let specs = generator.generate(seed);
+        if !edf_vd::is_schedulable(&specs) {
+            continue;
+        }
+        let Some(set) = edf_vd::task_set(&specs) else {
+            continue;
+        };
+        let set = set.expect("valid model");
+        // EDF-VD runs at unit speed with LO termination.
+        let report = Simulation::new(set)
+            .speedup(Rational::ONE)
+            .horizon(int(1_500))
+            .execution(ExecutionScenario::RandomOverrun {
+                probability: 0.5,
+                seed,
+            })
+            .run()
+            .expect("simulation runs");
+        assert!(
+            report.misses().is_empty(),
+            "seed {seed}: EDF-VD-accepted set missed deadlines"
+        );
+        simulated += 1;
+    }
+    assert!(simulated >= 5, "only {simulated} accepted sets simulated");
+}
+
+#[test]
+fn speedup_rescues_edf_vd_rejects() {
+    // Find sets EDF-VD rejects whose exact speedup requirement under the
+    // *same* runtime (virtual deadlines + termination) is modest — the
+    // paper's pitch quantified.
+    let limits = AnalysisLimits::default();
+    let generator = SynthConfig::new(Rational::new(9, 10)).period_range_ms(5, 60);
+    let mut rescued = 0;
+    for seed in 0..60u64 {
+        let specs = generator.generate(seed);
+        if edf_vd::is_schedulable(&specs) {
+            continue;
+        }
+        let Some(bound) = edf_vd::exact_speedup_requirement(&specs, &limits).expect("completes")
+        else {
+            continue;
+        };
+        if let SpeedupBound::Finite(s) = bound {
+            if s > Rational::ONE && s <= int(2) {
+                rescued += 1;
+            }
+        }
+    }
+    assert!(
+        rescued >= 3,
+        "expected several EDF-VD rejects rescued by <= 2x speedup, got {rescued}"
+    );
+}

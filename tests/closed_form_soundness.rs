@@ -1,0 +1,106 @@
+//! Lemma 6/7 soundness at scale: on generated implicit-deadline
+//! workloads, the closed-form bounds always dominate the exact analyses
+//! and track their monotone trends.
+
+use rbs_core::closed_form;
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::AnalysisLimits;
+use rbs_gen::synth::SynthConfig;
+use rbs_model::{scaled_task_set, ScalingFactors};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+#[test]
+fn lemma6_dominates_theorem2_on_generated_sets() {
+    let limits = AnalysisLimits::default();
+    let generator = SynthConfig::new(Rational::new(7, 10)).period_range_ms(4, 40);
+    let mut compared = 0;
+    for seed in 0..25u64 {
+        let specs = generator.generate(seed);
+        for (xi, yi) in [(3, 1), (5, 2), (7, 3), (9, 1)] {
+            let factors =
+                ScalingFactors::new(Rational::new(xi, 10), int(yi)).expect("valid factors");
+            let set = scaled_task_set(&specs, factors).expect("valid set");
+            let exact = minimum_speedup(&set, &limits)
+                .expect("analysis completes")
+                .bound();
+            let closed = closed_form::speedup_bound(&specs, factors);
+            match (exact, closed) {
+                (SpeedupBound::Finite(e), SpeedupBound::Finite(c)) => {
+                    assert!(c >= e, "seed {seed} (x={xi}/10, y={yi}): {c} < {e}");
+                    compared += 1;
+                }
+                (SpeedupBound::Unbounded, SpeedupBound::Finite(c)) => {
+                    panic!("seed {seed}: closed form {c} finite but exact unbounded");
+                }
+                (_, SpeedupBound::Unbounded) => {}
+            }
+        }
+    }
+    assert!(compared >= 60, "only {compared} comparisons ran");
+}
+
+#[test]
+fn lemma7_dominates_corollary5_on_generated_sets() {
+    let limits = AnalysisLimits::default();
+    let generator = SynthConfig::new(Rational::new(6, 10)).period_range_ms(4, 40);
+    let mut compared = 0;
+    for seed in 0..15u64 {
+        let specs = generator.generate(seed);
+        let factors = ScalingFactors::new(Rational::new(1, 2), int(2)).expect("valid factors");
+        let SpeedupBound::Finite(s_min_cf) = closed_form::speedup_bound(&specs, factors) else {
+            continue;
+        };
+        let set = scaled_task_set(&specs, factors).expect("valid set");
+        for bump in [Rational::new(1, 2), Rational::ONE, int(2)] {
+            let speed = s_min_cf + bump;
+            let exact = resetting_time(&set, speed, &limits)
+                .expect("analysis completes")
+                .bound();
+            let closed = closed_form::resetting_bound(&specs, factors, speed);
+            match (exact, closed) {
+                (ResettingBound::Finite(e), ResettingBound::Finite(c)) => {
+                    assert!(c >= e, "seed {seed} s={speed}: {c} < {e}");
+                    compared += 1;
+                }
+                (ResettingBound::Unbounded, ResettingBound::Finite(c)) => {
+                    panic!("seed {seed}: closed form {c} finite but exact unbounded");
+                }
+                (_, ResettingBound::Unbounded) => {}
+            }
+        }
+    }
+    assert!(compared >= 30, "only {compared} comparisons ran");
+}
+
+#[test]
+fn closed_form_tracks_the_exact_trends() {
+    // Both bounds must agree on the direction of the x and y trade-offs
+    // for a fixed workload (Fig. 4's shape).
+    let limits = AnalysisLimits::default();
+    let specs = SynthConfig::new(Rational::new(6, 10))
+        .period_range_ms(4, 40)
+        .generate(3);
+    let mut last: Option<(Rational, Rational)> = None;
+    for xi in [2i128, 4, 6, 8] {
+        let factors = ScalingFactors::new(Rational::new(xi, 10), int(2)).expect("valid");
+        let set = scaled_task_set(&specs, factors).expect("valid set");
+        let e = minimum_speedup(&set, &limits)
+            .expect("completes")
+            .bound()
+            .as_finite()
+            .expect("finite for x < 1");
+        let c = closed_form::speedup_bound(&specs, factors)
+            .as_finite()
+            .expect("finite for x < 1");
+        if let Some((pe, pc)) = last {
+            assert!(e >= pe, "exact not increasing in x");
+            assert!(c >= pc, "closed form not increasing in x");
+        }
+        last = Some((e, c));
+    }
+}

@@ -1,0 +1,91 @@
+//! Smoke tests of the experiment harness at reduced scale: every
+//! table/figure module runs end-to-end and reproduces its headline
+//! claim.
+
+use rbs_experiments::{fig1, fig3, fig4, fig5, fig6, fig7, sim_validate, table1};
+use rbs_timebase::Rational;
+
+#[test]
+fn table1_reproduces_the_exact_headline() {
+    let results = table1::run();
+    assert_eq!(
+        results.s_min_plain.as_finite(),
+        Some(Rational::new(4, 3)),
+        "Example 1's exact s_min"
+    );
+    assert!(results.s_min_degraded.as_finite().expect("finite") < Rational::ONE);
+}
+
+#[test]
+fn fig1_supply_covers_demand() {
+    let results = fig1::run();
+    for panel in [&results.plain, &results.degraded] {
+        assert!(panel
+            .points
+            .iter()
+            .all(|(_, demand, supply)| supply >= demand));
+    }
+}
+
+#[test]
+fn fig3_trend_is_monotone() {
+    let results = fig3::run();
+    let finite: Vec<Rational> = results
+        .trend
+        .iter()
+        .filter_map(|(_, plain, _)| plain.as_finite())
+        .collect();
+    assert!(finite.len() >= 10);
+    assert!(finite.windows(2).all(|w| w[1] <= w[0]));
+}
+
+#[test]
+fn fig4_and_fig5_render() {
+    assert!(fig4::run().to_string().contains("s_min"));
+    let fig5 = fig5::run();
+    assert!(fig5.max_recovery_at_2x.expect("finite") < Rational::integer(3000));
+}
+
+#[test]
+fn fig6_quick_campaign_shows_the_paper_trends() {
+    let results = fig6::run(&fig6::Fig6Config {
+        sets_per_point: 16,
+        seed: 11,
+    });
+    assert_eq!(results.points.len(), 5);
+    // "As the system utilization U_bound increases, both the required
+    // speedup and the service resetting time increase."
+    let first = results.points.first().expect("points");
+    let last = results.points.last().expect("points");
+    let s_first = first.s_min_summary.expect("summary").median;
+    let s_last = last.s_min_summary.expect("summary").median;
+    assert!(s_last > s_first, "median s_min: {s_first} !< {s_last}");
+    // "for all cases when U_bound <= 0.5, the maximum required speedup is
+    // less than 1" — at our reduced scale require the median to be < 1.
+    assert!(
+        s_first < Rational::ONE,
+        "median s_min at U=0.5 is {s_first}"
+    );
+}
+
+#[test]
+fn fig7_quick_campaign_shows_the_speedup_gain() {
+    let results = fig7::run(&fig7::Fig7Config {
+        sets_per_point: 10,
+        grid_step_twentieths: 5,
+        seed: 3,
+    });
+    assert!(!results.points.is_empty());
+    let total_speedup: f64 = results.points.iter().map(|p| p.speedup).sum();
+    let total_plain: f64 = results.points.iter().map(|p| p.no_speedup).sum();
+    assert!(
+        total_speedup > total_plain,
+        "region did not grow: {total_speedup} vs {total_plain}"
+    );
+}
+
+#[test]
+fn sim_validation_holds() {
+    let results = sim_validate::run();
+    assert!(results.rows.iter().all(|r| r.misses == 0));
+}

@@ -1,0 +1,174 @@
+//! Integration: the shaping and tuning extensions compose with the
+//! whole stack — tuned parameters verified by the exact analyses *and*
+//! by simulation.
+
+use rbs_core::resetting::{resetting_time, ResettingBound};
+use rbs_core::shaping::shape_lo_deadlines;
+use rbs_core::speedup::{minimum_speedup, SpeedupBound};
+use rbs_core::tuning::{minimal_speed_within_budget, overclock_duty_cycle};
+use rbs_core::AnalysisLimits;
+use rbs_experiments::workloads::prepare;
+use rbs_gen::fms;
+use rbs_gen::synth::SynthConfig;
+use rbs_model::{Criticality, Task, TaskSet};
+use rbs_sim::{ExecutionScenario, Simulation};
+use rbs_timebase::Rational;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+fn rat(n: i128, d: i128) -> Rational {
+    Rational::new(n, d)
+}
+
+/// Snap a speed up to a small-denominator grid for simulation.
+fn snap_up(s: Rational) -> Rational {
+    let q = rat(1, 4);
+    let steps = s / q;
+    if steps.is_integer() {
+        s
+    } else {
+        Rational::integer(steps.floor() + 1) * q
+    }
+}
+
+#[test]
+fn shaped_sets_simulate_cleanly_at_their_new_s_min() {
+    let limits = AnalysisLimits::default();
+    let generator = SynthConfig::new(rat(6, 10)).period_range_ms(5, 40);
+    let mut validated = 0;
+    for seed in 0..8u64 {
+        let specs = generator.generate(seed);
+        // Start from NO preparation (x = 1): typically unbounded.
+        let Some(unprepared) = prepare(&specs, Rational::ONE) else {
+            continue;
+        };
+        let outcome = shape_lo_deadlines(&unprepared, rat(1, 2), &limits).expect("completes");
+        let SpeedupBound::Finite(s_min) = outcome.after else {
+            continue; // genuinely hopeless sets stay unbounded
+        };
+        let speed = snap_up(s_min.max(Rational::ONE));
+        let report = Simulation::new(outcome.set)
+            .speedup(speed)
+            .horizon(int(1_000))
+            .execution(ExecutionScenario::RandomOverrun {
+                probability: 0.4,
+                seed,
+            })
+            .run()
+            .expect("simulation runs");
+        assert!(
+            report.misses().is_empty(),
+            "seed {seed}: shaped set missed at {speed}"
+        );
+        validated += 1;
+    }
+    assert!(validated >= 4, "only {validated} shaped sets validated");
+}
+
+#[test]
+fn shaping_dominates_the_uniform_x_on_generated_sets() {
+    let limits = AnalysisLimits::default();
+    let generator = SynthConfig::new(rat(7, 10)).period_range_ms(5, 40);
+    let mut compared = 0;
+    for seed in 20..32u64 {
+        let specs = generator.generate(seed);
+        // Paper-style preparation: minimal uniform x.
+        let Some(uniform) = prepare(&specs, Rational::ONE) else {
+            continue;
+        };
+        let uniform_bound = minimum_speedup(&uniform, &limits).expect("ok").bound();
+        // Shaping starting from the SAME uniform deadlines can only
+        // improve (it accepts only strictly better steps).
+        let outcome = shape_lo_deadlines(&uniform, rat(1, 2), &limits).expect("ok");
+        match (uniform_bound, outcome.after) {
+            (SpeedupBound::Finite(u), SpeedupBound::Finite(s)) => {
+                assert!(s <= u, "seed {seed}: shaped {s} > uniform {u}");
+                compared += 1;
+            }
+            (SpeedupBound::Unbounded, _) => {}
+            (SpeedupBound::Finite(u), SpeedupBound::Unbounded) => {
+                panic!("seed {seed}: shaping lost finiteness from {u}");
+            }
+        }
+    }
+    assert!(compared >= 6, "only {compared} comparisons");
+    // Strict wins over the density-minimal x are rare at this granularity
+    // (that x already sits at the LO-feasibility edge); the strict-win
+    // case is covered by `shaped_sets_simulate_cleanly_at_their_new_s_min`,
+    // which starts from no preparation at all.
+}
+
+#[test]
+fn fms_platform_sizing_end_to_end() {
+    // Size the FMS platform: smallest speed that recovers within one
+    // second, then fly with it.
+    let limits = AnalysisLimits::default();
+    let set = prepare(&fms::specs(Rational::TWO), Rational::TWO).expect("feasible");
+    let speed = minimal_speed_within_budget(&set, int(1_000), int(4), rat(1, 64), &limits)
+        .expect("completes")
+        .expect("feasible within 4x");
+    let speed = snap_up(speed);
+    let bound = resetting_time(&set, speed, &limits)
+        .expect("completes")
+        .bound();
+    let ResettingBound::Finite(dr) = bound else {
+        panic!("finite bound expected");
+    };
+    assert!(dr <= int(1_000) + int(20), "sizing missed the budget: {dr}");
+    // The Section IV remark: with overruns at least a minute apart, the
+    // sized platform overclocks below 2% of the time.
+    let duty = overclock_duty_cycle(dr, int(60_000));
+    assert!(duty <= rat(1, 50), "duty cycle {duty}");
+    let report = Simulation::new(set)
+        .speedup(speed)
+        .horizon(int(120_000))
+        .execution(ExecutionScenario::RandomOverrun {
+            probability: 0.1,
+            seed: 42,
+        })
+        .run()
+        .expect("simulation runs");
+    assert!(report.misses().is_empty());
+    if let Some(recovery) = report.max_recovery() {
+        assert!(recovery <= dr, "measured {recovery} > sized bound {dr}");
+    }
+}
+
+#[test]
+fn shaping_then_budget_monitor_compose() {
+    // Shape an unprepared set, then run it under a tight overclock
+    // budget: the monitor may curtail, but HI deadlines still hold.
+    let limits = AnalysisLimits::default();
+    let unprepared = TaskSet::new(vec![
+        Task::builder("h1", Criticality::Hi)
+            .period(int(6))
+            .deadline(int(6))
+            .wcet_lo(int(1))
+            .wcet_hi(int(3))
+            .build()
+            .expect("valid"),
+        Task::builder("l1", Criticality::Lo)
+            .period(int(12))
+            .deadline(int(12))
+            .wcet(int(4))
+            .build()
+            .expect("valid"),
+    ]);
+    let outcome = shape_lo_deadlines(&unprepared, Rational::ONE, &limits).expect("ok");
+    let SpeedupBound::Finite(s_min) = outcome.after else {
+        panic!("shaping should rescue this set");
+    };
+    let speed = snap_up(s_min.max(Rational::ONE));
+    let report = Simulation::new(outcome.set)
+        .speedup(speed)
+        .horizon(int(600))
+        .execution(ExecutionScenario::HiWcet)
+        .overclock_budget(int(2))
+        .run()
+        .expect("runs");
+    // HI tasks never miss; LO tasks may be dropped by the monitor.
+    let hi_misses = report.misses().iter().filter(|m| m.task == 0).count();
+    assert_eq!(hi_misses, 0, "HI task missed under the monitor");
+}

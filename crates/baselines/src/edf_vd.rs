@@ -141,10 +141,7 @@ pub fn task_set(specs: &[ImplicitTaskSpec]) -> Option<Result<TaskSet, ModelError
         Ok(f) => f,
         Err(e) => return Some(Err(e)),
     };
-    Some(
-        scaled_task_set(specs, factors)
-            .and_then(|set| set.with_lo_terminated()),
-    )
+    Some(scaled_task_set(specs, factors).and_then(|set| set.with_lo_terminated()))
 }
 
 /// The exact minimum speedup EDF-VD would need for its HI mode — `≤ 1`

@@ -105,11 +105,8 @@ mod tests {
     fn table1_needs_speedup() {
         let limits = AnalysisLimits::default();
         assert!(!is_schedulable(&table1(), &limits).expect("ok"));
-        assert!(
-            is_schedulable_with_speedup(&table1(), Rational::new(4, 3), &limits).expect("ok")
-        );
-        assert!(!is_schedulable_with_speedup(&table1(), Rational::new(5, 4), &limits)
-            .expect("ok"));
+        assert!(is_schedulable_with_speedup(&table1(), Rational::new(4, 3), &limits).expect("ok"));
+        assert!(!is_schedulable_with_speedup(&table1(), Rational::new(5, 4), &limits).expect("ok"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Micro-benchmarks of the exact analyses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbs_bench::harness::Runner;
 use rbs_bench::{synthetic_set, table1};
 use rbs_core::adb::hi_arrival_profile;
 use rbs_core::dbf::{hi_profile, total_dbf_hi};
@@ -13,100 +13,65 @@ use rbs_gen::synth::SynthConfig;
 use rbs_timebase::Rational;
 use std::hint::black_box;
 
-fn bench_minimum_speedup(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::new("analysis");
     let limits = AnalysisLimits::default();
-    let mut group = c.benchmark_group("minimum_speedup");
-    group.bench_function("table1", |b| {
-        let set = table1();
-        b.iter(|| minimum_speedup(black_box(&set), &limits).expect("completes"));
+
+    let set = table1();
+    runner.bench("minimum_speedup/table1", || {
+        minimum_speedup(black_box(&set), &limits).expect("completes")
     });
     for size in [5usize, 10, 20, 40] {
         let set = synthetic_set(size, 42);
-        group.bench_with_input(BenchmarkId::new("synthetic", size), &set, |b, set| {
-            b.iter(|| minimum_speedup(black_box(set), &limits).expect("completes"));
+        runner.bench(&format!("minimum_speedup/synthetic/{size}"), || {
+            minimum_speedup(black_box(&set), &limits).expect("completes")
         });
     }
-    group.finish();
-}
 
-fn bench_resetting_time(c: &mut Criterion) {
-    let limits = AnalysisLimits::default();
-    let mut group = c.benchmark_group("resetting_time");
-    group.bench_function("table1_s2", |b| {
-        let set = table1();
-        b.iter(|| resetting_time(black_box(&set), Rational::TWO, &limits).expect("completes"));
+    let set = table1();
+    runner.bench("resetting_time/table1_s2", || {
+        resetting_time(black_box(&set), Rational::TWO, &limits).expect("completes")
     });
     for size in [5usize, 10, 20, 40] {
         let set = synthetic_set(size, 43);
-        group.bench_with_input(BenchmarkId::new("synthetic_s3", size), &set, |b, set| {
-            b.iter(|| {
-                resetting_time(black_box(set), Rational::integer(3), &limits)
-                    .expect("completes")
-            });
+        runner.bench(&format!("resetting_time/synthetic_s3/{size}"), || {
+            resetting_time(black_box(&set), Rational::integer(3), &limits).expect("completes")
         });
     }
-    group.finish();
-}
 
-fn bench_demand_evaluation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("demand_eval");
     let set = synthetic_set(20, 44);
-    group.bench_function("point_formula_200_samples", |b| {
-        b.iter(|| {
-            let mut acc = Rational::ZERO;
-            for i in 1..=200 {
-                acc += total_dbf_hi(black_box(&set), Rational::integer(i));
-            }
-            acc
-        });
+    runner.bench("demand_eval/point_formula_200_samples", || {
+        let mut acc = Rational::ZERO;
+        for i in 1..=200 {
+            acc += total_dbf_hi(black_box(&set), Rational::integer(i));
+        }
+        acc
     });
-    group.bench_function("build_hi_profile", |b| {
-        b.iter(|| hi_profile(black_box(&set)));
+    runner.bench("demand_eval/build_hi_profile", || {
+        hi_profile(black_box(&set))
     });
-    group.bench_function("build_adb_profile", |b| {
-        b.iter(|| hi_arrival_profile(black_box(&set)));
+    runner.bench("demand_eval/build_adb_profile", || {
+        hi_arrival_profile(black_box(&set))
     });
-    group.finish();
-}
 
-fn bench_lo_mode(c: &mut Criterion) {
-    let limits = AnalysisLimits::default();
-    let mut group = c.benchmark_group("lo_mode");
     let set = synthetic_set(20, 45);
-    group.bench_function("exact_schedulability_20_tasks", |b| {
-        b.iter(|| is_lo_schedulable(black_box(&set), &limits).expect("completes"));
+    runner.bench("lo_mode/exact_schedulability_20_tasks", || {
+        is_lo_schedulable(black_box(&set), &limits).expect("completes")
     });
     let specs = SynthConfig::new(Rational::new(7, 10))
         .period_range_ms(5, 100)
         .generate(46);
-    group.bench_function("minimal_x_density", |b| {
-        b.iter(|| minimal_x_density(black_box(&specs)));
+    runner.bench("lo_mode/minimal_x_density", || {
+        minimal_x_density(black_box(&specs))
     });
-    group.finish();
-}
 
-fn bench_fms_analysis(c: &mut Criterion) {
-    let limits = AnalysisLimits::default();
-    c.bench_function("fms_full_analysis", |b| {
-        let specs = fms::specs(Rational::TWO);
-        b.iter(|| {
-            let x = minimal_x_density(black_box(&specs)).expect("feasible");
-            let factors =
-                rbs_model::ScalingFactors::new(x, Rational::TWO).expect("valid");
-            let set = rbs_model::scaled_task_set(&specs, factors).expect("valid");
-            let s = minimum_speedup(&set, &limits).expect("completes");
-            let r = resetting_time(&set, Rational::TWO, &limits).expect("completes");
-            (s, r)
-        });
+    let specs = fms::specs(Rational::TWO);
+    runner.bench("fms_full_analysis", || {
+        let x = minimal_x_density(black_box(&specs)).expect("feasible");
+        let factors = rbs_model::ScalingFactors::new(x, Rational::TWO).expect("valid");
+        let set = rbs_model::scaled_task_set(&specs, factors).expect("valid");
+        let s = minimum_speedup(&set, &limits).expect("completes");
+        let r = resetting_time(&set, Rational::TWO, &limits).expect("completes");
+        (s, r)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_minimum_speedup,
-    bench_resetting_time,
-    bench_demand_evaluation,
-    bench_lo_mode,
-    bench_fms_analysis
-);
-criterion_main!(benches);

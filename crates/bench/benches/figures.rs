@@ -1,64 +1,43 @@
 //! One benchmark per paper table/figure (scaled-down regeneration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbs_bench::harness::Runner;
 use rbs_experiments::{fig1, fig3, fig4, fig5, fig6, fig7, table1};
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_examples_1_and_2", |b| {
-        b.iter(|| black_box(table1::run()));
-    });
-}
+fn main() {
+    let runner = Runner::new("figures");
+    runner.bench("table1_examples_1_and_2", || black_box(table1::run()));
+    runner.bench("fig1_demand_bound_functions", || black_box(fig1::run()));
+    runner.bench("fig3_resetting_time_sweep", || black_box(fig3::run()));
+    runner.bench("fig4_closed_form_tradeoffs", || black_box(fig4::run()));
+    runner.bench("fig5_fms_contours", || black_box(fig5::run()));
 
-fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("fig1_demand_bound_functions", |b| {
-        b.iter(|| black_box(fig1::run()));
-    });
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_resetting_time_sweep", |b| {
-        b.iter(|| black_box(fig3::run()));
-    });
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_closed_form_tradeoffs", |b| {
-        b.iter(|| black_box(fig4::run()));
-    });
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_fms_contours", |b| {
-        b.iter(|| black_box(fig5::run()));
-    });
-}
-
-fn bench_fig6(c: &mut Criterion) {
     let config = fig6::Fig6Config {
         sets_per_point: 10,
         seed: 2015,
+        jobs: 1,
     };
-    c.bench_function("fig6_synthetic_campaign_10_sets", |b| {
-        b.iter(|| black_box(fig6::run(&config)));
+    runner.bench("fig6_synthetic_campaign_10_sets", || {
+        black_box(fig6::run(&config))
     });
-}
+    // The same campaign through the worker pool, to expose the speedup on
+    // multicore machines (identical output either way).
+    let pooled = fig6::Fig6Config { jobs: 0, ..config };
+    runner.bench("fig6_synthetic_campaign_10_sets_pooled", || {
+        black_box(fig6::run(&pooled))
+    });
 
-fn bench_fig7(c: &mut Criterion) {
     let config = fig7::Fig7Config {
         sets_per_point: 6,
         grid_step_twentieths: 5,
         seed: 77,
+        jobs: 1,
     };
-    c.bench_function("fig7_schedulability_region_4x4", |b| {
-        b.iter(|| black_box(fig7::run(&config)));
+    runner.bench("fig7_schedulability_region_4x4", || {
+        black_box(fig7::run(&config))
+    });
+    let pooled = fig7::Fig7Config { jobs: 0, ..config };
+    runner.bench("fig7_schedulability_region_4x4_pooled", || {
+        black_box(fig7::run(&pooled))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1, bench_fig1, bench_fig3, bench_fig4, bench_fig5,
-              bench_fig6, bench_fig7
-}
-criterion_main!(benches);

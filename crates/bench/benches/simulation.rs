@@ -1,14 +1,15 @@
 //! Simulator throughput benchmarks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbs_bench::harness::Runner;
 use rbs_bench::{synthetic_set, table1};
 use rbs_gen::fms;
 use rbs_sim::{ExecutionScenario, Simulation};
 use rbs_timebase::Rational;
 use std::hint::black_box;
 
-fn bench_table1_scenarios(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_table1");
+fn main() {
+    let runner = Runner::new("simulation");
+
     for (name, scenario) in [
         ("no_overrun", ExecutionScenario::LoWcet),
         ("sustained_overrun", ExecutionScenario::HiWcet),
@@ -20,64 +21,44 @@ fn bench_table1_scenarios(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                Simulation::new(black_box(table1()))
-                    .speedup(Rational::TWO)
-                    .horizon(Rational::integer(1_000))
-                    .execution(scenario.clone())
-                    .run()
-                    .expect("runs")
-            });
+        runner.bench(&format!("sim_table1/{name}"), || {
+            Simulation::new(black_box(table1()))
+                .speedup(Rational::TWO)
+                .horizon(Rational::integer(1_000))
+                .execution(scenario.clone())
+                .run()
+                .expect("runs")
         });
     }
-    group.finish();
-}
 
-fn bench_synthetic_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_synthetic");
     for size in [5usize, 10, 20] {
         let set = synthetic_set(size, 50);
-        group.bench_with_input(BenchmarkId::new("tasks", size), &set, |b, set| {
-            b.iter(|| {
-                Simulation::new(set.clone())
-                    .speedup(Rational::TWO)
-                    .horizon(Rational::integer(2_000))
-                    .execution(ExecutionScenario::RandomOverrun {
-                        probability: 0.3,
-                        seed: 5,
-                    })
-                    .run()
-                    .expect("runs")
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_fms_flight(c: &mut Criterion) {
-    let specs = fms::specs(Rational::TWO);
-    let x = rbs_core::lo_mode::minimal_x_density(&specs).expect("feasible");
-    let factors = rbs_model::ScalingFactors::new(x, Rational::TWO).expect("valid");
-    let set = rbs_model::scaled_task_set(&specs, factors).expect("valid");
-    c.bench_function("sim_fms_60s_flight", |b| {
-        b.iter(|| {
+        runner.bench(&format!("sim_synthetic/tasks/{size}"), || {
             Simulation::new(set.clone())
                 .speedup(Rational::TWO)
-                .horizon(Rational::integer(60_000))
+                .horizon(Rational::integer(2_000))
                 .execution(ExecutionScenario::RandomOverrun {
-                    probability: 0.05,
-                    seed: 1,
+                    probability: 0.3,
+                    seed: 5,
                 })
                 .run()
                 .expect("runs")
         });
+    }
+
+    let specs = fms::specs(Rational::TWO);
+    let x = rbs_core::lo_mode::minimal_x_density(&specs).expect("feasible");
+    let factors = rbs_model::ScalingFactors::new(x, Rational::TWO).expect("valid");
+    let set = rbs_model::scaled_task_set(&specs, factors).expect("valid");
+    runner.bench("sim_fms_60s_flight", || {
+        Simulation::new(set.clone())
+            .speedup(Rational::TWO)
+            .horizon(Rational::integer(60_000))
+            .execution(ExecutionScenario::RandomOverrun {
+                probability: 0.05,
+                seed: 1,
+            })
+            .run()
+            .expect("runs")
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1_scenarios, bench_synthetic_sizes, bench_fms_flight
-}
-criterion_main!(benches);

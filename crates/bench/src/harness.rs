@@ -1,0 +1,101 @@
+//! A minimal wall-clock benchmark harness (no external dependencies).
+//!
+//! Each benchmark is calibrated so one timed batch runs for at least
+//! [`Runner::MIN_BATCH`]; the harness then takes a fixed number of batch
+//! samples and reports per-iteration minimum / median / mean. The output
+//! is one line per benchmark, so `cargo bench` stays grep-friendly.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Collects and prints benchmark timings for one suite.
+#[derive(Debug)]
+pub struct Runner {
+    samples: usize,
+}
+
+impl Runner {
+    /// A calibration batch must run at least this long.
+    pub const MIN_BATCH: Duration = Duration::from_millis(20);
+
+    /// A runner for the named suite; honors `RBS_BENCH_SAMPLES` (default
+    /// 10 batch samples per benchmark).
+    #[must_use]
+    pub fn new(suite: &str) -> Runner {
+        let samples = std::env::var("RBS_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        println!("== bench suite: {suite} (samples per benchmark: {samples}) ==");
+        Runner { samples }
+    }
+
+    /// Times `f`, printing one summary line. The closure's result is passed
+    /// through [`black_box`] so the work cannot be optimized away.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibrate: grow the batch until it takes MIN_BATCH.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Runner::MIN_BATCH || iters >= 1 << 24 {
+                break;
+            }
+            // At least double; overshoot toward the target to converge fast.
+            let target = Runner::MIN_BATCH.as_nanos().max(1);
+            let scale = (target / elapsed.as_nanos().max(1)).max(2);
+            iters = iters
+                .saturating_mul(u64::try_from(scale).unwrap_or(2))
+                .min(1 << 24);
+        }
+
+        let mut per_iter_nanos: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() / u128::from(iters)
+            })
+            .collect();
+        per_iter_nanos.sort_unstable();
+        let min = per_iter_nanos[0];
+        let median = per_iter_nanos[per_iter_nanos.len() / 2];
+        let mean = per_iter_nanos.iter().sum::<u128>() / per_iter_nanos.len() as u128;
+        println!(
+            "{name:<44} median {:>12}  min {:>12}  mean {:>12}  ({iters} iters/sample)",
+            fmt_nanos(median),
+            fmt_nanos(min),
+            fmt_nanos(mean)
+        );
+    }
+}
+
+fn fmt_nanos(nanos: u128) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_time_units() {
+        assert_eq!(fmt_nanos(999), "999 ns");
+        assert_eq!(fmt_nanos(1_500), "1.500 us");
+        assert_eq!(fmt_nanos(2_000_000), "2.000 ms");
+        assert_eq!(fmt_nanos(3_500_000_000), "3.500 s");
+    }
+}

@@ -1,4 +1,4 @@
-//! Criterion benchmarks for the `run-and-be-safe` workspace.
+//! Benchmarks for the `run-and-be-safe` workspace.
 //!
 //! Three suites (run with `cargo bench --workspace`):
 //!
@@ -10,10 +10,14 @@
 //! * `simulation` — event-loop throughput of the variable-speed EDF
 //!   simulator under sustained and sporadic overruns.
 //!
-//! Shared fixtures live here so the suites stay in sync.
+//! The suites are plain `harness = false` binaries driven by the
+//! dependency-free [`harness`] in this crate; shared fixtures live here so
+//! the suites stay in sync.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use rbs_gen::synth::SynthConfig;
 use rbs_model::{Criticality, ImplicitTaskSpec, Task, TaskSet};

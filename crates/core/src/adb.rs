@@ -68,8 +68,7 @@ pub fn adb_hi(task: &Task, delta: Rational) -> Rational {
         return Rational::ZERO;
     };
     let window = arrival_window(task, delta).expect("active in HI mode");
-    carry_demand(task, window)
-        + Rational::integer(delta.floor_div(hi.period()) + 1) * hi.wcet()
+    carry_demand(task, window) + Rational::integer(delta.floor_div(hi.period()) + 1) * hi.wcet()
 }
 
 /// Total arrived demand bound `Σ_i ADB_HI(τ_i, Δ)`.

@@ -229,7 +229,10 @@ mod tests {
     fn x_equal_one_with_inflation_is_unbounded() {
         let f = ScalingFactors::new(int(1), int(2)).expect("valid");
         assert_eq!(speedup_bound(&specs(), f), SpeedupBound::Unbounded);
-        assert_eq!(resetting_bound(&specs(), f, int(100)), ResettingBound::Unbounded);
+        assert_eq!(
+            resetting_bound(&specs(), f, int(100)),
+            ResettingBound::Unbounded
+        );
     }
 
     #[test]
@@ -261,7 +264,10 @@ mod tests {
             ImplicitTaskSpec::lo("l", int(8), int(0)),
         ];
         let f = ScalingFactors::new(rat(1, 2), int(2)).expect("valid");
-        assert_eq!(speedup_bound(&zeros, f), SpeedupBound::Finite(Rational::ZERO));
+        assert_eq!(
+            speedup_bound(&zeros, f),
+            SpeedupBound::Finite(Rational::ZERO)
+        );
     }
 
     #[test]
@@ -284,7 +290,10 @@ mod tests {
         let SpeedupBound::Finite(s_min) = speedup_bound(&specs(), f) else {
             panic!("finite");
         };
-        assert_eq!(resetting_bound(&specs(), f, s_min), ResettingBound::Unbounded);
+        assert_eq!(
+            resetting_bound(&specs(), f, s_min),
+            ResettingBound::Unbounded
+        );
         assert_eq!(
             resetting_bound(&specs(), f, s_min / int(2)),
             ResettingBound::Unbounded

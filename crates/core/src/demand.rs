@@ -189,7 +189,6 @@ impl PeriodicDemand {
             base
         }
     }
-
 }
 
 /// The outcome of a `sup demand(Δ)/Δ` query.
@@ -633,7 +632,6 @@ impl IncrementalWalk {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -984,7 +982,9 @@ mod tests {
 #[cfg(test)]
 mod walk_equivalence_properties {
     use super::*;
-    use proptest::prelude::*;
+    use rbs_rng::Rng;
+
+    const CASES: usize = 128;
 
     fn int(v: i128) -> Rational {
         Rational::integer(v)
@@ -992,65 +992,76 @@ mod walk_equivalence_properties {
 
     /// Arbitrary well-formed components covering every shape corner:
     /// steps, ramps, clipped ramps, immediate ramps, zero-offset steps.
-    fn arb_component() -> impl Strategy<Value = PeriodicDemand> {
-        (1i128..=12, 0i128..=11, 0i128..=6, 0i128..=12, 0i128..=4).prop_map(
-            |(period, ramp_start, jump, ramp_len, extra)| {
-                let ramp_start = ramp_start.min(period - 1);
-                let per_period = jump + ramp_len + extra;
-                PeriodicDemand::new(
-                    int(period),
-                    int(per_period),
-                    int(extra),
-                    int(ramp_start),
-                    int(jump),
-                    int(ramp_len),
-                )
-            },
+    fn arb_component(rng: &mut Rng) -> PeriodicDemand {
+        let period = rng.gen_range_i128(1, 12);
+        let ramp_start = rng.gen_range_i128(0, 11).min(period - 1);
+        let jump = rng.gen_range_i128(0, 6);
+        let ramp_len = rng.gen_range_i128(0, 12);
+        let extra = rng.gen_range_i128(0, 4);
+        let per_period = jump + ramp_len + extra;
+        PeriodicDemand::new(
+            int(period),
+            int(per_period),
+            int(extra),
+            int(ramp_start),
+            int(jump),
+            int(ramp_len),
         )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
+    fn arb_components(rng: &mut Rng, max: usize) -> Vec<PeriodicDemand> {
+        let len = rng.gen_range_usize(1, max);
+        (0..len).map(|_| arb_component(rng)).collect()
+    }
 
-        #[test]
-        fn incremental_walk_matches_direct_evaluation(
-            comps in prop::collection::vec(arb_component(), 1..=5),
-        ) {
+    #[test]
+    fn incremental_walk_matches_direct_evaluation() {
+        let mut rng = Rng::seed_from_u64(0xd31a_0001);
+        for _ in 0..CASES {
+            let comps = arb_components(&mut rng, 5);
             let profile = DemandProfile::new(comps.clone());
             let mut walk = IncrementalWalk::new(&comps);
-            prop_assert_eq!(walk.value, profile.eval(Rational::ZERO));
+            assert_eq!(walk.value, profile.eval(Rational::ZERO));
             for _ in 0..100 {
                 walk.advance();
-                prop_assert_eq!(
+                assert_eq!(
                     walk.value,
                     profile.eval(walk.delta),
-                    "diverged at {}", walk.delta
+                    "diverged at {}",
+                    walk.delta
                 );
             }
         }
+    }
 
-        #[test]
-        fn fits_agrees_with_sup_ratio(
-            comps in prop::collection::vec(arb_component(), 1..=4),
-            num in 1i128..=40,
-        ) {
+    #[test]
+    fn fits_agrees_with_sup_ratio() {
+        let mut rng = Rng::seed_from_u64(0xd31a_0002);
+        for _ in 0..CASES {
+            let comps = arb_components(&mut rng, 4);
+            let num = rng.gen_range_i128(1, 40);
             let profile = DemandProfile::new(comps);
             let limits = AnalysisLimits::default();
             let speed = Rational::new(num, 8);
             let fits = profile.fits(speed, &limits).expect("decision completes");
             match profile.sup_ratio(&limits).expect("sup completes") {
-                SupRatio::Unbounded => prop_assert!(!fits),
+                SupRatio::Unbounded => assert!(!fits),
                 SupRatio::Finite { value, .. } => {
-                    prop_assert_eq!(fits, speed >= value,
-                        "fits={} but sup={} at speed {}", fits, value, speed);
+                    assert_eq!(
+                        fits,
+                        speed >= value,
+                        "fits={fits} but sup={value} at speed {speed}"
+                    );
                 }
             }
         }
+    }
 
-        #[test]
-        fn incremental_slope_matches_finite_differences(
-            comps in prop::collection::vec(arb_component(), 1..=4),
-        ) {
+    #[test]
+    fn incremental_slope_matches_finite_differences() {
+        let mut rng = Rng::seed_from_u64(0xd31a_0003);
+        for _ in 0..CASES {
+            let comps = arb_components(&mut rng, 4);
             let profile = DemandProfile::new(comps.clone());
             let mut walk = IncrementalWalk::new(&comps);
             for _ in 0..60 {
@@ -1064,7 +1075,7 @@ mod walk_equivalence_properties {
                 let probe = mid + (end - mid) / Rational::TWO;
                 let expected =
                     profile.eval(mid) + Rational::integer(i128::from(slope)) * (probe - mid);
-                prop_assert_eq!(profile.eval(probe), expected, "segment [{}, {})", start, end);
+                assert_eq!(profile.eval(probe), expected, "segment [{start}, {end})");
             }
         }
     }

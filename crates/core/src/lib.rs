@@ -69,6 +69,7 @@ pub mod dbf;
 pub mod demand;
 pub mod lo_mode;
 pub mod qpa;
+pub mod report;
 pub mod resetting;
 pub mod shaping;
 pub mod speedup;
@@ -79,3 +80,4 @@ mod error;
 
 pub use config::AnalysisLimits;
 pub use error::AnalysisError;
+pub use report::{analyze, AnalyzeReport};

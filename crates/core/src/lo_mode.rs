@@ -205,7 +205,10 @@ mod tests {
         let limits = AnalysisLimits::default();
         assert!(is_lo_schedulable(&table1(), &limits).expect("ok"));
         // Requirement: densest point is Δ=2 (demand 1): 1/2.
-        assert_eq!(lo_speed_requirement(&table1(), &limits).expect("ok"), rat(1, 2));
+        assert_eq!(
+            lo_speed_requirement(&table1(), &limits).expect("ok"),
+            rat(1, 2)
+        );
     }
 
     #[test]
@@ -294,8 +297,7 @@ mod tests {
             ImplicitTaskSpec::hi("h", int(10), int(6), int(6)),
             ImplicitTaskSpec::lo("l", int(10), int(5)),
         ];
-        let result =
-            minimal_x_exact(&specs, rat(1, 64), &AnalysisLimits::default()).expect("ok");
+        let result = minimal_x_exact(&specs, rat(1, 64), &AnalysisLimits::default()).expect("ok");
         assert_eq!(result, None);
     }
 

@@ -1,0 +1,268 @@
+//! The per-set analysis entry point: one call producing the full report
+//! (LO-mode verdict, Theorem 2's minimum speedup, Corollary 5's resetting
+//! times, platform sizing) that the CLI tools and the admission-control
+//! service both serve.
+//!
+//! The report renders to JSON via [`rbs_json::ToJson`] so that every
+//! consumer — `rbs-experiments analyze`, `rbs-svc`, tests — emits the exact
+//! same bytes for the same task set.
+
+use std::fmt;
+
+use rbs_json::{Json, JsonError, ToJson};
+use rbs_model::TaskSet;
+use rbs_timebase::Rational;
+
+use crate::lo_mode::{is_lo_schedulable, lo_speed_requirement};
+use crate::resetting::{resetting_time, ResettingBound};
+use crate::speedup::{minimum_speedup, SpeedupBound};
+use crate::tuning::minimal_speed_within_budget;
+use crate::{AnalysisError, AnalysisLimits};
+
+/// The report for one task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeReport {
+    /// The analyzed set (echoed back for context).
+    pub set: TaskSet,
+    /// Whether LO mode meets all deadlines at nominal speed.
+    pub lo_schedulable: bool,
+    /// The smallest speed at which LO mode would be schedulable.
+    pub lo_requirement: Rational,
+    /// Theorem 2's minimum HI-mode speedup.
+    pub s_min: SpeedupBound,
+    /// The demand witness interval, if finite.
+    pub witness: Option<Rational>,
+    /// `(s, Δ_R)` rows for a few representative speeds.
+    pub resetting_rows: Vec<(Rational, ResettingBound)>,
+    /// The smallest speed meeting a 10-"period-scale" reset budget (ten
+    /// times the largest HI-mode period), when one exists below 4x.
+    pub sized_speed: Option<Rational>,
+}
+
+/// Analyzes a task set, producing the full [`AnalyzeReport`].
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors (breakpoint budgets on pathological
+/// inputs).
+pub fn analyze(set: TaskSet, limits: &AnalysisLimits) -> Result<AnalyzeReport, AnalysisError> {
+    let lo_schedulable = is_lo_schedulable(&set, limits)?;
+    let lo_requirement = lo_speed_requirement(&set, limits)?;
+    let analysis = minimum_speedup(&set, limits)?;
+    let s_min = analysis.bound();
+    let witness = analysis.witness();
+    let mut speeds: Vec<Rational> = vec![Rational::ONE, Rational::new(3, 2), Rational::TWO];
+    if let SpeedupBound::Finite(v) = s_min {
+        if !speeds.contains(&v) && v.is_positive() {
+            speeds.push(v);
+            speeds.sort();
+        }
+    }
+    let mut resetting_rows = Vec::new();
+    for s in speeds {
+        resetting_rows.push((s, resetting_time(&set, s, limits)?.bound()));
+    }
+    let sized_speed = {
+        let max_period = set
+            .iter()
+            .filter_map(|t| t.params(rbs_model::Mode::Hi))
+            .map(|p| p.period())
+            .max();
+        match max_period {
+            Some(p) => minimal_speed_within_budget(
+                &set,
+                p * Rational::integer(10),
+                Rational::integer(4),
+                Rational::new(1, 64),
+                limits,
+            )?,
+            None => None,
+        }
+    };
+    Ok(AnalyzeReport {
+        set,
+        lo_schedulable,
+        lo_requirement,
+        s_min,
+        witness,
+        resetting_rows,
+        sized_speed,
+    })
+}
+
+impl ToJson for SpeedupBound {
+    fn to_json(&self) -> Json {
+        match self {
+            SpeedupBound::Finite(v) => Json::Object(vec![("Finite".to_owned(), v.to_json())]),
+            SpeedupBound::Unbounded => Json::Str("Unbounded".to_owned()),
+        }
+    }
+}
+
+impl rbs_json::FromJson for SpeedupBound {
+    fn from_json(value: &Json) -> Result<SpeedupBound, JsonError> {
+        bound_from_json(value, "SpeedupBound")
+            .map(|v| v.map_or(SpeedupBound::Unbounded, SpeedupBound::Finite))
+    }
+}
+
+impl ToJson for ResettingBound {
+    fn to_json(&self) -> Json {
+        match self {
+            ResettingBound::Finite(v) => Json::Object(vec![("Finite".to_owned(), v.to_json())]),
+            ResettingBound::Unbounded => Json::Str("Unbounded".to_owned()),
+        }
+    }
+}
+
+impl rbs_json::FromJson for ResettingBound {
+    fn from_json(value: &Json) -> Result<ResettingBound, JsonError> {
+        bound_from_json(value, "ResettingBound")
+            .map(|v| v.map_or(ResettingBound::Unbounded, ResettingBound::Finite))
+    }
+}
+
+/// Shared decoder for the two bound enums: `"Unbounded"` or
+/// `{"Finite": rational}`.
+fn bound_from_json(value: &Json, what: &str) -> Result<Option<Rational>, JsonError> {
+    match value {
+        Json::Str(s) if s == "Unbounded" => Ok(None),
+        Json::Object(fields) if fields.len() == 1 && fields[0].0 == "Finite" => {
+            rbs_json::FromJson::from_json(&fields[0].1).map(Some)
+        }
+        _ => Err(JsonError::new(format!(
+            "expected \"Unbounded\" or {{\"Finite\": rational}} for {what}"
+        ))),
+    }
+}
+
+impl ToJson for AnalyzeReport {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("set".to_owned(), self.set.to_json()),
+            ("lo_schedulable".to_owned(), Json::Bool(self.lo_schedulable)),
+            ("lo_requirement".to_owned(), self.lo_requirement.to_json()),
+            ("s_min".to_owned(), self.s_min.to_json()),
+            ("witness".to_owned(), self.witness.to_json()),
+            (
+                "resetting_rows".to_owned(),
+                Json::Array(
+                    self.resetting_rows
+                        .iter()
+                        .map(|(s, dr)| Json::Array(vec![s.to_json(), dr.to_json()]))
+                        .collect(),
+                ),
+            ),
+            ("sized_speed".to_owned(), self.sized_speed.to_json()),
+        ])
+    }
+}
+
+impl fmt::Display for AnalyzeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.set)?;
+        writeln!(
+            f,
+            "LO mode at nominal speed: {} (requires speed {:.3})",
+            if self.lo_schedulable {
+                "schedulable"
+            } else {
+                "NOT schedulable"
+            },
+            self.lo_requirement.to_f64()
+        )?;
+        match self.s_min {
+            SpeedupBound::Finite(v) => {
+                writeln!(
+                    f,
+                    "minimum HI-mode speedup s_min = {v} (~{:.4})",
+                    v.to_f64()
+                )?;
+                if let Some(w) = self.witness {
+                    writeln!(f, "  critical interval after the switch: Delta = {w}")?;
+                }
+            }
+            SpeedupBound::Unbounded => {
+                writeln!(
+                    f,
+                    "minimum HI-mode speedup: UNBOUNDED — shorten LO-mode deadlines of HI tasks"
+                )?;
+            }
+        }
+        writeln!(f, "service resetting times:")?;
+        for (s, dr) in &self.resetting_rows {
+            writeln!(f, "  s = {:<8} Delta_R = {}", s.to_string(), dr)?;
+        }
+        if let Some(s) = self.sized_speed {
+            writeln!(
+                f,
+                "suggested platform speed (reset within 10 max periods, <= 4x): {:.3}",
+                s.to_f64()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_json::FromJson;
+    use rbs_model::{Criticality, Task};
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(Rational::integer(5))
+                .deadline_lo(Rational::integer(2))
+                .deadline_hi(Rational::integer(5))
+                .wcet_lo(Rational::integer(1))
+                .wcet_hi(Rational::integer(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(Rational::integer(10))
+                .deadline(Rational::integer(10))
+                .wcet(Rational::integer(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn report_renders_stable_json() {
+        let report = analyze(table1(), &AnalysisLimits::default()).expect("completes");
+        let json = rbs_json::to_string(&report);
+        assert!(json.starts_with("{\"set\":["), "{json}");
+        assert!(
+            json.contains("\"s_min\":{\"Finite\":{\"num\":4,\"den\":3}}"),
+            "{json}"
+        );
+        assert!(json.contains("\"lo_schedulable\":true"), "{json}");
+        // Rendering is a pure function of the report.
+        let again = analyze(table1(), &AnalysisLimits::default()).expect("completes");
+        assert_eq!(json, rbs_json::to_string(&again));
+    }
+
+    #[test]
+    fn bounds_round_trip_through_json() {
+        for bound in [
+            SpeedupBound::Finite(Rational::new(4, 3)),
+            SpeedupBound::Unbounded,
+        ] {
+            let json = rbs_json::to_string(&bound);
+            let back =
+                SpeedupBound::from_json(&rbs_json::parse(&json).expect("parses")).expect("decodes");
+            assert_eq!(back, bound);
+        }
+        for bound in [
+            ResettingBound::Finite(Rational::new(9, 2)),
+            ResettingBound::Unbounded,
+        ] {
+            let json = rbs_json::to_string(&bound);
+            let back = ResettingBound::from_json(&rbs_json::parse(&json).expect("parses"))
+                .expect("decodes");
+            assert_eq!(back, bound);
+        }
+    }
+}

@@ -172,8 +172,7 @@ mod tests {
         // Δ=5 where τ1's next arrival (2) exactly replaces its completed
         // carry plateau. First Δ with ADB(Δ) ≤ 2Δ is therefore Δ=5
         // (10 ≤ 10).
-        let analysis =
-            resetting_time(&table1(), int(2), &AnalysisLimits::default()).expect("ok");
+        let analysis = resetting_time(&table1(), int(2), &AnalysisLimits::default()).expect("ok");
         assert_eq!(analysis.bound(), ResettingBound::Finite(int(5)));
         assert_eq!(analysis.speed(), int(2));
     }

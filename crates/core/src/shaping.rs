@@ -219,8 +219,7 @@ mod tests {
         // needs s_min = 4/3; per-task shaping from scratch must do at
         // least as well.
         let limits = AnalysisLimits::default();
-        let outcome =
-            shape_lo_deadlines(&unprepared(), rat(1, 2), &limits).expect("ok");
+        let outcome = shape_lo_deadlines(&unprepared(), rat(1, 2), &limits).expect("ok");
         let after = outcome.after.as_finite().expect("finite");
         assert!(after <= rat(4, 3), "shaped {after} worse than uniform 4/3");
     }
@@ -294,10 +293,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "granularity must be positive")]
     fn zero_granularity_panics() {
-        let _ = shape_lo_deadlines(
-            &unprepared(),
-            Rational::ZERO,
-            &AnalysisLimits::default(),
-        );
+        let _ = shape_lo_deadlines(&unprepared(), Rational::ZERO, &AnalysisLimits::default());
     }
 }

@@ -222,8 +222,7 @@ mod tests {
 
     #[test]
     fn example1_with_degradation_allows_slowdown() {
-        let analysis =
-            minimum_speedup(&table1_degraded(), &AnalysisLimits::default()).expect("ok");
+        let analysis = minimum_speedup(&table1_degraded(), &AnalysisLimits::default()).expect("ok");
         let s_min = analysis.bound().as_finite().expect("finite");
         // The paper reports ≈0.94 for its (lost) Table I numbers; the
         // reconstruction preserves the qualitative claim s_min < 1.

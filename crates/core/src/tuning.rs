@@ -189,12 +189,9 @@ pub fn maximal_wcet_inflation(
         let inflated: Vec<ImplicitTaskSpec> = specs
             .iter()
             .map(|s| match s.criticality() {
-                Criticality::Hi => ImplicitTaskSpec::hi(
-                    s.name(),
-                    s.period(),
-                    s.wcet_lo(),
-                    gamma * s.wcet_lo(),
-                ),
+                Criticality::Hi => {
+                    ImplicitTaskSpec::hi(s.name(), s.period(), s.wcet_lo(), gamma * s.wcet_lo())
+                }
                 Criticality::Lo => s.clone(),
             })
             .collect();
@@ -242,7 +239,10 @@ pub fn maximal_wcet_inflation(
 #[must_use]
 pub fn overclock_duty_cycle(delta_r: Rational, t_o: Rational) -> Rational {
     assert!(t_o.is_positive(), "burst separation must be positive");
-    assert!(!delta_r.is_negative(), "resetting time must be non-negative");
+    assert!(
+        !delta_r.is_negative(),
+        "resetting time must be non-negative"
+    );
     (delta_r / t_o).min(Rational::ONE)
 }
 
@@ -350,16 +350,10 @@ mod tests {
     fn degradation_sizing_short_circuits_when_unneeded() {
         let specs = vec![ImplicitTaskSpec::hi("h", int(10), int(1), int(2))];
         let limits = AnalysisLimits::default();
-        let y = minimal_degradation_for_speed(
-            &specs,
-            rat(1, 2),
-            int(2),
-            int(4),
-            rat(1, 64),
-            &limits,
-        )
-        .expect("completes")
-        .expect("feasible");
+        let y =
+            minimal_degradation_for_speed(&specs, rat(1, 2), int(2), int(4), rat(1, 64), &limits)
+                .expect("completes")
+                .expect("feasible");
         assert_eq!(y, Rational::ONE);
     }
 
@@ -394,16 +388,9 @@ mod tests {
         let limits = AnalysisLimits::default();
         let mut prev: Option<Rational> = None;
         for s in [int(1), rat(3, 2), int(2), int(3)] {
-            let gamma = maximal_wcet_inflation(
-                &specs,
-                factors,
-                s,
-                int(20),
-                rat(1, 128),
-                &limits,
-            )
-            .expect("completes")
-            .expect("γ = 1 must be schedulable here");
+            let gamma = maximal_wcet_inflation(&specs, factors, s, int(20), rat(1, 128), &limits)
+                .expect("completes")
+                .expect("γ = 1 must be schedulable here");
             if let Some(p) = prev {
                 assert!(gamma >= p, "absorbed γ shrank with more speed");
             }

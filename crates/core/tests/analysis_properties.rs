@@ -1,6 +1,8 @@
-//! Property-based tests tying the exact analyses to their definitions.
+//! Property-based tests tying the exact analyses to their definitions,
+//! driven by a seeded deterministic RNG. The two formerly checked-in
+//! proptest regression cases are preserved as explicit unit tests at the
+//! bottom.
 
-use proptest::prelude::*;
 use rbs_core::adb::total_adb_hi;
 use rbs_core::closed_form;
 use rbs_core::dbf::{hi_profile, lo_profile, total_dbf_hi, total_dbf_lo};
@@ -9,10 +11,11 @@ use rbs_core::qpa::is_lo_schedulable_qpa;
 use rbs_core::resetting::{resetting_time, ResettingBound};
 use rbs_core::speedup::{minimum_speedup, SpeedupBound};
 use rbs_core::AnalysisLimits;
-use rbs_model::{
-    scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, Task, TaskSet,
-};
+use rbs_model::{scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, Task, TaskSet};
+use rbs_rng::Rng;
 use rbs_timebase::Rational;
+
+const CASES: usize = 64;
 
 fn int(v: i128) -> Rational {
     Rational::integer(v)
@@ -20,261 +23,383 @@ fn int(v: i128) -> Rational {
 
 /// A random well-formed dual-criticality task (integer parameters keep
 /// hyperperiods small enough for exhaustive cross-checks).
-fn arb_task(index: usize) -> impl Strategy<Value = Task> {
-    (2i128..=12, 1i128..=4, any::<bool>(), 1i128..=3, 0i128..=3).prop_map(
-        move |(period, wcet_seed, is_hi, dl_seed, gamma_seed)| {
-            let wcet_lo = wcet_seed.min(period - 1).max(1);
+fn arb_task(rng: &mut Rng, index: usize) -> Task {
+    let period = rng.gen_range_i128(2, 12);
+    let wcet_seed = rng.gen_range_i128(1, 4);
+    let is_hi = rng.gen_bool(0.5);
+    let dl_seed = rng.gen_range_i128(1, 3);
+    let gamma_seed = rng.gen_range_i128(0, 3);
+
+    let wcet_lo = wcet_seed.min(period - 1).max(1);
+    if is_hi {
+        // D(LO) in [C(LO), T), D(HI) = T, C(HI) in [C(LO), T].
+        let d_lo = (wcet_lo + dl_seed - 1).min(period - 1).max(1);
+        let wcet_hi = (wcet_lo + gamma_seed).min(period);
+        Task::builder(format!("hi{index}"), Criticality::Hi)
+            .period(int(period))
+            .deadline_lo(int(d_lo))
+            .deadline_hi(int(period))
+            .wcet_lo(int(wcet_lo))
+            .wcet_hi(int(wcet_hi))
+            .build()
+            .expect("generated HI task is valid")
+    } else {
+        // Possibly degraded LO task.
+        let d_lo = (wcet_lo + dl_seed).min(period).max(1);
+        let degrade = gamma_seed + 1; // ≥ 1
+        Task::builder(format!("lo{index}"), Criticality::Lo)
+            .period(int(period))
+            .deadline_lo(int(d_lo))
+            .period_hi(int(period * degrade))
+            .deadline_hi(int((d_lo * degrade).min(period * degrade)))
+            .wcet(int(wcet_lo))
+            .build()
+            .expect("generated LO task is valid")
+    }
+}
+
+fn arb_task_set(rng: &mut Rng) -> TaskSet {
+    let len = rng.gen_range_usize(1, 4);
+    TaskSet::new((0..len).map(|i| arb_task(rng, i)).collect())
+}
+
+fn arb_specs(rng: &mut Rng) -> Vec<ImplicitTaskSpec> {
+    let len = rng.gen_range_usize(1, 4);
+    (0..len)
+        .map(|i| {
+            let period = rng.gen_range_i128(2, 12);
+            let c_lo = rng.gen_range_i128(1, 3).min(period);
+            let extra = rng.gen_range_i128(0, 3);
+            let is_hi = rng.gen_bool(0.5);
             if is_hi {
-                // D(LO) in [C(LO), T), D(HI) = T, C(HI) in [C(LO), T].
-                let d_lo = (wcet_lo + dl_seed - 1).min(period - 1).max(1);
-                let wcet_hi = (wcet_lo + gamma_seed).min(period);
-                Task::builder(format!("hi{index}"), Criticality::Hi)
-                    .period(int(period))
-                    .deadline_lo(int(d_lo))
-                    .deadline_hi(int(period))
-                    .wcet_lo(int(wcet_lo))
-                    .wcet_hi(int(wcet_hi))
-                    .build()
-                    .expect("generated HI task is valid")
+                ImplicitTaskSpec::hi(
+                    format!("h{i}"),
+                    int(period),
+                    int(c_lo),
+                    int((c_lo + extra).min(period)),
+                )
             } else {
-                // Possibly degraded LO task.
-                let d_lo = (wcet_lo + dl_seed).min(period).max(1);
-                let degrade = gamma_seed + 1; // ≥ 1
-                Task::builder(format!("lo{index}"), Criticality::Lo)
-                    .period(int(period))
-                    .deadline_lo(int(d_lo))
-                    .period_hi(int(period * degrade))
-                    .deadline_hi(int((d_lo * degrade).min(period * degrade)))
-                    .wcet(int(wcet_lo))
-                    .build()
-                    .expect("generated LO task is valid")
+                ImplicitTaskSpec::lo(format!("l{i}"), int(period), int(c_lo))
             }
-        },
-    )
+        })
+        .collect()
 }
 
-fn arb_task_set() -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec(any::<u8>(), 1..=4).prop_flat_map(|seeds| {
-        let tasks: Vec<_> = seeds
-            .iter()
-            .enumerate()
-            .map(|(i, _)| arb_task(i))
-            .collect();
-        tasks.prop_map(TaskSet::new)
-    })
+fn check_profiles_agree_with_point_formulas(set: &TaskSet) {
+    let lo = lo_profile(set);
+    let hi = hi_profile(set);
+    for i in 0..60 {
+        let delta = Rational::new(i, 2);
+        assert_eq!(lo.eval(delta), total_dbf_lo(set, delta));
+        assert_eq!(hi.eval(delta), total_dbf_hi(set, delta));
+    }
 }
 
-fn arb_specs() -> impl Strategy<Value = Vec<ImplicitTaskSpec>> {
-    prop::collection::vec(
-        (2i128..=12, 1i128..=3, 0i128..=3, any::<bool>()),
-        1..=4,
-    )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, (period, c_lo, extra, is_hi))| {
-                let c_lo = c_lo.min(period);
-                if is_hi {
-                    ImplicitTaskSpec::hi(
-                        format!("h{i}"),
-                        int(period),
-                        int(c_lo),
-                        int((c_lo + extra).min(period)),
-                    )
-                } else {
-                    ImplicitTaskSpec::lo(format!("l{i}"), int(period), int(c_lo))
-                }
-            })
-            .collect()
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn profiles_agree_with_point_formulas(set in arb_task_set()) {
-        let lo = lo_profile(&set);
-        let hi = hi_profile(&set);
-        for i in 0..60 {
-            let delta = Rational::new(i, 2);
-            prop_assert_eq!(lo.eval(delta), total_dbf_lo(&set, delta));
-            prop_assert_eq!(hi.eval(delta), total_dbf_hi(&set, delta));
+fn check_s_min_dominates_every_sampled_ratio(set: &TaskSet) {
+    let limits = AnalysisLimits::default();
+    let analysis = minimum_speedup(set, &limits).expect("analysis completes");
+    if let SpeedupBound::Finite(s_min) = analysis.bound() {
+        for i in 1..200 {
+            let delta = Rational::new(i, 4);
+            assert!(
+                total_dbf_hi(set, delta) <= s_min * delta,
+                "demand beats s_min at Δ={delta}"
+            );
+        }
+        if let Some(witness) = analysis.witness() {
+            assert_eq!(total_dbf_hi(set, witness) / witness, s_min);
         }
     }
+}
 
-    #[test]
-    fn s_min_dominates_every_sampled_ratio(set in arb_task_set()) {
-        let limits = AnalysisLimits::default();
-        let analysis = minimum_speedup(&set, &limits).expect("analysis completes");
-        if let SpeedupBound::Finite(s_min) = analysis.bound() {
-            for i in 1..200 {
-                let delta = Rational::new(i, 4);
-                prop_assert!(
-                    total_dbf_hi(&set, delta) <= s_min * delta,
-                    "demand beats s_min at Δ={delta}"
-                );
-            }
-            if let Some(witness) = analysis.witness() {
-                prop_assert_eq!(total_dbf_hi(&set, witness) / witness, s_min);
-            }
+fn check_s_min_is_tight(set: &TaskSet) {
+    // Slightly below s_min the demand must exceed supply somewhere.
+    let limits = AnalysisLimits::default();
+    let analysis = minimum_speedup(set, &limits).expect("analysis completes");
+    if let (SpeedupBound::Finite(s_min), Some(witness)) = (analysis.bound(), analysis.witness()) {
+        if s_min.is_positive() {
+            let shade = s_min * Rational::new(4095, 4096);
+            assert!(total_dbf_hi(set, witness) > shade * witness);
         }
     }
+}
 
-    #[test]
-    fn s_min_is_tight(set in arb_task_set()) {
-        // Slightly below s_min the demand must exceed supply somewhere.
-        let limits = AnalysisLimits::default();
-        let analysis = minimum_speedup(&set, &limits).expect("analysis completes");
-        if let (SpeedupBound::Finite(s_min), Some(witness)) =
-            (analysis.bound(), analysis.witness())
+fn check_resetting_time_is_a_true_first_fit(set: &TaskSet) {
+    let limits = AnalysisLimits::default();
+    for speed in [Rational::new(3, 2), int(2), int(3)] {
+        match resetting_time(set, speed, &limits)
+            .expect("completes")
+            .bound()
         {
-            if s_min.is_positive() {
-                let shade = s_min * Rational::new(4095, 4096);
-                prop_assert!(total_dbf_hi(&set, witness) > shade * witness);
-            }
-        }
-    }
-
-    #[test]
-    fn resetting_time_is_a_true_first_fit(set in arb_task_set()) {
-        let limits = AnalysisLimits::default();
-        for speed in [Rational::new(3, 2), int(2), int(3)] {
-            match resetting_time(&set, speed, &limits).expect("completes").bound() {
-                ResettingBound::Finite(dr) => {
-                    prop_assert!(total_adb_hi(&set, dr) <= speed * dr);
-                    // No earlier fit on a sample grid.
-                    for i in 0..64 {
-                        let delta = dr * Rational::new(i, 64);
-                        prop_assert!(
-                            total_adb_hi(&set, delta) > speed * delta,
-                            "earlier fit at {delta} < {dr}"
-                        );
-                    }
-                }
-                ResettingBound::Unbounded => {
-                    // Only possible when the speed does not exceed the
-                    // HI-mode utilization.
-                    prop_assert!(speed <= set.utilization(rbs_model::Mode::Hi));
+            ResettingBound::Finite(dr) => {
+                assert!(total_adb_hi(set, dr) <= speed * dr);
+                // No earlier fit on a sample grid.
+                for i in 0..64 {
+                    let delta = dr * Rational::new(i, 64);
+                    assert!(
+                        total_adb_hi(set, delta) > speed * delta,
+                        "earlier fit at {delta} < {dr}"
+                    );
                 }
             }
-        }
-    }
-
-    #[test]
-    fn resetting_time_is_monotone_in_speed(set in arb_task_set()) {
-        let limits = AnalysisLimits::default();
-        let mut prev: Option<Rational> = None;
-        for speed in [int(2), int(3), int(5), int(9)] {
-            if let ResettingBound::Finite(dr) =
-                resetting_time(&set, speed, &limits).expect("completes").bound()
-            {
-                if let Some(p) = prev {
-                    prop_assert!(dr <= p, "Δ_R grew with speed: {dr} > {p}");
-                }
-                prev = Some(dr);
+            ResettingBound::Unbounded => {
+                // Only possible when the speed does not exceed the HI-mode
+                // utilization.
+                assert!(speed <= set.utilization(rbs_model::Mode::Hi));
             }
         }
     }
+}
 
-    #[test]
-    fn more_speed_never_hurts_schedulability(set in arb_task_set()) {
-        let limits = AnalysisLimits::default();
-        let analysis = minimum_speedup(&set, &limits).expect("completes");
-        if let SpeedupBound::Finite(s_min) = analysis.bound() {
-            prop_assert!(analysis.bound().is_met_by(s_min + Rational::ONE));
-            prop_assert!(analysis.bound().is_met_by(s_min));
-        }
-    }
-
-    #[test]
-    fn terminating_lo_tasks_never_raises_s_min(set in arb_task_set()) {
-        let limits = AnalysisLimits::default();
-        let full = minimum_speedup(&set, &limits).expect("completes").bound();
-        let term_set = set.with_lo_terminated().expect("valid");
-        let term = minimum_speedup(&term_set, &limits).expect("completes").bound();
-        match (full, term) {
-            (SpeedupBound::Finite(f), SpeedupBound::Finite(t)) => prop_assert!(t <= f),
-            (SpeedupBound::Unbounded, _) => {}
-            (SpeedupBound::Finite(_), SpeedupBound::Unbounded) => {
-                prop_assert!(false, "termination made the set unbounded");
+fn check_resetting_time_is_monotone_in_speed(set: &TaskSet) {
+    let limits = AnalysisLimits::default();
+    let mut prev: Option<Rational> = None;
+    for speed in [int(2), int(3), int(5), int(9)] {
+        if let ResettingBound::Finite(dr) = resetting_time(set, speed, &limits)
+            .expect("completes")
+            .bound()
+        {
+            if let Some(p) = prev {
+                assert!(dr <= p, "Δ_R grew with speed: {dr} > {p}");
             }
+            prev = Some(dr);
         }
     }
+}
 
-    #[test]
-    fn closed_form_speedup_is_sound(
-        specs in arb_specs(),
-        x_num in 1i128..=9,
-        y in 1i128..=4,
-    ) {
-        let factors = ScalingFactors::new(Rational::new(x_num, 10), int(y))
-            .expect("valid factors");
-        let set = scaled_task_set(&specs, factors).expect("valid set");
-        let limits = AnalysisLimits::default();
-        let exact = minimum_speedup(&set, &limits).expect("completes").bound();
-        let cf = closed_form::speedup_bound(&specs, factors);
+fn check_more_speed_never_hurts_schedulability(set: &TaskSet) {
+    let limits = AnalysisLimits::default();
+    let analysis = minimum_speedup(set, &limits).expect("completes");
+    if let SpeedupBound::Finite(s_min) = analysis.bound() {
+        assert!(analysis.bound().is_met_by(s_min + Rational::ONE));
+        assert!(analysis.bound().is_met_by(s_min));
+    }
+}
+
+fn check_terminating_lo_tasks_never_raises_s_min(set: &TaskSet) {
+    let limits = AnalysisLimits::default();
+    let full = minimum_speedup(set, &limits).expect("completes").bound();
+    let term_set = set.with_lo_terminated().expect("valid");
+    let term = minimum_speedup(&term_set, &limits)
+        .expect("completes")
+        .bound();
+    match (full, term) {
+        (SpeedupBound::Finite(f), SpeedupBound::Finite(t)) => assert!(t <= f),
+        (SpeedupBound::Unbounded, _) => {}
+        (SpeedupBound::Finite(_), SpeedupBound::Unbounded) => {
+            panic!("termination made the set unbounded");
+        }
+    }
+}
+
+fn check_closed_form_speedup_is_sound(specs: &[ImplicitTaskSpec], x_num: i128, y: i128) {
+    let factors = ScalingFactors::new(Rational::new(x_num, 10), int(y)).expect("valid factors");
+    let set = scaled_task_set(specs, factors).expect("valid set");
+    let limits = AnalysisLimits::default();
+    let exact = minimum_speedup(&set, &limits).expect("completes").bound();
+    let cf = closed_form::speedup_bound(specs, factors);
+    match (exact, cf) {
+        (SpeedupBound::Finite(e), SpeedupBound::Finite(c)) => {
+            assert!(c >= e, "closed form {c} < exact {e}");
+        }
+        (SpeedupBound::Unbounded, SpeedupBound::Finite(c)) => {
+            panic!("exact unbounded but closed form {c}");
+        }
+        (_, SpeedupBound::Unbounded) => {}
+    }
+}
+
+fn check_closed_form_resetting_is_sound(
+    specs: &[ImplicitTaskSpec],
+    x_num: i128,
+    y: i128,
+    bump: i128,
+) {
+    let factors = ScalingFactors::new(Rational::new(x_num, 10), int(y)).expect("valid factors");
+    if let SpeedupBound::Finite(s_min_cf) = closed_form::speedup_bound(specs, factors) {
+        let speed = s_min_cf + int(bump);
+        let set = scaled_task_set(specs, factors).expect("valid set");
+        let exact = resetting_time(&set, speed, &AnalysisLimits::default())
+            .expect("completes")
+            .bound();
+        let cf = closed_form::resetting_bound(specs, factors, speed);
         match (exact, cf) {
-            (SpeedupBound::Finite(e), SpeedupBound::Finite(c)) => {
-                prop_assert!(c >= e, "closed form {c} < exact {e}");
+            (ResettingBound::Finite(e), ResettingBound::Finite(c)) => {
+                assert!(c >= e, "closed form {c} < exact {e}");
             }
-            (SpeedupBound::Unbounded, SpeedupBound::Finite(c)) => {
-                prop_assert!(false, "exact unbounded but closed form {c}");
+            (ResettingBound::Unbounded, ResettingBound::Finite(c)) => {
+                panic!("exact unbounded but closed form {c}");
             }
-            (_, SpeedupBound::Unbounded) => {}
+            (_, ResettingBound::Unbounded) => {}
         }
     }
+}
 
-    #[test]
-    fn closed_form_resetting_is_sound(
-        specs in arb_specs(),
-        x_num in 1i128..=9,
-        y in 1i128..=4,
-        bump in 1i128..=3,
-    ) {
-        let factors = ScalingFactors::new(Rational::new(x_num, 10), int(y))
-            .expect("valid factors");
-        if let SpeedupBound::Finite(s_min_cf) = closed_form::speedup_bound(&specs, factors) {
-            let speed = s_min_cf + int(bump);
-            let set = scaled_task_set(&specs, factors).expect("valid set");
-            let exact = resetting_time(&set, speed, &AnalysisLimits::default())
-                .expect("completes")
-                .bound();
-            let cf = closed_form::resetting_bound(&specs, factors, speed);
-            match (exact, cf) {
-                (ResettingBound::Finite(e), ResettingBound::Finite(c)) => {
-                    prop_assert!(c >= e, "closed form {c} < exact {e}");
-                }
-                (ResettingBound::Unbounded, ResettingBound::Finite(c)) => {
-                    prop_assert!(false, "exact unbounded but closed form {c}");
-                }
-                (_, ResettingBound::Unbounded) => {}
-            }
-        }
-    }
+fn check_qpa_agrees_with_the_curve_walk(set: &TaskSet, num: i128) {
+    let limits = AnalysisLimits::default();
+    let speed = Rational::new(num, 8);
+    let via_curve = rbs_core::dbf::lo_profile(set)
+        .fits(speed, &limits)
+        .expect("completes");
+    let via_qpa = is_lo_schedulable_qpa(set, speed, &limits).expect("completes");
+    assert_eq!(via_curve, via_qpa, "verdicts diverged at speed {speed}");
+}
 
-    #[test]
-    fn qpa_agrees_with_the_curve_walk(set in arb_task_set(), num in 1i128..=32) {
-        let limits = AnalysisLimits::default();
-        let speed = Rational::new(num, 8);
-        let via_curve = rbs_core::dbf::lo_profile(&set)
-            .fits(speed, &limits)
-            .expect("completes");
-        let via_qpa = is_lo_schedulable_qpa(&set, speed, &limits).expect("completes");
-        prop_assert_eq!(via_curve, via_qpa, "verdicts diverged at speed {}", speed);
+fn check_lo_requirement_dominates_sampled_lo_demand(set: &TaskSet) {
+    let limits = AnalysisLimits::default();
+    let req = lo_speed_requirement(set, &limits).expect("completes");
+    for i in 1..120 {
+        let delta = Rational::new(i, 2);
+        assert!(total_dbf_lo(set, delta) <= req * delta);
     }
+    assert_eq!(
+        is_lo_schedulable(set, &limits).expect("completes"),
+        req <= Rational::ONE
+    );
+}
 
-    #[test]
-    fn lo_requirement_dominates_sampled_lo_demand(set in arb_task_set()) {
-        let limits = AnalysisLimits::default();
-        let req = lo_speed_requirement(&set, &limits).expect("completes");
-        for i in 1..120 {
-            let delta = Rational::new(i, 2);
-            prop_assert!(total_dbf_lo(&set, delta) <= req * delta);
-        }
-        prop_assert_eq!(
-            is_lo_schedulable(&set, &limits).expect("completes"),
-            req <= Rational::ONE
-        );
+#[test]
+fn profiles_agree_with_point_formulas() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0001);
+    for _ in 0..CASES {
+        check_profiles_agree_with_point_formulas(&arb_task_set(&mut rng));
     }
+}
+
+#[test]
+fn s_min_dominates_every_sampled_ratio() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0002);
+    for _ in 0..CASES {
+        check_s_min_dominates_every_sampled_ratio(&arb_task_set(&mut rng));
+    }
+}
+
+#[test]
+fn s_min_is_tight() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0003);
+    for _ in 0..CASES {
+        check_s_min_is_tight(&arb_task_set(&mut rng));
+    }
+}
+
+#[test]
+fn resetting_time_is_a_true_first_fit() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0004);
+    for _ in 0..CASES {
+        check_resetting_time_is_a_true_first_fit(&arb_task_set(&mut rng));
+    }
+}
+
+#[test]
+fn resetting_time_is_monotone_in_speed() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0005);
+    for _ in 0..CASES {
+        check_resetting_time_is_monotone_in_speed(&arb_task_set(&mut rng));
+    }
+}
+
+#[test]
+fn more_speed_never_hurts_schedulability() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0006);
+    for _ in 0..CASES {
+        check_more_speed_never_hurts_schedulability(&arb_task_set(&mut rng));
+    }
+}
+
+#[test]
+fn terminating_lo_tasks_never_raises_s_min() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0007);
+    for _ in 0..CASES {
+        check_terminating_lo_tasks_never_raises_s_min(&arb_task_set(&mut rng));
+    }
+}
+
+#[test]
+fn closed_form_speedup_is_sound() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0008);
+    for _ in 0..CASES {
+        let specs = arb_specs(&mut rng);
+        let x_num = rng.gen_range_i128(1, 9);
+        let y = rng.gen_range_i128(1, 4);
+        check_closed_form_speedup_is_sound(&specs, x_num, y);
+    }
+}
+
+#[test]
+fn closed_form_resetting_is_sound() {
+    let mut rng = Rng::seed_from_u64(0xc08e_0009);
+    for _ in 0..CASES {
+        let specs = arb_specs(&mut rng);
+        let x_num = rng.gen_range_i128(1, 9);
+        let y = rng.gen_range_i128(1, 4);
+        let bump = rng.gen_range_i128(1, 3);
+        check_closed_form_resetting_is_sound(&specs, x_num, y, bump);
+    }
+}
+
+#[test]
+fn qpa_agrees_with_the_curve_walk() {
+    let mut rng = Rng::seed_from_u64(0xc08e_000a);
+    for _ in 0..CASES {
+        let set = arb_task_set(&mut rng);
+        let num = rng.gen_range_i128(1, 32);
+        check_qpa_agrees_with_the_curve_walk(&set, num);
+    }
+}
+
+#[test]
+fn lo_requirement_dominates_sampled_lo_demand() {
+    let mut rng = Rng::seed_from_u64(0xc08e_000b);
+    for _ in 0..CASES {
+        check_lo_requirement_dominates_sampled_lo_demand(&arb_task_set(&mut rng));
+    }
+}
+
+// --- preserved proptest regression cases ---------------------------------
+
+/// First checked-in regression: a saturated LO task plus a HI task with no
+/// WCET inflation at the tightest factors (x = 1/10, y = 1, bump = 1),
+/// originally found against `closed_form_resetting_is_sound`.
+#[test]
+fn regression_closed_form_resetting_saturated_lo_task() {
+    let specs = vec![
+        ImplicitTaskSpec::lo("l0", int(2), int(2)),
+        ImplicitTaskSpec::hi("h1", int(2), int(1), int(1)),
+    ];
+    check_closed_form_resetting_is_sound(&specs, 1, 1, 1);
+    check_closed_form_speedup_is_sound(&specs, 1, 1);
+}
+
+/// Second checked-in regression: an undegraded LO task plus a HI task with
+/// a fully prepared deadline (D(LO) = 1 on T = 2) — re-validated against
+/// every set-based property.
+#[test]
+fn regression_prepared_hi_task_with_undegraded_lo() {
+    let set = TaskSet::new(vec![
+        Task::builder("lo0", Criticality::Lo)
+            .period(int(2))
+            .deadline(int(2))
+            .wcet(int(1))
+            .build()
+            .expect("valid"),
+        Task::builder("hi1", Criticality::Hi)
+            .period(int(2))
+            .deadline_lo(int(1))
+            .deadline_hi(int(2))
+            .wcet_lo(int(1))
+            .wcet_hi(int(2))
+            .build()
+            .expect("valid"),
+    ]);
+    check_profiles_agree_with_point_formulas(&set);
+    check_s_min_dominates_every_sampled_ratio(&set);
+    check_s_min_is_tight(&set);
+    check_resetting_time_is_a_true_first_fit(&set);
+    check_resetting_time_is_monotone_in_speed(&set);
+    check_more_speed_never_hurts_schedulability(&set);
+    check_terminating_lo_tasks_never_raises_s_min(&set);
+    for num in [1, 8, 9, 12, 16, 32] {
+        check_qpa_agrees_with_the_curve_walk(&set, num);
+    }
+    check_lo_requirement_dominates_sampled_lo_demand(&set);
 }

@@ -1,137 +1,21 @@
 //! `analyze`: full report for a user-supplied task set (JSON).
 //!
-//! Turns the workspace into a usable tool: feed it a serialized
-//! [`TaskSet`] (see `examples/workloads/table1.json`) and get the
-//! LO-mode verdict, Theorem 2's minimum speedup, Corollary 5's resetting
-//! times at a few speeds, and a platform-sizing suggestion.
+//! The analysis itself lives in [`rbs_core::report`] so the
+//! admission-control service (`rbs-svc`) and this CLI share one entry
+//! point; this module re-exports it under the historical names and keeps
+//! the experiment-level tests against the paper's running example.
 
-use std::fmt;
-
-use rbs_core::lo_mode::{is_lo_schedulable, lo_speed_requirement};
-use rbs_core::resetting::{resetting_time, ResettingBound};
-use rbs_core::speedup::{minimum_speedup, SpeedupBound};
-use rbs_core::tuning::minimal_speed_within_budget;
-use rbs_core::{AnalysisError, AnalysisLimits};
-use rbs_model::TaskSet;
-use rbs_timebase::Rational;
-
-/// The report for one task set.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AnalyzeReport {
-    /// The analyzed set (echoed back for context).
-    pub set: TaskSet,
-    /// Whether LO mode meets all deadlines at nominal speed.
-    pub lo_schedulable: bool,
-    /// The smallest speed at which LO mode would be schedulable.
-    pub lo_requirement: Rational,
-    /// Theorem 2's minimum HI-mode speedup.
-    pub s_min: SpeedupBound,
-    /// The demand witness interval, if finite.
-    pub witness: Option<Rational>,
-    /// `(s, Δ_R)` rows for a few representative speeds.
-    pub resetting_rows: Vec<(Rational, ResettingBound)>,
-    /// The smallest speed meeting a 10-"period-scale" reset budget (ten
-    /// times the largest HI-mode period), when one exists below 4x.
-    pub sized_speed: Option<Rational>,
-}
-
-/// Analyzes a task set.
-///
-/// # Errors
-///
-/// Propagates exact-analysis errors (breakpoint budgets on pathological
-/// inputs).
-pub fn run(set: TaskSet, limits: &AnalysisLimits) -> Result<AnalyzeReport, AnalysisError> {
-    let lo_schedulable = is_lo_schedulable(&set, limits)?;
-    let lo_requirement = lo_speed_requirement(&set, limits)?;
-    let analysis = minimum_speedup(&set, limits)?;
-    let s_min = analysis.bound();
-    let witness = analysis.witness();
-    let mut speeds: Vec<Rational> = vec![Rational::ONE, Rational::new(3, 2), Rational::TWO];
-    if let SpeedupBound::Finite(v) = s_min {
-        if !speeds.contains(&v) && v.is_positive() {
-            speeds.push(v);
-            speeds.sort();
-        }
-    }
-    let mut resetting_rows = Vec::new();
-    for s in speeds {
-        resetting_rows.push((s, resetting_time(&set, s, limits)?.bound()));
-    }
-    let sized_speed = {
-        let max_period = set
-            .iter()
-            .filter_map(|t| t.params(rbs_model::Mode::Hi))
-            .map(|p| p.period())
-            .max();
-        match max_period {
-            Some(p) => minimal_speed_within_budget(
-                &set,
-                p * Rational::integer(10),
-                Rational::integer(4),
-                Rational::new(1, 64),
-                limits,
-            )?,
-            None => None,
-        }
-    };
-    Ok(AnalyzeReport {
-        set,
-        lo_schedulable,
-        lo_requirement,
-        s_min,
-        witness,
-        resetting_rows,
-        sized_speed,
-    })
-}
-
-impl fmt::Display for AnalyzeReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.set)?;
-        writeln!(
-            f,
-            "LO mode at nominal speed: {} (requires speed {:.3})",
-            if self.lo_schedulable { "schedulable" } else { "NOT schedulable" },
-            self.lo_requirement.to_f64()
-        )?;
-        match self.s_min {
-            SpeedupBound::Finite(v) => {
-                writeln!(
-                    f,
-                    "minimum HI-mode speedup s_min = {v} (~{:.4})",
-                    v.to_f64()
-                )?;
-                if let Some(w) = self.witness {
-                    writeln!(f, "  critical interval after the switch: Delta = {w}")?;
-                }
-            }
-            SpeedupBound::Unbounded => {
-                writeln!(
-                    f,
-                    "minimum HI-mode speedup: UNBOUNDED — shorten LO-mode deadlines of HI tasks"
-                )?;
-            }
-        }
-        writeln!(f, "service resetting times:")?;
-        for (s, dr) in &self.resetting_rows {
-            writeln!(f, "  s = {:<8} Delta_R = {}", s.to_string(), dr)?;
-        }
-        if let Some(s) = self.sized_speed {
-            writeln!(
-                f,
-                "suggested platform speed (reset within 10 max periods, <= 4x): {:.3}",
-                s.to_f64()
-            )?;
-        }
-        Ok(())
-    }
-}
+pub use rbs_core::report::analyze as run;
+pub use rbs_core::report::AnalyzeReport;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workloads::table1;
+    use rbs_core::speedup::SpeedupBound;
+    use rbs_core::AnalysisLimits;
+    use rbs_model::TaskSet;
+    use rbs_timebase::Rational;
 
     #[test]
     fn analyzes_the_running_example() {
@@ -148,8 +32,8 @@ mod tests {
 
     #[test]
     fn json_round_trip_feeds_the_analyzer() {
-        let json = serde_json::to_string(&table1()).expect("serialize");
-        let set: TaskSet = serde_json::from_str(&json).expect("deserialize");
+        let json = rbs_json::to_string(&table1());
+        let set: TaskSet = rbs_json::from_str(&json).expect("deserialize");
         let report = run(set, &AnalysisLimits::default()).expect("completes");
         assert_eq!(report.s_min, SpeedupBound::Finite(Rational::new(4, 3)));
     }
@@ -157,19 +41,22 @@ mod tests {
     #[test]
     fn shipped_sample_workloads_parse() {
         let json = include_str!("../../../examples/workloads/table1.json");
-        let set: TaskSet = serde_json::from_str(json).expect("sample parses");
+        let set: TaskSet = rbs_json::from_str(json).expect("sample parses");
         let report = run(set, &AnalysisLimits::default()).expect("completes");
         assert_eq!(report.s_min, SpeedupBound::Finite(Rational::new(4, 3)));
 
         let json = include_str!("../../../examples/workloads/table1_degraded.json");
-        let set: TaskSet = serde_json::from_str(json).expect("sample parses");
+        let set: TaskSet = rbs_json::from_str(json).expect("sample parses");
         let report = run(set, &AnalysisLimits::default()).expect("completes");
         let s = report.s_min.as_finite().expect("finite");
         assert!(s < Rational::ONE, "degraded sample should slow down: {s}");
 
         let json = include_str!("../../../examples/workloads/terminated.json");
-        let set: TaskSet = serde_json::from_str(json).expect("sample parses");
-        assert!(set.by_name("telemetry").expect("present").is_terminated_in_hi());
+        let set: TaskSet = rbs_json::from_str(json).expect("sample parses");
+        assert!(set
+            .by_name("telemetry")
+            .expect("present")
+            .is_terminated_in_hi());
         let report = run(set, &AnalysisLimits::default()).expect("completes");
         assert!(report.lo_schedulable);
         assert!(report.s_min.as_finite().is_some());

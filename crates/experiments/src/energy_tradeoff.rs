@@ -141,9 +141,7 @@ pub fn run() -> EnergyTradeoffResults {
 
     // Strategy 1: speedup with full service.
     let full = table1();
-    let SpeedupBound::Finite(s_min) = minimum_speedup(&full, &limits)
-        .expect("completes")
-        .bound()
+    let SpeedupBound::Finite(s_min) = minimum_speedup(&full, &limits).expect("completes").bound()
     else {
         unreachable!("Table I has a finite requirement")
     };
@@ -227,7 +225,11 @@ mod tests {
     #[test]
     fn speedup_pays_in_energy() {
         let results = run();
-        let speedup = results.rows.iter().find(|r| r.label == "speedup").expect("row");
+        let speedup = results
+            .rows
+            .iter()
+            .find(|r| r.label == "speedup")
+            .expect("row");
         let terminate = results
             .rows
             .iter()

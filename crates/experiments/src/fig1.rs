@@ -62,7 +62,10 @@ pub fn run() -> Fig1Results {
 
 impl fmt::Display for Fig1Results {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Fig. 1: minimum speedup and demand bound functions ==")?;
+        writeln!(
+            f,
+            "== Fig. 1: minimum speedup and demand bound functions =="
+        )?;
         for panel in [&self.plain, &self.degraded] {
             writeln!(f, "-- {} (s_min = {}) --", panel.label, panel.s_min)?;
             writeln!(f, "{:>8} {:>12} {:>12}", "Delta", "DBF_HI", "s_min*Delta")?;
@@ -94,7 +97,11 @@ mod tests {
         let results = run();
         for panel in [&results.plain, &results.degraded] {
             for (delta, demand, supply) in &panel.points {
-                assert!(supply >= demand, "{}: demand beats supply at {delta}", panel.label);
+                assert!(
+                    supply >= demand,
+                    "{}: demand beats supply at {delta}",
+                    panel.label
+                );
             }
         }
     }

@@ -37,12 +37,7 @@ pub fn run() -> Fig3Results {
     let arrived_demand = (0..=15 * 4)
         .map(|i| {
             let delta = Rational::new(i, 4);
-            (
-                delta,
-                total_adb_hi(&plain, delta),
-                s_a * delta,
-                s_b * delta,
-            )
+            (delta, total_adb_hi(&plain, delta), s_a * delta, s_b * delta)
         })
         .collect();
     let anchors = [

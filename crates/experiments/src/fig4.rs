@@ -16,12 +16,7 @@ use rbs_timebase::Rational;
 #[must_use]
 pub fn table1_specs() -> Vec<ImplicitTaskSpec> {
     vec![
-        ImplicitTaskSpec::hi(
-            "tau1",
-            Rational::integer(5),
-            Rational::ONE,
-            Rational::TWO,
-        ),
+        ImplicitTaskSpec::hi("tau1", Rational::integer(5), Rational::ONE, Rational::TWO),
         ImplicitTaskSpec::lo("tau2", Rational::integer(10), Rational::integer(3)),
     ]
 }
@@ -108,11 +103,7 @@ mod tests {
         for yi in [10, 15, 20, 30, 40] {
             let y = Rational::new(yi, 10);
             let mut prev: Option<Rational> = None;
-            for (_, _, bound) in results
-                .speedup_surface
-                .iter()
-                .filter(|(_, yy, _)| *yy == y)
-            {
+            for (_, _, bound) in results.speedup_surface.iter().filter(|(_, yy, _)| *yy == y) {
                 let v = bound.as_finite().expect("x < 1 stays finite");
                 if let Some(p) = prev {
                     assert!(v >= p, "not increasing in x: {v} < {p}");
@@ -124,11 +115,7 @@ mod tests {
         for xi in 1..=9 {
             let x = Rational::new(xi, 10);
             let mut prev: Option<Rational> = None;
-            for (_, _, bound) in results
-                .speedup_surface
-                .iter()
-                .filter(|(xx, _, _)| *xx == x)
-            {
+            for (_, _, bound) in results.speedup_surface.iter().filter(|(xx, _, _)| *xx == x) {
                 let v = bound.as_finite().expect("finite");
                 if let Some(p) = prev {
                     assert!(v <= p, "not decreasing in y: {v} > {p}");
@@ -143,10 +130,7 @@ mod tests {
         let results = run();
         assert!(!results.resetting_curves.is_empty());
         for (_, curve) in &results.resetting_curves {
-            let finite: Vec<Rational> = curve
-                .iter()
-                .filter_map(|(_, dr)| dr.as_finite())
-                .collect();
+            let finite: Vec<Rational> = curve.iter().filter_map(|(_, dr)| dr.as_finite()).collect();
             assert!(finite.windows(2).all(|w| w[1] <= w[0]));
         }
     }

@@ -62,8 +62,7 @@ pub fn run() -> Fig5Results {
                 .bound();
             if s == Rational::TWO {
                 if let ResettingBound::Finite(v) = bound {
-                    max_recovery_at_2x =
-                        Some(max_recovery_at_2x.map_or(v, |m: Rational| m.max(v)));
+                    max_recovery_at_2x = Some(max_recovery_at_2x.map_or(v, |m: Rational| m.max(v)));
                 }
             }
             resetting_contour.push((s, gamma, bound));
@@ -150,10 +149,7 @@ mod tests {
         // recover with a speedup of 2".
         let results = run();
         let max = results.max_recovery_at_2x.expect("finite recoveries");
-        assert!(
-            max < Rational::integer(3000),
-            "recovery {max} ms >= 3 s"
-        );
+        assert!(max < Rational::integer(3000), "recovery {max} ms >= 3 s");
     }
 
     #[test]

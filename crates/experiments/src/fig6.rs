@@ -15,6 +15,8 @@ use rbs_core::AnalysisLimits;
 use rbs_gen::synth::SynthConfig;
 use rbs_timebase::Rational;
 
+use rbs_svc::WorkerPool;
+
 use crate::stats::{five_number, median, FiveNumber};
 use crate::workloads::prepare;
 
@@ -26,6 +28,10 @@ pub struct Fig6Config {
     pub sets_per_point: usize,
     /// RNG master seed.
     pub seed: u64,
+    /// Worker threads for the per-set analyses (`0` = available
+    /// parallelism). Results are aggregated in generation order, so the
+    /// numbers are identical for every worker count.
+    pub jobs: usize,
 }
 
 impl Default for Fig6Config {
@@ -33,7 +39,17 @@ impl Default for Fig6Config {
         Fig6Config {
             sets_per_point: 500,
             seed: 2015,
+            jobs: 0,
         }
+    }
+}
+
+/// The pool a config asks for (`0` = available parallelism).
+fn pool_for(jobs: usize) -> WorkerPool {
+    if jobs == 0 {
+        WorkerPool::with_available_parallelism()
+    } else {
+        WorkerPool::new(jobs)
     }
 }
 
@@ -70,18 +86,28 @@ pub fn run(config: &Fig6Config) -> Fig6Results {
     let limits = AnalysisLimits::default();
     let ys = [Rational::ONE, Rational::TWO, Rational::integer(3)];
     let speeds = [Rational::TWO, Rational::integer(3)];
+    let pool = pool_for(config.jobs);
     let points = (5..=9)
         .map(|ub| {
             let u_bound = Rational::new(ub, 10);
-            campaign_point(u_bound, config, &limits, &ys, &speeds)
+            campaign_point(u_bound, config, &pool, &limits, &ys, &speeds)
         })
         .collect();
     Fig6Results { points }
 }
 
+/// Everything one task set contributes to a utilization point; computed on
+/// the pool, folded into the aggregates sequentially in generation order.
+struct SetContribution {
+    infeasible: bool,
+    s_min_by_y: Vec<Option<Rational>>,
+    resetting_by_sy: Vec<Option<Rational>>,
+}
+
 fn campaign_point(
     u_bound: Rational,
     config: &Fig6Config,
+    pool: &WorkerPool,
     limits: &AnalysisLimits,
     ys: &[Rational],
     speeds: &[Rational],
@@ -90,29 +116,50 @@ fn campaign_point(
     let seed = config.seed ^ (u_bound.numer() as u64);
     let sets = generator.generate_many(config.sets_per_point, seed);
 
-    let mut infeasible = 0usize;
-    let mut s_min_at_y: Vec<Vec<Rational>> = vec![Vec::new(); ys.len()];
-    let mut resetting_at_sy: Vec<Vec<Rational>> = vec![Vec::new(); ys.len() * speeds.len()];
-
-    for specs in &sets {
+    let contributions = pool.run_ordered(sets, |_, specs| {
+        let mut contribution = SetContribution {
+            infeasible: false,
+            s_min_by_y: vec![None; ys.len()],
+            resetting_by_sy: vec![None; ys.len() * speeds.len()],
+        };
         for (yi, &y) in ys.iter().enumerate() {
-            let Some(set) = prepare(specs, y) else {
+            let Some(set) = prepare(&specs, y) else {
                 if yi == 0 {
-                    infeasible += 1;
+                    contribution.infeasible = true;
                 }
                 continue;
             };
             if let Ok(analysis) = minimum_speedup(&set, limits) {
                 if let SpeedupBound::Finite(s_min) = analysis.bound() {
-                    s_min_at_y[yi].push(s_min);
+                    contribution.s_min_by_y[yi] = Some(s_min);
                 }
             }
             for (si, &s) in speeds.iter().enumerate() {
                 if let Ok(analysis) = resetting_time(&set, s, limits) {
                     if let ResettingBound::Finite(dr) = analysis.bound() {
-                        resetting_at_sy[yi * speeds.len() + si].push(dr);
+                        contribution.resetting_by_sy[yi * speeds.len() + si] = Some(dr);
                     }
                 }
+            }
+        }
+        contribution
+    });
+
+    let mut infeasible = 0usize;
+    let mut s_min_at_y: Vec<Vec<Rational>> = vec![Vec::new(); ys.len()];
+    let mut resetting_at_sy: Vec<Vec<Rational>> = vec![Vec::new(); ys.len() * speeds.len()];
+    for contribution in contributions {
+        if contribution.infeasible {
+            infeasible += 1;
+        }
+        for (yi, value) in contribution.s_min_by_y.into_iter().enumerate() {
+            if let Some(s_min) = value {
+                s_min_at_y[yi].push(s_min);
+            }
+        }
+        for (slot, value) in contribution.resetting_by_sy.into_iter().enumerate() {
+            if let Some(dr) = value {
+                resetting_at_sy[slot].push(dr);
             }
         }
     }
@@ -139,15 +186,12 @@ fn campaign_point(
         .iter()
         .enumerate()
         .flat_map(|(yi, &y)| {
-            speeds.iter().enumerate().map(move |(si, &s)| (yi, y, si, s))
+            speeds
+                .iter()
+                .enumerate()
+                .map(move |(si, &s)| (yi, y, si, s))
         })
-        .map(|(yi, y, si, s)| {
-            (
-                s,
-                y,
-                median(&resetting_at_sy[yi * speeds.len() + si]),
-            )
-        })
+        .map(|(yi, y, si, s)| (s, y, median(&resetting_at_sy[yi * speeds.len() + si])))
         .collect();
     UtilizationPoint {
         u_bound,
@@ -268,6 +312,7 @@ mod tests {
         run(&Fig6Config {
             sets_per_point: 16,
             seed: 7,
+            jobs: 2,
         })
     }
 
@@ -300,11 +345,7 @@ mod tests {
         // Panel (b)'s claim: larger y → smaller required speedup.
         let results = quick();
         for p in &results.points {
-            let by_y: Vec<Rational> = p
-                .median_s_min_by_y
-                .iter()
-                .filter_map(|(_, m)| *m)
-                .collect();
+            let by_y: Vec<Rational> = p.median_s_min_by_y.iter().filter_map(|(_, m)| *m).collect();
             assert!(
                 by_y.windows(2).all(|w| w[1] <= w[0]),
                 "U {}: {:?}",
@@ -341,7 +382,12 @@ mod tests {
     #[test]
     fn display_renders_all_panels() {
         let text = quick().to_string();
-        for marker in ["(a) s_min", "(b) median s_min", "(c) Delta_R", "(d) median Delta_R"] {
+        for marker in [
+            "(a) s_min",
+            "(b) median s_min",
+            "(c) Delta_R",
+            "(d) median Delta_R",
+        ] {
             assert!(text.contains(marker), "missing {marker}");
         }
     }

@@ -35,6 +35,10 @@ pub struct Fig7Config {
     pub grid_step_twentieths: i128,
     /// RNG master seed.
     pub seed: u64,
+    /// Worker threads for the per-grid-point batches (`0` = available
+    /// parallelism). Every point's seeds are fixed, so the regions are
+    /// identical for every worker count.
+    pub jobs: usize,
 }
 
 impl Default for Fig7Config {
@@ -43,6 +47,7 @@ impl Default for Fig7Config {
             sets_per_point: 100,
             grid_step_twentieths: 1,
             seed: 77,
+            jobs: 0,
         }
     }
 }
@@ -80,25 +85,26 @@ pub fn run(config: &Fig7Config) -> Fig7Results {
     let speed = Rational::TWO;
     let reset_budget = Rational::integer(5000); // 5 s in ms
     let step = config.grid_step_twentieths;
-    let mut points = Vec::new();
+    let mut grid = Vec::new();
     let mut i = step;
     while i <= 20 {
         let mut j = step;
         while j <= 20 {
-            let u_hi = Rational::new(i, 20);
-            let u_lo = Rational::new(j, 20);
-            points.push(region_point(
-                u_hi,
-                u_lo,
-                config,
-                &limits,
-                speed,
-                reset_budget,
-            ));
+            grid.push((Rational::new(i, 20), Rational::new(j, 20)));
             j += step;
         }
         i += step;
     }
+    let pool = if config.jobs == 0 {
+        rbs_svc::WorkerPool::with_available_parallelism()
+    } else {
+        rbs_svc::WorkerPool::new(config.jobs)
+    };
+    // One job per grid point; collection by index keeps the row order (and
+    // every number — the per-point seeds are fixed) worker-count-invariant.
+    let points = pool.run_ordered(grid, |_, (u_hi, u_lo)| {
+        region_point(u_hi, u_lo, config, &limits, speed, reset_budget)
+    });
     Fig7Results { points }
 }
 
@@ -207,6 +213,7 @@ mod tests {
             sets_per_point: 12,
             grid_step_twentieths: 5, // 0.25 steps → 4×4 grid
             seed: 5,
+            jobs: 2,
         })
     }
 
@@ -234,11 +241,7 @@ mod tests {
             .find(|p| p.u_hi == Rational::new(1, 4) && p.u_lo == Rational::new(1, 4))
             .expect("corner present");
         assert!(corner.evaluated > 0);
-        assert!(
-            corner.speedup >= 0.95,
-            "low corner only {}",
-            corner.speedup
-        );
+        assert!(corner.speedup >= 0.95, "low corner only {}", corner.speedup);
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! CLI for the experiment harness:
-//! `cargo run -p rbs-experiments --release -- <id> [--sets N] [--quick]`.
+//! `cargo run -p rbs-experiments --release -- <id> [--sets N] [--jobs N] [--quick]`.
 
 use std::env;
 use std::process::ExitCode;
 
-use rbs_experiments::{analyze, energy_tradeoff, fig1, fig3, fig4, fig5, fig6, fig7, multicore, sim_validate, table1};
 use rbs_core::AnalysisLimits;
+use rbs_experiments::{
+    analyze, energy_tradeoff, fig1, fig3, fig4, fig5, fig6, fig7, multicore, sim_validate, table1,
+};
+use rbs_model::TaskSet;
 
 const USAGE: &str = "\
-usage: rbs-experiments <id> [--sets N] [--quick]
+usage: rbs-experiments <id> [--sets N] [--jobs N] [--quick]
 
 ids:
   table1        Table I & Examples 1-2
@@ -20,10 +23,48 @@ ids:
   fig7          schedulability regions (--sets overrides; --quick coarsens the grid)
   sim-validate  simulator vs analysis validation
   all           everything above
-  analyze FILE  analyze a task set serialized as JSON (see examples/workloads/)
+  analyze IN    analyze task sets: IN is a JSON file, '-' (JSON Lines on
+                stdin), or a directory of *.json workloads
   energy        energy-vs-service cost of speedup / degradation / termination
   multicore     partitioned multicore acceptance (extension)
+
+--jobs N parallelizes the fig6/fig7 campaigns over N worker threads
+(default: available parallelism); the printed numbers are identical for
+every N.
 ";
+
+fn run_analyze(input: &str) -> ExitCode {
+    let requests = match rbs_svc::read_source(input) {
+        Ok(requests) => requests,
+        Err(error) => {
+            eprintln!("cannot read {input}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let banner = requests.len() > 1;
+    let mut code = ExitCode::SUCCESS;
+    for request in &requests {
+        if banner {
+            println!("== {} ==", request.label);
+        }
+        let set: TaskSet = match rbs_json::from_str(&request.body) {
+            Ok(set) => set,
+            Err(error) => {
+                eprintln!("cannot parse {}: {error}", request.label);
+                code = ExitCode::FAILURE;
+                continue;
+            }
+        };
+        match analyze::run(set, &AnalysisLimits::default()) {
+            Ok(report) => println!("{report}"),
+            Err(error) => {
+                eprintln!("analysis of {} failed: {error}", request.label);
+                code = ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -32,40 +73,20 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     if id == "analyze" {
-        let Some(path) = args.get(1) else {
-            eprintln!("analyze requires a JSON file path");
+        let Some(input) = args.get(1) else {
+            eprintln!("analyze requires a JSON file, '-', or a workload directory");
             return ExitCode::FAILURE;
         };
-        let json = match std::fs::read_to_string(path) {
-            Ok(j) => j,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let set = match serde_json::from_str(&json) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot parse {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match analyze::run(set, &AnalysisLimits::default()) {
-            Ok(report) => {
-                println!("{report}");
-                return ExitCode::SUCCESS;
-            }
-            Err(e) => {
-                eprintln!("analysis failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        return run_analyze(input);
     }
-    let sets = args
-        .iter()
-        .position(|a| a == "--sets")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok());
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let sets = flag_value("--sets");
+    let jobs = flag_value("--jobs").unwrap_or(0); // 0 = available parallelism
     let quick = args.iter().any(|a| a == "--quick");
 
     let run_one = |name: &str| -> bool {
@@ -76,7 +97,10 @@ fn main() -> ExitCode {
             "fig4" => println!("{}", fig4::run()),
             "fig5" => println!("{}", fig5::run()),
             "fig6" => {
-                let mut config = fig6::Fig6Config::default();
+                let mut config = fig6::Fig6Config {
+                    jobs,
+                    ..fig6::Fig6Config::default()
+                };
                 if let Some(n) = sets {
                     config.sets_per_point = n;
                 }
@@ -86,7 +110,10 @@ fn main() -> ExitCode {
                 println!("{}", fig6::run(&config));
             }
             "fig7" => {
-                let mut config = fig7::Fig7Config::default();
+                let mut config = fig7::Fig7Config {
+                    jobs,
+                    ..fig7::Fig7Config::default()
+                };
                 if let Some(n) = sets {
                     config.sets_per_point = n;
                 }

@@ -79,13 +79,10 @@ pub fn run(config: &MulticoreConfig) -> MulticoreResults {
                 };
                 evaluated += 1;
                 let platform = PlatformCap::new(cores, cap);
-                for (slot, heuristic) in [
-                    Heuristic::FirstFit,
-                    Heuristic::BestFit,
-                    Heuristic::WorstFit,
-                ]
-                .into_iter()
-                .enumerate()
+                for (slot, heuristic) in
+                    [Heuristic::FirstFit, Heuristic::BestFit, Heuristic::WorstFit]
+                        .into_iter()
+                        .enumerate()
                 {
                     if let Ok(Some(_)) = partition(&set, platform, heuristic, &limits) {
                         accepted[slot] += 1;
@@ -114,11 +111,7 @@ pub fn run(config: &MulticoreConfig) -> MulticoreResults {
 /// floor `max_i u_i(LO)` and into `(0, 1]`. Each core's exact tests
 /// re-validate during partitioning, so this only has to be a sensible
 /// starting preparation.
-fn prepare_multicore(
-    specs: &[ImplicitTaskSpec],
-    cores: usize,
-    y: Rational,
-) -> Option<TaskSet> {
+fn prepare_multicore(specs: &[ImplicitTaskSpec], cores: usize, y: Rational) -> Option<TaskSet> {
     let u_hi_lo: Rational = specs
         .iter()
         .filter(|s| s.criticality() == Criticality::Hi)
@@ -199,11 +192,8 @@ mod tests {
         // identical).
         let results = quick();
         for cores in [2usize, 4] {
-            let caps: Vec<&MulticoreCell> = results
-                .cells
-                .iter()
-                .filter(|c| c.cores == cores)
-                .collect();
+            let caps: Vec<&MulticoreCell> =
+                results.cells.iter().filter(|c| c.cores == cores).collect();
             for pair in caps.windows(2) {
                 assert!(
                     pair[1].acceptance.0 >= pair[0].acceptance.0,

@@ -115,14 +115,14 @@ mod tests {
             SpeedupBound::Finite(Rational::new(4, 3))
         );
         // Qualitative claim: degradation brings the requirement below 1.
-        let degraded = results
-            .s_min_degraded
-            .as_finite()
-            .expect("finite");
+        let degraded = results.s_min_degraded.as_finite().expect("finite");
         assert!(degraded < Rational::ONE);
         // Δ_R at s = 2 for the reconstruction is 5 (paper's lost set: 6).
         let (_, plain_at_2, _) = results.resetting_rows[2];
-        assert_eq!(plain_at_2, ResettingBound::Finite(Rational::TWO + Rational::integer(3)));
+        assert_eq!(
+            plain_at_2,
+            ResettingBound::Finite(Rational::TWO + Rational::integer(3))
+        );
     }
 
     #[test]

@@ -8,10 +8,8 @@
 //! HI-mode utilizations directly so large `γ` values (the paper uses
 //! `γ = 10` here) cannot overshoot a single task past the target.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rbs_model::ImplicitTaskSpec;
+use rbs_rng::Rng;
 use rbs_timebase::Rational;
 
 /// Configuration for grid-point generation.
@@ -103,7 +101,7 @@ impl GridConfig {
     /// utilization floor).
     #[must_use]
     pub fn generate(&self, seed: u64) -> Option<Vec<ImplicitTaskSpec>> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..self.max_attempts {
             if let Some(specs) = self.attempt(&mut rng) {
                 return Some(specs);
@@ -112,7 +110,7 @@ impl GridConfig {
         None
     }
 
-    fn attempt(&self, rng: &mut StdRng) -> Option<Vec<ImplicitTaskSpec>> {
+    fn attempt(&self, rng: &mut Rng) -> Option<Vec<ImplicitTaskSpec>> {
         let mut specs = Vec::new();
         self.fill_class(rng, true, &mut specs)?;
         self.fill_class(rng, false, &mut specs)?;
@@ -121,16 +119,15 @@ impl GridConfig {
 
     /// Adds tasks of one class until its utilization enters the target
     /// neighborhood; `None` on overshoot.
-    fn fill_class(
-        &self,
-        rng: &mut StdRng,
-        hi: bool,
-        specs: &mut Vec<ImplicitTaskSpec>,
-    ) -> Option<()> {
-        let target = if hi { self.target_u_hi } else { self.target_u_lo };
+    fn fill_class(&self, rng: &mut Rng, hi: bool, specs: &mut Vec<ImplicitTaskSpec>) -> Option<()> {
+        let target = if hi {
+            self.target_u_hi
+        } else {
+            self.target_u_lo
+        };
         let mut total = Rational::ZERO;
         let (t_min, t_max) = self.period_range_ms;
-        let log_range = Uniform::new_inclusive((t_min as f64).ln(), (t_max as f64).ln());
+        let (log_min, log_max) = ((t_min as f64).ln(), (t_max as f64).ln());
         while total < target - self.tolerance {
             // Draw the class-relevant utilization directly, on a 1/1000
             // grid, capped so one task cannot jump past the window.
@@ -138,7 +135,8 @@ impl GridConfig {
             let max_u = Rational::new(1, 5).min(headroom);
             let min_u = Rational::new(1, 100).min(max_u);
             let u = crate::synth::sample_rational(rng, min_u, max_u, 1000);
-            let period_ms = (log_range.sample(rng).exp().round() as i128).clamp(t_min, t_max);
+            let period_ms =
+                (rng.gen_range_f64(log_min, log_max).exp().round() as i128).clamp(t_min, t_max);
             let period = Rational::integer(period_ms);
             let index = specs.len();
             if hi {
@@ -151,7 +149,11 @@ impl GridConfig {
                     wcet_hi,
                 ));
             } else {
-                specs.push(ImplicitTaskSpec::lo(format!("lo{index}"), period, u * period));
+                specs.push(ImplicitTaskSpec::lo(
+                    format!("lo{index}"),
+                    period,
+                    u * period,
+                ));
             }
             total += u;
         }
@@ -169,12 +171,22 @@ mod tests {
 
     #[test]
     fn hits_the_neighborhood() {
-        for (uh, ul) in [(rat(1, 4), rat(1, 4)), (rat(3, 4), rat(1, 2)), (rat(17, 20), rat(17, 20))] {
+        for (uh, ul) in [
+            (rat(1, 4), rat(1, 4)),
+            (rat(3, 4), rat(1, 2)),
+            (rat(17, 20), rat(17, 20)),
+        ] {
             let config = GridConfig::new(uh, ul);
             let specs = config.generate(11).expect("reachable");
             let (got_hi, got_lo) = GridConfig::class_utilizations(&specs);
-            assert!((got_hi - uh).abs() <= config.tolerance(), "{got_hi} vs {uh}");
-            assert!((got_lo - ul).abs() <= config.tolerance(), "{got_lo} vs {ul}");
+            assert!(
+                (got_hi - uh).abs() <= config.tolerance(),
+                "{got_hi} vs {uh}"
+            );
+            assert!(
+                (got_lo - ul).abs() <= config.tolerance(),
+                "{got_lo} vs {ul}"
+            );
         }
     }
 

@@ -9,10 +9,8 @@
 //! utilizations — and include the task whose addition first reaches the
 //! bound.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rbs_model::{Criticality, ImplicitTaskSpec};
+use rbs_rng::Rng;
 use rbs_timebase::Rational;
 
 /// Configuration of the synthetic generator.
@@ -117,18 +115,18 @@ impl SynthConfig {
     /// Generates one task set (deterministic in the seed).
     #[must_use]
     pub fn generate(&self, seed: u64) -> Vec<ImplicitTaskSpec> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         self.generate_with(&mut rng)
     }
 
     /// Generates `count` independent task sets from one master seed.
     #[must_use]
     pub fn generate_many(&self, count: usize, seed: u64) -> Vec<Vec<ImplicitTaskSpec>> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..count).map(|_| self.generate_with(&mut rng)).collect()
     }
 
-    fn generate_with(&self, rng: &mut StdRng) -> Vec<ImplicitTaskSpec> {
+    fn generate_with(&self, rng: &mut Rng) -> Vec<ImplicitTaskSpec> {
         let mut specs: Vec<ImplicitTaskSpec> = Vec::new();
         let mut total = Rational::ZERO;
         let mut index = 0usize;
@@ -144,15 +142,12 @@ impl SynthConfig {
         specs
     }
 
-    fn random_task(&self, rng: &mut StdRng, index: usize) -> ImplicitTaskSpec {
+    fn random_task(&self, rng: &mut Rng, index: usize) -> ImplicitTaskSpec {
         // Period: log-uniform over [min, max] ms, kept integer.
         let (t_min, t_max) = self.period_range_ms;
         let log_min = (t_min as f64).ln();
         let log_max = (t_max as f64).ln();
-        let period_ms = Uniform::new_inclusive(log_min, log_max)
-            .sample(rng)
-            .exp()
-            .round() as i128;
+        let period_ms = rng.gen_range_f64(log_min, log_max).exp().round() as i128;
         let period_ms = period_ms.clamp(t_min, t_max);
         let period = Rational::integer(period_ms);
 
@@ -201,12 +196,12 @@ pub fn uunifast(n: usize, total: Rational, granularity: i128, seed: u64) -> Vec<
     assert!(n >= 1, "need at least one task");
     assert!(total.is_positive(), "total utilization must be positive");
     assert!(granularity >= 1, "granularity must be at least 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut remaining = total.to_f64();
     let mut out = Vec::with_capacity(n);
     for i in 1..n {
         let exponent = 1.0 / (n - i) as f64;
-        let next = remaining * rng.gen_range(0.0f64..1.0).powf(exponent);
+        let next = remaining * rng.gen_f64().powf(exponent);
         out.push(snap(remaining - next, granularity));
         remaining = next;
     }
@@ -223,14 +218,19 @@ fn snap(value: f64, granularity: i128) -> Rational {
 
 /// Samples a rational uniformly from `[min, max]` on a `1/granularity`
 /// grid.
-pub(crate) fn sample_rational(rng: &mut StdRng, min: Rational, max: Rational, granularity: i128) -> Rational {
+pub(crate) fn sample_rational(
+    rng: &mut Rng,
+    min: Rational,
+    max: Rational,
+    granularity: i128,
+) -> Rational {
     let g = Rational::integer(granularity);
     let lo = (min * g).ceil();
     let hi = (max * g).floor();
     if lo >= hi {
         return min;
     }
-    let pick = rng.gen_range(lo..=hi);
+    let pick = rng.gen_range_i128(lo, hi);
     Rational::new(pick, granularity)
 }
 
@@ -275,10 +275,16 @@ mod tests {
             assert!(t >= Rational::TWO && t <= Rational::integer(2000), "{t}");
             assert!(t.is_integer());
             let u = s.utilization_lo();
-            assert!(u >= Rational::new(1, 100) && u <= Rational::new(1, 5), "{u}");
+            assert!(
+                u >= Rational::new(1, 100) && u <= Rational::new(1, 5),
+                "{u}"
+            );
             if s.criticality() == Criticality::Hi {
                 let gamma = s.wcet_hi() / s.wcet_lo();
-                assert!(gamma >= Rational::ONE && gamma <= Rational::integer(3), "{gamma}");
+                assert!(
+                    gamma >= Rational::ONE && gamma <= Rational::integer(3),
+                    "{gamma}"
+                );
             } else {
                 assert_eq!(s.wcet_hi(), s.wcet_lo());
             }
@@ -347,8 +353,14 @@ mod tests {
             );
         }
         // Deterministic per seed.
-        assert_eq!(uunifast(5, Rational::ONE, 100, 3), uunifast(5, Rational::ONE, 100, 3));
-        assert_ne!(uunifast(5, Rational::ONE, 100, 3), uunifast(5, Rational::ONE, 100, 4));
+        assert_eq!(
+            uunifast(5, Rational::ONE, 100, 3),
+            uunifast(5, Rational::ONE, 100, 3)
+        );
+        assert_ne!(
+            uunifast(5, Rational::ONE, 100, 3),
+            uunifast(5, Rational::ONE, 100, 4)
+        );
         // Degenerate single task takes (almost) everything.
         let one = uunifast(1, Rational::new(1, 2), 1000, 0);
         assert_eq!(one, vec![Rational::new(1, 2)]);
@@ -356,14 +368,9 @@ mod tests {
 
     #[test]
     fn sample_rational_stays_in_range() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         for _ in 0..200 {
-            let v = sample_rational(
-                &mut rng,
-                Rational::new(1, 100),
-                Rational::new(1, 5),
-                1000,
-            );
+            let v = sample_rational(&mut rng, Rational::new(1, 100), Rational::new(1, 5), 1000);
             assert!(v >= Rational::new(1, 100) && v <= Rational::new(1, 5));
         }
         // Degenerate range returns min.

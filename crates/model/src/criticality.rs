@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use rbs_json::{FromJson, Json, JsonError, ToJson};
 
 /// The safety-criticality level of a task.
 ///
@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(Criticality::Lo < Criticality::Hi);
 /// assert_eq!(Criticality::Hi.to_string(), "HI");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Criticality {
     /// Low criticality (e.g. DO-178B level C).
     #[default]
@@ -57,9 +55,7 @@ impl fmt::Display for Criticality {
 /// assert_eq!(Mode::Lo.to_string(), "LO");
 /// assert_ne!(Mode::Lo, Mode::Hi);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Mode {
     /// Normal operation: no job has overrun its LO-mode WCET.
     #[default]
@@ -72,6 +68,52 @@ pub enum Mode {
 impl Mode {
     /// Both modes, normal mode first.
     pub const ALL: [Mode; 2] = [Mode::Lo, Mode::Hi];
+}
+
+/// Wire format: the variant name as a string (`"Lo"` / `"Hi"`).
+impl ToJson for Criticality {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Criticality::Lo => "Lo",
+                Criticality::Hi => "Hi",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for Criticality {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Lo") => Ok(Criticality::Lo),
+            Some("Hi") => Ok(Criticality::Hi),
+            _ => Err(JsonError::new("expected criticality `\"Lo\"` or `\"Hi\"`")),
+        }
+    }
+}
+
+/// Wire format: the variant name as a string (`"Lo"` / `"Hi"`).
+impl ToJson for Mode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Mode::Lo => "Lo",
+                Mode::Hi => "Hi",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for Mode {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Lo") => Ok(Mode::Lo),
+            Some("Hi") => Ok(Mode::Hi),
+            _ => Err(JsonError::new("expected mode `\"Lo\"` or `\"Hi\"`")),
+        }
+    }
 }
 
 impl fmt::Display for Mode {
@@ -108,15 +150,16 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         for c in Criticality::ALL {
-            let json = serde_json::to_string(&c).expect("serialize");
-            let back: Criticality = serde_json::from_str(&json).expect("deserialize");
+            let json = rbs_json::to_string(&c);
+            let back: Criticality = rbs_json::from_str(&json).expect("deserialize");
             assert_eq!(back, c);
         }
+        assert_eq!(rbs_json::to_string(&Criticality::Hi), "\"Hi\"");
         for m in Mode::ALL {
-            let json = serde_json::to_string(&m).expect("serialize");
-            let back: Mode = serde_json::from_str(&json).expect("deserialize");
+            let json = rbs_json::to_string(&m);
+            let back: Mode = rbs_json::from_str(&json).expect("deserialize");
             assert_eq!(back, m);
         }
     }

@@ -148,7 +148,10 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::HiTaskTerminated { task } => {
-                write!(f, "task {task:?}: only LO-criticality tasks may be terminated")
+                write!(
+                    f,
+                    "task {task:?}: only LO-criticality tasks may be terminated"
+                )
             }
             ModelError::MissingField { task, field } => {
                 write!(f, "task {task:?}: missing required field `{field}`")

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canonical;
 mod criticality;
 mod error;
 mod params;
@@ -56,6 +57,7 @@ mod scaling;
 mod task;
 mod taskset;
 
+pub use canonical::CanonicalTaskSet;
 pub use criticality::{Criticality, Mode};
 pub use error::ModelError;
 pub use params::ModeParams;

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
+use rbs_json::{FromJson, Json, JsonError, ToJson};
 use rbs_timebase::Rational;
-use serde::{Deserialize, Serialize};
 
 /// The sporadic-task parameters of one task in one operating mode:
 /// minimum inter-arrival time `T`, relative deadline `D` and worst-case
@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.utilization(), Rational::new(3, 10));
 /// assert_eq!(p.density(), Rational::new(3, 10));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModeParams {
     period: Rational,
     deadline: Rational,
@@ -91,6 +91,28 @@ impl ModeParams {
     }
 }
 
+/// Wire format: `{"period": R, "deadline": R, "wcet": R}` with rationals as
+/// `{"num", "den"}` pairs.
+impl ToJson for ModeParams {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("period".to_owned(), self.period.to_json()),
+            ("deadline".to_owned(), self.deadline.to_json()),
+            ("wcet".to_owned(), self.wcet.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ModeParams {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ModeParams {
+            period: Rational::from_json(value.field("period")?)?,
+            deadline: Rational::from_json(value.field("deadline")?)?,
+            wcet: Rational::from_json(value.field("wcet")?)?,
+        })
+    }
+}
+
 impl fmt::Display for ModeParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -134,11 +156,23 @@ mod tests {
     #[test]
     fn with_methods_replace_one_field() {
         let p = params(20, 15, 3);
-        assert_eq!(p.with_deadline(Rational::integer(10)).deadline(), Rational::integer(10));
-        assert_eq!(p.with_period(Rational::integer(40)).period(), Rational::integer(40));
-        assert_eq!(p.with_wcet(Rational::integer(5)).wcet(), Rational::integer(5));
+        assert_eq!(
+            p.with_deadline(Rational::integer(10)).deadline(),
+            Rational::integer(10)
+        );
+        assert_eq!(
+            p.with_period(Rational::integer(40)).period(),
+            Rational::integer(40)
+        );
+        assert_eq!(
+            p.with_wcet(Rational::integer(5)).wcet(),
+            Rational::integer(5)
+        );
         // Other fields untouched.
-        assert_eq!(p.with_wcet(Rational::integer(5)).period(), Rational::integer(20));
+        assert_eq!(
+            p.with_wcet(Rational::integer(5)).period(),
+            Rational::integer(20)
+        );
     }
 
     #[test]
@@ -147,10 +181,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let p = params(20, 15, 3);
-        let json = serde_json::to_string(&p).expect("serialize");
-        let back: ModeParams = serde_json::from_str(&json).expect("deserialize");
+        let json = rbs_json::to_string(&p);
+        let back: ModeParams = rbs_json::from_str(&json).expect("deserialize");
         assert_eq!(back, p);
     }
 }

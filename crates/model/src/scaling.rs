@@ -13,8 +13,8 @@
 //! (period and WCETs); [`scaled_task_set`] instantiates a full
 //! [`TaskSet`] for chosen [`ScalingFactors`].
 
+use rbs_json::{FromJson, Json, JsonError, ToJson};
 use rbs_timebase::Rational;
-use serde::{Deserialize, Serialize};
 
 use crate::{Criticality, ModelError, Task, TaskSet};
 
@@ -33,7 +33,7 @@ use crate::{Criticality, ModelError, Task, TaskSet};
 /// let lo = ImplicitTaskSpec::lo("log", Rational::integer(50), Rational::integer(5));
 /// assert_eq!(lo.utilization_lo(), Rational::new(1, 10));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ImplicitTaskSpec {
     name: String,
     criticality: Criticality,
@@ -117,6 +117,35 @@ impl ImplicitTaskSpec {
     }
 }
 
+/// Wire format: `{"name", "criticality", "period", "wcet_lo", "wcet_hi"}`.
+impl ToJson for ImplicitTaskSpec {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("criticality".to_owned(), self.criticality.to_json()),
+            ("period".to_owned(), self.period.to_json()),
+            ("wcet_lo".to_owned(), self.wcet_lo.to_json()),
+            ("wcet_hi".to_owned(), self.wcet_hi.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ImplicitTaskSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ImplicitTaskSpec {
+            name: value
+                .field("name")?
+                .as_str()
+                .ok_or_else(|| JsonError::new("spec `name` must be a string"))?
+                .to_owned(),
+            criticality: Criticality::from_json(value.field("criticality")?)?,
+            period: Rational::from_json(value.field("period")?)?,
+            wcet_lo: Rational::from_json(value.field("wcet_lo")?)?,
+            wcet_hi: Rational::from_json(value.field("wcet_hi")?)?,
+        })
+    }
+}
+
 /// The common deadline-shortening factor `x` and service-degradation
 /// factor `y` of Section V.
 ///
@@ -133,7 +162,7 @@ impl ImplicitTaskSpec {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScalingFactors {
     x: Rational,
     y: Rational,
@@ -176,6 +205,26 @@ impl ScalingFactors {
     #[must_use]
     pub const fn y(&self) -> Rational {
         self.y
+    }
+}
+
+/// Wire format: `{"x": R, "y": R}`; the range constraints are re-validated
+/// on decode.
+impl ToJson for ScalingFactors {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("x".to_owned(), self.x.to_json()),
+            ("y".to_owned(), self.y.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScalingFactors {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let x = Rational::from_json(value.field("x")?)?;
+        let y = Rational::from_json(value.field("y")?)?;
+        ScalingFactors::new(x, y)
+            .map_err(|e| JsonError::new(format!("invalid scaling factors: {e}")))
     }
 }
 
@@ -322,14 +371,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let spec = ImplicitTaskSpec::hi("h", int(10), int(2), int(4));
-        let json = serde_json::to_string(&spec).expect("serialize");
-        let back: ImplicitTaskSpec = serde_json::from_str(&json).expect("deserialize");
+        let json = rbs_json::to_string(&spec);
+        let back: ImplicitTaskSpec = rbs_json::from_str(&json).expect("deserialize");
         assert_eq!(back, spec);
         let f = ScalingFactors::new(Rational::new(1, 2), int(2)).expect("valid");
-        let json = serde_json::to_string(&f).expect("serialize");
-        let back: ScalingFactors = serde_json::from_str(&json).expect("deserialize");
+        let json = rbs_json::to_string(&f);
+        let back: ScalingFactors = rbs_json::from_str(&json).expect("deserialize");
         assert_eq!(back, f);
     }
 }

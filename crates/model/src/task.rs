@@ -2,13 +2,13 @@
 
 use std::fmt;
 
+use rbs_json::{FromJson, Json, JsonError, ToJson};
 use rbs_timebase::Rational;
-use serde::{Deserialize, Serialize};
 
 use crate::{Criticality, Mode, ModeParams, ModelError};
 
 /// What a task does after the system switches to HI mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HiBehavior {
     /// The task keeps running with the given (possibly degraded)
     /// parameters. HI tasks always continue; LO tasks continue with
@@ -59,7 +59,7 @@ impl HiBehavior {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Task {
     name: String,
     criticality: Criticality,
@@ -147,6 +147,77 @@ impl Task {
             hi: HiBehavior::Terminated,
             ..self.clone()
         })
+    }
+}
+
+/// Wire format: `{"Continue": ModeParams}` or the string `"Terminated"`
+/// (externally-tagged enum encoding).
+impl ToJson for HiBehavior {
+    fn to_json(&self) -> Json {
+        match self {
+            HiBehavior::Continue(p) => Json::Object(vec![("Continue".to_owned(), p.to_json())]),
+            HiBehavior::Terminated => Json::Str("Terminated".to_owned()),
+        }
+    }
+}
+
+impl FromJson for HiBehavior {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) if s == "Terminated" => Ok(HiBehavior::Terminated),
+            Json::Object(_) => {
+                let params = value.field("Continue")?;
+                Ok(HiBehavior::Continue(ModeParams::from_json(params)?))
+            }
+            _ => Err(JsonError::new(
+                "expected `{\"Continue\": ...}` or `\"Terminated\"`",
+            )),
+        }
+    }
+}
+
+/// Wire format: `{"name", "criticality", "lo", "hi"}`.
+///
+/// Deserialization goes through [`TaskBuilder`], so a decoded task always
+/// satisfies the model constraints (eqs. (1)–(3)); invalid parameter
+/// combinations are reported as [`JsonError`]s.
+impl ToJson for Task {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("criticality".to_owned(), self.criticality.to_json()),
+            ("lo".to_owned(), self.lo.to_json()),
+            ("hi".to_owned(), self.hi.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Task {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let name = value
+            .field("name")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("task `name` must be a string"))?;
+        let criticality = Criticality::from_json(value.field("criticality")?)?;
+        let lo = ModeParams::from_json(value.field("lo")?)?;
+        let hi = HiBehavior::from_json(value.field("hi")?)?;
+
+        let mut builder = Task::builder(name, criticality)
+            .period(lo.period())
+            .deadline_lo(lo.deadline())
+            .wcet_lo(lo.wcet());
+        match hi {
+            HiBehavior::Continue(p) => {
+                builder = builder
+                    .period_hi(p.period())
+                    .deadline_hi(p.deadline())
+                    .wcet_hi(p.wcet());
+            }
+            HiBehavior::Terminated => builder = builder.terminated(),
+        }
+        builder
+            .build()
+            .map_err(|e| JsonError::new(format!("invalid task: {e}")))
     }
 }
 
@@ -460,19 +531,36 @@ mod tests {
 
     #[test]
     fn missing_fields_are_reported() {
-        let err = Task::builder("t", Criticality::Lo).build().expect_err("no fields");
-        assert!(matches!(err, ModelError::MissingField { field: "period", .. }));
+        let err = Task::builder("t", Criticality::Lo)
+            .build()
+            .expect_err("no fields");
+        assert!(matches!(
+            err,
+            ModelError::MissingField {
+                field: "period",
+                ..
+            }
+        ));
         let err = Task::builder("t", Criticality::Lo)
             .period(int(5))
             .build()
             .expect_err("no deadline");
-        assert!(matches!(err, ModelError::MissingField { field: "deadline", .. }));
+        assert!(matches!(
+            err,
+            ModelError::MissingField {
+                field: "deadline",
+                ..
+            }
+        ));
         let err = Task::builder("t", Criticality::Lo)
             .period(int(5))
             .deadline(int(5))
             .build()
             .expect_err("no wcet");
-        assert!(matches!(err, ModelError::MissingField { field: "wcet", .. }));
+        assert!(matches!(
+            err,
+            ModelError::MissingField { field: "wcet", .. }
+        ));
     }
 
     #[test]
@@ -566,7 +654,10 @@ mod tests {
             .wcet_hi(int(2))
             .build()
             .expect("valid, if hopeless");
-        assert_eq!(t.lo().deadline(), t.params(Mode::Hi).expect("continues").deadline());
+        assert_eq!(
+            t.lo().deadline(),
+            t.params(Mode::Hi).expect("continues").deadline()
+        );
     }
 
     #[test]
@@ -580,11 +671,26 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         for t in [hi_task(), lo_task(), lo_task().terminated().expect("lo")] {
-            let json = serde_json::to_string(&t).expect("serialize");
-            let back: Task = serde_json::from_str(&json).expect("deserialize");
+            let json = rbs_json::to_string(&t);
+            let back: Task = rbs_json::from_str(&json).expect("deserialize");
             assert_eq!(back, t);
         }
+    }
+
+    #[test]
+    fn json_rejects_constraint_violations() {
+        // A HI task whose HI-mode period differs from LO violates eq. (1)
+        // and must be rejected at decode time.
+        let text = r#"{
+            "name": "bad", "criticality": "Hi",
+            "lo": {"period": {"num":5,"den":1}, "deadline": {"num":5,"den":1},
+                   "wcet": {"num":1,"den":1}},
+            "hi": {"Continue": {"period": {"num":6,"den":1},
+                   "deadline": {"num":6,"den":1}, "wcet": {"num":1,"den":1}}}
+        }"#;
+        let result: Result<Task, _> = rbs_json::from_str(text);
+        assert!(result.is_err());
     }
 }

@@ -4,8 +4,8 @@ use std::fmt;
 use std::ops::Index;
 use std::slice;
 
+use rbs_json::{FromJson, Json, JsonError, ToJson};
 use rbs_timebase::Rational;
-use serde::{Deserialize, Serialize};
 
 use crate::{Criticality, Mode, ModelError, Task};
 
@@ -40,10 +40,28 @@ use crate::{Criticality, Mode, ModelError, Task};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TaskSet {
     tasks: Vec<Task>,
+}
+
+/// Wire format: a bare JSON array of tasks (transparent wrapper).
+impl ToJson for TaskSet {
+    fn to_json(&self) -> Json {
+        Json::Array(self.tasks.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl FromJson for TaskSet {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let tasks = value
+            .as_array()
+            .ok_or_else(|| JsonError::new("expected a task array"))?
+            .iter()
+            .map(Task::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TaskSet { tasks })
+    }
 }
 
 impl TaskSet {
@@ -271,9 +289,18 @@ mod tests {
         assert_eq!(set.utilization(Mode::Lo), Rational::new(1, 2));
         // HI mode: 2/5 + 3/10 = 7/10.
         assert_eq!(set.utilization(Mode::Hi), Rational::new(7, 10));
-        assert_eq!(set.utilization_of(Criticality::Hi, Mode::Lo), Rational::new(1, 5));
-        assert_eq!(set.utilization_of(Criticality::Hi, Mode::Hi), Rational::new(2, 5));
-        assert_eq!(set.utilization_of(Criticality::Lo, Mode::Hi), Rational::new(3, 10));
+        assert_eq!(
+            set.utilization_of(Criticality::Hi, Mode::Lo),
+            Rational::new(1, 5)
+        );
+        assert_eq!(
+            set.utilization_of(Criticality::Hi, Mode::Hi),
+            Rational::new(2, 5)
+        );
+        assert_eq!(
+            set.utilization_of(Criticality::Lo, Mode::Hi),
+            Rational::new(3, 10)
+        );
     }
 
     #[test]
@@ -300,15 +327,24 @@ mod tests {
         let set = example_set().with_lo_terminated().expect("valid");
         assert!(!set[0].is_terminated_in_hi());
         assert!(set[1].is_terminated_in_hi());
-        assert_eq!(set.utilization_of(Criticality::Lo, Mode::Hi), Rational::ZERO);
+        assert_eq!(
+            set.utilization_of(Criticality::Lo, Mode::Hi),
+            Rational::ZERO
+        );
     }
 
     #[test]
     fn of_criticality_filters() {
         let set = example_set();
-        let hi: Vec<&str> = set.of_criticality(Criticality::Hi).map(Task::name).collect();
+        let hi: Vec<&str> = set
+            .of_criticality(Criticality::Hi)
+            .map(Task::name)
+            .collect();
         assert_eq!(hi, vec!["tau1"]);
-        let lo: Vec<&str> = set.of_criticality(Criticality::Lo).map(Task::name).collect();
+        let lo: Vec<&str> = set
+            .of_criticality(Criticality::Lo)
+            .map(Task::name)
+            .collect();
         assert_eq!(lo, vec!["tau2"]);
     }
 
@@ -333,10 +369,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let set = example_set();
-        let json = serde_json::to_string(&set).expect("serialize");
-        let back: TaskSet = serde_json::from_str(&json).expect("deserialize");
+        let json = rbs_json::to_string(&set);
+        assert!(json.starts_with('['), "transparent array encoding: {json}");
+        let back: TaskSet = rbs_json::from_str(&json).expect("deserialize");
         assert_eq!(back, set);
     }
 }

@@ -1,11 +1,14 @@
-//! Property-based tests for model validation, serde and scaling.
+//! Property-based tests for model validation, JSON round-trips and scaling,
+//! driven by a seeded deterministic RNG.
 
-use proptest::prelude::*;
 use rbs_model::{
-    scaled_task_set, Criticality, ImplicitTaskSpec, Mode, ModelError, ScalingFactors, Task,
-    TaskSet,
+    scaled_task_set, CanonicalTaskSet, Criticality, ImplicitTaskSpec, Mode, ModelError,
+    ScalingFactors, Task, TaskSet,
 };
+use rbs_rng::Rng;
 use rbs_timebase::Rational;
+
+const CASES: usize = 128;
 
 fn int(v: i128) -> Rational {
     Rational::integer(v)
@@ -15,17 +18,15 @@ fn rat(n: i128, d: i128) -> Rational {
     Rational::new(n, d)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn valid_hi_parameters_always_build() {
+    let mut rng = Rng::seed_from_u64(0x40de_1001);
+    for _ in 0..CASES {
+        let period = int(rng.gen_range_i128(2, 1000));
+        let c_lo_num = rng.gen_range_i128(1, 100);
+        let dl_frac = rng.gen_range_i128(1, 100);
+        let gamma_num = rng.gen_range_i128(100, 400);
 
-    #[test]
-    fn valid_hi_parameters_always_build(
-        period in 2i128..=1000,
-        c_lo_num in 1i128..=100,
-        dl_frac in 1i128..=100,
-        gamma_num in 100i128..=400,
-    ) {
-        let period = int(period);
         let c_lo = (rat(c_lo_num, 100) * period).min(period);
         let d_lo = (rat(dl_frac, 100) * period).max(c_lo).min(period);
         let c_hi = (rat(gamma_num, 100) * c_lo).min(period);
@@ -36,21 +37,22 @@ proptest! {
             .wcet_lo(c_lo)
             .wcet_hi(c_hi.max(c_lo))
             .build();
-        prop_assert!(task.is_ok(), "{task:?}");
+        assert!(task.is_ok(), "{task:?}");
         let task = task.expect("checked");
-        prop_assert!(task.lo().deadline() <= task.params(Mode::Hi).expect("hi").deadline());
-        prop_assert!(task.utilization(Mode::Hi) >= task.utilization(Mode::Lo));
+        assert!(task.lo().deadline() <= task.params(Mode::Hi).expect("hi").deadline());
+        assert!(task.utilization(Mode::Hi) >= task.utilization(Mode::Lo));
         if let Some(gamma) = task.gamma() {
-            prop_assert!(gamma >= Rational::ONE);
+            assert!(gamma >= Rational::ONE);
         }
     }
+}
 
-    #[test]
-    fn constraint_violations_yield_the_right_errors(
-        period in 2i128..=50,
-        excess in 1i128..=10,
-    ) {
-        let period = int(period);
+#[test]
+fn constraint_violations_yield_the_right_errors() {
+    let mut rng = Rng::seed_from_u64(0x40de_1002);
+    for _ in 0..CASES {
+        let period = int(rng.gen_range_i128(2, 50));
+        let excess = rng.gen_range_i128(1, 10);
         // D > T.
         let err = Task::builder("t", Criticality::Lo)
             .period(period)
@@ -58,8 +60,10 @@ proptest! {
             .wcet(Rational::ONE)
             .build()
             .expect_err("unconstrained deadline");
-        let is_expected = matches!(err, ModelError::DeadlineExceedsPeriod { .. });
-        prop_assert!(is_expected, "unexpected error: {err:?}");
+        assert!(
+            matches!(err, ModelError::DeadlineExceedsPeriod { .. }),
+            "unexpected error: {err:?}"
+        );
         // HI task shrinking its WCET.
         let err = Task::builder("t", Criticality::Hi)
             .period(period)
@@ -68,8 +72,10 @@ proptest! {
             .wcet_hi(Rational::ONE)
             .build()
             .expect_err("shrinking wcet");
-        let is_expected = matches!(err, ModelError::HiWcetSmallerThanLo { .. });
-        prop_assert!(is_expected, "unexpected error: {err:?}");
+        assert!(
+            matches!(err, ModelError::HiWcetSmallerThanLo { .. }),
+            "unexpected error: {err:?}"
+        );
         // LO task improving its period in HI mode.
         let err = Task::builder("t", Criticality::Lo)
             .period(period + int(excess))
@@ -78,77 +84,105 @@ proptest! {
             .wcet(Rational::ONE)
             .build()
             .expect_err("improved service");
-        let is_expected = matches!(err, ModelError::LoServiceImproved { .. });
-        prop_assert!(is_expected, "unexpected error: {err:?}");
+        assert!(
+            matches!(err, ModelError::LoServiceImproved { .. }),
+            "unexpected error: {err:?}"
+        );
     }
+}
 
-    #[test]
-    fn task_sets_round_trip_through_json(
-        periods in prop::collection::vec(2i128..=100, 1..=5),
-    ) {
-        let tasks: Vec<Task> = periods
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| {
-                if i % 2 == 0 {
-                    Task::builder(format!("h{i}"), Criticality::Hi)
-                        .period(int(p))
-                        .deadline_lo(rat(p, 2).max(Rational::ONE))
-                        .deadline_hi(int(p))
-                        .wcet_lo(Rational::ONE.min(rat(p, 4)).max(rat(1, 4)))
-                        .wcet_hi(rat(p, 4).max(rat(1, 2)).min(int(p)))
-                        .build()
-                        .expect("valid")
-                } else {
-                    Task::builder(format!("l{i}"), Criticality::Lo)
-                        .period(int(p))
-                        .deadline(int(p))
-                        .wcet(rat(p, 8).max(rat(1, 8)))
-                        .build()
-                        .expect("valid")
-                }
-            })
-            .collect();
-        let set = TaskSet::new(tasks);
-        let json = serde_json::to_string(&set).expect("serialize");
-        let back: TaskSet = serde_json::from_str(&json).expect("deserialize");
-        prop_assert_eq!(back, set);
+fn random_mixed_set(rng: &mut Rng) -> TaskSet {
+    let len = rng.gen_range_usize(1, 5);
+    let tasks: Vec<Task> = (0..len)
+        .map(|i| {
+            let p = rng.gen_range_i128(2, 100);
+            if i % 2 == 0 {
+                Task::builder(format!("h{i}"), Criticality::Hi)
+                    .period(int(p))
+                    .deadline_lo(rat(p, 2).max(Rational::ONE))
+                    .deadline_hi(int(p))
+                    .wcet_lo(Rational::ONE.min(rat(p, 4)).max(rat(1, 4)))
+                    .wcet_hi(rat(p, 4).max(rat(1, 2)).min(int(p)))
+                    .build()
+                    .expect("valid")
+            } else {
+                Task::builder(format!("l{i}"), Criticality::Lo)
+                    .period(int(p))
+                    .deadline(int(p))
+                    .wcet(rat(p, 8).max(rat(1, 8)))
+                    .build()
+                    .expect("valid")
+            }
+        })
+        .collect();
+    TaskSet::new(tasks)
+}
+
+#[test]
+fn task_sets_round_trip_through_json() {
+    let mut rng = Rng::seed_from_u64(0x40de_1003);
+    for _ in 0..CASES {
+        let set = random_mixed_set(&mut rng);
+        let json = rbs_json::to_string(&set);
+        let back: TaskSet = rbs_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, set);
     }
+}
 
-    #[test]
-    fn scaling_follows_the_paper_equations(
-        period in 2i128..=200,
-        x_num in 1i128..=100,
-        y_num in 100i128..=400,
-    ) {
-        let x = rat(x_num, 100);
-        let y = rat(y_num, 100);
+#[test]
+fn canonical_form_is_order_independent() {
+    let mut rng = Rng::seed_from_u64(0x40de_1006);
+    for _ in 0..CASES {
+        let set = random_mixed_set(&mut rng);
+        let mut tasks: Vec<Task> = set.iter().cloned().collect();
+        rng.shuffle(&mut tasks);
+        let shuffled = TaskSet::new(tasks);
+        let a = CanonicalTaskSet::of(&set);
+        let b = CanonicalTaskSet::of(&shuffled);
+        assert_eq!(a, b, "canonical form depends on declaration order");
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+}
+
+#[test]
+fn scaling_follows_the_paper_equations() {
+    let mut rng = Rng::seed_from_u64(0x40de_1004);
+    for _ in 0..CASES {
+        let period = rng.gen_range_i128(2, 200);
+        let x = rat(rng.gen_range_i128(1, 100), 100);
+        let y = rat(rng.gen_range_i128(100, 400), 100);
         let factors = ScalingFactors::new(x, y).expect("in range");
         let specs = vec![
-            ImplicitTaskSpec::hi("h", int(period), rat(period, 10).max(rat(1, 10)), rat(period, 5).max(rat(1, 5))),
+            ImplicitTaskSpec::hi(
+                "h",
+                int(period),
+                rat(period, 10).max(rat(1, 10)),
+                rat(period, 5).max(rat(1, 5)),
+            ),
             ImplicitTaskSpec::lo("l", int(period), rat(period, 10).max(rat(1, 10))),
         ];
         let set = scaled_task_set(&specs, factors).expect("valid");
         // eq. (13): HI tasks.
         let h = &set[0];
-        prop_assert_eq!(h.lo().deadline(), x * int(period));
-        prop_assert_eq!(h.params(Mode::Hi).expect("hi").deadline(), int(period));
-        prop_assert_eq!(h.params(Mode::Hi).expect("hi").period(), int(period));
+        assert_eq!(h.lo().deadline(), x * int(period));
+        assert_eq!(h.params(Mode::Hi).expect("hi").deadline(), int(period));
+        assert_eq!(h.params(Mode::Hi).expect("hi").period(), int(period));
         // eq. (14): LO tasks.
         let l = &set[1];
-        prop_assert_eq!(l.lo().deadline(), int(period));
-        prop_assert_eq!(l.params(Mode::Hi).expect("hi").period(), y * int(period));
-        prop_assert_eq!(l.params(Mode::Hi).expect("hi").deadline(), y * int(period));
+        assert_eq!(l.lo().deadline(), int(period));
+        assert_eq!(l.params(Mode::Hi).expect("hi").period(), y * int(period));
+        assert_eq!(l.params(Mode::Hi).expect("hi").deadline(), y * int(period));
     }
+}
 
-    #[test]
-    fn termination_zeroes_hi_contributions(
-        periods in prop::collection::vec(2i128..=100, 1..=4),
-    ) {
-        let tasks: Vec<Task> = periods
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| {
+#[test]
+fn termination_zeroes_hi_contributions() {
+    let mut rng = Rng::seed_from_u64(0x40de_1005);
+    for _ in 0..CASES {
+        let len = rng.gen_range_usize(1, 4);
+        let tasks: Vec<Task> = (0..len)
+            .map(|i| {
+                let p = rng.gen_range_i128(2, 100);
                 Task::builder(format!("l{i}"), Criticality::Lo)
                     .period(int(p))
                     .deadline(int(p))
@@ -159,10 +193,10 @@ proptest! {
             .collect();
         let set = TaskSet::new(tasks);
         let terminated = set.with_lo_terminated().expect("all LO");
-        prop_assert_eq!(terminated.utilization(Mode::Hi), Rational::ZERO);
-        prop_assert_eq!(terminated.total_wcet(Mode::Hi), Rational::ZERO);
-        prop_assert_eq!(terminated.hyperperiod(Mode::Hi), None);
+        assert_eq!(terminated.utilization(Mode::Hi), Rational::ZERO);
+        assert_eq!(terminated.total_wcet(Mode::Hi), Rational::ZERO);
+        assert_eq!(terminated.hyperperiod(Mode::Hi), None);
         // LO mode untouched.
-        prop_assert_eq!(terminated.utilization(Mode::Lo), set.utilization(Mode::Lo));
+        assert_eq!(terminated.utilization(Mode::Lo), set.utilization(Mode::Lo));
     }
 }

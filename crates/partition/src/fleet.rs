@@ -49,7 +49,10 @@ impl FleetReport {
     /// The longest measured recovery on any core.
     #[must_use]
     pub fn max_recovery(&self) -> Option<Rational> {
-        self.per_core.iter().filter_map(SimReport::max_recovery).max()
+        self.per_core
+            .iter()
+            .filter_map(SimReport::max_recovery)
+            .max()
     }
 
     /// Total HI-mode episodes across the platform.
@@ -154,7 +157,10 @@ mod tests {
             .expect("fits");
         let fleet = simulate(&parts, int(500), &ExecutionScenario::HiWcet).expect("runs");
         assert_eq!(fleet.total_misses(), 0);
-        assert!(fleet.total_episodes() > 0, "overruns should trigger episodes");
+        assert!(
+            fleet.total_episodes() > 0,
+            "overruns should trigger episodes"
+        );
         assert_eq!(fleet.per_core().len(), 3);
         assert_eq!(fleet.core_speeds().len(), 3);
         // Speeds are per-core: at least nominal, at most the cap plus

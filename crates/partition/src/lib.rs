@@ -277,11 +277,7 @@ mod tests {
             let partitioned = partition(&heavy_set(), cap, heuristic, &limits)
                 .expect("completes")
                 .expect("fits");
-            for (core, bound) in partitioned
-                .cores()
-                .iter()
-                .zip(partitioned.core_speedups())
-            {
+            for (core, bound) in partitioned.cores().iter().zip(partitioned.core_speedups()) {
                 if core.is_empty() {
                     continue;
                 }
@@ -307,10 +303,7 @@ mod tests {
         // Three HI tasks each needing ~1.5x alone cannot share two cores
         // at 1x, but fit at 2x.
         let limits = AnalysisLimits::default();
-        let set = TaskSet::new(vec![
-            hi_task("a", 8, 2, 6, 3),
-            hi_task("b", 8, 2, 6, 3),
-        ]);
+        let set = TaskSet::new(vec![hi_task("a", 8, 2, 6, 3), hi_task("b", 8, 2, 6, 3)]);
         let tight = partition(
             &set,
             PlatformCap::new(1, Rational::ONE),
@@ -335,14 +328,7 @@ mod tests {
         )
         .expect("completes")
         .expect("two boosted cores fit");
-        assert_eq!(
-            two_core
-                .cores()
-                .iter()
-                .filter(|c| !c.is_empty())
-                .count(),
-            2
-        );
+        assert_eq!(two_core.cores().iter().filter(|c| !c.is_empty()).count(), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! Property tests for the partitioned-multicore extension.
+//! Property tests for the partitioned-multicore extension, driven by a
+//! seeded deterministic RNG.
 
-use proptest::prelude::*;
 use rbs_core::lo_mode::is_lo_schedulable;
 use rbs_core::speedup::SpeedupBound;
 use rbs_core::AnalysisLimits;
@@ -8,32 +8,35 @@ use rbs_experiments::workloads::prepare;
 use rbs_gen::synth::SynthConfig;
 use rbs_model::TaskSet;
 use rbs_partition::{partition, Heuristic, PlatformCap};
+use rbs_rng::Rng;
 use rbs_timebase::Rational;
+
+const CASES: usize = 32;
 
 fn generated_set(seed: u64, cores: i128) -> Option<TaskSet> {
     // Per-core load ~0.5 keeps the instances mostly placeable while
     // still exercising rejections.
-    let generator =
-        SynthConfig::new(Rational::new(cores, 2)).period_range_ms(5, 50);
+    let generator = SynthConfig::new(Rational::new(cores, 2)).period_range_ms(5, 50);
     let specs = generator.generate(seed);
     // The uniprocessor uniform-x prepare only works when U_LO(LO) < 1;
     // heavier multicore loads are covered by the unit tests.
     prepare(&specs, Rational::TWO)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn partitions_are_exact_covers(seed in 0u64..500, cores in 2usize..=4) {
+#[test]
+fn partitions_are_exact_covers() {
+    let mut rng = Rng::seed_from_u64(0x9a57_0001);
+    for _ in 0..CASES {
+        let seed = rng.gen_range_u64(0, 499);
+        let cores = rng.gen_range_usize(2, 4);
         let Some(set) = generated_set(seed, cores as i128) else {
-            return Ok(());
+            continue;
         };
         let limits = AnalysisLimits::default();
         let cap = PlatformCap::new(cores, Rational::TWO);
         for heuristic in [Heuristic::FirstFit, Heuristic::BestFit, Heuristic::WorstFit] {
-            let Some(result) = partition(&set, cap, heuristic, &limits)
-                .expect("analysis completes")
+            let Some(result) =
+                partition(&set, cap, heuristic, &limits).expect("analysis completes")
             else {
                 continue;
             };
@@ -44,43 +47,50 @@ proptest! {
                 .flat_map(|c| c.iter().map(rbs_model::Task::name))
                 .collect();
             placed.sort_unstable();
-            let mut expected: Vec<&str> =
-                set.iter().map(rbs_model::Task::name).collect();
+            let mut expected: Vec<&str> = set.iter().map(rbs_model::Task::name).collect();
             expected.sort_unstable();
-            prop_assert_eq!(placed, expected);
+            assert_eq!(placed, expected);
             // Per-core guarantees hold.
             for (core, bound) in result.cores().iter().zip(result.core_speedups()) {
                 if core.is_empty() {
                     continue;
                 }
-                prop_assert!(is_lo_schedulable(core, &limits).expect("completes"));
+                assert!(is_lo_schedulable(core, &limits).expect("completes"));
                 match bound {
-                    SpeedupBound::Finite(s) => prop_assert!(*s <= Rational::TWO),
-                    SpeedupBound::Unbounded => prop_assert!(false, "unbounded core accepted"),
+                    SpeedupBound::Finite(s) => assert!(*s <= Rational::TWO),
+                    SpeedupBound::Unbounded => panic!("unbounded core accepted"),
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn partitioning_is_deterministic(seed in 0u64..200) {
+#[test]
+fn partitioning_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x9a57_0002);
+    for _ in 0..CASES {
+        let seed = rng.gen_range_u64(0, 199);
         let Some(set) = generated_set(seed, 2) else {
-            return Ok(());
+            continue;
         };
         let limits = AnalysisLimits::default();
         let cap = PlatformCap::new(2, Rational::TWO);
         let a = partition(&set, cap, Heuristic::FirstFit, &limits).expect("completes");
         let b = partition(&set, cap, Heuristic::FirstFit, &limits).expect("completes");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn more_cores_never_hurt_first_fit(seed in 0u64..200) {
-        // First-fit-decreasing with extra (initially empty) cores can
-        // place at least everything it placed before: the placement on
-        // the first m cores is unchanged and rejects gain new fallbacks.
+#[test]
+fn more_cores_never_hurt_first_fit() {
+    // First-fit-decreasing with extra (initially empty) cores can
+    // place at least everything it placed before: the placement on
+    // the first m cores is unchanged and rejects gain new fallbacks.
+    let mut rng = Rng::seed_from_u64(0x9a57_0003);
+    for _ in 0..CASES {
+        let seed = rng.gen_range_u64(0, 199);
         let Some(set) = generated_set(seed, 2) else {
-            return Ok(());
+            continue;
         };
         let limits = AnalysisLimits::default();
         let small = partition(
@@ -98,7 +108,7 @@ proptest! {
                 &limits,
             )
             .expect("completes");
-            prop_assert!(large.is_some(), "extra core broke a feasible packing");
+            assert!(large.is_some(), "extra core broke a feasible packing");
         }
     }
 }

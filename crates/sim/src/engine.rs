@@ -407,7 +407,10 @@ impl Engine {
             };
             let id = job.id();
             self.misses.push(record);
-            self.trace.push(TraceEvent::Miss { at: self.now, job: id });
+            self.trace.push(TraceEvent::Miss {
+                at: self.now,
+                job: id,
+            });
             return Ok(true);
         }
 
@@ -445,10 +448,10 @@ impl Engine {
         let task = self.task(task_index).clone();
         self.tasks[task_index].released += 1;
         self.tasks[task_index].last_release = Some(due);
-        self.tasks[task_index].next_release =
-            self.cfg
-                .arrivals
-                .next_release(&task, task_index, sequence, due, self.mode);
+        self.tasks[task_index].next_release = self
+            .cfg
+            .arrivals
+            .next_release(&task, task_index, sequence, due, self.mode);
 
         if self.is_effectively_terminated(task_index) {
             // Scripted arrivals during a terminated window are suppressed.
@@ -474,7 +477,10 @@ impl Engine {
             // Zero-demand instance: completes instantly.
             self.completed += 1;
             self.record_response(task_index, Rational::ZERO);
-            self.trace.push(TraceEvent::Completion { at: self.now, job: id });
+            self.trace.push(TraceEvent::Completion {
+                at: self.now,
+                job: id,
+            });
         } else {
             self.pending.push(job);
         }
@@ -533,8 +539,8 @@ impl Engine {
         let forced = self.forced_termination;
         self.pending.retain_mut(|job| {
             let task = &set[job.task_index()];
-            let terminated = task.is_terminated_in_hi()
-                || (forced && task.criticality() == Criticality::Lo);
+            let terminated =
+                task.is_terminated_in_hi() || (forced && task.criticality() == Criticality::Lo);
             if terminated {
                 dropped_events.push(job.id());
                 return false;
@@ -784,8 +790,7 @@ mod tests {
     #[test]
     fn scripted_arrivals_are_respected() {
         let set = table1();
-        let arrivals =
-            ArrivalScenario::Scripted(vec![vec![int(0), int(7)], vec![int(1)]]);
+        let arrivals = ArrivalScenario::Scripted(vec![vec![int(0), int(7)], vec![int(1)]]);
         let report = Simulation::new(set)
             .horizon(int(40))
             .arrivals(arrivals)
@@ -897,7 +902,10 @@ mod tests {
         assert!(report.energy() > report.busy_time());
         let overhead = report.energy_overhead().expect("ran");
         assert!(overhead > Rational::ONE);
-        assert!(overhead < int(8), "overhead {overhead} exceeds the HI-mode power");
+        assert!(
+            overhead < int(8),
+            "overhead {overhead} exceeds the HI-mode power"
+        );
         // Exact accounting: recompute from the trace-facing quantities.
         // Episode [1, 3): 2 time units at power 8; the rest at power 1.
         let hi_time = report

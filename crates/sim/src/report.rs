@@ -295,7 +295,11 @@ mod tests {
             busy_time: int(60),
             max_response: vec![Some(int(4)), None],
             energy: int(90),
-            segments: vec![ExecSegment { task: 0, from: int(0), to: int(4) }],
+            segments: vec![ExecSegment {
+                task: 0,
+                from: int(0),
+                to: int(4),
+            }],
         };
         assert_eq!(report.max_recovery(), Some(int(8)));
         assert_eq!(report.utilization(), Rational::new(3, 5));

@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rbs_model::{Criticality, Mode, Task};
 use rbs_timebase::Rational;
 
@@ -40,17 +38,10 @@ pub enum ArrivalScenario {
     },
 }
 
-/// SplitMix64: a tiny stateless hash for per-release jitter derivation.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 fn jitter(seed: u64, task_index: usize, sequence: u64, max_jitter: Rational) -> Rational {
-    let h = splitmix64(seed ^ ((task_index as u64) << 32) ^ sequence);
+    // SplitMix64 as a stateless hash: one step keyed by (seed, task, seq).
+    let mut state = seed ^ ((task_index as u64) << 32) ^ sequence;
+    let h = rbs_rng::splitmix64(&mut state);
     Rational::new((h % 65) as i128, 64) * max_jitter
 }
 
@@ -183,7 +174,7 @@ impl ExecutionScenario {
 #[derive(Debug)]
 pub(crate) struct DemandSource {
     scenario: ExecutionScenario,
-    rng: StdRng,
+    rng: rbs_rng::Rng,
 }
 
 impl DemandSource {
@@ -194,7 +185,7 @@ impl DemandSource {
         };
         DemandSource {
             scenario,
-            rng: StdRng::seed_from_u64(seed),
+            rng: rbs_rng::Rng::seed_from_u64(seed),
         }
     }
 
@@ -210,9 +201,7 @@ impl DemandSource {
             // The model forbids LO tasks from exceeding C(LO).
             return Ok(c_lo);
         }
-        let c_hi = task
-            .params(Mode::Hi)
-            .map_or(c_lo, |p| p.wcet());
+        let c_hi = task.params(Mode::Hi).map_or(c_lo, |p| p.wcet());
         let overruns = match &self.scenario {
             ExecutionScenario::LoWcet => false,
             ExecutionScenario::HiWcet => true,

@@ -208,10 +208,7 @@ mod tests {
     #[test]
     fn segments_are_merged_and_ordered() {
         let set = table1();
-        let report = Simulation::new(set)
-            .horizon(int(40))
-            .run()
-            .expect("runs");
+        let report = Simulation::new(set).horizon(int(40)).run().expect("runs");
         let segments = report.execution_segments();
         assert!(!segments.is_empty());
         for pair in segments.windows(2) {

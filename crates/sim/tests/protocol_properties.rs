@@ -2,185 +2,299 @@
 //! whenever the analysis declares a speed sufficient, the simulator must
 //! observe zero deadline misses, and measured recoveries must stay within
 //! the analytical resetting-time bound.
+//!
+//! Random cases are driven by a seeded deterministic RNG; the two formerly
+//! checked-in proptest regression cases are preserved as explicit unit
+//! tests at the bottom.
 
-use proptest::prelude::*;
 use rbs_core::lo_mode::is_lo_schedulable;
 use rbs_core::resetting::{resetting_time, ResettingBound};
 use rbs_core::speedup::{minimum_speedup, SpeedupBound};
 use rbs_core::AnalysisLimits;
-use rbs_model::{scaled_task_set, ImplicitTaskSpec, ScalingFactors, TaskSet};
+use rbs_model::{scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, Task, TaskSet};
+use rbs_rng::Rng;
 use rbs_sim::{ArrivalScenario, ExecutionScenario, Simulation};
 use rbs_timebase::Rational;
+
+const CASES: usize = 48;
 
 fn int(v: i128) -> Rational {
     Rational::integer(v)
 }
 
-/// Implicit-deadline specs with bounded parameters, plus factors chosen
-/// so the scaled set is LO-schedulable by construction (x from the
-/// density bound, clamped into (0, 1]).
-fn arb_scaled_set() -> impl Strategy<Value = TaskSet> {
-    (
-        prop::collection::vec((3i128..=12, 1i128..=3, 0i128..=2, any::<bool>()), 1..=4),
-        1i128..=3,
-    )
-        .prop_filter_map("need a LO-feasible set", |(rows, y)| {
-            let specs: Vec<ImplicitTaskSpec> = rows
-                .into_iter()
-                .enumerate()
-                .map(|(i, (period, c_lo, extra, is_hi))| {
-                    let c_lo = c_lo.min(period - 1).max(1);
-                    if is_hi {
-                        ImplicitTaskSpec::hi(
-                            format!("h{i}"),
-                            int(period),
-                            int(c_lo),
-                            int((c_lo + extra).min(period)),
-                        )
-                    } else {
-                        ImplicitTaskSpec::lo(format!("l{i}"), int(period), int(c_lo))
-                    }
-                })
-                .collect();
-            let x = rbs_core::lo_mode::minimal_x_density(&specs)?;
-            let x = x.max(Rational::new(1, 100)).min(Rational::ONE);
-            let factors = ScalingFactors::new(x, int(y)).ok()?;
-            let set = scaled_task_set(&specs, factors).ok()?;
-            let limits = AnalysisLimits::default();
-            is_lo_schedulable(&set, &limits).ok()?.then_some(set)
+/// One attempt at an implicit-deadline set with bounded parameters, with
+/// factors chosen so the scaled set is LO-schedulable by construction
+/// (x from the density bound, clamped into (0, 1]). `None` when the draw
+/// fails the feasibility filter.
+fn try_scaled_set(rng: &mut Rng) -> Option<TaskSet> {
+    let rows = rng.gen_range_usize(1, 4);
+    let specs: Vec<ImplicitTaskSpec> = (0..rows)
+        .map(|i| {
+            let period = rng.gen_range_i128(3, 12);
+            let c_lo = rng.gen_range_i128(1, 3).min(period - 1).max(1);
+            let extra = rng.gen_range_i128(0, 2);
+            let is_hi = rng.gen_bool(0.5);
+            if is_hi {
+                ImplicitTaskSpec::hi(
+                    format!("h{i}"),
+                    int(period),
+                    int(c_lo),
+                    int((c_lo + extra).min(period)),
+                )
+            } else {
+                ImplicitTaskSpec::lo(format!("l{i}"), int(period), int(c_lo))
+            }
         })
+        .collect();
+    let y = rng.gen_range_i128(1, 3);
+    let x = rbs_core::lo_mode::minimal_x_density(&specs)?;
+    let x = x.max(Rational::new(1, 100)).min(Rational::ONE);
+    let factors = ScalingFactors::new(x, int(y)).ok()?;
+    let set = scaled_task_set(&specs, factors).ok()?;
+    let limits = AnalysisLimits::default();
+    is_lo_schedulable(&set, &limits).ok()?.then_some(set)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sufficient_speed_means_no_misses(set in arb_scaled_set(), seed in 0u64..1000) {
-        let limits = AnalysisLimits::default();
-        let SpeedupBound::Finite(s_min) =
-            minimum_speedup(&set, &limits).expect("completes").bound()
-        else {
-            return Ok(()); // x = 1 corner: nothing to simulate safely
-        };
-        let speed = s_min.max(Rational::ONE);
-        for (arrivals, scenario) in [
-            (ArrivalScenario::Saturated, ExecutionScenario::HiWcet),
-            (
-                ArrivalScenario::Saturated,
-                ExecutionScenario::RandomOverrun { probability: 0.3, seed },
-            ),
-            (
-                ArrivalScenario::SaturatedWithJitter {
-                    max_jitter: Rational::ONE,
-                    seed,
-                },
-                ExecutionScenario::RandomOverrun { probability: 0.3, seed },
-            ),
-        ] {
-            let report = Simulation::new(set.clone())
-                .speedup(speed)
-                .horizon(int(300))
-                .arrivals(arrivals)
-                .execution(scenario)
-                .run()
-                .expect("simulation runs");
-            prop_assert!(
-                report.misses().is_empty(),
-                "misses at analytically sufficient speed {speed}: {:?}",
-                report.misses()
-            );
-            prop_assert!(report.completed() <= report.released());
-            prop_assert!(report.busy_time() <= report.horizon());
+/// Draws until the feasibility filter accepts.
+fn gen_scaled_set(rng: &mut Rng) -> TaskSet {
+    loop {
+        if let Some(set) = try_scaled_set(rng) {
+            return set;
         }
     }
+}
 
-    #[test]
-    fn measured_recovery_within_analytic_bound(set in arb_scaled_set(), seed in 0u64..1000) {
-        let limits = AnalysisLimits::default();
-        let SpeedupBound::Finite(s_min) =
-            minimum_speedup(&set, &limits).expect("completes").bound()
-        else {
-            return Ok(());
-        };
-        // Give the system real headroom so Δ_R is finite.
-        let speed = s_min.max(Rational::ONE) + Rational::ONE;
-        let ResettingBound::Finite(delta_r) = resetting_time(&set, speed, &limits)
-            .expect("completes")
-            .bound()
-        else {
-            return Ok(());
-        };
-        let report = Simulation::new(set)
-            .speedup(speed)
-            .horizon(int(400))
-            .execution(ExecutionScenario::RandomOverrun { probability: 0.5, seed })
-            .run()
-            .expect("simulation runs");
-        for episode in report.hi_episodes() {
-            if let Some(recovery) = episode.recovery() {
-                prop_assert!(
-                    recovery <= delta_r,
-                    "measured recovery {recovery} exceeds analytic bound {delta_r}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn no_overrun_means_no_hi_mode(set in arb_scaled_set()) {
-        let report = Simulation::new(set)
-            .horizon(int(200))
-            .execution(ExecutionScenario::LoWcet)
-            .run()
-            .expect("simulation runs");
-        prop_assert!(report.hi_episodes().is_empty());
-        prop_assert!(report.misses().is_empty());
-        prop_assert_eq!(report.dropped(), 0);
-    }
-
-    #[test]
-    fn termination_never_increases_recovery(set in arb_scaled_set(), seed in 0u64..1000) {
-        let limits = AnalysisLimits::default();
-        let SpeedupBound::Finite(s_min) =
-            minimum_speedup(&set, &limits).expect("completes").bound()
-        else {
-            return Ok(());
-        };
-        let speed = s_min.max(Rational::ONE) + Rational::ONE;
-        let scenario = ExecutionScenario::RandomOverrun { probability: 0.5, seed };
-        let full = Simulation::new(set.clone())
+fn check_sufficient_speed_means_no_misses(set: &TaskSet, seed: u64) {
+    let limits = AnalysisLimits::default();
+    let SpeedupBound::Finite(s_min) = minimum_speedup(set, &limits).expect("completes").bound()
+    else {
+        return; // x = 1 corner: nothing to simulate safely
+    };
+    let speed = s_min.max(Rational::ONE);
+    for (arrivals, scenario) in [
+        (ArrivalScenario::Saturated, ExecutionScenario::HiWcet),
+        (
+            ArrivalScenario::Saturated,
+            ExecutionScenario::RandomOverrun {
+                probability: 0.3,
+                seed,
+            },
+        ),
+        (
+            ArrivalScenario::SaturatedWithJitter {
+                max_jitter: Rational::ONE,
+                seed,
+            },
+            ExecutionScenario::RandomOverrun {
+                probability: 0.3,
+                seed,
+            },
+        ),
+    ] {
+        let report = Simulation::new(set.clone())
             .speedup(speed)
             .horizon(int(300))
-            .execution(scenario.clone())
-            .run()
-            .expect("runs");
-        let terminated_set = set.with_lo_terminated().expect("valid");
-        let term = Simulation::new(terminated_set)
-            .speedup(speed)
-            .horizon(int(300))
+            .arrivals(arrivals)
             .execution(scenario)
             .run()
-            .expect("runs");
-        prop_assert!(term.misses().is_empty());
-        // Termination frees resources: the *analytic* bound shrinks; the
-        // measured max recovery may vary episode-by-episode, so compare
-        // the analysis, not the noise.
-        let ResettingBound::Finite(full_bound) =
-            resetting_time(&set, speed, &limits).expect("ok").bound()
-        else {
-            return Ok(());
-        };
-        let ResettingBound::Finite(term_bound) = resetting_time(
-            &set.with_lo_terminated().expect("valid"),
-            speed,
-            &limits,
-        )
-        .expect("ok")
-        .bound()
-        else {
-            return Ok(());
-        };
-        prop_assert!(term_bound <= full_bound);
-        prop_assert!(full.misses().is_empty());
+            .expect("simulation runs");
+        assert!(
+            report.misses().is_empty(),
+            "misses at analytically sufficient speed {speed}: {:?}",
+            report.misses()
+        );
+        assert!(report.completed() <= report.released());
+        assert!(report.busy_time() <= report.horizon());
     }
+}
+
+fn check_measured_recovery_within_analytic_bound(set: &TaskSet, seed: u64) {
+    let limits = AnalysisLimits::default();
+    let SpeedupBound::Finite(s_min) = minimum_speedup(set, &limits).expect("completes").bound()
+    else {
+        return;
+    };
+    // Give the system real headroom so Δ_R is finite.
+    let speed = s_min.max(Rational::ONE) + Rational::ONE;
+    let ResettingBound::Finite(delta_r) = resetting_time(set, speed, &limits)
+        .expect("completes")
+        .bound()
+    else {
+        return;
+    };
+    let report = Simulation::new(set.clone())
+        .speedup(speed)
+        .horizon(int(400))
+        .execution(ExecutionScenario::RandomOverrun {
+            probability: 0.5,
+            seed,
+        })
+        .run()
+        .expect("simulation runs");
+    for episode in report.hi_episodes() {
+        if let Some(recovery) = episode.recovery() {
+            assert!(
+                recovery <= delta_r,
+                "measured recovery {recovery} exceeds analytic bound {delta_r}"
+            );
+        }
+    }
+}
+
+fn check_no_overrun_means_no_hi_mode(set: &TaskSet) {
+    let report = Simulation::new(set.clone())
+        .horizon(int(200))
+        .execution(ExecutionScenario::LoWcet)
+        .run()
+        .expect("simulation runs");
+    assert!(report.hi_episodes().is_empty());
+    assert!(report.misses().is_empty());
+    assert_eq!(report.dropped(), 0);
+}
+
+fn check_termination_never_increases_recovery(set: &TaskSet, seed: u64) {
+    let limits = AnalysisLimits::default();
+    let SpeedupBound::Finite(s_min) = minimum_speedup(set, &limits).expect("completes").bound()
+    else {
+        return;
+    };
+    let speed = s_min.max(Rational::ONE) + Rational::ONE;
+    let scenario = ExecutionScenario::RandomOverrun {
+        probability: 0.5,
+        seed,
+    };
+    let full = Simulation::new(set.clone())
+        .speedup(speed)
+        .horizon(int(300))
+        .execution(scenario.clone())
+        .run()
+        .expect("runs");
+    let terminated_set = set.with_lo_terminated().expect("valid");
+    let term = Simulation::new(terminated_set)
+        .speedup(speed)
+        .horizon(int(300))
+        .execution(scenario)
+        .run()
+        .expect("runs");
+    assert!(term.misses().is_empty());
+    // Termination frees resources: the *analytic* bound shrinks; the
+    // measured max recovery may vary episode-by-episode, so compare the
+    // analysis, not the noise.
+    let ResettingBound::Finite(full_bound) =
+        resetting_time(set, speed, &limits).expect("ok").bound()
+    else {
+        return;
+    };
+    let ResettingBound::Finite(term_bound) =
+        resetting_time(&set.with_lo_terminated().expect("valid"), speed, &limits)
+            .expect("ok")
+            .bound()
+    else {
+        return;
+    };
+    assert!(term_bound <= full_bound);
+    assert!(full.misses().is_empty());
+}
+
+#[test]
+fn sufficient_speed_means_no_misses() {
+    let mut rng = Rng::seed_from_u64(0x51e0_0001);
+    for _ in 0..CASES {
+        let set = gen_scaled_set(&mut rng);
+        let seed = rng.gen_range_u64(0, 999);
+        check_sufficient_speed_means_no_misses(&set, seed);
+    }
+}
+
+#[test]
+fn measured_recovery_within_analytic_bound() {
+    let mut rng = Rng::seed_from_u64(0x51e0_0002);
+    for _ in 0..CASES {
+        let set = gen_scaled_set(&mut rng);
+        let seed = rng.gen_range_u64(0, 999);
+        check_measured_recovery_within_analytic_bound(&set, seed);
+    }
+}
+
+#[test]
+fn no_overrun_means_no_hi_mode() {
+    let mut rng = Rng::seed_from_u64(0x51e0_0003);
+    for _ in 0..CASES {
+        let set = gen_scaled_set(&mut rng);
+        check_no_overrun_means_no_hi_mode(&set);
+    }
+}
+
+#[test]
+fn termination_never_increases_recovery() {
+    let mut rng = Rng::seed_from_u64(0x51e0_0004);
+    for _ in 0..CASES {
+        let set = gen_scaled_set(&mut rng);
+        let seed = rng.gen_range_u64(0, 999);
+        check_termination_never_increases_recovery(&set, seed);
+    }
+}
+
+// --- preserved proptest regression cases ---------------------------------
+
+/// First checked-in regression: a single HI task with a tightly prepared
+/// LO deadline (T=3, D(LO)=1, C(LO)=1, C(HI)=2), seed 0.
+fn regression_set_single_hi() -> TaskSet {
+    TaskSet::new(vec![Task::builder("h0", Criticality::Hi)
+        .period(int(3))
+        .deadline_lo(int(1))
+        .deadline_hi(int(3))
+        .wcet_lo(int(1))
+        .wcet_hi(int(2))
+        .build()
+        .expect("valid")])
+}
+
+/// Second checked-in regression: three tasks with a non-integer prepared
+/// deadline (24/11) on the HI task and degraded LO tasks, seed 0.
+fn regression_set_three_tasks() -> TaskSet {
+    TaskSet::new(vec![
+        Task::builder("l0", Criticality::Lo)
+            .period(int(8))
+            .period_hi(int(16))
+            .deadline_lo(int(8))
+            .deadline_hi(int(16))
+            .wcet(int(3))
+            .build()
+            .expect("valid"),
+        Task::builder("h1", Criticality::Hi)
+            .period(int(3))
+            .deadline_lo(Rational::new(24, 11))
+            .deadline_hi(int(3))
+            .wcet_lo(int(1))
+            .wcet_hi(int(2))
+            .build()
+            .expect("valid"),
+        Task::builder("l2", Criticality::Lo)
+            .period(int(6))
+            .period_hi(int(12))
+            .deadline_lo(int(6))
+            .deadline_hi(int(12))
+            .wcet(int(1))
+            .build()
+            .expect("valid"),
+    ])
+}
+
+#[test]
+fn regression_single_hi_task_with_tight_lo_deadline() {
+    let set = regression_set_single_hi();
+    check_sufficient_speed_means_no_misses(&set, 0);
+    check_measured_recovery_within_analytic_bound(&set, 0);
+    check_no_overrun_means_no_hi_mode(&set);
+    check_termination_never_increases_recovery(&set, 0);
+}
+
+#[test]
+fn regression_three_task_set_with_fractional_deadline() {
+    let set = regression_set_three_tasks();
+    check_sufficient_speed_means_no_misses(&set, 0);
+    check_measured_recovery_within_analytic_bound(&set, 0);
+    check_no_overrun_means_no_hi_mode(&set);
+    check_termination_never_increases_recovery(&set, 0);
 }

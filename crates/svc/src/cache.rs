@@ -1,0 +1,217 @@
+//! Sharded LRU cache for analysis results, keyed on canonical task-set
+//! bytes.
+//!
+//! The shard is selected by the canonical form's 64-bit FNV-1a
+//! [`content_hash`](rbs_model::CanonicalTaskSet::content_hash), but the map
+//! inside each shard is keyed on the **full canonical byte string** — a
+//! hash collision can cost a shard imbalance, never a wrong report.
+//!
+//! Recency is tracked with a monotonic use-stamp per entry; eviction scans
+//! the (small, bounded) shard for the minimum stamp. With the default
+//! 16-way sharding and per-shard capacities in the tens, the scan is
+//! cheaper than maintaining an intrusive list and keeps the code free of
+//! unsafe pointer juggling.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rbs_model::CanonicalTaskSet;
+
+const SHARDS: usize = 16;
+
+/// A sharded least-recently-used map from canonical task sets to their
+/// rendered report JSON. Cloning is cheap and shares the shards.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    shards: Arc<Vec<Mutex<Shard>>>,
+    per_shard_capacity: usize,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<Vec<u8>, Entry>,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    stamp: u64,
+    report_json: Arc<str>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` reports in total (rounded up to
+    /// a multiple of the shard count). `capacity == 0` disables caching:
+    /// every lookup misses and inserts are dropped.
+    #[must_use]
+    pub fn new(capacity: usize) -> ResultCache {
+        let per_shard_capacity = capacity.div_ceil(SHARDS);
+        let shards = (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect();
+        ResultCache {
+            shards: Arc::new(shards),
+            per_shard_capacity,
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn shard(&self, key: &CanonicalTaskSet) -> &Mutex<Shard> {
+        let index = (key.content_hash() % SHARDS as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &CanonicalTaskSet) -> Option<Arc<str>> {
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.entries.get_mut(key.bytes()) {
+            Some(entry) => {
+                entry.stamp = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.report_json))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's least-recently
+    /// used entry when it is full.
+    pub fn insert(&self, key: &CanonicalTaskSet, report_json: Arc<str>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if !shard.entries.contains_key(key.bytes())
+            && shard.entries.len() >= self.per_shard_capacity
+        {
+            if let Some(oldest) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.stamp)
+                .map(|(bytes, _)| bytes.clone())
+            {
+                shard.entries.remove(&oldest);
+            }
+        }
+        shard
+            .entries
+            .insert(key.bytes().to_vec(), Entry { stamp, report_json });
+    }
+
+    /// Cached entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").entries.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to analysis since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::{Criticality, Task, TaskSet};
+    use rbs_timebase::Rational;
+
+    fn set(period: i128) -> CanonicalTaskSet {
+        CanonicalTaskSet::of(&TaskSet::new(vec![Task::builder("t", Criticality::Lo)
+            .period(Rational::integer(period))
+            .deadline(Rational::integer(period))
+            .wcet(Rational::ONE)
+            .build()
+            .expect("valid")]))
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = ResultCache::new(8);
+        let key = set(10);
+        assert!(cache.get(&key).is_none());
+        cache.insert(&key, Arc::from("report"));
+        assert_eq!(cache.get(&key).as_deref(), Some("report"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        let key = set(10);
+        cache.insert(&key, Arc::from("report"));
+        assert!(cache.get(&key).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_prefers_the_least_recently_used() {
+        // Capacity 16 → one slot per shard; keys landing in the same shard
+        // evict each other, and a refreshed key survives.
+        let cache = ResultCache::new(16);
+        let keys: Vec<CanonicalTaskSet> = (2..200).map(set).collect();
+        // Find two distinct keys in the same shard.
+        let first = &keys[0];
+        let sibling = keys[1..]
+            .iter()
+            .find(|k| k.content_hash() % SHARDS as u64 == first.content_hash() % SHARDS as u64)
+            .expect("198 keys over 16 shards collide somewhere");
+        cache.insert(first, Arc::from("first"));
+        cache.insert(sibling, Arc::from("sibling"));
+        // `first` was least recently used and the shard held one slot.
+        assert!(cache.get(first).is_none());
+        assert_eq!(cache.get(sibling).as_deref(), Some("sibling"));
+    }
+
+    #[test]
+    fn recency_is_refreshed_by_get() {
+        // Two keys in one shard, capacity two per shard: touching the
+        // older key protects it from the next eviction.
+        let cache = ResultCache::new(32);
+        let keys: Vec<CanonicalTaskSet> = (2..200).map(set).collect();
+        let first = &keys[0];
+        let mut same_shard = keys[1..]
+            .iter()
+            .filter(|k| k.content_hash() % SHARDS as u64 == first.content_hash() % SHARDS as u64);
+        let second = same_shard.next().expect("shard sibling");
+        let third = same_shard.next().expect("second shard sibling");
+        cache.insert(first, Arc::from("first"));
+        cache.insert(second, Arc::from("second"));
+        assert_eq!(cache.get(first).as_deref(), Some("first")); // refresh
+        cache.insert(third, Arc::from("third")); // evicts `second`
+        assert_eq!(cache.get(first).as_deref(), Some("first"));
+        assert!(cache.get(second).is_none());
+        assert_eq!(cache.get(third).as_deref(), Some("third"));
+    }
+}

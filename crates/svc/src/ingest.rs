@@ -1,0 +1,127 @@
+//! Input framing shared by `rbs-svc` and `rbs-experiments analyze`.
+//!
+//! One ingestion function serves the three supported sources:
+//!
+//! * `-` — JSON Lines on stdin: every non-blank line is one task-set
+//!   document;
+//! * a file — a single pretty-printed JSON document, or (when the whole
+//!   file is not one document) JSON Lines;
+//! * a directory — every `*.json` file directly inside it, in sorted
+//!   order, one document per file.
+
+use std::fs;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// One task-set document to analyze, labeled with where it came from
+/// (`stdin:3`, a file path, …) for error messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Human-readable origin of the document.
+    pub label: String,
+    /// The JSON text of the document.
+    pub body: String,
+}
+
+/// Reads every task-set document from `source` (`-` for stdin, a file, or
+/// a directory of `*.json` workloads).
+///
+/// # Errors
+///
+/// Propagates I/O failures; a directory with no `*.json` files yields an
+/// error rather than a silent empty batch.
+pub fn read_source(source: &str) -> io::Result<Vec<Request>> {
+    if source == "-" {
+        let mut text = String::new();
+        io::stdin().read_to_string(&mut text)?;
+        return Ok(split_lines("stdin", &text));
+    }
+    let path = Path::new(source);
+    if path.is_dir() {
+        return read_dir(path);
+    }
+    let text = fs::read_to_string(path)?;
+    // A workload file is usually one (pretty-printed) document; fall back
+    // to JSON Lines when the file as a whole is not a single document.
+    if rbs_json::parse(&text).is_ok() {
+        return Ok(vec![Request {
+            label: source.to_owned(),
+            body: text,
+        }]);
+    }
+    Ok(split_lines(source, &text))
+}
+
+fn read_dir(dir: &Path) -> io::Result<Vec<Request>> {
+    let mut paths: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|entry| entry.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no *.json workloads under {}", dir.display()),
+        ));
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            Ok(Request {
+                label: p.display().to_string(),
+                body: fs::read_to_string(&p)?,
+            })
+        })
+        .collect()
+}
+
+fn split_lines(origin: &str, text: &str) -> Vec<Request> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| Request {
+            label: format!("{origin}:{}", i + 1),
+            body: line.to_owned(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_lines_are_skipped_and_labeled_by_line() {
+        let requests = split_lines("stdin", "[1]\n\n[2]\n   \n[3]");
+        assert_eq!(requests.len(), 3);
+        assert_eq!(requests[0].label, "stdin:1");
+        assert_eq!(requests[1].label, "stdin:3");
+        assert_eq!(requests[2].body, "[3]");
+    }
+
+    #[test]
+    fn directories_yield_sorted_json_files() {
+        let requests = read_source(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/workloads"
+        ))
+        .expect("workloads directory reads");
+        assert_eq!(requests.len(), 3);
+        assert!(requests[0].label.ends_with("table1.json"));
+        assert!(requests[1].label.ends_with("table1_degraded.json"));
+        assert!(requests[2].label.ends_with("terminated.json"));
+    }
+
+    #[test]
+    fn single_document_files_are_one_request() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/workloads/table1.json"
+        );
+        let requests = read_source(path).expect("file reads");
+        assert_eq!(requests.len(), 1);
+        assert!(rbs_json::parse(&requests[0].body).is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! `rbs-svc`: concurrent admission-control service with canonical-form
+//! caching.
+//!
+//! The service turns the exact analyses of `rbs-core` into an online
+//! admission-control endpoint: clients stream task sets (one JSON document
+//! per line), and the service answers each with the full
+//! [`rbs_core::AnalyzeReport`] — LO-mode verdict, Theorem 2's minimum
+//! speedup `s_min`, Corollary 5's `Δ_R` rows, and the sized platform
+//! speed — rendered as one JSON response line.
+//!
+//! Three pieces make it fast and deterministic:
+//!
+//! * **Canonical-form caching** ([`cache`]): every submission is reduced to
+//!   a [`rbs_model::CanonicalTaskSet`]; resubmitting a set that differs
+//!   only in task order or unreduced rationals hits the cache and returns
+//!   the byte-identical report.
+//! * **A fixed-size worker pool** ([`pool`]): analyses fan out over
+//!   `std::thread` workers connected by `mpsc` channels; results are
+//!   collected by submission index, so output order (and content) is
+//!   independent of the worker count.
+//! * **Shared ingestion** ([`ingest`]): the same reader serves JSON Lines
+//!   on stdin (`-`), a single workload file, or a directory of `*.json`
+//!   workloads, and is reused by `rbs-experiments analyze`.
+//!
+//! No external dependencies: the whole service is `std` plus the workspace
+//! crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod ingest;
+pub mod pool;
+mod service;
+
+pub use cache::ResultCache;
+pub use ingest::{read_source, Request};
+pub use pool::WorkerPool;
+pub use service::{BatchStats, Outcome, Response, Service};

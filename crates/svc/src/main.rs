@@ -1,0 +1,87 @@
+//! `rbs-svc` binary: JSONL admission control over stdin/files/directories.
+
+use std::process::ExitCode;
+
+use rbs_core::AnalysisLimits;
+use rbs_svc::{read_source, Outcome, Service, WorkerPool};
+
+const USAGE: &str = "\
+usage: rbs-svc [INPUT] [--jobs N] [--cache-size N]
+
+INPUT is '-' (default: JSON Lines on stdin, one task set per line), a
+workload file, or a directory containing *.json workloads. Every request
+is answered on stdout with one JSON line:
+
+  {\"seq\":N,\"hash\":\"<canonical hash>\",\"cached\":BOOL,\"report\":{...}}
+  {\"seq\":N,\"source\":\"...\",\"error\":\"...\"}
+
+and a summary footer (request counters, cache hits, latency percentiles)
+goes to stderr.
+
+options:
+  --jobs N        worker threads (default: available parallelism)
+  --cache-size N  total cached reports across shards (default: 1024; 0 disables)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = "-".to_owned();
+    let mut jobs: Option<usize> = None;
+    let mut cache_size = 1024usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--jobs" | "--cache-size" => {
+                let flag = args[i].clone();
+                let Some(value) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{flag} requires a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                if flag == "--jobs" {
+                    jobs = Some(value);
+                } else {
+                    cache_size = value;
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                input = other.to_owned();
+                i += 1;
+            }
+        }
+    }
+
+    let pool = match jobs {
+        Some(n) => WorkerPool::new(n),
+        None => WorkerPool::with_available_parallelism(),
+    };
+    let requests = match read_source(&input) {
+        Ok(requests) => requests,
+        Err(error) => {
+            eprintln!("cannot read {input}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Service::new(pool, cache_size, AnalysisLimits::default());
+    let (responses, stats) = service.process_batch(&requests);
+    let mut failed = false;
+    for response in &responses {
+        println!("{}", response.render());
+        failed |= matches!(response.outcome, Outcome::Error(_));
+    }
+    eprintln!("{}", stats.footer(pool.jobs()));
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

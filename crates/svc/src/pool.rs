@@ -1,0 +1,147 @@
+//! A fixed-size `std::thread` worker pool over `mpsc` channels.
+//!
+//! [`WorkerPool::run_ordered`] fans a batch of jobs out to exactly
+//! `jobs` scoped worker threads and collects the results *by submission
+//! index*, so the returned vector is identical for any worker count —
+//! parallelism never changes observable output, only wall-clock time.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+/// A fixed-size worker pool. The pool itself is cheap to construct; each
+/// [`WorkerPool::run_ordered`] call spawns its scoped workers, drains the
+/// job queue, and joins them, so borrowed data can flow into the closure.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    jobs: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `jobs` workers (clamped to at least one).
+    #[must_use]
+    pub fn new(jobs: usize) -> WorkerPool {
+        WorkerPool { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`,
+    /// falling back to one worker when the count is unavailable).
+    #[must_use]
+    pub fn with_available_parallelism() -> WorkerPool {
+        WorkerPool::new(
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub const fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f(index, item)` for every item and returns the results in
+    /// submission order, regardless of which worker finished first.
+    ///
+    /// With one worker (or one item) the items run inline on the calling
+    /// thread — the degenerate pool is just a loop.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins all workers first).
+    pub fn run_ordered<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        let (job_tx, job_rx) = mpsc::channel::<(usize, T)>();
+        for entry in items.into_iter().enumerate() {
+            job_tx.send(entry).expect("receiver lives until scope ends");
+        }
+        drop(job_tx); // workers see a closed queue once it drains
+        let job_rx = Mutex::new(job_rx);
+
+        let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let result_tx = result_tx.clone();
+                let job_rx = &job_rx;
+                let f = &f;
+                scope.spawn(move || loop {
+                    // Hold the lock only for the dequeue, not the work.
+                    let job = job_rx.lock().expect("queue lock").try_recv();
+                    match job {
+                        Ok((index, item)) => {
+                            if result_tx.send((index, f(index, item))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break, // queue fully drained
+                    }
+                });
+            }
+            drop(result_tx);
+            for (index, result) in result_rx {
+                results[index] = Some(result);
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every submitted job reports back"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.run_ordered(items, |i, v| {
+            assert_eq!(i, v);
+            // Stagger completion times so out-of-order finishes happen.
+            std::thread::sleep(std::time::Duration::from_micros(((v * 37) % 50) as u64));
+            v * v
+        });
+        assert_eq!(out, (0..100).map(|v| v * v).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let items: Vec<u64> = (0..64).collect();
+        let one = WorkerPool::new(1).run_ordered(items.clone(), |_, v| v.wrapping_mul(v) ^ 17);
+        let eight = WorkerPool::new(8).run_ordered(items, |_, v| v.wrapping_mul(v) ^ 17);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn empty_batches_and_oversized_pools_are_fine() {
+        let pool = WorkerPool::new(16);
+        let out: Vec<i32> = pool.run_ordered(Vec::<i32>::new(), |_, v| v);
+        assert!(out.is_empty());
+        let out = pool.run_ordered(vec![5], |_, v| v + 1);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn zero_becomes_one_worker() {
+        assert_eq!(WorkerPool::new(0).jobs(), 1);
+        assert!(WorkerPool::with_available_parallelism().jobs() >= 1);
+    }
+}

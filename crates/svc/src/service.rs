@@ -1,0 +1,257 @@
+//! The admission-control service: JSONL requests in, JSONL reports out.
+//!
+//! Each request line is one task-set document (the same format as
+//! `examples/workloads/*.json`). The service canonicalizes the set,
+//! consults the sharded LRU [`ResultCache`], and analyzes misses on the
+//! fixed-size [`WorkerPool`]; duplicate submissions inside one batch are
+//! coalesced so the analysis runs once. Responses come back in submission
+//! order and are bit-for-bit independent of the worker count.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rbs_core::{analyze, AnalysisLimits};
+use rbs_json::Json;
+use rbs_model::{CanonicalTaskSet, TaskSet};
+
+use crate::cache::ResultCache;
+use crate::ingest::Request;
+use crate::pool::WorkerPool;
+
+/// The admission-control service. Cloning shares the cache (and its
+/// hit/miss counters) with the original.
+#[derive(Debug, Clone)]
+pub struct Service {
+    pool: WorkerPool,
+    cache: ResultCache,
+    limits: AnalysisLimits,
+}
+
+/// What the service decided for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The set was analyzed (or found in the cache).
+    Report {
+        /// Hex content hash of the canonical form.
+        hash: String,
+        /// Whether the report came out of the cache.
+        cached: bool,
+        /// The rendered [`rbs_core::AnalyzeReport`] JSON.
+        report_json: Arc<str>,
+    },
+    /// The request could not be served (parse error, analysis failure).
+    Error(String),
+}
+
+/// One response line, paired with the submission index (`seq`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Submission index within the batch.
+    pub seq: usize,
+    /// Origin label of the request (file path or `stdin:N`).
+    pub label: String,
+    /// The verdict.
+    pub outcome: Outcome,
+}
+
+impl Response {
+    /// Renders the response as one JSONL line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match &self.outcome {
+            Outcome::Report {
+                hash,
+                cached,
+                report_json,
+            } => format!(
+                "{{\"seq\":{},\"hash\":\"{hash}\",\"cached\":{cached},\"report\":{report_json}}}",
+                self.seq
+            ),
+            Outcome::Error(message) => format!(
+                "{{\"seq\":{},\"source\":{},\"error\":{}}}",
+                self.seq,
+                Json::Str(self.label.clone()).render(),
+                Json::Str(message.clone()).render()
+            ),
+        }
+    }
+}
+
+/// Counters and per-request latencies for one batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub served: usize,
+    /// Requests answered with a report.
+    pub ok: usize,
+    /// Requests answered with an error.
+    pub errors: usize,
+    /// Requests answered from the cache.
+    pub cache_hits: usize,
+    /// Analyses actually executed (misses after in-batch coalescing).
+    pub analyzed: usize,
+    /// Per-request service time in microseconds (parse + analysis share),
+    /// indexed by `seq`.
+    pub latencies_micros: Vec<u64>,
+}
+
+impl BatchStats {
+    /// One-line summary footer for the CLI.
+    #[must_use]
+    pub fn footer(&self, jobs: usize) -> String {
+        let mut sorted = self.latencies_micros.clone();
+        sorted.sort_unstable();
+        let p50 = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        let max = sorted.last().copied().unwrap_or(0);
+        let mean = if sorted.is_empty() {
+            0
+        } else {
+            sorted.iter().sum::<u64>() / sorted.len() as u64
+        };
+        format!(
+            "rbs-svc: served={} ok={} errors={} cache_hits={} analyzed={} jobs={jobs} \
+             latency_micros{{p50={p50} mean={mean} max={max}}}",
+            self.served, self.ok, self.errors, self.cache_hits, self.analyzed
+        )
+    }
+}
+
+/// A parsed request waiting for analysis.
+struct Pending {
+    canonical: CanonicalTaskSet,
+    set: TaskSet,
+}
+
+/// Per-request bookkeeping between the parse pass and response assembly.
+enum Slot {
+    Done(Outcome),
+    /// Index into the pending (deduplicated) job list.
+    Waiting(usize),
+}
+
+impl Service {
+    /// A service with `pool` workers and a result cache holding up to
+    /// `cache_capacity` reports.
+    #[must_use]
+    pub fn new(pool: WorkerPool, cache_capacity: usize, limits: AnalysisLimits) -> Service {
+        Service {
+            pool,
+            cache: ResultCache::new(cache_capacity),
+            limits,
+        }
+    }
+
+    /// The shared result cache.
+    #[must_use]
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Serves one batch of requests, returning responses in submission
+    /// order plus the batch counters.
+    #[must_use]
+    pub fn process_batch(&self, requests: &[Request]) -> (Vec<Response>, BatchStats) {
+        let mut stats = BatchStats {
+            served: requests.len(),
+            latencies_micros: vec![0; requests.len()],
+            ..BatchStats::default()
+        };
+
+        // Pass 1 (sequential): parse, canonicalize, consult the cache, and
+        // coalesce duplicate submissions onto one analysis job.
+        let mut slots: Vec<Slot> = Vec::with_capacity(requests.len());
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut job_of: HashMap<Vec<u8>, usize> = HashMap::new();
+        for (seq, request) in requests.iter().enumerate() {
+            let start = Instant::now();
+            let slot = match rbs_json::from_str::<TaskSet>(&request.body) {
+                Err(error) => Slot::Done(Outcome::Error(format!("invalid task set: {error}"))),
+                Ok(set) => {
+                    let canonical = CanonicalTaskSet::of(&set);
+                    match self.cache.get(&canonical) {
+                        Some(report_json) => {
+                            stats.cache_hits += 1;
+                            Slot::Done(Outcome::Report {
+                                hash: canonical.to_string(),
+                                cached: true,
+                                report_json,
+                            })
+                        }
+                        None => {
+                            let job =
+                                *job_of.entry(canonical.bytes().to_vec()).or_insert_with(|| {
+                                    pending.push(Pending { canonical, set });
+                                    pending.len() - 1
+                                });
+                            Slot::Waiting(job)
+                        }
+                    }
+                }
+            };
+            stats.latencies_micros[seq] = elapsed_micros(start);
+            slots.push(slot);
+        }
+
+        // Pass 2 (parallel): analyze the deduplicated misses on the pool.
+        stats.analyzed = pending.len();
+        let limits = self.limits;
+        let results: Vec<(CanonicalTaskSet, Result<Arc<str>, String>, u64)> =
+            self.pool.run_ordered(pending, |_, job| {
+                let start = Instant::now();
+                let outcome = analyze(job.set, &limits)
+                    .map(|report| Arc::from(rbs_json::to_string(&report)))
+                    .map_err(|error| format!("analysis failed: {error}"));
+                (job.canonical, outcome, elapsed_micros(start))
+            });
+
+        // Pass 3 (sequential): fill the cache and assemble responses.
+        for (canonical, outcome, _) in &results {
+            if let Ok(report_json) = outcome {
+                self.cache.insert(canonical, Arc::clone(report_json));
+            }
+        }
+        let responses = slots
+            .into_iter()
+            .enumerate()
+            .map(|(seq, slot)| {
+                let outcome = match slot {
+                    Slot::Done(outcome) => outcome,
+                    Slot::Waiting(job) => {
+                        let (canonical, result, micros) = &results[job];
+                        stats.latencies_micros[seq] += micros;
+                        match result {
+                            Ok(report_json) => Outcome::Report {
+                                hash: canonical.to_string(),
+                                cached: false,
+                                report_json: Arc::clone(report_json),
+                            },
+                            Err(message) => Outcome::Error(message.clone()),
+                        }
+                    }
+                };
+                match &outcome {
+                    Outcome::Report { .. } => stats.ok += 1,
+                    Outcome::Error(_) => stats.errors += 1,
+                }
+                Response {
+                    seq,
+                    label: requests[seq].label.clone(),
+                    outcome,
+                }
+            })
+            .collect();
+        (responses, stats)
+    }
+
+    /// Serves a single request (a one-element batch).
+    #[must_use]
+    pub fn handle(&self, request: &Request) -> Response {
+        let (mut responses, _) = self.process_batch(std::slice::from_ref(request));
+        responses.remove(0)
+    }
+}
+
+fn elapsed_micros(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}

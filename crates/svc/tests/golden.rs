@@ -1,0 +1,160 @@
+//! Golden tests: the service must answer with exactly the bytes a direct
+//! `rbs_core::analyze` call renders, and resubmissions must be cache hits
+//! with the identical report.
+
+use rbs_core::{analyze, AnalysisLimits};
+use rbs_model::TaskSet;
+use rbs_svc::{read_source, Outcome, Request, Service, WorkerPool};
+
+fn workloads_dir() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/workloads").to_owned()
+}
+
+fn service(jobs: usize) -> Service {
+    Service::new(WorkerPool::new(jobs), 64, AnalysisLimits::default())
+}
+
+#[test]
+fn responses_match_direct_analyze_bytes_for_every_workload() {
+    let requests = read_source(&workloads_dir()).expect("workloads readable");
+    assert_eq!(requests.len(), 3, "expected the three shipped workloads");
+    let svc = service(4);
+    let (responses, stats) = svc.process_batch(&requests);
+    assert_eq!(stats.ok, requests.len());
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.analyzed, requests.len());
+    for (request, response) in requests.iter().zip(&responses) {
+        let Outcome::Report {
+            cached,
+            report_json,
+            ..
+        } = &response.outcome
+        else {
+            panic!("{}: expected a report, got {:?}", request.label, response);
+        };
+        assert!(!cached);
+        let set: TaskSet = rbs_json::from_str(&request.body).expect("workload parses");
+        let direct = analyze(set, &AnalysisLimits::default()).expect("analysis completes");
+        assert_eq!(
+            report_json.as_ref(),
+            rbs_json::to_string(&direct),
+            "{}: service bytes differ from direct analyze()",
+            request.label
+        );
+    }
+}
+
+#[test]
+fn resubmission_is_a_cache_hit_with_the_identical_report() {
+    let requests = read_source(&workloads_dir()).expect("workloads readable");
+    let svc = service(2);
+    let (first, _) = svc.process_batch(&requests);
+    let (second, stats) = svc.process_batch(&requests);
+    assert_eq!(stats.cache_hits, requests.len());
+    assert_eq!(stats.analyzed, 0);
+    for (a, b) in first.iter().zip(&second) {
+        let (
+            Outcome::Report {
+                hash: ha,
+                report_json: ra,
+                ..
+            },
+            Outcome::Report {
+                hash: hb,
+                cached,
+                report_json: rb,
+            },
+        ) = (&a.outcome, &b.outcome)
+        else {
+            panic!("expected reports");
+        };
+        assert!(cached, "second submission must be served from the cache");
+        assert_eq!(ha, hb);
+        assert_eq!(ra, rb, "cached report differs from the computed one");
+    }
+}
+
+#[test]
+fn task_order_does_not_defeat_the_cache() {
+    let requests = read_source(&workloads_dir()).expect("workloads readable");
+    let svc = service(2);
+    let _ = svc.process_batch(&requests);
+    // Reverse every set's task order; the canonical form must still hit.
+    let reversed: Vec<Request> = requests
+        .iter()
+        .map(|r| {
+            let set: TaskSet = rbs_json::from_str(&r.body).expect("parses");
+            let mut tasks: Vec<_> = set.iter().cloned().collect();
+            tasks.reverse();
+            Request {
+                label: format!("{} (reversed)", r.label),
+                body: rbs_json::to_string(&TaskSet::new(tasks)),
+            }
+        })
+        .collect();
+    let (responses, stats) = svc.process_batch(&reversed);
+    assert_eq!(stats.cache_hits, reversed.len());
+    for response in &responses {
+        assert!(matches!(
+            &response.outcome,
+            Outcome::Report { cached: true, .. }
+        ));
+    }
+}
+
+#[test]
+fn duplicate_lines_in_one_batch_are_coalesced() {
+    let requests = read_source(&workloads_dir()).expect("workloads readable");
+    let doubled: Vec<Request> = requests.iter().chain(&requests).cloned().collect();
+    let svc = service(4);
+    let (responses, stats) = svc.process_batch(&doubled);
+    assert_eq!(stats.served, doubled.len());
+    assert_eq!(stats.analyzed, requests.len(), "duplicates must coalesce");
+    for (a, b) in responses[..requests.len()]
+        .iter()
+        .zip(&responses[requests.len()..])
+    {
+        let (
+            Outcome::Report {
+                report_json: ra, ..
+            },
+            Outcome::Report {
+                report_json: rb, ..
+            },
+        ) = (&a.outcome, &b.outcome)
+        else {
+            panic!("expected reports");
+        };
+        assert_eq!(ra, rb);
+    }
+}
+
+#[test]
+fn worker_count_never_changes_the_rendered_responses() {
+    let requests = read_source(&workloads_dir()).expect("workloads readable");
+    let render = |jobs: usize| -> Vec<String> {
+        let (responses, _) = service(jobs).process_batch(&requests);
+        responses.iter().map(rbs_svc::Response::render).collect()
+    };
+    assert_eq!(render(1), render(8));
+}
+
+#[test]
+fn malformed_lines_get_error_responses_without_poisoning_the_batch() {
+    let mut requests = read_source(&workloads_dir()).expect("workloads readable");
+    requests.insert(
+        1,
+        Request {
+            label: "stdin:2".to_owned(),
+            body: "{\"not\": \"a task set\"}".to_owned(),
+        },
+    );
+    let svc = service(2);
+    let (responses, stats) = svc.process_batch(&requests);
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.ok, requests.len() - 1);
+    let line = responses[1].render();
+    assert!(line.contains("\"error\":"), "{line}");
+    assert!(line.contains("stdin:2"), "{line}");
+}

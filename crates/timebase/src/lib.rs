@@ -30,7 +30,7 @@
 //! ```
 //!
 //! All types are `Send + Sync`, implement the common std traits, and
-//! (de)serialize with `serde` as a `{ "num": .., "den": .. }` pair.
+//! (de)serialize via `rbs-json` as a `{ "num": .., "den": .. }` pair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,7 +6,7 @@ use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
+use rbs_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{ParseErrorReason, ParseRationalError, RationalOverflowError};
 use crate::euclid::{gcd_i128, lcm_i128};
@@ -36,37 +36,42 @@ use crate::euclid::{gcd_i128, lcm_i128};
 /// assert_eq!(total.floor(), 0);
 /// assert_eq!((total * Rational::from(4)).ceil(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(try_from = "RawRational", into = "RawRational")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rational {
     num: i128,
     den: i128,
 }
 
-/// Serde wire format for [`Rational`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct RawRational {
-    num: i128,
-    den: i128,
-}
-
-impl From<Rational> for RawRational {
-    fn from(r: Rational) -> Self {
-        RawRational {
-            num: r.num,
-            den: r.den,
-        }
+/// Wire format: `{"num": i128, "den": i128}`. Unreduced input is normalized,
+/// a zero denominator is rejected.
+impl ToJson for Rational {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("num".to_owned(), Json::Int(self.num)),
+            ("den".to_owned(), Json::Int(self.den)),
+        ])
     }
 }
 
-impl TryFrom<RawRational> for Rational {
-    type Error = String;
-
-    fn try_from(raw: RawRational) -> Result<Self, Self::Error> {
-        if raw.den == 0 {
-            return Err("rational denominator must be non-zero".to_owned());
+impl FromJson for Rational {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let num = value
+            .field("num")?
+            .as_i128()
+            .ok_or_else(|| JsonError::new("rational `num` must be an integer"))?;
+        let den = value
+            .field("den")?
+            .as_i128()
+            .ok_or_else(|| JsonError::new("rational `den` must be an integer"))?;
+        if den == 0 {
+            return Err(JsonError::new("rational denominator must be non-zero"));
         }
-        Ok(Rational::new(raw.num, raw.den))
+        if num == i128::MIN || den == i128::MIN {
+            return Err(JsonError::new(
+                "rational component magnitude exceeds i128::MAX",
+            ));
+        }
+        Ok(Rational::new(num, den))
     }
 }
 
@@ -840,22 +845,23 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let value = r(-7, 12);
-        let json = serde_json::to_string(&value).expect("serialize");
-        let back: Rational = serde_json::from_str(&json).expect("deserialize");
+        let json = rbs_json::to_string(&value);
+        assert_eq!(json, r#"{"num":-7,"den":12}"#);
+        let back: Rational = rbs_json::from_str(&json).expect("deserialize");
         assert_eq!(back, value);
     }
 
     #[test]
-    fn serde_rejects_zero_denominator() {
-        let result: Result<Rational, _> = serde_json::from_str(r#"{"num":1,"den":0}"#);
+    fn json_rejects_zero_denominator() {
+        let result: Result<Rational, _> = rbs_json::from_str(r#"{"num":1,"den":0}"#);
         assert!(result.is_err());
     }
 
     #[test]
-    fn serde_normalizes_unreduced_input() {
-        let value: Rational = serde_json::from_str(r#"{"num":2,"den":4}"#).expect("deserialize");
+    fn json_normalizes_unreduced_input() {
+        let value: Rational = rbs_json::from_str(r#"{"num":2,"den":4}"#).expect("deserialize");
         assert_eq!(value, r(1, 2));
     }
 

@@ -1,113 +1,168 @@
-//! Property-based tests for `Rational` arithmetic and ordering.
+//! Property-based tests for `Rational` arithmetic and ordering, driven by a
+//! seeded deterministic RNG (no external property-testing framework).
 
-use proptest::prelude::*;
+use rbs_rng::Rng;
 use rbs_timebase::Rational;
 
-fn small_rational() -> impl Strategy<Value = Rational> {
-    (-1_000_000i128..=1_000_000, 1i128..=1_000_000).prop_map(|(n, d)| Rational::new(n, d))
+const CASES: usize = 512;
+
+fn small_rational(rng: &mut Rng) -> Rational {
+    Rational::new(
+        rng.gen_range_i128(-1_000_000, 1_000_000),
+        rng.gen_range_i128(1, 1_000_000),
+    )
 }
 
-fn positive_rational() -> impl Strategy<Value = Rational> {
-    (1i128..=100_000, 1i128..=1_000).prop_map(|(n, d)| Rational::new(n, d))
+fn positive_rational(rng: &mut Rng) -> Rational {
+    Rational::new(rng.gen_range_i128(1, 100_000), rng.gen_range_i128(1, 1_000))
 }
 
-proptest! {
-    #[test]
-    fn add_is_commutative(a in small_rational(), b in small_rational()) {
-        prop_assert_eq!(a + b, b + a);
+#[test]
+fn add_is_commutative() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0001);
+    for _ in 0..CASES {
+        let (a, b) = (small_rational(&mut rng), small_rational(&mut rng));
+        assert_eq!(a + b, b + a, "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn add_is_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
-        prop_assert_eq!((a + b) + c, a + (b + c));
+#[test]
+fn add_is_associative() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0002);
+    for _ in 0..CASES {
+        let a = small_rational(&mut rng);
+        let b = small_rational(&mut rng);
+        let c = small_rational(&mut rng);
+        assert_eq!((a + b) + c, a + (b + c), "a={a} b={b} c={c}");
     }
+}
 
-    #[test]
-    fn mul_distributes_over_add(
-        a in small_rational(),
-        b in small_rational(),
-        c in small_rational(),
-    ) {
-        prop_assert_eq!(a * (b + c), a * b + a * c);
+#[test]
+fn mul_distributes_over_add() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0003);
+    for _ in 0..CASES {
+        let a = small_rational(&mut rng);
+        let b = small_rational(&mut rng);
+        let c = small_rational(&mut rng);
+        assert_eq!(a * (b + c), a * b + a * c, "a={a} b={b} c={c}");
     }
+}
 
-    #[test]
-    fn sub_is_inverse_of_add(a in small_rational(), b in small_rational()) {
-        prop_assert_eq!(a + b - b, a);
+#[test]
+fn sub_is_inverse_of_add() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0004);
+    for _ in 0..CASES {
+        let (a, b) = (small_rational(&mut rng), small_rational(&mut rng));
+        assert_eq!(a + b - b, a, "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn div_is_inverse_of_mul(a in small_rational(), b in positive_rational()) {
-        prop_assert_eq!(a * b / b, a);
+#[test]
+fn div_is_inverse_of_mul() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0005);
+    for _ in 0..CASES {
+        let (a, b) = (small_rational(&mut rng), positive_rational(&mut rng));
+        assert_eq!(a * b / b, a, "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn result_is_always_reduced(a in small_rational(), b in small_rational()) {
+#[test]
+fn result_is_always_reduced() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0006);
+    for _ in 0..CASES {
+        let (a, b) = (small_rational(&mut rng), small_rational(&mut rng));
         let c = a + b;
-        prop_assert!(c.denom() > 0);
-        prop_assert_eq!(rbs_timebase::gcd_i128(c.numer(), c.denom()), if c.is_zero() { 1 } else { rbs_timebase::gcd_i128(c.numer(), c.denom()) });
+        assert!(c.denom() > 0);
         // Reduced: gcd(|num|, den) == 1 unless zero (0/1 has gcd 1 too).
         let g = rbs_timebase::gcd_i128(c.numer().abs().max(1), c.denom());
-        prop_assert_eq!(g, if c.is_zero() { c.denom() } else { 1 });
+        assert_eq!(g, if c.is_zero() { c.denom() } else { 1 }, "c={c}");
     }
+}
 
-    #[test]
-    fn ordering_agrees_with_f64_when_far_apart(a in small_rational(), b in small_rational()) {
+#[test]
+fn ordering_agrees_with_f64_when_far_apart() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0007);
+    for _ in 0..CASES {
+        let (a, b) = (small_rational(&mut rng), small_rational(&mut rng));
         let (fa, fb) = (a.to_f64(), b.to_f64());
         if (fa - fb).abs() > 1e-6 {
-            prop_assert_eq!(a < b, fa < fb);
+            assert_eq!(a < b, fa < fb, "a={a} b={b}");
         }
     }
+}
 
-    #[test]
-    fn ordering_is_total_and_antisymmetric(a in small_rational(), b in small_rational()) {
-        use std::cmp::Ordering;
+#[test]
+fn ordering_is_total_and_antisymmetric() {
+    use std::cmp::Ordering;
+    let mut rng = Rng::seed_from_u64(0x5eed_0008);
+    for _ in 0..CASES {
+        let (a, b) = (small_rational(&mut rng), small_rational(&mut rng));
         match a.cmp(&b) {
-            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
-            Ordering::Equal => prop_assert_eq!(a, b),
+            Ordering::Less => assert_eq!(b.cmp(&a), Ordering::Greater, "a={a} b={b}"),
+            Ordering::Greater => assert_eq!(b.cmp(&a), Ordering::Less, "a={a} b={b}"),
+            Ordering::Equal => assert_eq!(a, b),
         }
     }
+}
 
-    #[test]
-    fn mod_floor_is_in_range(a in small_rational(), b in positive_rational()) {
+#[test]
+fn mod_floor_is_in_range() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0009);
+    for _ in 0..CASES {
+        let (a, b) = (small_rational(&mut rng), positive_rational(&mut rng));
         let m = a.mod_floor(b);
-        prop_assert!(m >= Rational::ZERO);
-        prop_assert!(m < b);
+        assert!(m >= Rational::ZERO, "a={a} b={b}");
+        assert!(m < b, "a={a} b={b}");
         // a = floor(a/b)*b + m exactly.
-        prop_assert_eq!(Rational::integer(a.floor_div(b)) * b + m, a);
+        assert_eq!(Rational::integer(a.floor_div(b)) * b + m, a, "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn floor_ceil_bracket_value(a in small_rational()) {
+#[test]
+fn floor_ceil_bracket_value() {
+    let mut rng = Rng::seed_from_u64(0x5eed_000a);
+    for _ in 0..CASES {
+        let a = small_rational(&mut rng);
         let f = Rational::integer(a.floor());
         let c = Rational::integer(a.ceil());
-        prop_assert!(f <= a && a <= c);
-        prop_assert!(c - f <= Rational::ONE);
+        assert!(f <= a && a <= c, "a={a}");
+        assert!(c - f <= Rational::ONE, "a={a}");
         if a.is_integer() {
-            prop_assert_eq!(f, c);
+            assert_eq!(f, c, "a={a}");
         }
     }
+}
 
-    #[test]
-    fn lcm_is_common_multiple(a in positive_rational(), b in positive_rational()) {
+#[test]
+fn lcm_is_common_multiple() {
+    let mut rng = Rng::seed_from_u64(0x5eed_000b);
+    for _ in 0..CASES {
+        let (a, b) = (positive_rational(&mut rng), positive_rational(&mut rng));
         if let Some(l) = a.lcm(b) {
-            prop_assert!((l / a).is_integer());
-            prop_assert!((l / b).is_integer());
+            assert!((l / a).is_integer(), "a={a} b={b}");
+            assert!((l / b).is_integer(), "a={a} b={b}");
         }
     }
+}
 
-    #[test]
-    fn display_parse_round_trip(a in small_rational()) {
+#[test]
+fn display_parse_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x5eed_000c);
+    for _ in 0..CASES {
+        let a = small_rational(&mut rng);
         let text = a.to_string();
         let back: Rational = text.parse().expect("display output parses");
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a);
     }
+}
 
-    #[test]
-    fn serde_round_trip(a in small_rational()) {
-        let json = serde_json::to_string(&a).expect("serialize");
-        let back: Rational = serde_json::from_str(&json).expect("deserialize");
-        prop_assert_eq!(back, a);
+#[test]
+fn json_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x5eed_000d);
+    for _ in 0..CASES {
+        let a = small_rational(&mut rng);
+        let json = rbs_json::to_string(&a);
+        let back: Rational = rbs_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, a);
     }
 }

@@ -56,9 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     match best {
-        Some((x, y)) => println!(
-            "\ngentlest configuration meeting s <= 2 and Delta_R <= 5 s: x = {x}, y = {y}"
-        ),
+        Some((x, y)) => {
+            println!("\ngentlest configuration meeting s <= 2 and Delta_R <= 5 s: x = {x}, y = {y}")
+        }
         None => println!("\nno configuration meets the deployment constraint"),
     }
     Ok(())

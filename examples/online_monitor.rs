@@ -40,11 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  {} episodes, {} curtailed by the monitor, {} jobs dropped",
         report.hi_episodes().len(),
-        report
-            .hi_episodes()
-            .iter()
-            .filter(|e| e.curtailed)
-            .count(),
+        report.hi_episodes().iter().filter(|e| e.curtailed).count(),
         report.dropped()
     );
     println!("  deadline misses: {}", report.misses().len());

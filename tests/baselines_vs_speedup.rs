@@ -43,9 +43,7 @@ fn acceptance_hierarchy_on_random_sets() {
                     "seed {seed}: speedup lost an accepted set"
                 );
             }
-            if no_speedup::is_schedulable_with_speedup(&set, int(2), &limits)
-                .expect("completes")
-            {
+            if no_speedup::is_schedulable_with_speedup(&set, int(2), &limits).expect("completes") {
                 speedup2_accepts += 1;
             }
         }

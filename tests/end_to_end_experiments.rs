@@ -51,6 +51,7 @@ fn fig6_quick_campaign_shows_the_paper_trends() {
     let results = fig6::run(&fig6::Fig6Config {
         sets_per_point: 16,
         seed: 11,
+        jobs: 2,
     });
     assert_eq!(results.points.len(), 5);
     // "As the system utilization U_bound increases, both the required
@@ -74,6 +75,7 @@ fn fig7_quick_campaign_shows_the_speedup_gain() {
         sets_per_point: 10,
         grid_step_twentieths: 5,
         seed: 3,
+        jobs: 2,
     });
     assert!(!results.points.is_empty());
     let total_speedup: f64 = results.points.iter().map(|p| p.speedup).sum();
@@ -88,4 +90,34 @@ fn fig7_quick_campaign_shows_the_speedup_gain() {
 fn sim_validation_holds() {
     let results = sim_validate::run();
     assert!(results.rows.iter().all(|r| r.misses == 0));
+}
+
+#[test]
+fn fig6_results_are_identical_for_any_worker_count() {
+    // The campaign fans per-set analyses over the rbs-svc worker pool;
+    // aggregation happens in generation order, so --jobs must never change
+    // a single reported number.
+    let config = |jobs| fig6::Fig6Config {
+        sets_per_point: 12,
+        seed: 2015,
+        jobs,
+    };
+    let serial = fig6::run(&config(1));
+    let parallel = fig6::run(&config(8));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_string(), parallel.to_string());
+}
+
+#[test]
+fn fig7_results_are_identical_for_any_worker_count() {
+    let config = |jobs| fig7::Fig7Config {
+        sets_per_point: 6,
+        grid_step_twentieths: 5,
+        seed: 77,
+        jobs,
+    };
+    let serial = fig7::run(&config(1));
+    let parallel = fig7::run(&config(8));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_string(), parallel.to_string());
 }

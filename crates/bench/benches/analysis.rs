@@ -7,6 +7,7 @@ use rbs_core::dbf::{hi_profile, total_dbf_hi};
 use rbs_core::lo_mode::{is_lo_schedulable, minimal_x_density};
 use rbs_core::resetting::resetting_time;
 use rbs_core::speedup::minimum_speedup;
+use rbs_core::tuning::minimal_speed_within_budget;
 use rbs_core::AnalysisLimits;
 use rbs_gen::fms;
 use rbs_gen::synth::SynthConfig;
@@ -25,6 +26,37 @@ fn main() {
         let set = synthetic_set(size, 42);
         runner.bench(&format!("minimum_speedup/synthetic/{size}"), || {
             minimum_speedup(black_box(&set), &limits).expect("completes")
+        });
+    }
+
+    for size in [10usize, 20, 40] {
+        let set = synthetic_set(size, 42);
+        let profile = hi_profile(&set);
+        runner.bench(&format!("sup_ratio/hi_profile/{size}"), || {
+            black_box(&profile).sup_ratio(&limits).expect("completes")
+        });
+        // The exact rational reference on the same profile — the
+        // dispatch/exact pair quantifies the integer fast path's gain.
+        runner.bench(&format!("sup_ratio_exact/hi_profile/{size}"), || {
+            black_box(&profile)
+                .sup_ratio_exact(&limits)
+                .expect("completes")
+        });
+    }
+
+    for size in [10usize, 20] {
+        let set = synthetic_set(size, 43);
+        let profile = hi_arrival_profile(&set);
+        let speed = Rational::integer(3);
+        runner.bench(&format!("first_fit/adb_s3/{size}"), || {
+            black_box(&profile)
+                .first_fit(speed, &limits)
+                .expect("completes")
+        });
+        runner.bench(&format!("first_fit_exact/adb_s3/{size}"), || {
+            black_box(&profile)
+                .first_fit_exact(speed, &limits)
+                .expect("completes")
         });
     }
 
@@ -65,6 +97,35 @@ fn main() {
         minimal_x_density(black_box(&specs))
     });
 
+    let tolerance = Rational::new(1, 64);
+    let set = table1();
+    runner.bench("tuning/minimal_speed_within_budget/table1", || {
+        minimal_speed_within_budget(
+            black_box(&set),
+            Rational::integer(10),
+            Rational::integer(4),
+            tolerance,
+            &limits,
+        )
+        .expect("completes")
+    });
+    for size in [10usize, 20] {
+        let set = synthetic_set(size, 47);
+        runner.bench(
+            &format!("tuning/minimal_speed_within_budget/synthetic/{size}"),
+            || {
+                minimal_speed_within_budget(
+                    black_box(&set),
+                    Rational::integer(200),
+                    Rational::integer(4),
+                    tolerance,
+                    &limits,
+                )
+                .expect("completes")
+            },
+        );
+    }
+
     let specs = fms::specs(Rational::TWO);
     runner.bench("fms_full_analysis", || {
         let x = minimal_x_density(black_box(&specs)).expect("feasible");
@@ -74,4 +135,6 @@ fn main() {
         let r = resetting_time(&set, Rational::TWO, &limits).expect("completes");
         (s, r)
     });
+
+    runner.finish();
 }

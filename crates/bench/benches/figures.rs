@@ -40,4 +40,6 @@ fn main() {
     runner.bench("fig7_schedulability_region_4x4_pooled", || {
         black_box(fig7::run(&pooled))
     });
+
+    runner.finish();
 }

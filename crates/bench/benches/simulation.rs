@@ -61,4 +61,6 @@ fn main() {
             .run()
             .expect("runs")
     });
+
+    runner.finish();
 }

@@ -1,0 +1,77 @@
+//! Validates `BENCH_<suite>.json` files written by the bench harness.
+//!
+//! Usage: `bench-check FILE...` — exits non-zero (with a message per file)
+//! if any file is missing, unparseable, or structurally malformed, so CI
+//! can gate on the machine-readable bench output.
+
+use std::process::ExitCode;
+
+use rbs_json::Json;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("bench-check: no files given");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        match validate(path) {
+            Ok(summary) => println!("bench-check: {path}: {summary}"),
+            Err(message) => {
+                eprintln!("bench-check: {path}: {message}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn validate(path: &str) -> Result<String, String> {
+    let body = std::fs::read_to_string(path).map_err(|error| format!("unreadable: {error}"))?;
+    let json = rbs_json::parse(&body).map_err(|error| format!("invalid JSON: {error}"))?;
+    let suite = json
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `suite`")?;
+    let samples = json
+        .get("samples")
+        .and_then(Json::as_i128)
+        .ok_or("missing integer field `samples`")?;
+    if samples <= 0 {
+        return Err(format!("non-positive samples count {samples}"));
+    }
+    let results = json
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or("missing array field `results`")?;
+    if results.is_empty() {
+        return Err("empty results array".to_owned());
+    }
+    for (index, result) in results.iter().enumerate() {
+        let name = result
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("results[{index}]: missing string field `name`"))?;
+        for field in ["iters_per_sample", "min_ns", "median_ns", "mean_ns"] {
+            let value = result.get(field).and_then(Json::as_i128).ok_or(format!(
+                "results[{index}] ({name}): missing integer field `{field}`"
+            ))?;
+            if value <= 0 {
+                return Err(format!(
+                    "results[{index}] ({name}): non-positive `{field}` = {value}"
+                ));
+            }
+        }
+        let min = result.get("min_ns").and_then(Json::as_i128).unwrap_or(0);
+        let median = result.get("median_ns").and_then(Json::as_i128).unwrap_or(0);
+        if median < min {
+            return Err(format!("results[{index}] ({name}): median_ns < min_ns"));
+        }
+    }
+    Ok(format!("suite `{suite}` ok, {} results", results.len()))
+}

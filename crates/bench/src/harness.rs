@@ -3,15 +3,57 @@
 //! Each benchmark is calibrated so one timed batch runs for at least
 //! [`Runner::MIN_BATCH`]; the harness then takes a fixed number of batch
 //! samples and reports per-iteration minimum / median / mean. The output
-//! is one line per benchmark, so `cargo bench` stays grep-friendly.
+//! is one line per benchmark, so `cargo bench` stays grep-friendly, and
+//! [`Runner::finish`] additionally writes the whole suite as one
+//! machine-readable `BENCH_<suite>.json` file so runs can be diffed.
 
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+use rbs_json::Json;
+
+/// One benchmark's per-iteration summary, in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Benchmark name within the suite.
+    pub name: String,
+    /// Iterations per timed batch after calibration.
+    pub iters_per_sample: u64,
+    /// Fastest per-iteration time observed across the samples.
+    pub min_ns: u128,
+    /// Median per-iteration time across the samples.
+    pub median_ns: u128,
+    /// Mean per-iteration time across the samples.
+    pub mean_ns: u128,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            (
+                "iters_per_sample".to_owned(),
+                Json::Int(i128::from(self.iters_per_sample)),
+            ),
+            ("min_ns".to_owned(), int_ns(self.min_ns)),
+            ("median_ns".to_owned(), int_ns(self.median_ns)),
+            ("mean_ns".to_owned(), int_ns(self.mean_ns)),
+        ])
+    }
+}
+
+fn int_ns(nanos: u128) -> Json {
+    Json::Int(i128::try_from(nanos).unwrap_or(i128::MAX))
+}
 
 /// Collects and prints benchmark timings for one suite.
 #[derive(Debug)]
 pub struct Runner {
+    suite: String,
     samples: usize,
+    results: RefCell<Vec<BenchResult>>,
 }
 
 impl Runner {
@@ -28,11 +70,16 @@ impl Runner {
             .filter(|&n| n > 0)
             .unwrap_or(10);
         println!("== bench suite: {suite} (samples per benchmark: {samples}) ==");
-        Runner { samples }
+        Runner {
+            suite: suite.to_owned(),
+            samples,
+            results: RefCell::new(Vec::new()),
+        }
     }
 
-    /// Times `f`, printing one summary line. The closure's result is passed
-    /// through [`black_box`] so the work cannot be optimized away.
+    /// Times `f`, printing one summary line and recording the result for
+    /// [`Runner::finish`]. The closure's result is passed through
+    /// [`black_box`] so the work cannot be optimized away.
     pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
         // Calibrate: grow the batch until it takes MIN_BATCH.
         let mut iters = 1u64;
@@ -72,6 +119,51 @@ impl Runner {
             fmt_nanos(min),
             fmt_nanos(mean)
         );
+        self.results.borrow_mut().push(BenchResult {
+            name: name.to_owned(),
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
+    /// Renders every recorded result as the suite's JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("suite".to_owned(), Json::Str(self.suite.clone())),
+            (
+                "samples".to_owned(),
+                Json::Int(i128::try_from(self.samples).unwrap_or(i128::MAX)),
+            ),
+            (
+                "results".to_owned(),
+                Json::Array(
+                    self.results
+                        .borrow()
+                        .iter()
+                        .map(BenchResult::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<suite>.json` into `RBS_BENCH_OUT` (default: the
+    /// current directory) and prints where it went. Call once, at the end
+    /// of the suite binary.
+    pub fn finish(self) {
+        let dir = std::env::var("RBS_BENCH_OUT").unwrap_or_else(|_| ".".to_owned());
+        let path = PathBuf::from(dir).join(format!("BENCH_{}.json", self.suite));
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let body = format!("{}\n", self.to_json().render());
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("== wrote {} ==", path.display()),
+            Err(error) => eprintln!("== could not write {}: {error} ==", path.display()),
+        }
     }
 }
 
@@ -97,5 +189,23 @@ mod tests {
         assert_eq!(fmt_nanos(1_500), "1.500 us");
         assert_eq!(fmt_nanos(2_000_000), "2.000 ms");
         assert_eq!(fmt_nanos(3_500_000_000), "3.500 s");
+    }
+
+    #[test]
+    fn suite_json_carries_every_result() {
+        let runner = Runner::new("unit");
+        runner.bench("noop", || 1 + 1);
+        let json = runner.to_json();
+        assert_eq!(json.get("suite").and_then(Json::as_str), Some("unit"));
+        let results = json
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("results array");
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("name").and_then(Json::as_str), Some("noop"));
+        assert!(results[0]
+            .get("median_ns")
+            .and_then(Json::as_i128)
+            .is_some());
     }
 }

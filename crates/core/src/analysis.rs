@@ -1,0 +1,394 @@
+//! A shared per-task-set analysis context.
+//!
+//! Every analysis in this crate starts by building one of three demand
+//! profiles from the task set — `DBF_LO` ([`crate::dbf::lo_profile`]),
+//! `DBF_HI` ([`crate::dbf::hi_profile`]) or `ADB_HI`
+//! ([`crate::adb::hi_arrival_profile`]) — and the profile construction
+//! (including the integer-timebase rescaling of [`crate::scaled`]) is
+//! the part worth sharing: a report runs half a dozen queries against
+//! the same three curves, and a bisection like
+//! [`Analysis::minimal_speed_within_budget`] runs `O(log 1/tol)` of
+//! them. [`Analysis`] builds each profile lazily, once, and threads it
+//! through every query.
+//!
+//! The context also counts which walk implementation served each query
+//! ([`WalkCounts`]) so services can report fast-path coverage without
+//! affecting any analytical result.
+//!
+//! # Examples
+//!
+//! ```
+//! use rbs_core::{Analysis, AnalysisLimits};
+//! use rbs_model::{Criticality, Task, TaskSet};
+//! use rbs_timebase::Rational;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let set = TaskSet::new(vec![Task::builder("tau1", Criticality::Hi)
+//!     .period(Rational::integer(5))
+//!     .deadline_lo(Rational::integer(2))
+//!     .deadline_hi(Rational::integer(5))
+//!     .wcet_lo(Rational::integer(1))
+//!     .wcet_hi(Rational::integer(2))
+//!     .build()?]);
+//! let analysis = Analysis::new(&set, &AnalysisLimits::default());
+//! let s_min = analysis.minimum_speedup()?;
+//! let reset = analysis.resetting_time(Rational::TWO)?; // reuses ADB_HI
+//! assert!(analysis.walk_counts().total() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cell::{Cell, OnceCell};
+
+use rbs_model::TaskSet;
+use rbs_timebase::Rational;
+
+use crate::adb::hi_arrival_profile;
+use crate::dbf::{hi_profile, lo_profile};
+use crate::demand::{DemandProfile, SupRatio, WalkKind};
+use crate::qpa::qpa_decision;
+use crate::resetting::{ResettingAnalysis, ResettingBound};
+use crate::speedup::SpeedupAnalysis;
+use crate::{AnalysisError, AnalysisLimits};
+
+/// How many queries each walk implementation served (see
+/// [`crate::demand::WalkKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalkCounts {
+    /// Queries served by the common-timebase `i128` fast path.
+    pub integer: u64,
+    /// Queries that fell back to the exact rational walk.
+    pub exact: u64,
+}
+
+impl WalkCounts {
+    /// Total queries answered.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.integer + self.exact
+    }
+}
+
+/// A per-task-set analysis context: lazily-built, shared demand profiles
+/// plus the full set of exact analyses as methods.
+///
+/// All methods return bit-identical results to the free functions in
+/// [`crate::speedup`], [`crate::resetting`], [`crate::lo_mode`],
+/// [`crate::qpa`] and [`crate::tuning`]; the context only removes the
+/// repeated profile construction.
+#[derive(Debug)]
+pub struct Analysis<'a> {
+    set: &'a TaskSet,
+    limits: AnalysisLimits,
+    lo: OnceCell<DemandProfile>,
+    hi: OnceCell<DemandProfile>,
+    arrival: OnceCell<DemandProfile>,
+    integer_walks: Cell<u64>,
+    exact_walks: Cell<u64>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Creates a context for `set`. Profiles are built on first use.
+    #[must_use]
+    pub fn new(set: &'a TaskSet, limits: &AnalysisLimits) -> Analysis<'a> {
+        Analysis {
+            set,
+            limits: *limits,
+            lo: OnceCell::new(),
+            hi: OnceCell::new(),
+            arrival: OnceCell::new(),
+            integer_walks: Cell::new(0),
+            exact_walks: Cell::new(0),
+        }
+    }
+
+    /// The analyzed task set.
+    #[must_use]
+    pub fn set(&self) -> &TaskSet {
+        self.set
+    }
+
+    /// The breakpoint budget every query runs under.
+    #[must_use]
+    pub fn limits(&self) -> &AnalysisLimits {
+        &self.limits
+    }
+
+    /// The `DBF_LO` profile (eq. (4)), built on first use.
+    #[must_use]
+    pub fn lo_profile(&self) -> &DemandProfile {
+        self.lo.get_or_init(|| lo_profile(self.set))
+    }
+
+    /// The `DBF_HI` profile (Lemma 1), built on first use.
+    #[must_use]
+    pub fn hi_profile(&self) -> &DemandProfile {
+        self.hi.get_or_init(|| hi_profile(self.set))
+    }
+
+    /// The `ADB_HI` profile (Theorem 4), built on first use.
+    #[must_use]
+    pub fn arrival_profile(&self) -> &DemandProfile {
+        self.arrival.get_or_init(|| hi_arrival_profile(self.set))
+    }
+
+    fn record(&self, kind: WalkKind) {
+        match kind {
+            WalkKind::Integer => self.integer_walks.set(self.integer_walks.get() + 1),
+            WalkKind::Rational => self.exact_walks.set(self.exact_walks.get() + 1),
+        }
+    }
+
+    /// How many breakpoint walks ran so far, by implementation. The
+    /// counts are deterministic for a given query sequence.
+    #[must_use]
+    pub fn walk_counts(&self) -> WalkCounts {
+        WalkCounts {
+            integer: self.integer_walks.get(),
+            exact: self.exact_walks.get(),
+        }
+    }
+
+    /// Theorem 2's minimum HI-mode speedup (see
+    /// [`crate::speedup::minimum_speedup`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::speedup::minimum_speedup`].
+    pub fn minimum_speedup(&self) -> Result<SpeedupAnalysis, AnalysisError> {
+        let (sup, kind) = self.hi_profile().sup_ratio_traced(&self.limits)?;
+        self.record(kind);
+        Ok(SpeedupAnalysis::from_sup_ratio(sup))
+    }
+
+    /// Whether HI mode is EDF-schedulable at `speed` (see
+    /// [`crate::speedup::is_hi_schedulable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::speedup::is_hi_schedulable`].
+    pub fn is_hi_schedulable(&self, speed: Rational) -> Result<bool, AnalysisError> {
+        let (fits, kind) = self.hi_profile().fits_traced(speed, &self.limits)?;
+        self.record(kind);
+        Ok(fits)
+    }
+
+    /// Corollary 5's service resetting time at `speed` (see
+    /// [`crate::resetting::resetting_time`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::resetting::resetting_time`].
+    pub fn resetting_time(&self, speed: Rational) -> Result<ResettingAnalysis, AnalysisError> {
+        let (fit, kind) = self
+            .arrival_profile()
+            .first_fit_traced(speed, &self.limits)?;
+        self.record(kind);
+        Ok(ResettingAnalysis::from_first_fit(fit, speed))
+    }
+
+    /// The smallest speed at which LO mode is EDF-schedulable (see
+    /// [`crate::lo_mode::lo_speed_requirement`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::lo_mode::lo_speed_requirement`].
+    pub fn lo_speed_requirement(&self) -> Result<Rational, AnalysisError> {
+        let (sup, kind) = self.lo_profile().sup_ratio_traced(&self.limits)?;
+        self.record(kind);
+        match sup {
+            SupRatio::Finite { value, .. } => Ok(value),
+            SupRatio::Unbounded => unreachable!("DBF_LO(0) = 0 for validated tasks"),
+        }
+    }
+
+    /// Whether LO mode meets all deadlines at nominal speed (see
+    /// [`crate::lo_mode::is_lo_schedulable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::lo_mode::is_lo_schedulable`].
+    pub fn is_lo_schedulable(&self) -> Result<bool, AnalysisError> {
+        let (fits, kind) = self.lo_profile().fits_traced(Rational::ONE, &self.limits)?;
+        self.record(kind);
+        Ok(fits)
+    }
+
+    /// The QPA cross-check of LO-mode schedulability at `speed` (see
+    /// [`crate::qpa::is_lo_schedulable_qpa`]), with demand evaluated on
+    /// the shared `DBF_LO` profile instead of per-task formulas.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::qpa::is_lo_schedulable_qpa`].
+    pub fn is_lo_schedulable_qpa(&self, speed: Rational) -> Result<bool, AnalysisError> {
+        let profile = self.lo_profile();
+        qpa_decision(self.set, &|t| profile.eval(t), speed, &self.limits)
+    }
+
+    /// The smallest speed within `tolerance` meeting both HI-mode
+    /// schedulability and the resetting-time `budget` (see
+    /// [`crate::tuning::minimal_speed_within_budget`]). The bisection
+    /// reuses this context's profiles: `O(log 1/tol)` breakpoint walks,
+    /// zero profile rebuilds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exact-analysis errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tolerance > 0`, `budget > 0` and `max_speed > 0`.
+    pub fn minimal_speed_within_budget(
+        &self,
+        budget: Rational,
+        max_speed: Rational,
+        tolerance: Rational,
+    ) -> Result<Option<Rational>, AnalysisError> {
+        assert!(tolerance.is_positive(), "tolerance must be positive");
+        assert!(budget.is_positive(), "budget must be positive");
+        assert!(max_speed.is_positive(), "max_speed must be positive");
+        let meets = |s: Rational| -> Result<bool, AnalysisError> {
+            if !self.is_hi_schedulable(s)? {
+                return Ok(false);
+            }
+            Ok(match self.resetting_time(s)?.bound() {
+                ResettingBound::Finite(dr) => dr <= budget,
+                ResettingBound::Unbounded => false,
+            })
+        };
+        if !meets(max_speed)? {
+            return Ok(None);
+        }
+        // Invariant: `hi` meets, `lo` does not (start `lo` at an
+        // infeasible floor: speeds at or below zero never help, so use a
+        // vanishing one).
+        let mut lo = Rational::ZERO;
+        let mut hi = max_speed;
+        while hi - lo > tolerance {
+            let mid = (hi + lo) / Rational::TWO;
+            if mid.is_positive() && meets(mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(Some(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lo_mode;
+    use crate::qpa::is_lo_schedulable_qpa;
+    use crate::resetting::resetting_time;
+    use crate::speedup::{is_hi_schedulable, minimum_speedup};
+    use crate::tuning::minimal_speed_within_budget;
+    use rbs_model::{Criticality, Task};
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("tau1", Criticality::Hi)
+                .period(int(5))
+                .deadline_lo(int(2))
+                .deadline_hi(int(5))
+                .wcet_lo(int(1))
+                .wcet_hi(int(2))
+                .build()
+                .expect("valid"),
+            Task::builder("tau2", Criticality::Lo)
+                .period(int(10))
+                .deadline(int(10))
+                .wcet(int(3))
+                .build()
+                .expect("valid"),
+        ])
+    }
+
+    #[test]
+    fn context_results_match_free_functions() {
+        let set = table1();
+        let limits = AnalysisLimits::default();
+        let ctx = Analysis::new(&set, &limits);
+        assert_eq!(
+            ctx.minimum_speedup().expect("ok"),
+            minimum_speedup(&set, &limits).expect("ok")
+        );
+        assert_eq!(
+            ctx.lo_speed_requirement().expect("ok"),
+            lo_mode::lo_speed_requirement(&set, &limits).expect("ok")
+        );
+        assert_eq!(
+            ctx.is_lo_schedulable().expect("ok"),
+            lo_mode::is_lo_schedulable(&set, &limits).expect("ok")
+        );
+        for speed in [rat(1, 2), Rational::ONE, rat(4, 3), int(2), int(3)] {
+            assert_eq!(
+                ctx.is_hi_schedulable(speed).expect("ok"),
+                is_hi_schedulable(&set, speed, &limits).expect("ok")
+            );
+            assert_eq!(
+                ctx.resetting_time(speed).expect("ok"),
+                resetting_time(&set, speed, &limits).expect("ok")
+            );
+            assert_eq!(
+                ctx.is_lo_schedulable_qpa(speed).expect("ok"),
+                is_lo_schedulable_qpa(&set, speed, &limits).expect("ok")
+            );
+        }
+        assert_eq!(
+            ctx.minimal_speed_within_budget(int(10), int(4), rat(1, 64))
+                .expect("ok"),
+            minimal_speed_within_budget(&set, int(10), int(4), rat(1, 64), &limits).expect("ok")
+        );
+    }
+
+    #[test]
+    fn profiles_are_built_once_and_shared() {
+        let set = table1();
+        let limits = AnalysisLimits::default();
+        let ctx = Analysis::new(&set, &limits);
+        let first = std::ptr::from_ref(ctx.hi_profile());
+        ctx.minimum_speedup().expect("ok");
+        ctx.is_hi_schedulable(int(2)).expect("ok");
+        assert_eq!(first, std::ptr::from_ref(ctx.hi_profile()));
+    }
+
+    #[test]
+    fn walk_counts_track_queries_deterministically() {
+        let set = table1();
+        let limits = AnalysisLimits::default();
+        let run = || {
+            let ctx = Analysis::new(&set, &limits);
+            ctx.minimum_speedup().expect("ok");
+            ctx.resetting_time(int(2)).expect("ok");
+            ctx.is_lo_schedulable().expect("ok");
+            ctx.walk_counts()
+        };
+        let counts = run();
+        assert_eq!(counts.total(), 3);
+        // Table I is integer-valued: everything takes the fast path.
+        assert_eq!(counts.integer, 3);
+        assert_eq!(counts.exact, 0);
+        assert_eq!(counts, run());
+    }
+
+    #[test]
+    fn empty_set_context_works() {
+        let set = TaskSet::empty();
+        let limits = AnalysisLimits::default();
+        let ctx = Analysis::new(&set, &limits);
+        assert!(ctx.is_lo_schedulable().expect("ok"));
+        assert!(ctx.is_hi_schedulable(Rational::ONE).expect("ok"));
+        assert_eq!(ctx.lo_speed_requirement().expect("ok"), Rational::ZERO);
+    }
+}

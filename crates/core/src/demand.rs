@@ -32,6 +32,7 @@ use std::collections::BinaryHeap;
 
 use rbs_timebase::Rational;
 
+use crate::scaled::ScaledProfile;
 use crate::{AnalysisError, AnalysisLimits};
 
 /// One periodic demand component (typically: one task's demand curve).
@@ -172,6 +173,20 @@ impl PeriodicDemand {
         self.constant + self.jump + self.ramp_len
     }
 
+    /// All six quantities in declaration order (`period`, `per_period`,
+    /// `constant`, `ramp_start`, `jump`, `ramp_len`) — for the integer
+    /// rescaling in [`crate::scaled`].
+    pub(crate) fn raw(&self) -> [Rational; 6] {
+        [
+            self.period,
+            self.per_period,
+            self.constant,
+            self.ramp_start,
+            self.jump,
+            self.ramp_len,
+        ]
+    }
+
     /// Evaluates the curve at `Δ`.
     ///
     /// # Panics
@@ -216,6 +231,18 @@ pub enum FirstFit {
     Never,
 }
 
+/// Which breakpoint-walk implementation answered a query.
+///
+/// Results are bit-identical either way; the kind only matters for
+/// performance accounting (see [`crate::analysis::Analysis`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkKind {
+    /// The common-timebase `i128` fast path.
+    Integer,
+    /// The exact [`Rational`] fallback walk.
+    Rational,
+}
+
 /// A sum of [`PeriodicDemand`] components with exact sup-ratio and
 /// first-fit queries.
 ///
@@ -241,16 +268,27 @@ pub enum FirstFit {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DemandProfile {
     components: Vec<PeriodicDemand>,
+    /// The integer fast path, built once here; `None` when the common
+    /// timebase does not fit in `i128` (queries then always walk the
+    /// exact rational path).
+    scaled: Option<ScaledProfile>,
 }
 
 impl DemandProfile {
     /// Creates a profile from components.
     #[must_use]
     pub fn new(components: Vec<PeriodicDemand>) -> DemandProfile {
-        DemandProfile { components }
+        let scaled = ScaledProfile::build(&components);
+        DemandProfile { components, scaled }
+    }
+
+    /// Whether the profile carries the common-timebase integer fast path.
+    #[must_use]
+    pub fn has_fast_path(&self) -> bool {
+        self.scaled.is_some()
     }
 
     /// The components.
@@ -309,6 +347,35 @@ impl DemandProfile {
     /// overflows `i128` *and* the dynamic horizon never materializes
     /// within the breakpoint budget.
     pub fn sup_ratio(&self, limits: &AnalysisLimits) -> Result<SupRatio, AnalysisError> {
+        self.sup_ratio_traced(limits).map(|(result, _)| result)
+    }
+
+    /// [`DemandProfile::sup_ratio`] plus which walk answered it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DemandProfile::sup_ratio`].
+    pub fn sup_ratio_traced(
+        &self,
+        limits: &AnalysisLimits,
+    ) -> Result<(SupRatio, WalkKind), AnalysisError> {
+        if let Some(scaled) = &self.scaled {
+            if let Some(result) = scaled.sup_ratio(limits)? {
+                return Ok((result, WalkKind::Integer));
+            }
+        }
+        self.sup_ratio_exact(limits)
+            .map(|result| (result, WalkKind::Rational))
+    }
+
+    /// The exact rational reference implementation of
+    /// [`DemandProfile::sup_ratio`] — the fallback when the integer fast
+    /// path overflows, kept public for differential tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DemandProfile::sup_ratio`].
+    pub fn sup_ratio_exact(&self, limits: &AnalysisLimits) -> Result<SupRatio, AnalysisError> {
         let mut walk = IncrementalWalk::new(&self.components);
         if walk.value.is_positive() {
             return Ok(SupRatio::Unbounded);
@@ -318,6 +385,10 @@ impl DemandProfile {
         let hyperperiod = self.hyperperiod();
 
         let mut best: Option<(Rational, Rational)> = None;
+        // eval(Δ) ≤ rate·Δ + burst < best_ratio·Δ for
+        // Δ > burst/(best_ratio − rate): nothing can improve. Recomputed
+        // only when `best` does (the division is the walk's only one).
+        let mut horizon: Option<Rational> = None;
         let mut examined = 0usize;
         while let Some(delta) = walk.peek_next() {
             if let Some(hp) = hyperperiod {
@@ -325,14 +396,9 @@ impl DemandProfile {
                     break;
                 }
             }
-            if let Some((best_ratio, _)) = best {
-                if best_ratio > rate {
-                    // eval(Δ) ≤ rate·Δ + burst < best_ratio·Δ for
-                    // Δ > burst/(best_ratio − rate): nothing can improve.
-                    let horizon = burst / (best_ratio - rate);
-                    if delta > horizon {
-                        break;
-                    }
+            if let Some(h) = horizon {
+                if delta > h {
+                    break;
                 }
             }
             examined += 1;
@@ -343,6 +409,9 @@ impl DemandProfile {
             let ratio = walk.value / walk.delta;
             if best.is_none_or(|(b, _)| ratio > b) {
                 best = Some((ratio, walk.delta));
+                if ratio > rate {
+                    horizon = Some(burst / (ratio - rate));
+                }
             }
         }
         Ok(match best {
@@ -373,6 +442,43 @@ impl DemandProfile {
     /// * [`AnalysisError::BreakpointBudgetExhausted`] only in the
     ///   `speed == rate` corner with an astronomically large hyperperiod.
     pub fn fits(&self, speed: Rational, limits: &AnalysisLimits) -> Result<bool, AnalysisError> {
+        self.fits_traced(speed, limits).map(|(result, _)| result)
+    }
+
+    /// [`DemandProfile::fits`] plus which walk answered it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DemandProfile::fits`].
+    pub fn fits_traced(
+        &self,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<(bool, WalkKind), AnalysisError> {
+        if !speed.is_positive() {
+            return Err(AnalysisError::NonPositiveSpeed);
+        }
+        if let Some(scaled) = &self.scaled {
+            if let Some(result) = scaled.fits(speed, limits)? {
+                return Ok((result, WalkKind::Integer));
+            }
+        }
+        self.fits_exact(speed, limits)
+            .map(|result| (result, WalkKind::Rational))
+    }
+
+    /// The exact rational reference implementation of
+    /// [`DemandProfile::fits`] — the fallback when the integer fast path
+    /// overflows, kept public for differential tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DemandProfile::fits`].
+    pub fn fits_exact(
+        &self,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<bool, AnalysisError> {
         if !speed.is_positive() {
             return Err(AnalysisError::NonPositiveSpeed);
         }
@@ -434,6 +540,44 @@ impl DemandProfile {
         speed: Rational,
         limits: &AnalysisLimits,
     ) -> Result<FirstFit, AnalysisError> {
+        self.first_fit_traced(speed, limits)
+            .map(|(result, _)| result)
+    }
+
+    /// [`DemandProfile::first_fit`] plus which walk answered it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DemandProfile::first_fit`].
+    pub fn first_fit_traced(
+        &self,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<(FirstFit, WalkKind), AnalysisError> {
+        if !speed.is_positive() {
+            return Err(AnalysisError::NonPositiveSpeed);
+        }
+        if let Some(scaled) = &self.scaled {
+            if let Some(result) = scaled.first_fit(speed, limits)? {
+                return Ok((result, WalkKind::Integer));
+            }
+        }
+        self.first_fit_exact(speed, limits)
+            .map(|result| (result, WalkKind::Rational))
+    }
+
+    /// The exact rational reference implementation of
+    /// [`DemandProfile::first_fit`] — the fallback when the integer fast
+    /// path overflows, kept public for differential tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DemandProfile::first_fit`].
+    pub fn first_fit_exact(
+        &self,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<FirstFit, AnalysisError> {
         if !speed.is_positive() {
             return Err(AnalysisError::NonPositiveSpeed);
         }
@@ -482,18 +626,26 @@ impl DemandProfile {
     }
 }
 
-impl FromIterator<PeriodicDemand> for DemandProfile {
-    fn from_iter<I: IntoIterator<Item = PeriodicDemand>>(iter: I) -> DemandProfile {
-        DemandProfile {
-            components: iter.into_iter().collect(),
-        }
+impl Default for DemandProfile {
+    /// The empty profile — identical to `DemandProfile::new(Vec::new())`
+    /// (including its fast path, so equality with constructed empties
+    /// holds).
+    fn default() -> DemandProfile {
+        DemandProfile::new(Vec::new())
     }
 }
 
-/// Event kinds of the incremental walk.
-const EVENT_WRAP: u8 = 0;
-const EVENT_RAMP_START: u8 = 1;
-const EVENT_RAMP_END: u8 = 2;
+impl FromIterator<PeriodicDemand> for DemandProfile {
+    fn from_iter<I: IntoIterator<Item = PeriodicDemand>>(iter: I) -> DemandProfile {
+        DemandProfile::new(iter.into_iter().collect())
+    }
+}
+
+/// Event kinds of the incremental walk (shared with the integer mirror
+/// in [`crate::scaled`]).
+pub(crate) const EVENT_WRAP: u8 = 0;
+pub(crate) const EVENT_RAMP_START: u8 = 1;
+pub(crate) const EVENT_RAMP_END: u8 = 2;
 
 /// Precomputed per-component deltas applied at each event kind.
 #[derive(Debug, Clone)]

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod adb;
+pub mod analysis;
 pub mod closed_form;
 pub mod dbf;
 pub mod demand;
@@ -77,7 +78,9 @@ pub mod tuning;
 
 mod config;
 mod error;
+mod scaled;
 
+pub use analysis::{Analysis, WalkCounts};
 pub use config::AnalysisLimits;
 pub use error::AnalysisError;
-pub use report::{analyze, AnalyzeReport};
+pub use report::{analyze, analyze_with_meta, AnalyzeMeta, AnalyzeReport};

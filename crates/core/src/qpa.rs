@@ -60,6 +60,20 @@ pub fn is_lo_schedulable_qpa(
     speed: Rational,
     limits: &AnalysisLimits,
 ) -> Result<bool, AnalysisError> {
+    qpa_decision(set, &|t| total_dbf_lo(set, t), speed, limits)
+}
+
+/// The QPA iteration with an abstract demand evaluator: `demand(t)` must
+/// equal `Σ_i DBF_LO(τ_i, t)` exactly. [`is_lo_schedulable_qpa`] passes
+/// the per-task point formulas; [`crate::analysis::Analysis`] passes its
+/// shared `DBF_LO` profile (the two agree by construction — and by the
+/// dense cross-checks in [`crate::dbf`]'s tests).
+pub(crate) fn qpa_decision(
+    set: &TaskSet,
+    demand: &dyn Fn(Rational) -> Rational,
+    speed: Rational,
+    limits: &AnalysisLimits,
+) -> Result<bool, AnalysisError> {
     if !speed.is_positive() {
         return Err(AnalysisError::NonPositiveSpeed);
     }
@@ -139,7 +153,7 @@ pub fn is_lo_schedulable_qpa(
                 examined: iterations,
             });
         }
-        let demand = total_dbf_lo(set, t);
+        let demand = demand(t);
         let supply = speed * t;
         if demand > supply {
             return Ok(false);

@@ -13,10 +13,9 @@ use rbs_json::{Json, JsonError, ToJson};
 use rbs_model::TaskSet;
 use rbs_timebase::Rational;
 
-use crate::lo_mode::{is_lo_schedulable, lo_speed_requirement};
-use crate::resetting::{resetting_time, ResettingBound};
-use crate::speedup::{minimum_speedup, SpeedupBound};
-use crate::tuning::minimal_speed_within_budget;
+use crate::analysis::Analysis;
+use crate::resetting::ResettingBound;
+use crate::speedup::SpeedupBound;
 use crate::{AnalysisError, AnalysisLimits};
 
 /// The report for one task set.
@@ -39,6 +38,16 @@ pub struct AnalyzeReport {
     pub sized_speed: Option<Rational>,
 }
 
+/// Walk-implementation statistics for one [`analyze_with_meta`] call —
+/// observability data that never feeds back into the report itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalyzeMeta {
+    /// Breakpoint walks served by the integer fast path.
+    pub integer_walks: u64,
+    /// Breakpoint walks that fell back to the exact rational path.
+    pub exact_walks: u64,
+}
+
 /// Analyzes a task set, producing the full [`AnalyzeReport`].
 ///
 /// # Errors
@@ -46,9 +55,24 @@ pub struct AnalyzeReport {
 /// Propagates exact-analysis errors (breakpoint budgets on pathological
 /// inputs).
 pub fn analyze(set: TaskSet, limits: &AnalysisLimits) -> Result<AnalyzeReport, AnalysisError> {
-    let lo_schedulable = is_lo_schedulable(&set, limits)?;
-    let lo_requirement = lo_speed_requirement(&set, limits)?;
-    let analysis = minimum_speedup(&set, limits)?;
+    analyze_with_meta(set, limits).map(|(report, _)| report)
+}
+
+/// [`analyze`] plus walk statistics ([`AnalyzeMeta`]). The report is
+/// byte-for-byte the one [`analyze`] returns; all queries share one
+/// [`Analysis`] context (each demand profile is built exactly once).
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_with_meta(
+    set: TaskSet,
+    limits: &AnalysisLimits,
+) -> Result<(AnalyzeReport, AnalyzeMeta), AnalysisError> {
+    let ctx = Analysis::new(&set, limits);
+    let lo_schedulable = ctx.is_lo_schedulable()?;
+    let lo_requirement = ctx.lo_speed_requirement()?;
+    let analysis = ctx.minimum_speedup()?;
     let s_min = analysis.bound();
     let witness = analysis.witness();
     let mut speeds: Vec<Rational> = vec![Rational::ONE, Rational::new(3, 2), Rational::TWO];
@@ -60,7 +84,7 @@ pub fn analyze(set: TaskSet, limits: &AnalysisLimits) -> Result<AnalyzeReport, A
     }
     let mut resetting_rows = Vec::new();
     for s in speeds {
-        resetting_rows.push((s, resetting_time(&set, s, limits)?.bound()));
+        resetting_rows.push((s, ctx.resetting_time(s)?.bound()));
     }
     let sized_speed = {
         let max_period = set
@@ -69,25 +93,32 @@ pub fn analyze(set: TaskSet, limits: &AnalysisLimits) -> Result<AnalyzeReport, A
             .map(|p| p.period())
             .max();
         match max_period {
-            Some(p) => minimal_speed_within_budget(
-                &set,
+            Some(p) => ctx.minimal_speed_within_budget(
                 p * Rational::integer(10),
                 Rational::integer(4),
                 Rational::new(1, 64),
-                limits,
             )?,
             None => None,
         }
     };
-    Ok(AnalyzeReport {
-        set,
-        lo_schedulable,
-        lo_requirement,
-        s_min,
-        witness,
-        resetting_rows,
-        sized_speed,
-    })
+    let counts = ctx.walk_counts();
+    let meta = AnalyzeMeta {
+        integer_walks: counts.integer,
+        exact_walks: counts.exact,
+    };
+    drop(ctx);
+    Ok((
+        AnalyzeReport {
+            set,
+            lo_schedulable,
+            lo_requirement,
+            s_min,
+            witness,
+            resetting_rows,
+            sized_speed,
+        },
+        meta,
+    ))
 }
 
 impl ToJson for SpeedupBound {

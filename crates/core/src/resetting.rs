@@ -63,6 +63,15 @@ pub struct ResettingAnalysis {
 }
 
 impl ResettingAnalysis {
+    /// Wraps a raw first-fit query result for the given assumed speed.
+    pub(crate) fn from_first_fit(fit: FirstFit, speed: Rational) -> ResettingAnalysis {
+        let bound = match fit {
+            FirstFit::At(delta) => ResettingBound::Finite(delta),
+            FirstFit::Never => ResettingBound::Unbounded,
+        };
+        ResettingAnalysis { bound, speed }
+    }
+
     /// The safe service resetting time `Δ_R`.
     #[must_use]
     pub fn bound(&self) -> ResettingBound {
@@ -126,11 +135,10 @@ pub fn resetting_time(
     limits: &AnalysisLimits,
 ) -> Result<ResettingAnalysis, AnalysisError> {
     let profile = hi_arrival_profile(set);
-    let bound = match profile.first_fit(speed, limits)? {
-        FirstFit::At(delta) => ResettingBound::Finite(delta),
-        FirstFit::Never => ResettingBound::Unbounded,
-    };
-    Ok(ResettingAnalysis { bound, speed })
+    Ok(ResettingAnalysis::from_first_fit(
+        profile.first_fit(speed, limits)?,
+        speed,
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,516 @@
+//! Integer fast path for the demand-curve breakpoint walks.
+//!
+//! Every quantity of a [`PeriodicDemand`] component is a rational number,
+//! so the exact walks in [`crate::demand`] pay a gcd-reduction on every
+//! arithmetic step. Task sets in practice share a small common timebase
+//! (milliseconds, microseconds, a handful of denominators), which means
+//! the whole profile can be rescaled *once* onto a common integer grid:
+//! with `K` the lcm of all component denominators, every breakpoint time
+//! and every curve value of the scaled profile is an exact `i128`.
+//!
+//! [`ScaledProfile`] stores that rescaling and re-implements the three
+//! queries (`sup_ratio`, `fits`, `first_fit`) over pure integer
+//! arithmetic — no gcd, no per-step normalization. All products use
+//! checked arithmetic; the moment anything would overflow the fast path
+//! *bails out* (returns `Ok(None)`) and the caller falls back to the
+//! exact rational walk. The two walks visit breakpoints in the same
+//! order and take the same break/return decisions, so results (including
+//! breakpoint-budget errors and their `examined` counts) are
+//! bit-identical — the differential property tests in
+//! `tests/scaled_differential.rs` enforce this.
+//!
+//! Correctness of the pure-integer comparisons rests on three facts:
+//!
+//! 1. With `Δ' = Δ·K` and `v' = v·K`, the heap keys `(Δ', i, kind)`
+//!    order exactly like `(Δ, i, kind)` (`K > 0`).
+//! 2. `v/Δ = v'/Δ'` — the scale cancels in ratios, so the best-ratio
+//!    bookkeeping of `sup_ratio` needs no division at all.
+//! 3. For a rational threshold `h` (horizon or hyperperiod) and integer
+//!    `Δ'`, `Δ > h ⟺ Δ' > ⌊h·K⌋`. When `⌊h·K⌋` itself overflows
+//!    `i128`, no representable `Δ'` can exceed it, so treating the
+//!    threshold as "never reached" cannot change any decision before the
+//!    walk bails on its own overflowing breakpoint.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rbs_timebase::{lcm_i128, Rational};
+
+use crate::demand::{
+    FirstFit, PeriodicDemand, SupRatio, EVENT_RAMP_END, EVENT_RAMP_START, EVENT_WRAP,
+};
+use crate::{AnalysisError, AnalysisLimits};
+
+/// Bails out of the fast path (`return Ok(None)`) when a checked
+/// operation overflows; the caller then re-runs the exact rational walk.
+macro_rules! ck {
+    ($e:expr) => {
+        match $e {
+            Some(v) => v,
+            None => return Ok(None),
+        }
+    };
+}
+
+/// One component with all six quantities on the common integer timebase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScaledComponent {
+    period: i128,
+    constant: i128,
+    ramp_start: i128,
+    jump: i128,
+    ramp_len: i128,
+    /// Value change when crossing a period boundary (see
+    /// `ComponentEvents::wrap_value` in [`crate::demand`]).
+    wrap_value: i128,
+    /// Slope change at a period boundary.
+    wrap_slope: i64,
+    ramp_is_step: bool,
+}
+
+/// A [`crate::demand::DemandProfile`] rescaled onto one common integer
+/// timebase, built once at profile construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ScaledProfile {
+    components: Vec<ScaledComponent>,
+    /// The common denominator `K`: real time `Δ` corresponds to the
+    /// integer `Δ·K`, curve values `v` to `v·K`.
+    scale: i128,
+    /// Exact long-run rate of the profile (scale-free).
+    rate: Rational,
+    /// Exact total burst of the profile (scale-free).
+    burst: Rational,
+    /// The hyperperiod on the scaled grid (`hp·K`), `None` when the
+    /// rational hyperperiod does not exist or does not fit in `i128`.
+    hyperperiod: Option<i128>,
+}
+
+/// `q·scale` as an exact integer (`None` on overflow or — defensively —
+/// when `q`'s denominator does not divide `scale`).
+fn to_scaled(q: Rational, scale: i128) -> Option<i128> {
+    if scale % q.denom() != 0 {
+        return None;
+    }
+    q.numer().checked_mul(scale / q.denom())
+}
+
+/// `⌊q·scale⌋`, `None` when the product overflows.
+fn scale_floor(q: Rational, scale: i128) -> Option<i128> {
+    Some(q.numer().checked_mul(scale)?.div_euclid(q.denom()))
+}
+
+impl ScaledProfile {
+    /// Rescales `components` onto their common integer timebase.
+    ///
+    /// Returns `None` when any scaled quantity (or the exact rate/burst)
+    /// overflows `i128` — the profile then has no fast path and every
+    /// query runs the exact rational walk.
+    pub(crate) fn build(components: &[PeriodicDemand]) -> Option<ScaledProfile> {
+        let mut scale: i128 = 1;
+        for c in components {
+            for q in c.raw() {
+                scale = lcm_i128(scale, q.denom())?;
+            }
+        }
+        let mut scaled = Vec::with_capacity(components.len());
+        let mut rate = Rational::ZERO;
+        let mut burst = Rational::ZERO;
+        for c in components {
+            let [period, per_period, constant, ramp_start, jump, ramp_len] = c.raw();
+            let period_s = to_scaled(period, scale)?;
+            let per_period_s = to_scaled(per_period, scale)?;
+            let constant_s = to_scaled(constant, scale)?;
+            let ramp_start_s = to_scaled(ramp_start, scale)?;
+            let jump_s = to_scaled(jump, scale)?;
+            let ramp_len_s = to_scaled(ramp_len, scale)?;
+            // Mirrors `IncrementalWalk::new` in crate::demand.
+            let ramp_restarts_at_wrap = ramp_start_s == 0;
+            let carry_at_wrap =
+                jump_s.checked_add((period_s.checked_sub(ramp_start_s)?).min(ramp_len_s))?;
+            let r_at_zero = if ramp_restarts_at_wrap { jump_s } else { 0 };
+            let in_ramp_before_wrap =
+                ramp_len_s > 0 && period_s.checked_sub(ramp_start_s)? <= ramp_len_s;
+            let in_ramp_after_wrap = ramp_restarts_at_wrap && ramp_len_s > 0;
+            scaled.push(ScaledComponent {
+                period: period_s,
+                constant: constant_s,
+                ramp_start: ramp_start_s,
+                jump: jump_s,
+                ramp_len: ramp_len_s,
+                wrap_value: per_period_s
+                    .checked_sub(carry_at_wrap)?
+                    .checked_add(r_at_zero)?,
+                wrap_slope: i64::from(in_ramp_after_wrap) - i64::from(in_ramp_before_wrap),
+                ramp_is_step: ramp_len_s == 0,
+            });
+            rate = rate
+                .checked_add(per_period.checked_div(period).ok()?)
+                .ok()?;
+            burst = burst
+                .checked_add(
+                    constant
+                        .checked_add(jump)
+                        .ok()?
+                        .checked_add(ramp_len)
+                        .ok()?,
+                )
+                .ok()?;
+        }
+        // Derive the scaled hyperperiod from the *rational* one so that
+        // the fast path's hyperperiod break fires exactly when the exact
+        // walk's does (lcm overflow behavior included).
+        let mut hp: Option<Rational> = None;
+        for c in components {
+            hp = Some(match hp {
+                None => c.period(),
+                Some(a) => match a.lcm(c.period()) {
+                    Some(l) => l,
+                    None => {
+                        hp = None;
+                        break;
+                    }
+                },
+            });
+        }
+        let hyperperiod = hp.and_then(|h| to_scaled(h, scale));
+        Some(ScaledProfile {
+            components: scaled,
+            scale,
+            rate,
+            burst,
+            hyperperiod,
+        })
+    }
+
+    /// Integer fast path of [`crate::demand::DemandProfile::sup_ratio`].
+    ///
+    /// `Ok(None)` means "overflow — fall back to the exact walk".
+    ///
+    /// # Errors
+    ///
+    /// Exactly the budget errors the exact walk would report.
+    pub(crate) fn sup_ratio(
+        &self,
+        limits: &AnalysisLimits,
+    ) -> Result<Option<SupRatio>, AnalysisError> {
+        let mut walk = ck!(ScaledWalk::new(&self.components));
+        if walk.value > 0 {
+            return Ok(Some(SupRatio::Unbounded));
+        }
+        // (reduced numerator, reduced denominator, raw scaled witness).
+        let mut best: Option<(i128, i128, i128)> = None;
+        // `⌊horizon·K⌋`; `i128::MAX` when the product overflows (the
+        // break is then unreachable before the walk itself bails).
+        let mut horizon: Option<i128> = None;
+        let mut examined = 0usize;
+        while let Some(delta) = walk.peek_next() {
+            if let Some(hp) = self.hyperperiod {
+                if delta > hp {
+                    break;
+                }
+            }
+            if let Some(h) = horizon {
+                if delta > h {
+                    break;
+                }
+            }
+            examined += 1;
+            if examined > limits.max_breakpoints() {
+                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
+            }
+            ck!(walk.advance());
+            // ratio = (v'/K)/(Δ'/K) = v'/Δ' — the scale cancels.
+            let improved = match best {
+                None => true,
+                Some((bn, bd, _)) => {
+                    ck!(walk.value.checked_mul(bd)) > ck!(bn.checked_mul(walk.delta))
+                }
+            };
+            if improved {
+                let ratio = Rational::new(walk.value, walk.delta);
+                best = Some((ratio.numer(), ratio.denom(), walk.delta));
+                if ratio > self.rate {
+                    // Same (panicking) rational ops as the exact walk.
+                    let h = self.burst / (ratio - self.rate);
+                    horizon = Some(scale_floor(h, self.scale).unwrap_or(i128::MAX));
+                }
+            }
+        }
+        Ok(Some(match best {
+            None => SupRatio::Finite {
+                value: Rational::ZERO,
+                witness: None,
+            },
+            Some((bn, bd, delta)) => SupRatio::Finite {
+                value: Rational::new(bn, bd),
+                witness: Some(Rational::new(delta, self.scale)),
+            },
+        }))
+    }
+
+    /// Integer fast path of [`crate::demand::DemandProfile::fits`].
+    ///
+    /// The caller must have rejected non-positive speeds already.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the budget errors the exact walk would report.
+    pub(crate) fn fits(
+        &self,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<Option<bool>, AnalysisError> {
+        let mut walk = ck!(ScaledWalk::new(&self.components));
+        if walk.value > 0 {
+            return Ok(Some(false));
+        }
+        if speed < self.rate {
+            return Ok(Some(false));
+        }
+        let horizon = if speed > self.rate {
+            // Same (panicking) rational ops as the exact walk.
+            let h = self.burst / (speed - self.rate);
+            Some(scale_floor(h, self.scale).unwrap_or(i128::MAX))
+        } else {
+            None
+        };
+        let s_num = speed.numer();
+        let s_den = speed.denom();
+        let mut examined = 0usize;
+        while let Some(delta) = walk.peek_next() {
+            if let Some(h) = horizon {
+                if delta > h {
+                    break;
+                }
+            }
+            if let Some(hp) = self.hyperperiod {
+                if delta > hp {
+                    break;
+                }
+            }
+            examined += 1;
+            if examined > limits.max_breakpoints() {
+                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
+            }
+            ck!(walk.advance());
+            // v > s·Δ ⟺ v'·s_den > s_num·Δ' (K > 0, s_den > 0).
+            if ck!(walk.value.checked_mul(s_den)) > ck!(s_num.checked_mul(walk.delta)) {
+                return Ok(Some(false));
+            }
+        }
+        Ok(Some(true))
+    }
+
+    /// Integer fast path of [`crate::demand::DemandProfile::first_fit`].
+    ///
+    /// The caller must have rejected non-positive speeds already.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the budget errors the exact walk would report.
+    pub(crate) fn first_fit(
+        &self,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<Option<FirstFit>, AnalysisError> {
+        let mut walk = ck!(ScaledWalk::new(&self.components));
+        if walk.value <= 0 {
+            return Ok(Some(FirstFit::At(Rational::ZERO)));
+        }
+        let s_num = speed.numer();
+        let s_den = speed.denom();
+        let mut examined = 0usize;
+        loop {
+            examined += 1;
+            if examined > limits.max_breakpoints() {
+                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
+            }
+            let segment_start = walk.delta;
+            let value = walk.value;
+            let segment_end = walk
+                .peek_next()
+                .expect("periodic curves have unbounded breakpoints");
+            // v ≤ s·Δ ⟺ v'·s_den ≤ s_num·Δ'.
+            if ck!(value.checked_mul(s_den)) <= ck!(s_num.checked_mul(segment_start)) {
+                return Ok(Some(FirstFit::At(Rational::new(segment_start, self.scale))));
+            }
+            let slope = i128::from(walk.slope);
+            let slope_s_den = ck!(slope.checked_mul(s_den));
+            if s_num > slope_s_den {
+                // Exact crossing of value + slope·(Δ − start) = s·Δ:
+                //   Δ = (v' − slope·start')·s_den / ((s_num − slope·s_den)·K).
+                let num = ck!(
+                    ck!(value.checked_sub(ck!(slope.checked_mul(segment_start))))
+                        .checked_mul(s_den)
+                );
+                // Positive, and no overflow: both terms fit and differ.
+                let den = s_num - slope_s_den;
+                // crossing < end ⟺ num < end'·den.
+                if num < ck!(segment_end.checked_mul(den)) {
+                    return Ok(Some(FirstFit::At(Rational::new(
+                        num,
+                        ck!(den.checked_mul(self.scale)),
+                    ))));
+                }
+            }
+            if speed <= self.rate {
+                if let Some(hp) = self.hyperperiod {
+                    if segment_start > hp {
+                        return Ok(Some(FirstFit::Never));
+                    }
+                }
+            }
+            ck!(walk.advance());
+        }
+    }
+}
+
+/// The integer mirror of [`crate::demand`]'s `IncrementalWalk`: same
+/// event stream, same visit order, pure `i128` state.
+struct ScaledWalk<'a> {
+    heap: BinaryHeap<Reverse<(i128, usize, u8)>>,
+    components: &'a [ScaledComponent],
+    delta: i128,
+    value: i128,
+    slope: i64,
+}
+
+impl<'a> ScaledWalk<'a> {
+    /// `None` when seeding the walk state would overflow.
+    fn new(components: &'a [ScaledComponent]) -> Option<ScaledWalk<'a>> {
+        let mut heap = BinaryHeap::new();
+        let mut value: i128 = 0;
+        let mut slope = 0i64;
+        for (i, c) in components.iter().enumerate() {
+            value = value.checked_add(c.constant)?;
+            if c.ramp_start == 0 {
+                value = value.checked_add(c.jump)?;
+                if c.ramp_len > 0 {
+                    slope += 1;
+                }
+            }
+            heap.push(Reverse((c.period, i, EVENT_WRAP)));
+            if c.ramp_start > 0 {
+                heap.push(Reverse((c.ramp_start, i, EVENT_RAMP_START)));
+            }
+            let ramp_end = c.ramp_start.checked_add(c.ramp_len)?;
+            if c.ramp_len > 0 && ramp_end < c.period {
+                heap.push(Reverse((ramp_end, i, EVENT_RAMP_END)));
+            }
+        }
+        Some(ScaledWalk {
+            heap,
+            components,
+            delta: 0,
+            value,
+            slope,
+        })
+    }
+
+    fn peek_next(&self) -> Option<i128> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Advances to the next event batch; `None` on overflow (the caller
+    /// must then discard the walk and fall back to the exact path).
+    fn advance(&mut self) -> Option<()> {
+        let next = self.peek_next().expect("advance on an empty profile");
+        self.value = self
+            .value
+            .checked_add(i128::from(self.slope).checked_mul(next - self.delta)?)?;
+        self.delta = next;
+        while let Some(&Reverse((t, i, kind))) = self.heap.peek() {
+            if t != next {
+                break;
+            }
+            self.heap.pop();
+            let c = &self.components[i];
+            match kind {
+                EVENT_WRAP => {
+                    self.value = self.value.checked_add(c.wrap_value)?;
+                    self.slope += c.wrap_slope;
+                    self.heap
+                        .push(Reverse((t.checked_add(c.period)?, i, EVENT_WRAP)));
+                }
+                EVENT_RAMP_START => {
+                    self.value = self.value.checked_add(c.jump)?;
+                    if !c.ramp_is_step {
+                        self.slope += 1;
+                    }
+                    self.heap
+                        .push(Reverse((t.checked_add(c.period)?, i, EVENT_RAMP_START)));
+                }
+                _ => {
+                    self.slope -= 1;
+                    self.heap
+                        .push(Reverse((t.checked_add(c.period)?, i, EVENT_RAMP_END)));
+                }
+            }
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::DemandProfile;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn scale_is_lcm_of_denominators() {
+        let a = PeriodicDemand::new(
+            rat(5, 2),
+            rat(3, 4),
+            int(0),
+            rat(1, 3),
+            rat(1, 4),
+            rat(1, 2),
+        );
+        let p = ScaledProfile::build(&[a]).expect("fits");
+        assert_eq!(p.scale, 12);
+        assert_eq!(p.components[0].period, 30);
+        assert_eq!(p.components[0].ramp_start, 4);
+    }
+
+    #[test]
+    fn integer_inputs_scale_by_one() {
+        let a = PeriodicDemand::step(int(4), int(2), int(1));
+        let p = ScaledProfile::build(&[a]).expect("fits");
+        assert_eq!(p.scale, 1);
+        assert_eq!(p.hyperperiod, Some(4));
+    }
+
+    #[test]
+    fn huge_denominators_refuse_the_fast_path() {
+        let huge = 1i128 << 100;
+        let a = PeriodicDemand::step(rat(1, huge), rat(1, huge), int(1));
+        let b = PeriodicDemand::step(rat(1, huge - 1), rat(1, huge - 1), int(1));
+        assert!(ScaledProfile::build(&[a, b]).is_none());
+    }
+
+    #[test]
+    fn scaled_walk_matches_profile_eval() {
+        let comps = vec![
+            PeriodicDemand::new(int(6), int(5), int(1), int(4), int(1), int(4)),
+            PeriodicDemand::step(int(5), int(3), int(2)),
+            PeriodicDemand::new(rat(7, 2), int(3), int(0), int(0), int(1), int(2)),
+        ];
+        let profile = DemandProfile::new(comps.clone());
+        let scaled = ScaledProfile::build(&comps).expect("fits");
+        let mut walk = ScaledWalk::new(&scaled.components).expect("fits");
+        for _ in 0..200 {
+            walk.advance().expect("fits");
+            let delta = Rational::new(walk.delta, scaled.scale);
+            let value = Rational::new(walk.value, scaled.scale);
+            assert_eq!(value, profile.eval(delta), "diverged at {delta}");
+        }
+    }
+}

@@ -74,6 +74,20 @@ pub struct SpeedupAnalysis {
 }
 
 impl SpeedupAnalysis {
+    /// Wraps a raw sup-ratio query result.
+    pub(crate) fn from_sup_ratio(sup: SupRatio) -> SpeedupAnalysis {
+        match sup {
+            SupRatio::Unbounded => SpeedupAnalysis {
+                bound: SpeedupBound::Unbounded,
+                witness: None,
+            },
+            SupRatio::Finite { value, witness } => SpeedupAnalysis {
+                bound: SpeedupBound::Finite(value),
+                witness,
+            },
+        }
+    }
+
     /// The minimum speedup factor `s_min`.
     #[must_use]
     pub fn bound(&self) -> SpeedupBound {
@@ -137,16 +151,7 @@ pub fn minimum_speedup(
     limits: &AnalysisLimits,
 ) -> Result<SpeedupAnalysis, AnalysisError> {
     let profile = hi_profile(set);
-    Ok(match profile.sup_ratio(limits)? {
-        SupRatio::Unbounded => SpeedupAnalysis {
-            bound: SpeedupBound::Unbounded,
-            witness: None,
-        },
-        SupRatio::Finite { value, witness } => SpeedupAnalysis {
-            bound: SpeedupBound::Finite(value),
-            witness,
-        },
-    })
+    Ok(SpeedupAnalysis::from_sup_ratio(profile.sup_ratio(limits)?))
 }
 
 /// Whether HI mode is EDF-schedulable at speed `s` (i.e. `s ≥ s_min`).

@@ -22,7 +22,7 @@
 use rbs_model::{scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, TaskSet};
 use rbs_timebase::Rational;
 
-use crate::resetting::{resetting_time, ResettingBound};
+use crate::analysis::Analysis;
 use crate::speedup::is_hi_schedulable;
 use crate::{AnalysisError, AnalysisLimits};
 
@@ -80,34 +80,7 @@ pub fn minimal_speed_within_budget(
     tolerance: Rational,
     limits: &AnalysisLimits,
 ) -> Result<Option<Rational>, AnalysisError> {
-    assert!(tolerance.is_positive(), "tolerance must be positive");
-    assert!(budget.is_positive(), "budget must be positive");
-    assert!(max_speed.is_positive(), "max_speed must be positive");
-    let meets = |s: Rational| -> Result<bool, AnalysisError> {
-        if !is_hi_schedulable(set, s, limits)? {
-            return Ok(false);
-        }
-        Ok(match resetting_time(set, s, limits)?.bound() {
-            ResettingBound::Finite(dr) => dr <= budget,
-            ResettingBound::Unbounded => false,
-        })
-    };
-    if !meets(max_speed)? {
-        return Ok(None);
-    }
-    // Invariant: `hi` meets, `lo` does not (start `lo` at an infeasible
-    // floor: speeds at or below zero never help, so use a vanishing one).
-    let mut lo = Rational::ZERO;
-    let mut hi = max_speed;
-    while hi - lo > tolerance {
-        let mid = (hi + lo) / Rational::TWO;
-        if mid.is_positive() && meets(mid)? {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
-    Ok(Some(hi))
+    Analysis::new(set, limits).minimal_speed_within_budget(budget, max_speed, tolerance)
 }
 
 /// The smallest degradation factor `y ∈ [1, y_max]` (within `tolerance`)
@@ -249,7 +222,7 @@ pub fn overclock_duty_cycle(delta_r: Rational, t_o: Rational) -> Rational {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::resetting::resetting_time;
+    use crate::resetting::{resetting_time, ResettingBound};
     use crate::speedup::minimum_speedup;
     use rbs_model::{Criticality, Task};
 

@@ -1,0 +1,200 @@
+//! Differential property tests: the integer fast-path walks must agree
+//! *bit-for-bit* with the exact rational walks — same `SupRatio` /
+//! `FirstFit` / verdict values, same errors, same `examined` counts —
+//! across random rational-timebase profiles, and the fallback must
+//! engage (with identical results) at the overflow boundary.
+
+use rbs_core::demand::{DemandProfile, PeriodicDemand, WalkKind};
+use rbs_core::{AnalysisError, AnalysisLimits};
+use rbs_rng::Rng;
+use rbs_timebase::Rational;
+
+const CASES: usize = 256;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+fn rat(n: i128, d: i128) -> Rational {
+    Rational::new(n, d)
+}
+
+/// A small positive denominator: mixed timebases (halves, thirds,
+/// quarters) exercise a non-trivial common scale.
+fn arb_den(rng: &mut Rng) -> i128 {
+    [1, 2, 3, 4][rng.gen_range_usize(0, 3)]
+}
+
+/// Arbitrary well-formed components over a rational timebase, covering
+/// steps, ramps, clipped ramps, immediate ramps and zero-offset jumps.
+fn arb_component(rng: &mut Rng) -> PeriodicDemand {
+    let period = rat(rng.gen_range_i128(1, 12), arb_den(rng));
+    // ramp_start = period·k/4 ∈ [0, period).
+    let ramp_start = period * rat(rng.gen_range_i128(0, 3), 4);
+    let jump = rat(rng.gen_range_i128(0, 5), arb_den(rng));
+    let ramp_len = rat(rng.gen_range_i128(0, 11), arb_den(rng));
+    let extra = rat(rng.gen_range_i128(0, 3), arb_den(rng));
+    PeriodicDemand::new(
+        period,
+        jump + ramp_len + extra,
+        extra,
+        ramp_start,
+        jump,
+        ramp_len,
+    )
+}
+
+fn arb_profile(rng: &mut Rng, max: usize) -> DemandProfile {
+    let len = rng.gen_range_usize(1, max);
+    DemandProfile::new((0..len).map(|_| arb_component(rng)).collect())
+}
+
+#[test]
+fn sup_ratio_dispatch_agrees_with_exact_walk() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_0001);
+    let limits = AnalysisLimits::default();
+    for case in 0..CASES {
+        let profile = arb_profile(&mut rng, 5);
+        let exact = profile.sup_ratio_exact(&limits);
+        let dispatched = profile.sup_ratio(&limits);
+        assert_eq!(dispatched, exact, "case {case}: {profile:?}");
+    }
+}
+
+#[test]
+fn fits_dispatch_agrees_with_exact_walk() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_0002);
+    let limits = AnalysisLimits::default();
+    for case in 0..CASES {
+        let profile = arb_profile(&mut rng, 4);
+        let speed = rat(rng.gen_range_i128(1, 40), 8);
+        let exact = profile.fits_exact(speed, &limits);
+        let dispatched = profile.fits(speed, &limits);
+        assert_eq!(dispatched, exact, "case {case} at speed {speed}");
+    }
+}
+
+#[test]
+fn first_fit_dispatch_agrees_with_exact_walk() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_0003);
+    let limits = AnalysisLimits::default();
+    for case in 0..CASES {
+        let profile = arb_profile(&mut rng, 4);
+        let speed = rat(rng.gen_range_i128(1, 40), 8);
+        let exact = profile.first_fit_exact(speed, &limits);
+        let dispatched = profile.first_fit(speed, &limits);
+        assert_eq!(dispatched, exact, "case {case} at speed {speed}");
+    }
+}
+
+#[test]
+fn small_timebases_take_the_integer_fast_path() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_0004);
+    let limits = AnalysisLimits::default();
+    for case in 0..CASES {
+        let profile = arb_profile(&mut rng, 4);
+        assert!(profile.has_fast_path(), "case {case}");
+        let speed = rat(rng.gen_range_i128(1, 40), 8);
+        let (_, sup_kind) = profile.sup_ratio_traced(&limits).expect("completes");
+        let (_, fits_kind) = profile.fits_traced(speed, &limits).expect("completes");
+        let (_, fit_kind) = profile.first_fit_traced(speed, &limits).expect("completes");
+        for kind in [sup_kind, fits_kind, fit_kind] {
+            assert_eq!(kind, WalkKind::Integer, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn huge_denominators_fall_back_to_the_exact_walk() {
+    // The period's denominator (2^80) and the height's denominator
+    // (3^31) are individually comfortable for exact rational arithmetic
+    // — times and values never mix into one fraction — but their lcm
+    // (the would-be common scale, ≈ 2^129) overflows i128, so the fast
+    // path must be refused at construction.
+    let d2 = 1i128 << 80;
+    let d3 = 3i128.pow(31);
+    let profile = DemandProfile::new(vec![PeriodicDemand::step(
+        rat(3, d2),
+        rat(1, d2),
+        rat(1, d3),
+    )]);
+    assert!(!profile.has_fast_path());
+    let limits = AnalysisLimits::default();
+    let (sup, kind) = profile.sup_ratio_traced(&limits).expect("completes");
+    assert_eq!(kind, WalkKind::Rational);
+    assert_eq!(sup, profile.sup_ratio_exact(&limits).expect("completes"));
+    let (fits, kind) = profile.fits_traced(int(1), &limits).expect("completes");
+    assert_eq!(kind, WalkKind::Rational);
+    assert_eq!(
+        fits,
+        profile.fits_exact(int(1), &limits).expect("completes")
+    );
+}
+
+#[test]
+fn mid_walk_overflow_bails_to_the_exact_walk() {
+    // All-integer inputs (scale 1), so the fast path is available — but
+    // the walk overflows mid-query. At Δ = 64 the huge step makes the
+    // best ratio's reduced denominator 16; at Δ = 65 the fast path's
+    // improvement cross-multiply `value·bd` exceeds i128 and bails. The
+    // exact walk's rational comparisons are overflow-free, the supremum
+    // sits exactly at the rate (so no horizon division ever runs), and
+    // values stay near 3·big ≪ i128::MAX — it completes normally.
+    let big = (i128::MAX / 16) | 1;
+    let profile = DemandProfile::new(vec![
+        PeriodicDemand::step(int(1), int(1), int(1)),
+        PeriodicDemand::step(int(3), int(3), int(1)),
+        PeriodicDemand::step(int(64), int(64), int(big)),
+    ]);
+    assert!(profile.has_fast_path());
+    let limits = AnalysisLimits::default();
+    let (sup, kind) = profile.sup_ratio_traced(&limits).expect("completes");
+    assert_eq!(kind, WalkKind::Rational, "overflow must trigger fallback");
+    assert_eq!(sup, profile.sup_ratio_exact(&limits).expect("completes"));
+}
+
+#[test]
+fn budget_errors_carry_identical_examined_counts() {
+    // Coprime periods with a huge lcm under a tiny budget: both walks
+    // must exhaust the budget at exactly the same breakpoint.
+    let profile = DemandProfile::new(vec![
+        PeriodicDemand::step(int(10_007), int(1), int(1)),
+        PeriodicDemand::step(int(10_009), int(10_008), int(10_000)),
+    ]);
+    assert!(profile.has_fast_path());
+    let limits = AnalysisLimits::new(2);
+    let exact = profile.sup_ratio_exact(&limits);
+    let dispatched = profile.sup_ratio(&limits);
+    assert!(matches!(
+        dispatched,
+        Err(AnalysisError::BreakpointBudgetExhausted { .. })
+    ));
+    assert_eq!(dispatched, exact);
+}
+
+#[test]
+fn random_profiles_agree_under_tight_budgets() {
+    // Budget errors (and their `examined` payloads) must match even when
+    // the budget cuts the walk mid-flight.
+    let mut rng = Rng::seed_from_u64(0x5ca1_0005);
+    for case in 0..CASES {
+        let profile = arb_profile(&mut rng, 4);
+        let limits = AnalysisLimits::new(rng.gen_range_usize(1, 12));
+        let speed = rat(rng.gen_range_i128(1, 40), 8);
+        assert_eq!(
+            profile.sup_ratio(&limits),
+            profile.sup_ratio_exact(&limits),
+            "case {case}"
+        );
+        assert_eq!(
+            profile.fits(speed, &limits),
+            profile.fits_exact(speed, &limits),
+            "case {case} at speed {speed}"
+        );
+        assert_eq!(
+            profile.first_fit(speed, &limits),
+            profile.first_fit_exact(speed, &limits),
+            "case {case} at speed {speed}"
+        );
+    }
+}

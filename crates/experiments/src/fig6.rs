@@ -9,9 +9,9 @@
 
 use std::fmt;
 
-use rbs_core::resetting::{resetting_time, ResettingBound};
-use rbs_core::speedup::{minimum_speedup, SpeedupBound};
-use rbs_core::AnalysisLimits;
+use rbs_core::resetting::ResettingBound;
+use rbs_core::speedup::SpeedupBound;
+use rbs_core::{Analysis, AnalysisLimits};
 use rbs_gen::synth::SynthConfig;
 use rbs_timebase::Rational;
 
@@ -129,13 +129,16 @@ fn campaign_point(
                 }
                 continue;
             };
-            if let Ok(analysis) = minimum_speedup(&set, limits) {
+            // One context per prepared set: the HI demand profile is
+            // shared by the speedup query and the whole resetting sweep.
+            let ctx = Analysis::new(&set, limits);
+            if let Ok(analysis) = ctx.minimum_speedup() {
                 if let SpeedupBound::Finite(s_min) = analysis.bound() {
                     contribution.s_min_by_y[yi] = Some(s_min);
                 }
             }
             for (si, &s) in speeds.iter().enumerate() {
-                if let Ok(analysis) = resetting_time(&set, s, limits) {
+                if let Ok(analysis) = ctx.resetting_time(s) {
                     if let ResettingBound::Finite(dr) = analysis.bound() {
                         contribution.resetting_by_sy[yi * speeds.len() + si] = Some(dr);
                     }

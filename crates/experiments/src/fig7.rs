@@ -16,10 +16,8 @@
 use std::fmt;
 
 use rbs_baselines::{edf_vd, reservation};
-use rbs_core::lo_mode::is_lo_schedulable;
-use rbs_core::resetting::{resetting_time, ResettingBound};
-use rbs_core::speedup::is_hi_schedulable;
-use rbs_core::AnalysisLimits;
+use rbs_core::resetting::ResettingBound;
+use rbs_core::{Analysis, AnalysisLimits};
 use rbs_gen::grid::GridConfig;
 use rbs_timebase::Rational;
 
@@ -144,17 +142,20 @@ fn region_point(
             continue;
         };
         let set = set.with_lo_terminated().expect("LO tasks terminate");
-        let Ok(lo_ok) = is_lo_schedulable(&set, limits) else {
+        // One context per set: the LO profile serves the LO verdict, and
+        // the HI/arrival profiles serve all four speed queries.
+        let ctx = Analysis::new(&set, limits);
+        let Ok(lo_ok) = ctx.is_lo_schedulable() else {
             continue;
         };
         if !lo_ok {
             continue;
         }
-        if is_hi_schedulable(&set, Rational::ONE, limits).unwrap_or(false) {
+        if ctx.is_hi_schedulable(Rational::ONE).unwrap_or(false) {
             accept_no_speedup += 1;
         }
-        if is_hi_schedulable(&set, speed, limits).unwrap_or(false) {
-            let Ok(reset) = resetting_time(&set, speed, limits) else {
+        if ctx.is_hi_schedulable(speed).unwrap_or(false) {
+            let Ok(reset) = ctx.resetting_time(speed) else {
                 continue;
             };
             if let ResettingBound::Finite(dr) = reset.bound() {

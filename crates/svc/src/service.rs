@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use rbs_core::{analyze, AnalysisLimits};
+use rbs_core::{analyze_with_meta, AnalysisLimits, AnalyzeMeta};
 use rbs_json::Json;
 use rbs_model::{CanonicalTaskSet, TaskSet};
 
@@ -37,6 +37,9 @@ pub enum Outcome {
         hash: String,
         /// Whether the report came out of the cache.
         cached: bool,
+        /// Walk statistics of the analysis that produced the report;
+        /// `None` when the report was served from the cache.
+        walks: Option<AnalyzeMeta>,
         /// The rendered [`rbs_core::AnalyzeReport`] JSON.
         report_json: Arc<str>,
     },
@@ -51,6 +54,10 @@ pub struct Response {
     pub seq: usize,
     /// Origin label of the request (file path or `stdin:N`).
     pub label: String,
+    /// Service time for this request in microseconds (parse + analysis
+    /// share). Wall-clock observability only — never part of the cached
+    /// report and the only non-deterministic field of a response line.
+    pub micros: u64,
     /// The verdict.
     pub outcome: Outcome,
 }
@@ -63,15 +70,26 @@ impl Response {
             Outcome::Report {
                 hash,
                 cached,
+                walks,
                 report_json,
-            } => format!(
-                "{{\"seq\":{},\"hash\":\"{hash}\",\"cached\":{cached},\"report\":{report_json}}}",
-                self.seq
-            ),
+            } => {
+                let walks = match walks {
+                    Some(meta) => format!(
+                        ",\"walks\":{{\"integer\":{},\"exact\":{}}}",
+                        meta.integer_walks, meta.exact_walks
+                    ),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"seq\":{},\"hash\":\"{hash}\",\"cached\":{cached},\"micros\":{}{walks},\"report\":{report_json}}}",
+                    self.seq, self.micros
+                )
+            }
             Outcome::Error(message) => format!(
-                "{{\"seq\":{},\"source\":{},\"error\":{}}}",
+                "{{\"seq\":{},\"source\":{},\"micros\":{},\"error\":{}}}",
                 self.seq,
                 Json::Str(self.label.clone()).render(),
+                self.micros,
                 Json::Str(message.clone()).render()
             ),
         }
@@ -91,6 +109,12 @@ pub struct BatchStats {
     pub cache_hits: usize,
     /// Analyses actually executed (misses after in-batch coalescing).
     pub analyzed: usize,
+    /// Breakpoint walks served by the integer fast path, summed over the
+    /// executed analyses.
+    pub integer_walks: u64,
+    /// Breakpoint walks that fell back to the exact rational path,
+    /// summed over the executed analyses.
+    pub exact_walks: u64,
     /// Per-request service time in microseconds (parse + analysis share),
     /// indexed by `seq`.
     pub latencies_micros: Vec<u64>,
@@ -111,8 +135,14 @@ impl BatchStats {
         };
         format!(
             "rbs-svc: served={} ok={} errors={} cache_hits={} analyzed={} jobs={jobs} \
-             latency_micros{{p50={p50} mean={mean} max={max}}}",
-            self.served, self.ok, self.errors, self.cache_hits, self.analyzed
+             walks{{integer={} exact={}}} latency_micros{{p50={p50} mean={mean} max={max}}}",
+            self.served,
+            self.ok,
+            self.errors,
+            self.cache_hits,
+            self.analyzed,
+            self.integer_walks,
+            self.exact_walks
         )
     }
 }
@@ -175,6 +205,7 @@ impl Service {
                             Slot::Done(Outcome::Report {
                                 hash: canonical.to_string(),
                                 cached: true,
+                                walks: None,
                                 report_json,
                             })
                         }
@@ -196,19 +227,25 @@ impl Service {
         // Pass 2 (parallel): analyze the deduplicated misses on the pool.
         stats.analyzed = pending.len();
         let limits = self.limits;
-        let results: Vec<(CanonicalTaskSet, Result<Arc<str>, String>, u64)> =
-            self.pool.run_ordered(pending, |_, job| {
-                let start = Instant::now();
-                let outcome = analyze(job.set, &limits)
-                    .map(|report| Arc::from(rbs_json::to_string(&report)))
-                    .map_err(|error| format!("analysis failed: {error}"));
-                (job.canonical, outcome, elapsed_micros(start))
-            });
+        type JobResult = (
+            CanonicalTaskSet,
+            Result<(Arc<str>, AnalyzeMeta), String>,
+            u64,
+        );
+        let results: Vec<JobResult> = self.pool.run_ordered(pending, |_, job| {
+            let start = Instant::now();
+            let outcome = analyze_with_meta(job.set, &limits)
+                .map(|(report, meta)| (Arc::from(rbs_json::to_string(&report)), meta))
+                .map_err(|error| format!("analysis failed: {error}"));
+            (job.canonical, outcome, elapsed_micros(start))
+        });
 
         // Pass 3 (sequential): fill the cache and assemble responses.
         for (canonical, outcome, _) in &results {
-            if let Ok(report_json) = outcome {
+            if let Ok((report_json, meta)) = outcome {
                 self.cache.insert(canonical, Arc::clone(report_json));
+                stats.integer_walks += meta.integer_walks;
+                stats.exact_walks += meta.exact_walks;
             }
         }
         let responses = slots
@@ -221,9 +258,10 @@ impl Service {
                         let (canonical, result, micros) = &results[job];
                         stats.latencies_micros[seq] += micros;
                         match result {
-                            Ok(report_json) => Outcome::Report {
+                            Ok((report_json, meta)) => Outcome::Report {
                                 hash: canonical.to_string(),
                                 cached: false,
+                                walks: Some(*meta),
                                 report_json: Arc::clone(report_json),
                             },
                             Err(message) => Outcome::Error(message.clone()),
@@ -237,6 +275,7 @@ impl Service {
                 Response {
                     seq,
                     label: requests[seq].label.clone(),
+                    micros: stats.latencies_micros[seq],
                     outcome,
                 }
             })

@@ -64,6 +64,7 @@ fn resubmission_is_a_cache_hit_with_the_identical_report() {
                 hash: hb,
                 cached,
                 report_json: rb,
+                ..
             },
         ) = (&a.outcome, &b.outcome)
         else {
@@ -135,9 +136,54 @@ fn worker_count_never_changes_the_rendered_responses() {
     let requests = read_source(&workloads_dir()).expect("workloads readable");
     let render = |jobs: usize| -> Vec<String> {
         let (responses, _) = service(jobs).process_batch(&requests);
-        responses.iter().map(rbs_svc::Response::render).collect()
+        responses
+            .into_iter()
+            .map(|mut response| {
+                // `micros` is wall-clock — the one deliberately
+                // non-deterministic field. Everything else must match.
+                response.micros = 0;
+                response.render()
+            })
+            .collect()
     };
     assert_eq!(render(1), render(8));
+}
+
+#[test]
+fn walk_counters_are_reported_and_deterministic() {
+    let requests = read_source(&workloads_dir()).expect("workloads readable");
+    let svc = service(2);
+    let (first, stats) = svc.process_batch(&requests);
+    let mut total = (0u64, 0u64);
+    for response in &first {
+        let Outcome::Report { walks, .. } = &response.outcome else {
+            panic!("expected a report");
+        };
+        let meta = walks.expect("fresh analyses must carry walk stats");
+        assert!(
+            meta.integer_walks > 0,
+            "integer-timebase workloads must use the fast path"
+        );
+        total.0 += meta.integer_walks;
+        total.1 += meta.exact_walks;
+        let line = response.render();
+        assert!(line.contains("\"walks\":{\"integer\":"), "{line}");
+        assert!(line.contains("\"micros\":"), "{line}");
+    }
+    assert_eq!((stats.integer_walks, stats.exact_walks), total);
+    // Cache hits carry no walk stats (no analysis ran) ...
+    let (second, stats) = svc.process_batch(&requests);
+    assert_eq!((stats.integer_walks, stats.exact_walks), (0, 0));
+    for response in &second {
+        let Outcome::Report { walks, .. } = &response.outcome else {
+            panic!("expected a report");
+        };
+        assert_eq!(*walks, None);
+        assert!(!response.render().contains("\"walks\""));
+    }
+    // ... and re-analyzing from scratch reproduces the exact counts.
+    let (_, again) = service(1).process_batch(&requests);
+    assert_eq!((again.integer_walks, again.exact_walks), total);
 }
 
 #[test]

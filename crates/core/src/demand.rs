@@ -402,9 +402,7 @@ impl DemandProfile {
                 }
             }
             examined += 1;
-            if examined > limits.max_breakpoints() {
-                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
-            }
+            limits.check_walk(examined)?;
             walk.advance();
             let ratio = walk.value / walk.delta;
             if best.is_none_or(|(b, _)| ratio > b) {
@@ -512,9 +510,7 @@ impl DemandProfile {
                 }
             }
             examined += 1;
-            if examined > limits.max_breakpoints() {
-                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
-            }
+            limits.check_walk(examined)?;
             walk.advance();
             if walk.value > speed * walk.delta {
                 return Ok(false);
@@ -591,9 +587,7 @@ impl DemandProfile {
         let mut examined = 0usize;
         loop {
             examined += 1;
-            if examined > limits.max_breakpoints() {
-                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
-            }
+            limits.check_walk(examined)?;
             let segment_start = walk.delta;
             let value = walk.value;
             let segment_end = walk

@@ -15,6 +15,14 @@ pub enum AnalysisError {
         /// Breakpoints examined before giving up.
         examined: usize,
     },
+    /// The wall-clock deadline attached to
+    /// [`crate::AnalysisLimits::with_deadline`] passed before the walk
+    /// reached a stopping horizon. Only produced when a deadline is set
+    /// (long-running services attach one per request).
+    DeadlineExceeded {
+        /// Breakpoints examined before the deadline fired.
+        examined: usize,
+    },
     /// An intermediate exact value overflowed `i128`.
     Overflow,
     /// The requested processor speed is not strictly positive.
@@ -27,6 +35,10 @@ impl fmt::Display for AnalysisError {
             AnalysisError::BreakpointBudgetExhausted { examined } => write!(
                 f,
                 "breakpoint budget exhausted after {examined} points without reaching a stopping horizon"
+            ),
+            AnalysisError::DeadlineExceeded { examined } => write!(
+                f,
+                "analysis deadline exceeded after {examined} breakpoints"
             ),
             AnalysisError::Overflow => f.write_str("exact rational computation overflowed i128"),
             AnalysisError::NonPositiveSpeed => {
@@ -52,6 +64,9 @@ mod tests {
     fn display_is_informative() {
         let err = AnalysisError::BreakpointBudgetExhausted { examined: 42 };
         assert!(err.to_string().contains("42"));
+        let late = AnalysisError::DeadlineExceeded { examined: 7 };
+        assert!(late.to_string().contains("deadline"));
+        assert!(late.to_string().contains('7'));
         assert!(!AnalysisError::Overflow.to_string().is_empty());
         assert!(!AnalysisError::NonPositiveSpeed.to_string().is_empty());
     }

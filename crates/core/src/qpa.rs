@@ -148,11 +148,7 @@ pub(crate) fn qpa_decision(
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        if iterations > limits.max_breakpoints() {
-            return Err(AnalysisError::BreakpointBudgetExhausted {
-                examined: iterations,
-            });
-        }
+        limits.check_walk(iterations)?;
         let demand = demand(t);
         let supply = speed * t;
         if demand > supply {

@@ -276,6 +276,21 @@ mod tests {
     }
 
     #[test]
+    fn an_expired_deadline_aborts_analysis_without_changing_results() {
+        let expired = AnalysisLimits::default().with_deadline(std::time::Instant::now());
+        assert!(matches!(
+            analyze(table1(), &expired),
+            Err(AnalysisError::DeadlineExceeded { .. })
+        ));
+        // A generous deadline yields the byte-identical report.
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let timed = analyze(table1(), &AnalysisLimits::default().with_deadline(far))
+            .expect("completes well before the deadline");
+        let plain = analyze(table1(), &AnalysisLimits::default()).expect("completes");
+        assert_eq!(rbs_json::to_string(&timed), rbs_json::to_string(&plain));
+    }
+
+    #[test]
     fn bounds_round_trip_through_json() {
         for bound in [
             SpeedupBound::Finite(Rational::new(4, 3)),

@@ -215,9 +215,7 @@ impl ScaledProfile {
                 }
             }
             examined += 1;
-            if examined > limits.max_breakpoints() {
-                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
-            }
+            limits.check_walk(examined)?;
             ck!(walk.advance());
             // ratio = (v'/K)/(Δ'/K) = v'/Δ' — the scale cancels.
             let improved = match best {
@@ -289,9 +287,7 @@ impl ScaledProfile {
                 }
             }
             examined += 1;
-            if examined > limits.max_breakpoints() {
-                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
-            }
+            limits.check_walk(examined)?;
             ck!(walk.advance());
             // v > s·Δ ⟺ v'·s_den > s_num·Δ' (K > 0, s_den > 0).
             if ck!(walk.value.checked_mul(s_den)) > ck!(s_num.checked_mul(walk.delta)) {
@@ -322,9 +318,7 @@ impl ScaledProfile {
         let mut examined = 0usize;
         loop {
             examined += 1;
-            if examined > limits.max_breakpoints() {
-                return Err(AnalysisError::BreakpointBudgetExhausted { examined });
-            }
+            limits.check_walk(examined)?;
             let segment_start = walk.delta;
             let value = walk.value;
             let segment_end = walk

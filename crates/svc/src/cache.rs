@@ -1,5 +1,11 @@
-//! Sharded LRU cache for analysis results, keyed on canonical task-set
+//! Sharded LRU cache for analysis outcomes, keyed on canonical task-set
 //! bytes.
+//!
+//! The cache is generic over its value type: the service keeps one
+//! `ResultCache<Arc<str>>` of rendered report JSON (the positive cache)
+//! and one bounded `ResultCache<SvcError>` of failed outcomes (the
+//! negative cache), so a repeatedly submitted poison-pill set answers
+//! from the cache instead of re-running its worst-case analysis.
 //!
 //! The shard is selected by the canonical form's 64-bit FNV-1a
 //! [`content_hash`](rbs_model::CanonicalTaskSet::content_hash), but the map
@@ -20,34 +26,44 @@ use rbs_model::CanonicalTaskSet;
 
 const SHARDS: usize = 16;
 
-/// A sharded least-recently-used map from canonical task sets to their
-/// rendered report JSON. Cloning is cheap and shares the shards.
+/// A sharded least-recently-used map from canonical task sets to a cached
+/// outcome `V` (rendered report JSON by default). Cloning is cheap and
+/// shares the shards.
 #[derive(Debug, Clone)]
-pub struct ResultCache {
-    shards: Arc<Vec<Mutex<Shard>>>,
+pub struct ResultCache<V = Arc<str>> {
+    shards: Arc<Vec<Mutex<Shard<V>>>>,
     per_shard_capacity: usize,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
 }
 
-#[derive(Debug, Default)]
-struct Shard {
-    entries: HashMap<Vec<u8>, Entry>,
+#[derive(Debug)]
+struct Shard<V> {
+    entries: HashMap<Vec<u8>, Entry<V>>,
     clock: u64,
 }
 
-#[derive(Debug)]
-struct Entry {
-    stamp: u64,
-    report_json: Arc<str>,
+impl<V> Default for Shard<V> {
+    fn default() -> Shard<V> {
+        Shard {
+            entries: HashMap::new(),
+            clock: 0,
+        }
+    }
 }
 
-impl ResultCache {
-    /// A cache holding at most `capacity` reports in total (rounded up to
+#[derive(Debug)]
+struct Entry<V> {
+    stamp: u64,
+    value: V,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// A cache holding at most `capacity` entries in total (rounded up to
     /// a multiple of the shard count). `capacity == 0` disables caching:
     /// every lookup misses and inserts are dropped.
     #[must_use]
-    pub fn new(capacity: usize) -> ResultCache {
+    pub fn new(capacity: usize) -> ResultCache<V> {
         let per_shard_capacity = capacity.div_ceil(SHARDS);
         let shards = (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect();
         ResultCache {
@@ -58,14 +74,14 @@ impl ResultCache {
         }
     }
 
-    fn shard(&self, key: &CanonicalTaskSet) -> &Mutex<Shard> {
+    fn shard(&self, key: &CanonicalTaskSet) -> &Mutex<Shard<V>> {
         let index = (key.content_hash() % SHARDS as u64) as usize;
         &self.shards[index]
     }
 
     /// Looks `key` up, refreshing its recency on a hit.
     #[must_use]
-    pub fn get(&self, key: &CanonicalTaskSet) -> Option<Arc<str>> {
+    pub fn get(&self, key: &CanonicalTaskSet) -> Option<V> {
         if self.per_shard_capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -77,7 +93,7 @@ impl ResultCache {
             Some(entry) => {
                 entry.stamp = clock;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.report_json))
+                Some(entry.value.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -88,7 +104,7 @@ impl ResultCache {
 
     /// Inserts (or refreshes) `key`, evicting the shard's least-recently
     /// used entry when it is full.
-    pub fn insert(&self, key: &CanonicalTaskSet, report_json: Arc<str>) {
+    pub fn insert(&self, key: &CanonicalTaskSet, value: V) {
         if self.per_shard_capacity == 0 {
             return;
         }
@@ -109,7 +125,7 @@ impl ResultCache {
         }
         shard
             .entries
-            .insert(key.bytes().to_vec(), Entry { stamp, report_json });
+            .insert(key.bytes().to_vec(), Entry { stamp, value });
     }
 
     /// Cached entries across all shards.
@@ -157,7 +173,7 @@ mod tests {
 
     #[test]
     fn get_after_insert_hits() {
-        let cache = ResultCache::new(8);
+        let cache: ResultCache = ResultCache::new(8);
         let key = set(10);
         assert!(cache.get(&key).is_none());
         cache.insert(&key, Arc::from("report"));
@@ -168,7 +184,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables_caching() {
-        let cache = ResultCache::new(0);
+        let cache: ResultCache = ResultCache::new(0);
         let key = set(10);
         cache.insert(&key, Arc::from("report"));
         assert!(cache.get(&key).is_none());
@@ -179,7 +195,7 @@ mod tests {
     fn eviction_prefers_the_least_recently_used() {
         // Capacity 16 → one slot per shard; keys landing in the same shard
         // evict each other, and a refreshed key survives.
-        let cache = ResultCache::new(16);
+        let cache: ResultCache = ResultCache::new(16);
         let keys: Vec<CanonicalTaskSet> = (2..200).map(set).collect();
         // Find two distinct keys in the same shard.
         let first = &keys[0];
@@ -198,7 +214,7 @@ mod tests {
     fn recency_is_refreshed_by_get() {
         // Two keys in one shard, capacity two per shard: touching the
         // older key protects it from the next eviction.
-        let cache = ResultCache::new(32);
+        let cache: ResultCache = ResultCache::new(32);
         let keys: Vec<CanonicalTaskSet> = (2..200).map(set).collect();
         let first = &keys[0];
         let mut same_shard = keys[1..]

@@ -10,7 +10,7 @@
 //!   order, one document per file.
 
 use std::fs;
-use std::io::{self, Read};
+use std::io::{self, BufRead, Read};
 use std::path::Path;
 
 /// One task-set document to analyze, labeled with where it came from
@@ -77,6 +77,51 @@ fn read_dir(dir: &Path) -> io::Result<Vec<Request>> {
         .collect()
 }
 
+/// Reads one newline-terminated line with a byte cap — the `--follow`
+/// mode ingest guard. A line longer than `cap` bytes is *truncated to
+/// `cap + 1` bytes* (enough for the service's oversized check to fire)
+/// while the remainder is consumed and discarded, so a pathological
+/// multi-gigabyte line can neither exhaust memory nor desynchronize the
+/// stream. Invalid UTF-8 is replaced rather than rejected (an oversized
+/// cut can split a code point; the body is never parsed in that case).
+///
+/// Returns `None` at end of input. `cap == None` means unbounded.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying reader.
+pub fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    cap: Option<usize>,
+) -> io::Result<Option<String>> {
+    let keep = cap.map_or(usize::MAX, |c| c.saturating_add(1));
+    let mut line: Vec<u8> = Vec::new();
+    let mut saw_any = false;
+    loop {
+        let buffer = reader.fill_buf()?;
+        if buffer.is_empty() {
+            // EOF: a partial final line still counts as a line.
+            return Ok(if saw_any {
+                Some(String::from_utf8_lossy(&line).into_owned())
+            } else {
+                None
+            });
+        }
+        saw_any = true;
+        let (chunk, done) = match buffer.iter().position(|&b| b == b'\n') {
+            Some(newline) => (&buffer[..newline], true),
+            None => (buffer, false),
+        };
+        let room = keep.saturating_sub(line.len());
+        line.extend_from_slice(&chunk[..chunk.len().min(room)]);
+        let consumed = chunk.len() + usize::from(done);
+        reader.consume(consumed);
+        if done {
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+    }
+}
+
 fn split_lines(origin: &str, text: &str) -> Vec<Request> {
     text.lines()
         .enumerate()
@@ -112,6 +157,49 @@ mod tests {
         assert!(requests[0].label.ends_with("table1.json"));
         assert!(requests[1].label.ends_with("table1_degraded.json"));
         assert!(requests[2].label.ends_with("terminated.json"));
+    }
+
+    #[test]
+    fn bounded_lines_truncate_but_stay_synchronized() {
+        let text = format!("short\n{}\nafter\nlast", "x".repeat(100));
+        let mut reader = io::BufReader::with_capacity(8, text.as_bytes());
+        let cap = Some(10);
+        assert_eq!(
+            read_line_bounded(&mut reader, cap).expect("reads"),
+            Some("short".to_owned())
+        );
+        // The 100-byte line is truncated to cap + 1 bytes, and the rest of
+        // the line is discarded — the next read sees "after".
+        let long = read_line_bounded(&mut reader, cap).expect("reads").unwrap();
+        assert_eq!(long.len(), 11);
+        assert_eq!(
+            read_line_bounded(&mut reader, cap).expect("reads"),
+            Some("after".to_owned())
+        );
+        // A partial final line (no trailing newline) still arrives.
+        assert_eq!(
+            read_line_bounded(&mut reader, cap).expect("reads"),
+            Some("last".to_owned())
+        );
+        assert_eq!(read_line_bounded(&mut reader, cap).expect("reads"), None);
+    }
+
+    #[test]
+    fn unbounded_lines_pass_through_untouched() {
+        let mut reader = io::BufReader::new("abc\n\ndef".as_bytes());
+        assert_eq!(
+            read_line_bounded(&mut reader, None).expect("reads"),
+            Some("abc".to_owned())
+        );
+        assert_eq!(
+            read_line_bounded(&mut reader, None).expect("reads"),
+            Some(String::new())
+        );
+        assert_eq!(
+            read_line_bounded(&mut reader, None).expect("reads"),
+            Some("def".to_owned())
+        );
+        assert_eq!(read_line_bounded(&mut reader, None).expect("reads"), None);
     }
 
     #[test]

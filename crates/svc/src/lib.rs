@@ -20,7 +20,27 @@
 //!   independent of the worker count.
 //! * **Shared ingestion** ([`ingest`]): the same reader serves JSON Lines
 //!   on stdin (`-`), a single workload file, or a directory of `*.json`
-//!   workloads, and is reused by `rbs-experiments analyze`.
+//!   workloads, and is reused by `rbs-experiments analyze`; `--follow`
+//!   mode reads stdin incrementally through a byte-capped line reader.
+//!
+//! And three layers keep it crash-isolated — no single request can take
+//! the service down:
+//!
+//! * **Panic containment** ([`WorkerPool::run_ordered_caught`]): a
+//!   panicking analysis becomes a structured `panic` error in its own
+//!   response slot; every other request is still served, in order.
+//! * **Per-request deadlines** ([`ServiceConfig::timeout`]): the analysis
+//!   walks check a cooperative wall-clock deadline at breakpoint
+//!   granularity and report a `timeout` error when it passes.
+//! * **Ingest guards** ([`ServiceConfig::max_request_bytes`]): oversized
+//!   bodies are rejected (and, in `--follow` mode, truncated on the wire)
+//!   before parsing.
+//!
+//! Failed outcomes are negative-cached ([`ResultCache`]`<SvcError>`), so a
+//! repeatedly submitted poison pill answers from the cache instead of
+//! re-running its worst-case analysis. Every failure carries the
+//! [`SvcErrorKind`] taxonomy (`parse|limits|timeout|panic|oversized`)
+//! rendered in both the JSONL error object and the footer counters.
 //!
 //! No external dependencies: the whole service is `std` plus the workspace
 //! crates.
@@ -34,6 +54,9 @@ pub mod pool;
 mod service;
 
 pub use cache::ResultCache;
-pub use ingest::{read_source, Request};
+pub use ingest::{read_line_bounded, read_source, Request};
 pub use pool::WorkerPool;
-pub use service::{BatchStats, Outcome, Response, Service};
+pub use service::{
+    BatchStats, ErrorCounters, Outcome, Response, Service, ServiceConfig, SvcError, SvcErrorKind,
+    FAULT_PANIC_TASK, FAULT_SLEEP_PREFIX,
+};

@@ -1,87 +1,215 @@
-//! `rbs-svc` binary: JSONL admission control over stdin/files/directories.
+//! `rbs-svc` binary: JSONL admission control over stdin/files/directories,
+//! in one-shot batch mode or as a long-running `--follow` daemon.
 
+use std::io::{self, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use rbs_core::AnalysisLimits;
-use rbs_svc::{read_source, Outcome, Service, WorkerPool};
+use rbs_svc::{
+    read_line_bounded, read_source, BatchStats, Outcome, Request, Service, ServiceConfig,
+    WorkerPool,
+};
 
 const USAGE: &str = "\
-usage: rbs-svc [INPUT] [--jobs N] [--cache-size N]
+usage: rbs-svc [INPUT] [--follow] [--jobs N] [--cache-size N] [options]
 
 INPUT is '-' (default: JSON Lines on stdin, one task set per line), a
 workload file, or a directory containing *.json workloads. Every request
 is answered on stdout with one JSON line:
 
   {\"seq\":N,\"hash\":\"<canonical hash>\",\"cached\":BOOL,\"report\":{...}}
-  {\"seq\":N,\"source\":\"...\",\"error\":\"...\"}
+  {\"seq\":N,\"source\":\"...\",\"cached\":BOOL,\"error\":{\"kind\":\"...\",\"detail\":\"...\"}}
 
-and a summary footer (request counters, cache hits, latency percentiles)
-goes to stderr.
+where error kind is one of parse|limits|timeout|panic|oversized, and a
+summary footer (request counters, error taxonomy, cache hits, latency
+percentiles) goes to stderr.
+
+modes:
+  (default)       batch: read all of INPUT, answer every request, exit
+                  non-zero if any request failed
+  --follow        daemon: read stdin incrementally, answer each line as it
+                  arrives (flushing per line), drain gracefully on EOF and
+                  exit zero; per-request failures are reported in-band
 
 options:
-  --jobs N        worker threads (default: available parallelism)
-  --cache-size N  total cached reports across shards (default: 1024; 0 disables)
+  --jobs N               worker threads (default: available parallelism)
+  --cache-size N         cached reports across shards (default: 1024; 0 disables)
+  --neg-cache-size N     cached failed outcomes (default: 256; 0 disables)
+  --timeout-ms N         per-request analysis deadline (default: 0 = none)
+  --max-request-bytes N  reject larger request bodies as oversized
+                         (default: 0 = unlimited)
+  --stats-every N        in --follow mode, print the cumulative footer to
+                         stderr every N requests (default: 0 = only at EOF)
+  --fault-injection      honor chaos-testing task-name markers
+                         (__rbs_fault_panic__, __rbs_fault_sleep_ms_N__)
 ";
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut input = "-".to_owned();
-    let mut jobs: Option<usize> = None;
-    let mut cache_size = 1024usize;
+struct Args {
+    input: String,
+    follow: bool,
+    jobs: Option<usize>,
+    stats_every: usize,
+    config: ServiceConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
+    let mut parsed = Args {
+        input: "-".to_owned(),
+        follow: false,
+        jobs: None,
+        stats_every: 0,
+        config: ServiceConfig::default(),
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--help" | "-h" => {
-                print!("{USAGE}");
-                return ExitCode::SUCCESS;
+            "--help" | "-h" => return Ok(None),
+            "--follow" => {
+                parsed.follow = true;
+                i += 1;
             }
-            "--jobs" | "--cache-size" => {
-                let flag = args[i].clone();
+            "--fault-injection" => {
+                parsed.config.fault_injection = true;
+                i += 1;
+            }
+            flag @ ("--jobs"
+            | "--cache-size"
+            | "--neg-cache-size"
+            | "--timeout-ms"
+            | "--max-request-bytes"
+            | "--stats-every") => {
                 let Some(value) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("{flag} requires a non-negative integer");
-                    return ExitCode::FAILURE;
+                    return Err(format!("{flag} requires a non-negative integer"));
                 };
-                if flag == "--jobs" {
-                    jobs = Some(value);
-                } else {
-                    cache_size = value;
+                match flag {
+                    "--jobs" => parsed.jobs = Some(value),
+                    "--cache-size" => parsed.config.cache_capacity = value,
+                    "--neg-cache-size" => parsed.config.negative_cache_capacity = value,
+                    "--timeout-ms" => {
+                        parsed.config.timeout =
+                            (value > 0).then(|| Duration::from_millis(value as u64));
+                    }
+                    "--max-request-bytes" => {
+                        parsed.config.max_request_bytes = (value > 0).then_some(value);
+                    }
+                    "--stats-every" => parsed.stats_every = value,
+                    _ => unreachable!("covered by the outer match"),
                 }
                 i += 2;
             }
             other if other.starts_with("--") => {
-                eprintln!("unknown flag: {other}");
-                eprint!("{USAGE}");
-                return ExitCode::FAILURE;
+                return Err(format!("unknown flag: {other}"));
             }
             other => {
-                input = other.to_owned();
+                parsed.input = other.to_owned();
                 i += 1;
             }
         }
     }
+    Ok(Some(parsed))
+}
 
-    let pool = match jobs {
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let pool = match args.jobs {
         Some(n) => WorkerPool::new(n),
         None => WorkerPool::with_available_parallelism(),
     };
-    let requests = match read_source(&input) {
+    let service = Service::with_config(pool, args.config);
+    if args.follow {
+        run_follow(&service, args.stats_every)
+    } else {
+        run_batch(&service, &args.input)
+    }
+}
+
+/// One-shot mode: read everything, answer everything, exit non-zero if
+/// any request failed.
+fn run_batch(service: &Service, input: &str) -> ExitCode {
+    let requests = match read_source(input) {
         Ok(requests) => requests,
         Err(error) => {
             eprintln!("cannot read {input}: {error}");
             return ExitCode::FAILURE;
         }
     };
-    let service = Service::new(pool, cache_size, AnalysisLimits::default());
     let (responses, stats) = service.process_batch(&requests);
     let mut failed = false;
     for response in &responses {
         println!("{}", response.render());
-        failed |= matches!(response.outcome, Outcome::Error(_));
+        failed |= matches!(response.outcome, Outcome::Error { .. });
     }
-    eprintln!("{}", stats.footer(pool.jobs()));
+    eprintln!("{}", stats.footer(service.jobs()));
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Daemon mode: answer each stdin line as it arrives, flushing per line;
+/// keep cumulative stats, print the footer periodically and at EOF, then
+/// drain gracefully. Per-request failures are reported in-band, so a
+/// clean drain exits zero; only transport failures (stdout gone) don't.
+fn run_follow(service: &Service, stats_every: usize) -> ExitCode {
+    let stdin = io::stdin();
+    let mut reader = stdin.lock();
+    let stdout = io::stdout();
+    // The line reader truncates anything past the cap to cap + 1 bytes —
+    // enough for the service's oversized check to fire — and discards the
+    // rest, so a pathological line can't exhaust memory.
+    let cap = service.config().max_request_bytes;
+    let mut cumulative = BatchStats::default();
+    let mut line_no = 0usize;
+    let mut seq = 0usize;
+    loop {
+        let line = match read_line_bounded(&mut reader, cap) {
+            Ok(Some(line)) => line,
+            Ok(None) => break, // EOF: graceful drain
+            Err(error) => {
+                eprintln!("rbs-svc: stdin read error: {error}");
+                break;
+            }
+        };
+        line_no += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = Request {
+            label: format!("stdin:{line_no}"),
+            body: line,
+        };
+        let (responses, stats) = service.process_batch(std::slice::from_ref(&request));
+        let mut out = stdout.lock();
+        for mut response in responses {
+            // Keep `seq` monotonic across the stream, not per micro-batch.
+            response.seq = seq;
+            seq += 1;
+            if writeln!(out, "{}", response.render()).is_err() {
+                // Reader went away (broken pipe): report and stop.
+                eprintln!("{}", cumulative.footer(service.jobs()));
+                return ExitCode::FAILURE;
+            }
+        }
+        let _ = out.flush();
+        cumulative.absorb(&stats);
+        if stats_every > 0 && cumulative.served % stats_every == 0 {
+            eprintln!("{}", cumulative.footer(service.jobs()));
+        }
+    }
+    eprintln!("{}", cumulative.footer(service.jobs()));
+    ExitCode::SUCCESS
 }

@@ -4,9 +4,17 @@
 //! `jobs` scoped worker threads and collects the results *by submission
 //! index*, so the returned vector is identical for any worker count —
 //! parallelism never changes observable output, only wall-clock time.
+//!
+//! [`WorkerPool::run_ordered_caught`] additionally contains panics: a
+//! panicking job becomes an `Err(message)` in its own result slot while
+//! every other job still runs to completion. This is the crash-isolation
+//! layer of the service — one poison-pill analysis can no longer take a
+//! whole batch (or a long-running daemon) down with it.
 
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 use std::thread;
 
 /// A fixed-size worker pool. The pool itself is cheap to construct; each
@@ -15,6 +23,45 @@ use std::thread;
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerPool {
     jobs: usize,
+}
+
+thread_local! {
+    /// Set while a caught job runs on this thread, so the quiet panic
+    /// hook knows to swallow the default "thread panicked at ..." report
+    /// (the panic is returned to the caller as structured data instead of
+    /// corrupting the service's stderr stream).
+    static CONTAINING_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that suppresses output for
+/// panics the pool is about to catch and report structurally, delegating
+/// to the previous hook for every other thread.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CONTAINING_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting a panic into its (best-effort) message.
+fn contain<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    CONTAINING_PANICS.with(|flag| flag.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CONTAINING_PANICS.with(|flag| flag.set(false));
+    result.map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned())
+    })
 }
 
 impl WorkerPool {
@@ -49,8 +96,31 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f` (the scope joins all workers first).
+    /// Re-raises the first (by submission index) panic from `f` after all
+    /// other jobs have completed. Use
+    /// [`WorkerPool::run_ordered_caught`] to receive panics as values
+    /// instead.
     pub fn run_ordered<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.run_ordered_caught(items, f)
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(|message| panic!("worker job panicked: {message}")))
+            .collect()
+    }
+
+    /// Runs `f(index, item)` for every item with panic containment: each
+    /// result slot is `Ok(result)` or `Err(panic message)`, in submission
+    /// order. A panicking job never disturbs the others — the worker that
+    /// caught it moves on to the next queued job, and the slot order is
+    /// bit-identical for any worker count.
+    ///
+    /// With one worker (or one item) the items run inline on the calling
+    /// thread, with the same containment.
+    pub fn run_ordered_caught<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, String>>
     where
         T: Send,
         R: Send,
@@ -62,7 +132,7 @@ impl WorkerPool {
             return items
                 .into_iter()
                 .enumerate()
-                .map(|(i, item)| f(i, item))
+                .map(|(i, item)| contain(|| f(i, item)))
                 .collect();
         }
 
@@ -73,8 +143,8 @@ impl WorkerPool {
         drop(job_tx); // workers see a closed queue once it drains
         let job_rx = Mutex::new(job_rx);
 
-        let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Result<R, String>)>();
+        let mut results: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
         thread::scope(|scope| {
             for _ in 0..workers {
                 let result_tx = result_tx.clone();
@@ -85,7 +155,7 @@ impl WorkerPool {
                     let job = job_rx.lock().expect("queue lock").try_recv();
                     match job {
                         Ok((index, item)) => {
-                            if result_tx.send((index, f(index, item))).is_err() {
+                            if result_tx.send((index, contain(|| f(index, item)))).is_err() {
                                 break;
                             }
                         }
@@ -143,5 +213,56 @@ mod tests {
     fn zero_becomes_one_worker() {
         assert_eq!(WorkerPool::new(0).jobs(), 1);
         assert!(WorkerPool::with_available_parallelism().jobs() >= 1);
+    }
+
+    #[test]
+    fn a_panicking_job_is_contained_for_any_worker_count() {
+        let items: Vec<usize> = (0..50).collect();
+        let run = |jobs: usize| {
+            WorkerPool::new(jobs).run_ordered_caught(items.clone(), |_, v| {
+                assert!(v != 13 && v != 31, "poison {v}");
+                v * 2
+            })
+        };
+        for jobs in [1, 2, 8] {
+            let out = run(jobs);
+            assert_eq!(out.len(), items.len());
+            for (v, slot) in items.iter().zip(&out) {
+                match slot {
+                    Ok(r) => {
+                        assert_eq!(*r, v * 2);
+                        assert!(*v != 13 && *v != 31);
+                    }
+                    Err(message) => {
+                        assert!(*v == 13 || *v == 31, "unexpected panic slot for {v}");
+                        assert!(message.contains(&format!("poison {v}")), "{message}");
+                    }
+                }
+            }
+        }
+        // Containment is bit-identical across worker counts.
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn string_and_str_panic_payloads_are_reported() {
+        let out = WorkerPool::new(1).run_ordered_caught(vec![0usize, 1], |_, v| {
+            if v == 0 {
+                panic!("static str payload");
+            }
+            let dynamic = format!("formatted payload {v}");
+            panic!("{dynamic}");
+        });
+        assert_eq!(out[0].as_ref().unwrap_err(), "static str payload");
+        assert_eq!(out[1].as_ref().unwrap_err(), "formatted payload 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "worker job panicked")]
+    fn run_ordered_still_propagates_panics() {
+        let _ = WorkerPool::new(2).run_ordered(vec![0, 1, 2, 3], |_, v| {
+            assert_ne!(v, 2, "boom");
+            v
+        });
     }
 }

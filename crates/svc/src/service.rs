@@ -2,16 +2,27 @@
 //!
 //! Each request line is one task-set document (the same format as
 //! `examples/workloads/*.json`). The service canonicalizes the set,
-//! consults the sharded LRU [`ResultCache`], and analyzes misses on the
-//! fixed-size [`WorkerPool`]; duplicate submissions inside one batch are
-//! coalesced so the analysis runs once. Responses come back in submission
-//! order and are bit-for-bit independent of the worker count.
+//! consults the sharded LRU [`ResultCache`] (and a bounded negative cache
+//! of failed outcomes), and analyzes misses on the fixed-size
+//! [`WorkerPool`]; duplicate submissions inside one batch are coalesced so
+//! the analysis runs once. Responses come back in submission order and are
+//! bit-for-bit independent of the worker count.
+//!
+//! Failures are structured: every error response carries a
+//! [`SvcError`] with a machine-readable [`SvcErrorKind`]
+//! (`parse|limits|timeout|panic|oversized`), the same taxonomy the footer
+//! counters report. A panicking analysis is contained by the pool
+//! ([`WorkerPool::run_ordered_caught`]), a slow one is cut off by the
+//! per-request deadline threaded through
+//! [`rbs_core::AnalysisLimits::with_deadline`], and an oversized body is
+//! rejected before it is even parsed — one poison-pill request can never
+//! take the batch (or the daemon) down.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use rbs_core::{analyze_with_meta, AnalysisLimits, AnalyzeMeta};
+use rbs_core::{analyze_with_meta, AnalysisError, AnalysisLimits, AnalyzeMeta};
 use rbs_json::Json;
 use rbs_model::{CanonicalTaskSet, TaskSet};
 
@@ -19,13 +30,137 @@ use crate::cache::ResultCache;
 use crate::ingest::Request;
 use crate::pool::WorkerPool;
 
-/// The admission-control service. Cloning shares the cache (and its
+/// Task-name marker that makes a worker panic when
+/// [`ServiceConfig::fault_injection`] is enabled — the chaos-testing hook
+/// behind the crash-isolation test suite and CI's poison-pill smoke.
+pub const FAULT_PANIC_TASK: &str = "__rbs_fault_panic__";
+
+/// Task-name prefix (`__rbs_fault_sleep_ms_<N>__`) that makes a worker
+/// sleep `N` milliseconds before analyzing when
+/// [`ServiceConfig::fault_injection`] is enabled — used to exercise the
+/// per-request deadline deterministically.
+pub const FAULT_SLEEP_PREFIX: &str = "__rbs_fault_sleep_ms_";
+
+/// Machine-readable failure class of a request, mirrored in the JSONL
+/// `error.kind` field and the footer counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SvcErrorKind {
+    /// The request body is not a valid task-set document.
+    Parse,
+    /// The analysis hit a resource limit (breakpoint budget, overflow) or
+    /// rejected its input.
+    Limits,
+    /// The analysis exceeded the per-request wall-clock deadline.
+    Timeout,
+    /// The analysis panicked; the worker survived and the panic message is
+    /// the detail.
+    Panic,
+    /// The request body exceeded the configured byte limit and was
+    /// rejected before parsing.
+    Oversized,
+}
+
+impl SvcErrorKind {
+    /// The lowercase wire name (`parse`, `limits`, `timeout`, `panic`,
+    /// `oversized`).
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SvcErrorKind::Parse => "parse",
+            SvcErrorKind::Limits => "limits",
+            SvcErrorKind::Timeout => "timeout",
+            SvcErrorKind::Panic => "panic",
+            SvcErrorKind::Oversized => "oversized",
+        }
+    }
+}
+
+/// A structured service error: a taxonomy [`kind`](SvcErrorKind) plus a
+/// human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SvcError {
+    /// The failure class.
+    pub kind: SvcErrorKind,
+    /// Human-readable context (parse message, panic payload, …).
+    pub detail: String,
+}
+
+impl SvcError {
+    /// An error of `kind` with `detail`.
+    #[must_use]
+    pub fn new(kind: SvcErrorKind, detail: impl Into<String>) -> SvcError {
+        SvcError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Classifies an analysis failure: a missed deadline is a `timeout`,
+    /// everything else is `limits`.
+    #[must_use]
+    pub fn from_analysis(error: &AnalysisError) -> SvcError {
+        let kind = match error {
+            AnalysisError::DeadlineExceeded { .. } => SvcErrorKind::Timeout,
+            _ => SvcErrorKind::Limits,
+        };
+        SvcError::new(kind, format!("analysis failed: {error}"))
+    }
+
+    /// Renders the `{"kind":...,"detail":...}` JSON object.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"detail\":{}}}",
+            self.kind.as_str(),
+            Json::Str(self.detail.clone()).render()
+        )
+    }
+}
+
+/// Tunables of a [`Service`] beyond its worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Reports kept in the positive cache (0 disables).
+    pub cache_capacity: usize,
+    /// Failed outcomes kept in the negative cache (0 disables). Bounded
+    /// separately so poison pills can never evict good reports wholesale.
+    pub negative_cache_capacity: usize,
+    /// Analysis resource limits (per-request deadlines are layered on top
+    /// of these via [`ServiceConfig::timeout`]).
+    pub limits: AnalysisLimits,
+    /// Per-request wall-clock deadline for the analysis phase. `None`
+    /// disables timeouts.
+    pub timeout: Option<Duration>,
+    /// Requests with bodies larger than this many bytes are rejected as
+    /// `oversized` without parsing. `None` disables the guard.
+    pub max_request_bytes: Option<usize>,
+    /// Enables the chaos-testing task-name markers
+    /// ([`FAULT_PANIC_TASK`], [`FAULT_SLEEP_PREFIX`]). Off by default:
+    /// production sets may name tasks anything they like.
+    pub fault_injection: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            cache_capacity: 1024,
+            negative_cache_capacity: 256,
+            limits: AnalysisLimits::default(),
+            timeout: None,
+            max_request_bytes: None,
+            fault_injection: false,
+        }
+    }
+}
+
+/// The admission-control service. Cloning shares both caches (and their
 /// hit/miss counters) with the original.
 #[derive(Debug, Clone)]
 pub struct Service {
     pool: WorkerPool,
     cache: ResultCache,
-    limits: AnalysisLimits,
+    negative: ResultCache<SvcError>,
+    config: ServiceConfig,
 }
 
 /// What the service decided for one request.
@@ -37,14 +172,33 @@ pub enum Outcome {
         hash: String,
         /// Whether the report came out of the cache.
         cached: bool,
+        /// Whether this response rode along on another in-batch
+        /// submission's analysis (duplicate coalescing).
+        coalesced: bool,
         /// Walk statistics of the analysis that produced the report;
         /// `None` when the report was served from the cache.
         walks: Option<AnalyzeMeta>,
         /// The rendered [`rbs_core::AnalyzeReport`] JSON.
         report_json: Arc<str>,
     },
-    /// The request could not be served (parse error, analysis failure).
-    Error(String),
+    /// The request could not be served.
+    Error {
+        /// The structured failure.
+        error: SvcError,
+        /// Whether the error came out of the negative cache.
+        cached: bool,
+    },
+}
+
+impl Outcome {
+    /// The structured error, when this outcome is one.
+    #[must_use]
+    pub fn error(&self) -> Option<&SvcError> {
+        match self {
+            Outcome::Report { .. } => None,
+            Outcome::Error { error, .. } => Some(error),
+        }
+    }
 }
 
 /// One response line, paired with the submission index (`seq`).
@@ -55,8 +209,9 @@ pub struct Response {
     /// Origin label of the request (file path or `stdin:N`).
     pub label: String,
     /// Service time for this request in microseconds (parse + analysis
-    /// share). Wall-clock observability only — never part of the cached
-    /// report and the only non-deterministic field of a response line.
+    /// share; coalesced duplicates are charged only their parse share).
+    /// Wall-clock observability only — never part of the cached report
+    /// and the only non-deterministic field of a response line.
     pub micros: u64,
     /// The verdict.
     pub outcome: Outcome,
@@ -70,9 +225,15 @@ impl Response {
             Outcome::Report {
                 hash,
                 cached,
+                coalesced,
                 walks,
                 report_json,
             } => {
+                let coalesced = if *coalesced {
+                    ",\"coalesced\":true"
+                } else {
+                    ""
+                };
                 let walks = match walks {
                     Some(meta) => format!(
                         ",\"walks\":{{\"integer\":{},\"exact\":{}}}",
@@ -81,32 +242,73 @@ impl Response {
                     None => String::new(),
                 };
                 format!(
-                    "{{\"seq\":{},\"hash\":\"{hash}\",\"cached\":{cached},\"micros\":{}{walks},\"report\":{report_json}}}",
+                    "{{\"seq\":{},\"hash\":\"{hash}\",\"cached\":{cached}{coalesced},\"micros\":{}{walks},\"report\":{report_json}}}",
                     self.seq, self.micros
                 )
             }
-            Outcome::Error(message) => format!(
-                "{{\"seq\":{},\"source\":{},\"micros\":{},\"error\":{}}}",
+            Outcome::Error { error, cached } => format!(
+                "{{\"seq\":{},\"source\":{},\"cached\":{cached},\"micros\":{},\"error\":{}}}",
                 self.seq,
                 Json::Str(self.label.clone()).render(),
                 self.micros,
-                Json::Str(message.clone()).render()
+                error.render()
             ),
         }
     }
 }
 
-/// Counters and per-request latencies for one batch.
+/// Error counts by [`SvcErrorKind`] — the footer taxonomy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorCounters {
+    /// Bodies that failed to parse as task sets.
+    pub parse: usize,
+    /// Analyses stopped by resource limits.
+    pub limits: usize,
+    /// Analyses stopped by the per-request deadline.
+    pub timeout: usize,
+    /// Analyses that panicked (and were contained).
+    pub panic: usize,
+    /// Bodies rejected by the byte-size guard.
+    pub oversized: usize,
+}
+
+impl ErrorCounters {
+    /// Increments the counter for `kind`.
+    pub fn bump(&mut self, kind: SvcErrorKind) {
+        match kind {
+            SvcErrorKind::Parse => self.parse += 1,
+            SvcErrorKind::Limits => self.limits += 1,
+            SvcErrorKind::Timeout => self.timeout += 1,
+            SvcErrorKind::Panic => self.panic += 1,
+            SvcErrorKind::Oversized => self.oversized += 1,
+        }
+    }
+
+    /// Total errors across all kinds.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.parse + self.limits + self.timeout + self.panic + self.oversized
+    }
+}
+
+/// Counters and per-request latencies for one batch (or, in `--follow`
+/// mode, accumulated over the stream so far — see
+/// [`BatchStats::absorb`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Requests in the batch.
     pub served: usize,
     /// Requests answered with a report.
     pub ok: usize,
-    /// Requests answered with an error.
-    pub errors: usize,
-    /// Requests answered from the cache.
+    /// Requests answered with an error, by failure class.
+    pub errors: ErrorCounters,
+    /// Requests answered from the positive cache.
     pub cache_hits: usize,
+    /// Requests answered from the negative cache.
+    pub negative_hits: usize,
+    /// Duplicate submissions that rode along on another request's
+    /// analysis inside the same batch.
+    pub coalesced: usize,
     /// Analyses actually executed (misses after in-batch coalescing).
     pub analyzed: usize,
     /// Breakpoint walks served by the integer fast path, summed over the
@@ -116,35 +318,93 @@ pub struct BatchStats {
     /// summed over the executed analyses.
     pub exact_walks: u64,
     /// Per-request service time in microseconds (parse + analysis share),
-    /// indexed by `seq`.
+    /// indexed by `seq` within the batch.
     pub latencies_micros: Vec<u64>,
 }
 
 impl BatchStats {
+    /// Folds another batch's counters and latencies into this one —
+    /// `--follow` mode keeps one cumulative `BatchStats` across the
+    /// stream.
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.served += other.served;
+        self.ok += other.ok;
+        self.errors.parse += other.errors.parse;
+        self.errors.limits += other.errors.limits;
+        self.errors.timeout += other.errors.timeout;
+        self.errors.panic += other.errors.panic;
+        self.errors.oversized += other.errors.oversized;
+        self.cache_hits += other.cache_hits;
+        self.negative_hits += other.negative_hits;
+        self.coalesced += other.coalesced;
+        self.analyzed += other.analyzed;
+        self.integer_walks += other.integer_walks;
+        self.exact_walks += other.exact_walks;
+        self.latencies_micros
+            .extend_from_slice(&other.latencies_micros);
+    }
+
     /// One-line summary footer for the CLI.
     #[must_use]
     pub fn footer(&self, jobs: usize) -> String {
         let mut sorted = self.latencies_micros.clone();
         sorted.sort_unstable();
-        let p50 = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        let p50 = median(&sorted);
+        let p99 = percentile(&sorted, 99);
         let max = sorted.last().copied().unwrap_or(0);
         let mean = if sorted.is_empty() {
             0
         } else {
-            sorted.iter().sum::<u64>() / sorted.len() as u64
+            let n = sorted.len() as u64;
+            (sorted.iter().sum::<u64>() + n / 2) / n
         };
         format!(
-            "rbs-svc: served={} ok={} errors={} cache_hits={} analyzed={} jobs={jobs} \
-             walks{{integer={} exact={}}} latency_micros{{p50={p50} mean={mean} max={max}}}",
+            "rbs-svc: served={} ok={} errors{{total={} parse={} limits={} timeout={} panic={} oversized={}}} \
+             cache{{hits={} negative={}}} coalesced={} analyzed={} jobs={jobs} \
+             walks{{integer={} exact={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
             self.served,
             self.ok,
-            self.errors,
+            self.errors.total(),
+            self.errors.parse,
+            self.errors.limits,
+            self.errors.timeout,
+            self.errors.panic,
+            self.errors.oversized,
             self.cache_hits,
+            self.negative_hits,
+            self.coalesced,
             self.analyzed,
             self.integer_walks,
             self.exact_walks
         )
     }
+}
+
+/// The median of an already-sorted slice: the middle element for odd
+/// lengths, the rounded midpoint of the two central elements for even
+/// lengths (`sorted[len/2]` alone would systematically overshoot).
+fn median(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        let (a, b) = (sorted[n / 2 - 1], sorted[n / 2]);
+        // Round half up without overflowing near u64::MAX.
+        a / 2 + b / 2 + (a % 2 + b % 2).div_ceil(2)
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted slice.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    let rank = (n * pct).div_ceil(100).max(1);
+    sorted[rank - 1]
 }
 
 /// A parsed request waiting for analysis.
@@ -160,22 +420,71 @@ enum Slot {
     Waiting(usize),
 }
 
+/// Honors the chaos-testing task-name markers. Only called when
+/// [`ServiceConfig::fault_injection`] is enabled.
+fn inject_faults(set: &TaskSet) {
+    for task in set.iter() {
+        let name = task.name();
+        if name == FAULT_PANIC_TASK {
+            panic!("injected fault: task '{FAULT_PANIC_TASK}' requested a worker panic");
+        }
+        if let Some(rest) = name.strip_prefix(FAULT_SLEEP_PREFIX) {
+            if let Ok(ms) = rest.trim_end_matches('_').parse::<u64>() {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+    }
+}
+
 impl Service {
     /// A service with `pool` workers and a result cache holding up to
-    /// `cache_capacity` reports.
+    /// `cache_capacity` reports; everything else at
+    /// [`ServiceConfig::default`].
     #[must_use]
     pub fn new(pool: WorkerPool, cache_capacity: usize, limits: AnalysisLimits) -> Service {
+        Service::with_config(
+            pool,
+            ServiceConfig {
+                cache_capacity,
+                limits,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// A service with explicit [`ServiceConfig`] tunables.
+    #[must_use]
+    pub fn with_config(pool: WorkerPool, config: ServiceConfig) -> Service {
         Service {
             pool,
-            cache: ResultCache::new(cache_capacity),
-            limits,
+            cache: ResultCache::new(config.cache_capacity),
+            negative: ResultCache::new(config.negative_cache_capacity),
+            config,
         }
     }
 
-    /// The shared result cache.
+    /// The shared (positive) result cache.
     #[must_use]
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The shared negative cache of failed outcomes.
+    #[must_use]
+    pub fn negative_cache(&self) -> &ResultCache<SvcError> {
+        &self.negative
+    }
+
+    /// The configuration this service was built with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The worker count of the underlying pool.
+    #[must_use]
+    pub const fn jobs(&self) -> usize {
+        self.pool.jobs()
     }
 
     /// Serves one batch of requests, returning responses in submission
@@ -188,66 +497,71 @@ impl Service {
             ..BatchStats::default()
         };
 
-        // Pass 1 (sequential): parse, canonicalize, consult the cache, and
-        // coalesce duplicate submissions onto one analysis job.
+        // Pass 1 (sequential): guard sizes, parse, canonicalize, consult
+        // both caches, and coalesce duplicate submissions onto one
+        // analysis job.
         let mut slots: Vec<Slot> = Vec::with_capacity(requests.len());
         let mut pending: Vec<Pending> = Vec::new();
         let mut job_of: HashMap<Vec<u8>, usize> = HashMap::new();
         for (seq, request) in requests.iter().enumerate() {
             let start = Instant::now();
-            let slot = match rbs_json::from_str::<TaskSet>(&request.body) {
-                Err(error) => Slot::Done(Outcome::Error(format!("invalid task set: {error}"))),
-                Ok(set) => {
-                    let canonical = CanonicalTaskSet::of(&set);
-                    match self.cache.get(&canonical) {
-                        Some(report_json) => {
-                            stats.cache_hits += 1;
-                            Slot::Done(Outcome::Report {
-                                hash: canonical.to_string(),
-                                cached: true,
-                                walks: None,
-                                report_json,
-                            })
-                        }
-                        None => {
-                            let job =
-                                *job_of.entry(canonical.bytes().to_vec()).or_insert_with(|| {
-                                    pending.push(Pending { canonical, set });
-                                    pending.len() - 1
-                                });
-                            Slot::Waiting(job)
-                        }
-                    }
-                }
-            };
+            let slot = self.triage(request, &mut stats, &mut pending, &mut job_of);
             stats.latencies_micros[seq] = elapsed_micros(start);
             slots.push(slot);
         }
 
-        // Pass 2 (parallel): analyze the deduplicated misses on the pool.
+        // Pass 2 (parallel): analyze the deduplicated misses on the pool,
+        // with panic containment and per-job deadlines. The canonical
+        // forms stay on this side of the pool so a panicking job can still
+        // be negative-cached.
         stats.analyzed = pending.len();
-        let limits = self.limits;
-        type JobResult = (
-            CanonicalTaskSet,
-            Result<(Arc<str>, AnalyzeMeta), String>,
-            u64,
-        );
-        let results: Vec<JobResult> = self.pool.run_ordered(pending, |_, job| {
-            let start = Instant::now();
-            let outcome = analyze_with_meta(job.set, &limits)
-                .map(|(report, meta)| (Arc::from(rbs_json::to_string(&report)), meta))
-                .map_err(|error| format!("analysis failed: {error}"));
-            (job.canonical, outcome, elapsed_micros(start))
-        });
+        let canonicals: Vec<CanonicalTaskSet> =
+            pending.iter().map(|job| job.canonical.clone()).collect();
+        let config = self.config;
+        type JobResult = (Result<(Arc<str>, AnalyzeMeta), SvcError>, u64);
+        let results: Vec<JobResult> = self
+            .pool
+            .run_ordered_caught(pending, |_, job| {
+                let start = Instant::now();
+                let limits = match config.timeout {
+                    Some(timeout) => config.limits.with_deadline(start + timeout),
+                    None => config.limits,
+                };
+                if config.fault_injection {
+                    inject_faults(&job.set);
+                }
+                let outcome = analyze_with_meta(job.set, &limits)
+                    .map(|(report, meta)| (Arc::<str>::from(rbs_json::to_string(&report)), meta))
+                    .map_err(|error| SvcError::from_analysis(&error));
+                (outcome, elapsed_micros(start))
+            })
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(result) => result,
+                // The job unwound before reporting a duration; its panic
+                // message becomes the structured detail.
+                Err(panic_message) => (Err(SvcError::new(SvcErrorKind::Panic, panic_message)), 0),
+            })
+            .collect();
 
-        // Pass 3 (sequential): fill the cache and assemble responses.
-        for (canonical, outcome, _) in &results {
-            if let Ok((report_json, meta)) = outcome {
-                self.cache.insert(canonical, Arc::clone(report_json));
-                stats.integer_walks += meta.integer_walks;
-                stats.exact_walks += meta.exact_walks;
+        // Pass 3 (sequential): fill both caches and assemble responses.
+        for (canonical, (outcome, _)) in canonicals.iter().zip(&results) {
+            match outcome {
+                Ok((report_json, meta)) => {
+                    self.cache.insert(canonical, Arc::clone(report_json));
+                    stats.integer_walks += meta.integer_walks;
+                    stats.exact_walks += meta.exact_walks;
+                }
+                Err(error) => {
+                    // Every post-parse failure (limits, timeout, panic) is
+                    // negative-cached: resubmitting a poison pill answers
+                    // from the cache instead of re-running the worst-case
+                    // analysis.
+                    self.negative.insert(canonical, error.clone());
+                }
             }
         }
+        let mut charged: Vec<bool> = vec![false; results.len()];
         let responses = slots
             .into_iter()
             .enumerate()
@@ -255,22 +569,35 @@ impl Service {
                 let outcome = match slot {
                     Slot::Done(outcome) => outcome,
                     Slot::Waiting(job) => {
-                        let (canonical, result, micros) = &results[job];
-                        stats.latencies_micros[seq] += micros;
+                        let (result, micros) = &results[job];
+                        let coalesced = charged[job];
+                        if coalesced {
+                            stats.coalesced += 1;
+                        } else {
+                            // Charge the analysis time to the first
+                            // submission only; duplicates carry just their
+                            // parse share.
+                            stats.latencies_micros[seq] += micros;
+                            charged[job] = true;
+                        }
                         match result {
                             Ok((report_json, meta)) => Outcome::Report {
-                                hash: canonical.to_string(),
+                                hash: canonicals[job].to_string(),
                                 cached: false,
+                                coalesced,
                                 walks: Some(*meta),
                                 report_json: Arc::clone(report_json),
                             },
-                            Err(message) => Outcome::Error(message.clone()),
+                            Err(error) => Outcome::Error {
+                                error: error.clone(),
+                                cached: false,
+                            },
                         }
                     }
                 };
                 match &outcome {
                     Outcome::Report { .. } => stats.ok += 1,
-                    Outcome::Error(_) => stats.errors += 1,
+                    Outcome::Error { error, .. } => stats.errors.bump(error.kind),
                 }
                 Response {
                     seq,
@@ -283,6 +610,60 @@ impl Service {
         (responses, stats)
     }
 
+    /// Pass-1 decision for one request: an immediate outcome (guard
+    /// rejection, parse error, cache hit) or a pending analysis job.
+    fn triage(
+        &self,
+        request: &Request,
+        stats: &mut BatchStats,
+        pending: &mut Vec<Pending>,
+        job_of: &mut HashMap<Vec<u8>, usize>,
+    ) -> Slot {
+        if let Some(cap) = self.config.max_request_bytes {
+            if request.body.len() > cap {
+                return Slot::Done(Outcome::Error {
+                    error: SvcError::new(
+                        SvcErrorKind::Oversized,
+                        format!("request body is {} bytes (limit {cap})", request.body.len()),
+                    ),
+                    cached: false,
+                });
+            }
+        }
+        let set = match rbs_json::from_str::<TaskSet>(&request.body) {
+            Ok(set) => set,
+            Err(error) => {
+                return Slot::Done(Outcome::Error {
+                    error: SvcError::new(SvcErrorKind::Parse, format!("invalid task set: {error}")),
+                    cached: false,
+                });
+            }
+        };
+        let canonical = CanonicalTaskSet::of(&set);
+        if let Some(report_json) = self.cache.get(&canonical) {
+            stats.cache_hits += 1;
+            return Slot::Done(Outcome::Report {
+                hash: canonical.to_string(),
+                cached: true,
+                coalesced: false,
+                walks: None,
+                report_json,
+            });
+        }
+        if let Some(error) = self.negative.get(&canonical) {
+            stats.negative_hits += 1;
+            return Slot::Done(Outcome::Error {
+                error,
+                cached: true,
+            });
+        }
+        let job = *job_of.entry(canonical.bytes().to_vec()).or_insert_with(|| {
+            pending.push(Pending { canonical, set });
+            pending.len() - 1
+        });
+        Slot::Waiting(job)
+    }
+
     /// Serves a single request (a one-element batch).
     #[must_use]
     pub fn handle(&self, request: &Request) -> Response {
@@ -293,4 +674,82 @@ impl Service {
 
 fn elapsed_micros(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_even_and_odd_lengths() {
+        assert_eq!(median(&[]), 0);
+        assert_eq!(median(&[7]), 7);
+        assert_eq!(median(&[1, 3]), 2);
+        assert_eq!(median(&[1, 2]), 2); // midpoint 1.5 rounds half up
+        assert_eq!(median(&[1, 2, 3, 4]), 3); // midpoint 2.5 rounds half up
+        assert_eq!(median(&[1, 2, 3, 4, 5]), 3);
+        assert_eq!(median(&[u64::MAX - 1, u64::MAX]), u64::MAX); // no overflow
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[5], 99), 5);
+        assert_eq!(percentile(&[], 99), 0);
+        let small: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&small, 99), 10);
+    }
+
+    #[test]
+    fn error_counters_track_each_kind() {
+        let mut counters = ErrorCounters::default();
+        for kind in [
+            SvcErrorKind::Parse,
+            SvcErrorKind::Limits,
+            SvcErrorKind::Timeout,
+            SvcErrorKind::Panic,
+            SvcErrorKind::Oversized,
+            SvcErrorKind::Panic,
+        ] {
+            counters.bump(kind);
+        }
+        assert_eq!(counters.total(), 6);
+        assert_eq!(counters.panic, 2);
+        assert_eq!(counters.parse, 1);
+    }
+
+    #[test]
+    fn svc_error_renders_structured_json() {
+        let error = SvcError::new(SvcErrorKind::Timeout, "too \"slow\"");
+        let json = error.render();
+        assert_eq!(
+            json,
+            "{\"kind\":\"timeout\",\"detail\":\"too \\\"slow\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn batch_stats_absorb_accumulates() {
+        let mut total = BatchStats::default();
+        let mut one = BatchStats {
+            served: 2,
+            ok: 1,
+            cache_hits: 1,
+            latencies_micros: vec![10, 20],
+            ..BatchStats::default()
+        };
+        one.errors.bump(SvcErrorKind::Panic);
+        total.absorb(&one);
+        total.absorb(&one);
+        assert_eq!(total.served, 4);
+        assert_eq!(total.ok, 2);
+        assert_eq!(total.errors.panic, 2);
+        assert_eq!(total.latencies_micros, vec![10, 20, 10, 20]);
+        let footer = total.footer(4);
+        assert!(footer.contains("errors{total=2"), "{footer}");
+        assert!(footer.contains("p99="), "{footer}");
+    }
 }

@@ -1,0 +1,227 @@
+//! End-to-end tests driving the `rbs-svc` binary: batch-mode exit
+//! behavior for poison-pill input, and the incremental `--follow`
+//! protocol (per-line flushing, stream resynchronization after an
+//! oversized line, graceful drain with a final footer).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+fn binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rbs-svc"))
+}
+
+fn good_line(period: i128) -> String {
+    format!(
+        "[{{\"name\":\"w\",\"criticality\":\"Lo\",\
+         \"lo\":{{\"period\":{{\"num\":{period},\"den\":1}},\
+         \"deadline\":{{\"num\":{period},\"den\":1}},\
+         \"wcet\":{{\"num\":1,\"den\":1}}}},\
+         \"hi\":{{\"Continue\":{{\"period\":{{\"num\":{period},\"den\":1}},\
+         \"deadline\":{{\"num\":{period},\"den\":1}},\
+         \"wcet\":{{\"num\":1,\"den\":1}}}}}}}}]"
+    )
+}
+
+fn panic_line() -> String {
+    good_line(7).replace("\"name\":\"w\"", "\"name\":\"__rbs_fault_panic__\"")
+}
+
+fn sleep_line() -> String {
+    good_line(11).replace("\"name\":\"w\"", "\"name\":\"__rbs_fault_sleep_ms_50__\"")
+}
+
+#[test]
+fn batch_mode_classifies_poison_pills_and_exits_nonzero() {
+    let stdin_payload = format!(
+        "{}\nnot json at all\n{}\n{}\n{}\n{}\n",
+        good_line(5),
+        panic_line(),
+        sleep_line(),
+        "z".repeat(8192),
+        good_line(9),
+    );
+    let mut child = binary()
+        .args([
+            "-",
+            "--jobs",
+            "4",
+            "--fault-injection",
+            "--timeout-ms",
+            "5",
+            "--max-request-bytes",
+            "4096",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin_payload.as_bytes())
+        .expect("writes");
+    let output = child.wait_with_output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !output.status.success(),
+        "poison-pill batch must exit non-zero\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "one response per request:\n{stdout}");
+    // Every poison pill is classified; every good request is served.
+    assert!(lines[0].contains("\"report\":"), "{}", lines[0]);
+    assert!(lines[1].contains("\"kind\":\"parse\""), "{}", lines[1]);
+    assert!(lines[2].contains("\"kind\":\"panic\""), "{}", lines[2]);
+    assert!(lines[3].contains("\"kind\":\"timeout\""), "{}", lines[3]);
+    assert!(lines[4].contains("\"kind\":\"oversized\""), "{}", lines[4]);
+    assert!(lines[5].contains("\"report\":"), "{}", lines[5]);
+    // Submission order is preserved.
+    for (seq, line) in lines.iter().enumerate() {
+        assert!(line.starts_with(&format!("{{\"seq\":{seq},")), "{line}");
+    }
+    // The footer reports the taxonomy.
+    assert!(
+        stderr.contains("errors{total=4 parse=1 limits=0 timeout=1 panic=1 oversized=1}"),
+        "{stderr}"
+    );
+}
+
+struct Follow {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Follow {
+    fn spawn(extra_args: &[&str]) -> Follow {
+        let mut child = binary()
+            .args(["--follow", "--jobs", "2"])
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary spawns");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Follow {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Sends one request line and reads exactly one response line — this
+    /// deadlocks unless the daemon flushes per line, so it doubles as the
+    /// flushing test.
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("request writes");
+        self.stdin.flush().expect("request flushes");
+        let mut response = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut response)
+            .expect("response reads");
+        assert!(n > 0, "daemon closed stdout unexpectedly");
+        response
+    }
+
+    /// Closes stdin (graceful drain) and returns (exit-success, stderr).
+    fn drain(mut self) -> (bool, String) {
+        drop(self.stdin);
+        let status = self.child.wait().expect("daemon exits");
+        let mut stderr = String::new();
+        self.child
+            .stderr
+            .take()
+            .expect("piped stderr")
+            .read_to_string(&mut stderr)
+            .expect("stderr reads");
+        (status.success(), stderr)
+    }
+}
+
+#[test]
+fn follow_mode_answers_each_line_as_it_arrives() {
+    let mut daemon = Follow::spawn(&[]);
+    let first = daemon.roundtrip(&good_line(5));
+    assert!(first.contains("\"report\":"), "{first}");
+    assert!(first.starts_with("{\"seq\":0,"), "{first}");
+    // A resubmission is served from the cache, still incrementally.
+    let second = daemon.roundtrip(&good_line(5));
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert!(second.starts_with("{\"seq\":1,"), "{second}");
+    let third = daemon.roundtrip("garbage");
+    assert!(third.contains("\"kind\":\"parse\""), "{third}");
+    let (success, stderr) = daemon.drain();
+    assert!(success, "clean drain must exit zero:\n{stderr}");
+    assert!(stderr.contains("served=3"), "{stderr}");
+    assert!(stderr.contains("cache{hits=1"), "{stderr}");
+}
+
+#[test]
+fn follow_mode_survives_poison_pills_and_oversized_lines() {
+    let mut daemon = Follow::spawn(&[
+        "--fault-injection",
+        "--timeout-ms",
+        "5",
+        "--max-request-bytes",
+        "2048",
+    ]);
+    let panic_response = daemon.roundtrip(&panic_line());
+    assert!(
+        panic_response.contains("\"kind\":\"panic\""),
+        "{panic_response}"
+    );
+    // A line far beyond the cap is truncated on the wire, rejected as
+    // oversized, and the stream stays synchronized for the next request.
+    let oversized = daemon.roundtrip(&"q".repeat(100_000));
+    assert!(oversized.contains("\"kind\":\"oversized\""), "{oversized}");
+    let timeout = daemon.roundtrip(&sleep_line());
+    assert!(timeout.contains("\"kind\":\"timeout\""), "{timeout}");
+    let healthy = daemon.roundtrip(&good_line(9));
+    assert!(healthy.contains("\"report\":"), "{healthy}");
+    let (success, stderr) = daemon.drain();
+    assert!(
+        success,
+        "in-band failures must not fail the daemon:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("errors{total=3 parse=0 limits=0 timeout=1 panic=1 oversized=1}"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn follow_mode_emits_periodic_footers() {
+    let mut daemon = Follow::spawn(&["--stats-every", "1"]);
+    let _ = daemon.roundtrip(&good_line(5));
+    let _ = daemon.roundtrip(&good_line(9));
+    let (success, stderr) = daemon.drain();
+    assert!(success, "{stderr}");
+    // One footer per request plus the final drain footer.
+    let footers = stderr
+        .lines()
+        .filter(|l| l.starts_with("rbs-svc: served="))
+        .count();
+    assert_eq!(footers, 3, "{stderr}");
+}
+
+#[test]
+fn help_exits_zero_and_documents_the_protocol() {
+    let output = binary().arg("--help").output().expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for needle in [
+        "--follow",
+        "--timeout-ms",
+        "--max-request-bytes",
+        "oversized",
+    ] {
+        assert!(stdout.contains(needle), "usage must mention {needle}");
+    }
+}

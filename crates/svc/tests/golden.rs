@@ -21,7 +21,7 @@ fn responses_match_direct_analyze_bytes_for_every_workload() {
     let svc = service(4);
     let (responses, stats) = svc.process_batch(&requests);
     assert_eq!(stats.ok, requests.len());
-    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.errors.total(), 0);
     assert_eq!(stats.cache_hits, 0);
     assert_eq!(stats.analyzed, requests.len());
     for (request, response) in requests.iter().zip(&responses) {
@@ -198,7 +198,8 @@ fn malformed_lines_get_error_responses_without_poisoning_the_batch() {
     );
     let svc = service(2);
     let (responses, stats) = svc.process_batch(&requests);
-    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.errors.total(), 1);
+    assert_eq!(stats.errors.parse, 1);
     assert_eq!(stats.ok, requests.len() - 1);
     let line = responses[1].render();
     assert!(line.contains("\"error\":"), "{line}");

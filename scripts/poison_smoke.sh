@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Poison-pill smoke test for rbs-svc: pipe a batch mixing healthy,
+# malformed, panicking, timed-out, and oversized requests through the
+# release binary and assert (a) the exit status, (b) one classified
+# JSONL response per request in submission order, and (c) the footer
+# taxonomy counters. Mirrors crates/svc/tests/cli.rs but exercises the
+# shipped binary exactly as CI consumers would.
+set -u
+
+BIN="${RBS_SVC_BIN:-target/release/rbs-svc}"
+if [ ! -x "$BIN" ]; then
+    echo "poison_smoke: $BIN not found; run 'cargo build --release' first" >&2
+    exit 1
+fi
+
+good() {
+    # One LO task with the given period; distinct periods = distinct sets.
+    printf '[{"name":"%s","criticality":"Lo","lo":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}},"hi":{"Continue":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}}}}]' \
+        "$1" "$2" "$2" "$2" "$2"
+}
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+{
+    good w 5
+    echo
+    echo 'this is not json'
+    good __rbs_fault_panic__ 7
+    echo
+    good __rbs_fault_sleep_ms_50__ 11
+    echo
+    printf 'z%.0s' $(seq 1 8192)
+    echo
+    good w 9
+    echo
+} > "$workdir/batch.jsonl"
+
+"$BIN" - --jobs 4 --fault-injection --timeout-ms 5 --max-request-bytes 4096 \
+    < "$workdir/batch.jsonl" > "$workdir/out.jsonl" 2> "$workdir/footer.txt"
+status=$?
+
+fail=0
+check() { # check <description> <command...>
+    local desc="$1"
+    shift
+    if "$@"; then
+        echo "ok: $desc"
+    else
+        echo "FAIL: $desc" >&2
+        fail=1
+    fi
+}
+
+# A batch containing failures must exit non-zero.
+check "poison batch exits non-zero" test "$status" -ne 0
+
+# One response per request, in submission order.
+check "six responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 6
+for seq in 0 1 2 3 4 5; do
+    line="$(sed -n "$((seq + 1))p" "$workdir/out.jsonl")"
+    check "seq $seq in order" \
+        sh -c "printf '%s' '$line' | grep -q '^{\"seq\":$seq,'"
+done
+
+# Every poison pill classified; every healthy request served.
+expect_line() { # expect_line <lineno> <needle>
+    check "line $1 contains $2" grep -q -- "$2" <(sed -n "$1p" "$workdir/out.jsonl")
+}
+expect_line 1 '"report":'
+expect_line 2 '"kind":"parse"'
+expect_line 3 '"kind":"panic"'
+expect_line 4 '"kind":"timeout"'
+expect_line 5 '"kind":"oversized"'
+expect_line 6 '"report":'
+
+# The footer reports the full taxonomy.
+check "footer taxonomy" \
+    grep -q 'errors{total=4 parse=1 limits=0 timeout=1 panic=1 oversized=1}' \
+    "$workdir/footer.txt"
+
+if [ "$fail" -ne 0 ]; then
+    echo "--- stdout ---" >&2
+    cat "$workdir/out.jsonl" >&2
+    echo "--- stderr ---" >&2
+    cat "$workdir/footer.txt" >&2
+    exit 1
+fi
+echo "poison_smoke: all checks passed"

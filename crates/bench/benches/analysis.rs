@@ -35,11 +35,18 @@ fn main() {
         runner.bench(&format!("sup_ratio/hi_profile/{size}"), || {
             black_box(&profile).sup_ratio(&limits).expect("completes")
         });
-        // The exact rational reference on the same profile — the
-        // dispatch/exact pair quantifies the integer fast path's gain.
-        runner.bench(&format!("sup_ratio_exact/hi_profile/{size}"), || {
+        // The pruned exact rational walk on the same profile — the
+        // dispatch/pruned pair quantifies the integer fast path's gain.
+        runner.bench(&format!("sup_ratio_pruned/hi_profile/{size}"), || {
             black_box(&profile)
                 .sup_ratio_exact(&limits)
+                .expect("completes")
+        });
+        // The unpruned full-hyperperiod reference walk — the pruned/exact
+        // pair quantifies the utilization-envelope horizon's gain.
+        runner.bench(&format!("sup_ratio_exact/hi_profile/{size}"), || {
+            black_box(&profile)
+                .sup_ratio_reference(&limits)
                 .expect("completes")
         });
     }
@@ -68,6 +75,31 @@ fn main() {
         let set = synthetic_set(size, 43);
         runner.bench(&format!("resetting_time/synthetic_s3/{size}"), || {
             resetting_time(black_box(&set), Rational::integer(3), &limits).expect("completes")
+        });
+    }
+
+    // The one-pass reset frontier: build cost, and a whole speed sweep
+    // answered from one frontier (vs one breakpoint walk per speed).
+    for size in [10usize, 20] {
+        let set = synthetic_set(size, 43);
+        let profile = hi_arrival_profile(&set);
+        let min_speed = Rational::TWO;
+        runner.bench(&format!("reset_frontier/build_s2/{size}"), || {
+            black_box(&profile)
+                .reset_frontier(min_speed, &limits)
+                .expect("completes")
+        });
+        let (frontier, _) = profile
+            .reset_frontier(min_speed, &limits)
+            .expect("completes");
+        runner.bench(&format!("reset_frontier/lookup_sweep/{size}"), || {
+            let mut fits = 0usize;
+            for num in 8..40 {
+                if black_box(&frontier).lookup(Rational::new(num, 4)).is_some() {
+                    fits += 1;
+                }
+            }
+            fits
         });
     }
 

@@ -1,19 +1,49 @@
 //! Validates `BENCH_<suite>.json` files written by the bench harness.
 //!
-//! Usage: `bench-check FILE...` — exits non-zero (with a message per file)
-//! if any file is missing, unparseable, or structurally malformed, so CI
-//! can gate on the machine-readable bench output.
+//! Usage: `bench-check [--baseline BASELINE] FILE...` — exits non-zero
+//! (with a message per file) if any file is missing, unparseable, or
+//! structurally malformed, so CI can gate on the machine-readable bench
+//! output. With `--baseline`, every case name shared with the baseline
+//! file is compared by median: a regression beyond 25% fails the check,
+//! and improvement ratios are printed for the rest.
 
 use std::process::ExitCode;
 
 use rbs_json::Json;
 
+/// A median regression beyond `median > baseline * 5/4` fails the check.
+const REGRESSION_NUM: i128 = 5;
+const REGRESSION_DEN: i128 = 4;
+
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--baseline" {
+            let Some(path) = args.next() else {
+                eprintln!("bench-check: --baseline requires a path");
+                return ExitCode::FAILURE;
+            };
+            baseline = Some(path);
+        } else {
+            paths.push(arg);
+        }
+    }
     if paths.is_empty() {
         eprintln!("bench-check: no files given");
         return ExitCode::FAILURE;
     }
+    let baseline_medians = match &baseline {
+        Some(path) => match medians(path) {
+            Ok(map) => Some(map),
+            Err(message) => {
+                eprintln!("bench-check: baseline {path}: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let mut failed = false;
     for path in &paths {
         match validate(path) {
@@ -21,6 +51,16 @@ fn main() -> ExitCode {
             Err(message) => {
                 eprintln!("bench-check: {path}: {message}");
                 failed = true;
+                continue;
+            }
+        }
+        if let Some(reference) = &baseline_medians {
+            match compare(path, reference) {
+                Ok(report) => print!("{report}"),
+                Err(message) => {
+                    eprintln!("bench-check: {path}: {message}");
+                    failed = true;
+                }
             }
         }
     }
@@ -74,4 +114,66 @@ fn validate(path: &str) -> Result<String, String> {
         }
     }
     Ok(format!("suite `{suite}` ok, {} results", results.len()))
+}
+
+/// Reads a bench file's `(name, median_ns)` pairs in file order.
+fn medians(path: &str) -> Result<Vec<(String, i128)>, String> {
+    let body = std::fs::read_to_string(path).map_err(|error| format!("unreadable: {error}"))?;
+    let json = rbs_json::parse(&body).map_err(|error| format!("invalid JSON: {error}"))?;
+    let results = json
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or("missing array field `results`")?;
+    let mut pairs = Vec::with_capacity(results.len());
+    for (index, result) in results.iter().enumerate() {
+        let name = result
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("results[{index}]: missing string field `name`"))?;
+        let median = result
+            .get("median_ns")
+            .and_then(Json::as_i128)
+            .ok_or(format!("results[{index}] ({name}): missing `median_ns`"))?;
+        pairs.push((name.to_owned(), median));
+    }
+    Ok(pairs)
+}
+
+/// Compares every case name shared with the baseline by median. Fails on
+/// any regression beyond the 25% threshold; otherwise returns a report
+/// with one `speedup` ratio line per shared case.
+fn compare(path: &str, baseline: &[(String, i128)]) -> Result<String, String> {
+    let current = medians(path)?;
+    let mut report = String::new();
+    let mut regressions = Vec::new();
+    let mut shared = 0usize;
+    for (name, median) in &current {
+        let Some((_, reference)) = baseline.iter().find(|(base, _)| base == name) else {
+            continue;
+        };
+        shared += 1;
+        let ratio = *reference as f64 / (*median).max(1) as f64;
+        report.push_str(&format!(
+            "bench-check: {path}: {name}: median {median}ns vs baseline {reference}ns (speedup {ratio:.2}x)\n"
+        ));
+        if *median * REGRESSION_DEN > *reference * REGRESSION_NUM {
+            regressions.push(format!(
+                "{name}: median {median}ns exceeds baseline {reference}ns by more than 25%"
+            ));
+        }
+    }
+    if shared == 0 {
+        return Err("no case names shared with the baseline".to_owned());
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "{} median regression(s) beyond 25%:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ));
+    }
+    report.push_str(&format!(
+        "bench-check: {path}: {shared} shared case(s) within the 25% regression gate\n"
+    ));
+    Ok(report)
 }

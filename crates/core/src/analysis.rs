@@ -6,14 +6,22 @@
 //! ([`crate::adb::hi_arrival_profile`]) — and the profile construction
 //! (including the integer-timebase rescaling of [`crate::scaled`]) is
 //! the part worth sharing: a report runs half a dozen queries against
-//! the same three curves, and a bisection like
-//! [`Analysis::minimal_speed_within_budget`] runs `O(log 1/tol)` of
-//! them. [`Analysis`] builds each profile lazily, once, and threads it
-//! through every query.
+//! the same three curves. [`Analysis`] builds each profile lazily, once,
+//! and threads it through every query. Resetting-time queries
+//! additionally share a [`ResetFrontier`] — the full staircase
+//! `s ↦ Δ_R(s)` recorded by one walk — so repeated speed probes (and the
+//! one-pass [`Analysis::minimal_speed_within_budget`], which replaced an
+//! `O(log 1/tol)`-walk bisection) answer by threshold lookup instead of
+//! re-walking breakpoints.
 //!
-//! The context also counts which walk implementation served each query
-//! ([`WalkCounts`]) so services can report fast-path coverage without
-//! affecting any analytical result.
+//! The context also counts which walk implementation served each query,
+//! how many walks pruned early at the utilization-envelope horizon, and
+//! how many were avoided outright by frontier reuse ([`WalkCounts`]) so
+//! services can report fast-path coverage without affecting any
+//! analytical result.
+//!
+//! Campaign runners that analyze many sets back to back can recycle the
+//! profile allocations between contexts through [`AnalysisScratch`].
 //!
 //! # Examples
 //!
@@ -38,31 +46,39 @@
 //! # }
 //! ```
 
-use std::cell::{Cell, OnceCell};
+use std::cell::{Cell, OnceCell, RefCell};
 
 use rbs_model::TaskSet;
 use rbs_timebase::Rational;
 
-use crate::adb::hi_arrival_profile;
-use crate::dbf::{hi_profile, lo_profile};
-use crate::demand::{DemandProfile, SupRatio, WalkKind};
+use crate::adb::{arrival_components_into, hi_arrival_profile};
+use crate::dbf::{hi_components_into, hi_profile, lo_components_into, lo_profile};
+use crate::demand::{DemandProfile, PeriodicDemand, ResetFrontier, SupRatio, WalkKind, WalkTrace};
 use crate::qpa::qpa_decision;
 use crate::resetting::{ResettingAnalysis, ResettingBound};
 use crate::speedup::SpeedupAnalysis;
 use crate::{AnalysisError, AnalysisLimits};
 
 /// How many queries each walk implementation served (see
-/// [`crate::demand::WalkKind`]).
+/// [`crate::demand::WalkKind`]), plus the envelope-pruning and
+/// frontier-reuse tallies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalkCounts {
     /// Queries served by the common-timebase `i128` fast path.
     pub integer: u64,
     /// Queries that fell back to the exact rational walk.
     pub exact: u64,
+    /// Walks (of either kind) that terminated early because the
+    /// utilization-envelope bound could no longer beat the running best.
+    /// Always `≤ integer + exact`.
+    pub pruned: u64,
+    /// Resetting-time queries answered from a cached [`ResetFrontier`]
+    /// without walking any breakpoints. Not included in [`Self::total`].
+    pub avoided: u64,
 }
 
 impl WalkCounts {
-    /// Total queries answered.
+    /// Total breakpoint walks run (frontier-served queries excluded).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.integer + self.exact
@@ -85,6 +101,11 @@ pub struct Analysis<'a> {
     arrival: OnceCell<DemandProfile>,
     integer_walks: Cell<u64>,
     exact_walks: Cell<u64>,
+    pruned_walks: Cell<u64>,
+    avoided_walks: Cell<u64>,
+    /// The deepest `Δ_R` staircase built so far; covers every speed at or
+    /// above the speed it was built for.
+    frontier: RefCell<Option<ResetFrontier>>,
 }
 
 impl<'a> Analysis<'a> {
@@ -99,6 +120,42 @@ impl<'a> Analysis<'a> {
             arrival: OnceCell::new(),
             integer_walks: Cell::new(0),
             exact_walks: Cell::new(0),
+            pruned_walks: Cell::new(0),
+            avoided_walks: Cell::new(0),
+            frontier: RefCell::new(None),
+        }
+    }
+
+    /// Creates a context whose three profiles are built eagerly into
+    /// component buffers leased from `scratch`, so repeated analyses
+    /// allocate nothing per set. Pair with [`Analysis::recycle_into`] to
+    /// return the buffers when done.
+    #[must_use]
+    pub fn new_with_scratch(
+        set: &'a TaskSet,
+        limits: &AnalysisLimits,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis<'a> {
+        let ctx = Analysis::new(set, limits);
+        let mut components = scratch.lease();
+        lo_components_into(set, &mut components);
+        let _ = ctx.lo.set(DemandProfile::new(components));
+        let mut components = scratch.lease();
+        hi_components_into(set, &mut components);
+        let _ = ctx.hi.set(DemandProfile::new(components));
+        let mut components = scratch.lease();
+        arrival_components_into(set, &mut components);
+        let _ = ctx.arrival.set(DemandProfile::new(components));
+        ctx
+    }
+
+    /// Consumes the context, returning its profile buffers to `scratch`
+    /// for the next [`Analysis::new_with_scratch`] call.
+    pub fn recycle_into(self, scratch: &mut AnalysisScratch) {
+        for cell in [self.lo, self.hi, self.arrival] {
+            if let Some(profile) = cell.into_inner() {
+                scratch.reclaim(profile.into_components());
+            }
         }
     }
 
@@ -132,20 +189,26 @@ impl<'a> Analysis<'a> {
         self.arrival.get_or_init(|| hi_arrival_profile(self.set))
     }
 
-    fn record(&self, kind: WalkKind) {
-        match kind {
+    fn record(&self, trace: WalkTrace) {
+        match trace.kind {
             WalkKind::Integer => self.integer_walks.set(self.integer_walks.get() + 1),
             WalkKind::Rational => self.exact_walks.set(self.exact_walks.get() + 1),
         }
+        if trace.pruned {
+            self.pruned_walks.set(self.pruned_walks.get() + 1);
+        }
     }
 
-    /// How many breakpoint walks ran so far, by implementation. The
-    /// counts are deterministic for a given query sequence.
+    /// How many breakpoint walks ran so far, by implementation, plus how
+    /// many pruned early and how many queries skipped walking entirely.
+    /// The counts are deterministic for a given query sequence.
     #[must_use]
     pub fn walk_counts(&self) -> WalkCounts {
         WalkCounts {
             integer: self.integer_walks.get(),
             exact: self.exact_walks.get(),
+            pruned: self.pruned_walks.get(),
+            avoided: self.avoided_walks.get(),
         }
     }
 
@@ -156,8 +219,8 @@ impl<'a> Analysis<'a> {
     ///
     /// As for [`crate::speedup::minimum_speedup`].
     pub fn minimum_speedup(&self) -> Result<SpeedupAnalysis, AnalysisError> {
-        let (sup, kind) = self.hi_profile().sup_ratio_traced(&self.limits)?;
-        self.record(kind);
+        let (sup, trace) = self.hi_profile().sup_ratio_traced(&self.limits)?;
+        self.record(trace);
         Ok(SpeedupAnalysis::from_sup_ratio(sup))
     }
 
@@ -168,22 +231,52 @@ impl<'a> Analysis<'a> {
     ///
     /// As for [`crate::speedup::is_hi_schedulable`].
     pub fn is_hi_schedulable(&self, speed: Rational) -> Result<bool, AnalysisError> {
-        let (fits, kind) = self.hi_profile().fits_traced(speed, &self.limits)?;
-        self.record(kind);
+        let (fits, trace) = self.hi_profile().fits_traced(speed, &self.limits)?;
+        self.record(trace);
         Ok(fits)
     }
 
     /// Corollary 5's service resetting time at `speed` (see
-    /// [`crate::resetting::resetting_time`]).
+    /// [`crate::resetting::resetting_time`]), bit-identical to a fresh
+    /// first-fit walk.
+    ///
+    /// The first query above the arrival rate builds the full reset
+    /// frontier `s ↦ Δ_R(s)` in one walk and caches it; later queries it
+    /// covers are answered by threshold lookup with no walk at all
+    /// (counted in [`WalkCounts::avoided`]). Speeds at or below the
+    /// arrival rate keep the plain walk: their fit can be `Never`, which
+    /// the frontier does not encode.
     ///
     /// # Errors
     ///
     /// As for [`crate::resetting::resetting_time`].
     pub fn resetting_time(&self, speed: Rational) -> Result<ResettingAnalysis, AnalysisError> {
-        let (fit, kind) = self
+        let profile = self.arrival_profile();
+        if speed > profile.rate() {
+            if let Some(fit) = self
+                .frontier
+                .borrow()
+                .as_ref()
+                .and_then(|frontier| frontier.lookup(speed))
+            {
+                self.avoided_walks.set(self.avoided_walks.get() + 1);
+                return Ok(ResettingAnalysis::from_first_fit(fit, speed));
+            }
+            let (frontier, kind) = profile.reset_frontier(speed, &self.limits)?;
+            self.record(WalkTrace {
+                kind,
+                pruned: false,
+            });
+            let fit = frontier
+                .lookup(speed)
+                .expect("a frontier built for `speed` covers it");
+            *self.frontier.borrow_mut() = Some(frontier);
+            return Ok(ResettingAnalysis::from_first_fit(fit, speed));
+        }
+        let (fit, trace) = self
             .arrival_profile()
             .first_fit_traced(speed, &self.limits)?;
-        self.record(kind);
+        self.record(trace);
         Ok(ResettingAnalysis::from_first_fit(fit, speed))
     }
 
@@ -194,8 +287,8 @@ impl<'a> Analysis<'a> {
     ///
     /// As for [`crate::lo_mode::lo_speed_requirement`].
     pub fn lo_speed_requirement(&self) -> Result<Rational, AnalysisError> {
-        let (sup, kind) = self.lo_profile().sup_ratio_traced(&self.limits)?;
-        self.record(kind);
+        let (sup, trace) = self.lo_profile().sup_ratio_traced(&self.limits)?;
+        self.record(trace);
         match sup {
             SupRatio::Finite { value, .. } => Ok(value),
             SupRatio::Unbounded => unreachable!("DBF_LO(0) = 0 for validated tasks"),
@@ -209,8 +302,8 @@ impl<'a> Analysis<'a> {
     ///
     /// As for [`crate::lo_mode::is_lo_schedulable`].
     pub fn is_lo_schedulable(&self) -> Result<bool, AnalysisError> {
-        let (fits, kind) = self.lo_profile().fits_traced(Rational::ONE, &self.limits)?;
-        self.record(kind);
+        let (fits, trace) = self.lo_profile().fits_traced(Rational::ONE, &self.limits)?;
+        self.record(trace);
         Ok(fits)
     }
 
@@ -228,9 +321,17 @@ impl<'a> Analysis<'a> {
 
     /// The smallest speed within `tolerance` meeting both HI-mode
     /// schedulability and the resetting-time `budget` (see
-    /// [`crate::tuning::minimal_speed_within_budget`]). The bisection
-    /// reuses this context's profiles: `O(log 1/tol)` breakpoint walks,
-    /// zero profile rebuilds.
+    /// [`crate::tuning::minimal_speed_within_budget`]).
+    ///
+    /// One pass, no bisection: the HI-schedulability floor is
+    /// `minimum_speedup` (a speed fits HI mode iff it is at least the
+    /// demand-ratio supremum), and the least speed draining arrived
+    /// demand within `budget` is the infimum of `ADB(Δ)/Δ` over
+    /// `(0, budget]`, scanned directly off the profile. The larger of
+    /// the two is probed with a single resetting-time query; when the
+    /// infimum is an open boundary no speed attains, the probe misses
+    /// and the answer steps up by `tolerance` — the same resolution a
+    /// bisection would return.
     ///
     /// # Errors
     ///
@@ -248,32 +349,75 @@ impl<'a> Analysis<'a> {
         assert!(tolerance.is_positive(), "tolerance must be positive");
         assert!(budget.is_positive(), "budget must be positive");
         assert!(max_speed.is_positive(), "max_speed must be positive");
-        let meets = |s: Rational| -> Result<bool, AnalysisError> {
-            if !self.is_hi_schedulable(s)? {
-                return Ok(false);
-            }
-            Ok(match self.resetting_time(s)?.bound() {
-                ResettingBound::Finite(dr) => dr <= budget,
-                ResettingBound::Unbounded => false,
-            })
+        let Some(floor) = self.minimum_speedup()?.bound().as_finite() else {
+            return Ok(None);
         };
-        if !meets(max_speed)? {
+        if floor > max_speed {
             return Ok(None);
         }
-        // Invariant: `hi` meets, `lo` does not (start `lo` at an
-        // infeasible floor: speeds at or below zero never help, so use a
-        // vanishing one).
-        let mut lo = Rational::ZERO;
-        let mut hi = max_speed;
-        while hi - lo > tolerance {
-            let mid = (hi + lo) / Rational::TWO;
-            if mid.is_positive() && meets(mid)? {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
+        let (needed, kind) =
+            self.arrival_profile()
+                .min_ratio_within(budget, floor, tolerance, &self.limits)?;
+        self.record(WalkTrace {
+            kind,
+            pruned: false,
+        });
+        let candidate = floor.max(needed);
+        if candidate > max_speed {
+            // `needed` can overshoot the true infimum by up to
+            // `tolerance` (the scan halts once it reaches
+            // `rate + tolerance`), so probe `max_speed` itself before
+            // concluding infeasibility. When the probe meets, every
+            // feasible speed exceeds `max_speed − tolerance`, making
+            // `max_speed` a valid within-tolerance answer.
+            let meets_max = match self.resetting_time(max_speed)?.bound() {
+                ResettingBound::Finite(dr) => dr <= budget,
+                ResettingBound::Unbounded => false,
+            };
+            return Ok(meets_max.then_some(max_speed));
         }
-        Ok(Some(hi))
+        if !candidate.is_positive() {
+            // No demand at all: any positive speed works; report the
+            // smallest one on the caller's tolerance grid.
+            return Ok(Some(tolerance.min(max_speed)));
+        }
+        let meets = match self.resetting_time(candidate)?.bound() {
+            ResettingBound::Finite(dr) => dr <= budget,
+            ResettingBound::Unbounded => false,
+        };
+        if meets {
+            return Ok(Some(candidate));
+        }
+        if candidate >= max_speed {
+            return Ok(None);
+        }
+        Ok(Some((candidate + tolerance).min(max_speed)))
+    }
+}
+
+/// Reusable demand-component buffers for
+/// [`Analysis::new_with_scratch`]: campaign runners and service workers
+/// hand one scratch per worker through thousands of per-set analyses and
+/// profile construction stops allocating after the first few sets.
+#[derive(Debug, Default)]
+pub struct AnalysisScratch {
+    buffers: Vec<Vec<PeriodicDemand>>,
+}
+
+impl AnalysisScratch {
+    /// An empty scratch; buffers accumulate as contexts are recycled.
+    #[must_use]
+    pub fn new() -> AnalysisScratch {
+        AnalysisScratch::default()
+    }
+
+    fn lease(&mut self) -> Vec<PeriodicDemand> {
+        self.buffers.pop().unwrap_or_default()
+    }
+
+    fn reclaim(&mut self, mut buffer: Vec<PeriodicDemand>) {
+        buffer.clear();
+        self.buffers.push(buffer);
     }
 }
 
@@ -379,7 +523,79 @@ mod tests {
         // Table I is integer-valued: everything takes the fast path.
         assert_eq!(counts.integer, 3);
         assert_eq!(counts.exact, 0);
+        // Both sup-style walks stop at the envelope horizon before the
+        // hyperperiod; the frontier build never prunes.
+        assert_eq!(counts.pruned, 2);
+        assert_eq!(counts.avoided, 0);
         assert_eq!(counts, run());
+    }
+
+    #[test]
+    fn repeated_resetting_queries_reuse_the_frontier() {
+        let set = table1();
+        let limits = AnalysisLimits::default();
+        let ctx = Analysis::new(&set, &limits);
+        let first = ctx.resetting_time(int(2)).expect("ok");
+        let walks_after_build = ctx.walk_counts().total();
+        // Same speed and any higher speed are covered by the cached
+        // frontier: no further walks, bit-identical answers.
+        for speed in [int(2), rat(5, 2), int(3), int(100)] {
+            let via_frontier = ctx.resetting_time(speed).expect("ok");
+            assert_eq!(
+                via_frontier,
+                resetting_time(&set, speed, &limits).expect("ok")
+            );
+        }
+        assert_eq!(ctx.resetting_time(int(2)).expect("ok"), first);
+        let counts = ctx.walk_counts();
+        assert_eq!(counts.total(), walks_after_build);
+        assert_eq!(counts.avoided, 5);
+        // A lower (but still above-rate) speed forces a deeper rebuild…
+        let lower = rat(3, 4); // ADB rate is 7/10
+        assert_eq!(
+            ctx.resetting_time(lower).expect("ok"),
+            resetting_time(&set, lower, &limits).expect("ok")
+        );
+        assert_eq!(ctx.walk_counts().total(), walks_after_build + 1);
+        // …after which the original speed is again served walk-free.
+        assert_eq!(ctx.resetting_time(int(2)).expect("ok"), first);
+        assert_eq!(ctx.walk_counts().total(), walks_after_build + 1);
+    }
+
+    #[test]
+    fn below_rate_speeds_match_the_plain_walk() {
+        let set = table1();
+        let limits = AnalysisLimits::default();
+        let ctx = Analysis::new(&set, &limits);
+        // ADB rate is 7/10; at or below it the fit can be Never and the
+        // context must agree with the free function exactly.
+        for speed in [rat(1, 2), rat(7, 10)] {
+            assert_eq!(
+                ctx.resetting_time(speed).expect("ok"),
+                resetting_time(&set, speed, &limits).expect("ok")
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_contexts_match_lazy_contexts() {
+        let set = table1();
+        let limits = AnalysisLimits::default();
+        let mut scratch = AnalysisScratch::new();
+        for _ in 0..3 {
+            let lazy = Analysis::new(&set, &limits);
+            let eager = Analysis::new_with_scratch(&set, &limits, &mut scratch);
+            assert_eq!(lazy.lo_profile(), eager.lo_profile());
+            assert_eq!(lazy.hi_profile(), eager.hi_profile());
+            assert_eq!(lazy.arrival_profile(), eager.arrival_profile());
+            assert_eq!(
+                lazy.minimum_speedup().expect("ok"),
+                eager.minimum_speedup().expect("ok")
+            );
+            eager.recycle_into(&mut scratch);
+        }
+        // Three profiles recycled each round; the pool holds them all.
+        assert_eq!(scratch.buffers.len(), 3);
     }
 
     #[test]
@@ -390,5 +606,11 @@ mod tests {
         assert!(ctx.is_lo_schedulable().expect("ok"));
         assert!(ctx.is_hi_schedulable(Rational::ONE).expect("ok"));
         assert_eq!(ctx.lo_speed_requirement().expect("ok"), Rational::ZERO);
+        // Zero demand: the sized speed degenerates to the tolerance grid.
+        assert_eq!(
+            ctx.minimal_speed_within_budget(int(10), int(4), rat(1, 64))
+                .expect("ok"),
+            Some(rat(1, 64))
+        );
     }
 }

@@ -130,35 +130,47 @@ pub fn total_dbf_hi(set: &TaskSet, delta: Rational) -> Rational {
     set.iter().map(|t| dbf_hi(t, delta)).sum()
 }
 
+/// Appends [`lo_profile`]'s components to `out` — the buffer-reusing
+/// form behind [`crate::AnalysisScratch`].
+pub(crate) fn lo_components_into(set: &TaskSet, out: &mut Vec<PeriodicDemand>) {
+    out.extend(set.iter().map(|t| {
+        let p = t.lo();
+        PeriodicDemand::step(p.period(), p.deadline(), p.wcet())
+    }));
+}
+
 /// The LO-mode demand of the whole set as an exact curve profile.
 #[must_use]
 pub fn lo_profile(set: &TaskSet) -> DemandProfile {
-    set.iter()
-        .map(|t| {
-            let p = t.lo();
-            PeriodicDemand::step(p.period(), p.deadline(), p.wcet())
-        })
-        .collect()
+    let mut components = Vec::new();
+    lo_components_into(set, &mut components);
+    DemandProfile::new(components)
+}
+
+/// Appends [`hi_profile`]'s components to `out` — the buffer-reusing
+/// form behind [`crate::AnalysisScratch`].
+pub(crate) fn hi_components_into(set: &TaskSet, out: &mut Vec<PeriodicDemand>) {
+    out.extend(set.iter().filter_map(|t| {
+        let hi = t.params(Mode::Hi)?;
+        let offset = hi.deadline() - t.lo().deadline();
+        Some(PeriodicDemand::new(
+            hi.period(),
+            hi.wcet(),
+            Rational::ZERO,
+            offset,
+            hi.wcet() - t.lo().wcet(),
+            t.lo().wcet(),
+        ))
+    }));
 }
 
 /// The HI-mode demand of the whole set as an exact curve profile
 /// (Lemma 1 per task; terminated tasks omitted).
 #[must_use]
 pub fn hi_profile(set: &TaskSet) -> DemandProfile {
-    set.iter()
-        .filter_map(|t| {
-            let hi = t.params(Mode::Hi)?;
-            let offset = hi.deadline() - t.lo().deadline();
-            Some(PeriodicDemand::new(
-                hi.period(),
-                hi.wcet(),
-                Rational::ZERO,
-                offset,
-                hi.wcet() - t.lo().wcet(),
-                t.lo().wcet(),
-            ))
-        })
-        .collect()
+    let mut components = Vec::new();
+    hi_components_into(set, &mut components);
+    DemandProfile::new(components)
 }
 
 #[cfg(test)]

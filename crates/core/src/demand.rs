@@ -173,6 +173,26 @@ impl PeriodicDemand {
         self.constant + self.jump + self.ramp_len
     }
 
+    /// The *tightest* constant `b` with `eval(Δ) ≤ rate()·Δ + b` for all
+    /// `Δ ≥ 0`: `constant + sup_u (r(u) − rate·u)`.
+    ///
+    /// Writing `eval(Δ) − rate·Δ = constant + h(u)` with
+    /// `h(u) = r(u) − rate·u` periodic in `u = Δ mod period`, the
+    /// supremum of the piecewise-linear `h` sits at one of its segment
+    /// endpoints: `u = 0`, the post-jump `u = ramp_start`, or the
+    /// (period-clipped) ramp end. This is the pruning bound of the
+    /// breakpoint walks — often far below [`PeriodicDemand::burst`],
+    /// e.g. zero for an implicit-deadline step (`ramp_start = 0`,
+    /// `jump = per_period`).
+    #[must_use]
+    pub fn envelope_burst(&self) -> Rational {
+        let rate = self.rate();
+        let clipped = (self.period - self.ramp_start).min(self.ramp_len);
+        let at_jump = self.jump - rate * self.ramp_start;
+        let at_ramp_end = self.jump + clipped - rate * (self.ramp_start + clipped);
+        self.constant + Rational::ZERO.max(at_jump).max(at_ramp_end)
+    }
+
     /// All six quantities in declaration order (`period`, `per_period`,
     /// `constant`, `ramp_start`, `jump`, `ramp_len`) — for the integer
     /// rescaling in [`crate::scaled`].
@@ -241,6 +261,21 @@ pub enum WalkKind {
     Integer,
     /// The exact [`Rational`] fallback walk.
     Rational,
+}
+
+/// How a breakpoint walk answered a query: which implementation ran, and
+/// whether the envelope bound cut it short.
+///
+/// Results are bit-identical regardless of either flag; the trace only
+/// feeds performance accounting (see [`crate::analysis::Analysis`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkTrace {
+    /// Which implementation produced the result.
+    pub kind: WalkKind,
+    /// Whether the walk stopped at the envelope horizon with breakpoints
+    /// still pending below the hyperperiod bound — i.e. the
+    /// [`PeriodicDemand::envelope_burst`] pruning actually skipped work.
+    pub pruned: bool,
 }
 
 /// A sum of [`PeriodicDemand`] components with exact sup-ratio and
@@ -319,6 +354,24 @@ impl DemandProfile {
         self.components.iter().map(PeriodicDemand::burst).sum()
     }
 
+    /// Total tight envelope burst (per-component suprema of
+    /// `eval_i(Δ) − rate_i·Δ`, summed): the pruning bound of every walk.
+    #[must_use]
+    pub fn envelope_burst(&self) -> Rational {
+        self.components
+            .iter()
+            .map(PeriodicDemand::envelope_burst)
+            .sum()
+    }
+
+    /// Consumes the profile and returns its component vector — the
+    /// allocation can then be pooled in an
+    /// [`crate::analysis::AnalysisScratch`] and reused for the next set.
+    #[must_use]
+    pub fn into_components(self) -> Vec<PeriodicDemand> {
+        self.components
+    }
+
     /// The demand hyperperiod (lcm of component periods), if it fits in
     /// `i128`.
     #[must_use]
@@ -350,7 +403,7 @@ impl DemandProfile {
         self.sup_ratio_traced(limits).map(|(result, _)| result)
     }
 
-    /// [`DemandProfile::sup_ratio`] plus which walk answered it.
+    /// [`DemandProfile::sup_ratio`] plus how it was answered.
     ///
     /// # Errors
     ///
@@ -358,24 +411,114 @@ impl DemandProfile {
     pub fn sup_ratio_traced(
         &self,
         limits: &AnalysisLimits,
-    ) -> Result<(SupRatio, WalkKind), AnalysisError> {
+    ) -> Result<(SupRatio, WalkTrace), AnalysisError> {
         if let Some(scaled) = &self.scaled {
-            if let Some(result) = scaled.sup_ratio(limits)? {
-                return Ok((result, WalkKind::Integer));
+            if let Some((result, pruned)) = scaled.sup_ratio(limits)? {
+                return Ok((
+                    result,
+                    WalkTrace {
+                        kind: WalkKind::Integer,
+                        pruned,
+                    },
+                ));
             }
         }
-        self.sup_ratio_exact(limits)
-            .map(|result| (result, WalkKind::Rational))
+        self.sup_ratio_exact_traced(limits).map(|(result, pruned)| {
+            (
+                result,
+                WalkTrace {
+                    kind: WalkKind::Rational,
+                    pruned,
+                },
+            )
+        })
     }
 
     /// The exact rational reference implementation of
     /// [`DemandProfile::sup_ratio`] — the fallback when the integer fast
     /// path overflows, kept public for differential tests and benches.
     ///
+    /// Like the fast path, it prunes against the tight
+    /// [`DemandProfile::envelope_burst`] bound; the fully unpruned walk
+    /// survives as [`DemandProfile::sup_ratio_reference`].
+    ///
     /// # Errors
     ///
     /// As for [`DemandProfile::sup_ratio`].
     pub fn sup_ratio_exact(&self, limits: &AnalysisLimits) -> Result<SupRatio, AnalysisError> {
+        self.sup_ratio_exact_traced(limits)
+            .map(|(result, _)| result)
+    }
+
+    /// [`DemandProfile::sup_ratio_exact`] plus whether the envelope bound
+    /// pruned the walk.
+    pub(crate) fn sup_ratio_exact_traced(
+        &self,
+        limits: &AnalysisLimits,
+    ) -> Result<(SupRatio, bool), AnalysisError> {
+        let mut walk = IncrementalWalk::new(&self.components);
+        if walk.value.is_positive() {
+            return Ok((SupRatio::Unbounded, false));
+        }
+        let rate = self.rate();
+        let envelope = self.envelope_burst();
+        let hyperperiod = self.hyperperiod();
+
+        let mut best: Option<(Rational, Rational)> = None;
+        // eval(Δ) ≤ rate·Δ + envelope ≤ best_ratio·Δ for
+        // Δ ≥ envelope/(best_ratio − rate), and the improvement test is
+        // strict, so nothing at or past the horizon can displace `best`.
+        // Recomputed only when `best` improves (the walk's only division).
+        let mut horizon: Option<Rational> = None;
+        let mut pruned = false;
+        let mut examined = 0usize;
+        while let Some(delta) = walk.peek_next() {
+            if let Some(hp) = hyperperiod {
+                if delta > hp {
+                    break;
+                }
+            }
+            if let Some(h) = horizon {
+                if delta >= h {
+                    pruned = true;
+                    break;
+                }
+            }
+            examined += 1;
+            limits.check_walk(examined)?;
+            walk.advance();
+            let ratio = walk.value / walk.delta;
+            if best.is_none_or(|(b, _)| ratio > b) {
+                best = Some((ratio, walk.delta));
+                if ratio > rate {
+                    horizon = Some(envelope / (ratio - rate));
+                }
+            }
+        }
+        let sup = match best {
+            None => SupRatio::Finite {
+                value: Rational::ZERO,
+                witness: None,
+            },
+            Some((value, witness)) => SupRatio::Finite {
+                value,
+                witness: Some(witness),
+            },
+        };
+        Ok((sup, pruned))
+    }
+
+    /// The pre-pruning reference walk for `sup_{Δ > 0} eval(Δ)/Δ`: stops
+    /// only at the hyperperiod or the *loose* `burst/(best − rate)`
+    /// horizon. Kept as the independent oracle the envelope-pruned walks
+    /// are differentially tested against, and as the bench reference that
+    /// quantifies the pruning gain.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DemandProfile::sup_ratio`] (the pruned walk may complete
+    /// within budgets this reference exhausts).
+    pub fn sup_ratio_reference(&self, limits: &AnalysisLimits) -> Result<SupRatio, AnalysisError> {
         let mut walk = IncrementalWalk::new(&self.components);
         if walk.value.is_positive() {
             return Ok(SupRatio::Unbounded);
@@ -385,9 +528,6 @@ impl DemandProfile {
         let hyperperiod = self.hyperperiod();
 
         let mut best: Option<(Rational, Rational)> = None;
-        // eval(Δ) ≤ rate·Δ + burst < best_ratio·Δ for
-        // Δ > burst/(best_ratio − rate): nothing can improve. Recomputed
-        // only when `best` does (the division is the walk's only one).
         let mut horizon: Option<Rational> = None;
         let mut examined = 0usize;
         while let Some(delta) = walk.peek_next() {
@@ -443,7 +583,7 @@ impl DemandProfile {
         self.fits_traced(speed, limits).map(|(result, _)| result)
     }
 
-    /// [`DemandProfile::fits`] plus which walk answered it.
+    /// [`DemandProfile::fits`] plus how it was answered.
     ///
     /// # Errors
     ///
@@ -452,17 +592,31 @@ impl DemandProfile {
         &self,
         speed: Rational,
         limits: &AnalysisLimits,
-    ) -> Result<(bool, WalkKind), AnalysisError> {
+    ) -> Result<(bool, WalkTrace), AnalysisError> {
         if !speed.is_positive() {
             return Err(AnalysisError::NonPositiveSpeed);
         }
         if let Some(scaled) = &self.scaled {
-            if let Some(result) = scaled.fits(speed, limits)? {
-                return Ok((result, WalkKind::Integer));
+            if let Some((result, pruned)) = scaled.fits(speed, limits)? {
+                return Ok((
+                    result,
+                    WalkTrace {
+                        kind: WalkKind::Integer,
+                        pruned,
+                    },
+                ));
             }
         }
-        self.fits_exact(speed, limits)
-            .map(|result| (result, WalkKind::Rational))
+        self.fits_exact_traced(speed, limits)
+            .map(|(result, pruned)| {
+                (
+                    result,
+                    WalkTrace {
+                        kind: WalkKind::Rational,
+                        pruned,
+                    },
+                )
+            })
     }
 
     /// The exact rational reference implementation of
@@ -477,30 +631,46 @@ impl DemandProfile {
         speed: Rational,
         limits: &AnalysisLimits,
     ) -> Result<bool, AnalysisError> {
+        self.fits_exact_traced(speed, limits)
+            .map(|(result, _)| result)
+    }
+
+    /// [`DemandProfile::fits_exact`] plus whether the envelope bound
+    /// pruned the walk short of the hyperperiod.
+    pub(crate) fn fits_exact_traced(
+        &self,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<(bool, bool), AnalysisError> {
         if !speed.is_positive() {
             return Err(AnalysisError::NonPositiveSpeed);
         }
         let mut walk = IncrementalWalk::new(&self.components);
         if walk.value.is_positive() {
             // Demand at Δ = 0 can never be served.
-            return Ok(false);
+            return Ok((false, false));
         }
         let rate = self.rate();
         if speed < rate {
             // Demand grows at `rate` along hyperperiod multiples
             // (eval(kP) ≥ rate·kP); a slower supply eventually loses.
-            return Ok(false);
+            return Ok((false, false));
         }
         let hyperperiod = self.hyperperiod();
+        // At Δ ≥ envelope/(speed − rate) the envelope bound alone gives
+        // eval(Δ) ≤ rate·Δ + envelope ≤ speed·Δ: no violation can exist
+        // at or past the horizon, so the break may be inclusive.
         let horizon = if speed > rate {
-            Some(self.burst() / (speed - rate))
+            Some(self.envelope_burst() / (speed - rate))
         } else {
             None
         };
+        let mut pruned = false;
         let mut examined = 0usize;
         while let Some(delta) = walk.peek_next() {
             if let Some(h) = horizon {
-                if delta > h {
+                if delta >= h {
+                    pruned = hyperperiod.is_none_or(|hp| delta <= hp);
                     break;
                 }
             }
@@ -513,10 +683,10 @@ impl DemandProfile {
             limits.check_walk(examined)?;
             walk.advance();
             if walk.value > speed * walk.delta {
-                return Ok(false);
+                return Ok((false, false));
             }
         }
-        Ok(true)
+        Ok((true, pruned))
     }
 
     /// Computes `min{Δ ≥ 0 : eval(Δ) ≤ s·Δ}` exactly.
@@ -540,7 +710,9 @@ impl DemandProfile {
             .map(|(result, _)| result)
     }
 
-    /// [`DemandProfile::first_fit`] plus which walk answered it.
+    /// [`DemandProfile::first_fit`] plus how it was answered. A first-fit
+    /// walk stops at its answer, never at the envelope horizon, so the
+    /// trace's `pruned` flag is always `false` here.
     ///
     /// # Errors
     ///
@@ -549,17 +721,30 @@ impl DemandProfile {
         &self,
         speed: Rational,
         limits: &AnalysisLimits,
-    ) -> Result<(FirstFit, WalkKind), AnalysisError> {
+    ) -> Result<(FirstFit, WalkTrace), AnalysisError> {
         if !speed.is_positive() {
             return Err(AnalysisError::NonPositiveSpeed);
         }
         if let Some(scaled) = &self.scaled {
             if let Some(result) = scaled.first_fit(speed, limits)? {
-                return Ok((result, WalkKind::Integer));
+                return Ok((
+                    result,
+                    WalkTrace {
+                        kind: WalkKind::Integer,
+                        pruned: false,
+                    },
+                ));
             }
         }
-        self.first_fit_exact(speed, limits)
-            .map(|result| (result, WalkKind::Rational))
+        self.first_fit_exact(speed, limits).map(|result| {
+            (
+                result,
+                WalkTrace {
+                    kind: WalkKind::Rational,
+                    pruned: false,
+                },
+            )
+        })
     }
 
     /// The exact rational reference implementation of
@@ -618,6 +803,199 @@ impl DemandProfile {
             walk.advance();
         }
     }
+
+    /// Builds the reset frontier — the full staircase `s ↦ first_fit(s)`
+    /// — in a single breakpoint walk, stopping as soon as `min_speed`
+    /// itself is served.
+    ///
+    /// The walk examines exactly the segments a plain
+    /// [`DemandProfile::first_fit`] at `min_speed` would (same breakpoint
+    /// budget consumption, same errors), but records every segment that
+    /// lowers a serving threshold, so [`ResetFrontier::lookup`] afterwards
+    /// answers *any* speed at or above `min_speed` — and often many below
+    /// it — without walking again.
+    ///
+    /// The returned [`WalkKind`] reports whether the integer fast path
+    /// built it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DemandProfile::first_fit`] at `min_speed` (including the
+    /// budget exhaustion of a `min_speed ≤ rate()` build whose hyperperiod
+    /// overflows).
+    pub fn reset_frontier(
+        &self,
+        min_speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<(ResetFrontier, WalkKind), AnalysisError> {
+        if !min_speed.is_positive() {
+            return Err(AnalysisError::NonPositiveSpeed);
+        }
+        if let Some(scaled) = &self.scaled {
+            if let Some(frontier) = scaled.reset_frontier(min_speed, limits)? {
+                return Ok((frontier, WalkKind::Integer));
+            }
+        }
+        self.reset_frontier_exact(min_speed, limits)
+            .map(|frontier| (frontier, WalkKind::Rational))
+    }
+
+    /// The exact rational construction behind
+    /// [`DemandProfile::reset_frontier`].
+    fn reset_frontier_exact(
+        &self,
+        min_speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<ResetFrontier, AnalysisError> {
+        let mut walk = IncrementalWalk::new(&self.components);
+        if !walk.value.is_positive() {
+            return Ok(ResetFrontier::everything_fits_at_zero());
+        }
+        let rate = self.rate();
+        let hyperperiod = self.hyperperiod();
+        let mut builder = FrontierBuilder::new(min_speed);
+        let mut examined = 0usize;
+        loop {
+            if builder.serves_min_speed() {
+                break;
+            }
+            examined += 1;
+            limits.check_walk(examined)?;
+            let segment_start = walk.delta;
+            let value = walk.value;
+            let segment_end = walk
+                .peek_next()
+                .expect("periodic curves have unbounded breakpoints");
+            let slope = Rational::integer(i128::from(walk.slope));
+            // Closed threshold ψ: `s ≥ value/start` fits exactly at the
+            // segment start (absent for the Δ = 0 segment — its value is
+            // positive here, so no speed fits at 0).
+            let closed_at = segment_start.is_positive().then(|| value / segment_start);
+            // Open threshold θ: the crossing
+            // `(value − slope·start)/(s − slope)` lands strictly inside
+            // the segment iff `s > slope` and `s > φ_pre(end)` where
+            // `φ_pre(end) = (value + slope·(end − start))/end` is the
+            // pre-jump ratio at the segment's right end.
+            let phi_pre = (value + slope * (segment_end - segment_start)) / segment_end;
+            builder.push_segment(
+                segment_start,
+                value,
+                walk.slope,
+                closed_at,
+                phi_pre.max(slope),
+            );
+            if min_speed <= rate {
+                if let Some(hp) = hyperperiod {
+                    if segment_start > hp {
+                        // Mirrors first_fit's Never bail-out: min_speed is
+                        // unserved after a full hyperperiod and can never
+                        // be; the staircase above it is complete.
+                        break;
+                    }
+                }
+            }
+            walk.advance();
+        }
+        Ok(builder.finish())
+    }
+
+    /// The infimum of `eval(Δ)/Δ` over `(0, horizon]`, early-stopped once
+    /// it can no longer matter: scanning stops when the running infimum
+    /// reaches `floor` or comes within `tolerance` of the long-run rate
+    /// (the ratio's own limit), so the walk is horizon-bound even for
+    /// astronomically large `horizon`.
+    ///
+    /// When the scan runs to completion and the result exceeds `floor`,
+    /// it is the exact infimum — though a pre-jump limit at a segment end
+    /// is *approached*, not attained, so a caller wanting a speed that
+    /// provably fits must probe the returned value (one first-fit) and
+    /// step up by its own resolution if the probe misses. When an early
+    /// stop fires the result is a genuinely observed ratio at most
+    /// `max(floor, rate + tolerance)` — still an upper bound on the
+    /// infimum.
+    ///
+    /// This is the one-walk replacement for bisecting
+    /// `minimal_speed_within_budget` queries: the minimal speed whose
+    /// first fit lands within `horizon` is exactly this infimum.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BreakpointBudgetExhausted`] if the scan's
+    /// breakpoint budget runs out first.
+    pub(crate) fn min_ratio_within(
+        &self,
+        horizon: Rational,
+        floor: Rational,
+        tolerance: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<(Rational, WalkKind), AnalysisError> {
+        assert!(horizon.is_positive(), "horizon must be positive");
+        assert!(tolerance.is_positive(), "tolerance must be positive");
+        if let Some(scaled) = &self.scaled {
+            if let Some(result) = scaled.min_ratio_within(horizon, floor, tolerance, limits)? {
+                return Ok((result, WalkKind::Integer));
+            }
+        }
+        self.min_ratio_within_exact(horizon, floor, tolerance, limits)
+            .map(|result| (result, WalkKind::Rational))
+    }
+
+    /// The exact rational reference implementation of
+    /// [`DemandProfile::min_ratio_within`] — the fallback when the
+    /// integer fast path overflows.
+    fn min_ratio_within_exact(
+        &self,
+        horizon: Rational,
+        floor: Rational,
+        tolerance: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<Rational, AnalysisError> {
+        let mut walk = IncrementalWalk::new(&self.components);
+        if !walk.value.is_positive() {
+            // A zero-at-zero profile is drained instantly at any speed.
+            return Ok(Rational::ZERO);
+        }
+        // Stop once nothing below this can change the caller's answer:
+        // ratios never go below `rate`, and `eval(Δ)/Δ ≤ rate + envelope/Δ`
+        // guarantees the threshold is reached by Δ = envelope/tolerance,
+        // so the scan is bounded even for astronomical horizons.
+        let stop_at = floor.max(self.rate() + tolerance);
+        let mut best: Option<Rational> = None;
+        let mut examined = 0usize;
+        loop {
+            let segment_start = walk.delta;
+            if segment_start > horizon {
+                break;
+            }
+            examined += 1;
+            limits.check_walk(examined)?;
+            let value = walk.value;
+            let segment_end = walk
+                .peek_next()
+                .expect("periodic curves have unbounded breakpoints");
+            let slope = Rational::integer(i128::from(walk.slope));
+            // Closed candidate at the segment start.
+            if segment_start.is_positive() {
+                let phi = value / segment_start;
+                best = Some(best.map_or(phi, |b| b.min(phi)));
+            }
+            if segment_end <= horizon {
+                // Pre-jump limit at the segment's right end.
+                let phi_pre = (value + slope * (segment_end - segment_start)) / segment_end;
+                best = Some(best.map_or(phi_pre, |b| b.min(phi_pre)));
+            } else if horizon > segment_start {
+                // The horizon cuts this segment: its interior point is
+                // the rightmost in-domain candidate.
+                let phi_cut = (value + slope * (horizon - segment_start)) / horizon;
+                best = Some(best.map_or(phi_cut, |b| b.min(phi_cut)));
+            }
+            if best.is_some_and(|b| b <= stop_at) {
+                break;
+            }
+            walk.advance();
+        }
+        Ok(best.expect("a positive-at-zero profile yields a candidate on its first segment"))
+    }
 }
 
 impl Default for DemandProfile {
@@ -632,6 +1010,196 @@ impl Default for DemandProfile {
 impl FromIterator<PeriodicDemand> for DemandProfile {
     fn from_iter<I: IntoIterator<Item = PeriodicDemand>>(iter: I) -> DemandProfile {
         DemandProfile::new(iter.into_iter().collect())
+    }
+}
+
+/// One recorded walk segment of a [`ResetFrontier`]: a breakpoint
+/// interval that lowered a serving threshold when the frontier was
+/// built, together with the data needed to reproduce
+/// [`DemandProfile::first_fit`]'s answer inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FrontierRecord {
+    /// Segment start `Δₖ`.
+    start: Rational,
+    /// Post-jump demand value at `Δₖ`.
+    value: Rational,
+    /// Integer demand slope on `[Δₖ, Δₖ₊₁)`.
+    slope: i64,
+    /// Closed threshold `ψₖ = value/start`: any `s ≥ ψₖ` fits exactly at
+    /// `start`. Absent for the `Δ = 0` segment of a positive-at-zero
+    /// profile (nothing fits at zero).
+    closed_at: Option<Rational>,
+    /// Open threshold `θₖ = max(slope, φ_pre(end))`: any `s > θₖ`
+    /// (that fails the closed test) crosses demand strictly inside the
+    /// segment at `(value − slope·start)/(s − slope)`.
+    open_above: Rational,
+}
+
+impl FrontierRecord {
+    /// Whether this record serves `speed`, and if so the exact first-fit
+    /// instant — the same closed-then-crossing decision
+    /// [`DemandProfile::first_fit`] makes on this segment.
+    fn serve(&self, speed: Rational) -> Option<Rational> {
+        if self.closed_at.is_some_and(|psi| speed >= psi) {
+            return Some(self.start);
+        }
+        if speed > self.open_above {
+            let slope = Rational::integer(i128::from(self.slope));
+            return Some((self.value - slope * self.start) / (speed - slope));
+        }
+        None
+    }
+}
+
+/// The full non-increasing staircase `s ↦ Δ_R(s)` of a demand profile,
+/// built by one breakpoint walk ([`DemandProfile::reset_frontier`]).
+///
+/// Every speed at or above the `min_speed` the frontier was built for is
+/// covered; [`ResetFrontier::lookup`] then answers in time linear in the
+/// (small) number of *records* — segments that lowered a serving
+/// threshold — instead of re-walking breakpoints, and returns instants
+/// bit-identical to a fresh [`DemandProfile::first_fit`] walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetFrontier {
+    records: Vec<FrontierRecord>,
+    /// Running minimum of the closed thresholds: `s ≥ closed_cover` is
+    /// served by some record's closed test.
+    closed_cover: Option<Rational>,
+    /// Running minimum of the open thresholds: `s > open_cover` is served
+    /// by some record's crossing test.
+    open_cover: Option<Rational>,
+    /// The profile's demand at `Δ = 0` is zero, so every positive speed
+    /// fits instantly.
+    fits_at_zero: bool,
+}
+
+impl ResetFrontier {
+    /// The frontier of a profile with zero demand at `Δ = 0`.
+    pub(crate) fn everything_fits_at_zero() -> ResetFrontier {
+        ResetFrontier {
+            records: Vec::new(),
+            closed_cover: None,
+            open_cover: None,
+            fits_at_zero: true,
+        }
+    }
+
+    /// Whether [`ResetFrontier::lookup`] can answer for `speed` without
+    /// another walk. Coverage is upward-closed: everything at or above
+    /// the build's `min_speed` is covered.
+    #[must_use]
+    pub fn covers(&self, speed: Rational) -> bool {
+        speed.is_positive()
+            && (self.fits_at_zero
+                || self.closed_cover.is_some_and(|psi| speed >= psi)
+                || self.open_cover.is_some_and(|theta| speed > theta))
+    }
+
+    /// The exact first instant at which a supply of slope `speed` drains
+    /// all arrived demand — bit-identical to
+    /// [`DemandProfile::first_fit`] at that speed — or `None` when
+    /// `speed` is below the frontier's covered range (an uncovered speed
+    /// needs a fresh walk; it may or may not fit).
+    #[must_use]
+    pub fn lookup(&self, speed: Rational) -> Option<FirstFit> {
+        if !speed.is_positive() {
+            return None;
+        }
+        if self.fits_at_zero {
+            return Some(FirstFit::At(Rational::ZERO));
+        }
+        if !self.covers(speed) {
+            return None;
+        }
+        // Records are in breakpoint order, so the first serving record is
+        // the segment a plain walk would have stopped at: any earlier
+        // segment that served `speed` would have lowered the same
+        // threshold and been recorded itself.
+        self.records
+            .iter()
+            .find_map(|record| record.serve(speed))
+            .map(FirstFit::At)
+    }
+
+    /// Number of recorded threshold-improving segments (diagnostics).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the frontier holds no records (an empty or zero-at-zero
+    /// profile, or a build that bailed before any segment).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Shared accumulation logic behind both the exact and the integer
+/// fast-path frontier builds: pushes exactly the segments that lower a
+/// serving threshold and tracks when the build's `min_speed` is served.
+pub(crate) struct FrontierBuilder {
+    min_speed: Rational,
+    records: Vec<FrontierRecord>,
+    closed_cover: Option<Rational>,
+    open_cover: Option<Rational>,
+}
+
+impl FrontierBuilder {
+    pub(crate) fn new(min_speed: Rational) -> FrontierBuilder {
+        FrontierBuilder {
+            min_speed,
+            records: Vec::new(),
+            closed_cover: None,
+            open_cover: None,
+        }
+    }
+
+    /// Whether the segments pushed so far already serve the build's
+    /// `min_speed` — the walk's stopping condition, equivalent to a plain
+    /// first-fit walk at `min_speed` having returned.
+    pub(crate) fn serves_min_speed(&self) -> bool {
+        self.closed_cover.is_some_and(|psi| self.min_speed >= psi)
+            || self.open_cover.is_some_and(|theta| self.min_speed > theta)
+    }
+
+    /// Considers one walk segment; records it iff it lowers the closed or
+    /// the open serving threshold.
+    pub(crate) fn push_segment(
+        &mut self,
+        start: Rational,
+        value: Rational,
+        slope: i64,
+        closed_at: Option<Rational>,
+        open_above: Rational,
+    ) {
+        let improves_closed =
+            closed_at.is_some_and(|psi| self.closed_cover.is_none_or(|cur| psi < cur));
+        let improves_open = self.open_cover.is_none_or(|cur| open_above < cur);
+        if improves_closed || improves_open {
+            self.records.push(FrontierRecord {
+                start,
+                value,
+                slope,
+                closed_at,
+                open_above,
+            });
+            if improves_closed {
+                self.closed_cover = closed_at;
+            }
+            if improves_open {
+                self.open_cover = Some(open_above);
+            }
+        }
+    }
+
+    pub(crate) fn finish(self) -> ResetFrontier {
+        ResetFrontier {
+            records: self.records,
+            closed_cover: self.closed_cover,
+            open_cover: self.open_cover,
+            fits_at_zero: false,
+        }
     }
 }
 
@@ -1223,6 +1791,34 @@ mod walk_equivalence_properties {
                     profile.eval(mid) + Rational::integer(i128::from(slope)) * (probe - mid);
                 assert_eq!(profile.eval(probe), expected, "segment [{start}, {end})");
             }
+        }
+    }
+
+    #[test]
+    fn min_ratio_dispatch_matches_exact_reference() {
+        let mut rng = Rng::seed_from_u64(0xd31a_0004);
+        let limits = AnalysisLimits::default();
+        for _ in 0..CASES {
+            let comps = arb_components(&mut rng, 4);
+            let profile = DemandProfile::new(comps);
+            let horizon = Rational::new(rng.gen_range_i128(1, 200), rng.gen_range_i128(1, 4));
+            let floor = Rational::new(rng.gen_range_i128(0, 12), 4);
+            let tolerance = Rational::new(1, rng.gen_range_i128(1, 128));
+            let (value, kind) = profile
+                .min_ratio_within(horizon, floor, tolerance, &limits)
+                .expect("dispatch completes");
+            let exact = profile
+                .min_ratio_within_exact(horizon, floor, tolerance, &limits)
+                .expect("exact reference completes");
+            assert_eq!(
+                value, exact,
+                "horizon={horizon} floor={floor} tolerance={tolerance}"
+            );
+            assert_eq!(
+                kind,
+                WalkKind::Integer,
+                "small-grid profiles must take the fast path"
+            );
         }
     }
 }

@@ -80,7 +80,7 @@ mod config;
 mod error;
 mod scaled;
 
-pub use analysis::{Analysis, WalkCounts};
+pub use analysis::{Analysis, AnalysisScratch, WalkCounts};
 pub use config::AnalysisLimits;
 pub use error::AnalysisError;
-pub use report::{analyze, analyze_with_meta, AnalyzeMeta, AnalyzeReport};
+pub use report::{analyze, analyze_with_meta, analyze_with_meta_in, AnalyzeMeta, AnalyzeReport};

@@ -90,12 +90,19 @@ pub(crate) fn qpa_decision(
     if utilization > speed {
         return Ok(false);
     }
-    // Analysis horizon: beyond L, h(t) ≤ U·t + ΣC ≤ s·t holds whenever
-    // U < s; for U = s fall back to the hyperperiod argument like the
-    // forward walk does.
-    let total_wcet: Rational = tasks.iter().map(|(_, _, c)| *c).sum();
+    // Analysis horizon: each step curve obeys
+    // `⌊(t − D)/T + 1⌋·C ≤ U_i·t + C·(1 − D/T)`, so beyond
+    // `L = Σ max(0, C·(1 − D/T)) / (s − U)` the demand fits whenever
+    // U < s. The per-task burst max(0, C·(1 − D/T)) vanishes for
+    // implicit deadlines (D = T), tightening L well below the older
+    // `ΣC / (s − U)` bound; for U = s fall back to the hyperperiod
+    // argument like the forward walk does.
+    let envelope: Rational = tasks
+        .iter()
+        .map(|(t, d, c)| (*c * (Rational::ONE - *d / *t)).max(Rational::ZERO))
+        .sum();
     let horizon = if utilization < speed {
-        total_wcet / (speed - utilization)
+        envelope / (speed - utilization)
     } else {
         let mut hp = Rational::ONE;
         for (t, _, _) in &tasks {

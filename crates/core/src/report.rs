@@ -13,7 +13,7 @@ use rbs_json::{Json, JsonError, ToJson};
 use rbs_model::TaskSet;
 use rbs_timebase::Rational;
 
-use crate::analysis::Analysis;
+use crate::analysis::{Analysis, AnalysisScratch};
 use crate::resetting::ResettingBound;
 use crate::speedup::SpeedupBound;
 use crate::{AnalysisError, AnalysisLimits};
@@ -46,6 +46,11 @@ pub struct AnalyzeMeta {
     pub integer_walks: u64,
     /// Breakpoint walks that fell back to the exact rational path.
     pub exact_walks: u64,
+    /// Walks that terminated early at the utilization-envelope horizon.
+    pub pruned_walks: u64,
+    /// Resetting-time queries answered from the cached reset frontier
+    /// without walking (not counted in `integer_walks`/`exact_walks`).
+    pub avoided_walks: u64,
 }
 
 /// Analyzes a task set, producing the full [`AnalyzeReport`].
@@ -70,6 +75,59 @@ pub fn analyze_with_meta(
     limits: &AnalysisLimits,
 ) -> Result<(AnalyzeReport, AnalyzeMeta), AnalysisError> {
     let ctx = Analysis::new(&set, limits);
+    let result = run_queries(&ctx);
+    drop(ctx);
+    let (parts, meta) = result?;
+    Ok((parts.into_report(set), meta))
+}
+
+/// [`analyze_with_meta`] with the profile buffers leased from `scratch`
+/// — the allocation-free form for campaign runners and service workers
+/// analyzing many sets back to back. The buffers are returned to
+/// `scratch` whether or not the analysis succeeds; the report and meta
+/// are byte-for-byte those of [`analyze_with_meta`].
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_with_meta_in(
+    set: TaskSet,
+    limits: &AnalysisLimits,
+    scratch: &mut AnalysisScratch,
+) -> Result<(AnalyzeReport, AnalyzeMeta), AnalysisError> {
+    let ctx = Analysis::new_with_scratch(&set, limits, scratch);
+    let result = run_queries(&ctx);
+    ctx.recycle_into(scratch);
+    let (parts, meta) = result?;
+    Ok((parts.into_report(set), meta))
+}
+
+/// Everything in an [`AnalyzeReport`] except the echoed set, so the
+/// query pass can borrow the set while the caller still owns it.
+struct ReportParts {
+    lo_schedulable: bool,
+    lo_requirement: Rational,
+    s_min: SpeedupBound,
+    witness: Option<Rational>,
+    resetting_rows: Vec<(Rational, ResettingBound)>,
+    sized_speed: Option<Rational>,
+}
+
+impl ReportParts {
+    fn into_report(self, set: TaskSet) -> AnalyzeReport {
+        AnalyzeReport {
+            set,
+            lo_schedulable: self.lo_schedulable,
+            lo_requirement: self.lo_requirement,
+            s_min: self.s_min,
+            witness: self.witness,
+            resetting_rows: self.resetting_rows,
+            sized_speed: self.sized_speed,
+        }
+    }
+}
+
+fn run_queries(ctx: &Analysis) -> Result<(ReportParts, AnalyzeMeta), AnalysisError> {
     let lo_schedulable = ctx.is_lo_schedulable()?;
     let lo_requirement = ctx.lo_speed_requirement()?;
     let analysis = ctx.minimum_speedup()?;
@@ -87,7 +145,8 @@ pub fn analyze_with_meta(
         resetting_rows.push((s, ctx.resetting_time(s)?.bound()));
     }
     let sized_speed = {
-        let max_period = set
+        let max_period = ctx
+            .set()
             .iter()
             .filter_map(|t| t.params(rbs_model::Mode::Hi))
             .map(|p| p.period())
@@ -105,11 +164,11 @@ pub fn analyze_with_meta(
     let meta = AnalyzeMeta {
         integer_walks: counts.integer,
         exact_walks: counts.exact,
+        pruned_walks: counts.pruned,
+        avoided_walks: counts.avoided,
     };
-    drop(ctx);
     Ok((
-        AnalyzeReport {
-            set,
+        ReportParts {
             lo_schedulable,
             lo_requirement,
             s_min,
@@ -273,6 +332,22 @@ mod tests {
         // Rendering is a pure function of the report.
         let again = analyze(table1(), &AnalysisLimits::default()).expect("completes");
         assert_eq!(json, rbs_json::to_string(&again));
+    }
+
+    #[test]
+    fn scratch_analysis_matches_the_allocating_path() {
+        let limits = AnalysisLimits::default();
+        let mut scratch = AnalysisScratch::new();
+        for _ in 0..3 {
+            let (report, meta) = analyze_with_meta(table1(), &limits).expect("completes");
+            let (report_in, meta_in) =
+                analyze_with_meta_in(table1(), &limits, &mut scratch).expect("completes");
+            assert_eq!(
+                rbs_json::to_string(&report),
+                rbs_json::to_string(&report_in)
+            );
+            assert_eq!(meta, meta_in);
+        }
     }
 
     #[test]

@@ -141,6 +141,27 @@ pub fn resetting_time(
     ))
 }
 
+/// The full reset-time staircase `s ↦ Δ_R(s)` for every speed at or
+/// above `min_speed`, built by one breakpoint walk over the arrived
+/// demand profile. [`crate::demand::ResetFrontier::lookup`] then answers
+/// per-speed queries bit-identically to [`resetting_time`] without
+/// re-walking; [`crate::Analysis`] caches one per context.
+///
+/// # Errors
+///
+/// * [`AnalysisError::NonPositiveSpeed`] if `min_speed ≤ 0`.
+/// * [`AnalysisError::BreakpointBudgetExhausted`] on pathological
+///   instances (see [`AnalysisLimits`]).
+pub fn reset_frontier(
+    set: &TaskSet,
+    min_speed: Rational,
+    limits: &AnalysisLimits,
+) -> Result<crate::demand::ResetFrontier, AnalysisError> {
+    let profile = hi_arrival_profile(set);
+    let (frontier, _) = profile.reset_frontier(min_speed, limits)?;
+    Ok(frontier)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,8 @@ use std::collections::BinaryHeap;
 use rbs_timebase::{lcm_i128, Rational};
 
 use crate::demand::{
-    FirstFit, PeriodicDemand, SupRatio, EVENT_RAMP_END, EVENT_RAMP_START, EVENT_WRAP,
+    FirstFit, FrontierBuilder, PeriodicDemand, ResetFrontier, SupRatio, EVENT_RAMP_END,
+    EVENT_RAMP_START, EVENT_WRAP,
 };
 use crate::{AnalysisError, AnalysisLimits};
 
@@ -78,8 +79,10 @@ pub(crate) struct ScaledProfile {
     scale: i128,
     /// Exact long-run rate of the profile (scale-free).
     rate: Rational,
-    /// Exact total burst of the profile (scale-free).
-    burst: Rational,
+    /// Exact utilization-envelope burst of the profile (scale-free):
+    /// the same value [`crate::demand::DemandProfile::envelope_burst`]
+    /// computes, so horizons derived from it are bit-identical.
+    envelope: Rational,
     /// The hyperperiod on the scaled grid (`hp·K`), `None` when the
     /// rational hyperperiod does not exist or does not fit in `i128`.
     hyperperiod: Option<i128>,
@@ -92,6 +95,13 @@ fn to_scaled(q: Rational, scale: i128) -> Option<i128> {
         return None;
     }
     q.numer().checked_mul(scale / q.denom())
+}
+
+/// `⌈q·scale⌉`, `None` when the product overflows.
+fn scale_ceil(q: Rational, scale: i128) -> Option<i128> {
+    let p = q.numer().checked_mul(scale)?;
+    let d = q.denom();
+    Some(p.div_euclid(d) + i128::from(p.rem_euclid(d) != 0))
 }
 
 /// `⌊q·scale⌋`, `None` when the product overflows.
@@ -114,7 +124,7 @@ impl ScaledProfile {
         }
         let mut scaled = Vec::with_capacity(components.len());
         let mut rate = Rational::ZERO;
-        let mut burst = Rational::ZERO;
+        let mut envelope = Rational::ZERO;
         for c in components {
             let [period, per_period, constant, ramp_start, jump, ramp_len] = c.raw();
             let period_s = to_scaled(period, scale)?;
@@ -146,14 +156,26 @@ impl ScaledProfile {
             rate = rate
                 .checked_add(per_period.checked_div(period).ok()?)
                 .ok()?;
-            burst = burst
-                .checked_add(
-                    constant
-                        .checked_add(jump)
-                        .ok()?
-                        .checked_add(ramp_len)
-                        .ok()?,
-                )
+            // `PeriodicDemand::envelope_burst` on the scaled grid: over
+            // the common denominator `K·period'`, the jump/ramp-end
+            // suprema are pure `i128` numerators, so the per-component
+            // contribution costs integer multiplies instead of rational
+            // ones. Canonical reduction makes the summed value — and the
+            // horizons divided out of it — bit-identical to the exact
+            // walk's `envelope_burst`.
+            let clipped_s = (period_s - ramp_start_s).min(ramp_len_s);
+            let at_jump = jump_s
+                .checked_mul(period_s)?
+                .checked_sub(per_period_s.checked_mul(ramp_start_s)?)?;
+            let at_ramp_end = jump_s
+                .checked_add(clipped_s)?
+                .checked_mul(period_s)?
+                .checked_sub(per_period_s.checked_mul(ramp_start_s.checked_add(clipped_s)?)?)?;
+            let numer = constant_s
+                .checked_mul(period_s)?
+                .checked_add(at_jump.max(at_ramp_end).max(0))?;
+            envelope = envelope
+                .checked_add(Rational::new(numer, scale.checked_mul(period_s)?))
                 .ok()?;
         }
         // Derive the scaled hyperperiod from the *rational* one so that
@@ -177,7 +199,7 @@ impl ScaledProfile {
             components: scaled,
             scale,
             rate,
-            burst,
+            envelope,
             hyperperiod,
         })
     }
@@ -192,16 +214,18 @@ impl ScaledProfile {
     pub(crate) fn sup_ratio(
         &self,
         limits: &AnalysisLimits,
-    ) -> Result<Option<SupRatio>, AnalysisError> {
+    ) -> Result<Option<(SupRatio, bool)>, AnalysisError> {
         let mut walk = ck!(ScaledWalk::new(&self.components));
         if walk.value > 0 {
-            return Ok(Some(SupRatio::Unbounded));
+            return Ok(Some((SupRatio::Unbounded, false)));
         }
         // (reduced numerator, reduced denominator, raw scaled witness).
         let mut best: Option<(i128, i128, i128)> = None;
-        // `⌊horizon·K⌋`; `i128::MAX` when the product overflows (the
-        // break is then unreachable before the walk itself bails).
+        // `⌈horizon·K⌉` (Δ ≥ h ⟺ Δ' ≥ ⌈h·K⌉); when the product
+        // overflows the fast path bails — an inclusive sentinel could
+        // fire a break the exact walk would not take.
         let mut horizon: Option<i128> = None;
+        let mut pruned = false;
         let mut examined = 0usize;
         while let Some(delta) = walk.peek_next() {
             if let Some(hp) = self.hyperperiod {
@@ -210,7 +234,8 @@ impl ScaledProfile {
                 }
             }
             if let Some(h) = horizon {
-                if delta > h {
+                if delta >= h {
+                    pruned = true;
                     break;
                 }
             }
@@ -229,12 +254,12 @@ impl ScaledProfile {
                 best = Some((ratio.numer(), ratio.denom(), walk.delta));
                 if ratio > self.rate {
                     // Same (panicking) rational ops as the exact walk.
-                    let h = self.burst / (ratio - self.rate);
-                    horizon = Some(scale_floor(h, self.scale).unwrap_or(i128::MAX));
+                    let h = self.envelope / (ratio - self.rate);
+                    horizon = Some(ck!(scale_ceil(h, self.scale)));
                 }
             }
         }
-        Ok(Some(match best {
+        let sup = match best {
             None => SupRatio::Finite {
                 value: Rational::ZERO,
                 witness: None,
@@ -243,7 +268,8 @@ impl ScaledProfile {
                 value: Rational::new(bn, bd),
                 witness: Some(Rational::new(delta, self.scale)),
             },
-        }))
+        };
+        Ok(Some((sup, pruned)))
     }
 
     /// Integer fast path of [`crate::demand::DemandProfile::fits`].
@@ -257,27 +283,29 @@ impl ScaledProfile {
         &self,
         speed: Rational,
         limits: &AnalysisLimits,
-    ) -> Result<Option<bool>, AnalysisError> {
+    ) -> Result<Option<(bool, bool)>, AnalysisError> {
         let mut walk = ck!(ScaledWalk::new(&self.components));
         if walk.value > 0 {
-            return Ok(Some(false));
+            return Ok(Some((false, false)));
         }
         if speed < self.rate {
-            return Ok(Some(false));
+            return Ok(Some((false, false)));
         }
         let horizon = if speed > self.rate {
             // Same (panicking) rational ops as the exact walk.
-            let h = self.burst / (speed - self.rate);
-            Some(scale_floor(h, self.scale).unwrap_or(i128::MAX))
+            let h = self.envelope / (speed - self.rate);
+            Some(ck!(scale_ceil(h, self.scale)))
         } else {
             None
         };
         let s_num = speed.numer();
         let s_den = speed.denom();
+        let mut pruned = false;
         let mut examined = 0usize;
         while let Some(delta) = walk.peek_next() {
             if let Some(h) = horizon {
-                if delta > h {
+                if delta >= h {
+                    pruned = self.hyperperiod.is_none_or(|hp| delta <= hp);
                     break;
                 }
             }
@@ -291,10 +319,10 @@ impl ScaledProfile {
             ck!(walk.advance());
             // v > s·Δ ⟺ v'·s_den > s_num·Δ' (K > 0, s_den > 0).
             if ck!(walk.value.checked_mul(s_den)) > ck!(s_num.checked_mul(walk.delta)) {
-                return Ok(Some(false));
+                return Ok(Some((false, false)));
             }
         }
-        Ok(Some(true))
+        Ok(Some((true, pruned)))
     }
 
     /// Integer fast path of [`crate::demand::DemandProfile::first_fit`].
@@ -356,6 +384,155 @@ impl ScaledProfile {
             }
             ck!(walk.advance());
         }
+    }
+
+    /// Integer fast path of `DemandProfile::min_ratio_within`.
+    ///
+    /// Candidate ratios live on the scaled grid (`v'/Δ'` — the scale
+    /// cancels), so segment scans cost `i128` cross-multiplies; only the
+    /// horizon-cut candidate (at most one per walk) needs rational
+    /// arithmetic. All comparisons mirror the exact walk, so the reduced
+    /// result is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the budget errors the exact walk would report.
+    pub(crate) fn min_ratio_within(
+        &self,
+        horizon: Rational,
+        floor: Rational,
+        tolerance: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<Option<Rational>, AnalysisError> {
+        let mut walk = ck!(ScaledWalk::new(&self.components));
+        if walk.value <= 0 {
+            return Ok(Some(Rational::ZERO));
+        }
+        // Same canonical rate, so the same stop threshold as the exact
+        // walk's `floor.max(rate + tolerance)`.
+        let stop_at = floor.max(self.rate + tolerance);
+        // `start > horizon ⟺ start' > ⌊horizon·K⌋` and
+        // `end ≤ horizon ⟺ end' ≤ ⌊horizon·K⌋` (grid points are integer);
+        // `horizon > start ⟺ start' < ⌈horizon·K⌉`.
+        let horizon_floor = ck!(scale_floor(horizon, self.scale));
+        let horizon_ceil = ck!(scale_ceil(horizon, self.scale));
+        // Reduced (numerator, denominator) of the running minimum.
+        let mut best: Option<(i128, i128)> = None;
+        let fold = |best: &mut Option<(i128, i128)>, num: i128, den: i128| -> Option<()> {
+            let lower = match *best {
+                None => true,
+                Some((bn, bd)) => num.checked_mul(bd)? < bn.checked_mul(den)?,
+            };
+            if lower {
+                let reduced = Rational::new(num, den);
+                *best = Some((reduced.numer(), reduced.denom()));
+            }
+            Some(())
+        };
+        let mut examined = 0usize;
+        loop {
+            let segment_start = walk.delta;
+            if segment_start > horizon_floor {
+                break;
+            }
+            examined += 1;
+            limits.check_walk(examined)?;
+            let value = walk.value;
+            let segment_end = walk
+                .peek_next()
+                .expect("periodic curves have unbounded breakpoints");
+            let slope = i128::from(walk.slope);
+            // Closed candidate at the segment start: v'/Δ' (scale cancels).
+            if segment_start > 0 {
+                ck!(fold(&mut best, value, segment_start));
+            }
+            if segment_end <= horizon_floor {
+                // Pre-jump limit at the segment's right end.
+                let pre =
+                    ck!(value.checked_add(ck!(slope.checked_mul(segment_end - segment_start))));
+                ck!(fold(&mut best, pre, segment_end));
+            } else if segment_start < horizon_ceil {
+                // The horizon cuts this segment: evaluate the rightmost
+                // in-domain candidate with the exact walk's formula (the
+                // off-grid horizon defeats integer arithmetic, but this
+                // branch runs at most once per walk).
+                let start = Rational::new(segment_start, self.scale);
+                let phi_cut = (Rational::new(value, self.scale)
+                    + Rational::integer(slope) * (horizon - start))
+                    / horizon;
+                ck!(fold(&mut best, phi_cut.numer(), phi_cut.denom()));
+            }
+            // best ≤ stop_at ⟺ bn·stop_den ≤ stop_num·bd.
+            if let Some((bn, bd)) = best {
+                if ck!(bn.checked_mul(stop_at.denom())) <= ck!(stop_at.numer().checked_mul(bd)) {
+                    break;
+                }
+            }
+            ck!(walk.advance());
+        }
+        let (bn, bd) =
+            best.expect("a positive-at-zero profile yields a candidate on its first segment");
+        Ok(Some(Rational::new(bn, bd)))
+    }
+
+    /// Integer fast path of [`crate::demand::DemandProfile::reset_frontier`].
+    ///
+    /// All recorded rationals are rebuilt through `Rational::new` (whose
+    /// canonical reduction cancels the scale), so the frontier is
+    /// field-for-field identical to the exact rational build's.
+    ///
+    /// The caller must have rejected non-positive `min_speed` already.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the budget errors the exact build would report.
+    pub(crate) fn reset_frontier(
+        &self,
+        min_speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<Option<ResetFrontier>, AnalysisError> {
+        let mut walk = ck!(ScaledWalk::new(&self.components));
+        if walk.value <= 0 {
+            return Ok(Some(ResetFrontier::everything_fits_at_zero()));
+        }
+        let mut builder = FrontierBuilder::new(min_speed);
+        let mut examined = 0usize;
+        loop {
+            if builder.serves_min_speed() {
+                break;
+            }
+            examined += 1;
+            limits.check_walk(examined)?;
+            let segment_start = walk.delta;
+            let value = walk.value;
+            let segment_end = walk
+                .peek_next()
+                .expect("periodic curves have unbounded breakpoints");
+            let slope = i128::from(walk.slope);
+            // ψ = (v'/K)/(Δ'/K) = v'/Δ' — the scale cancels.
+            let closed_at = (segment_start > 0).then(|| Rational::new(value, segment_start));
+            // φ_pre(end) = (v' + slope·(end' − start'))/end', scale-free
+            // for the same reason (slope is already scale-free).
+            let pre = ck!(value.checked_add(ck!(slope.checked_mul(segment_end - segment_start))));
+            let phi_pre = Rational::new(pre, segment_end);
+            builder.push_segment(
+                Rational::new(segment_start, self.scale),
+                Rational::new(value, self.scale),
+                walk.slope,
+                closed_at,
+                phi_pre.max(Rational::integer(slope)),
+            );
+            if min_speed <= self.rate {
+                if let Some(hp) = self.hyperperiod {
+                    if segment_start > hp {
+                        // Mirrors first_fit's Never bail-out.
+                        break;
+                    }
+                }
+            }
+            ck!(walk.advance());
+        }
+        Ok(Some(builder.finish()))
     }
 }
 

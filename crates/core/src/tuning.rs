@@ -33,7 +33,10 @@ use crate::{AnalysisError, AnalysisLimits};
 ///
 /// Both conditions are monotone in `s` (more speed never hurts
 /// schedulability; Corollary 5's resetting time is non-increasing in
-/// `s`), so bisection applies.
+/// `s`), and both thresholds fall out of single profile scans: `s_min`
+/// is the demand-ratio supremum and the least budget-meeting speed is
+/// the infimum of `ADB(Δ)/Δ` over `(0, budget]`. One pass each — no
+/// bisection (see [`Analysis::minimal_speed_within_budget`]).
 ///
 /// # Errors
 ///
@@ -429,6 +432,34 @@ mod tests {
         assert_eq!(overclock_duty_cycle(int(0), int(60)), Rational::ZERO);
         // Longer recovery than separation clamps to always-on.
         assert_eq!(overclock_duty_cycle(int(90), int(60)), Rational::ONE);
+    }
+
+    #[test]
+    fn speed_sizing_walk_counts_are_pinned() {
+        // One sizing query costs exactly three walks: the s_min sup, the
+        // ADB ratio-infimum scan, and the probe's frontier build. A
+        // repeat query re-runs the scans but the probe is answered from
+        // the cached frontier without walking.
+        let limits = AnalysisLimits::default();
+        let set = table1();
+        let ctx = Analysis::new(&set, &limits);
+        let s = ctx
+            .minimal_speed_within_budget(int(4), int(8), rat(1, 128))
+            .expect("completes")
+            .expect("feasible");
+        let counts = ctx.walk_counts();
+        assert_eq!(counts.total(), 3, "{counts:?}");
+        // All three — the infimum scan included — on the integer path.
+        assert_eq!(counts.exact, 0, "{counts:?}");
+        assert_eq!(counts.avoided, 0, "{counts:?}");
+        assert_eq!(
+            ctx.minimal_speed_within_budget(int(4), int(8), rat(1, 128))
+                .expect("completes"),
+            Some(s)
+        );
+        let counts = ctx.walk_counts();
+        assert_eq!(counts.total(), 5, "{counts:?}");
+        assert_eq!(counts.avoided, 1, "{counts:?}");
     }
 
     #[test]

@@ -95,11 +95,11 @@ fn small_timebases_take_the_integer_fast_path() {
         let profile = arb_profile(&mut rng, 4);
         assert!(profile.has_fast_path(), "case {case}");
         let speed = rat(rng.gen_range_i128(1, 40), 8);
-        let (_, sup_kind) = profile.sup_ratio_traced(&limits).expect("completes");
-        let (_, fits_kind) = profile.fits_traced(speed, &limits).expect("completes");
-        let (_, fit_kind) = profile.first_fit_traced(speed, &limits).expect("completes");
-        for kind in [sup_kind, fits_kind, fit_kind] {
-            assert_eq!(kind, WalkKind::Integer, "case {case}");
+        let (_, sup_trace) = profile.sup_ratio_traced(&limits).expect("completes");
+        let (_, fits_trace) = profile.fits_traced(speed, &limits).expect("completes");
+        let (_, fit_trace) = profile.first_fit_traced(speed, &limits).expect("completes");
+        for trace in [sup_trace, fits_trace, fit_trace] {
+            assert_eq!(trace.kind, WalkKind::Integer, "case {case}");
         }
     }
 }
@@ -120,11 +120,11 @@ fn huge_denominators_fall_back_to_the_exact_walk() {
     )]);
     assert!(!profile.has_fast_path());
     let limits = AnalysisLimits::default();
-    let (sup, kind) = profile.sup_ratio_traced(&limits).expect("completes");
-    assert_eq!(kind, WalkKind::Rational);
+    let (sup, trace) = profile.sup_ratio_traced(&limits).expect("completes");
+    assert_eq!(trace.kind, WalkKind::Rational);
     assert_eq!(sup, profile.sup_ratio_exact(&limits).expect("completes"));
-    let (fits, kind) = profile.fits_traced(int(1), &limits).expect("completes");
-    assert_eq!(kind, WalkKind::Rational);
+    let (fits, trace) = profile.fits_traced(int(1), &limits).expect("completes");
+    assert_eq!(trace.kind, WalkKind::Rational);
     assert_eq!(
         fits,
         profile.fits_exact(int(1), &limits).expect("completes")
@@ -148,18 +148,24 @@ fn mid_walk_overflow_bails_to_the_exact_walk() {
     ]);
     assert!(profile.has_fast_path());
     let limits = AnalysisLimits::default();
-    let (sup, kind) = profile.sup_ratio_traced(&limits).expect("completes");
-    assert_eq!(kind, WalkKind::Rational, "overflow must trigger fallback");
+    let (sup, trace) = profile.sup_ratio_traced(&limits).expect("completes");
+    assert_eq!(
+        trace.kind,
+        WalkKind::Rational,
+        "overflow must trigger fallback"
+    );
     assert_eq!(sup, profile.sup_ratio_exact(&limits).expect("completes"));
 }
 
 #[test]
 fn budget_errors_carry_identical_examined_counts() {
     // Coprime periods with a huge lcm under a tiny budget: both walks
-    // must exhaust the budget at exactly the same breakpoint.
+    // must exhaust the budget at exactly the same breakpoint. Implicit
+    // deadlines keep the utilization envelope at zero, so no pruning
+    // horizon can legitimately finish the walk first.
     let profile = DemandProfile::new(vec![
-        PeriodicDemand::step(int(10_007), int(1), int(1)),
-        PeriodicDemand::step(int(10_009), int(10_008), int(10_000)),
+        PeriodicDemand::step(int(10_007), int(10_007), int(1)),
+        PeriodicDemand::step(int(10_009), int(10_009), int(10_000)),
     ]);
     assert!(profile.has_fast_path());
     let limits = AnalysisLimits::new(2);

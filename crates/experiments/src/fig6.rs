@@ -11,7 +11,7 @@ use std::fmt;
 
 use rbs_core::resetting::ResettingBound;
 use rbs_core::speedup::SpeedupBound;
-use rbs_core::{Analysis, AnalysisLimits};
+use rbs_core::{Analysis, AnalysisLimits, AnalysisScratch};
 use rbs_gen::synth::SynthConfig;
 use rbs_timebase::Rational;
 
@@ -116,7 +116,7 @@ fn campaign_point(
     let seed = config.seed ^ (u_bound.numer() as u64);
     let sets = generator.generate_many(config.sets_per_point, seed);
 
-    let contributions = pool.run_ordered(sets, |_, specs| {
+    let contributions = pool.run_ordered_scoped(sets, AnalysisScratch::new, |scratch, _, specs| {
         let mut contribution = SetContribution {
             infeasible: false,
             s_min_by_y: vec![None; ys.len()],
@@ -131,7 +131,9 @@ fn campaign_point(
             };
             // One context per prepared set: the HI demand profile is
             // shared by the speedup query and the whole resetting sweep.
-            let ctx = Analysis::new(&set, limits);
+            // Profiles are built into the worker's scratch buffers and
+            // recycled, so the campaign's steady state stops allocating.
+            let ctx = Analysis::new_with_scratch(&set, limits, scratch);
             if let Ok(analysis) = ctx.minimum_speedup() {
                 if let SpeedupBound::Finite(s_min) = analysis.bound() {
                     contribution.s_min_by_y[yi] = Some(s_min);
@@ -144,6 +146,7 @@ fn campaign_point(
                     }
                 }
             }
+            ctx.recycle_into(scratch);
         }
         contribution
     });

@@ -17,7 +17,7 @@ use std::fmt;
 
 use rbs_baselines::{edf_vd, reservation};
 use rbs_core::resetting::ResettingBound;
-use rbs_core::{Analysis, AnalysisLimits};
+use rbs_core::{Analysis, AnalysisLimits, AnalysisScratch};
 use rbs_gen::grid::GridConfig;
 use rbs_timebase::Rational;
 
@@ -100,8 +100,9 @@ pub fn run(config: &Fig7Config) -> Fig7Results {
     };
     // One job per grid point; collection by index keeps the row order (and
     // every number — the per-point seeds are fixed) worker-count-invariant.
-    let points = pool.run_ordered(grid, |_, (u_hi, u_lo)| {
-        region_point(u_hi, u_lo, config, &limits, speed, reset_budget)
+    // Each worker carries one scratch across its whole share of the grid.
+    let points = pool.run_ordered_scoped(grid, AnalysisScratch::new, |scratch, _, (u_hi, u_lo)| {
+        region_point(u_hi, u_lo, config, &limits, speed, reset_budget, scratch)
     });
     Fig7Results { points }
 }
@@ -113,6 +114,7 @@ fn region_point(
     limits: &AnalysisLimits,
     speed: Rational,
     reset_budget: Rational,
+    scratch: &mut AnalysisScratch,
 ) -> RegionPoint {
     let generator = GridConfig::new(u_hi, u_lo).with_gamma(Rational::integer(10));
     let mut evaluated = 0usize;
@@ -143,26 +145,16 @@ fn region_point(
         };
         let set = set.with_lo_terminated().expect("LO tasks terminate");
         // One context per set: the LO profile serves the LO verdict, and
-        // the HI/arrival profiles serve all four speed queries.
-        let ctx = Analysis::new(&set, limits);
-        let Ok(lo_ok) = ctx.is_lo_schedulable() else {
-            continue;
-        };
-        if !lo_ok {
-            continue;
-        }
-        if ctx.is_hi_schedulable(Rational::ONE).unwrap_or(false) {
+        // the HI/arrival profiles serve all four speed queries. The
+        // profiles live in the worker's scratch buffers and are recycled.
+        let ctx = Analysis::new_with_scratch(&set, limits, scratch);
+        let (no_speedup_ok, speedup_ok) = speedup_verdicts(&ctx, speed, reset_budget);
+        ctx.recycle_into(scratch);
+        if no_speedup_ok {
             accept_no_speedup += 1;
         }
-        if ctx.is_hi_schedulable(speed).unwrap_or(false) {
-            let Ok(reset) = ctx.resetting_time(speed) else {
-                continue;
-            };
-            if let ResettingBound::Finite(dr) = reset.bound() {
-                if dr <= reset_budget {
-                    accept_speedup += 1;
-                }
-            }
+        if speedup_ok {
+            accept_speedup += 1;
         }
     }
     let denom = evaluated.max(1) as f64;
@@ -175,6 +167,21 @@ fn region_point(
         edf_vd: accept_edf_vd as f64 / denom,
         reservation: accept_reservation as f64 / denom,
     }
+}
+
+/// The (no-speedup, speedup-with-budget) verdicts for one prepared set.
+/// Analysis errors reject the set, matching the sequential protocol.
+fn speedup_verdicts(ctx: &Analysis<'_>, speed: Rational, reset_budget: Rational) -> (bool, bool) {
+    if !ctx.is_lo_schedulable().unwrap_or(false) {
+        return (false, false);
+    }
+    let no_speedup = ctx.is_hi_schedulable(Rational::ONE).unwrap_or(false);
+    let speedup = ctx.is_hi_schedulable(speed).unwrap_or(false)
+        && matches!(
+            ctx.resetting_time(speed).map(|reset| reset.bound()),
+            Ok(ResettingBound::Finite(dr)) if dr <= reset_budget
+        );
+    (no_speedup, speedup)
 }
 
 impl fmt::Display for Fig7Results {

@@ -126,13 +126,58 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        self.run_ordered_scoped_caught(items, || (), |(), i, item| f(i, item))
+    }
+
+    /// [`WorkerPool::run_ordered`] with per-worker scratch state: each
+    /// worker thread calls `init` once and passes the state to every job
+    /// it executes, so jobs can reuse expensive buffers without sharing
+    /// them across threads. Results must not depend on the state (only
+    /// allocations may), or the worker count would change observable
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first (by submission index) panic from `f` after
+    /// all other jobs have completed.
+    pub fn run_ordered_scoped<S, T, R, I, F>(&self, items: Vec<T>, init: I, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, T) -> R + Sync,
+    {
+        self.run_ordered_scoped_caught(items, init, f)
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(|message| panic!("worker job panicked: {message}")))
+            .collect()
+    }
+
+    /// [`WorkerPool::run_ordered_caught`] with per-worker scratch state
+    /// (see [`WorkerPool::run_ordered_scoped`]). A contained panic may
+    /// leave the worker's state arbitrarily torn; it is still passed to
+    /// the worker's next job, so states must stay usable after abandoned
+    /// mutations (buffer pools are; half-written results are not).
+    pub fn run_ordered_scoped_caught<S, T, R, I, F>(
+        &self,
+        items: Vec<T>,
+        init: I,
+        f: F,
+    ) -> Vec<Result<R, String>>
+    where
+        T: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, T) -> R + Sync,
+    {
         let n = items.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
+            let mut state = init();
             return items
                 .into_iter()
                 .enumerate()
-                .map(|(i, item)| contain(|| f(i, item)))
+                .map(|(i, item)| contain(|| f(&mut state, i, item)))
                 .collect();
         }
 
@@ -149,17 +194,22 @@ impl WorkerPool {
             for _ in 0..workers {
                 let result_tx = result_tx.clone();
                 let job_rx = &job_rx;
+                let init = &init;
                 let f = &f;
-                scope.spawn(move || loop {
-                    // Hold the lock only for the dequeue, not the work.
-                    let job = job_rx.lock().expect("queue lock").try_recv();
-                    match job {
-                        Ok((index, item)) => {
-                            if result_tx.send((index, contain(|| f(index, item)))).is_err() {
-                                break;
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        // Hold the lock only for the dequeue, not the work.
+                        let job = job_rx.lock().expect("queue lock").try_recv();
+                        match job {
+                            Ok((index, item)) => {
+                                let result = contain(|| f(&mut state, index, item));
+                                if result_tx.send((index, result)).is_err() {
+                                    break;
+                                }
                             }
+                            Err(_) => break, // queue fully drained
                         }
-                        Err(_) => break, // queue fully drained
                     }
                 });
             }
@@ -242,6 +292,33 @@ mod tests {
         }
         // Containment is bit-identical across worker counts.
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn scoped_state_is_per_worker_and_reused_across_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..40).collect();
+        let out = WorkerPool::new(4).run_ordered_scoped(
+            items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<usize>::with_capacity(8)
+            },
+            |buf, _, v| {
+                // Reuse the buffer as scratch; the result must not depend
+                // on what previous jobs left behind.
+                buf.clear();
+                buf.push(v);
+                buf[0] * 3
+            },
+        );
+        assert_eq!(out, (0..40).map(|v| v * 3).collect::<Vec<_>>());
+        // One init per spawned worker, not per job.
+        assert!(inits.load(Ordering::SeqCst) <= 4);
+        // Scoped results are identical to the stateless path.
+        let again = WorkerPool::new(1).run_ordered((0..40).collect::<Vec<usize>>(), |_, v| v * 3);
+        assert_eq!(out, again);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rbs_core::{analyze_with_meta, AnalysisError, AnalysisLimits, AnalyzeMeta};
+use rbs_core::{analyze_with_meta_in, AnalysisError, AnalysisLimits, AnalysisScratch, AnalyzeMeta};
 use rbs_json::Json;
 use rbs_model::{CanonicalTaskSet, TaskSet};
 
@@ -236,8 +236,8 @@ impl Response {
                 };
                 let walks = match walks {
                     Some(meta) => format!(
-                        ",\"walks\":{{\"integer\":{},\"exact\":{}}}",
-                        meta.integer_walks, meta.exact_walks
+                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{}}}",
+                        meta.integer_walks, meta.exact_walks, meta.pruned_walks, meta.avoided_walks
                     ),
                     None => String::new(),
                 };
@@ -317,6 +317,12 @@ pub struct BatchStats {
     /// Breakpoint walks that fell back to the exact rational path,
     /// summed over the executed analyses.
     pub exact_walks: u64,
+    /// Walks that terminated early at the utilization-envelope horizon,
+    /// summed over the executed analyses.
+    pub pruned_walks: u64,
+    /// Resetting-time queries answered from a cached reset frontier
+    /// without walking, summed over the executed analyses.
+    pub avoided_walks: u64,
     /// Per-request service time in microseconds (parse + analysis share),
     /// indexed by `seq` within the batch.
     pub latencies_micros: Vec<u64>,
@@ -340,6 +346,8 @@ impl BatchStats {
         self.analyzed += other.analyzed;
         self.integer_walks += other.integer_walks;
         self.exact_walks += other.exact_walks;
+        self.pruned_walks += other.pruned_walks;
+        self.avoided_walks += other.avoided_walks;
         self.latencies_micros
             .extend_from_slice(&other.latencies_micros);
     }
@@ -361,7 +369,7 @@ impl BatchStats {
         format!(
             "rbs-svc: served={} ok={} errors{{total={} parse={} limits={} timeout={} panic={} oversized={}}} \
              cache{{hits={} negative={}}} coalesced={} analyzed={} jobs={jobs} \
-             walks{{integer={} exact={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
+             walks{{integer={} exact={} pruned={} avoided={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
             self.served,
             self.ok,
             self.errors.total(),
@@ -375,7 +383,9 @@ impl BatchStats {
             self.coalesced,
             self.analyzed,
             self.integer_walks,
-            self.exact_walks
+            self.exact_walks,
+            self.pruned_walks,
+            self.avoided_walks
         )
     }
 }
@@ -521,7 +531,7 @@ impl Service {
         type JobResult = (Result<(Arc<str>, AnalyzeMeta), SvcError>, u64);
         let results: Vec<JobResult> = self
             .pool
-            .run_ordered_caught(pending, |_, job| {
+            .run_ordered_scoped_caught(pending, AnalysisScratch::new, |scratch, _, job| {
                 let start = Instant::now();
                 let limits = match config.timeout {
                     Some(timeout) => config.limits.with_deadline(start + timeout),
@@ -530,7 +540,7 @@ impl Service {
                 if config.fault_injection {
                     inject_faults(&job.set);
                 }
-                let outcome = analyze_with_meta(job.set, &limits)
+                let outcome = analyze_with_meta_in(job.set, &limits, scratch)
                     .map(|(report, meta)| (Arc::<str>::from(rbs_json::to_string(&report)), meta))
                     .map_err(|error| SvcError::from_analysis(&error));
                 (outcome, elapsed_micros(start))
@@ -551,6 +561,8 @@ impl Service {
                     self.cache.insert(canonical, Arc::clone(report_json));
                     stats.integer_walks += meta.integer_walks;
                     stats.exact_walks += meta.exact_walks;
+                    stats.pruned_walks += meta.pruned_walks;
+                    stats.avoided_walks += meta.avoided_walks;
                 }
                 Err(error) => {
                     // Every post-parse failure (limits, timeout, panic) is

@@ -211,6 +211,68 @@ fn follow_mode_emits_periodic_footers() {
     assert_eq!(footers, 3, "{stderr}");
 }
 
+/// Extracts `[integer, exact, pruned, avoided]` from a footer's
+/// `walks{integer=.. exact=.. pruned=.. avoided=..}` block.
+fn parse_walks(footer: &str) -> [u64; 4] {
+    let start = footer.find("walks{").expect("footer has a walks block") + "walks{".len();
+    let body = &footer[start..];
+    let body = &body[..body.find('}').expect("walks block closes")];
+    let mut counters = [0u64; 4];
+    for (slot, key) in ["integer=", "exact=", "pruned=", "avoided="]
+        .into_iter()
+        .enumerate()
+    {
+        let field = body
+            .split(' ')
+            .find_map(|part| part.strip_prefix(key))
+            .unwrap_or_else(|| panic!("walks block must carry {key}: {footer}"));
+        counters[slot] = field.parse().expect("counter parses");
+    }
+    counters
+}
+
+#[test]
+fn walk_counters_appear_per_response_and_grow_monotonically() {
+    let mut daemon = Follow::spawn(&["--stats-every", "1"]);
+    let first = daemon.roundtrip(&good_line(5));
+    // Fresh reports carry the full per-analysis walk accounting,
+    // including the pruning observability counters.
+    for needle in ["\"walks\":{\"integer\":", "\"pruned\":", "\"avoided\":"] {
+        assert!(
+            first.contains(needle),
+            "response must carry {needle}: {first}"
+        );
+    }
+    let _ = daemon.roundtrip(&good_line(9));
+    let _ = daemon.roundtrip(&good_line(13));
+    let (success, stderr) = daemon.drain();
+    assert!(success, "{stderr}");
+    let footers: Vec<[u64; 4]> = stderr
+        .lines()
+        .filter(|line| line.starts_with("rbs-svc: served="))
+        .map(parse_walks)
+        .collect();
+    assert!(
+        footers.len() >= 3,
+        "periodic + drain footers expected: {stderr}"
+    );
+    // The footer aggregates are cumulative, so every counter must be
+    // non-decreasing across consecutive footers.
+    for pair in footers.windows(2) {
+        for (slot, (earlier, later)) in pair[0].iter().zip(pair[1].iter()).enumerate() {
+            assert!(
+                earlier <= later,
+                "walk counter {slot} regressed across footers: {stderr}"
+            );
+        }
+    }
+    let last = footers.last().expect("at least one footer");
+    assert!(
+        last[0] + last[1] > 0,
+        "three analyses must execute at least one walk: {stderr}"
+    );
+}
+
 #[test]
 fn help_exits_zero_and_documents_the_protocol() {
     let output = binary().arg("--help").output().expect("binary runs");

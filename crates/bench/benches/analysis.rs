@@ -1,14 +1,14 @@
 //! Micro-benchmarks of the exact analyses.
 
 use rbs_bench::harness::Runner;
-use rbs_bench::{synthetic_set, table1};
+use rbs_bench::{synthetic_set, synthetic_specs, table1};
 use rbs_core::adb::hi_arrival_profile;
 use rbs_core::dbf::{hi_profile, total_dbf_hi};
-use rbs_core::lo_mode::{is_lo_schedulable, minimal_x_density};
+use rbs_core::lo_mode::{is_lo_schedulable, minimal_feasible_x, minimal_x_density};
 use rbs_core::resetting::resetting_time;
 use rbs_core::speedup::minimum_speedup;
 use rbs_core::tuning::minimal_speed_within_budget;
-use rbs_core::AnalysisLimits;
+use rbs_core::{AnalysisLimits, SweepAnalysis, SweepMode};
 use rbs_gen::fms;
 use rbs_gen::synth::SynthConfig;
 use rbs_timebase::Rational;
@@ -156,6 +156,22 @@ fn main() {
                 .expect("completes")
             },
         );
+    }
+
+    // The incremental sweep engine's per-`y` step: patch the LO-task
+    // components in place and answer `s_min` — what a campaign pays per
+    // grid row after the one-off construction, vs a full fresh context.
+    for size in [10usize, 40] {
+        let specs = synthetic_specs(size, 48);
+        let x = minimal_feasible_x(&specs).expect("feasible by construction");
+        let ys = [Rational::ONE, Rational::new(3, 2), Rational::TWO];
+        let mut sweep = SweepAnalysis::new(&specs, x, &ys, SweepMode::Degraded, &limits);
+        let mut turn = 0usize;
+        runner.bench(&format!("sweep/rescale_lo/{size}"), || {
+            turn += 1;
+            sweep.rescale_lo(ys[turn % ys.len()]);
+            sweep.minimum_speedup().expect("completes")
+        });
     }
 
     let specs = fms::specs(Rational::TWO);

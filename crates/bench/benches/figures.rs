@@ -27,6 +27,19 @@ fn main() {
         black_box(fig6::run(&pooled))
     });
 
+    // One utilization point end to end (the incremental sweep engine's
+    // target): the full (y, s) grid over a reduced set count.
+    for sets in [25usize, 50] {
+        let config = fig6::Fig6Config {
+            sets_per_point: sets,
+            seed: 2015,
+            jobs: 1,
+        };
+        runner.bench(&format!("campaign/fig6_point/{sets}"), || {
+            black_box(fig6::run_point(rbs_timebase::Rational::new(7, 10), &config))
+        });
+    }
+
     let config = fig7::Fig7Config {
         sets_per_point: 6,
         grid_step_twentieths: 5,

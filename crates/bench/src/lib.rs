@@ -55,6 +55,21 @@ pub fn synthetic_set(size: usize, seed: u64) -> TaskSet {
     prepare_or_shrink(&specs)
 }
 
+/// A deterministic synthetic spec list of roughly `size` tasks for which
+/// a density-feasible `x` exists (tasks are dropped from the tail until
+/// it does) — the campaign-sweep analogue of [`synthetic_set`].
+#[must_use]
+pub fn synthetic_specs(size: usize, seed: u64) -> Vec<ImplicitTaskSpec> {
+    let target = Rational::new(21 * size as i128, 200);
+    let generator = SynthConfig::new(target).period_range_ms(5, 100);
+    let mut specs = generator.generate(seed);
+    while rbs_core::lo_mode::minimal_x_density(&specs).is_none() {
+        specs.pop();
+        assert!(!specs.is_empty(), "fixture became empty");
+    }
+    specs
+}
+
 fn prepare_or_shrink(specs: &[ImplicitTaskSpec]) -> TaskSet {
     let mut specs = specs.to_vec();
     loop {

@@ -75,6 +75,15 @@ pub struct WalkCounts {
     /// Resetting-time queries answered from a cached [`ResetFrontier`]
     /// without walking any breakpoints. Not included in [`Self::total`].
     pub avoided: u64,
+    /// Demand components served from an earlier grid point instead of
+    /// being rebuilt. Always `0` for a plain [`Analysis`], which builds
+    /// each profile exactly once; the incremental sweep engine
+    /// ([`crate::sweep::SweepAnalysis`]) accumulates it across
+    /// `rescale_lo` calls.
+    pub reused_components: u64,
+    /// Demand components constructed (or re-derived after a patch miss),
+    /// including the initial profile builds.
+    pub rebuilt_components: u64,
 }
 
 impl WalkCounts {
@@ -103,6 +112,7 @@ pub struct Analysis<'a> {
     exact_walks: Cell<u64>,
     pruned_walks: Cell<u64>,
     avoided_walks: Cell<u64>,
+    built_components: Cell<u64>,
     /// The deepest `Δ_R` staircase built so far; covers every speed at or
     /// above the speed it was built for.
     frontier: RefCell<Option<ResetFrontier>>,
@@ -122,6 +132,7 @@ impl<'a> Analysis<'a> {
             exact_walks: Cell::new(0),
             pruned_walks: Cell::new(0),
             avoided_walks: Cell::new(0),
+            built_components: Cell::new(0),
             frontier: RefCell::new(None),
         }
     }
@@ -139,14 +150,22 @@ impl<'a> Analysis<'a> {
         let ctx = Analysis::new(set, limits);
         let mut components = scratch.lease();
         lo_components_into(set, &mut components);
+        ctx.note_built(components.len());
         let _ = ctx.lo.set(DemandProfile::new(components));
         let mut components = scratch.lease();
         hi_components_into(set, &mut components);
+        ctx.note_built(components.len());
         let _ = ctx.hi.set(DemandProfile::new(components));
         let mut components = scratch.lease();
         arrival_components_into(set, &mut components);
+        ctx.note_built(components.len());
         let _ = ctx.arrival.set(DemandProfile::new(components));
         ctx
+    }
+
+    fn note_built(&self, components: usize) {
+        self.built_components
+            .set(self.built_components.get() + components as u64);
     }
 
     /// Consumes the context, returning its profile buffers to `scratch`
@@ -174,19 +193,31 @@ impl<'a> Analysis<'a> {
     /// The `DBF_LO` profile (eq. (4)), built on first use.
     #[must_use]
     pub fn lo_profile(&self) -> &DemandProfile {
-        self.lo.get_or_init(|| lo_profile(self.set))
+        self.lo.get_or_init(|| {
+            let profile = lo_profile(self.set);
+            self.note_built(profile.components().len());
+            profile
+        })
     }
 
     /// The `DBF_HI` profile (Lemma 1), built on first use.
     #[must_use]
     pub fn hi_profile(&self) -> &DemandProfile {
-        self.hi.get_or_init(|| hi_profile(self.set))
+        self.hi.get_or_init(|| {
+            let profile = hi_profile(self.set);
+            self.note_built(profile.components().len());
+            profile
+        })
     }
 
     /// The `ADB_HI` profile (Theorem 4), built on first use.
     #[must_use]
     pub fn arrival_profile(&self) -> &DemandProfile {
-        self.arrival.get_or_init(|| hi_arrival_profile(self.set))
+        self.arrival.get_or_init(|| {
+            let profile = hi_arrival_profile(self.set);
+            self.note_built(profile.components().len());
+            profile
+        })
     }
 
     fn record(&self, trace: WalkTrace) {
@@ -209,6 +240,8 @@ impl<'a> Analysis<'a> {
             exact: self.exact_walks.get(),
             pruned: self.pruned_walks.get(),
             avoided: self.avoided_walks.get(),
+            reused_components: 0,
+            rebuilt_components: self.built_components.get(),
         }
     }
 
@@ -411,11 +444,11 @@ impl AnalysisScratch {
         AnalysisScratch::default()
     }
 
-    fn lease(&mut self) -> Vec<PeriodicDemand> {
+    pub(crate) fn lease(&mut self) -> Vec<PeriodicDemand> {
         self.buffers.pop().unwrap_or_default()
     }
 
-    fn reclaim(&mut self, mut buffer: Vec<PeriodicDemand>) {
+    pub(crate) fn reclaim(&mut self, mut buffer: Vec<PeriodicDemand>) {
         buffer.clear();
         self.buffers.push(buffer);
     }

@@ -27,7 +27,7 @@
 //! above the long-run rate is found, `demand(Δ) ≤ rate·Δ + burst` yields
 //! a horizon beyond which no improvement is possible.
 
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use rbs_timebase::Rational;
@@ -318,6 +318,42 @@ impl DemandProfile {
     pub fn new(components: Vec<PeriodicDemand>) -> DemandProfile {
         let scaled = ScaledProfile::build(&components);
         DemandProfile { components, scaled }
+    }
+
+    /// Assembles a profile from components and a pre-built fast path —
+    /// the sweep engine's entry point, where the [`ScaledProfile`] is
+    /// built on a timebase covering a whole campaign grid rather than
+    /// this one component list.
+    pub(crate) fn from_parts(
+        components: Vec<PeriodicDemand>,
+        scaled: Option<ScaledProfile>,
+    ) -> DemandProfile {
+        DemandProfile { components, scaled }
+    }
+
+    /// Replaces the components at `indices` with `patched` (parallel
+    /// slices) and patches the integer fast path in place when the new
+    /// components fit its timebase; otherwise rebuilds the fast path
+    /// from scratch on the updated components' own timebase — exactly
+    /// what [`DemandProfile::new`] would produce. Returns `true` when
+    /// the patch stayed in place.
+    pub(crate) fn patch_components(
+        &mut self,
+        indices: &[usize],
+        patched: &[PeriodicDemand],
+    ) -> bool {
+        debug_assert_eq!(indices.len(), patched.len());
+        for (&i, component) in indices.iter().zip(patched) {
+            self.components[i] = component.clone();
+        }
+        let in_place = match self.scaled.as_mut() {
+            Some(scaled) => scaled.patch(&self.components, indices).is_some(),
+            None => false,
+        };
+        if !in_place {
+            self.scaled = ScaledProfile::build(&self.components);
+        }
+        in_place
     }
 
     /// Whether the profile carries the common-timebase integer fast path.
@@ -1051,6 +1087,93 @@ impl FrontierRecord {
     }
 }
 
+/// A [`FrontierRecord`] kept on the integer fast path's common timebase:
+/// the same segment data as raw scaled integers, with no reduced
+/// rationals built at record time. Nearly every walked segment lowers a
+/// serving threshold and is recorded, so the integer build defers all
+/// gcd-normalizing construction to the one record a lookup actually
+/// lands on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ScaledFrontierRecord {
+    /// Segment start `Δₖ·K` on the timebase `K`.
+    pub(crate) start: i128,
+    /// Post-jump demand `value·K` at the segment start.
+    pub(crate) value: i128,
+    /// Integer demand slope on the segment (scale-free).
+    pub(crate) slope: i64,
+    /// Raw open threshold `max(φ_pre(end), slope)` as a fraction with a
+    /// positive denominator; the scale cancels in both candidates.
+    pub(crate) open_num: i128,
+    /// Denominator of the raw open threshold.
+    pub(crate) open_den: i128,
+}
+
+impl ScaledFrontierRecord {
+    /// The exact-representation record this scaled record denotes:
+    /// `Rational::new`'s canonical reduction cancels the scale, so every
+    /// field is bit-identical to what the exact rational build records.
+    fn to_exact(&self, scale: i128) -> FrontierRecord {
+        FrontierRecord {
+            start: Rational::new(self.start, scale),
+            value: Rational::new(self.value, scale),
+            slope: self.slope,
+            closed_at: (self.start > 0).then(|| Rational::new(self.value, self.start)),
+            open_above: Rational::new(self.open_num, self.open_den),
+        }
+    }
+
+    /// [`FrontierRecord::serve`] without materializing the record: the
+    /// threshold tests are raw cross-multiplies, and only a served
+    /// lookup builds its (reduced) answer. Falls back to the exact
+    /// record on `i128` overflow.
+    fn serve(&self, scale: i128, speed: Rational) -> Option<Rational> {
+        // Closed test: speed ≥ value/start (absent when start = 0).
+        if self.start > 0 {
+            match cmp_raw(speed, self.value, self.start) {
+                Some(Ordering::Greater | Ordering::Equal) => {
+                    return Some(Rational::new(self.start, scale));
+                }
+                Some(Ordering::Less) => {}
+                None => return self.to_exact(scale).serve(speed),
+            }
+        }
+        // Crossing test: speed > max(φ_pre, slope), then the crossing
+        // (value − slope·start)/(speed − slope) with the scale folded
+        // into the denominator:
+        // ((v' − m·Δ')/K)/((p − m·q)/q) = (v' − m·Δ')·q / (K·(p − m·q)).
+        match cmp_raw(speed, self.open_num, self.open_den) {
+            Some(Ordering::Greater) => {}
+            Some(_) => return None,
+            None => return self.to_exact(scale).serve(speed),
+        }
+        let slope = i128::from(self.slope);
+        let exact = || self.to_exact(scale).serve(speed);
+        let Some(num) = slope
+            .checked_mul(self.start)
+            .and_then(|ms| self.value.checked_sub(ms))
+            .and_then(|a| a.checked_mul(speed.denom()))
+        else {
+            return exact();
+        };
+        let Some(den) = slope
+            .checked_mul(speed.denom())
+            .and_then(|mq| speed.numer().checked_sub(mq))
+            .and_then(|d| d.checked_mul(scale))
+        else {
+            return exact();
+        };
+        Some(Rational::new(num, den))
+    }
+}
+
+/// `speed.cmp(&(num/den))` by checked cross-multiplication (`den > 0`);
+/// `None` when a product overflows `i128`.
+fn cmp_raw(speed: Rational, num: i128, den: i128) -> Option<Ordering> {
+    let lhs = speed.numer().checked_mul(den)?;
+    let rhs = num.checked_mul(speed.denom())?;
+    Some(lhs.cmp(&rhs))
+}
+
 /// The full non-increasing staircase `s ↦ Δ_R(s)` of a demand profile,
 /// built by one breakpoint walk ([`DemandProfile::reset_frontier`]).
 ///
@@ -1061,26 +1184,66 @@ impl FrontierRecord {
 /// bit-identical to a fresh [`DemandProfile::first_fit`] walk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResetFrontier {
-    records: Vec<FrontierRecord>,
-    /// Running minimum of the closed thresholds: `s ≥ closed_cover` is
-    /// served by some record's closed test.
-    closed_cover: Option<Rational>,
-    /// Running minimum of the open thresholds: `s > open_cover` is served
-    /// by some record's crossing test.
-    open_cover: Option<Rational>,
+    repr: FrontierRepr,
     /// The profile's demand at `Δ = 0` is zero, so every positive speed
     /// fits instantly.
     fits_at_zero: bool,
+}
+
+/// The two record representations behind a [`ResetFrontier`]: reduced
+/// rationals from the exact build, or raw scaled integers from the
+/// integer fast path (whose lookups materialize rationals only for the
+/// record that serves). Both answer lookups bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FrontierRepr {
+    Exact {
+        records: Vec<FrontierRecord>,
+        /// Running minimum of the closed thresholds: `s ≥ closed_cover`
+        /// is served by some record's closed test.
+        closed_cover: Option<Rational>,
+        /// Running minimum of the open thresholds: `s > open_cover` is
+        /// served by some record's crossing test.
+        open_cover: Option<Rational>,
+    },
+    Scaled {
+        /// The common timebase every record's `start`/`value` is on.
+        scale: i128,
+        records: Vec<ScaledFrontierRecord>,
+        /// As for the exact representation, but raw unreduced fractions
+        /// (positive denominators).
+        closed_cover: Option<(i128, i128)>,
+        open_cover: Option<(i128, i128)>,
+    },
 }
 
 impl ResetFrontier {
     /// The frontier of a profile with zero demand at `Δ = 0`.
     pub(crate) fn everything_fits_at_zero() -> ResetFrontier {
         ResetFrontier {
-            records: Vec::new(),
-            closed_cover: None,
-            open_cover: None,
+            repr: FrontierRepr::Exact {
+                records: Vec::new(),
+                closed_cover: None,
+                open_cover: None,
+            },
             fits_at_zero: true,
+        }
+    }
+
+    /// A frontier built by the integer fast path on timebase `scale`.
+    pub(crate) fn from_scaled(
+        scale: i128,
+        records: Vec<ScaledFrontierRecord>,
+        closed_cover: Option<(i128, i128)>,
+        open_cover: Option<(i128, i128)>,
+    ) -> ResetFrontier {
+        ResetFrontier {
+            repr: FrontierRepr::Scaled {
+                scale,
+                records,
+                closed_cover,
+                open_cover,
+            },
+            fits_at_zero: false,
         }
     }
 
@@ -1089,10 +1252,38 @@ impl ResetFrontier {
     /// the build's `min_speed` is covered.
     #[must_use]
     pub fn covers(&self, speed: Rational) -> bool {
-        speed.is_positive()
-            && (self.fits_at_zero
-                || self.closed_cover.is_some_and(|psi| speed >= psi)
-                || self.open_cover.is_some_and(|theta| speed > theta))
+        if !speed.is_positive() {
+            return false;
+        }
+        if self.fits_at_zero {
+            return true;
+        }
+        match &self.repr {
+            FrontierRepr::Exact {
+                closed_cover,
+                open_cover,
+                ..
+            } => {
+                closed_cover.is_some_and(|psi| speed >= psi)
+                    || open_cover.is_some_and(|theta| speed > theta)
+            }
+            FrontierRepr::Scaled {
+                closed_cover,
+                open_cover,
+                ..
+            } => {
+                closed_cover.is_some_and(|(num, den)| {
+                    match cmp_raw(speed, num, den) {
+                        Some(ord) => ord != Ordering::Less,
+                        // Overflowing cross-multiply: reduce and retry.
+                        None => speed >= Rational::new(num, den),
+                    }
+                }) || open_cover.is_some_and(|(num, den)| match cmp_raw(speed, num, den) {
+                    Some(ord) => ord == Ordering::Greater,
+                    None => speed > Rational::new(num, den),
+                })
+            }
+        }
     }
 
     /// The exact first instant at which a supply of slope `speed` drains
@@ -1115,23 +1306,32 @@ impl ResetFrontier {
         // the segment a plain walk would have stopped at: any earlier
         // segment that served `speed` would have lowered the same
         // threshold and been recorded itself.
-        self.records
-            .iter()
-            .find_map(|record| record.serve(speed))
-            .map(FirstFit::At)
+        match &self.repr {
+            FrontierRepr::Exact { records, .. } => records
+                .iter()
+                .find_map(|record| record.serve(speed))
+                .map(FirstFit::At),
+            FrontierRepr::Scaled { scale, records, .. } => records
+                .iter()
+                .find_map(|record| record.serve(*scale, speed))
+                .map(FirstFit::At),
+        }
     }
 
     /// Number of recorded threshold-improving segments (diagnostics).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.len()
+        match &self.repr {
+            FrontierRepr::Exact { records, .. } => records.len(),
+            FrontierRepr::Scaled { records, .. } => records.len(),
+        }
     }
 
     /// Whether the frontier holds no records (an empty or zero-at-zero
     /// profile, or a build that bailed before any segment).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 }
 
@@ -1195,9 +1395,11 @@ impl FrontierBuilder {
 
     pub(crate) fn finish(self) -> ResetFrontier {
         ResetFrontier {
-            records: self.records,
-            closed_cover: self.closed_cover,
-            open_cover: self.open_cover,
+            repr: FrontierRepr::Exact {
+                records: self.records,
+                closed_cover: self.closed_cover,
+                open_cover: self.open_cover,
+            },
             fits_at_zero: false,
         }
     }

@@ -24,7 +24,10 @@
 //!   speed within an overclock budget, minimum degradation for a given
 //!   platform speed, duty-cycle bounds);
 //! * [`demand`] — the shared exact piecewise-linear curve engine the
-//!   above are built on.
+//!   above are built on;
+//! * [`sweep`] — the incremental campaign engine: one [`SweepAnalysis`]
+//!   per task set answering a whole `(y, s)` grid by patching the
+//!   `y`-dependent demand components in place instead of rebuilding.
 //!
 //! All computation is exact over [`rbs_timebase::Rational`].
 //!
@@ -74,6 +77,7 @@ pub mod report;
 pub mod resetting;
 pub mod shaping;
 pub mod speedup;
+pub mod sweep;
 pub mod tuning;
 
 mod config;
@@ -83,4 +87,8 @@ mod scaled;
 pub use analysis::{Analysis, AnalysisScratch, WalkCounts};
 pub use config::AnalysisLimits;
 pub use error::AnalysisError;
-pub use report::{analyze, analyze_with_meta, analyze_with_meta_in, AnalyzeMeta, AnalyzeReport};
+pub use report::{
+    analyze, analyze_with_meta, analyze_with_meta_in, run_sweep, run_sweep_in, AnalyzeMeta,
+    AnalyzeReport, SweepGrid, SweepPoint, SweepReport,
+};
+pub use sweep::{SweepAnalysis, SweepMode};

@@ -117,6 +117,17 @@ pub fn minimal_x_density(specs: &[ImplicitTaskSpec]) -> Option<Rational> {
     (x <= Rational::ONE).then_some(x)
 }
 
+/// [`minimal_x_density`] clamped into the open-closed `(0, 1]` range
+/// [`rbs_model::ScalingFactors`] accepts — the deadline-shortening
+/// factor the synthetic campaigns hand to
+/// [`rbs_model::scaled_task_set`] (HI-free sets would otherwise yield
+/// `x = 0`). `None` means no density-feasible `x` exists.
+#[must_use]
+pub fn minimal_feasible_x(specs: &[ImplicitTaskSpec]) -> Option<Rational> {
+    let x = minimal_x_density(specs)?;
+    Some(x.max(Rational::new(1, 1000)).min(Rational::ONE))
+}
+
 /// The minimal `x` passing the *exact* LO-mode demand test, found by
 /// bisection to within `tolerance` (the returned `x` is always
 /// schedulable; no schedulable `x` smaller by more than `tolerance`

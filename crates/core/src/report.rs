@@ -10,12 +10,14 @@
 use std::fmt;
 
 use rbs_json::{Json, JsonError, ToJson};
-use rbs_model::TaskSet;
+use rbs_model::{ImplicitTaskSpec, TaskSet};
 use rbs_timebase::Rational;
 
 use crate::analysis::{Analysis, AnalysisScratch};
+use crate::lo_mode::minimal_feasible_x;
 use crate::resetting::ResettingBound;
 use crate::speedup::SpeedupBound;
+use crate::sweep::{SweepAnalysis, SweepMode};
 use crate::{AnalysisError, AnalysisLimits};
 
 /// The report for one task set.
@@ -51,6 +53,25 @@ pub struct AnalyzeMeta {
     /// Resetting-time queries answered from the cached reset frontier
     /// without walking (not counted in `integer_walks`/`exact_walks`).
     pub avoided_walks: u64,
+    /// Demand components reused from an earlier sweep grid point instead
+    /// of being rebuilt (always `0` for single-point analyses).
+    pub reused_components: u64,
+    /// Demand components built, including the initial profile
+    /// construction.
+    pub rebuilt_components: u64,
+}
+
+impl AnalyzeMeta {
+    fn from_counts(counts: crate::analysis::WalkCounts) -> AnalyzeMeta {
+        AnalyzeMeta {
+            integer_walks: counts.integer,
+            exact_walks: counts.exact,
+            pruned_walks: counts.pruned,
+            avoided_walks: counts.avoided,
+            reused_components: counts.reused_components,
+            rebuilt_components: counts.rebuilt_components,
+        }
+    }
 }
 
 /// Analyzes a task set, producing the full [`AnalyzeReport`].
@@ -160,13 +181,7 @@ fn run_queries(ctx: &Analysis) -> Result<(ReportParts, AnalyzeMeta), AnalysisErr
             None => None,
         }
     };
-    let counts = ctx.walk_counts();
-    let meta = AnalyzeMeta {
-        integer_walks: counts.integer,
-        exact_walks: counts.exact,
-        pruned_walks: counts.pruned,
-        avoided_walks: counts.avoided,
-    };
+    let meta = AnalyzeMeta::from_counts(ctx.walk_counts());
     Ok((
         ReportParts {
             lo_schedulable,
@@ -224,6 +239,190 @@ fn bound_from_json(value: &Json, what: &str) -> Result<Option<Rational>, JsonErr
             "expected \"Unbounded\" or {{\"Finite\": rational}} for {what}"
         ))),
     }
+}
+
+/// One task set plus the `(y, s)` campaign grid to sweep it over — the
+/// wire form of the service's `sweep` request kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepGrid {
+    /// The implicit-deadline specs (Section V's `(x, y)` model).
+    pub specs: Vec<ImplicitTaskSpec>,
+    /// The deadline-shortening factor; `None` derives the minimal
+    /// density-feasible `x` ([`minimal_feasible_x`]) per set.
+    pub x: Option<Rational>,
+    /// Degradation factors to sweep, each `≥ 1`.
+    pub ys: Vec<Rational>,
+    /// Speeds to probe `Δ_R` at, per `y`.
+    pub speeds: Vec<Rational>,
+}
+
+impl rbs_json::FromJson for SweepGrid {
+    fn from_json(value: &Json) -> Result<SweepGrid, JsonError> {
+        let specs = value
+            .get("specs")
+            .ok_or_else(|| JsonError::new("sweep grid requires \"specs\""))
+            .and_then(rbs_json::FromJson::from_json)?;
+        let x: Option<Rational> = match value.get("x") {
+            Some(v) => rbs_json::FromJson::from_json(v)?,
+            None => None,
+        };
+        if let Some(x) = x {
+            if !x.is_positive() || x > Rational::ONE {
+                return Err(JsonError::new("sweep grid \"x\" must lie in (0, 1]"));
+            }
+        }
+        let ys: Vec<Rational> = value
+            .get("ys")
+            .ok_or_else(|| JsonError::new("sweep grid requires \"ys\""))
+            .and_then(rbs_json::FromJson::from_json)?;
+        if ys.is_empty() {
+            return Err(JsonError::new("sweep grid \"ys\" must be non-empty"));
+        }
+        if ys.iter().any(|&y| y < Rational::ONE) {
+            return Err(JsonError::new("sweep grid \"ys\" must all be at least 1"));
+        }
+        let speeds: Vec<Rational> = value
+            .get("speeds")
+            .ok_or_else(|| JsonError::new("sweep grid requires \"speeds\""))
+            .and_then(rbs_json::FromJson::from_json)?;
+        if speeds.is_empty() {
+            return Err(JsonError::new("sweep grid \"speeds\" must be non-empty"));
+        }
+        Ok(SweepGrid {
+            specs,
+            x,
+            ys,
+            speeds,
+        })
+    }
+}
+
+/// One `y` row of a [`SweepReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// The degradation factor of this row.
+    pub y: Rational,
+    /// Theorem 2's minimum speedup at this `y`.
+    pub s_min: SpeedupBound,
+    /// `(s, Δ_R)` for every requested speed, in request order.
+    pub resetting: Vec<(Rational, ResettingBound)>,
+}
+
+/// The full campaign grid for one task set, bit-identical to running
+/// [`analyze`]-style queries at each `(y, s)` point independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// The deadline-shortening factor actually used (given or derived).
+    pub x: Rational,
+    /// One row per requested `y`, in request order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("y".to_owned(), self.y.to_json()),
+            ("s_min".to_owned(), self.s_min.to_json()),
+            (
+                "resetting".to_owned(),
+                Json::Array(
+                    self.resetting
+                        .iter()
+                        .map(|(s, dr)| Json::Array(vec![s.to_json(), dr.to_json()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SweepReport {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("x".to_owned(), self.x.to_json()),
+            (
+                "points".to_owned(),
+                Json::Array(self.points.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Sweeps one task set over a `(y, s)` grid through a single
+/// [`SweepAnalysis`], so HI-task demand components are built once and
+/// only the LO-task components are re-derived per `y`.
+///
+/// Returns `Ok(None)` when `grid.x` is absent and no density-feasible
+/// `x` exists for the specs (the set is infeasible at every grid point).
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors (breakpoint budgets, deadlines).
+///
+/// # Panics
+///
+/// Panics if a hand-constructed grid violates the ranges
+/// [`SweepGrid`]'s `FromJson` enforces (`x` in `(0, 1]`, every `y ≥ 1`).
+pub fn run_sweep(
+    grid: &SweepGrid,
+    limits: &AnalysisLimits,
+) -> Result<Option<(SweepReport, AnalyzeMeta)>, AnalysisError> {
+    run_sweep_in(grid, limits, &mut AnalysisScratch::new())
+}
+
+/// [`run_sweep`] with the component buffers leased from `scratch` — the
+/// allocation-recycling form for service workers. The buffers are
+/// returned to `scratch` whether or not the sweep succeeds.
+///
+/// # Errors
+///
+/// As for [`run_sweep`].
+///
+/// # Panics
+///
+/// As for [`run_sweep`].
+pub fn run_sweep_in(
+    grid: &SweepGrid,
+    limits: &AnalysisLimits,
+    scratch: &mut AnalysisScratch,
+) -> Result<Option<(SweepReport, AnalyzeMeta)>, AnalysisError> {
+    let Some(x) = grid.x.or_else(|| minimal_feasible_x(&grid.specs)) else {
+        return Ok(None);
+    };
+    let mut sweep = SweepAnalysis::new_in(
+        &grid.specs,
+        x,
+        &grid.ys,
+        SweepMode::Degraded,
+        limits,
+        scratch,
+    );
+    let result = sweep_points(&mut sweep, &grid.ys, &grid.speeds);
+    let meta = AnalyzeMeta::from_counts(sweep.walk_counts());
+    sweep.recycle_into(scratch);
+    Ok(Some((SweepReport { x, points: result? }, meta)))
+}
+
+fn sweep_points(
+    sweep: &mut SweepAnalysis,
+    ys: &[Rational],
+    speeds: &[Rational],
+) -> Result<Vec<SweepPoint>, AnalysisError> {
+    let mut points = Vec::with_capacity(ys.len());
+    for &y in ys {
+        sweep.rescale_lo(y);
+        let s_min = sweep.minimum_speedup()?.bound();
+        let mut resetting = Vec::with_capacity(speeds.len());
+        for &s in speeds {
+            resetting.push((s, sweep.resetting_time(s)?.bound()));
+        }
+        points.push(SweepPoint {
+            y,
+            s_min,
+            resetting,
+        });
+    }
+    Ok(points)
 }
 
 impl ToJson for AnalyzeReport {

@@ -31,13 +31,10 @@
 //!    threshold as "never reached" cannot change any decision before the
 //!    walk bails on its own overflowing breakpoint.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use rbs_timebase::{lcm_i128, Rational};
 
 use crate::demand::{
-    FirstFit, FrontierBuilder, PeriodicDemand, ResetFrontier, SupRatio, EVENT_RAMP_END,
+    FirstFit, PeriodicDemand, ResetFrontier, ScaledFrontierRecord, SupRatio, EVENT_RAMP_END,
     EVENT_RAMP_START, EVENT_WRAP,
 };
 use crate::{AnalysisError, AnalysisLimits};
@@ -86,6 +83,87 @@ pub(crate) struct ScaledProfile {
     /// The hyperperiod on the scaled grid (`hp·K`), `None` when the
     /// rational hyperperiod does not exist or does not fit in `i128`.
     hyperperiod: Option<i128>,
+    /// Per-component `(rate, envelope)` contributions, kept so
+    /// [`ScaledProfile::patch`] can refold the aggregates after swapping
+    /// a few components without touching the others.
+    contribs: Vec<(Rational, Rational)>,
+}
+
+/// Rescales one component onto `scale`, returning its scaled form plus
+/// its exact `(rate, envelope)` contributions. `None` when any scaled
+/// quantity overflows `i128` or `scale` is not a multiple of one of the
+/// component's denominators.
+fn scale_component(
+    c: &PeriodicDemand,
+    scale: i128,
+) -> Option<(ScaledComponent, Rational, Rational)> {
+    let [period, per_period, constant, ramp_start, jump, ramp_len] = c.raw();
+    let period_s = to_scaled(period, scale)?;
+    let per_period_s = to_scaled(per_period, scale)?;
+    let constant_s = to_scaled(constant, scale)?;
+    let ramp_start_s = to_scaled(ramp_start, scale)?;
+    let jump_s = to_scaled(jump, scale)?;
+    let ramp_len_s = to_scaled(ramp_len, scale)?;
+    // Mirrors `IncrementalWalk::new` in crate::demand.
+    let ramp_restarts_at_wrap = ramp_start_s == 0;
+    let carry_at_wrap =
+        jump_s.checked_add((period_s.checked_sub(ramp_start_s)?).min(ramp_len_s))?;
+    let r_at_zero = if ramp_restarts_at_wrap { jump_s } else { 0 };
+    let in_ramp_before_wrap = ramp_len_s > 0 && period_s.checked_sub(ramp_start_s)? <= ramp_len_s;
+    let in_ramp_after_wrap = ramp_restarts_at_wrap && ramp_len_s > 0;
+    let scaled = ScaledComponent {
+        period: period_s,
+        constant: constant_s,
+        ramp_start: ramp_start_s,
+        jump: jump_s,
+        ramp_len: ramp_len_s,
+        wrap_value: per_period_s
+            .checked_sub(carry_at_wrap)?
+            .checked_add(r_at_zero)?,
+        wrap_slope: i64::from(in_ramp_after_wrap) - i64::from(in_ramp_before_wrap),
+        ramp_is_step: ramp_len_s == 0,
+    };
+    let rate = per_period.checked_div(period).ok()?;
+    // `PeriodicDemand::envelope_burst` on the scaled grid: over
+    // the common denominator `K·period'`, the jump/ramp-end
+    // suprema are pure `i128` numerators, so the per-component
+    // contribution costs integer multiplies instead of rational
+    // ones. Canonical reduction makes the summed value — and the
+    // horizons divided out of it — bit-identical to the exact
+    // walk's `envelope_burst`.
+    let clipped_s = (period_s - ramp_start_s).min(ramp_len_s);
+    let at_jump = jump_s
+        .checked_mul(period_s)?
+        .checked_sub(per_period_s.checked_mul(ramp_start_s)?)?;
+    let at_ramp_end = jump_s
+        .checked_add(clipped_s)?
+        .checked_mul(period_s)?
+        .checked_sub(per_period_s.checked_mul(ramp_start_s.checked_add(clipped_s)?)?)?;
+    let numer = constant_s
+        .checked_mul(period_s)?
+        .checked_add(at_jump.max(at_ramp_end).max(0))?;
+    let envelope = Rational::new(numer, scale.checked_mul(period_s)?);
+    Some((scaled, rate, envelope))
+}
+
+/// The rational hyperperiod chain over `components`, rescaled to the
+/// integer grid — independent of where it is recomputed, so a patched
+/// profile's hyperperiod break fires exactly when a fresh build's would.
+fn scaled_hyperperiod(components: &[PeriodicDemand], scale: i128) -> Option<i128> {
+    let mut hp: Option<Rational> = None;
+    for c in components {
+        hp = Some(match hp {
+            None => c.period(),
+            Some(a) => match a.lcm(c.period()) {
+                Some(l) => l,
+                None => {
+                    hp = None;
+                    break;
+                }
+            },
+        });
+    }
+    hp.and_then(|h| to_scaled(h, scale))
 }
 
 /// `q·scale` as an exact integer (`None` on overflow or — defensively —
@@ -122,86 +200,74 @@ impl ScaledProfile {
                 scale = lcm_i128(scale, q.denom())?;
             }
         }
+        ScaledProfile::build_with_scale(components, scale)
+    }
+
+    /// [`ScaledProfile::build`] on a caller-chosen timebase `scale` — any
+    /// common multiple of the component denominators works, because every
+    /// query's comparisons are scale-invariant and every reported
+    /// rational goes through `Rational::new`'s canonical reduction. The
+    /// sweep engine passes one scale covering a whole `y` grid so
+    /// patched profiles stay on the integer fast path.
+    ///
+    /// Returns `None` when a scaled quantity overflows `i128` or `scale`
+    /// misses one of the denominators.
+    pub(crate) fn build_with_scale(
+        components: &[PeriodicDemand],
+        scale: i128,
+    ) -> Option<ScaledProfile> {
         let mut scaled = Vec::with_capacity(components.len());
+        let mut contribs = Vec::with_capacity(components.len());
         let mut rate = Rational::ZERO;
         let mut envelope = Rational::ZERO;
         for c in components {
-            let [period, per_period, constant, ramp_start, jump, ramp_len] = c.raw();
-            let period_s = to_scaled(period, scale)?;
-            let per_period_s = to_scaled(per_period, scale)?;
-            let constant_s = to_scaled(constant, scale)?;
-            let ramp_start_s = to_scaled(ramp_start, scale)?;
-            let jump_s = to_scaled(jump, scale)?;
-            let ramp_len_s = to_scaled(ramp_len, scale)?;
-            // Mirrors `IncrementalWalk::new` in crate::demand.
-            let ramp_restarts_at_wrap = ramp_start_s == 0;
-            let carry_at_wrap =
-                jump_s.checked_add((period_s.checked_sub(ramp_start_s)?).min(ramp_len_s))?;
-            let r_at_zero = if ramp_restarts_at_wrap { jump_s } else { 0 };
-            let in_ramp_before_wrap =
-                ramp_len_s > 0 && period_s.checked_sub(ramp_start_s)? <= ramp_len_s;
-            let in_ramp_after_wrap = ramp_restarts_at_wrap && ramp_len_s > 0;
-            scaled.push(ScaledComponent {
-                period: period_s,
-                constant: constant_s,
-                ramp_start: ramp_start_s,
-                jump: jump_s,
-                ramp_len: ramp_len_s,
-                wrap_value: per_period_s
-                    .checked_sub(carry_at_wrap)?
-                    .checked_add(r_at_zero)?,
-                wrap_slope: i64::from(in_ramp_after_wrap) - i64::from(in_ramp_before_wrap),
-                ramp_is_step: ramp_len_s == 0,
-            });
-            rate = rate
-                .checked_add(per_period.checked_div(period).ok()?)
-                .ok()?;
-            // `PeriodicDemand::envelope_burst` on the scaled grid: over
-            // the common denominator `K·period'`, the jump/ramp-end
-            // suprema are pure `i128` numerators, so the per-component
-            // contribution costs integer multiplies instead of rational
-            // ones. Canonical reduction makes the summed value — and the
-            // horizons divided out of it — bit-identical to the exact
-            // walk's `envelope_burst`.
-            let clipped_s = (period_s - ramp_start_s).min(ramp_len_s);
-            let at_jump = jump_s
-                .checked_mul(period_s)?
-                .checked_sub(per_period_s.checked_mul(ramp_start_s)?)?;
-            let at_ramp_end = jump_s
-                .checked_add(clipped_s)?
-                .checked_mul(period_s)?
-                .checked_sub(per_period_s.checked_mul(ramp_start_s.checked_add(clipped_s)?)?)?;
-            let numer = constant_s
-                .checked_mul(period_s)?
-                .checked_add(at_jump.max(at_ramp_end).max(0))?;
-            envelope = envelope
-                .checked_add(Rational::new(numer, scale.checked_mul(period_s)?))
-                .ok()?;
+            let (sc, rate_c, envelope_c) = scale_component(c, scale)?;
+            scaled.push(sc);
+            contribs.push((rate_c, envelope_c));
+            rate = rate.checked_add(rate_c).ok()?;
+            envelope = envelope.checked_add(envelope_c).ok()?;
         }
         // Derive the scaled hyperperiod from the *rational* one so that
         // the fast path's hyperperiod break fires exactly when the exact
         // walk's does (lcm overflow behavior included).
-        let mut hp: Option<Rational> = None;
-        for c in components {
-            hp = Some(match hp {
-                None => c.period(),
-                Some(a) => match a.lcm(c.period()) {
-                    Some(l) => l,
-                    None => {
-                        hp = None;
-                        break;
-                    }
-                },
-            });
-        }
-        let hyperperiod = hp.and_then(|h| to_scaled(h, scale));
+        let hyperperiod = scaled_hyperperiod(components, scale);
         Some(ScaledProfile {
             components: scaled,
             scale,
             rate,
             envelope,
             hyperperiod,
+            contribs,
         })
+    }
+
+    /// Re-scales only the components at `indices` (already updated in
+    /// `components`) and refolds the profile aggregates, leaving every
+    /// other component's scaled form untouched.
+    ///
+    /// The aggregates are refolded over the per-component contributions
+    /// in component order with exact rational sums, so the patched
+    /// profile answers every query bit-identically to
+    /// [`ScaledProfile::build_with_scale`] on the same components and
+    /// scale. Returns `None` when a patched quantity overflows or its
+    /// denominator does not divide the profile's scale; the profile may
+    /// then be partially updated and the caller must rebuild it.
+    pub(crate) fn patch(&mut self, components: &[PeriodicDemand], indices: &[usize]) -> Option<()> {
+        for &i in indices {
+            let (sc, rate_c, envelope_c) = scale_component(&components[i], self.scale)?;
+            self.components[i] = sc;
+            self.contribs[i] = (rate_c, envelope_c);
+        }
+        let mut rate = Rational::ZERO;
+        let mut envelope = Rational::ZERO;
+        for &(rate_c, envelope_c) in &self.contribs {
+            rate = rate.checked_add(rate_c).ok()?;
+            envelope = envelope.checked_add(envelope_c).ok()?;
+        }
+        self.rate = rate;
+        self.envelope = envelope;
+        self.hyperperiod = scaled_hyperperiod(components, self.scale);
+        Some(())
     }
 
     /// Integer fast path of [`crate::demand::DemandProfile::sup_ratio`].
@@ -495,10 +561,35 @@ impl ScaledProfile {
         if walk.value <= 0 {
             return Ok(Some(ResetFrontier::everything_fits_at_zero()));
         }
-        let mut builder = FrontierBuilder::new(min_speed);
+        // Raw (unreduced) serving thresholds, mirroring the exact
+        // builder's reduced ones: every comparison is a checked
+        // cross-multiply against a positive denominator, which orders
+        // exactly as the reduced rationals do, so the recorded segments
+        // are precisely the exact build's choices. No reduced rational is
+        // built at all — nearly every walked segment improves a threshold
+        // on real profiles, so lookups materialize the one record that
+        // serves instead ([`ScaledFrontierRecord`]).
+        let mut records: Vec<ScaledFrontierRecord> = Vec::new();
+        let mut closed_cover: Option<(i128, i128)> = None;
+        let mut open_cover: Option<(i128, i128)> = None;
+        let (speed_num, speed_den) = (min_speed.numer(), min_speed.denom());
         let mut examined = 0usize;
         loop {
-            if builder.serves_min_speed() {
+            // The exact builder's `serves_min_speed` stopping rule:
+            // min_speed ≥ closed_cover, or min_speed > open_cover.
+            let closed_serves = match closed_cover {
+                None => false,
+                Some((num, den)) => {
+                    ck!(speed_num.checked_mul(den)) >= ck!(num.checked_mul(speed_den))
+                }
+            };
+            let open_serves = match open_cover {
+                None => false,
+                Some((num, den)) => {
+                    ck!(speed_num.checked_mul(den)) > ck!(num.checked_mul(speed_den))
+                }
+            };
+            if closed_serves || open_serves {
                 break;
             }
             examined += 1;
@@ -509,19 +600,45 @@ impl ScaledProfile {
                 .peek_next()
                 .expect("periodic curves have unbounded breakpoints");
             let slope = i128::from(walk.slope);
-            // ψ = (v'/K)/(Δ'/K) = v'/Δ' — the scale cancels.
-            let closed_at = (segment_start > 0).then(|| Rational::new(value, segment_start));
             // φ_pre(end) = (v' + slope·(end' − start'))/end', scale-free
-            // for the same reason (slope is already scale-free).
+            // because the scale cancels (slope is already scale-free); the
+            // open threshold is max(φ_pre, slope) = (pre, end) when
+            // pre ≥ slope·end, else (slope, 1) — `Rational`'s canonical
+            // form makes the tie representation-identical either way.
             let pre = ck!(value.checked_add(ck!(slope.checked_mul(segment_end - segment_start))));
-            let phi_pre = Rational::new(pre, segment_end);
-            builder.push_segment(
-                Rational::new(segment_start, self.scale),
-                Rational::new(value, self.scale),
-                walk.slope,
-                closed_at,
-                phi_pre.max(Rational::integer(slope)),
-            );
+            let (open_num, open_den) = if pre >= ck!(slope.checked_mul(segment_end)) {
+                (pre, segment_end)
+            } else {
+                (slope, 1)
+            };
+            // ψ = (v'/K)/(Δ'/K) = v'/Δ' — the scale cancels.
+            let improves_closed = segment_start > 0
+                && match closed_cover {
+                    None => true,
+                    // v/Δ < cn/cd ⟺ v·cd < cn·Δ (all denominators > 0).
+                    Some((cn, cd)) => {
+                        ck!(value.checked_mul(cd)) < ck!(cn.checked_mul(segment_start))
+                    }
+                };
+            let improves_open = match open_cover {
+                None => true,
+                Some((on, od)) => ck!(open_num.checked_mul(od)) < ck!(on.checked_mul(open_den)),
+            };
+            if improves_closed || improves_open {
+                records.push(ScaledFrontierRecord {
+                    start: segment_start,
+                    value,
+                    slope: walk.slope,
+                    open_num,
+                    open_den,
+                });
+                if improves_closed {
+                    closed_cover = Some((value, segment_start));
+                }
+                if improves_open {
+                    open_cover = Some((open_num, open_den));
+                }
+            }
             if min_speed <= self.rate {
                 if let Some(hp) = self.hyperperiod {
                     if segment_start > hp {
@@ -532,14 +649,33 @@ impl ScaledProfile {
             }
             ck!(walk.advance());
         }
-        Ok(Some(builder.finish()))
+        Ok(Some(ResetFrontier::from_scaled(
+            self.scale,
+            records,
+            closed_cover,
+            open_cover,
+        )))
     }
 }
 
 /// The integer mirror of [`crate::demand`]'s `IncrementalWalk`: same
 /// event stream, same visit order, pure `i128` state.
+///
+/// Every event stream is strictly periodic, so instead of a priority
+/// queue the walk keeps one pending time per stream and maintains their
+/// minimum incrementally: each batch is one linear pass that fires the
+/// due streams and refreshes the minimum in place. At the handful of
+/// streams a profile carries (at most three per component), the scan
+/// beats heap sift costs while producing the same breakpoint batches —
+/// same-time events only ever add to `value`/`slope`, so intra-batch
+/// order is immaterial.
 struct ScaledWalk<'a> {
-    heap: BinaryHeap<Reverse<(i128, usize, u8)>>,
+    /// Next pending event time per stream, parallel to `streams`.
+    times: Vec<i128>,
+    /// `(component index, event kind)` per stream.
+    streams: Vec<(u32, u8)>,
+    /// Minimum of `times` (meaningless while `times` is empty).
+    next: i128,
     components: &'a [ScaledComponent],
     delta: i128,
     value: i128,
@@ -549,10 +685,12 @@ struct ScaledWalk<'a> {
 impl<'a> ScaledWalk<'a> {
     /// `None` when seeding the walk state would overflow.
     fn new(components: &'a [ScaledComponent]) -> Option<ScaledWalk<'a>> {
-        let mut heap = BinaryHeap::new();
+        let mut times = Vec::with_capacity(components.len() * 3);
+        let mut streams = Vec::with_capacity(components.len() * 3);
         let mut value: i128 = 0;
         let mut slope = 0i64;
         for (i, c) in components.iter().enumerate() {
+            let i = u32::try_from(i).ok()?;
             value = value.checked_add(c.constant)?;
             if c.ramp_start == 0 {
                 value = value.checked_add(c.jump)?;
@@ -560,17 +698,23 @@ impl<'a> ScaledWalk<'a> {
                     slope += 1;
                 }
             }
-            heap.push(Reverse((c.period, i, EVENT_WRAP)));
+            times.push(c.period);
+            streams.push((i, EVENT_WRAP));
             if c.ramp_start > 0 {
-                heap.push(Reverse((c.ramp_start, i, EVENT_RAMP_START)));
+                times.push(c.ramp_start);
+                streams.push((i, EVENT_RAMP_START));
             }
             let ramp_end = c.ramp_start.checked_add(c.ramp_len)?;
             if c.ramp_len > 0 && ramp_end < c.period {
-                heap.push(Reverse((ramp_end, i, EVENT_RAMP_END)));
+                times.push(ramp_end);
+                streams.push((i, EVENT_RAMP_END));
             }
         }
+        let next = times.iter().copied().min().unwrap_or(0);
         Some(ScaledWalk {
-            heap,
+            times,
+            streams,
+            next,
             components,
             delta: 0,
             value,
@@ -579,45 +723,43 @@ impl<'a> ScaledWalk<'a> {
     }
 
     fn peek_next(&self) -> Option<i128> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+        (!self.times.is_empty()).then_some(self.next)
     }
 
     /// Advances to the next event batch; `None` on overflow (the caller
     /// must then discard the walk and fall back to the exact path).
     fn advance(&mut self) -> Option<()> {
-        let next = self.peek_next().expect("advance on an empty profile");
+        assert!(!self.times.is_empty(), "advance on an empty profile");
+        let next = self.next;
         self.value = self
             .value
             .checked_add(i128::from(self.slope).checked_mul(next - self.delta)?)?;
         self.delta = next;
-        while let Some(&Reverse((t, i, kind))) = self.heap.peek() {
-            if t != next {
-                break;
-            }
-            self.heap.pop();
-            let c = &self.components[i];
-            match kind {
-                EVENT_WRAP => {
-                    self.value = self.value.checked_add(c.wrap_value)?;
-                    self.slope += c.wrap_slope;
-                    self.heap
-                        .push(Reverse((t.checked_add(c.period)?, i, EVENT_WRAP)));
-                }
-                EVENT_RAMP_START => {
-                    self.value = self.value.checked_add(c.jump)?;
-                    if !c.ramp_is_step {
-                        self.slope += 1;
+        let mut new_min = i128::MAX;
+        for j in 0..self.times.len() {
+            let mut t = self.times[j];
+            if t == next {
+                let (i, kind) = self.streams[j];
+                let c = &self.components[i as usize];
+                match kind {
+                    EVENT_WRAP => {
+                        self.value = self.value.checked_add(c.wrap_value)?;
+                        self.slope += c.wrap_slope;
                     }
-                    self.heap
-                        .push(Reverse((t.checked_add(c.period)?, i, EVENT_RAMP_START)));
+                    EVENT_RAMP_START => {
+                        self.value = self.value.checked_add(c.jump)?;
+                        if !c.ramp_is_step {
+                            self.slope += 1;
+                        }
+                    }
+                    _ => self.slope -= 1,
                 }
-                _ => {
-                    self.slope -= 1;
-                    self.heap
-                        .push(Reverse((t.checked_add(c.period)?, i, EVENT_RAMP_END)));
-                }
+                t = next.checked_add(c.period)?;
+                self.times[j] = t;
             }
+            new_min = new_min.min(t);
         }
+        self.next = new_min;
         Some(())
     }
 }

@@ -110,10 +110,21 @@ pub fn minimal_degradation_for_speed(
 ) -> Result<Option<Rational>, AnalysisError> {
     assert!(tolerance.is_positive(), "tolerance must be positive");
     assert!(y_max >= Rational::ONE, "y_max must be at least 1");
-    let meets = |y: Rational| -> Result<bool, AnalysisError> {
-        let factors = ScalingFactors::new(x, y).expect("validated by caller ranges");
-        let set = scaled_task_set(specs, factors).expect("specs validated by model crate");
-        is_hi_schedulable(&set, speed, limits)
+    // One sweep context for the whole bisection: the HI-task demand
+    // components depend only on `x` and are reused at every probed `y`
+    // (the bisection midpoints are unhinted, so only the integer fast
+    // path is re-derived per probe — results are bit-identical to a
+    // fresh per-`y` analysis either way).
+    let mut sweep = crate::sweep::SweepAnalysis::new(
+        specs,
+        x,
+        &[Rational::ONE, y_max],
+        crate::sweep::SweepMode::Degraded,
+        limits,
+    );
+    let mut meets = |y: Rational| -> Result<bool, AnalysisError> {
+        sweep.rescale_lo(y);
+        sweep.is_hi_schedulable(speed)
     };
     if meets(Rational::ONE)? {
         return Ok(Some(Rational::ONE));

@@ -9,16 +9,16 @@
 
 use std::fmt;
 
+use rbs_core::lo_mode::minimal_feasible_x;
 use rbs_core::resetting::ResettingBound;
 use rbs_core::speedup::SpeedupBound;
-use rbs_core::{Analysis, AnalysisLimits, AnalysisScratch};
+use rbs_core::{AnalysisLimits, AnalysisScratch, SweepAnalysis, SweepMode};
 use rbs_gen::synth::SynthConfig;
 use rbs_timebase::Rational;
 
 use rbs_svc::WorkerPool;
 
 use crate::stats::{five_number, median, FiveNumber};
-use crate::workloads::prepare;
 
 /// Campaign scale knobs (the paper uses 500 sets per point; tests and
 /// benches use fewer).
@@ -41,15 +41,6 @@ impl Default for Fig6Config {
             seed: 2015,
             jobs: 0,
         }
-    }
-}
-
-/// The pool a config asks for (`0` = available parallelism).
-fn pool_for(jobs: usize) -> WorkerPool {
-    if jobs == 0 {
-        WorkerPool::with_available_parallelism()
-    } else {
-        WorkerPool::new(jobs)
     }
 }
 
@@ -86,7 +77,7 @@ pub fn run(config: &Fig6Config) -> Fig6Results {
     let limits = AnalysisLimits::default();
     let ys = [Rational::ONE, Rational::TWO, Rational::integer(3)];
     let speeds = [Rational::TWO, Rational::integer(3)];
-    let pool = pool_for(config.jobs);
+    let pool = WorkerPool::for_jobs(config.jobs);
     let points = (5..=9)
         .map(|ub| {
             let u_bound = Rational::new(ub, 10);
@@ -94,6 +85,17 @@ pub fn run(config: &Fig6Config) -> Fig6Results {
         })
         .collect();
     Fig6Results { points }
+}
+
+/// Runs one utilization point of the Fig. 6 campaign — the unit the
+/// `campaign/fig6_point/*` benchmarks time end to end.
+#[must_use]
+pub fn run_point(u_bound: Rational, config: &Fig6Config) -> UtilizationPoint {
+    let limits = AnalysisLimits::default();
+    let ys = [Rational::ONE, Rational::TWO, Rational::integer(3)];
+    let speeds = [Rational::TWO, Rational::integer(3)];
+    let pool = WorkerPool::for_jobs(config.jobs);
+    campaign_point(u_bound, config, &pool, &limits, &ys, &speeds)
 }
 
 /// Everything one task set contributes to a utilization point; computed on
@@ -122,32 +124,31 @@ fn campaign_point(
             s_min_by_y: vec![None; ys.len()],
             resetting_by_sy: vec![None; ys.len() * speeds.len()],
         };
+        let Some(x) = minimal_feasible_x(&specs) else {
+            contribution.infeasible = true;
+            return contribution;
+        };
+        // One sweep context per set: the LO profile and every HI-task
+        // demand component are built once (into the worker's recycled
+        // scratch buffers) and `rescale_lo` patches only the LO-task
+        // components per `y` — bit-identical to a fresh per-`y` context.
+        let mut sweep = SweepAnalysis::new_in(&specs, x, ys, SweepMode::Degraded, limits, scratch);
         for (yi, &y) in ys.iter().enumerate() {
-            let Some(set) = prepare(&specs, y) else {
-                if yi == 0 {
-                    contribution.infeasible = true;
-                }
-                continue;
-            };
-            // One context per prepared set: the HI demand profile is
-            // shared by the speedup query and the whole resetting sweep.
-            // Profiles are built into the worker's scratch buffers and
-            // recycled, so the campaign's steady state stops allocating.
-            let ctx = Analysis::new_with_scratch(&set, limits, scratch);
-            if let Ok(analysis) = ctx.minimum_speedup() {
+            sweep.rescale_lo(y);
+            if let Ok(analysis) = sweep.minimum_speedup() {
                 if let SpeedupBound::Finite(s_min) = analysis.bound() {
                     contribution.s_min_by_y[yi] = Some(s_min);
                 }
             }
             for (si, &s) in speeds.iter().enumerate() {
-                if let Ok(analysis) = ctx.resetting_time(s) {
+                if let Ok(analysis) = sweep.resetting_time(s) {
                     if let ResettingBound::Finite(dr) = analysis.bound() {
                         contribution.resetting_by_sy[yi * speeds.len() + si] = Some(dr);
                     }
                 }
             }
-            ctx.recycle_into(scratch);
         }
+        sweep.recycle_into(scratch);
         contribution
     });
 
@@ -174,14 +175,8 @@ fn campaign_point(
     let y2 = 1usize;
     let s3 = 1usize; // speeds[1] = 3
     let s_min_summary = five_number(&s_min_at_y[y2]);
-    let total = s_min_at_y[y2].len().max(1) as f64;
-    let schedulable_at = [Rational::ONE, Rational::new(19, 10)]
-        .iter()
-        .map(|&threshold| {
-            let count = s_min_at_y[y2].iter().filter(|&&v| v <= threshold).count();
-            (threshold, count as f64 / total)
-        })
-        .collect();
+    let feasible = config.sets_per_point.saturating_sub(infeasible);
+    let schedulable_at = schedulable_fractions(&s_min_at_y[y2], feasible);
     let median_s_min_by_y = ys
         .iter()
         .enumerate()
@@ -208,6 +203,23 @@ fn campaign_point(
         median_resetting_by_sy,
         infeasible,
     }
+}
+
+/// The fraction of *feasible* sets whose `s_min` is at or below each
+/// reporting threshold. `finite_s_min` only carries the finite values —
+/// a feasible set with unbounded `s_min` is absent from it but still
+/// belongs in the denominator (it is schedulable at no threshold), which
+/// is why the denominator is the feasible-set count, not
+/// `finite_s_min.len()`.
+fn schedulable_fractions(finite_s_min: &[Rational], feasible: usize) -> Vec<(Rational, f64)> {
+    let total = feasible.max(1) as f64;
+    [Rational::ONE, Rational::new(19, 10)]
+        .iter()
+        .map(|&threshold| {
+            let count = finite_s_min.iter().filter(|&&v| v <= threshold).count();
+            (threshold, count as f64 / total)
+        })
+        .collect()
 }
 
 fn fmt_opt(v: Option<Rational>) -> String {
@@ -383,6 +395,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn unbounded_s_min_stays_in_the_denominator() {
+        // Three feasible sets, one of which has unbounded s_min: it
+        // contributes no finite value, but it is schedulable at no
+        // threshold and must stay in the denominator — the fractions are
+        // out of 3, not out of the 2 finite values.
+        let finite = [Rational::ONE, Rational::new(3, 2)];
+        let fractions = schedulable_fractions(&finite, 3);
+        assert_eq!(fractions[0], (Rational::ONE, 1.0 / 3.0));
+        assert_eq!(fractions[1], (Rational::new(19, 10), 2.0 / 3.0));
     }
 
     #[test]

@@ -16,12 +16,11 @@
 use std::fmt;
 
 use rbs_baselines::{edf_vd, reservation};
+use rbs_core::lo_mode::minimal_feasible_x;
 use rbs_core::resetting::ResettingBound;
-use rbs_core::{Analysis, AnalysisLimits, AnalysisScratch};
+use rbs_core::{AnalysisLimits, AnalysisScratch, SweepAnalysis, SweepMode};
 use rbs_gen::grid::GridConfig;
 use rbs_timebase::Rational;
-
-use crate::workloads::prepare;
 
 /// Campaign scale knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,11 +92,7 @@ pub fn run(config: &Fig7Config) -> Fig7Results {
         }
         i += step;
     }
-    let pool = if config.jobs == 0 {
-        rbs_svc::WorkerPool::with_available_parallelism()
-    } else {
-        rbs_svc::WorkerPool::new(config.jobs)
-    };
+    let pool = rbs_svc::WorkerPool::for_jobs(config.jobs);
     // One job per grid point; collection by index keeps the row order (and
     // every number — the per-point seeds are fixed) worker-count-invariant.
     // Each worker carries one scratch across its whole share of the grid.
@@ -140,16 +135,24 @@ fn region_point(
             accept_edf_vd += 1;
         }
         // The paper's scheme: x minimal, LO tasks terminated in HI mode.
-        let Some(set) = prepare(&specs, Rational::ONE) else {
+        let Some(x) = minimal_feasible_x(&specs) else {
             continue;
         };
-        let set = set.with_lo_terminated().expect("LO tasks terminate");
-        // One context per set: the LO profile serves the LO verdict, and
-        // the HI/arrival profiles serve all four speed queries. The
-        // profiles live in the worker's scratch buffers and are recycled.
-        let ctx = Analysis::new_with_scratch(&set, limits, scratch);
-        let (no_speedup_ok, speedup_ok) = speedup_verdicts(&ctx, speed, reset_budget);
-        ctx.recycle_into(scratch);
+        // One sweep context per set: with LO tasks terminated every
+        // profile is y-invariant, so this is pure construction sharing —
+        // the LO profile serves the LO verdict and the HI/arrival
+        // profiles serve all four speed queries, built once into the
+        // worker's recycled scratch buffers.
+        let mut sweep = SweepAnalysis::new_in(
+            &specs,
+            x,
+            &[Rational::ONE],
+            SweepMode::Terminated,
+            limits,
+            scratch,
+        );
+        let (no_speedup_ok, speedup_ok) = speedup_verdicts(&mut sweep, speed, reset_budget);
+        sweep.recycle_into(scratch);
         if no_speedup_ok {
             accept_no_speedup += 1;
         }
@@ -171,7 +174,11 @@ fn region_point(
 
 /// The (no-speedup, speedup-with-budget) verdicts for one prepared set.
 /// Analysis errors reject the set, matching the sequential protocol.
-fn speedup_verdicts(ctx: &Analysis<'_>, speed: Rational, reset_budget: Rational) -> (bool, bool) {
+fn speedup_verdicts(
+    ctx: &mut SweepAnalysis,
+    speed: Rational,
+    reset_budget: Rational,
+) -> (bool, bool) {
     if !ctx.is_lo_schedulable().unwrap_or(false) {
         return (false, false);
     }

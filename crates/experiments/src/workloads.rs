@@ -1,7 +1,7 @@
 //! Shared workloads: the reconstructed Table I set and helpers that
 //! prepare synthetic specs the way the paper's experiments do.
 
-use rbs_core::lo_mode::minimal_x_density;
+use rbs_core::lo_mode::minimal_feasible_x;
 use rbs_model::{scaled_task_set, Criticality, ImplicitTaskSpec, ScalingFactors, Task, TaskSet};
 use rbs_timebase::Rational;
 
@@ -68,9 +68,7 @@ pub fn table1_degraded() -> TaskSet {
 /// Panics if `y < 1`.
 #[must_use]
 pub fn prepare(specs: &[ImplicitTaskSpec], y: Rational) -> Option<TaskSet> {
-    let x = minimal_x_density(specs)?;
-    // Clamp: x = 0 happens for HI-free sets; any positive x works then.
-    let x = x.max(Rational::new(1, 1000)).min(Rational::ONE);
+    let x = minimal_feasible_x(specs)?;
     let factors = ScalingFactors::new(x, y).expect("validated ranges");
     Some(scaled_task_set(specs, factors).expect("specs validated by the model crate"))
 }

@@ -77,6 +77,62 @@ impl CanonicalTaskSet {
         CanonicalTaskSet { bytes, hash }
     }
 
+    /// The canonical form of a sweep request: the parameter-sorted spec
+    /// list plus the grid (`x`, `ys`, `speeds`). The byte string is
+    /// domain-prefixed so it can never collide with a plain task-set
+    /// form, and the grid lists keep request order (a reordered `ys`
+    /// produces a differently-ordered response, so it is a different
+    /// cache entry). Spec order, by contrast, never affects a sweep
+    /// result, so permuted spec lists canonicalize identically.
+    #[must_use]
+    pub fn of_sweep(
+        specs: &[crate::ImplicitTaskSpec],
+        x: Option<Rational>,
+        ys: &[Rational],
+        speeds: &[Rational],
+    ) -> CanonicalTaskSet {
+        let mut sorted: Vec<&crate::ImplicitTaskSpec> = specs.iter().collect();
+        sorted.sort_by_key(|s| {
+            (
+                s.criticality(),
+                s.period(),
+                s.wcet_lo(),
+                s.wcet_hi(),
+                s.name().to_owned(),
+            )
+        });
+        let mut bytes = Vec::with_capacity(sorted.len() * 48 + 64);
+        bytes.extend_from_slice(b"sweep");
+        match x {
+            Some(x) => encode_rational(x, &mut bytes),
+            None => bytes.push(b'*'),
+        }
+        bytes.push(b'|');
+        for &y in ys {
+            encode_rational(y, &mut bytes);
+        }
+        bytes.push(b'|');
+        for &s in speeds {
+            encode_rational(s, &mut bytes);
+        }
+        bytes.push(b'|');
+        for spec in sorted {
+            bytes.push(b'S');
+            bytes.extend_from_slice(spec.name().as_bytes());
+            bytes.push(0);
+            bytes.push(match spec.criticality() {
+                crate::Criticality::Lo => b'L',
+                crate::Criticality::Hi => b'H',
+            });
+            encode_rational(spec.period(), &mut bytes);
+            encode_rational(spec.wcet_lo(), &mut bytes);
+            encode_rational(spec.wcet_hi(), &mut bytes);
+            bytes.push(b';');
+        }
+        let hash = fnv1a64(&bytes);
+        CanonicalTaskSet { bytes, hash }
+    }
+
     /// The canonical byte string. Equal bytes ⇔ same canonical set.
     #[must_use]
     pub fn bytes(&self) -> &[u8] {

@@ -13,16 +13,34 @@ use rbs_svc::{
 const USAGE: &str = "\
 usage: rbs-svc [INPUT] [--follow] [--jobs N] [--cache-size N] [options]
 
-INPUT is '-' (default: JSON Lines on stdin, one task set per line), a
-workload file, or a directory containing *.json workloads. Every request
-is answered on stdout with one JSON line:
+INPUT is '-' (default: JSON Lines on stdin, one request per line), a
+workload file, or a directory containing *.json workloads. A request is
+either a task-set document (a JSON array of tasks) or a campaign sweep:
+
+  {\"sweep\":{\"specs\":[...],\"x\":RAT?,\"ys\":[RAT,...],\"speeds\":[RAT,...]}}
+
+where specs are implicit-deadline tasks ({\"name\",\"criticality\",
+\"period\",\"wcet_lo\",\"wcet_hi\"}), rationals are {\"num\":N,\"den\":N},
+\"x\" is optional (omitted: the minimal density-feasible x is derived),
+and the answer is the whole (y, s) grid computed by the incremental
+sweep engine — s_min plus the resetting time at every speed, per y —
+e.g.:
+
+  {\"sweep\":{\"specs\":[{\"name\":\"t1\",\"criticality\":\"Hi\",\
+\"period\":{\"num\":5,\"den\":1},\"wcet_lo\":{\"num\":1,\"den\":1},\
+\"wcet_hi\":{\"num\":2,\"den\":1}}],\"ys\":[{\"num\":1,\"den\":1}],\
+\"speeds\":[{\"num\":2,\"den\":1}]}}
+
+Every request is answered on stdout with one JSON line:
 
   {\"seq\":N,\"hash\":\"<canonical hash>\",\"cached\":BOOL,\"report\":{...}}
   {\"seq\":N,\"source\":\"...\",\"cached\":BOOL,\"error\":{\"kind\":\"...\",\"detail\":\"...\"}}
 
 where error kind is one of parse|limits|timeout|panic|oversized, and a
-summary footer (request counters, error taxonomy, cache hits, latency
-percentiles) goes to stderr.
+summary footer (request counters, error taxonomy, cache hits, walk and
+component-reuse counters, latency percentiles) goes to stderr. Sweep
+responses report infeasible spec lists as {\"infeasible\":true} and carry
+\"reused\"/\"rebuilt\" component counts in their \"walks\" block.
 
 modes:
   (default)       batch: read all of INPUT, answer every request, exit

@@ -71,6 +71,19 @@ impl WorkerPool {
         WorkerPool { jobs: jobs.max(1) }
     }
 
+    /// The conventional `--jobs` interpretation shared by the campaign
+    /// runners and the service: `0` means
+    /// [`WorkerPool::with_available_parallelism`], anything else an
+    /// explicit worker count.
+    #[must_use]
+    pub fn for_jobs(jobs: usize) -> WorkerPool {
+        if jobs == 0 {
+            WorkerPool::with_available_parallelism()
+        } else {
+            WorkerPool::new(jobs)
+        }
+    }
+
     /// A pool sized to the machine (`std::thread::available_parallelism`,
     /// falling back to one worker when the count is unavailable).
     #[must_use]

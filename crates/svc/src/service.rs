@@ -1,12 +1,16 @@
 //! The admission-control service: JSONL requests in, JSONL reports out.
 //!
-//! Each request line is one task-set document (the same format as
-//! `examples/workloads/*.json`). The service canonicalizes the set,
-//! consults the sharded LRU [`ResultCache`] (and a bounded negative cache
-//! of failed outcomes), and analyzes misses on the fixed-size
-//! [`WorkerPool`]; duplicate submissions inside one batch are coalesced so
-//! the analysis runs once. Responses come back in submission order and are
-//! bit-for-bit independent of the worker count.
+//! Each request line is either one task-set document (the same format as
+//! `examples/workloads/*.json`) or a campaign sweep
+//! `{"sweep":{"specs":[...],"ys":[...],"speeds":[...]}}` answered by the
+//! incremental [`rbs_core::SweepAnalysis`] engine — one set plus a
+//! `(y, s)` grid in, the full grid of `s_min`/`Δ_R` values out. The
+//! service canonicalizes the request (task sets and sweep grids live in
+//! disjoint canonical domains), consults the sharded LRU [`ResultCache`]
+//! (and a bounded negative cache of failed outcomes), and analyzes misses
+//! on the fixed-size [`WorkerPool`]; duplicate submissions inside one
+//! batch are coalesced so the analysis runs once. Responses come back in
+//! submission order and are bit-for-bit independent of the worker count.
 //!
 //! Failures are structured: every error response carries a
 //! [`SvcError`] with a machine-readable [`SvcErrorKind`]
@@ -22,9 +26,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rbs_core::{analyze_with_meta_in, AnalysisError, AnalysisLimits, AnalysisScratch, AnalyzeMeta};
-use rbs_json::Json;
-use rbs_model::{CanonicalTaskSet, TaskSet};
+use rbs_core::{
+    analyze_with_meta_in, run_sweep_in, AnalysisError, AnalysisLimits, AnalysisScratch,
+    AnalyzeMeta, SweepGrid,
+};
+use rbs_json::{FromJson, Json};
+use rbs_model::{CanonicalTaskSet, ImplicitTaskSpec, TaskSet};
 
 use crate::cache::ResultCache;
 use crate::ingest::Request;
@@ -236,8 +243,13 @@ impl Response {
                 };
                 let walks = match walks {
                     Some(meta) => format!(
-                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{}}}",
-                        meta.integer_walks, meta.exact_walks, meta.pruned_walks, meta.avoided_walks
+                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{},\"reused\":{},\"rebuilt\":{}}}",
+                        meta.integer_walks,
+                        meta.exact_walks,
+                        meta.pruned_walks,
+                        meta.avoided_walks,
+                        meta.reused_components,
+                        meta.rebuilt_components
                     ),
                     None => String::new(),
                 };
@@ -323,6 +335,13 @@ pub struct BatchStats {
     /// Resetting-time queries answered from a cached reset frontier
     /// without walking, summed over the executed analyses.
     pub avoided_walks: u64,
+    /// Demand components reused across sweep grid points instead of being
+    /// rebuilt, summed over the executed analyses. Zero for single-set
+    /// requests — only the incremental sweep engine reuses components.
+    pub reused_components: u64,
+    /// Demand components built (initial construction plus `rescale_lo`
+    /// patches), summed over the executed analyses.
+    pub rebuilt_components: u64,
     /// Per-request service time in microseconds (parse + analysis share),
     /// indexed by `seq` within the batch.
     pub latencies_micros: Vec<u64>,
@@ -348,6 +367,8 @@ impl BatchStats {
         self.exact_walks += other.exact_walks;
         self.pruned_walks += other.pruned_walks;
         self.avoided_walks += other.avoided_walks;
+        self.reused_components += other.reused_components;
+        self.rebuilt_components += other.rebuilt_components;
         self.latencies_micros
             .extend_from_slice(&other.latencies_micros);
     }
@@ -369,7 +390,7 @@ impl BatchStats {
         format!(
             "rbs-svc: served={} ok={} errors{{total={} parse={} limits={} timeout={} panic={} oversized={}}} \
              cache{{hits={} negative={}}} coalesced={} analyzed={} jobs={jobs} \
-             walks{{integer={} exact={} pruned={} avoided={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
+             walks{{integer={} exact={} pruned={} avoided={} reused={} rebuilt={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
             self.served,
             self.ok,
             self.errors.total(),
@@ -385,7 +406,9 @@ impl BatchStats {
             self.integer_walks,
             self.exact_walks,
             self.pruned_walks,
-            self.avoided_walks
+            self.avoided_walks,
+            self.reused_components,
+            self.rebuilt_components
         )
     }
 }
@@ -420,7 +443,16 @@ fn percentile(sorted: &[u64], pct: usize) -> u64 {
 /// A parsed request waiting for analysis.
 struct Pending {
     canonical: CanonicalTaskSet,
-    set: TaskSet,
+    job: Job,
+}
+
+/// The two kinds of work a request can ask for.
+enum Job {
+    /// Classic single-set admission analysis.
+    Analyze { set: TaskSet },
+    /// A `(y, s)` campaign grid over one spec list, answered by the
+    /// incremental sweep engine.
+    Sweep { grid: SweepGrid },
 }
 
 /// Per-request bookkeeping between the parse pass and response assembly.
@@ -434,14 +466,25 @@ enum Slot {
 /// [`ServiceConfig::fault_injection`] is enabled.
 fn inject_faults(set: &TaskSet) {
     for task in set.iter() {
-        let name = task.name();
-        if name == FAULT_PANIC_TASK {
-            panic!("injected fault: task '{FAULT_PANIC_TASK}' requested a worker panic");
-        }
-        if let Some(rest) = name.strip_prefix(FAULT_SLEEP_PREFIX) {
-            if let Ok(ms) = rest.trim_end_matches('_').parse::<u64>() {
-                std::thread::sleep(Duration::from_millis(ms));
-            }
+        fault_for_name(task.name());
+    }
+}
+
+/// The sweep-request counterpart of [`inject_faults`]: the markers live
+/// in spec names, so poison-pill sweeps exercise the same containment.
+fn inject_sweep_faults(specs: &[ImplicitTaskSpec]) {
+    for spec in specs {
+        fault_for_name(spec.name());
+    }
+}
+
+fn fault_for_name(name: &str) {
+    if name == FAULT_PANIC_TASK {
+        panic!("injected fault: task '{FAULT_PANIC_TASK}' requested a worker panic");
+    }
+    if let Some(rest) = name.strip_prefix(FAULT_SLEEP_PREFIX) {
+        if let Ok(ms) = rest.trim_end_matches('_').parse::<u64>() {
+            std::thread::sleep(Duration::from_millis(ms));
         }
     }
 }
@@ -537,12 +580,36 @@ impl Service {
                     Some(timeout) => config.limits.with_deadline(start + timeout),
                     None => config.limits,
                 };
-                if config.fault_injection {
-                    inject_faults(&job.set);
-                }
-                let outcome = analyze_with_meta_in(job.set, &limits, scratch)
-                    .map(|(report, meta)| (Arc::<str>::from(rbs_json::to_string(&report)), meta))
-                    .map_err(|error| SvcError::from_analysis(&error));
+                let outcome = match job.job {
+                    Job::Analyze { set } => {
+                        if config.fault_injection {
+                            inject_faults(&set);
+                        }
+                        analyze_with_meta_in(set, &limits, scratch)
+                            .map(|(report, meta)| {
+                                (Arc::<str>::from(rbs_json::to_string(&report)), meta)
+                            })
+                            .map_err(|error| SvcError::from_analysis(&error))
+                    }
+                    Job::Sweep { grid } => {
+                        if config.fault_injection {
+                            inject_sweep_faults(&grid.specs);
+                        }
+                        run_sweep_in(&grid, &limits, scratch)
+                            .map(|swept| match swept {
+                                Some((report, meta)) => {
+                                    (Arc::<str>::from(rbs_json::to_string(&report)), meta)
+                                }
+                                // No density-feasible x at any y: a stable
+                                // verdict, cacheable like any report.
+                                None => (
+                                    Arc::<str>::from("{\"infeasible\":true}"),
+                                    AnalyzeMeta::default(),
+                                ),
+                            })
+                            .map_err(|error| SvcError::from_analysis(&error))
+                    }
+                };
                 (outcome, elapsed_micros(start))
             })
             .into_iter()
@@ -563,6 +630,8 @@ impl Service {
                     stats.exact_walks += meta.exact_walks;
                     stats.pruned_walks += meta.pruned_walks;
                     stats.avoided_walks += meta.avoided_walks;
+                    stats.reused_components += meta.reused_components;
+                    stats.rebuilt_components += meta.rebuilt_components;
                 }
                 Err(error) => {
                     // Every post-parse failure (limits, timeout, panic) is
@@ -642,16 +711,48 @@ impl Service {
                 });
             }
         }
-        let set = match rbs_json::from_str::<TaskSet>(&request.body) {
-            Ok(set) => set,
+        let parsed = match rbs_json::parse(&request.body) {
+            Ok(value) => value,
             Err(error) => {
                 return Slot::Done(Outcome::Error {
-                    error: SvcError::new(SvcErrorKind::Parse, format!("invalid task set: {error}")),
+                    error: SvcError::new(SvcErrorKind::Parse, format!("invalid request: {error}")),
                     cached: false,
                 });
             }
         };
-        let canonical = CanonicalTaskSet::of(&set);
+        // A request is either a campaign sweep (an object wrapping the
+        // grid under a "sweep" key — impossible for a task-set document,
+        // which is a JSON array) or a plain task set.
+        let (canonical, job) = if let Some(sweep) = parsed.get("sweep") {
+            match SweepGrid::from_json(sweep) {
+                Ok(grid) => (
+                    CanonicalTaskSet::of_sweep(&grid.specs, grid.x, &grid.ys, &grid.speeds),
+                    Job::Sweep { grid },
+                ),
+                Err(error) => {
+                    return Slot::Done(Outcome::Error {
+                        error: SvcError::new(
+                            SvcErrorKind::Parse,
+                            format!("invalid sweep request: {error}"),
+                        ),
+                        cached: false,
+                    });
+                }
+            }
+        } else {
+            match TaskSet::from_json(&parsed) {
+                Ok(set) => (CanonicalTaskSet::of(&set), Job::Analyze { set }),
+                Err(error) => {
+                    return Slot::Done(Outcome::Error {
+                        error: SvcError::new(
+                            SvcErrorKind::Parse,
+                            format!("invalid task set: {error}"),
+                        ),
+                        cached: false,
+                    });
+                }
+            }
+        };
         if let Some(report_json) = self.cache.get(&canonical) {
             stats.cache_hits += 1;
             return Slot::Done(Outcome::Report {
@@ -669,11 +770,11 @@ impl Service {
                 cached: true,
             });
         }
-        let job = *job_of.entry(canonical.bytes().to_vec()).or_insert_with(|| {
-            pending.push(Pending { canonical, set });
+        let slot = *job_of.entry(canonical.bytes().to_vec()).or_insert_with(|| {
+            pending.push(Pending { canonical, job });
             pending.len() - 1
         });
-        Slot::Waiting(job)
+        Slot::Waiting(slot)
     }
 
     /// Serves a single request (a one-element batch).

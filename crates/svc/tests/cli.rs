@@ -211,16 +211,19 @@ fn follow_mode_emits_periodic_footers() {
     assert_eq!(footers, 3, "{stderr}");
 }
 
-/// Extracts `[integer, exact, pruned, avoided]` from a footer's
-/// `walks{integer=.. exact=.. pruned=.. avoided=..}` block.
-fn parse_walks(footer: &str) -> [u64; 4] {
+/// Extracts `[integer, exact, pruned, avoided, reused, rebuilt]` from a
+/// footer's `walks{integer=.. exact=.. pruned=.. avoided=.. reused=..
+/// rebuilt=..}` block.
+fn parse_walks(footer: &str) -> [u64; 6] {
     let start = footer.find("walks{").expect("footer has a walks block") + "walks{".len();
     let body = &footer[start..];
     let body = &body[..body.find('}').expect("walks block closes")];
-    let mut counters = [0u64; 4];
-    for (slot, key) in ["integer=", "exact=", "pruned=", "avoided="]
-        .into_iter()
-        .enumerate()
+    let mut counters = [0u64; 6];
+    for (slot, key) in [
+        "integer=", "exact=", "pruned=", "avoided=", "reused=", "rebuilt=",
+    ]
+    .into_iter()
+    .enumerate()
     {
         let field = body
             .split(' ')
@@ -237,7 +240,13 @@ fn walk_counters_appear_per_response_and_grow_monotonically() {
     let first = daemon.roundtrip(&good_line(5));
     // Fresh reports carry the full per-analysis walk accounting,
     // including the pruning observability counters.
-    for needle in ["\"walks\":{\"integer\":", "\"pruned\":", "\"avoided\":"] {
+    for needle in [
+        "\"walks\":{\"integer\":",
+        "\"pruned\":",
+        "\"avoided\":",
+        "\"reused\":",
+        "\"rebuilt\":",
+    ] {
         assert!(
             first.contains(needle),
             "response must carry {needle}: {first}"
@@ -247,7 +256,7 @@ fn walk_counters_appear_per_response_and_grow_monotonically() {
     let _ = daemon.roundtrip(&good_line(13));
     let (success, stderr) = daemon.drain();
     assert!(success, "{stderr}");
-    let footers: Vec<[u64; 4]> = stderr
+    let footers: Vec<[u64; 6]> = stderr
         .lines()
         .filter(|line| line.starts_with("rbs-svc: served="))
         .map(parse_walks)
@@ -271,6 +280,76 @@ fn walk_counters_appear_per_response_and_grow_monotonically() {
         last[0] + last[1] > 0,
         "three analyses must execute at least one walk: {stderr}"
     );
+}
+
+/// The Table I set as a sweep request over `ys` with a single `s = 2`
+/// probe speed.
+fn sweep_line(ys: &[i128]) -> String {
+    let ys_json = ys
+        .iter()
+        .map(|y| format!("{{\"num\":{y},\"den\":1}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"sweep\":{{\"specs\":[\
+         {{\"name\":\"tau1\",\"criticality\":\"Hi\",\"period\":{{\"num\":5,\"den\":1}},\
+         \"wcet_lo\":{{\"num\":1,\"den\":1}},\"wcet_hi\":{{\"num\":2,\"den\":1}}}},\
+         {{\"name\":\"tau2\",\"criticality\":\"Lo\",\"period\":{{\"num\":10,\"den\":1}},\
+         \"wcet_lo\":{{\"num\":3,\"den\":1}},\"wcet_hi\":{{\"num\":3,\"den\":1}}}}],\
+         \"ys\":[{ys_json}],\
+         \"speeds\":[{{\"num\":2,\"den\":1}}]}}}}"
+    )
+}
+
+#[test]
+fn sweep_requests_answer_the_full_grid_and_reuse_components() {
+    let mut daemon = Follow::spawn(&["--stats-every", "1"]);
+    let first = daemon.roundtrip(&sweep_line(&[1, 2, 3]));
+    // One response carries the whole (y, s) grid plus the component-reuse
+    // accounting of the incremental engine.
+    for needle in [
+        "\"points\":",
+        "\"s_min\":",
+        "\"resetting\":",
+        "\"reused\":",
+        "\"rebuilt\":",
+    ] {
+        assert!(
+            first.contains(needle),
+            "sweep response needs {needle}: {first}"
+        );
+    }
+    // Three grid points on a two-task set: components were reused, not
+    // rebuilt from scratch per point.
+    let reused = first
+        .split("\"reused\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("reused counter parses");
+    assert!(reused > 0, "sweep must reuse components: {first}");
+    // Resubmission hits the positive cache under the sweep canonical form.
+    let second = daemon.roundtrip(&sweep_line(&[1, 2, 3]));
+    assert!(second.contains("\"cached\":true"), "{second}");
+    // A different grid is a different cache entry.
+    let third = daemon.roundtrip(&sweep_line(&[1, 2]));
+    assert!(third.contains("\"cached\":false"), "{third}");
+    // Malformed grids are classified as parse errors.
+    let bad = daemon.roundtrip("{\"sweep\":{\"ys\":[]}}");
+    assert!(bad.contains("\"kind\":\"parse\""), "{bad}");
+    assert!(bad.contains("invalid sweep request"), "{bad}");
+    let (success, stderr) = daemon.drain();
+    assert!(success, "{stderr}");
+    let last = *stderr
+        .lines()
+        .filter(|line| line.starts_with("rbs-svc: served="))
+        .map(parse_walks)
+        .collect::<Vec<_>>()
+        .last()
+        .expect("drain footer present");
+    assert!(last[4] > 0, "footer must aggregate reused: {stderr}");
+    assert!(last[5] > 0, "footer must aggregate rebuilt: {stderr}");
+    assert!(stderr.contains("cache{hits=1"), "{stderr}");
 }
 
 #[test]

@@ -164,6 +164,52 @@ fn a_mixed_poison_batch_is_bit_identical_for_any_worker_count() {
     );
 }
 
+/// A sweep request whose spec names carry a fault-injection marker.
+fn sweep_request(label: &str, marker_name: &str) -> Request {
+    Request {
+        label: label.to_owned(),
+        body: format!(
+            "{{\"sweep\":{{\"specs\":[\
+             {{\"name\":\"{marker_name}\",\"criticality\":\"Hi\",\
+             \"period\":{{\"num\":5,\"den\":1}},\
+             \"wcet_lo\":{{\"num\":1,\"den\":1}},\
+             \"wcet_hi\":{{\"num\":2,\"den\":1}}}}],\
+             \"ys\":[{{\"num\":1,\"den\":1}},{{\"num\":2,\"den\":1}}],\
+             \"speeds\":[{{\"num\":2,\"den\":1}}]}}}}"
+        ),
+    }
+}
+
+#[test]
+fn poisoned_sweep_requests_share_the_error_taxonomy() {
+    // The chaos markers live in spec names for sweeps, so the same
+    // containment (panic, deadline) must classify a poisoned sweep while
+    // a healthy sweep in the same batch is still served.
+    let svc = Service::with_config(WorkerPool::new(4), chaos_config());
+    let batch = vec![
+        sweep_request("ok", "tau1"),
+        sweep_request("boom", FAULT_PANIC_TASK),
+        sweep_request("slow", &format!("{FAULT_SLEEP_PREFIX}50__")),
+        good("plain", 5),
+    ];
+    let (responses, stats) = svc.process_batch(&batch);
+    assert!(matches!(responses[0].outcome, Outcome::Report { .. }));
+    assert_eq!(kind(&responses[1].outcome), Some(SvcErrorKind::Panic));
+    assert_eq!(kind(&responses[2].outcome), Some(SvcErrorKind::Timeout));
+    assert!(matches!(responses[3].outcome, Outcome::Report { .. }));
+    assert_eq!(stats.ok, 2);
+    assert_eq!(stats.errors.panic, 1);
+    assert_eq!(stats.errors.timeout, 1);
+    // The healthy sweep reports the incremental engine's reuse counters.
+    assert!(stats.reused_components > 0, "{stats:?}");
+    assert!(stats.rebuilt_components > 0, "{stats:?}");
+    // Poisoned sweeps are negative-cached like poisoned task sets.
+    let (again, stats) = svc.process_batch(&[sweep_request("boom", FAULT_PANIC_TASK)]);
+    assert_eq!(stats.analyzed, 0);
+    assert_eq!(stats.negative_hits, 1);
+    assert_eq!(kind(&again[0].outcome), Some(SvcErrorKind::Panic));
+}
+
 #[test]
 fn failed_analyses_are_negative_cached() {
     // A zero breakpoint budget fails every analysis deterministically.

@@ -16,8 +16,15 @@
 /// ```
 #[must_use]
 pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    // `%` on 128-bit operands lowers to a library division call, so the
+    // wide Euclid loop runs only until both operands fit in a machine
+    // word — at most a couple of steps, since each remainder is smaller
+    // than the divisor — and the rest uses hardware 64-bit division.
     let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
     while b != 0 {
+        if let (Ok(a64), Ok(b64)) = (u64::try_from(a), u64::try_from(b)) {
+            return i128::from(gcd_u64(a64, b64));
+        }
         let r = a % b;
         a = b;
         b = r;
@@ -26,6 +33,15 @@ pub fn gcd_i128(a: i128, b: i128) -> i128 {
     // that magnitude can only arise from inputs that were already out of the
     // range this crate produces (denominators are kept positive and reduced).
     i128::try_from(a).expect("gcd magnitude exceeds i128::MAX")
+}
+
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
 }
 
 /// Returns the least common multiple of the absolute values of `a` and `b`,

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Poison-pill smoke test for rbs-svc: pipe a batch mixing healthy,
-# malformed, panicking, timed-out, and oversized requests through the
-# release binary and assert (a) the exit status, (b) one classified
-# JSONL response per request in submission order, and (c) the footer
-# taxonomy counters. Mirrors crates/svc/tests/cli.rs but exercises the
+# malformed, panicking, timed-out, and oversized requests — task sets
+# and campaign sweeps — through the release binary and assert (a) the
+# exit status, (b) one classified JSONL response per request in
+# submission order, and (c) the footer taxonomy and component-reuse
+# counters. Mirrors crates/svc/tests/cli.rs but exercises the
 # shipped binary exactly as CI consumers would.
 set -u
 
@@ -17,6 +18,15 @@ good() {
     # One LO task with the given period; distinct periods = distinct sets.
     printf '[{"name":"%s","criticality":"Lo","lo":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}},"hi":{"Continue":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}}}}]' \
         "$1" "$2" "$2" "$2" "$2"
+}
+
+sweep() {
+    # A two-spec campaign sweep over a 2x2 (y, s) grid, answered by the
+    # incremental sweep engine; as for good(), distinct HI-task periods
+    # keep canonical grids distinct, and fault markers live in the HI
+    # spec's name.
+    printf '{"sweep":{"specs":[{"name":"%s","criticality":"Hi","period":{"num":%s,"den":1},"wcet_lo":{"num":1,"den":1},"wcet_hi":{"num":2,"den":1}},{"name":"bg","criticality":"Lo","period":{"num":4,"den":1},"wcet_lo":{"num":1,"den":1},"wcet_hi":{"num":1,"den":1}}],"ys":[{"num":1,"den":1},{"num":2,"den":1}],"speeds":[{"num":2,"den":1},{"num":3,"den":1}]}}' \
+        "$1" "$2"
 }
 
 workdir="$(mktemp -d)"
@@ -33,6 +43,10 @@ trap 'rm -rf "$workdir"' EXIT
     printf 'z%.0s' $(seq 1 8192)
     echo
     good w 9
+    echo
+    sweep grid 5
+    echo
+    sweep __rbs_fault_panic__ 7
     echo
 } > "$workdir/batch.jsonl"
 
@@ -56,8 +70,8 @@ check() { # check <description> <command...>
 check "poison batch exits non-zero" test "$status" -ne 0
 
 # One response per request, in submission order.
-check "six responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 6
-for seq in 0 1 2 3 4 5; do
+check "eight responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 8
+for seq in 0 1 2 3 4 5 6 7; do
     line="$(sed -n "$((seq + 1))p" "$workdir/out.jsonl")"
     check "seq $seq in order" \
         sh -c "printf '%s' '$line' | grep -q '^{\"seq\":$seq,'"
@@ -73,11 +87,19 @@ expect_line 3 '"kind":"panic"'
 expect_line 4 '"kind":"timeout"'
 expect_line 5 '"kind":"oversized"'
 expect_line 6 '"report":'
+# The healthy sweep answers the whole grid and reports component reuse;
+# the poisoned sweep is contained exactly like a poisoned task set.
+expect_line 7 '"points":'
+expect_line 7 '"reused":[1-9]'
+expect_line 8 '"kind":"panic"'
 
-# The footer reports the full taxonomy.
+# The footer reports the full taxonomy plus the sweep engine's
+# component-reuse split.
 check "footer taxonomy" \
-    grep -q 'errors{total=4 parse=1 limits=0 timeout=1 panic=1 oversized=1}' \
+    grep -q 'errors{total=5 parse=1 limits=0 timeout=1 panic=2 oversized=1}' \
     "$workdir/footer.txt"
+check "footer component reuse" \
+    grep -Eq 'reused=[1-9][0-9]* rebuilt=[1-9]' "$workdir/footer.txt"
 
 if [ "$fail" -ne 0 ]; then
     echo "--- stdout ---" >&2

@@ -1,0 +1,125 @@
+//! Per-connection state: nonblocking reads through the shared
+//! [`LineFramer`], a bounded output queue, and the counters the event
+//! loop uses for backpressure decisions.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use rbs_svc::LineFramer;
+
+/// One accepted client connection.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    /// Shared byte-capped newline framing — identical to the stdin
+    /// paths, which is what makes socket responses diffable against
+    /// them.
+    pub(crate) framer: LineFramer,
+    /// Physical wire lines seen (blank lines included) — the response
+    /// label counter, mirroring `stdin:N`.
+    pub(crate) line_no: u64,
+    /// Next per-connection sequence number (blank lines don't consume
+    /// one, mirroring the stream path).
+    pub(crate) next_seq: u64,
+    /// Requests submitted to the dispatcher and not yet answered.
+    pub(crate) in_flight: usize,
+    /// Whether the peer half-closed its sending side.
+    pub(crate) read_closed: bool,
+    /// Whether the framer's final unterminated line (if any) has been
+    /// flushed after end-of-stream — a partial last line still counts as
+    /// a request, mirroring the stream path.
+    pub(crate) eof_flushed: bool,
+    out: VecDeque<Vec<u8>>,
+    out_bytes: usize,
+    front_written: usize,
+}
+
+impl Conn {
+    /// Wraps an accepted stream: nonblocking, Nagle off (responses are
+    /// latency-sensitive single lines), fresh framer at `cap`.
+    pub(crate) fn new(stream: TcpStream, cap: Option<usize>) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        // Best-effort: some platforms refuse NODELAY on edge states.
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            framer: LineFramer::new(cap),
+            line_no: 0,
+            next_seq: 0,
+            in_flight: 0,
+            read_closed: false,
+            eof_flushed: false,
+            out: VecDeque::new(),
+            out_bytes: 0,
+            front_written: 0,
+        })
+    }
+
+    /// Reads until `WouldBlock` or end-of-stream, feeding the framer.
+    /// Returns whether the peer closed its sending side.
+    pub(crate) fn pump_read(&mut self, scratch: &mut [u8]) -> io::Result<bool> {
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return Ok(true);
+                }
+                Ok(n) => self.framer.push(&scratch[..n]),
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
+    /// Queues one response line (newline appended) for writing.
+    pub(crate) fn enqueue(&mut self, mut line: String) {
+        line.push('\n');
+        let bytes = line.into_bytes();
+        self.out_bytes += bytes.len();
+        self.out.push_back(bytes);
+    }
+
+    /// Writes queued bytes until `WouldBlock` or the queue empties.
+    pub(crate) fn pump_write(&mut self) -> io::Result<()> {
+        while let Some(front) = self.out.front() {
+            match self.stream.write(&front[self.front_written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.front_written += n;
+                    self.out_bytes -= n;
+                    if self.front_written == front.len() {
+                        self.front_written = 0;
+                        self.out.pop_front();
+                    }
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(error) => return Err(error),
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether queued output remains to flush.
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Unflushed response bytes — the output-pressure gauge.
+    pub(crate) fn queued_bytes(&self) -> usize {
+        self.out_bytes
+    }
+
+    /// Whether nothing remains for this connection: peer done sending
+    /// (final partial line flushed), no analysis in flight, all framed
+    /// lines consumed, all responses flushed.
+    pub(crate) fn finished(&self) -> bool {
+        self.read_closed
+            && self.eof_flushed
+            && self.in_flight == 0
+            && self.out.is_empty()
+            && !self.framer.has_line()
+    }
+}

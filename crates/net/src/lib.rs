@@ -1,0 +1,39 @@
+//! `rbs-net`: a dependency-free TCP admission front-end for the
+//! `rbs-svc` service.
+//!
+//! The crate puts the existing [`rbs_svc::Service`] — canonical-form
+//! caching, deterministic worker pool, panic containment, deadlines,
+//! negative caching — behind a TCP listener without adding a single
+//! external dependency:
+//!
+//! * [`poller`] is a hand-rolled readiness layer: nonblocking
+//!   `std::net` sockets plus a thin `poll(2)` shim (the one audited
+//!   `unsafe` block in the workspace), with a portable timed-tick
+//!   fallback off unix.
+//! * [`server`] is the event loop and dispatcher: one thread owns every
+//!   socket and frames lines through the same
+//!   [`rbs_svc::LineFramer`] as the stdin paths; a second thread
+//!   micro-batches requests into [`rbs_svc::Service::process_batch`],
+//!   so N concurrent clients saturate the whole pool and responses stay
+//!   bit-identical to the batch and `--follow` paths.
+//! * Load is shed, never queued unboundedly: per-connection in-flight
+//!   requests beyond [`NetConfig::queue_depth`] are answered in-band
+//!   with an `overload` error, response bytes beyond
+//!   [`NetConfig::max_output_bytes`] pause that connection's reads
+//!   (letting TCP push back), and connections beyond
+//!   [`NetConfig::max_connections`] get one `overload` line and a
+//!   close.
+//!
+//! The `rbs-netd` binary wraps [`Server`] with the same flag set as
+//! `rbs-svc` plus the network tunables, drains gracefully when its
+//! stdin closes, and doubles as a line-oriented test client
+//! (`--connect`).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conn;
+pub mod poller;
+pub mod server;
+
+pub use server::{NetConfig, Server};

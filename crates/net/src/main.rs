@@ -1,0 +1,284 @@
+//! `rbs-netd` binary: the TCP admission front-end (`--listen`) and a
+//! line-oriented test client (`--connect`) in one executable.
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::ExitCode;
+use std::thread;
+use std::time::Duration;
+
+use rbs_net::{NetConfig, Server};
+use rbs_svc::{Service, ServiceConfig, WorkerPool};
+
+const USAGE: &str = "\
+usage: rbs-netd --listen ADDR [options]
+       rbs-netd --connect ADDR [INPUT]
+
+server mode (--listen):
+  Serve the rbs-svc admission-control protocol over TCP: every
+  newline-delimited request on a connection is answered with one JSON
+  response line carrying a per-connection monotonic \"seq\" (responses
+  to concurrent requests may interleave; sort by seq). Requests from
+  all connections share one worker pool and one result cache, so
+  responses are bit-identical to `rbs-svc` batch/--follow output.
+  Listens until stdin reaches end-of-file, then drains gracefully:
+  stops accepting and reading, answers everything in flight, flushes,
+  and prints the cumulative footer to stderr. Bind port 0 for an
+  ephemeral port; the resolved address is printed to stderr and, with
+  --port-file, written to a file for scripts to discover.
+
+  Overload is shed in-band, never queued unboundedly: requests beyond
+  --queue-depth per connection (and connections beyond --max-conns)
+  are answered with {\"error\":{\"kind\":\"overload\",...}}.
+
+client mode (--connect):
+  Send INPUT ('-' = stdin, default, or a file) to a server, print
+  response lines to stdout, half-close after the last line, and exit
+  non-zero if any response is an error line — mirroring `rbs-svc`
+  batch mode.
+
+options (server mode):
+  --port-file PATH       write the resolved listen address to PATH
+  --queue-depth N        per-connection in-flight bound before shedding
+                         (default: 64)
+  --max-conns N          connection bound before shedding (default: 1024)
+  --batch-max N          dispatcher micro-batch bound (default: 256)
+  --jobs N               worker threads (default: available parallelism)
+  --cache-size N         cached reports across shards (default: 1024; 0 disables)
+  --neg-cache-size N     cached failed outcomes (default: 256; 0 disables)
+  --timeout-ms N         per-request analysis deadline (default: 0 = none)
+  --max-request-bytes N  truncate longer request lines on the wire and
+                         reject them as oversized (default: 0 = unlimited)
+  --stats-every N        print the cumulative footer to stderr every N
+                         requests (default: 0 = only at drain)
+  --fault-injection      honor chaos-testing task-name markers
+                         (__rbs_fault_panic__, __rbs_fault_sleep_ms_N__)
+";
+
+enum Mode {
+    Listen(String),
+    Connect { addr: String, input: String },
+}
+
+struct Args {
+    mode: Mode,
+    jobs: Option<usize>,
+    stats_every: usize,
+    port_file: Option<String>,
+    net: NetConfig,
+    config: ServiceConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
+    let mut mode = None;
+    let mut input = None;
+    let mut parsed = Args {
+        mode: Mode::Listen(String::new()), // replaced below
+        jobs: None,
+        stats_every: 0,
+        port_file: None,
+        net: NetConfig::default(),
+        config: ServiceConfig::default(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--fault-injection" => {
+                parsed.config.fault_injection = true;
+                i += 1;
+            }
+            flag @ ("--listen" | "--connect" | "--port-file") => {
+                let Some(value) = args.get(i + 1) else {
+                    return Err(format!("{flag} requires a value"));
+                };
+                match flag {
+                    "--listen" => mode = Some(Mode::Listen(value.clone())),
+                    "--connect" => {
+                        mode = Some(Mode::Connect {
+                            addr: value.clone(),
+                            input: String::new(), // patched below
+                        });
+                    }
+                    _ => parsed.port_file = Some(value.clone()),
+                }
+                i += 2;
+            }
+            flag @ ("--jobs"
+            | "--queue-depth"
+            | "--max-conns"
+            | "--batch-max"
+            | "--cache-size"
+            | "--neg-cache-size"
+            | "--timeout-ms"
+            | "--max-request-bytes"
+            | "--stats-every") => {
+                let Some(value) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                    return Err(format!("{flag} requires a non-negative integer"));
+                };
+                match flag {
+                    "--jobs" => parsed.jobs = Some(value),
+                    "--queue-depth" => parsed.net.queue_depth = value.max(1),
+                    "--max-conns" => parsed.net.max_connections = value.max(1),
+                    "--batch-max" => parsed.net.batch_max = value.max(1),
+                    "--cache-size" => parsed.config.cache_capacity = value,
+                    "--neg-cache-size" => parsed.config.negative_cache_capacity = value,
+                    "--timeout-ms" => {
+                        parsed.config.timeout =
+                            (value > 0).then(|| Duration::from_millis(value as u64));
+                    }
+                    "--max-request-bytes" => {
+                        parsed.config.max_request_bytes = (value > 0).then_some(value);
+                    }
+                    "--stats-every" => parsed.stats_every = value,
+                    _ => unreachable!("covered by the outer match"),
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => {
+                input = Some(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    match mode {
+        Some(Mode::Listen(addr)) => {
+            if input.is_some() {
+                return Err("INPUT is only meaningful with --connect".to_owned());
+            }
+            parsed.mode = Mode::Listen(addr);
+            Ok(Some(parsed))
+        }
+        Some(Mode::Connect { addr, .. }) => {
+            parsed.mode = Mode::Connect {
+                addr,
+                input: input.unwrap_or_else(|| "-".to_owned()),
+            };
+            Ok(Some(parsed))
+        }
+        None => Err("one of --listen or --connect is required".to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.mode {
+        Mode::Listen(ref addr) => run_listen(addr, &args),
+        Mode::Connect {
+            ref addr,
+            ref input,
+        } => run_connect(addr, input),
+    }
+}
+
+/// Server mode: bind, serve until stdin closes, drain, footer, exit
+/// zero. Per-request failures are in-band (mirroring `--follow`); only
+/// setup failures don't.
+fn run_listen(addr: &str, args: &Args) -> ExitCode {
+    let mut net = args.net;
+    net.stats_every = args.stats_every;
+    let pool = match args.jobs {
+        Some(n) => WorkerPool::new(n),
+        None => WorkerPool::with_available_parallelism(),
+    };
+    let service = Service::with_config(pool, args.config);
+    let jobs = service.jobs();
+    let server = match Server::bind(addr, service, net, move |stats| {
+        eprintln!("{}", stats.footer(jobs));
+    }) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("rbs-netd: cannot listen on {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("rbs-netd: listening on {}", server.addr());
+    if let Some(path) = &args.port_file {
+        if let Err(error) = fs::write(path, format!("{}\n", server.addr())) {
+            eprintln!("rbs-netd: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // The shutdown signal is stdin end-of-file — the same graceful-drain
+    // contract as `rbs-svc --follow`, with no signal handling needed.
+    let drained = io::copy(&mut io::stdin().lock(), &mut io::sink());
+    if let Err(error) = drained {
+        eprintln!("rbs-netd: stdin read error: {error}");
+    }
+    match server.shutdown() {
+        Ok(_stats) => ExitCode::SUCCESS, // the footer came via the callback
+        Err(error) => {
+            eprintln!("rbs-netd: event loop failed: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Client mode: stream INPUT to the server while a reader thread prints
+/// response lines, half-close after the last request, and exit like
+/// `rbs-svc` batch mode (non-zero if any response is an error line).
+fn run_connect(addr: &str, input: &str) -> ExitCode {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(error) => {
+            eprintln!("rbs-netd: cannot connect to {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let receiving = match stream.try_clone() {
+        Ok(stream) => stream,
+        Err(error) => {
+            eprintln!("rbs-netd: cannot clone socket: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Drain responses concurrently so a large burst can't deadlock both
+    // sides on full socket buffers.
+    let reader = thread::spawn(move || {
+        let mut failed = false;
+        let stdout = io::stdout();
+        let mut out = stdout.lock();
+        for line in BufReader::new(receiving).lines() {
+            let Ok(line) = line else { break };
+            failed |= line.contains("\"error\":{");
+            if writeln!(out, "{line}").is_err() {
+                return true; // stdout gone: report failure
+            }
+        }
+        let _ = out.flush();
+        failed
+    });
+    let sent = match input {
+        "-" => io::copy(&mut io::stdin().lock(), &mut stream),
+        path => fs::File::open(path).and_then(|mut file| io::copy(&mut file, &mut stream)),
+    };
+    if let Err(error) = sent {
+        eprintln!("rbs-netd: cannot send {input}: {error}");
+        return ExitCode::FAILURE;
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    match reader.join() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(_) => {
+            eprintln!("rbs-netd: response reader panicked");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The TCP admission front-end: one event-loop thread owning all
+//! sockets, one dispatcher thread fanning micro-batches into the
+//! existing [`Service`] worker pool.
+//!
+//! Division of labor:
+//!
+//! * The **event loop** accepts connections, pumps nonblocking reads
+//!   through the shared [`rbs_svc::LineFramer`], assigns monotonic
+//!   per-connection sequence numbers, enforces both per-connection
+//!   bounds (in-flight requests shed in-band as `overload`; queued
+//!   output bytes pause further reads — TCP backpressure), flushes
+//!   responses, and reaps finished connections. It never parses or
+//!   analyzes anything, so no request — however poisonous — can stall
+//!   I/O for the other clients.
+//! * The **dispatcher** drains the job channel into micro-batches and
+//!   runs them through [`Service::process_batch`] — the same triage /
+//!   pooled-analysis / cache-fill pipeline as the batch and stream
+//!   paths, with the same shared positive and negative caches, panic
+//!   containment, deadlines, and duplicate coalescing. One batch
+//!   saturates every worker core regardless of how many sockets the
+//!   requests arrived on.
+//!
+//! Responses are rendered [`rbs_svc::Response`] lines with `seq`
+//! rewritten to the connection's own counter; within a connection they
+//! are generated in submission order (single FIFO dispatcher), while
+//! shed `overload` verdicts may overtake them — clients sort by `seq`.
+//! Shutdown is a graceful drain: stop accepting and reading, finish
+//! every in-flight analysis, flush every queued response, then report
+//! the cumulative [`BatchStats`] footer.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use rbs_svc::{BatchStats, Request, Response, Service, SvcError, SvcErrorKind};
+
+use crate::conn::Conn;
+use crate::poller::{Event, Interest, Poller, WakeHandle, WakeSource, Watch};
+
+/// Tunables of the network front-end beyond the wrapped service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Maximum in-flight analyses per connection; further complete lines
+    /// are shed in-band as `overload` errors instead of queueing.
+    pub queue_depth: usize,
+    /// Maximum unflushed response bytes per connection; beyond it the
+    /// connection's reads pause until the client drains its socket.
+    pub max_output_bytes: usize,
+    /// Maximum simultaneous connections; excess accepts are answered
+    /// with a single `overload` line and closed.
+    pub max_connections: usize,
+    /// Maximum requests per dispatcher micro-batch.
+    pub batch_max: usize,
+    /// Emit the cumulative footer every N served requests (0 = only at
+    /// drain).
+    pub stats_every: usize,
+    /// Hard cap on the graceful drain: connections whose clients stop
+    /// reading are dropped once it elapses.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            queue_depth: 64,
+            max_output_bytes: 1 << 20,
+            max_connections: 1024,
+            batch_max: 256,
+            stats_every: 0,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One framed request travelling to the dispatcher.
+struct Job {
+    conn: u64,
+    seq: u64,
+    request: Request,
+}
+
+/// What the dispatcher sends back.
+enum Done {
+    Response { conn: u64, line: String },
+    Stats(BatchStats),
+}
+
+/// A running network front-end; dropping it without calling
+/// [`Server::shutdown`] detaches the threads.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    wake: WakeHandle,
+    thread: JoinHandle<io::Result<BatchStats>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the event loop and dispatcher. `footer` observes the
+    /// cumulative stats every [`NetConfig::stats_every`] requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/socketpair failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Service,
+        config: NetConfig,
+        footer: impl FnMut(&BatchStats) + Send + 'static,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (wake, wake_source) = WakeSource::pair()?;
+        let loop_shutdown = Arc::clone(&shutdown);
+        let loop_wake = wake.clone();
+        let thread = thread::Builder::new()
+            .name("rbs-net-loop".to_owned())
+            .spawn(move || {
+                event_loop(
+                    &listener,
+                    &service,
+                    config,
+                    &loop_shutdown,
+                    loop_wake,
+                    wake_source,
+                    footer,
+                )
+            })?;
+        Ok(Server {
+            addr,
+            shutdown,
+            wake,
+            thread,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates the graceful drain and waits for it: stop accepting
+    /// and reading, finish in-flight analyses, flush queued responses,
+    /// return the cumulative stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-loop I/O failures (a poll or accept error that
+    /// ended the loop early).
+    pub fn shutdown(self) -> io::Result<BatchStats> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake.wake();
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("event loop panicked")),
+        }
+    }
+}
+
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKER: usize = 1;
+const TOKEN_BASE: usize = 2;
+
+/// The poll tick: wakeups make completions event-driven, the tick is
+/// only a safety net (and the fallback backend's clock).
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+fn overload_response(seq: u64, label: String, detail: String) -> String {
+    Response {
+        seq: usize::try_from(seq).unwrap_or(usize::MAX),
+        label,
+        micros: 0,
+        outcome: rbs_svc::Outcome::Error {
+            error: SvcError::new(SvcErrorKind::Overload, detail),
+            cached: false,
+        },
+    }
+    .render()
+}
+
+/// The dispatcher: drain the job channel into micro-batches, run them
+/// through the shared service, send rendered responses (with the
+/// connection's own `seq`) and the batch counters back, wake the loop.
+fn dispatcher(
+    service: &Service,
+    jobs: &mpsc::Receiver<Job>,
+    done: &mpsc::Sender<Done>,
+    wake: &WakeHandle,
+    batch_max: usize,
+) {
+    while let Ok(first) = jobs.recv() {
+        let mut batch = vec![first];
+        while batch.len() < batch_max.max(1) {
+            match jobs.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        let requests: Vec<Request> = batch.iter().map(|job| job.request.clone()).collect();
+        let (responses, stats) = service.process_batch(&requests);
+        for (job, mut response) in batch.into_iter().zip(responses) {
+            response.seq = usize::try_from(job.seq).unwrap_or(usize::MAX);
+            if done
+                .send(Done::Response {
+                    conn: job.conn,
+                    line: response.render(),
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+        if done.send(Done::Stats(stats)).is_err() {
+            return;
+        }
+        wake.wake();
+    }
+}
+
+/// Everything the event loop threads through its helpers.
+struct Loop {
+    config: NetConfig,
+    conns: HashMap<u64, Conn>,
+    cumulative: BatchStats,
+    job_tx: Option<mpsc::Sender<Job>>,
+    draining: bool,
+}
+
+impl Loop {
+    /// Consumes framed lines from `conn`: blank lines are skipped,
+    /// excess lines beyond the in-flight bound are shed in-band as
+    /// `overload`, the rest go to the dispatcher. Stops while the
+    /// connection's output queue is over its byte bound (backpressure)
+    /// and flushes the final partial line once the peer half-closes.
+    fn process_lines(&mut self, id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.queued_bytes() >= self.config.max_output_bytes {
+                return; // paused: resume when the client drains output
+            }
+            let line = match conn.framer.pop() {
+                Some(line) => line,
+                None if conn.read_closed && !conn.eof_flushed => {
+                    conn.eof_flushed = true;
+                    match conn.framer.finish() {
+                        Some(line) => line,
+                        None => return,
+                    }
+                }
+                None => return,
+            };
+            conn.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let label = format!("net:{}", conn.line_no);
+            if conn.in_flight >= self.config.queue_depth {
+                let detail = format!(
+                    "connection queue full ({} in flight, depth {})",
+                    conn.in_flight, self.config.queue_depth
+                );
+                conn.enqueue(overload_response(seq, label, detail));
+                self.shed();
+                continue;
+            }
+            conn.in_flight += 1;
+            let job = Job {
+                conn: id,
+                seq,
+                request: Request { label, body: line },
+            };
+            if let Some(tx) = &self.job_tx {
+                // The dispatcher outlives the loop body; a send failure
+                // means it died, which surfaces as a stalled drain.
+                let _ = tx.send(job);
+            }
+        }
+    }
+
+    /// Counts one shed request in the cumulative footer stats.
+    fn shed(&mut self) {
+        self.cumulative.served += 1;
+        self.cumulative.errors.bump(SvcErrorKind::Overload);
+        self.cumulative.latencies_micros.push(0);
+    }
+
+    /// Routes one dispatcher completion to its connection (dropped if
+    /// the connection died in the meantime).
+    fn route(&mut self, conn: u64, line: String) {
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.in_flight = c.in_flight.saturating_sub(1);
+            c.enqueue(line);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn event_loop(
+    listener: &TcpListener,
+    service: &Service,
+    config: NetConfig,
+    shutdown: &AtomicBool,
+    wake: WakeHandle,
+    mut wake_source: WakeSource,
+    mut footer: impl FnMut(&BatchStats),
+) -> io::Result<BatchStats> {
+    listener.set_nonblocking(true)?;
+    let cap = service.config().max_request_bytes;
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let dispatcher_service = service.clone();
+    let dispatcher_wake = wake.clone();
+    let batch_max = config.batch_max;
+    let dispatcher = thread::Builder::new()
+        .name("rbs-net-dispatch".to_owned())
+        .spawn(move || {
+            dispatcher(
+                &dispatcher_service,
+                &job_rx,
+                &done_tx,
+                &dispatcher_wake,
+                batch_max,
+            );
+        })?;
+
+    let mut state = Loop {
+        config,
+        conns: HashMap::new(),
+        cumulative: BatchStats::default(),
+        job_tx: Some(job_tx),
+        draining: false,
+    };
+    let mut next_id: u64 = 0;
+    let mut poller = Poller::new();
+    let mut watches: Vec<Watch> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut last_footer = 0usize;
+    let mut drain_started: Option<Instant> = None;
+
+    let stats = loop {
+        // 1. Absorb dispatcher completions.
+        for done in done_rx.try_iter() {
+            match done {
+                Done::Response { conn, line } => state.route(conn, line),
+                Done::Stats(stats) => state.cumulative.absorb(&stats),
+            }
+        }
+        if config.stats_every > 0 && state.cumulative.served >= last_footer + config.stats_every {
+            footer(&state.cumulative);
+            last_footer = state.cumulative.served;
+        }
+
+        // 2. Enter drain mode on the shutdown flag.
+        if shutdown.load(Ordering::SeqCst) && !state.draining {
+            state.draining = true;
+            drain_started = Some(Instant::now());
+        }
+
+        // 3. Resume paused connections: queued framer lines whose output
+        //    budget freed up, and the final partial line after EOF.
+        let ids: Vec<u64> = state.conns.keys().copied().collect();
+        for id in &ids {
+            state.process_lines(*id);
+        }
+
+        // 4. Flush output opportunistically and reap finished or broken
+        //    connections.
+        state.conns.retain(|_, conn| {
+            if conn.wants_write() && conn.pump_write().is_err() {
+                return false; // peer gone; in-flight results are dropped on arrival
+            }
+            !conn.finished()
+        });
+        if state.draining {
+            // Stop reading: every connection drains once its in-flight
+            // analyses come back and its output flushes.
+            state.conns.retain(|_, conn| {
+                conn.read_closed = true;
+                let expired =
+                    drain_started.is_some_and(|start| start.elapsed() >= config.drain_timeout);
+                !(conn.finished() || (expired && conn.in_flight == 0))
+            });
+            if state.conns.is_empty() {
+                // 5. All sockets done: retire the dispatcher and absorb
+                //    its remaining counters.
+                state.job_tx = None;
+                for done in done_rx.iter() {
+                    if let Done::Stats(stats) = done {
+                        state.cumulative.absorb(&stats);
+                    }
+                }
+                let _ = dispatcher.join();
+                break state.cumulative;
+            }
+        }
+
+        // 6. Build this iteration's watch list. The listener stays
+        //    watched even at the connection cap: excess connections must
+        //    be accepted to be shed in-band (one overload line + close)
+        //    rather than languishing unanswered in the backlog.
+        watches.clear();
+        if !state.draining {
+            watches.push(Watch::new(TOKEN_LISTENER, listener, Interest::READ));
+        }
+        watches.push(wake_source.watch(TOKEN_WAKER));
+        for (id, conn) in &state.conns {
+            let token = TOKEN_BASE + usize::try_from(*id).unwrap_or(0);
+            let readable = !state.draining
+                && !conn.read_closed
+                && conn.queued_bytes() < config.max_output_bytes;
+            let interest = match (readable, conn.wants_write()) {
+                (true, true) => Interest::BOTH,
+                (true, false) => Interest::READ,
+                (false, true) => Interest::WRITE,
+                (false, false) => continue, // waiting on the dispatcher
+            };
+            watches.push(Watch::new(token, &conn.stream, interest));
+        }
+
+        // 7. Wait for readiness (or a wakeup, or the tick).
+        poller.poll(&watches, POLL_TICK, &mut events)?;
+
+        // 8. Handle socket events.
+        for event in &events {
+            match event.token {
+                TOKEN_WAKER => wake_source.drain(),
+                TOKEN_LISTENER => loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let Ok(mut conn) = Conn::new(stream, cap) else {
+                                continue;
+                            };
+                            if state.conns.len() >= config.max_connections {
+                                // Shed the whole connection in-band: one
+                                // overload line, then close after flush.
+                                conn.read_closed = true;
+                                conn.eof_flushed = true;
+                                conn.enqueue(overload_response(
+                                    0,
+                                    "net:0".to_owned(),
+                                    format!(
+                                        "connection limit reached ({})",
+                                        config.max_connections
+                                    ),
+                                ));
+                                state.shed();
+                            }
+                            state.conns.insert(next_id, conn);
+                            next_id += 1;
+                        }
+                        Err(error) if error.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => break, // transient accept failure; retry next tick
+                    }
+                },
+                token => {
+                    let id = u64::try_from(token - TOKEN_BASE).unwrap_or(u64::MAX);
+                    let Some(conn) = state.conns.get_mut(&id) else {
+                        continue;
+                    };
+                    if event.error {
+                        state.conns.remove(&id);
+                        continue;
+                    }
+                    if event.readable && !conn.read_closed {
+                        match conn.pump_read(&mut scratch) {
+                            Ok(_eof) => state.process_lines(id),
+                            Err(_) => {
+                                state.conns.remove(&id);
+                                continue;
+                            }
+                        }
+                    }
+                    if let Some(conn) = state.conns.get_mut(&id) {
+                        if event.writable && conn.wants_write() && conn.pump_write().is_err() {
+                            state.conns.remove(&id);
+                        }
+                    }
+                }
+            }
+        }
+    };
+    footer(&stats);
+    Ok(stats)
+}

@@ -1,0 +1,144 @@
+//! Load-shedding behavior of the TCP front-end: a full per-connection
+//! queue sheds in-band with `overload` errors *without stalling the
+//! event loop*, and the connection cap sheds whole connections the same
+//! way.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use rbs_net::{NetConfig, Server};
+use rbs_svc::{Service, ServiceConfig, WorkerPool};
+
+/// One LO task with the given name and unit parameters — a healthy,
+/// analyzable set (the name may carry a fault-injection marker).
+fn task_set(name: &str) -> String {
+    format!(
+        concat!(
+            "[{{\"name\":\"{}\",\"criticality\":\"Lo\",",
+            "\"lo\":{{\"period\":{{\"num\":5,\"den\":1}},",
+            "\"deadline\":{{\"num\":5,\"den\":1}},",
+            "\"wcet\":{{\"num\":1,\"den\":1}}}},",
+            "\"hi\":{{\"Continue\":{{\"period\":{{\"num\":5,\"den\":1}},",
+            "\"deadline\":{{\"num\":5,\"den\":1}},",
+            "\"wcet\":{{\"num\":1,\"den\":1}}}}}}}}]"
+        ),
+        name
+    )
+}
+
+fn service() -> Service {
+    Service::with_config(
+        WorkerPool::new(2),
+        ServiceConfig {
+            fault_injection: true,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+#[test]
+fn full_connection_queue_sheds_in_band_without_stalling_the_loop() {
+    let config = NetConfig {
+        queue_depth: 1,
+        batch_max: 1,
+        ..NetConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", service(), config, |_| {}).expect("binds");
+
+    // One write delivers a slow request (holds the single-slot queue for
+    // two seconds) plus four fast ones. The loop must shed the four
+    // in-band while the analysis sleeps — their responses arriving
+    // *before* the slow one proves the event loop never blocked on it.
+    let mut client = TcpStream::connect(server.addr()).expect("connects");
+    let mut burst = task_set("__rbs_fault_sleep_ms_2000__");
+    burst.push('\n');
+    for _ in 0..4 {
+        burst.push_str("not json\n");
+    }
+    client.write_all(burst.as_bytes()).expect("sends burst");
+    client.shutdown(Shutdown::Write).expect("half-closes");
+
+    let lines: Vec<String> = BufReader::new(&client)
+        .lines()
+        .map(|line| line.expect("reads response"))
+        .collect();
+    assert_eq!(lines.len(), 5, "{lines:#?}");
+
+    // Arrival order: the four shed responses first, the slow report last.
+    for line in &lines[..4] {
+        assert!(line.contains("\"kind\":\"overload\""), "{line}");
+    }
+    assert!(lines[4].contains("\"report\":"), "{}", lines[4]);
+    assert!(lines[4].starts_with("{\"seq\":0,"), "{}", lines[4]);
+
+    // Every seq 0..5 answered exactly once.
+    let mut seqs: Vec<usize> = lines
+        .iter()
+        .map(|line| {
+            let rest = line.strip_prefix("{\"seq\":").expect("seq-first line");
+            rest[..rest.find(',').expect("comma")].parse().expect("seq")
+        })
+        .collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+
+    let stats = server.shutdown().expect("drains");
+    assert_eq!(stats.served, 5);
+    assert_eq!(stats.ok, 1);
+    assert_eq!(stats.errors.overload, 4);
+    assert_eq!(stats.errors.total(), 4);
+}
+
+#[test]
+fn connections_beyond_the_cap_get_one_overload_line_and_a_close() {
+    let config = NetConfig {
+        max_connections: 1,
+        ..NetConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", service(), config, |_| {}).expect("binds");
+
+    // The first connection occupies the only slot. A full round trip
+    // before the second connects guarantees the occupant was accepted in
+    // its own event-loop pass — the regression this test pins is the
+    // listener dropping out of the watch list once the cap is reached,
+    // which left later connections unanswered in the backlog.
+    let mut occupant = TcpStream::connect(server.addr()).expect("first connects");
+    occupant.write_all(b"warmup not json\n").expect("sends");
+    let mut occupant_reader = BufReader::new(occupant.try_clone().expect("clones"));
+    let mut warmup = String::new();
+    occupant_reader
+        .read_line(&mut warmup)
+        .expect("warmup answer");
+    assert!(warmup.contains("\"kind\":\"parse\""), "{warmup}");
+
+    // The second is shed: exactly one in-band overload line, then EOF.
+    let excess = TcpStream::connect(server.addr()).expect("second connects");
+    excess
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("sets timeout");
+    let lines: Vec<String> = BufReader::new(&excess)
+        .lines()
+        .map(|line| line.expect("reads response"))
+        .collect();
+    assert_eq!(lines.len(), 1, "{lines:#?}");
+    assert!(lines[0].contains("\"kind\":\"overload\""), "{}", lines[0]);
+    assert!(lines[0].contains("connection limit"), "{}", lines[0]);
+
+    // The occupant still works after the shed.
+    occupant
+        .write_all(b"still not json\n")
+        .expect("sends request");
+    occupant.shutdown(Shutdown::Write).expect("half-closes");
+    let answers: Vec<String> = occupant_reader
+        .lines()
+        .map(|line| line.expect("reads response"))
+        .collect();
+    assert_eq!(answers.len(), 1, "{answers:#?}");
+    assert!(answers[0].contains("\"kind\":\"parse\""), "{}", answers[0]);
+
+    let stats = server.shutdown().expect("drains");
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.errors.overload, 1);
+    assert_eq!(stats.errors.parse, 2);
+}

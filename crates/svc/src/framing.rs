@@ -1,0 +1,181 @@
+//! Transport-agnostic newline framing with a byte cap.
+//!
+//! One [`LineFramer`] implements the wire discipline shared by every
+//! JSONL transport the service speaks — the batch reader, the `--follow`
+//! stdin daemon, and the TCP connections of `rbs-netd`:
+//!
+//! * a *line* is any byte run terminated by `\n` (a trailing `\r` is
+//!   stripped, so CRLF peers work), plus a final unterminated run at end
+//!   of input;
+//! * a line longer than the configured cap is *truncated to `cap + 1`
+//!   bytes* — enough for the service's oversized check to fire — while
+//!   the remainder is consumed and discarded, so a pathological
+//!   multi-gigabyte line can neither exhaust memory nor desynchronize
+//!   the stream;
+//! * invalid UTF-8 is replaced rather than rejected (an oversized cut
+//!   can split a code point; the body is never parsed in that case).
+//!
+//! The framer is push-based: transports feed whatever bytes they have
+//! (`BufRead` chunks, nonblocking socket reads) and pop complete lines.
+//! Keeping one implementation here is what makes the socket path's
+//! framing bit-identical to the stdin path's — the differential suite
+//! relies on it.
+
+use std::collections::VecDeque;
+
+/// An incremental, byte-capped newline framer. Feed bytes with
+/// [`LineFramer::push`], take complete lines with [`LineFramer::pop`],
+/// and flush the final unterminated line with [`LineFramer::finish`] when
+/// the transport reaches end of input.
+#[derive(Debug)]
+pub struct LineFramer {
+    /// Bytes kept per line: `cap + 1` (truncation sentinel included) or
+    /// `usize::MAX` when unbounded.
+    keep: usize,
+    /// Kept bytes of the line currently being assembled.
+    line: Vec<u8>,
+    /// Whether the current line has seen any input bytes (a truncated
+    /// line keeps fewer bytes than it consumed, so `line.is_empty()`
+    /// alone cannot distinguish "nothing yet" from "empty line").
+    saw_any: bool,
+    /// Complete lines ready to pop, oldest first.
+    ready: VecDeque<String>,
+}
+
+impl LineFramer {
+    /// A framer keeping at most `cap + 1` bytes per line (`None` means
+    /// unbounded).
+    #[must_use]
+    pub fn new(cap: Option<usize>) -> LineFramer {
+        LineFramer {
+            keep: cap.map_or(usize::MAX, |c| c.saturating_add(1)),
+            line: Vec::new(),
+            saw_any: false,
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Feeds `chunk` into the framer; every newline in it completes one
+    /// line (possibly empty, possibly truncated to the cap).
+    pub fn push(&mut self, chunk: &[u8]) {
+        let mut rest = chunk;
+        loop {
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(newline) => {
+                    self.absorb(&rest[..newline]);
+                    self.complete();
+                    rest = &rest[newline + 1..];
+                }
+                None => {
+                    self.absorb(rest);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The oldest complete line, if any.
+    pub fn pop(&mut self) -> Option<String> {
+        self.ready.pop_front()
+    }
+
+    /// Whether a complete line is ready to pop.
+    #[must_use]
+    pub fn has_line(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Flushes the final unterminated line at end of input: a partial
+    /// line still counts as a line, but input ending exactly at a
+    /// newline yields nothing.
+    pub fn finish(&mut self) -> Option<String> {
+        if !self.saw_any {
+            return None;
+        }
+        self.complete();
+        self.ready.pop_back()
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        if !bytes.is_empty() {
+            self.saw_any = true;
+        }
+        let room = self.keep.saturating_sub(self.line.len());
+        self.line.extend_from_slice(&bytes[..bytes.len().min(room)]);
+    }
+
+    fn complete(&mut self) {
+        if self.line.last() == Some(&b'\r') {
+            self.line.pop();
+        }
+        self.ready
+            .push_back(String::from_utf8_lossy(&self.line).into_owned());
+        self.line.clear();
+        self.saw_any = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(framer: &mut LineFramer) -> Vec<String> {
+        let mut lines = Vec::new();
+        while let Some(line) = framer.pop() {
+            lines.push(line);
+        }
+        lines
+    }
+
+    #[test]
+    fn lines_split_across_arbitrary_chunks() {
+        let mut framer = LineFramer::new(None);
+        for chunk in [&b"ab"[..], b"c\nde", b"", b"f\n\ng"] {
+            framer.push(chunk);
+        }
+        assert_eq!(drain(&mut framer), vec!["abc", "def", ""]);
+        assert_eq!(framer.finish(), Some("g".to_owned()));
+        assert_eq!(framer.finish(), None);
+    }
+
+    #[test]
+    fn capped_lines_truncate_but_stay_synchronized() {
+        let mut framer = LineFramer::new(Some(4));
+        framer.push(b"0123456789\nok\n");
+        let lines = drain(&mut framer);
+        assert_eq!(lines[0], "01234"); // cap + 1 bytes kept
+        assert_eq!(lines[1], "ok");
+    }
+
+    #[test]
+    fn input_ending_at_a_newline_has_no_final_line() {
+        let mut framer = LineFramer::new(None);
+        framer.push(b"last\n");
+        assert_eq!(framer.pop(), Some("last".to_owned()));
+        assert_eq!(framer.finish(), None);
+    }
+
+    #[test]
+    fn crlf_terminators_are_stripped() {
+        let mut framer = LineFramer::new(None);
+        framer.push(b"a\r\nb\n");
+        assert_eq!(drain(&mut framer), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn truncated_bytes_are_discarded_not_buffered() {
+        let mut framer = LineFramer::new(Some(2));
+        framer.push(&vec![b'x'; 1 << 16]);
+        framer.push(b"\nok\n");
+        let lines = drain(&mut framer);
+        assert_eq!(lines[0].len(), 3);
+        assert_eq!(lines[1], "ok");
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced() {
+        let mut framer = LineFramer::new(None);
+        framer.push(&[0xff, 0xfe, b'\n']);
+        assert_eq!(framer.pop(), Some("\u{fffd}\u{fffd}".to_owned()));
+    }
+}

@@ -13,6 +13,8 @@ use std::fs;
 use std::io::{self, BufRead, Read};
 use std::path::Path;
 
+use crate::framing::LineFramer;
+
 /// One task-set document to analyze, labeled with where it came from
 /// (`stdin:3`, a file path, …) for error messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,14 +80,13 @@ fn read_dir(dir: &Path) -> io::Result<Vec<Request>> {
 }
 
 /// Reads one newline-terminated line with a byte cap — the `--follow`
-/// mode ingest guard. A line longer than `cap` bytes is *truncated to
-/// `cap + 1` bytes* (enough for the service's oversized check to fire)
-/// while the remainder is consumed and discarded, so a pathological
-/// multi-gigabyte line can neither exhaust memory nor desynchronize the
-/// stream. Invalid UTF-8 is replaced rather than rejected (an oversized
-/// cut can split a code point; the body is never parsed in that case).
+/// mode ingest guard, a pull adapter over the shared
+/// [`LineFramer`] framing (truncate-to-`cap + 1`, discard the
+/// remainder, replace invalid UTF-8 — see [`crate::framing`]).
 ///
-/// Returns `None` at end of input. `cap == None` means unbounded.
+/// The reader is consumed only through the first newline, so bytes
+/// after it stay buffered for the next call. Returns `None` at end of
+/// input. `cap == None` means unbounded.
 ///
 /// # Errors
 ///
@@ -94,41 +95,42 @@ pub fn read_line_bounded<R: BufRead>(
     reader: &mut R,
     cap: Option<usize>,
 ) -> io::Result<Option<String>> {
-    let keep = cap.map_or(usize::MAX, |c| c.saturating_add(1));
-    let mut line: Vec<u8> = Vec::new();
-    let mut saw_any = false;
+    let mut framer = LineFramer::new(cap);
     loop {
+        if let Some(line) = framer.pop() {
+            return Ok(Some(line));
+        }
         let buffer = reader.fill_buf()?;
         if buffer.is_empty() {
             // EOF: a partial final line still counts as a line.
-            return Ok(if saw_any {
-                Some(String::from_utf8_lossy(&line).into_owned())
-            } else {
-                None
-            });
+            return Ok(framer.finish());
         }
-        saw_any = true;
-        let (chunk, done) = match buffer.iter().position(|&b| b == b'\n') {
-            Some(newline) => (&buffer[..newline], true),
-            None => (buffer, false),
+        let consumed = match buffer.iter().position(|&b| b == b'\n') {
+            Some(newline) => newline + 1,
+            None => buffer.len(),
         };
-        let room = keep.saturating_sub(line.len());
-        line.extend_from_slice(&chunk[..chunk.len().min(room)]);
-        let consumed = chunk.len() + usize::from(done);
+        framer.push(&buffer[..consumed]);
         reader.consume(consumed);
-        if done {
-            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
-        }
     }
 }
 
 fn split_lines(origin: &str, text: &str) -> Vec<Request> {
-    text.lines()
+    let mut framer = LineFramer::new(None);
+    framer.push(text.as_bytes());
+    let mut lines = Vec::new();
+    while let Some(line) = framer.pop() {
+        lines.push(line);
+    }
+    if let Some(last) = framer.finish() {
+        lines.push(last);
+    }
+    lines
+        .into_iter()
         .enumerate()
         .filter(|(_, line)| !line.trim().is_empty())
         .map(|(i, line)| Request {
             label: format!("{origin}:{}", i + 1),
-            body: line.to_owned(),
+            body: line,
         })
         .collect()
 }

@@ -39,8 +39,15 @@
 //! Failed outcomes are negative-cached ([`ResultCache`]`<SvcError>`), so a
 //! repeatedly submitted poison pill answers from the cache instead of
 //! re-running its worst-case analysis. Every failure carries the
-//! [`SvcErrorKind`] taxonomy (`parse|limits|timeout|panic|oversized`)
-//! rendered in both the JSONL error object and the footer counters.
+//! [`SvcErrorKind`] taxonomy (`parse|limits|timeout|panic|oversized|`
+//! `overload`) rendered in both the JSONL error object and the footer
+//! counters.
+//!
+//! The service core is transport-agnostic: [`framing`] holds the shared
+//! byte-capped newline framer, [`stream`] the incremental JSONL loop
+//! behind `--follow`, and the `rbs-net` crate layers a TCP front-end
+//! (`rbs-netd`) over the same [`Service`] — socket responses are
+//! byte-identical to this crate's batch and stream paths.
 //!
 //! No external dependencies: the whole service is `std` plus the workspace
 //! crates.
@@ -49,14 +56,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod framing;
 pub mod ingest;
 pub mod pool;
 mod service;
+pub mod stream;
 
 pub use cache::ResultCache;
+pub use framing::LineFramer;
 pub use ingest::{read_line_bounded, read_source, Request};
 pub use pool::WorkerPool;
 pub use service::{
     BatchStats, ErrorCounters, Outcome, Response, Service, ServiceConfig, SvcError, SvcErrorKind,
     FAULT_PANIC_TASK, FAULT_SLEEP_PREFIX,
 };
+pub use stream::{serve_jsonl, StreamEnd, StreamOutcome};

@@ -1,14 +1,11 @@
 //! `rbs-svc` binary: JSONL admission control over stdin/files/directories,
 //! in one-shot batch mode or as a long-running `--follow` daemon.
 
-use std::io::{self, Write};
+use std::io;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use rbs_svc::{
-    read_line_bounded, read_source, BatchStats, Outcome, Request, Service, ServiceConfig,
-    WorkerPool,
-};
+use rbs_svc::{read_source, serve_jsonl, Outcome, Service, ServiceConfig, StreamEnd, WorkerPool};
 
 const USAGE: &str = "\
 usage: rbs-svc [INPUT] [--follow] [--jobs N] [--cache-size N] [options]
@@ -36,7 +33,8 @@ Every request is answered on stdout with one JSON line:
   {\"seq\":N,\"hash\":\"<canonical hash>\",\"cached\":BOOL,\"report\":{...}}
   {\"seq\":N,\"source\":\"...\",\"cached\":BOOL,\"error\":{\"kind\":\"...\",\"detail\":\"...\"}}
 
-where error kind is one of parse|limits|timeout|panic|oversized, and a
+where error kind is one of parse|limits|timeout|panic|oversized|overload
+(overload is shed by the rbs-netd front-end, never this binary), and a
 summary footer (request counters, error taxonomy, cache hits, walk and
 component-reuse counters, latency percentiles) goes to stderr. Sweep
 responses report infeasible spec lists as {\"infeasible\":true} and carry
@@ -182,52 +180,30 @@ fn run_batch(service: &Service, input: &str) -> ExitCode {
 /// keep cumulative stats, print the footer periodically and at EOF, then
 /// drain gracefully. Per-request failures are reported in-band, so a
 /// clean drain exits zero; only transport failures (stdout gone) don't.
+/// The protocol itself lives in [`serve_jsonl`], shared with the network
+/// front-end's differential suite.
 fn run_follow(service: &Service, stats_every: usize) -> ExitCode {
     let stdin = io::stdin();
     let mut reader = stdin.lock();
     let stdout = io::stdout();
-    // The line reader truncates anything past the cap to cap + 1 bytes —
-    // enough for the service's oversized check to fire — and discards the
-    // rest, so a pathological line can't exhaust memory.
-    let cap = service.config().max_request_bytes;
-    let mut cumulative = BatchStats::default();
-    let mut line_no = 0usize;
-    let mut seq = 0usize;
-    loop {
-        let line = match read_line_bounded(&mut reader, cap) {
-            Ok(Some(line)) => line,
-            Ok(None) => break, // EOF: graceful drain
-            Err(error) => {
-                eprintln!("rbs-svc: stdin read error: {error}");
-                break;
-            }
-        };
-        line_no += 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = Request {
-            label: format!("stdin:{line_no}"),
-            body: line,
-        };
-        let (responses, stats) = service.process_batch(std::slice::from_ref(&request));
-        let mut out = stdout.lock();
-        for mut response in responses {
-            // Keep `seq` monotonic across the stream, not per micro-batch.
-            response.seq = seq;
-            seq += 1;
-            if writeln!(out, "{}", response.render()).is_err() {
-                // Reader went away (broken pipe): report and stop.
-                eprintln!("{}", cumulative.footer(service.jobs()));
-                return ExitCode::FAILURE;
-            }
-        }
-        let _ = out.flush();
-        cumulative.absorb(&stats);
-        if stats_every > 0 && cumulative.served % stats_every == 0 {
-            eprintln!("{}", cumulative.footer(service.jobs()));
-        }
+    let mut writer = stdout.lock();
+    let jobs = service.jobs();
+    let outcome = serve_jsonl(
+        service,
+        &mut reader,
+        &mut writer,
+        "stdin",
+        stats_every,
+        |stats| eprintln!("{}", stats.footer(jobs)),
+    );
+    if let Some(StreamEnd::Read(error)) = &outcome.end {
+        eprintln!("rbs-svc: stdin read error: {error}");
     }
-    eprintln!("{}", cumulative.footer(service.jobs()));
-    ExitCode::SUCCESS
+    eprintln!("{}", outcome.stats.footer(jobs));
+    match outcome.end {
+        // Reader went away (broken pipe): only transport failures on the
+        // response side fail the daemon.
+        Some(StreamEnd::Write(_)) => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
 }

@@ -14,8 +14,8 @@
 //!
 //! Failures are structured: every error response carries a
 //! [`SvcError`] with a machine-readable [`SvcErrorKind`]
-//! (`parse|limits|timeout|panic|oversized`), the same taxonomy the footer
-//! counters report. A panicking analysis is contained by the pool
+//! (`parse|limits|timeout|panic|oversized|overload`), the same taxonomy
+//! the footer counters report. A panicking analysis is contained by the pool
 //! ([`WorkerPool::run_ordered_caught`]), a slow one is cut off by the
 //! per-request deadline threaded through
 //! [`rbs_core::AnalysisLimits::with_deadline`], and an oversized body is
@@ -65,11 +65,17 @@ pub enum SvcErrorKind {
     /// The request body exceeded the configured byte limit and was
     /// rejected before parsing.
     Oversized,
+    /// The request was shed before analysis because a bounded queue was
+    /// full — the network front-end's load-shedding verdict. The batch
+    /// pipeline never emits this kind itself; it is part of the shared
+    /// taxonomy so shed requests are classified and counted exactly like
+    /// every other failure.
+    Overload,
 }
 
 impl SvcErrorKind {
     /// The lowercase wire name (`parse`, `limits`, `timeout`, `panic`,
-    /// `oversized`).
+    /// `oversized`, `overload`).
     #[must_use]
     pub const fn as_str(self) -> &'static str {
         match self {
@@ -78,6 +84,7 @@ impl SvcErrorKind {
             SvcErrorKind::Timeout => "timeout",
             SvcErrorKind::Panic => "panic",
             SvcErrorKind::Oversized => "oversized",
+            SvcErrorKind::Overload => "overload",
         }
     }
 }
@@ -282,6 +289,8 @@ pub struct ErrorCounters {
     pub panic: usize,
     /// Bodies rejected by the byte-size guard.
     pub oversized: usize,
+    /// Requests shed by a full bounded queue (network front-end).
+    pub overload: usize,
 }
 
 impl ErrorCounters {
@@ -293,13 +302,14 @@ impl ErrorCounters {
             SvcErrorKind::Timeout => self.timeout += 1,
             SvcErrorKind::Panic => self.panic += 1,
             SvcErrorKind::Oversized => self.oversized += 1,
+            SvcErrorKind::Overload => self.overload += 1,
         }
     }
 
     /// Total errors across all kinds.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.parse + self.limits + self.timeout + self.panic + self.oversized
+        self.parse + self.limits + self.timeout + self.panic + self.oversized + self.overload
     }
 }
 
@@ -359,6 +369,7 @@ impl BatchStats {
         self.errors.timeout += other.errors.timeout;
         self.errors.panic += other.errors.panic;
         self.errors.oversized += other.errors.oversized;
+        self.errors.overload += other.errors.overload;
         self.cache_hits += other.cache_hits;
         self.negative_hits += other.negative_hits;
         self.coalesced += other.coalesced;
@@ -388,7 +399,7 @@ impl BatchStats {
             (sorted.iter().sum::<u64>() + n / 2) / n
         };
         format!(
-            "rbs-svc: served={} ok={} errors{{total={} parse={} limits={} timeout={} panic={} oversized={}}} \
+            "rbs-svc: served={} ok={} errors{{total={} parse={} limits={} timeout={} panic={} oversized={} overload={}}} \
              cache{{hits={} negative={}}} coalesced={} analyzed={} jobs={jobs} \
              walks{{integer={} exact={} pruned={} avoided={} reused={} rebuilt={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
             self.served,
@@ -399,6 +410,7 @@ impl BatchStats {
             self.errors.timeout,
             self.errors.panic,
             self.errors.oversized,
+            self.errors.overload,
             self.cache_hits,
             self.negative_hits,
             self.coalesced,
@@ -826,12 +838,14 @@ mod tests {
             SvcErrorKind::Panic,
             SvcErrorKind::Oversized,
             SvcErrorKind::Panic,
+            SvcErrorKind::Overload,
         ] {
             counters.bump(kind);
         }
-        assert_eq!(counters.total(), 6);
+        assert_eq!(counters.total(), 7);
         assert_eq!(counters.panic, 2);
         assert_eq!(counters.parse, 1);
+        assert_eq!(counters.overload, 1);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! The incremental JSONL stream loop, factored out of the `--follow`
+//! daemon so any transport can drive it.
+//!
+//! [`serve_jsonl`] owns the protocol — byte-capped line framing, blank
+//! line skipping, per-line [`Service::process_batch`] micro-batches, a
+//! monotonic stream-wide `seq`, per-line flushing, and cumulative
+//! [`BatchStats`] with periodic footers — while the caller owns the
+//! transport (stdin/stdout for `rbs-svc --follow`, an in-memory pair for
+//! the differential suites). The TCP front-end (`rbs-netd`) reuses the
+//! same [`crate::framing::LineFramer`] discipline connection-by-
+//! connection, which is why socket responses can be diffed byte-for-byte
+//! against this loop's output.
+
+use std::io::{self, BufRead, Write};
+
+use crate::ingest::{read_line_bounded, Request};
+use crate::service::{BatchStats, Service};
+
+/// Why a [`serve_jsonl`] stream ended early. A clean end of input is not
+/// an error — it is the graceful drain.
+#[derive(Debug)]
+pub enum StreamEnd {
+    /// The input transport failed mid-stream; everything read so far was
+    /// answered.
+    Read(io::Error),
+    /// The output transport failed (reader went away); the stream cannot
+    /// continue.
+    Write(io::Error),
+}
+
+/// Counters plus the optional early-end cause of one stream.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Cumulative counters over the whole stream.
+    pub stats: BatchStats,
+    /// `None` on a graceful end-of-input drain.
+    pub end: Option<StreamEnd>,
+}
+
+/// Serves JSON Lines from `reader` to `writer` until end of input:
+/// each non-blank line is answered as it arrives (flushing per line),
+/// `seq` stays monotonic across the stream, labels are
+/// `{label_prefix}:{line_no}`, and the per-line byte cap comes from the
+/// service's [`crate::ServiceConfig::max_request_bytes`]. Every
+/// `stats_every` requests (0 = never) `footer` is called with the
+/// cumulative stats; the final stats come back in the outcome.
+pub fn serve_jsonl<R: BufRead, W: Write>(
+    service: &Service,
+    reader: &mut R,
+    writer: &mut W,
+    label_prefix: &str,
+    stats_every: usize,
+    mut footer: impl FnMut(&BatchStats),
+) -> StreamOutcome {
+    let cap = service.config().max_request_bytes;
+    let mut cumulative = BatchStats::default();
+    let mut line_no = 0usize;
+    let mut seq = 0usize;
+    let end = loop {
+        let line = match read_line_bounded(reader, cap) {
+            Ok(Some(line)) => line,
+            Ok(None) => break None, // end of input: graceful drain
+            Err(error) => break Some(StreamEnd::Read(error)),
+        };
+        line_no += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = Request {
+            label: format!("{label_prefix}:{line_no}"),
+            body: line,
+        };
+        let (responses, stats) = service.process_batch(std::slice::from_ref(&request));
+        let mut write_error = None;
+        for mut response in responses {
+            // Keep `seq` monotonic across the stream, not per micro-batch.
+            response.seq = seq;
+            seq += 1;
+            if let Err(error) = writeln!(writer, "{}", response.render()) {
+                write_error = Some(error);
+                break;
+            }
+        }
+        cumulative.absorb(&stats);
+        if let Some(error) = write_error {
+            break Some(StreamEnd::Write(error));
+        }
+        let _ = writer.flush();
+        if stats_every > 0 && cumulative.served % stats_every == 0 {
+            footer(&cumulative);
+        }
+    };
+    StreamOutcome {
+        stats: cumulative,
+        end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+    use crate::service::ServiceConfig;
+
+    fn service() -> Service {
+        Service::with_config(WorkerPool::new(2), ServiceConfig::default())
+    }
+
+    #[test]
+    fn streams_answer_line_by_line_with_monotonic_seq() {
+        let input = b"garbage\n\nmore garbage\n".to_vec();
+        let mut reader = io::BufReader::new(&input[..]);
+        let mut out = Vec::new();
+        let outcome = serve_jsonl(&service(), &mut reader, &mut out, "stdin", 0, |_| {});
+        assert!(outcome.end.is_none());
+        assert_eq!(outcome.stats.served, 2);
+        let text = String::from_utf8(out).expect("responses are UTF-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The blank line is skipped without consuming a seq; labels keep
+        // the physical line number.
+        assert!(lines[0].starts_with("{\"seq\":0,"), "{}", lines[0]);
+        assert!(lines[0].contains("stdin:1"), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"seq\":1,"), "{}", lines[1]);
+        assert!(lines[1].contains("stdin:3"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn periodic_footers_fire_on_the_cumulative_stats() {
+        let input = b"a\nb\nc\n".to_vec();
+        let mut reader = io::BufReader::new(&input[..]);
+        let mut out = Vec::new();
+        let mut footers = Vec::new();
+        let outcome = serve_jsonl(&service(), &mut reader, &mut out, "stdin", 1, |stats| {
+            footers.push(stats.served);
+        });
+        assert!(outcome.end.is_none());
+        assert_eq!(footers, vec![1, 2, 3]);
+        assert_eq!(outcome.stats.errors.parse, 3);
+    }
+}

@@ -85,7 +85,8 @@ fn batch_mode_classifies_poison_pills_and_exits_nonzero() {
     }
     // The footer reports the taxonomy.
     assert!(
-        stderr.contains("errors{total=4 parse=1 limits=0 timeout=1 panic=1 oversized=1}"),
+        stderr
+            .contains("errors{total=4 parse=1 limits=0 timeout=1 panic=1 oversized=1 overload=0}"),
         "{stderr}"
     );
 }
@@ -191,7 +192,8 @@ fn follow_mode_survives_poison_pills_and_oversized_lines() {
         "in-band failures must not fail the daemon:\n{stderr}"
     );
     assert!(
-        stderr.contains("errors{total=3 parse=0 limits=0 timeout=1 panic=1 oversized=1}"),
+        stderr
+            .contains("errors{total=3 parse=0 limits=0 timeout=1 panic=1 oversized=1 overload=0}"),
         "{stderr}"
     );
 }

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Network-service smoke test for rbs-netd: start the daemon on an
+# ephemeral port, hit it with concurrent clients — three healthy, one
+# mixing poison pills — and assert (a) every client gets one classified
+# response per request with a complete, duplicate-free seq range,
+# (b) the poison client exits non-zero while healthy clients exit zero,
+# and (c) closing the daemon's stdin drains it gracefully: exit zero
+# and a cumulative footer accounting for every request from every
+# client. Mirrors tests/net_differential.rs but exercises the shipped
+# binary end-to-end exactly as CI consumers would.
+set -u
+
+BIN="${RBS_NETD_BIN:-target/release/rbs-netd}"
+if [ ! -x "$BIN" ]; then
+    echo "net_smoke: $BIN not found; run 'cargo build --release' first" >&2
+    exit 1
+fi
+
+good() {
+    # One LO task with the given period; distinct periods = distinct sets.
+    printf '[{"name":"%s","criticality":"Lo","lo":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}},"hi":{"Continue":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}}}}]' \
+        "$1" "$2" "$2" "$2" "$2"
+}
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Healthy corpus: four distinct sets, so every client exercises both the
+# analysis path and (across clients) the shared cache.
+for p in 5 7 9 11; do
+    good w "$p"
+    echo
+done > "$workdir/healthy.jsonl"
+
+# Poison corpus: every failure class that can cross the wire, plus one
+# healthy set to prove the connection survives its neighbors.
+{
+    good w 5
+    echo
+    echo 'this is not json'
+    good __rbs_fault_panic__ 13
+    echo
+    good __rbs_fault_sleep_ms_300__ 17
+    echo
+    printf 'z%.0s' $(seq 1 8192)
+    echo
+} > "$workdir/poison.jsonl"
+
+# Start the daemon with its stdin held open on a fifo: closing the fifo
+# later is the graceful-drain signal (the same EOF contract as
+# `rbs-svc --follow`), so the script never needs to send signals.
+mkfifo "$workdir/ctl"
+"$BIN" --listen 127.0.0.1:0 --port-file "$workdir/addr" --jobs 4 \
+    --fault-injection --timeout-ms 50 --max-request-bytes 4096 \
+    < "$workdir/ctl" 2> "$workdir/daemon.err" &
+daemon_pid=$!
+exec 3> "$workdir/ctl" # unblocks the daemon's open(2) and holds stdin open
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$workdir/addr" ]; then
+    echo "net_smoke: daemon never published its address" >&2
+    cat "$workdir/daemon.err" >&2
+    exit 1
+fi
+addr="$(cat "$workdir/addr")"
+
+# Concurrent clients: 1-3 healthy, 4 poisoned.
+for i in 1 2 3; do
+    "$BIN" --connect "$addr" "$workdir/healthy.jsonl" \
+        > "$workdir/client$i.out" 2> "$workdir/client$i.err" &
+    eval "client${i}_pid=\$!"
+done
+"$BIN" --connect "$addr" "$workdir/poison.jsonl" \
+    > "$workdir/client4.out" 2> "$workdir/client4.err" &
+client4_pid=$!
+
+fail=0
+check() { # check <description> <command...>
+    local desc="$1"
+    shift
+    if "$@"; then
+        echo "ok: $desc"
+    else
+        echo "FAIL: $desc" >&2
+        fail=1
+    fi
+}
+
+for i in 1 2 3; do
+    eval "wait \"\$client${i}_pid\""
+    check "healthy client $i exits zero" test "$?" -eq 0
+done
+wait "$client4_pid"
+check "poison client exits non-zero" test "$?" -ne 0
+
+# Every client: one response per request, seqs 0..N-1 exactly once.
+seqs() { sed 's/^{"seq":\([0-9]*\),.*/\1/' "$1" | sort -n | tr '\n' ' '; }
+for i in 1 2 3; do
+    check "client $i got 4 responses" \
+        test "$(wc -l < "$workdir/client$i.out")" -eq 4
+    check "client $i seqs complete" \
+        test "$(seqs "$workdir/client$i.out")" = "0 1 2 3 "
+    check "client $i all reports" \
+        test "$(grep -c '"report":' "$workdir/client$i.out")" -eq 4
+done
+check "poison client got 5 responses" \
+    test "$(wc -l < "$workdir/client4.out")" -eq 5
+check "poison client seqs complete" \
+    test "$(seqs "$workdir/client4.out")" = "0 1 2 3 4 "
+for kind in parse panic timeout oversized; do
+    check "poison client saw $kind" \
+        grep -q "\"kind\":\"$kind\"" "$workdir/client4.out"
+done
+check "poison client healthy line served" \
+    grep -q '"report":' "$workdir/client4.out"
+
+# Graceful drain: close the daemon's stdin, expect a clean exit and the
+# cumulative footer over all 17 requests (3x4 healthy + 5 poison).
+exec 3>&-
+drain_status=1
+if wait "$daemon_pid"; then drain_status=0; fi
+daemon_pid=""
+check "daemon drains with exit zero" test "$drain_status" -eq 0
+check "daemon announced its address" \
+    grep -q "rbs-netd: listening on $addr" "$workdir/daemon.err"
+check "footer counts every request" \
+    grep -q 'served=17' "$workdir/daemon.err"
+check "footer taxonomy" \
+    grep -q 'errors{total=4 parse=1 limits=0 timeout=1 panic=1 oversized=1 overload=0}' \
+    "$workdir/daemon.err"
+
+if [ "$fail" -ne 0 ]; then
+    for f in "$workdir"/client*.out "$workdir/daemon.err"; do
+        echo "--- $f ---" >&2
+        cat "$f" >&2
+    done
+    exit 1
+fi
+echo "net_smoke: all checks passed"

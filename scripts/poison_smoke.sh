@@ -96,7 +96,7 @@ expect_line 8 '"kind":"panic"'
 # The footer reports the full taxonomy plus the sweep engine's
 # component-reuse split.
 check "footer taxonomy" \
-    grep -q 'errors{total=5 parse=1 limits=0 timeout=1 panic=2 oversized=1}' \
+    grep -q 'errors{total=5 parse=1 limits=0 timeout=1 panic=2 oversized=1 overload=0}' \
     "$workdir/footer.txt"
 check "footer component reuse" \
     grep -Eq 'reused=[1-9][0-9]* rebuilt=[1-9]' "$workdir/footer.txt"

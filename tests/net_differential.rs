@@ -1,0 +1,246 @@
+//! Differential harness for the TCP front-end: the same corpus — healthy
+//! sets, duplicates, campaign sweeps, garbage, an oversized line, panic
+//! and timeout poison pills, blank lines, and an unterminated final
+//! line — is served once through the in-process stdin stream loop
+//! ([`rbs_svc::serve_jsonl`], the exact `--follow` code path) and once
+//! through a spawned `rbs-netd` by four concurrent TCP clients. After
+//! sorting by `seq`, every client's responses must be bit-identical to
+//! the stdin reference on everything deterministic: the canonical hash
+//! and full report body for successes, the error kind and detail for
+//! failures (timeout details vary with how far the walk got, so those
+//! compare kind-only), and the originating line number. Cache provenance
+//! (`cached`/`coalesced`/`walks`) and service times are volatile by
+//! design and excluded.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rbs_svc::{serve_jsonl, Service, ServiceConfig, WorkerPool};
+
+/// One LO task with the given name and period; distinct periods make
+/// distinct canonical sets, and fault markers ride in the name.
+fn task_set(name: &str, period: u32) -> String {
+    format!(
+        concat!(
+            "[{{\"name\":\"{name}\",\"criticality\":\"Lo\",",
+            "\"lo\":{{\"period\":{{\"num\":{p},\"den\":1}},",
+            "\"deadline\":{{\"num\":{p},\"den\":1}},",
+            "\"wcet\":{{\"num\":1,\"den\":1}}}},",
+            "\"hi\":{{\"Continue\":{{\"period\":{{\"num\":{p},\"den\":1}},",
+            "\"deadline\":{{\"num\":{p},\"den\":1}},",
+            "\"wcet\":{{\"num\":1,\"den\":1}}}}}}}}]"
+        ),
+        name = name,
+        p = period
+    )
+}
+
+/// A two-spec campaign sweep over a 2x2 (y, s) grid.
+fn sweep(period: u32) -> String {
+    format!(
+        concat!(
+            "{{\"sweep\":{{\"specs\":[{{\"name\":\"grid\",\"criticality\":\"Hi\",",
+            "\"period\":{{\"num\":{p},\"den\":1}},",
+            "\"wcet_lo\":{{\"num\":1,\"den\":1}},",
+            "\"wcet_hi\":{{\"num\":2,\"den\":1}}}},",
+            "{{\"name\":\"bg\",\"criticality\":\"Lo\",",
+            "\"period\":{{\"num\":4,\"den\":1}},",
+            "\"wcet_lo\":{{\"num\":1,\"den\":1}},",
+            "\"wcet_hi\":{{\"num\":1,\"den\":1}}}}],",
+            "\"ys\":[{{\"num\":1,\"den\":1}},{{\"num\":2,\"den\":1}}],",
+            "\"speeds\":[{{\"num\":2,\"den\":1}},{{\"num\":3,\"den\":1}}]}}}}"
+        ),
+        p = period
+    )
+}
+
+/// The shared corpus: 11 physical lines, 10 requests (one blank line),
+/// ending in an unterminated final line to exercise the framer's
+/// end-of-stream flush on both transports.
+fn corpus() -> Vec<u8> {
+    let lines = [
+        task_set("w", 5),
+        String::new(), // blank: skipped without consuming a seq
+        "this is not json".to_owned(),
+        task_set("w", 5), // duplicate: served from the shared cache
+        "z".repeat(8192), // oversized: truncated on the wire, rejected
+        task_set("__rbs_fault_panic__", 7),
+        task_set("__rbs_fault_sleep_ms_300__", 11), // outlives the deadline
+        sweep(5),
+        task_set("w", 9),
+        "[not,valid".to_owned(),
+        sweep(5), // duplicate sweep, unterminated (no trailing newline)
+    ];
+    lines.join("\n").into_bytes()
+}
+
+/// Requests in the corpus (physical lines minus the blank).
+const REQUESTS: usize = 10;
+const CLIENTS: usize = 4;
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        fault_injection: true,
+        timeout: Some(Duration::from_millis(50)),
+        max_request_bytes: Some(4096),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Extracts the value following `key` up to the next `"`.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let start = line.find(key).unwrap_or_else(|| panic!("{key} in {line}")) + key.len();
+    let rest = &line[start..];
+    &rest[..rest.find('"').expect("closing quote")]
+}
+
+/// The deterministic payload of one response line: line number plus
+/// either `hash + report body` or `error kind + detail` (timeouts
+/// kind-only — their detail records how far the walk got, which varies
+/// with load and cache hits). Everything volatile — `seq` (compared
+/// separately), `cached`, `coalesced`, `micros`, `walks` — is excluded.
+fn payload(line: &str) -> String {
+    if let Some(report) = line.find("\"report\":") {
+        format!("{} {}", field(line, "\"hash\":\""), &line[report..])
+    } else {
+        let source = field(line, "\"source\":\"");
+        let line_no = source.rsplit(':').next().expect("prefix:N label");
+        let error = &line[line.find("\"error\":").expect("error object")..];
+        if field(error, "\"kind\":\"") == "timeout" {
+            format!("{line_no} timeout")
+        } else {
+            format!("{line_no} {error}")
+        }
+    }
+}
+
+fn seq_of(line: &str) -> usize {
+    let rest = line.strip_prefix("{\"seq\":").expect("seq-first line");
+    rest[..rest.find(',').expect("comma")].parse().expect("seq")
+}
+
+/// The stdin reference: the corpus through the in-process `--follow`
+/// loop with the identical service configuration.
+fn reference() -> Vec<String> {
+    let service = Service::with_config(WorkerPool::new(4), config());
+    let input = corpus();
+    let mut reader = io::BufReader::new(&input[..]);
+    let mut out = Vec::new();
+    let outcome = serve_jsonl(&service, &mut reader, &mut out, "stdin", 0, |_| {});
+    assert!(outcome.end.is_none(), "{:?}", outcome.end);
+    assert_eq!(outcome.stats.served, REQUESTS);
+    let text = String::from_utf8(out).expect("UTF-8 responses");
+    let mut lines: Vec<(usize, String)> = text
+        .lines()
+        .map(|line| (seq_of(line), payload(line)))
+        .collect();
+    lines.sort_unstable();
+    assert_eq!(lines.len(), REQUESTS);
+    lines.into_iter().map(|(_, payload)| payload).collect()
+}
+
+fn spawn_daemon(port_file: &std::path::Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_rbs-netd"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().expect("utf-8 tmpdir"),
+            "--jobs",
+            "4",
+            "--fault-injection",
+            "--timeout-ms",
+            "50",
+            "--max-request-bytes",
+            "4096",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns rbs-netd")
+}
+
+fn wait_for_addr(port_file: &std::path::Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(port_file) {
+            let addr = addr.trim();
+            if !addr.is_empty() {
+                return addr.to_owned();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rbs-netd never published its address"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn tcp_responses_are_bit_identical_to_the_stdin_stream_path() {
+    let expected = reference();
+
+    let dir = std::env::temp_dir().join(format!("rbs-net-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let port_file = dir.join("addr");
+    let mut child = spawn_daemon(&port_file);
+    let addr = wait_for_addr(&port_file);
+
+    // Four concurrent clients, each sending the full corpus in one
+    // burst; their requests interleave in the shared dispatcher and
+    // compete for the shared caches.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(&addr).expect("connects");
+                stream.write_all(&corpus()).expect("sends corpus");
+                stream.shutdown(Shutdown::Write).expect("half-closes");
+                BufReader::new(stream)
+                    .lines()
+                    .map(|line| line.expect("reads response"))
+                    .collect::<Vec<String>>()
+            })
+        })
+        .collect();
+
+    for (client, handle) in clients.into_iter().enumerate() {
+        let lines = handle.join().expect("client thread");
+        assert_eq!(lines.len(), REQUESTS, "client {client}: {lines:#?}");
+        let mut got: Vec<(usize, String)> = lines.iter().map(|l| (seq_of(l), payload(l))).collect();
+        got.sort_unstable();
+        // Sequence numbers are exactly 0..REQUESTS, each answered once.
+        let seqs: Vec<usize> = got.iter().map(|(seq, _)| *seq).collect();
+        assert_eq!(seqs, (0..REQUESTS).collect::<Vec<_>>(), "client {client}");
+        // And, sorted by seq, the payloads match the stdin reference
+        // bit for bit.
+        for (seq, (_, payload)) in got.iter().enumerate() {
+            assert_eq!(
+                payload, &expected[seq],
+                "client {client} diverged from the stdin path at seq {seq}"
+            );
+        }
+    }
+
+    // Graceful drain: close the daemon's stdin, expect a clean exit and
+    // the cumulative footer accounting for every client's every request.
+    drop(child.stdin.take());
+    let output = child.wait_with_output().expect("daemon exits");
+    assert!(output.status.success(), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains(&format!("served={}", REQUESTS * CLIENTS)),
+        "footer missing cumulative count: {stderr}"
+    );
+    assert!(
+        stderr
+            .contains("errors{total=20 parse=8 limits=0 timeout=4 panic=4 oversized=4 overload=0}"),
+        "footer taxonomy mismatch: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

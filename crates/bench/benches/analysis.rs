@@ -4,6 +4,7 @@ use rbs_bench::harness::Runner;
 use rbs_bench::{synthetic_set, synthetic_specs, table1};
 use rbs_core::adb::hi_arrival_profile;
 use rbs_core::dbf::{hi_profile, total_dbf_hi};
+use rbs_core::demand::sup_ratio_many;
 use rbs_core::lo_mode::{is_lo_schedulable, minimal_feasible_x, minimal_x_density};
 use rbs_core::resetting::resetting_time;
 use rbs_core::speedup::minimum_speedup;
@@ -48,6 +49,31 @@ fn main() {
             black_box(&profile)
                 .sup_ratio_reference(&limits)
                 .expect("completes")
+        });
+        // The same walk through the batched SoA driver with a single
+        // machine — soa/dispatch quantifies the lockstep driver's
+        // overhead on top of the raw kernel walk (should be ~nil).
+        runner.bench(&format!("sup_ratio_soa/hi_profile/{size}"), || {
+            sup_ratio_many(black_box(&[&profile]), &limits)
+                .pop()
+                .expect("one slot")
+                .expect("completes")
+        });
+    }
+
+    // Fleet sizing in one call: N cores' HI profiles walked in chunked
+    // lockstep (the `crates/partition` speedup-bound pass) vs N separate
+    // kernel walks.
+    for fleet in [64usize, 256] {
+        let sets: Vec<_> = (0..fleet)
+            .map(|core| synthetic_set(8, 100 + core as u64))
+            .collect();
+        let profiles: Vec<_> = sets.iter().map(hi_profile).collect();
+        let refs: Vec<&_> = profiles.iter().collect();
+        runner.bench(&format!("walk_many/fleet/{fleet}"), || {
+            for result in sup_ratio_many(black_box(&refs), &limits) {
+                result.expect("completes");
+            }
         });
     }
 

@@ -53,9 +53,14 @@ use rbs_timebase::Rational;
 
 use crate::adb::{arrival_components_into, hi_arrival_profile};
 use crate::dbf::{hi_components_into, hi_profile, lo_components_into, lo_profile};
-use crate::demand::{DemandProfile, PeriodicDemand, ResetFrontier, SupRatio, WalkKind, WalkTrace};
+use crate::demand::{
+    drive_lockstep, AnyMachine, AnyOutcome, DemandProfile, PeriodicDemand, ResetFrontier, SupRatio,
+    WalkKind, WalkTrace,
+};
+use crate::kernel::WalkArena;
 use crate::qpa::qpa_decision;
 use crate::resetting::{ResettingAnalysis, ResettingBound};
+use crate::scaled::{FitsMachine, SupRatioMachine};
 use crate::speedup::SpeedupAnalysis;
 use crate::{AnalysisError, AnalysisLimits};
 
@@ -84,6 +89,11 @@ pub struct WalkCounts {
     /// Demand components constructed (or re-derived after a patch miss),
     /// including the initial profile builds.
     pub rebuilt_components: u64,
+    /// Walks completed by a chunked multi-profile lockstep driver
+    /// (interleaved with other walks for cache locality) rather than a
+    /// dedicated one-shot walk. Every lockstep walk is also counted in
+    /// [`Self::integer`], so this is not part of [`Self::total`].
+    pub lockstep: u64,
 }
 
 impl WalkCounts {
@@ -113,9 +123,16 @@ pub struct Analysis<'a> {
     pruned_walks: Cell<u64>,
     avoided_walks: Cell<u64>,
     built_components: Cell<u64>,
+    lockstep_walks: Cell<u64>,
     /// The deepest `Δ_R` staircase built so far; covers every speed at or
     /// above the speed it was built for.
     frontier: RefCell<Option<ResetFrontier>>,
+    /// Results staged by [`Analysis::prime_lockstep`], consumed by the
+    /// first call to the matching query so its answer (and error
+    /// propagation) stays bit-identical to the sequential path.
+    primed_lo_fits: RefCell<Option<Result<(bool, WalkTrace), AnalysisError>>>,
+    primed_lo_sup: RefCell<Option<Result<(SupRatio, WalkTrace), AnalysisError>>>,
+    primed_hi_sup: RefCell<Option<Result<(SupRatio, WalkTrace), AnalysisError>>>,
 }
 
 impl<'a> Analysis<'a> {
@@ -133,7 +150,11 @@ impl<'a> Analysis<'a> {
             pruned_walks: Cell::new(0),
             avoided_walks: Cell::new(0),
             built_components: Cell::new(0),
+            lockstep_walks: Cell::new(0),
             frontier: RefCell::new(None),
+            primed_lo_fits: RefCell::new(None),
+            primed_lo_sup: RefCell::new(None),
+            primed_hi_sup: RefCell::new(None),
         }
     }
 
@@ -228,6 +249,9 @@ impl<'a> Analysis<'a> {
         if trace.pruned {
             self.pruned_walks.set(self.pruned_walks.get() + 1);
         }
+        if trace.lockstep {
+            self.lockstep_walks.set(self.lockstep_walks.get() + 1);
+        }
     }
 
     /// How many breakpoint walks ran so far, by implementation, plus how
@@ -242,7 +266,66 @@ impl<'a> Analysis<'a> {
             avoided: self.avoided_walks.get(),
             reused_components: 0,
             rebuilt_components: self.built_components.get(),
+            lockstep: self.lockstep_walks.get(),
         }
+    }
+
+    /// Runs the three profile-supremum walks a full report needs — LO
+    /// fits at nominal speed, the LO demand-ratio supremum and the HI
+    /// demand-ratio supremum — as one lockstep batch over the integer
+    /// fast path, staging each result for the query that consumes it
+    /// ([`Analysis::is_lo_schedulable`],
+    /// [`Analysis::lo_speed_requirement`],
+    /// [`Analysis::minimum_speedup`]).
+    ///
+    /// Profiles without a fast path (or whose fast path overflows
+    /// mid-walk) are simply not staged; the consuming query then runs
+    /// its usual sequential walk with the exact-rational fallback.
+    /// Results are bit-identical either way.
+    pub fn prime_lockstep(&self) {
+        let lo = self.lo_profile();
+        let hi = self.hi_profile();
+        let mut live = Vec::with_capacity(3);
+        if let Some(machine) = lo
+            .scaled()
+            .and_then(|s| FitsMachine::new(s, Rational::ONE, &self.limits))
+        {
+            live.push((0, AnyMachine::Fits(machine), &self.limits));
+        }
+        if let Some(machine) = lo
+            .scaled()
+            .and_then(|s| SupRatioMachine::new(s, &self.limits))
+        {
+            live.push((1, AnyMachine::Sup(machine), &self.limits));
+        }
+        if let Some(machine) = hi
+            .scaled()
+            .and_then(|s| SupRatioMachine::new(s, &self.limits))
+        {
+            live.push((2, AnyMachine::Sup(machine), &self.limits));
+        }
+        let mut slots: [Option<Result<AnyOutcome, AnalysisError>>; 3] = [None, None, None];
+        drive_lockstep(live, &mut slots);
+        let trace = |pruned| WalkTrace {
+            kind: WalkKind::Integer,
+            pruned,
+            lockstep: true,
+        };
+        *self.primed_lo_fits.borrow_mut() = match slots[0].take() {
+            Some(Ok(AnyOutcome::Fits(fits, pruned))) => Some(Ok((fits, trace(pruned)))),
+            Some(Err(err)) => Some(Err(err)),
+            _ => None,
+        };
+        *self.primed_lo_sup.borrow_mut() = match slots[1].take() {
+            Some(Ok(AnyOutcome::Sup(sup, pruned))) => Some(Ok((sup, trace(pruned)))),
+            Some(Err(err)) => Some(Err(err)),
+            _ => None,
+        };
+        *self.primed_hi_sup.borrow_mut() = match slots[2].take() {
+            Some(Ok(AnyOutcome::Sup(sup, pruned))) => Some(Ok((sup, trace(pruned)))),
+            Some(Err(err)) => Some(Err(err)),
+            _ => None,
+        };
     }
 
     /// Theorem 2's minimum HI-mode speedup (see
@@ -252,7 +335,10 @@ impl<'a> Analysis<'a> {
     ///
     /// As for [`crate::speedup::minimum_speedup`].
     pub fn minimum_speedup(&self) -> Result<SpeedupAnalysis, AnalysisError> {
-        let (sup, trace) = self.hi_profile().sup_ratio_traced(&self.limits)?;
+        let (sup, trace) = match self.primed_hi_sup.borrow_mut().take() {
+            Some(staged) => staged?,
+            None => self.hi_profile().sup_ratio_traced(&self.limits)?,
+        };
         self.record(trace);
         Ok(SpeedupAnalysis::from_sup_ratio(sup))
     }
@@ -299,6 +385,7 @@ impl<'a> Analysis<'a> {
             self.record(WalkTrace {
                 kind,
                 pruned: false,
+                lockstep: false,
             });
             let fit = frontier
                 .lookup(speed)
@@ -320,7 +407,10 @@ impl<'a> Analysis<'a> {
     ///
     /// As for [`crate::lo_mode::lo_speed_requirement`].
     pub fn lo_speed_requirement(&self) -> Result<Rational, AnalysisError> {
-        let (sup, trace) = self.lo_profile().sup_ratio_traced(&self.limits)?;
+        let (sup, trace) = match self.primed_lo_sup.borrow_mut().take() {
+            Some(staged) => staged?,
+            None => self.lo_profile().sup_ratio_traced(&self.limits)?,
+        };
         self.record(trace);
         match sup {
             SupRatio::Finite { value, .. } => Ok(value),
@@ -335,7 +425,10 @@ impl<'a> Analysis<'a> {
     ///
     /// As for [`crate::lo_mode::is_lo_schedulable`].
     pub fn is_lo_schedulable(&self) -> Result<bool, AnalysisError> {
-        let (fits, trace) = self.lo_profile().fits_traced(Rational::ONE, &self.limits)?;
+        let (fits, trace) = match self.primed_lo_fits.borrow_mut().take() {
+            Some(staged) => staged?,
+            None => self.lo_profile().fits_traced(Rational::ONE, &self.limits)?,
+        };
         self.record(trace);
         Ok(fits)
     }
@@ -394,6 +487,7 @@ impl<'a> Analysis<'a> {
         self.record(WalkTrace {
             kind,
             pruned: false,
+            lockstep: false,
         });
         let candidate = floor.max(needed);
         if candidate > max_speed {
@@ -435,6 +529,11 @@ impl<'a> Analysis<'a> {
 #[derive(Debug, Default)]
 pub struct AnalysisScratch {
     buffers: Vec<Vec<PeriodicDemand>>,
+    /// Parked walk-kernel lanes carried across batches: report entry
+    /// points attach this arena to the thread for the duration of an
+    /// analysis so steady-state walks check lanes out instead of
+    /// allocating.
+    pub(crate) arena: WalkArena,
 }
 
 impl AnalysisScratch {
@@ -561,6 +660,41 @@ mod tests {
         assert_eq!(counts.pruned, 2);
         assert_eq!(counts.avoided, 0);
         assert_eq!(counts, run());
+    }
+
+    #[test]
+    fn primed_lockstep_queries_match_sequential() {
+        let set = table1();
+        let limits = AnalysisLimits::default();
+        let plain = Analysis::new(&set, &limits);
+        let primed = Analysis::new(&set, &limits);
+        primed.prime_lockstep();
+        assert_eq!(
+            primed.is_lo_schedulable().expect("ok"),
+            plain.is_lo_schedulable().expect("ok")
+        );
+        assert_eq!(
+            primed.lo_speed_requirement().expect("ok"),
+            plain.lo_speed_requirement().expect("ok")
+        );
+        assert_eq!(
+            primed.minimum_speedup().expect("ok"),
+            plain.minimum_speedup().expect("ok")
+        );
+        let counts = primed.walk_counts();
+        let expected = plain.walk_counts();
+        // Table I has a fast path, so all three staged walks completed
+        // in lockstep — with the same per-walk accounting as the
+        // sequential queries.
+        assert_eq!(counts.lockstep, 3);
+        assert_eq!(expected.lockstep, 0);
+        assert_eq!(counts.integer, expected.integer);
+        assert_eq!(counts.exact, expected.exact);
+        assert_eq!(counts.pruned, expected.pruned);
+        // A second round of queries re-walks: the staging is one-shot.
+        primed.minimum_speedup().expect("ok");
+        assert_eq!(primed.walk_counts().lockstep, 3);
+        assert_eq!(primed.walk_counts().integer, counts.integer + 1);
     }
 
     #[test]

@@ -29,10 +29,11 @@
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
-use rbs_timebase::Rational;
+use rbs_timebase::{lcm_i128, Rational};
 
-use crate::scaled::ScaledProfile;
+use crate::scaled::{FitsMachine, MachineStep, ScaledProfile, SupRatioMachine};
 use crate::{AnalysisError, AnalysisLimits};
 
 /// One periodic demand component (typically: one task's demand curve).
@@ -276,6 +277,11 @@ pub struct WalkTrace {
     /// still pending below the hyperperiod bound — i.e. the
     /// [`PeriodicDemand::envelope_burst`] pruning actually skipped work.
     pub pruned: bool,
+    /// Whether a chunked multi-profile lockstep driver
+    /// ([`sup_ratio_many`]/[`fits_many`] or an internal batch prime)
+    /// completed this walk interleaved with others, rather than a
+    /// dedicated one-shot walk.
+    pub lockstep: bool,
 }
 
 /// A sum of [`PeriodicDemand`] components with exact sup-ratio and
@@ -303,21 +309,54 @@ pub struct WalkTrace {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct DemandProfile {
     components: Vec<PeriodicDemand>,
     /// The integer fast path, built once here; `None` when the common
     /// timebase does not fit in `i128` (queries then always walk the
     /// exact rational path).
     scaled: Option<ScaledProfile>,
+    /// Whole-profile aggregates (rate, bursts, hyperperiod), each
+    /// computed on its own first use: every walk prologue needs some of
+    /// them and they cost O(n) rational reductions, so repeated queries
+    /// on the same profile shouldn't pay them again. Per-field laziness
+    /// matters — a caller that only ever asks for the cheap `rate` (the
+    /// sweep engine's resetting-time gate) must not be billed for the
+    /// much dearer `envelope_burst`. Reset by
+    /// [`DemandProfile::patch_components`].
+    aggregates: Aggregates,
 }
+
+/// Memoized O(components) profile summaries, each filled independently —
+/// see [`DemandProfile::aggregates`].
+#[derive(Debug, Clone, Default)]
+struct Aggregates {
+    rate: OnceLock<Rational>,
+    burst: OnceLock<Rational>,
+    envelope_burst: OnceLock<Rational>,
+    hyperperiod: OnceLock<Option<Rational>>,
+}
+
+/// The lazily-filled aggregate cache is derived state, so equality is
+/// over components and fast path only (as the former `derive` produced).
+impl PartialEq for DemandProfile {
+    fn eq(&self, other: &DemandProfile) -> bool {
+        self.components == other.components && self.scaled == other.scaled
+    }
+}
+
+impl Eq for DemandProfile {}
 
 impl DemandProfile {
     /// Creates a profile from components.
     #[must_use]
     pub fn new(components: Vec<PeriodicDemand>) -> DemandProfile {
         let scaled = ScaledProfile::build(&components);
-        DemandProfile { components, scaled }
+        DemandProfile {
+            components,
+            scaled,
+            aggregates: Aggregates::default(),
+        }
     }
 
     /// Assembles a profile from components and a pre-built fast path —
@@ -328,7 +367,11 @@ impl DemandProfile {
         components: Vec<PeriodicDemand>,
         scaled: Option<ScaledProfile>,
     ) -> DemandProfile {
-        DemandProfile { components, scaled }
+        DemandProfile {
+            components,
+            scaled,
+            aggregates: Aggregates::default(),
+        }
     }
 
     /// Replaces the components at `indices` with `patched` (parallel
@@ -353,6 +396,7 @@ impl DemandProfile {
         if !in_place {
             self.scaled = ScaledProfile::build(&self.components);
         }
+        self.aggregates = Aggregates::default();
         in_place
     }
 
@@ -360,6 +404,12 @@ impl DemandProfile {
     #[must_use]
     pub fn has_fast_path(&self) -> bool {
         self.scaled.is_some()
+    }
+
+    /// The integer fast path, for callers building resumable walk
+    /// machines ([`crate::scaled::SupRatioMachine`] etc.) directly.
+    pub(crate) fn scaled(&self) -> Option<&ScaledProfile> {
+        self.scaled.as_ref()
     }
 
     /// The components.
@@ -381,23 +431,31 @@ impl DemandProfile {
     /// Long-run total demand rate.
     #[must_use]
     pub fn rate(&self) -> Rational {
-        self.components.iter().map(PeriodicDemand::rate).sum()
+        *self
+            .aggregates
+            .rate
+            .get_or_init(|| self.components.iter().map(PeriodicDemand::rate).sum())
     }
 
     /// Total burst: `eval(Δ) ≤ rate()·Δ + burst()`.
     #[must_use]
     pub fn burst(&self) -> Rational {
-        self.components.iter().map(PeriodicDemand::burst).sum()
+        *self
+            .aggregates
+            .burst
+            .get_or_init(|| self.components.iter().map(PeriodicDemand::burst).sum())
     }
 
     /// Total tight envelope burst (per-component suprema of
     /// `eval_i(Δ) − rate_i·Δ`, summed): the pruning bound of every walk.
     #[must_use]
     pub fn envelope_burst(&self) -> Rational {
-        self.components
-            .iter()
-            .map(PeriodicDemand::envelope_burst)
-            .sum()
+        *self.aggregates.envelope_burst.get_or_init(|| {
+            self.components
+                .iter()
+                .map(PeriodicDemand::envelope_burst)
+                .sum()
+        })
     }
 
     /// Consumes the profile and returns its component vector — the
@@ -412,14 +470,16 @@ impl DemandProfile {
     /// `i128`.
     #[must_use]
     pub fn hyperperiod(&self) -> Option<Rational> {
-        let mut acc: Option<Rational> = None;
-        for c in &self.components {
-            acc = Some(match acc {
-                None => c.period(),
-                Some(a) => a.lcm(c.period())?,
-            });
-        }
-        acc
+        *self.aggregates.hyperperiod.get_or_init(|| {
+            let mut acc: Option<Rational> = None;
+            for c in &self.components {
+                acc = Some(match acc {
+                    None => c.period(),
+                    Some(a) => a.lcm(c.period())?,
+                });
+            }
+            acc
+        })
     }
 
     /// Computes `sup_{Δ > 0} eval(Δ)/Δ` exactly.
@@ -455,6 +515,7 @@ impl DemandProfile {
                     WalkTrace {
                         kind: WalkKind::Integer,
                         pruned,
+                        lockstep: false,
                     },
                 ));
             }
@@ -465,6 +526,7 @@ impl DemandProfile {
                 WalkTrace {
                     kind: WalkKind::Rational,
                     pruned,
+                    lockstep: false,
                 },
             )
         })
@@ -492,7 +554,7 @@ impl DemandProfile {
         &self,
         limits: &AnalysisLimits,
     ) -> Result<(SupRatio, bool), AnalysisError> {
-        let mut walk = IncrementalWalk::new(&self.components);
+        let mut walk = IncrementalWalk::new(&self.components, limits.max_breakpoints());
         if walk.value.is_positive() {
             return Ok((SupRatio::Unbounded, false));
         }
@@ -506,6 +568,15 @@ impl DemandProfile {
         // strict, so nothing at or past the horizon can displace `best`.
         // Recomputed only when `best` improves (the walk's only division).
         let mut horizon: Option<Rational> = None;
+        // Float shadow of `best`'s ratio, for a pre-filter on the exact
+        // improvement test. i128→f64 conversion and f64 division are
+        // correctly rounded, so each approximation is within a few ulps
+        // (relative error < 1e-14) of the true ratio; a breakpoint is
+        // skipped only when it trails `best` by more than a 1e-9-scaled
+        // margin — far outside that error — so every true improvement
+        // still reaches the exact division below.
+        let mut best_f = f64::NEG_INFINITY;
+        let to_f = |q: Rational| q.numer() as f64 / q.denom() as f64;
         let mut pruned = false;
         let mut examined = 0usize;
         while let Some(delta) = walk.peek_next() {
@@ -523,9 +594,15 @@ impl DemandProfile {
             examined += 1;
             limits.check_walk(examined)?;
             walk.advance();
+            let ratio_f = to_f(walk.value) / to_f(walk.delta);
+            let margin = 1e-9 * ratio_f.abs().max(best_f.abs());
+            if ratio_f < best_f - margin {
+                continue;
+            }
             let ratio = walk.value / walk.delta;
             if best.is_none_or(|(b, _)| ratio > b) {
                 best = Some((ratio, walk.delta));
+                best_f = ratio_f;
                 if ratio > rate {
                     horizon = Some(envelope / (ratio - rate));
                 }
@@ -555,7 +632,7 @@ impl DemandProfile {
     /// As for [`DemandProfile::sup_ratio`] (the pruned walk may complete
     /// within budgets this reference exhausts).
     pub fn sup_ratio_reference(&self, limits: &AnalysisLimits) -> Result<SupRatio, AnalysisError> {
-        let mut walk = IncrementalWalk::new(&self.components);
+        let mut walk = IncrementalWalk::new(&self.components, limits.max_breakpoints());
         if walk.value.is_positive() {
             return Ok(SupRatio::Unbounded);
         }
@@ -639,6 +716,7 @@ impl DemandProfile {
                     WalkTrace {
                         kind: WalkKind::Integer,
                         pruned,
+                        lockstep: false,
                     },
                 ));
             }
@@ -650,6 +728,7 @@ impl DemandProfile {
                     WalkTrace {
                         kind: WalkKind::Rational,
                         pruned,
+                        lockstep: false,
                     },
                 )
             })
@@ -681,7 +760,7 @@ impl DemandProfile {
         if !speed.is_positive() {
             return Err(AnalysisError::NonPositiveSpeed);
         }
-        let mut walk = IncrementalWalk::new(&self.components);
+        let mut walk = IncrementalWalk::new(&self.components, limits.max_breakpoints());
         if walk.value.is_positive() {
             // Demand at Δ = 0 can never be served.
             return Ok((false, false));
@@ -768,6 +847,7 @@ impl DemandProfile {
                     WalkTrace {
                         kind: WalkKind::Integer,
                         pruned: false,
+                        lockstep: false,
                     },
                 ));
             }
@@ -778,6 +858,7 @@ impl DemandProfile {
                 WalkTrace {
                     kind: WalkKind::Rational,
                     pruned: false,
+                    lockstep: false,
                 },
             )
         })
@@ -798,7 +879,7 @@ impl DemandProfile {
         if !speed.is_positive() {
             return Err(AnalysisError::NonPositiveSpeed);
         }
-        let mut walk = IncrementalWalk::new(&self.components);
+        let mut walk = IncrementalWalk::new(&self.components, limits.max_breakpoints());
         if !walk.value.is_positive() {
             return Ok(FirstFit::At(Rational::ZERO));
         }
@@ -883,7 +964,7 @@ impl DemandProfile {
         min_speed: Rational,
         limits: &AnalysisLimits,
     ) -> Result<ResetFrontier, AnalysisError> {
-        let mut walk = IncrementalWalk::new(&self.components);
+        let mut walk = IncrementalWalk::new(&self.components, limits.max_breakpoints());
         if !walk.value.is_positive() {
             return Ok(ResetFrontier::everything_fits_at_zero());
         }
@@ -986,7 +1067,7 @@ impl DemandProfile {
         tolerance: Rational,
         limits: &AnalysisLimits,
     ) -> Result<Rational, AnalysisError> {
-        let mut walk = IncrementalWalk::new(&self.components);
+        let mut walk = IncrementalWalk::new(&self.components, limits.max_breakpoints());
         if !walk.value.is_positive() {
             // A zero-at-zero profile is drained instantly at any speed.
             return Ok(Rational::ZERO);
@@ -1041,6 +1122,204 @@ impl Default for DemandProfile {
     fn default() -> DemandProfile {
         DemandProfile::new(Vec::new())
     }
+}
+
+/// Breakpoint batches each live walk advances per round-robin turn of a
+/// lockstep driver. Small enough that a batch's walk state (a few SoA
+/// lanes) stays cache-resident across the turn, large enough that the
+/// round-robin bookkeeping amortizes to noise; results are bit-identical
+/// for *any* chunk size, so this is purely a locality knob.
+pub(crate) const LOCKSTEP_CHUNK: usize = 64;
+
+/// A heterogeneous resumable walk machine, so one lockstep driver can
+/// interleave sup-ratio and fits walks in the same batch.
+///
+/// The variants differ in size, but boxing the large one would put a
+/// heap allocation back on every lockstep walk — the machines live
+/// inline in the driver's short-lived batch vector on purpose.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum AnyMachine {
+    /// A [`SupRatioMachine`] walk.
+    Sup(SupRatioMachine),
+    /// A [`FitsMachine`] walk.
+    Fits(FitsMachine),
+}
+
+/// The finished result of an [`AnyMachine`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AnyOutcome {
+    /// `(sup ratio, envelope-pruned)`.
+    Sup(SupRatio, bool),
+    /// `(fits, envelope-pruned)`.
+    Fits(bool, bool),
+}
+
+impl AnyMachine {
+    fn step(
+        &mut self,
+        batches: usize,
+        limits: &AnalysisLimits,
+    ) -> Result<MachineStep<AnyOutcome>, AnalysisError> {
+        Ok(match self {
+            AnyMachine::Sup(machine) => match machine.step(batches, limits)? {
+                MachineStep::Pending => MachineStep::Pending,
+                MachineStep::Overflow => MachineStep::Overflow,
+                MachineStep::Done((sup, pruned)) => MachineStep::Done(AnyOutcome::Sup(sup, pruned)),
+            },
+            AnyMachine::Fits(machine) => match machine.step(batches, limits)? {
+                MachineStep::Pending => MachineStep::Pending,
+                MachineStep::Overflow => MachineStep::Overflow,
+                MachineStep::Done((fits, pruned)) => {
+                    MachineStep::Done(AnyOutcome::Fits(fits, pruned))
+                }
+            },
+        })
+    }
+}
+
+/// Drives `live` machines round-robin, [`LOCKSTEP_CHUNK`] breakpoint
+/// batches per machine per round, until all finish. Each machine writes
+/// its slot: `Some(Ok)` on completion, `Some(Err)` on a budget error,
+/// and leaves `None` on integer overflow — the caller then runs the
+/// exact rational fallback for those slots.
+///
+/// Every machine carries its own limits, and per-walk state (`examined`
+/// counts, budget checks) is tracked per machine, so results are
+/// bit-identical to driving each machine alone — the interleaving
+/// affects cache behavior only.
+pub(crate) fn drive_lockstep(
+    mut live: Vec<(usize, AnyMachine, &AnalysisLimits)>,
+    slots: &mut [Option<Result<AnyOutcome, AnalysisError>>],
+) {
+    while !live.is_empty() {
+        live.retain_mut(
+            |(i, machine, limits)| match machine.step(LOCKSTEP_CHUNK, limits) {
+                Ok(MachineStep::Pending) => true,
+                Ok(MachineStep::Done(outcome)) => {
+                    slots[*i] = Some(Ok(outcome));
+                    false
+                }
+                Ok(MachineStep::Overflow) => false,
+                Err(error) => {
+                    slots[*i] = Some(Err(error));
+                    false
+                }
+            },
+        );
+    }
+}
+
+/// [`DemandProfile::sup_ratio_traced`] over many profiles at once,
+/// advancing all integer fast-path walks in chunked lockstep for cache
+/// locality. Results (and errors) are bit-identical to querying each
+/// profile on its own; profiles whose fast path overflows (or is absent)
+/// fall back to the exact rational walk afterwards, exactly as the
+/// sequential query would. The returned traces report `lockstep: true`
+/// for walks the batch driver completed.
+///
+/// # Errors
+///
+/// Per slot, as for [`DemandProfile::sup_ratio`].
+pub fn sup_ratio_many(
+    profiles: &[&DemandProfile],
+    limits: &AnalysisLimits,
+) -> Vec<Result<(SupRatio, WalkTrace), AnalysisError>> {
+    let mut slots: Vec<Option<Result<AnyOutcome, AnalysisError>>> =
+        (0..profiles.len()).map(|_| None).collect();
+    let live = profiles
+        .iter()
+        .enumerate()
+        .filter_map(|(i, profile)| {
+            let machine = SupRatioMachine::new(profile.scaled()?, limits)?;
+            Some((i, AnyMachine::Sup(machine), limits))
+        })
+        .collect();
+    drive_lockstep(live, &mut slots);
+    profiles
+        .iter()
+        .zip(slots)
+        .map(|(profile, slot)| match slot {
+            Some(Ok(AnyOutcome::Sup(sup, pruned))) => Ok((
+                sup,
+                WalkTrace {
+                    kind: WalkKind::Integer,
+                    pruned,
+                    lockstep: true,
+                },
+            )),
+            Some(Ok(AnyOutcome::Fits(..))) => unreachable!("sup machines yield sup outcomes"),
+            Some(Err(error)) => Err(error),
+            None => profile.sup_ratio_exact_traced(limits).map(|(sup, pruned)| {
+                (
+                    sup,
+                    WalkTrace {
+                        kind: WalkKind::Rational,
+                        pruned,
+                        lockstep: false,
+                    },
+                )
+            }),
+        })
+        .collect()
+}
+
+/// [`DemandProfile::fits_traced`] over many `(profile, speed)` queries at
+/// once, advancing all integer fast-path walks in chunked lockstep — the
+/// batch counterpart of [`sup_ratio_many`], with the same bit-identity
+/// contract.
+///
+/// # Errors
+///
+/// Per slot, as for [`DemandProfile::fits`] (including
+/// [`AnalysisError::NonPositiveSpeed`] for that slot's speed).
+pub fn fits_many(
+    queries: &[(&DemandProfile, Rational)],
+    limits: &AnalysisLimits,
+) -> Vec<Result<(bool, WalkTrace), AnalysisError>> {
+    let mut slots: Vec<Option<Result<AnyOutcome, AnalysisError>>> =
+        (0..queries.len()).map(|_| None).collect();
+    let mut live = Vec::new();
+    for (i, (profile, speed)) in queries.iter().enumerate() {
+        if !speed.is_positive() {
+            slots[i] = Some(Err(AnalysisError::NonPositiveSpeed));
+            continue;
+        }
+        if let Some(machine) = profile
+            .scaled()
+            .and_then(|s| FitsMachine::new(s, *speed, limits))
+        {
+            live.push((i, AnyMachine::Fits(machine), limits));
+        }
+    }
+    drive_lockstep(live, &mut slots);
+    queries
+        .iter()
+        .zip(slots)
+        .map(|((profile, speed), slot)| match slot {
+            Some(Ok(AnyOutcome::Fits(fits, pruned))) => Ok((
+                fits,
+                WalkTrace {
+                    kind: WalkKind::Integer,
+                    pruned,
+                    lockstep: true,
+                },
+            )),
+            Some(Ok(AnyOutcome::Sup(..))) => unreachable!("fits machines yield fits outcomes"),
+            Some(Err(error)) => Err(error),
+            None => profile
+                .fits_exact_traced(*speed, limits)
+                .map(|(fits, pruned)| {
+                    (
+                        fits,
+                        WalkTrace {
+                            kind: WalkKind::Rational,
+                            pruned,
+                            lockstep: false,
+                        },
+                    )
+                }),
+        })
+        .collect()
 }
 
 impl FromIterator<PeriodicDemand> for DemandProfile {
@@ -1405,22 +1684,41 @@ impl FrontierBuilder {
     }
 }
 
-/// Event kinds of the incremental walk (shared with the integer mirror
-/// in [`crate::scaled`]).
-pub(crate) const EVENT_WRAP: u8 = 0;
-pub(crate) const EVENT_RAMP_START: u8 = 1;
-pub(crate) const EVENT_RAMP_END: u8 = 2;
-
-/// Precomputed per-component deltas applied at each event kind.
-#[derive(Debug, Clone)]
-struct ComponentEvents {
-    period: Rational,
-    /// Value change when crossing a period boundary `kT` (`k ≥ 1`):
-    /// the `⌊Δ/T⌋` term gains `per_period` while the carry term resets
-    /// from its clipped full value to `r(0)`.
-    wrap_value: Rational,
-    /// Slope change at a period boundary.
-    wrap_slope: i64,
+/// How an [`IncrementalWalk`] schedules its event streams.
+///
+/// Every stream is strictly periodic, so the walk needs only "next
+/// pending time" per stream plus their minimum. When all stream times
+/// and periods fit one integer grid (with headroom for the caller's
+/// advance budget), the schedule keeps them as flat `i128` lanes and
+/// each batch is one linear scan — no rational time arithmetic, no heap
+/// sift, and the structure-of-arrays layout of [`crate::kernel`]. The
+/// heap fallback covers profiles whose timebase overflows the grid.
+///
+/// Grid times are exact (`t = t'·K` with `K` the lcm of the stream
+/// denominators) and [`IncrementalWalk::peek_next`] rebuilds rationals
+/// through `Rational::new`'s canonical reduction, so both schedules
+/// produce representation-identical breakpoints in the same order —
+/// same-time events fire in stream creation order either way (the heap
+/// keys are `(time, stream)` with streams numbered in creation order).
+enum Schedule {
+    /// Flat integer lanes on the common timebase `scale`.
+    Grid {
+        scale: i128,
+        /// The grid time already advanced to (`delta·scale`).
+        at: i128,
+        /// Minimum of `times` (meaningless while `times` is empty).
+        next: i128,
+        /// `next/scale` reduced once per advance, so peeks and the
+        /// segment bookkeeping don't re-run the gcd every breakpoint.
+        next_q: Rational,
+        times: Vec<i128>,
+        periods: Vec<i128>,
+    },
+    /// Exact rational times for profiles off the integer grid.
+    Heap {
+        heap: BinaryHeap<Reverse<(Rational, usize)>>,
+        periods: Vec<Rational>,
+    },
 }
 
 /// Walks the merged breakpoint stream of a profile while maintaining the
@@ -1432,25 +1730,35 @@ struct ComponentEvents {
 /// `value == Σ_i eval_i(delta)` (the right-continuous, post-jump value)
 /// and `slope` is the number of components inside their unit-slope ramp
 /// on the right of `delta`.
+///
+/// Each event stream fires a precomputed `(value, slope)` delta: a wrap
+/// stream adds `per_period` minus the carry the ramp reset forfeits, a
+/// ramp-start stream adds the jump (and slope 1 for a true ramp), a
+/// ramp-end stream subtracts slope 1. Value arithmetic is identical
+/// under both schedules — only event *timing* moves to the grid.
 struct IncrementalWalk {
-    heap: BinaryHeap<Reverse<(Rational, usize, u8)>>,
-    events: Vec<ComponentEvents>,
-    jumps: Vec<Rational>,
-    ramp_is_step: Vec<bool>,
+    fire_value: Vec<Rational>,
+    fire_slope: Vec<i64>,
+    schedule: Schedule,
     delta: Rational,
     value: Rational,
     slope: i64,
 }
 
 impl IncrementalWalk {
-    fn new(components: &[PeriodicDemand]) -> IncrementalWalk {
-        let mut heap = BinaryHeap::new();
-        let mut events = Vec::with_capacity(components.len());
-        let mut jumps = Vec::with_capacity(components.len());
-        let mut ramp_is_step = Vec::with_capacity(components.len());
+    /// Builds the walk. `max_advances` bounds how many times the caller
+    /// will [`IncrementalWalk::advance`]; the grid schedule is chosen
+    /// only when every stream time stays in `i128` for that many firings
+    /// (queries pass their breakpoint budget — the walk errors out of it
+    /// before ever advancing further).
+    fn new(components: &[PeriodicDemand], max_advances: usize) -> IncrementalWalk {
+        let mut fire_value = Vec::with_capacity(components.len() * 2);
+        let mut fire_slope = Vec::with_capacity(components.len() * 2);
+        let mut starts = Vec::with_capacity(components.len() * 2);
+        let mut periods = Vec::with_capacity(components.len() * 2);
         let mut value = Rational::ZERO;
         let mut slope = 0i64;
-        for (i, c) in components.iter().enumerate() {
+        for c in components {
             let ramp_restarts_at_wrap = c.ramp_start.is_zero();
             // Value and slope contributions at Δ = 0.
             value += c.constant;
@@ -1473,30 +1781,45 @@ impl IncrementalWalk {
             let in_ramp_before_wrap =
                 c.ramp_len.is_positive() && (c.period - c.ramp_start) <= c.ramp_len;
             let in_ramp_after_wrap = ramp_restarts_at_wrap && c.ramp_len.is_positive();
-            events.push(ComponentEvents {
-                period: c.period,
-                wrap_value: c.per_period - carry_at_wrap + r_at_zero,
-                wrap_slope: i64::from(in_ramp_after_wrap) - i64::from(in_ramp_before_wrap),
-            });
-            jumps.push(c.jump);
-            ramp_is_step.push(c.ramp_len.is_zero());
-            heap.push(Reverse((c.period, i, EVENT_WRAP)));
+            // Wrap stream: crossing a period boundary `kT` (`k ≥ 1`)
+            // gains `per_period` while the carry term resets from its
+            // clipped full value to `r(0)`.
+            starts.push(c.period);
+            periods.push(c.period);
+            fire_value.push(c.per_period - carry_at_wrap + r_at_zero);
+            fire_slope.push(i64::from(in_ramp_after_wrap) - i64::from(in_ramp_before_wrap));
             if c.ramp_start.is_positive() {
-                heap.push(Reverse((c.ramp_start, i, EVENT_RAMP_START)));
+                // A ramp of positive length raises the slope; a pure
+                // step (ramp_len = 0) does not.
+                starts.push(c.ramp_start);
+                periods.push(c.period);
+                fire_value.push(c.jump);
+                fire_slope.push(i64::from(!c.ramp_len.is_zero()));
             }
             // Ramp ends are needed even when the ramp starts at offset 0
             // (the wrap event restarts it); clipped ramps (running past
             // the period end) end via the wrap's slope delta instead.
             let ramp_end = c.ramp_start + c.ramp_len;
             if c.ramp_len.is_positive() && ramp_end < c.period {
-                heap.push(Reverse((ramp_end, i, EVENT_RAMP_END)));
+                starts.push(ramp_end);
+                periods.push(c.period);
+                fire_value.push(Rational::ZERO);
+                fire_slope.push(-1);
             }
         }
+        let schedule =
+            Schedule::grid(&starts, &periods, max_advances).unwrap_or_else(|| Schedule::Heap {
+                heap: starts
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &t)| Reverse((t, s)))
+                    .collect(),
+                periods,
+            });
         IncrementalWalk {
-            heap,
-            events,
-            jumps,
-            ramp_is_step,
+            fire_value,
+            fire_slope,
+            schedule,
             delta: Rational::ZERO,
             value,
             slope,
@@ -1505,7 +1828,10 @@ impl IncrementalWalk {
 
     /// The time of the next event batch, if any.
     fn peek_next(&self) -> Option<Rational> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+        match &self.schedule {
+            Schedule::Grid { next_q, times, .. } => (!times.is_empty()).then_some(*next_q),
+            Schedule::Heap { heap, .. } => heap.peek().map(|Reverse((t, _))| *t),
+        }
     }
 
     /// Advances to the next event batch, applying the linear segment and
@@ -1513,40 +1839,115 @@ impl IncrementalWalk {
     ///
     /// # Panics
     ///
-    /// Panics on an empty profile (no events exist).
+    /// Panics on an empty profile (no events exist), or past the
+    /// `max_advances` bound the grid schedule was proofed for.
     fn advance(&mut self) {
-        let next = self.peek_next().expect("advance on an empty profile");
-        self.value += Rational::integer(i128::from(self.slope)) * (next - self.delta);
-        self.delta = next;
-        while let Some(&Reverse((t, i, kind))) = self.heap.peek() {
-            if t != next {
-                break;
-            }
-            self.heap.pop();
-            match kind {
-                EVENT_WRAP => {
-                    self.value += self.events[i].wrap_value;
-                    self.slope += self.events[i].wrap_slope;
-                    self.heap
-                        .push(Reverse((t + self.events[i].period, i, EVENT_WRAP)));
-                }
-                EVENT_RAMP_START => {
-                    self.value += self.jumps[i];
-                    // A ramp of positive length raises the slope; a pure
-                    // step (ramp_len = 0) does not.
-                    if !self.ramp_is_step[i] {
-                        self.slope += 1;
+        let IncrementalWalk {
+            fire_value,
+            fire_slope,
+            schedule,
+            delta,
+            value,
+            slope,
+        } = self;
+        match schedule {
+            Schedule::Grid {
+                scale,
+                at,
+                next,
+                next_q,
+                times,
+                periods,
+            } => {
+                assert!(!times.is_empty(), "advance on an empty profile");
+                let due = *next;
+                // Segment contribution `slope·(next_q − delta)` computed
+                // on the grid: one reduction through `Rational::new`
+                // instead of a sub/mul rational chain. Canonical forms
+                // are unique, so the sum is bit-identical; a slope of
+                // zero contributes exactly `ZERO` either way.
+                if *slope != 0 {
+                    match (due - *at).checked_mul(i128::from(*slope)) {
+                        Some(n) => *value += Rational::new(n, *scale),
+                        None => {
+                            *value += Rational::integer(i128::from(*slope)) * (*next_q - *delta);
+                        }
                     }
-                    self.heap
-                        .push(Reverse((t + self.events[i].period, i, EVENT_RAMP_START)));
                 }
-                _ => {
-                    self.slope -= 1;
-                    self.heap
-                        .push(Reverse((t + self.events[i].period, i, EVENT_RAMP_END)));
+                *delta = *next_q;
+                *at = due;
+                let mut new_min = i128::MAX;
+                for j in 0..times.len() {
+                    let mut t = times[j];
+                    if t == due {
+                        *value += fire_value[j];
+                        *slope += fire_slope[j];
+                        t = t
+                            .checked_add(periods[j])
+                            .expect("grid schedule overflow-proofed at construction");
+                        times[j] = t;
+                    }
+                    new_min = new_min.min(t);
+                }
+                *next = new_min;
+                *next_q = Rational::new(new_min, *scale);
+            }
+            Schedule::Heap { heap, periods } => {
+                let Some(&Reverse((next_t, _))) = heap.peek() else {
+                    panic!("advance on an empty profile");
+                };
+                *value += Rational::integer(i128::from(*slope)) * (next_t - *delta);
+                *delta = next_t;
+                while let Some(&Reverse((t, s))) = heap.peek() {
+                    if t != next_t {
+                        break;
+                    }
+                    heap.pop();
+                    *value += fire_value[s];
+                    *slope += fire_slope[s];
+                    heap.push(Reverse((t + periods[s], s)));
                 }
             }
         }
+    }
+}
+
+impl Schedule {
+    /// Attempts the integer grid over the stream start times and periods:
+    /// `scale` is the lcm of their denominators, and eligibility requires
+    /// every stream's time to stay in `i128` after `max_advances` firings
+    /// (each advance moves a stream by at most one period). `None` falls
+    /// back to the heap.
+    fn grid(starts: &[Rational], periods: &[Rational], max_advances: usize) -> Option<Schedule> {
+        let mut scale: i128 = 1;
+        for q in starts.iter().chain(periods) {
+            scale = lcm_i128(scale, q.denom())?;
+        }
+        let times: Vec<i128> = starts
+            .iter()
+            .map(|&q| crate::scaled::to_scaled(q, scale))
+            .collect::<Option<_>>()?;
+        let periods: Vec<i128> = periods
+            .iter()
+            .map(|&q| crate::scaled::to_scaled(q, scale))
+            .collect::<Option<_>>()?;
+        // Overflow headroom: after A advances a stream sits at most at
+        // `start + A·period`, and the A-th advance may compute one more
+        // reschedule — proof the worst case with margin so the advance
+        // loop's reschedule can never wrap.
+        let advances = i128::try_from(max_advances).ok()?.checked_add(2)?;
+        let start_max = times.iter().copied().max().unwrap_or(0);
+        let period_max = periods.iter().copied().max().unwrap_or(0);
+        period_max.checked_mul(advances)?.checked_add(start_max)?;
+        let next = times.iter().copied().min().unwrap_or(0);
+        Some(Schedule::Grid {
+            scale,
+            at: 0,
+            next,
+            next_q: Rational::new(next, scale),
+            times,
+            periods,
+        })
     }
 }
 
@@ -1846,7 +2247,7 @@ mod tests {
         let a = PeriodicDemand::step(int(4), int(2), int(1));
         let b = PeriodicDemand::step(int(6), int(2), int(1));
         let profile = DemandProfile::new(vec![a.clone(), b.clone()]);
-        let mut walk = IncrementalWalk::new(&[a, b]);
+        let mut walk = IncrementalWalk::new(&[a, b], 64);
         assert_eq!(walk.delta, Rational::ZERO);
         assert_eq!(walk.value, profile.eval(Rational::ZERO));
         let mut visited = Vec::new();
@@ -1872,7 +2273,7 @@ mod tests {
         let immediate = PeriodicDemand::new(int(4), int(3), int(0), int(0), int(1), int(2));
         let comps = vec![clipped, step, immediate];
         let profile = DemandProfile::new(comps.clone());
-        let mut walk = IncrementalWalk::new(&comps);
+        let mut walk = IncrementalWalk::new(&comps, 128);
         assert_eq!(walk.value, profile.eval(Rational::ZERO));
         for _ in 0..60 {
             walk.advance();
@@ -1936,7 +2337,7 @@ mod walk_equivalence_properties {
         for _ in 0..CASES {
             let comps = arb_components(&mut rng, 5);
             let profile = DemandProfile::new(comps.clone());
-            let mut walk = IncrementalWalk::new(&comps);
+            let mut walk = IncrementalWalk::new(&comps, 128);
             assert_eq!(walk.value, profile.eval(Rational::ZERO));
             for _ in 0..100 {
                 walk.advance();
@@ -1979,7 +2380,7 @@ mod walk_equivalence_properties {
         for _ in 0..CASES {
             let comps = arb_components(&mut rng, 4);
             let profile = DemandProfile::new(comps.clone());
-            let mut walk = IncrementalWalk::new(&comps);
+            let mut walk = IncrementalWalk::new(&comps, 128);
             for _ in 0..60 {
                 let start = walk.delta;
                 let slope = walk.slope;

@@ -1,0 +1,639 @@
+//! Zero-allocation structure-of-arrays breakpoint-walk kernel.
+//!
+//! The integer fast path of [`crate::scaled`] used to drive every query
+//! through a `ScaledWalk` that allocated two `Vec`s per walk and chased
+//! a `(component, kind)` indirection per event stream on every advance.
+//! This module replaces it with a flat structure-of-arrays kernel:
+//!
+//! * [`LaneBuf`] — four parallel arrays (`times`, `periods`,
+//!   `fire_value`, `fire_slope`), one entry per event stream. Everything
+//!   the advance loop reads sits contiguously; the per-event component
+//!   lookup is gone because each stream's *fire effect* (the value/slope
+//!   delta it applies when due) is precomputed at seed time.
+//! * [`WalkArena`] — a pool of lane buffers. Walks check buffers out on
+//!   seed and return them on drop, so steady-state walks perform **zero
+//!   heap allocations** (pinned by `tests/alloc_steady_state.rs`). Every
+//!   thread owns an arena in thread-local storage; worker pools that
+//!   recreate threads per batch persist theirs across batches by
+//!   swapping an [`crate::AnalysisScratch`]-owned arena in via
+//!   [`ArenaAttach`].
+//! * [`KernelWalk`] — the walk itself, generic over the lane integer
+//!   width. The advance loop is one straight-line pass over the lanes: a
+//!   predictable due-test branch (batches rarely fire more than one
+//!   stream), accumulated fire deltas folded into `value` once, and a
+//!   branch-free select for the next-batch minimum over the `times`
+//!   lane.
+//!
+//! # Narrow lanes
+//!
+//! Scaled quantities are `i128` in general, but real task sets live on
+//! millisecond-scale grids where every time and value the walk can ever
+//! reach fits comfortably in `i64` — and a 64-bit lane halves the memory
+//! the scan touches and turns every compare and cross-multiply into one
+//! or two machine instructions instead of multi-word sequences.
+//! [`NarrowHeadroom`] proves, from per-profile aggregates folded once at
+//! build time and the walk's breakpoint budget, that *no* reachable time
+//! or value can leave `i64`:
+//! times are bounded by `period_max · (budget + 2)` and values by the
+//! monotone total `v(0) + Σ_j fires_j·fire_j + slope_max · t_bound`
+//! (demand curves are non-decreasing, so the running value never exceeds
+//! its final bound). Only when that proof succeeds does a caller seed a
+//! `KernelWalk<i64>`; otherwise the `i128` kernel runs with its original
+//! overflow-bail behavior. The dispatch cannot change observable
+//! results: a profile passing the `i64` proof can never overflow the
+//! `i128` kernel either, so neither width bails and both walk the same
+//! grid — the differential suites pin this.
+//!
+//! # Overflow equivalence
+//!
+//! The old walk applied each due stream's delta with `checked_add`, in
+//! stream order, bailing to the exact rational walk at the first
+//! overflow. The batched loop instead accumulates all due deltas with
+//! `overflowing_add` and folds the sum into `value` once. The two bail
+//! conditions are *identical* because every fire delta is non-negative
+//! (`wrap_value = per_period − carry_at_wrap + r_at_zero ≥ 0` since the
+//! carry never exceeds `per_period`, jumps are non-negative, ramp ends
+//! contribute zero) and `value ≥ 0`: a monotone non-decreasing checked
+//! chain overflows iff its total does. Seeding asserts the
+//! non-negativity this argument rests on.
+
+use std::cell::RefCell;
+
+use crate::scaled::ScaledComponent;
+
+/// How many lane buffers an arena keeps parked per width. Lockstep
+/// drivers lease one lane per live walk, so the pool high-water mark is
+/// the largest batch ever driven; the cap only guards against
+/// pathological callers.
+const MAX_PARKED_LANES: usize = 1024;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for i64 {}
+    impl Sealed for i128 {}
+}
+
+/// A lane integer width: `i64` for proved-narrow walks, `i128` for the
+/// general case. Generic walk code is written once against this trait
+/// and monomorphizes to straight-line integer code for each width.
+pub(crate) trait Lane:
+    Copy + Ord + std::fmt::Debug + Default + sealed::Sealed + 'static
+{
+    /// Largest representable lane value.
+    const MAX: Self;
+    /// `true` for lanes whose values carry the seed-time headroom proof
+    /// ([`NarrowHeadroom`]): every time/value stays within `i64::MAX/4`,
+    /// so `i128` cross products of two lane values are always exact.
+    /// Query bodies use this to pick bookkeeping that defers rational
+    /// reduction, which would change overflow-bail points on unproved
+    /// wide lanes.
+    const NARROW: bool;
+    /// Narrowing conversion from the scaled `i128` domain.
+    fn from_i128(v: i128) -> Option<Self>;
+    /// Infallible conversion from an `i64` (slopes, small constants).
+    fn from_i64(v: i64) -> Self;
+    /// Widening conversion back to the scaled `i128` domain.
+    fn widen(self) -> i128;
+    /// Checked lane addition.
+    fn add_check(self, rhs: Self) -> Option<Self>;
+    /// Overflowing lane addition (for the batched fire accumulation).
+    fn add_overflowing(self, rhs: Self) -> (Self, bool);
+    /// Checked lane subtraction.
+    fn sub_check(self, rhs: Self) -> Option<Self>;
+    /// Checked `slope · dt` in lane width.
+    fn slope_mul(slope: i64, dt: Self) -> Option<Self>;
+    /// The product of two lane values in `i128`. Exact for `i64` lanes
+    /// (a single widening multiply — `2^63·2^63 < 2^127`), checked for
+    /// `i128` lanes (where it is the fast path's overflow bail).
+    fn mul_widen(self, rhs: Self) -> Option<i128>;
+    /// Checked product against an external `i128` scalar.
+    fn mul_i128(self, k: i128) -> Option<i128>;
+    /// The arena pool parking buffers of this width.
+    fn pool(arena: &mut WalkArena) -> &mut Vec<LaneBuf<Self>>;
+}
+
+impl Lane for i64 {
+    const MAX: i64 = i64::MAX;
+    const NARROW: bool = true;
+    #[inline]
+    fn from_i128(v: i128) -> Option<i64> {
+        i64::try_from(v).ok()
+    }
+    #[inline]
+    fn from_i64(v: i64) -> i64 {
+        v
+    }
+    #[inline]
+    fn widen(self) -> i128 {
+        i128::from(self)
+    }
+    #[inline]
+    fn add_check(self, rhs: i64) -> Option<i64> {
+        self.checked_add(rhs)
+    }
+    #[inline]
+    fn add_overflowing(self, rhs: i64) -> (i64, bool) {
+        self.overflowing_add(rhs)
+    }
+    #[inline]
+    fn sub_check(self, rhs: i64) -> Option<i64> {
+        self.checked_sub(rhs)
+    }
+    #[inline]
+    fn slope_mul(slope: i64, dt: i64) -> Option<i64> {
+        slope.checked_mul(dt)
+    }
+    #[inline]
+    fn mul_widen(self, rhs: i64) -> Option<i128> {
+        Some(i128::from(self) * i128::from(rhs))
+    }
+    #[inline]
+    fn mul_i128(self, k: i128) -> Option<i128> {
+        i128::from(self).checked_mul(k)
+    }
+    #[inline]
+    fn pool(arena: &mut WalkArena) -> &mut Vec<LaneBuf<i64>> {
+        &mut arena.parked_narrow
+    }
+}
+
+impl Lane for i128 {
+    const NARROW: bool = false;
+    const MAX: i128 = i128::MAX;
+    #[inline]
+    fn from_i128(v: i128) -> Option<i128> {
+        Some(v)
+    }
+    #[inline]
+    fn from_i64(v: i64) -> i128 {
+        i128::from(v)
+    }
+    #[inline]
+    fn widen(self) -> i128 {
+        self
+    }
+    #[inline]
+    fn add_check(self, rhs: i128) -> Option<i128> {
+        self.checked_add(rhs)
+    }
+    #[inline]
+    fn add_overflowing(self, rhs: i128) -> (i128, bool) {
+        self.overflowing_add(rhs)
+    }
+    #[inline]
+    fn sub_check(self, rhs: i128) -> Option<i128> {
+        self.checked_sub(rhs)
+    }
+    #[inline]
+    fn slope_mul(slope: i64, dt: i128) -> Option<i128> {
+        i128::from(slope).checked_mul(dt)
+    }
+    #[inline]
+    fn mul_widen(self, rhs: i128) -> Option<i128> {
+        self.checked_mul(rhs)
+    }
+    #[inline]
+    fn mul_i128(self, k: i128) -> Option<i128> {
+        self.checked_mul(k)
+    }
+    #[inline]
+    fn pool(arena: &mut WalkArena) -> &mut Vec<LaneBuf<i128>> {
+        &mut arena.parked_wide
+    }
+}
+
+/// The structure-of-arrays state of one walk: entry `j` of every array
+/// describes event stream `j`.
+#[derive(Debug, Default)]
+pub(crate) struct LaneBuf<L> {
+    /// Next pending event time per stream (scaled grid).
+    times: Vec<L>,
+    /// Reschedule step per stream (the owning component's period).
+    periods: Vec<L>,
+    /// Value delta applied when the stream fires. Always `≥ 0` — the
+    /// batched overflow accounting depends on it.
+    fire_value: Vec<L>,
+    /// Slope delta applied when the stream fires.
+    fire_slope: Vec<i64>,
+}
+
+impl<L: Lane> LaneBuf<L> {
+    fn clear(&mut self) {
+        self.times.clear();
+        self.periods.clear();
+        self.fire_value.clear();
+        self.fire_slope.clear();
+    }
+
+    fn push(&mut self, time: L, period: L, fire_value: L, fire_slope: i64) {
+        debug_assert!(
+            fire_value >= L::default(),
+            "fire deltas must be non-negative"
+        );
+        self.times.push(time);
+        self.periods.push(period);
+        self.fire_value.push(fire_value);
+        self.fire_slope.push(fire_slope);
+    }
+
+    fn len(&self) -> usize {
+        self.times.len()
+    }
+}
+
+/// A pool of [`LaneBuf`]s (one sub-pool per lane width): walks lease on
+/// seed and return on drop, so a thread (or a worker carrying one inside
+/// its [`crate::AnalysisScratch`]) stops allocating per walk after
+/// warm-up.
+#[derive(Debug, Default)]
+pub(crate) struct WalkArena {
+    parked_narrow: Vec<LaneBuf<i64>>,
+    parked_wide: Vec<LaneBuf<i128>>,
+    /// Lifetime lease count (diagnostics).
+    leases: u64,
+    /// Leases served from a parked buffer instead of a fresh allocation.
+    hits: u64,
+}
+
+impl WalkArena {
+    pub(crate) fn new() -> WalkArena {
+        WalkArena::default()
+    }
+
+    fn lease<L: Lane>(&mut self) -> LaneBuf<L> {
+        self.leases += 1;
+        match L::pool(self).pop() {
+            Some(mut lane) => {
+                self.hits += 1;
+                lane.clear();
+                lane
+            }
+            None => LaneBuf::default(),
+        }
+    }
+
+    fn reclaim<L: Lane>(&mut self, lane: LaneBuf<L>) {
+        let pool = L::pool(self);
+        if pool.len() < MAX_PARKED_LANES {
+            pool.push(lane);
+        }
+    }
+
+    /// `(lifetime leases, leases served without allocating)`.
+    #[cfg(test)]
+    fn stats(&self) -> (u64, u64) {
+        (self.leases, self.hits)
+    }
+}
+
+thread_local! {
+    /// Every thread's resident arena. Long-lived threads (benches, the
+    /// CLI, tests) get cross-walk reuse with no setup; pooled workers
+    /// swap a scratch-owned arena in via [`ArenaAttach`] so reuse also
+    /// survives thread turnover.
+    static TLS_ARENA: RefCell<WalkArena> = RefCell::new(WalkArena::new());
+}
+
+fn lease_lane<L: Lane>() -> LaneBuf<L> {
+    TLS_ARENA.with(|arena| arena.borrow_mut().lease())
+}
+
+fn reclaim_lane<L: Lane>(lane: LaneBuf<L>) {
+    TLS_ARENA.with(|arena| arena.borrow_mut().reclaim(lane));
+}
+
+/// Swaps a caller-owned [`WalkArena`] into this thread's slot for a
+/// region, so walk-buffer reuse accumulates in a durable place (an
+/// [`crate::AnalysisScratch`]) rather than dying with a scoped worker
+/// thread. [`ArenaAttach::detach`] returns the (possibly grown) arena
+/// and restores the thread's own; a drop without detach (panic unwind)
+/// restores the thread arena and lets the attached one free its buffers.
+pub(crate) struct ArenaAttach {
+    previous: Option<WalkArena>,
+}
+
+impl ArenaAttach {
+    pub(crate) fn new(arena: WalkArena) -> ArenaAttach {
+        let previous = TLS_ARENA.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), arena));
+        ArenaAttach {
+            previous: Some(previous),
+        }
+    }
+
+    pub(crate) fn detach(mut self) -> WalkArena {
+        let previous = self.previous.take().expect("detach runs once");
+        TLS_ARENA.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), previous))
+    }
+}
+
+impl Drop for ArenaAttach {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            TLS_ARENA.with(|slot| *slot.borrow_mut() = previous);
+        }
+    }
+}
+
+/// The profile-level aggregates of the narrow-lane headroom proof,
+/// folded once per profile build (or patch) so each walk's proof check
+/// ([`NarrowHeadroom::allows`]) costs three checked multiplies instead
+/// of a pass over the components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NarrowHeadroom {
+    /// Largest stream period.
+    period_max: i128,
+    /// `Σ |constant| + |jump|` — the walk's value at `Δ = 0` bound.
+    v_abs: i128,
+    /// `Σ_j |fire_j|` over every event stream.
+    fire_sum: i128,
+    /// Number of event streams (bounds the running slope).
+    streams: i128,
+}
+
+impl NarrowHeadroom {
+    /// Folds the proof aggregates over `components`; `None` when a fold
+    /// itself overflows `i128` (such a profile is never narrow).
+    pub(crate) fn fold(components: &[ScaledComponent]) -> Option<NarrowHeadroom> {
+        let mut period_max: i128 = 0;
+        let mut v_abs: i128 = 0;
+        let mut fire_sum: i128 = 0;
+        let mut streams: i128 = 0;
+        for c in components {
+            period_max = period_max.max(c.period);
+            v_abs = v_abs.checked_add(c.constant.checked_abs()?)?;
+            v_abs = v_abs.checked_add(c.jump.checked_abs()?)?;
+            fire_sum = fire_sum.checked_add(c.wrap_value.checked_abs()?)?;
+            streams += 1;
+            if c.ramp_start > 0 {
+                fire_sum = fire_sum.checked_add(c.jump.checked_abs()?)?;
+                streams += 1;
+            }
+            let ramp_end = c.ramp_start.checked_add(c.ramp_len)?;
+            if c.ramp_len > 0 && ramp_end < c.period {
+                // The ramp-end stream fires with a zero value delta.
+                streams += 1;
+            }
+        }
+        Some(NarrowHeadroom {
+            period_max,
+            v_abs,
+            fire_sum,
+            streams,
+        })
+    }
+
+    /// Proves that a walk over the folded components driven for at most
+    /// `max_advances` breakpoint batches can never push a time or a
+    /// value outside `i64`. All bounds are evaluated in checked `i128`:
+    ///
+    /// * Times: every stream starts at or before its period and gains
+    ///   one period per fire, and a stream fires at most once per batch,
+    ///   so `t ≤ period_max · (max_advances + 2)`.
+    /// * Values: each stream fires at most `advances = max_advances + 2`
+    ///   times (the time-based count `t_bound/period_j + 1 ≥ advances`
+    ///   for every `period_j ≤ period_max`, so the advance bound is the
+    ///   binding one), and the slope — a count of active ramps — never
+    ///   exceeds the stream count, so the running value stays within
+    ///   `v(0) ± (advances·Σ_j |fire_j| + streams·t_bound)`.
+    ///
+    /// A `false` answer only forfeits the narrow fast path — the caller
+    /// seeds the `i128` kernel instead.
+    pub(crate) fn allows(&self, max_advances: usize) -> bool {
+        fn bound(pre: &NarrowHeadroom, max_advances: usize) -> Option<()> {
+            let advances = i128::try_from(max_advances).ok()?.checked_add(2)?;
+            let t_bound = pre.period_max.checked_mul(advances)?;
+            let fired = advances.checked_mul(pre.fire_sum)?;
+            let slope_area = pre.streams.checked_mul(t_bound)?;
+            let v_bound = pre.v_abs.checked_add(fired)?.checked_add(slope_area)?;
+            // The quarter-range margin keeps every *linear combination*
+            // the query bodies form (`value − slope·start`, `s_num −
+            // slope·s_den` with 32-bit speeds, `pre` limits) provably
+            // inside `i64`, not just the raw times and values.
+            let cap = i128::from(i64::MAX / 4);
+            (t_bound <= cap && v_bound <= cap).then_some(())
+        }
+        bound(self, max_advances).is_some()
+    }
+}
+
+/// The integer breakpoint walk over a seeded [`LaneBuf`]: same event
+/// streams, same visit order and same overflow-bail decisions as the
+/// exact walk's integer mirror, generic over the lane width.
+///
+/// The walk owns its lane for its lifetime and returns it to the
+/// thread's arena on drop, so repeated walks allocate nothing.
+#[derive(Debug)]
+pub(crate) struct KernelWalk<L: Lane = i128> {
+    lane: LaneBuf<L>,
+    /// Minimum of `lane.times` (meaningless while the lane is empty).
+    next: L,
+    pub(crate) delta: L,
+    pub(crate) value: L,
+    pub(crate) slope: i64,
+}
+
+impl<L: Lane> Drop for KernelWalk<L> {
+    fn drop(&mut self) {
+        reclaim_lane(std::mem::take(&mut self.lane));
+    }
+}
+
+impl<L: Lane> KernelWalk<L> {
+    /// Seeds a walk over `components`, precomputing every stream's fire
+    /// effect. `None` when seeding overflows the lane width (the caller
+    /// falls back to the wider kernel or the exact rational walk); the
+    /// leased lane is reclaimed either way.
+    pub(crate) fn seed(components: &[ScaledComponent]) -> Option<KernelWalk<L>> {
+        let mut walk = KernelWalk {
+            lane: lease_lane(),
+            next: L::default(),
+            delta: L::default(),
+            value: L::default(),
+            slope: 0,
+        };
+        // A failed seed drops `walk`, reclaiming the lane.
+        walk.try_seed(components)?;
+        Some(walk)
+    }
+
+    fn try_seed(&mut self, components: &[ScaledComponent]) -> Option<()> {
+        self.lane.clear();
+        for c in components {
+            let period = L::from_i128(c.period)?;
+            self.value = self.value.add_check(L::from_i128(c.constant)?)?;
+            if c.ramp_start == 0 {
+                self.value = self.value.add_check(L::from_i128(c.jump)?)?;
+                if c.ramp_len > 0 {
+                    self.slope += 1;
+                }
+            }
+            // Mirrors the event-stream seeding of the exact walk: a wrap
+            // stream always, a ramp-start stream for offset ramps, and a
+            // ramp-end stream for ramps ending inside the period. The
+            // fire effect of each is the value/slope delta the exact walk
+            // applies for that event kind.
+            self.lane
+                .push(period, period, L::from_i128(c.wrap_value)?, c.wrap_slope);
+            if c.ramp_start > 0 {
+                let ramp_slope = i64::from(!c.ramp_is_step);
+                self.lane.push(
+                    L::from_i128(c.ramp_start)?,
+                    period,
+                    L::from_i128(c.jump)?,
+                    ramp_slope,
+                );
+            }
+            let ramp_end = c.ramp_start.checked_add(c.ramp_len)?;
+            if c.ramp_len > 0 && ramp_end < c.period {
+                self.lane
+                    .push(L::from_i128(ramp_end)?, period, L::default(), -1);
+            }
+        }
+        self.next = self.lane.times.iter().copied().min().unwrap_or_default();
+        Some(())
+    }
+
+    /// The time of the next event batch, if any stream exists.
+    pub(crate) fn peek_next(&self) -> Option<L> {
+        (self.lane.len() != 0).then_some(self.next)
+    }
+
+    /// Advances to the next event batch; `None` on overflow (the caller
+    /// must then discard the walk and fall back to a wider path).
+    ///
+    /// One straight-line pass over the lanes. The due test stays a
+    /// branch — a batch typically fires one stream out of many, so the
+    /// predictor nails it and idle streams cost a compare plus the
+    /// branch-free min fold; turning the rare fire into masked lane
+    /// operands on every stream was measurably slower. Fire deltas
+    /// accumulate with overflowing adds and fold into `value` once; see
+    /// the module docs for why the accumulated flag bails exactly when
+    /// the old sequential checked chain did.
+    pub(crate) fn advance(&mut self) -> Option<()> {
+        debug_assert!(self.lane.len() != 0, "advance on an empty profile");
+        let next = self.next;
+        let dt = next.sub_check(self.delta)?;
+        self.value = self.value.add_check(L::slope_mul(self.slope, dt)?)?;
+        self.delta = next;
+        let mut new_min = L::MAX;
+        let mut fired_value = L::default();
+        let mut fired_slope: i64 = 0;
+        let mut overflowed = false;
+        let times = &mut self.lane.times[..];
+        let periods = &self.lane.periods[..times.len()];
+        let fire_value = &self.lane.fire_value[..times.len()];
+        let fire_slope = &self.lane.fire_slope[..times.len()];
+        for j in 0..times.len() {
+            let mut t = times[j];
+            if t == next {
+                let (acc, acc_overflow) = fired_value.add_overflowing(fire_value[j]);
+                fired_value = acc;
+                overflowed |= acc_overflow;
+                fired_slope += fire_slope[j];
+                let (due_t, t_overflow) = t.add_overflowing(periods[j]);
+                overflowed |= t_overflow;
+                t = due_t;
+                times[j] = t;
+            }
+            new_min = if t < new_min { t } else { new_min };
+        }
+        if overflowed {
+            return None;
+        }
+        self.value = self.value.add_check(fired_value)?;
+        self.slope += fired_slope;
+        self.next = new_min;
+        Some(())
+    }
+}
+
+/// Runs `f` with a scratch-owned arena attached to this thread and
+/// returns the arena afterwards — the worker-loop wrapper used by the
+/// scratch-taking analysis entry points.
+pub(crate) fn with_arena<R>(arena: WalkArena, f: impl FnOnce() -> R) -> (WalkArena, R) {
+    let attach = ArenaAttach::new(arena);
+    let result = f();
+    (attach.detach(), result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_reuses_reclaimed_lanes() {
+        let mut arena = WalkArena::new();
+        let mut lane = arena.lease::<i128>();
+        lane.push(1, 1, 0, 0);
+        arena.reclaim(lane);
+        let lane = arena.lease::<i128>();
+        assert_eq!(lane.len(), 0, "reclaimed lanes come back cleared");
+        assert!(lane.times.capacity() >= 1, "capacity survives reclaim");
+        assert_eq!(arena.stats(), (2, 1));
+    }
+
+    #[test]
+    fn narrow_and_wide_pools_are_separate() {
+        let mut arena = WalkArena::new();
+        let narrow = arena.lease::<i64>();
+        let wide = arena.lease::<i128>();
+        arena.reclaim(narrow);
+        arena.reclaim(wide);
+        assert_eq!(arena.parked_narrow.len(), 1);
+        assert_eq!(arena.parked_wide.len(), 1);
+    }
+
+    #[test]
+    fn attach_swaps_the_thread_arena_and_detach_returns_it() {
+        // Warm the scratch-owned arena through an attached region…
+        let arena = WalkArena::new();
+        let (arena, ()) = with_arena(arena, || {
+            let lane = lease_lane::<i128>();
+            reclaim_lane(lane);
+        });
+        assert_eq!(arena.stats(), (1, 0));
+        // …and confirm a second region sees the same (now warm) pool.
+        let (arena, ()) = with_arena(arena, || {
+            let lane = lease_lane::<i128>();
+            reclaim_lane(lane);
+        });
+        assert_eq!(arena.stats(), (2, 1));
+    }
+
+    #[test]
+    fn parked_lanes_are_capped() {
+        let mut arena = WalkArena::new();
+        for _ in 0..(MAX_PARKED_LANES + 10) {
+            arena.reclaim(LaneBuf::<i128>::default());
+        }
+        assert_eq!(arena.parked_wide.len(), MAX_PARKED_LANES);
+    }
+
+    #[test]
+    fn headroom_rejects_wide_quantities() {
+        let big = ScaledComponent {
+            period: i128::MAX / 4,
+            constant: 0,
+            ramp_start: 0,
+            jump: 0,
+            ramp_len: 0,
+            wrap_value: 1,
+            wrap_slope: 0,
+            ramp_is_step: true,
+        };
+        let headroom = NarrowHeadroom::fold(&[big]).expect("folds");
+        assert!(!headroom.allows(1_000));
+        let small = ScaledComponent {
+            period: 100,
+            constant: 1,
+            ramp_start: 0,
+            jump: 1,
+            ramp_len: 0,
+            wrap_value: 1,
+            wrap_slope: 0,
+            ramp_is_step: true,
+        };
+        let headroom = NarrowHeadroom::fold(&[small]).expect("folds");
+        assert!(headroom.allows(4_000_000));
+    }
+}

@@ -82,6 +82,7 @@ pub mod tuning;
 
 mod config;
 mod error;
+mod kernel;
 mod scaled;
 
 pub use analysis::{Analysis, AnalysisScratch, WalkCounts};

@@ -14,6 +14,7 @@ use rbs_model::{ImplicitTaskSpec, TaskSet};
 use rbs_timebase::Rational;
 
 use crate::analysis::{Analysis, AnalysisScratch};
+use crate::kernel::with_arena;
 use crate::lo_mode::minimal_feasible_x;
 use crate::resetting::ResettingBound;
 use crate::speedup::SpeedupBound;
@@ -59,6 +60,9 @@ pub struct AnalyzeMeta {
     /// Demand components built, including the initial profile
     /// construction.
     pub rebuilt_components: u64,
+    /// Walks served by a chunked multi-profile lockstep batch (each also
+    /// counted in `integer_walks`).
+    pub lockstep_walks: u64,
 }
 
 impl AnalyzeMeta {
@@ -70,6 +74,7 @@ impl AnalyzeMeta {
             avoided_walks: counts.avoided,
             reused_components: counts.reused_components,
             rebuilt_components: counts.rebuilt_components,
+            lockstep_walks: counts.lockstep,
         }
     }
 }
@@ -116,9 +121,13 @@ pub fn analyze_with_meta_in(
     limits: &AnalysisLimits,
     scratch: &mut AnalysisScratch,
 ) -> Result<(AnalyzeReport, AnalyzeMeta), AnalysisError> {
-    let ctx = Analysis::new_with_scratch(&set, limits, scratch);
-    let result = run_queries(&ctx);
-    ctx.recycle_into(scratch);
+    let (arena, result) = with_arena(std::mem::take(&mut scratch.arena), || {
+        let ctx = Analysis::new_with_scratch(&set, limits, scratch);
+        let result = run_queries(&ctx);
+        ctx.recycle_into(scratch);
+        result
+    });
+    scratch.arena = arena;
     let (parts, meta) = result?;
     Ok((parts.into_report(set), meta))
 }
@@ -149,6 +158,7 @@ impl ReportParts {
 }
 
 fn run_queries(ctx: &Analysis) -> Result<(ReportParts, AnalyzeMeta), AnalysisError> {
+    ctx.prime_lockstep();
     let lo_schedulable = ctx.is_lo_schedulable()?;
     let lo_requirement = ctx.lo_speed_requirement()?;
     let analysis = ctx.minimum_speedup()?;
@@ -389,17 +399,21 @@ pub fn run_sweep_in(
     let Some(x) = grid.x.or_else(|| minimal_feasible_x(&grid.specs)) else {
         return Ok(None);
     };
-    let mut sweep = SweepAnalysis::new_in(
-        &grid.specs,
-        x,
-        &grid.ys,
-        SweepMode::Degraded,
-        limits,
-        scratch,
-    );
-    let result = sweep_points(&mut sweep, &grid.ys, &grid.speeds);
-    let meta = AnalyzeMeta::from_counts(sweep.walk_counts());
-    sweep.recycle_into(scratch);
+    let (arena, (result, meta)) = with_arena(std::mem::take(&mut scratch.arena), || {
+        let mut sweep = SweepAnalysis::new_in(
+            &grid.specs,
+            x,
+            &grid.ys,
+            SweepMode::Degraded,
+            limits,
+            scratch,
+        );
+        let result = sweep_points(&mut sweep, &grid.ys, &grid.speeds);
+        let meta = AnalyzeMeta::from_counts(sweep.walk_counts());
+        sweep.recycle_into(scratch);
+        (result, meta)
+    });
+    scratch.arena = arena;
     Ok(Some((SweepReport { x, points: result? }, meta)))
 }
 

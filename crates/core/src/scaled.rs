@@ -19,6 +19,17 @@
 //! bit-identical — the differential property tests in
 //! `tests/scaled_differential.rs` enforce this.
 //!
+//! Each query body is written once, generic over the kernel's lane width
+//! ([`crate::kernel::Lane`]): when the seed-time headroom proof shows a
+//! profile's walk can never leave `i64`, the query runs on 64-bit lanes
+//! (single-instruction compares, one widening multiply per
+//! cross-product); otherwise it runs on the original `i128` lanes with
+//! the original overflow-bail behavior. Narrow eligibility additionally
+//! requires external speed rationals to be small ([`narrow_speed`]),
+//! keeping every product the narrow bodies form provably inside range —
+//! a narrow walk can therefore never bail where the wide walk would
+//! not, and results stay bit-identical across the dispatch.
+//!
 //! Correctness of the pure-integer comparisons rests on three facts:
 //!
 //! 1. With `Δ' = Δ·K` and `v' = v·K`, the heap keys `(Δ', i, kind)`
@@ -27,16 +38,14 @@
 //!    bookkeeping of `sup_ratio` needs no division at all.
 //! 3. For a rational threshold `h` (horizon or hyperperiod) and integer
 //!    `Δ'`, `Δ > h ⟺ Δ' > ⌊h·K⌋`. When `⌊h·K⌋` itself overflows
-//!    `i128`, no representable `Δ'` can exceed it, so treating the
-//!    threshold as "never reached" cannot change any decision before the
-//!    walk bails on its own overflowing breakpoint.
+//!    the lane width, no representable `Δ'` can exceed it, so treating
+//!    the threshold as "never reached" cannot change any decision before
+//!    the walk bails on its own overflowing breakpoint.
 
 use rbs_timebase::{lcm_i128, Rational};
 
-use crate::demand::{
-    FirstFit, PeriodicDemand, ResetFrontier, ScaledFrontierRecord, SupRatio, EVENT_RAMP_END,
-    EVENT_RAMP_START, EVENT_WRAP,
-};
+use crate::demand::{FirstFit, PeriodicDemand, ResetFrontier, ScaledFrontierRecord, SupRatio};
+use crate::kernel::{KernelWalk, Lane, NarrowHeadroom};
 use crate::{AnalysisError, AnalysisLimits};
 
 /// Bails out of the fast path (`return Ok(None)`) when a checked
@@ -50,20 +59,31 @@ macro_rules! ck {
     };
 }
 
+/// The resumable-machine mirror of [`ck!`]: bails out of a
+/// [`MachineStep`]-returning step function on overflow.
+macro_rules! mk {
+    ($e:expr) => {
+        match $e {
+            Some(v) => v,
+            None => return Ok(MachineStep::Overflow),
+        }
+    };
+}
+
 /// One component with all six quantities on the common integer timebase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ScaledComponent {
-    period: i128,
-    constant: i128,
-    ramp_start: i128,
-    jump: i128,
-    ramp_len: i128,
+pub(crate) struct ScaledComponent {
+    pub(crate) period: i128,
+    pub(crate) constant: i128,
+    pub(crate) ramp_start: i128,
+    pub(crate) jump: i128,
+    pub(crate) ramp_len: i128,
     /// Value change when crossing a period boundary (see
     /// `ComponentEvents::wrap_value` in [`crate::demand`]).
-    wrap_value: i128,
+    pub(crate) wrap_value: i128,
     /// Slope change at a period boundary.
-    wrap_slope: i64,
-    ramp_is_step: bool,
+    pub(crate) wrap_slope: i64,
+    pub(crate) ramp_is_step: bool,
 }
 
 /// A [`crate::demand::DemandProfile`] rescaled onto one common integer
@@ -87,6 +107,10 @@ pub(crate) struct ScaledProfile {
     /// [`ScaledProfile::patch`] can refold the aggregates after swapping
     /// a few components without touching the others.
     contribs: Vec<(Rational, Rational)>,
+    /// Precomputed narrow-lane headroom aggregates (`None` when folding
+    /// them overflows — such a profile is never narrow), so each walk's
+    /// proof check is O(1) instead of a pass over the components.
+    narrow: Option<NarrowHeadroom>,
 }
 
 /// Rescales one component onto `scale`, returning its scaled form plus
@@ -168,7 +192,7 @@ fn scaled_hyperperiod(components: &[PeriodicDemand], scale: i128) -> Option<i128
 
 /// `q·scale` as an exact integer (`None` on overflow or — defensively —
 /// when `q`'s denominator does not divide `scale`).
-fn to_scaled(q: Rational, scale: i128) -> Option<i128> {
+pub(crate) fn to_scaled(q: Rational, scale: i128) -> Option<i128> {
     if scale % q.denom() != 0 {
         return None;
     }
@@ -185,6 +209,85 @@ fn scale_ceil(q: Rational, scale: i128) -> Option<i128> {
 /// `⌊q·scale⌋`, `None` when the product overflows.
 fn scale_floor(q: Rational, scale: i128) -> Option<i128> {
     Some(q.numer().checked_mul(scale)?.div_euclid(q.denom()))
+}
+
+/// Outcome of [`horizon_fast`].
+enum HorizonFast {
+    /// `value/delta ≤ rate`: no pruning-horizon refresh (matches the
+    /// rational path taking its `ratio > rate` branch false).
+    NotPast,
+    /// The refreshed scaled horizon `⌈scale · envelope / (ratio − rate)⌉`.
+    Scaled(i128),
+    /// An intermediate product left `i128`; the caller must rerun the
+    /// exact rational refresh, which reduces as it goes — so it can
+    /// succeed (or panic, exactly where the exact walk would) on inputs
+    /// this path cannot handle.
+    Overflow,
+}
+
+/// The sup-ratio pruning horizon `⌈scale · envelope / (value/delta −
+/// rate)⌉` in pure integer arithmetic, for an unreduced breakpoint
+/// ratio `value/delta` with `delta > 0`.
+///
+/// With `rate = rn/rd` and `envelope = en/ed` (denominators positive),
+/// the horizon rearranges to `⌈(scale·en·delta·rd) / (ed·(value·rd −
+/// rn·delta))⌉` — four multiplies, one subtraction and one euclidean
+/// division, no gcd. Whenever every product fits `i128` the result is
+/// exactly [`scale_ceil`] of the reduced rational quotient (ceilings of
+/// equal rationals are equal); narrow walks bound `value` and `delta`
+/// by `i64::MAX/4`, so for the small `rate`/`envelope`/`scale` terms of
+/// typical profiles this path essentially always succeeds.
+fn horizon_fast(
+    value: i128,
+    delta: i128,
+    rate: Rational,
+    envelope: Rational,
+    scale: i128,
+) -> HorizonFast {
+    let (Some(lhs), Some(rhs)) = (
+        value.checked_mul(rate.denom()),
+        rate.numer().checked_mul(delta),
+    ) else {
+        return HorizonFast::Overflow;
+    };
+    if lhs <= rhs {
+        return HorizonFast::NotPast;
+    }
+    let Some(gap) = lhs.checked_sub(rhs) else {
+        return HorizonFast::Overflow;
+    };
+    let num = scale
+        .checked_mul(envelope.numer())
+        .and_then(|n| n.checked_mul(delta))
+        .and_then(|n| n.checked_mul(rate.denom()));
+    let (Some(num), Some(den)) = (num, envelope.denom().checked_mul(gap)) else {
+        return HorizonFast::Overflow;
+    };
+    // `den > 0`; the euclidean ceil matches `scale_ceil` for every sign
+    // of `num` (a negative envelope yields a negative horizon there too).
+    HorizonFast::Scaled(num.div_euclid(den) + i128::from(num.rem_euclid(den) != 0))
+}
+
+/// A speed rational small enough that every product a narrow (`i64`)
+/// walk body forms with it stays provably inside range: the walk's own
+/// times and values are bounded by `i64::MAX / 4` (see
+/// `narrow_headroom` in [`crate::kernel`]), so 32-bit speed terms keep
+/// linear combinations like `s_num − slope·s_den` far from the `i64`
+/// edge, and lane×lane cross-products always fit `i128` exactly.
+fn narrow_speed(speed: Rational) -> Option<(i64, i64)> {
+    let num = i64::try_from(speed.numer()).ok()?;
+    let den = i64::try_from(speed.denom()).ok()?;
+    (num.unsigned_abs() <= u64::from(u32::MAX) && den.unsigned_abs() <= u64::from(u32::MAX))
+        .then_some((num, den))
+}
+
+/// A lane-width walk threshold (horizon or hyperperiod): the scaled
+/// `i128` value clamped to the lane maximum. Narrow walks can only
+/// reach times below `i64::MAX / 4`, so a clamped-out threshold
+/// compares as "never reached" — exactly what the unclamped `i128`
+/// compare would conclude.
+fn clamp_threshold<L: Lane>(threshold: i128) -> L {
+    L::from_i128(threshold).unwrap_or(L::MAX)
 }
 
 impl ScaledProfile {
@@ -231,6 +334,7 @@ impl ScaledProfile {
         // the fast path's hyperperiod break fires exactly when the exact
         // walk's does (lcm overflow behavior included).
         let hyperperiod = scaled_hyperperiod(components, scale);
+        let narrow = NarrowHeadroom::fold(&scaled);
         Some(ScaledProfile {
             components: scaled,
             scale,
@@ -238,6 +342,7 @@ impl ScaledProfile {
             envelope,
             hyperperiod,
             contribs,
+            narrow,
         })
     }
 
@@ -267,7 +372,20 @@ impl ScaledProfile {
         self.rate = rate;
         self.envelope = envelope;
         self.hyperperiod = scaled_hyperperiod(components, self.scale);
+        self.narrow = NarrowHeadroom::fold(&self.components);
         Some(())
+    }
+
+    /// Seeds the narrow (`i64`) kernel when the headroom proof covers
+    /// `limits`' breakpoint budget.
+    fn seed_narrow(&self, limits: &AnalysisLimits) -> Option<KernelWalk<i64>> {
+        if !self
+            .narrow
+            .is_some_and(|headroom| headroom.allows(limits.max_breakpoints()))
+        {
+            return None;
+        }
+        KernelWalk::<i64>::seed(&self.components)
     }
 
     /// Integer fast path of [`crate::demand::DemandProfile::sup_ratio`].
@@ -281,61 +399,14 @@ impl ScaledProfile {
         &self,
         limits: &AnalysisLimits,
     ) -> Result<Option<(SupRatio, bool)>, AnalysisError> {
-        let mut walk = ck!(ScaledWalk::new(&self.components));
-        if walk.value > 0 {
-            return Ok(Some((SupRatio::Unbounded, false)));
-        }
-        // (reduced numerator, reduced denominator, raw scaled witness).
-        let mut best: Option<(i128, i128, i128)> = None;
-        // `⌈horizon·K⌉` (Δ ≥ h ⟺ Δ' ≥ ⌈h·K⌉); when the product
-        // overflows the fast path bails — an inclusive sentinel could
-        // fire a break the exact walk would not take.
-        let mut horizon: Option<i128> = None;
-        let mut pruned = false;
-        let mut examined = 0usize;
-        while let Some(delta) = walk.peek_next() {
-            if let Some(hp) = self.hyperperiod {
-                if delta > hp {
-                    break;
-                }
-            }
-            if let Some(h) = horizon {
-                if delta >= h {
-                    pruned = true;
-                    break;
-                }
-            }
-            examined += 1;
-            limits.check_walk(examined)?;
-            ck!(walk.advance());
-            // ratio = (v'/K)/(Δ'/K) = v'/Δ' — the scale cancels.
-            let improved = match best {
-                None => true,
-                Some((bn, bd, _)) => {
-                    ck!(walk.value.checked_mul(bd)) > ck!(bn.checked_mul(walk.delta))
-                }
-            };
-            if improved {
-                let ratio = Rational::new(walk.value, walk.delta);
-                best = Some((ratio.numer(), ratio.denom(), walk.delta));
-                if ratio > self.rate {
-                    // Same (panicking) rational ops as the exact walk.
-                    let h = self.envelope / (ratio - self.rate);
-                    horizon = Some(ck!(scale_ceil(h, self.scale)));
-                }
-            }
-        }
-        let sup = match best {
-            None => SupRatio::Finite {
-                value: Rational::ZERO,
-                witness: None,
-            },
-            Some((bn, bd, delta)) => SupRatio::Finite {
-                value: Rational::new(bn, bd),
-                witness: Some(Rational::new(delta, self.scale)),
-            },
+        let Some(mut machine) = SupRatioMachine::new(self, limits) else {
+            return Ok(None);
         };
-        Ok(Some((sup, pruned)))
+        match machine.step(usize::MAX, limits)? {
+            MachineStep::Done(result) => Ok(Some(result)),
+            MachineStep::Overflow => Ok(None),
+            MachineStep::Pending => unreachable!("a usize::MAX batch budget cannot pause"),
+        }
     }
 
     /// Integer fast path of [`crate::demand::DemandProfile::fits`].
@@ -350,45 +421,14 @@ impl ScaledProfile {
         speed: Rational,
         limits: &AnalysisLimits,
     ) -> Result<Option<(bool, bool)>, AnalysisError> {
-        let mut walk = ck!(ScaledWalk::new(&self.components));
-        if walk.value > 0 {
-            return Ok(Some((false, false)));
-        }
-        if speed < self.rate {
-            return Ok(Some((false, false)));
-        }
-        let horizon = if speed > self.rate {
-            // Same (panicking) rational ops as the exact walk.
-            let h = self.envelope / (speed - self.rate);
-            Some(ck!(scale_ceil(h, self.scale)))
-        } else {
-            None
+        let Some(mut machine) = FitsMachine::new(self, speed, limits) else {
+            return Ok(None);
         };
-        let s_num = speed.numer();
-        let s_den = speed.denom();
-        let mut pruned = false;
-        let mut examined = 0usize;
-        while let Some(delta) = walk.peek_next() {
-            if let Some(h) = horizon {
-                if delta >= h {
-                    pruned = self.hyperperiod.is_none_or(|hp| delta <= hp);
-                    break;
-                }
-            }
-            if let Some(hp) = self.hyperperiod {
-                if delta > hp {
-                    break;
-                }
-            }
-            examined += 1;
-            limits.check_walk(examined)?;
-            ck!(walk.advance());
-            // v > s·Δ ⟺ v'·s_den > s_num·Δ' (K > 0, s_den > 0).
-            if ck!(walk.value.checked_mul(s_den)) > ck!(s_num.checked_mul(walk.delta)) {
-                return Ok(Some((false, false)));
-            }
+        match machine.step(usize::MAX, limits)? {
+            MachineStep::Done(result) => Ok(Some(result)),
+            MachineStep::Overflow => Ok(None),
+            MachineStep::Pending => unreachable!("a usize::MAX batch budget cannot pause"),
         }
-        Ok(Some((true, pruned)))
     }
 
     /// Integer fast path of [`crate::demand::DemandProfile::first_fit`].
@@ -403,12 +443,30 @@ impl ScaledProfile {
         speed: Rational,
         limits: &AnalysisLimits,
     ) -> Result<Option<FirstFit>, AnalysisError> {
-        let mut walk = ck!(ScaledWalk::new(&self.components));
-        if walk.value <= 0 {
+        if let Some((s_num, s_den)) = narrow_speed(speed) {
+            if let Some(walk) = self.seed_narrow(limits) {
+                return self.first_fit_walk(walk, s_num, s_den, speed, limits);
+            }
+        }
+        let walk = ck!(KernelWalk::<i128>::seed(&self.components));
+        self.first_fit_walk(walk, speed.numer(), speed.denom(), speed, limits)
+    }
+
+    /// The width-generic body of [`ScaledProfile::first_fit`].
+    fn first_fit_walk<L: Lane>(
+        &self,
+        mut walk: KernelWalk<L>,
+        s_num: L,
+        s_den: L,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<Option<FirstFit>, AnalysisError> {
+        if walk.value <= L::default() {
             return Ok(Some(FirstFit::At(Rational::ZERO)));
         }
-        let s_num = speed.numer();
-        let s_den = speed.denom();
+        // Loop-invariant parts of the hyperperiod "Never" bail-out.
+        let rate_dominates = speed <= self.rate;
+        let hyperperiod = self.hyperperiod.map(clamp_threshold::<L>);
         let mut examined = 0usize;
         loop {
             examined += 1;
@@ -419,30 +477,32 @@ impl ScaledProfile {
                 .peek_next()
                 .expect("periodic curves have unbounded breakpoints");
             // v ≤ s·Δ ⟺ v'·s_den ≤ s_num·Δ'.
-            if ck!(value.checked_mul(s_den)) <= ck!(s_num.checked_mul(segment_start)) {
-                return Ok(Some(FirstFit::At(Rational::new(segment_start, self.scale))));
+            if ck!(value.mul_widen(s_den)) <= ck!(s_num.mul_widen(segment_start)) {
+                return Ok(Some(FirstFit::At(Rational::new(
+                    segment_start.widen(),
+                    self.scale,
+                ))));
             }
-            let slope = i128::from(walk.slope);
-            let slope_s_den = ck!(slope.checked_mul(s_den));
+            let slope = walk.slope;
+            let slope_s_den = ck!(L::slope_mul(slope, s_den));
             if s_num > slope_s_den {
                 // Exact crossing of value + slope·(Δ − start) = s·Δ:
                 //   Δ = (v' − slope·start')·s_den / ((s_num − slope·s_den)·K).
                 let num = ck!(
-                    ck!(value.checked_sub(ck!(slope.checked_mul(segment_start))))
-                        .checked_mul(s_den)
+                    ck!(value.sub_check(ck!(L::slope_mul(slope, segment_start)))).mul_widen(s_den)
                 );
-                // Positive, and no overflow: both terms fit and differ.
-                let den = s_num - slope_s_den;
+                // Positive, and in range: both terms fit and differ.
+                let den = ck!(s_num.sub_check(slope_s_den));
                 // crossing < end ⟺ num < end'·den.
-                if num < ck!(segment_end.checked_mul(den)) {
+                if num < ck!(segment_end.mul_widen(den)) {
                     return Ok(Some(FirstFit::At(Rational::new(
                         num,
-                        ck!(den.checked_mul(self.scale)),
+                        ck!(den.mul_i128(self.scale)),
                     ))));
                 }
             }
-            if speed <= self.rate {
-                if let Some(hp) = self.hyperperiod {
+            if rate_dominates {
+                if let Some(hp) = hyperperiod {
                     if segment_start > hp {
                         return Ok(Some(FirstFit::Never));
                     }
@@ -455,7 +515,7 @@ impl ScaledProfile {
     /// Integer fast path of `DemandProfile::min_ratio_within`.
     ///
     /// Candidate ratios live on the scaled grid (`v'/Δ'` — the scale
-    /// cancels), so segment scans cost `i128` cross-multiplies; only the
+    /// cancels), so segment scans cost integer cross-multiplies; only the
     /// horizon-cut candidate (at most one per walk) needs rational
     /// arithmetic. All comparisons mirror the exact walk, so the reduced
     /// result is bit-identical.
@@ -470,8 +530,23 @@ impl ScaledProfile {
         tolerance: Rational,
         limits: &AnalysisLimits,
     ) -> Result<Option<Rational>, AnalysisError> {
-        let mut walk = ck!(ScaledWalk::new(&self.components));
-        if walk.value <= 0 {
+        if let Some(walk) = self.seed_narrow(limits) {
+            return self.min_ratio_walk(walk, horizon, floor, tolerance, limits);
+        }
+        let walk = ck!(KernelWalk::<i128>::seed(&self.components));
+        self.min_ratio_walk(walk, horizon, floor, tolerance, limits)
+    }
+
+    /// The width-generic body of [`ScaledProfile::min_ratio_within`].
+    fn min_ratio_walk<L: Lane>(
+        &self,
+        mut walk: KernelWalk<L>,
+        horizon: Rational,
+        floor: Rational,
+        tolerance: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<Option<Rational>, AnalysisError> {
+        if walk.value <= L::default() {
             return Ok(Some(Rational::ZERO));
         }
         // Same canonical rate, so the same stop threshold as the exact
@@ -497,7 +572,7 @@ impl ScaledProfile {
         };
         let mut examined = 0usize;
         loop {
-            let segment_start = walk.delta;
+            let segment_start = walk.delta.widen();
             if segment_start > horizon_floor {
                 break;
             }
@@ -507,24 +582,24 @@ impl ScaledProfile {
             let segment_end = walk
                 .peek_next()
                 .expect("periodic curves have unbounded breakpoints");
-            let slope = i128::from(walk.slope);
+            let slope = walk.slope;
             // Closed candidate at the segment start: v'/Δ' (scale cancels).
             if segment_start > 0 {
-                ck!(fold(&mut best, value, segment_start));
+                ck!(fold(&mut best, value.widen(), segment_start));
             }
-            if segment_end <= horizon_floor {
+            if segment_end.widen() <= horizon_floor {
                 // Pre-jump limit at the segment's right end.
-                let pre =
-                    ck!(value.checked_add(ck!(slope.checked_mul(segment_end - segment_start))));
-                ck!(fold(&mut best, pre, segment_end));
+                let dt = ck!(segment_end.sub_check(walk.delta));
+                let pre = ck!(value.add_check(ck!(L::slope_mul(slope, dt))));
+                ck!(fold(&mut best, pre.widen(), segment_end.widen()));
             } else if segment_start < horizon_ceil {
                 // The horizon cuts this segment: evaluate the rightmost
                 // in-domain candidate with the exact walk's formula (the
                 // off-grid horizon defeats integer arithmetic, but this
                 // branch runs at most once per walk).
                 let start = Rational::new(segment_start, self.scale);
-                let phi_cut = (Rational::new(value, self.scale)
-                    + Rational::integer(slope) * (horizon - start))
+                let phi_cut = (Rational::new(value.widen(), self.scale)
+                    + Rational::integer(i128::from(slope)) * (horizon - start))
                     / horizon;
                 ck!(fold(&mut best, phi_cut.numer(), phi_cut.denom()));
             }
@@ -557,8 +632,31 @@ impl ScaledProfile {
         min_speed: Rational,
         limits: &AnalysisLimits,
     ) -> Result<Option<ResetFrontier>, AnalysisError> {
-        let mut walk = ck!(ScaledWalk::new(&self.components));
-        if walk.value <= 0 {
+        if let Some((s_num, s_den)) = narrow_speed(min_speed) {
+            if let Some(walk) = self.seed_narrow(limits) {
+                return self.reset_frontier_walk(walk, s_num, s_den, min_speed, limits);
+            }
+        }
+        let walk = ck!(KernelWalk::<i128>::seed(&self.components));
+        self.reset_frontier_walk(
+            walk,
+            min_speed.numer(),
+            min_speed.denom(),
+            min_speed,
+            limits,
+        )
+    }
+
+    /// The width-generic body of [`ScaledProfile::reset_frontier`].
+    fn reset_frontier_walk<L: Lane>(
+        &self,
+        mut walk: KernelWalk<L>,
+        speed_num: L,
+        speed_den: L,
+        min_speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Result<Option<ResetFrontier>, AnalysisError> {
+        if walk.value <= L::default() {
             return Ok(Some(ResetFrontier::everything_fits_at_zero()));
         }
         // Raw (unreduced) serving thresholds, mirroring the exact
@@ -570,24 +668,23 @@ impl ScaledProfile {
         // on real profiles, so lookups materialize the one record that
         // serves instead ([`ScaledFrontierRecord`]).
         let mut records: Vec<ScaledFrontierRecord> = Vec::new();
-        let mut closed_cover: Option<(i128, i128)> = None;
-        let mut open_cover: Option<(i128, i128)> = None;
-        let (speed_num, speed_den) = (min_speed.numer(), min_speed.denom());
+        let mut closed_cover: Option<(L, L)> = None;
+        let mut open_cover: Option<(L, L)> = None;
+        // Loop-invariant parts of the hyperperiod bail-out.
+        let rate_dominates = min_speed <= self.rate;
+        let hyperperiod = self.hyperperiod.map(clamp_threshold::<L>);
+        let one = L::from_i64(1);
         let mut examined = 0usize;
         loop {
             // The exact builder's `serves_min_speed` stopping rule:
             // min_speed ≥ closed_cover, or min_speed > open_cover.
             let closed_serves = match closed_cover {
                 None => false,
-                Some((num, den)) => {
-                    ck!(speed_num.checked_mul(den)) >= ck!(num.checked_mul(speed_den))
-                }
+                Some((num, den)) => ck!(speed_num.mul_widen(den)) >= ck!(num.mul_widen(speed_den)),
             };
             let open_serves = match open_cover {
                 None => false,
-                Some((num, den)) => {
-                    ck!(speed_num.checked_mul(den)) > ck!(num.checked_mul(speed_den))
-                }
+                Some((num, den)) => ck!(speed_num.mul_widen(den)) > ck!(num.mul_widen(speed_den)),
             };
             if closed_serves || open_serves {
                 break;
@@ -599,38 +696,37 @@ impl ScaledProfile {
             let segment_end = walk
                 .peek_next()
                 .expect("periodic curves have unbounded breakpoints");
-            let slope = i128::from(walk.slope);
+            let slope = walk.slope;
             // φ_pre(end) = (v' + slope·(end' − start'))/end', scale-free
             // because the scale cancels (slope is already scale-free); the
             // open threshold is max(φ_pre, slope) = (pre, end) when
             // pre ≥ slope·end, else (slope, 1) — `Rational`'s canonical
             // form makes the tie representation-identical either way.
-            let pre = ck!(value.checked_add(ck!(slope.checked_mul(segment_end - segment_start))));
-            let (open_num, open_den) = if pre >= ck!(slope.checked_mul(segment_end)) {
+            let dt = ck!(segment_end.sub_check(segment_start));
+            let pre = ck!(value.add_check(ck!(L::slope_mul(slope, dt))));
+            let (open_num, open_den) = if pre >= ck!(L::slope_mul(slope, segment_end)) {
                 (pre, segment_end)
             } else {
-                (slope, 1)
+                (L::from_i64(slope), one)
             };
             // ψ = (v'/K)/(Δ'/K) = v'/Δ' — the scale cancels.
-            let improves_closed = segment_start > 0
+            let improves_closed = segment_start > L::default()
                 && match closed_cover {
                     None => true,
                     // v/Δ < cn/cd ⟺ v·cd < cn·Δ (all denominators > 0).
-                    Some((cn, cd)) => {
-                        ck!(value.checked_mul(cd)) < ck!(cn.checked_mul(segment_start))
-                    }
+                    Some((cn, cd)) => ck!(value.mul_widen(cd)) < ck!(cn.mul_widen(segment_start)),
                 };
             let improves_open = match open_cover {
                 None => true,
-                Some((on, od)) => ck!(open_num.checked_mul(od)) < ck!(on.checked_mul(open_den)),
+                Some((on, od)) => ck!(open_num.mul_widen(od)) < ck!(on.mul_widen(open_den)),
             };
             if improves_closed || improves_open {
                 records.push(ScaledFrontierRecord {
-                    start: segment_start,
-                    value,
+                    start: segment_start.widen(),
+                    value: value.widen(),
                     slope: walk.slope,
-                    open_num,
-                    open_den,
+                    open_num: open_num.widen(),
+                    open_den: open_den.widen(),
                 });
                 if improves_closed {
                     closed_cover = Some((value, segment_start));
@@ -639,8 +735,8 @@ impl ScaledProfile {
                     open_cover = Some((open_num, open_den));
                 }
             }
-            if min_speed <= self.rate {
-                if let Some(hp) = self.hyperperiod {
+            if rate_dominates {
+                if let Some(hp) = hyperperiod {
                     if segment_start > hp {
                         // Mirrors first_fit's Never bail-out.
                         break;
@@ -652,115 +748,339 @@ impl ScaledProfile {
         Ok(Some(ResetFrontier::from_scaled(
             self.scale,
             records,
-            closed_cover,
-            open_cover,
+            closed_cover.map(|(n, d)| (n.widen(), d.widen())),
+            open_cover.map(|(n, d)| (n.widen(), d.widen())),
         )))
     }
 }
 
-/// The integer mirror of [`crate::demand`]'s `IncrementalWalk`: same
-/// event stream, same visit order, pure `i128` state.
-///
-/// Every event stream is strictly periodic, so instead of a priority
-/// queue the walk keeps one pending time per stream and maintains their
-/// minimum incrementally: each batch is one linear pass that fires the
-/// due streams and refreshes the minimum in place. At the handful of
-/// streams a profile carries (at most three per component), the scan
-/// beats heap sift costs while producing the same breakpoint batches —
-/// same-time events only ever add to `value`/`slope`, so intra-batch
-/// order is immaterial.
-struct ScaledWalk<'a> {
-    /// Next pending event time per stream, parallel to `streams`.
-    times: Vec<i128>,
-    /// `(component index, event kind)` per stream.
-    streams: Vec<(u32, u8)>,
-    /// Minimum of `times` (meaningless while `times` is empty).
-    next: i128,
-    components: &'a [ScaledComponent],
-    delta: i128,
-    value: i128,
-    slope: i64,
+/// The outcome of driving a resumable walk machine for a bounded number
+/// of breakpoint batches.
+#[derive(Debug)]
+pub(crate) enum MachineStep<T> {
+    /// The batch budget ran out before the walk finished — call `step`
+    /// again to continue exactly where it paused.
+    Pending,
+    /// Integer arithmetic overflowed: discard the machine and fall back
+    /// to the exact rational walk (the `Ok(None)` of the one-shot path).
+    Overflow,
+    /// The walk finished with this result.
+    Done(T),
 }
 
-impl<'a> ScaledWalk<'a> {
-    /// `None` when seeding the walk state would overflow.
-    fn new(components: &'a [ScaledComponent]) -> Option<ScaledWalk<'a>> {
-        let mut times = Vec::with_capacity(components.len() * 3);
-        let mut streams = Vec::with_capacity(components.len() * 3);
-        let mut value: i128 = 0;
-        let mut slope = 0i64;
-        for (i, c) in components.iter().enumerate() {
-            let i = u32::try_from(i).ok()?;
-            value = value.checked_add(c.constant)?;
-            if c.ramp_start == 0 {
-                value = value.checked_add(c.jump)?;
-                if c.ramp_len > 0 {
-                    slope += 1;
+/// [`ScaledProfile::sup_ratio`] as a resumable machine: `step` drives at
+/// most `batches` breakpoint batches and pauses, so a lockstep driver
+/// can interleave many profiles' walks for cache locality. Driving a
+/// fresh machine with a `usize::MAX` budget *is* the one-shot query —
+/// same state transitions in the same order, so results (including
+/// budget errors and their `examined` counts) are bit-identical no
+/// matter how the stepping is sliced. The machine runs on narrow
+/// (`i64`) lanes whenever the headroom proof allows, wide (`i128`)
+/// lanes otherwise; results are identical across widths.
+pub(crate) enum SupRatioMachine {
+    /// Proved-narrow 64-bit lanes.
+    Narrow(SupCore<i64>),
+    /// General 128-bit lanes with overflow bails.
+    Wide(SupCore<i128>),
+}
+
+impl SupRatioMachine {
+    /// `None` when seeding the walk overflows (no fast path — the caller
+    /// falls back to the exact walk).
+    pub(crate) fn new(profile: &ScaledProfile, limits: &AnalysisLimits) -> Option<SupRatioMachine> {
+        if let Some(walk) = profile.seed_narrow(limits) {
+            return Some(SupRatioMachine::Narrow(SupCore::with_walk(walk, profile)));
+        }
+        let walk = KernelWalk::<i128>::seed(&profile.components)?;
+        Some(SupRatioMachine::Wide(SupCore::with_walk(walk, profile)))
+    }
+
+    /// Drives at most `batches` further breakpoint batches.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the budget errors the exact walk would report, at exactly
+    /// the same `examined` counts.
+    pub(crate) fn step(
+        &mut self,
+        batches: usize,
+        limits: &AnalysisLimits,
+    ) -> Result<MachineStep<(SupRatio, bool)>, AnalysisError> {
+        match self {
+            SupRatioMachine::Narrow(core) => core.step(batches, limits),
+            SupRatioMachine::Wide(core) => core.step(batches, limits),
+        }
+    }
+}
+
+/// The width-generic state of a [`SupRatioMachine`].
+pub(crate) struct SupCore<L: Lane> {
+    walk: KernelWalk<L>,
+    rate: Rational,
+    envelope: Rational,
+    /// Scaled hyperperiod clamped to the lane width (see
+    /// [`clamp_threshold`]).
+    hyperperiod: Option<L>,
+    scale: i128,
+    /// (reduced numerator, reduced denominator, raw scaled witness).
+    best: Option<(L, L, L)>,
+    /// `⌈horizon·K⌉` (Δ ≥ h ⟺ Δ' ≥ ⌈h·K⌉), clamped to the lane
+    /// width; when the scaled product overflows `i128` the fast path
+    /// bails — an inclusive sentinel could fire a break the exact walk
+    /// would not take.
+    horizon: Option<L>,
+    pruned: bool,
+    examined: usize,
+    finished: Option<(SupRatio, bool)>,
+}
+
+impl<L: Lane> SupCore<L> {
+    fn with_walk(walk: KernelWalk<L>, profile: &ScaledProfile) -> SupCore<L> {
+        let finished = (walk.value > L::default()).then_some((SupRatio::Unbounded, false));
+        SupCore {
+            walk,
+            rate: profile.rate,
+            envelope: profile.envelope,
+            hyperperiod: profile.hyperperiod.map(clamp_threshold::<L>),
+            scale: profile.scale,
+            best: None,
+            horizon: None,
+            pruned: false,
+            examined: 0,
+            finished,
+        }
+    }
+
+    fn step(
+        &mut self,
+        batches: usize,
+        limits: &AnalysisLimits,
+    ) -> Result<MachineStep<(SupRatio, bool)>, AnalysisError> {
+        if let Some(done) = self.finished {
+            return Ok(MachineStep::Done(done));
+        }
+        let mut left = batches;
+        while let Some(delta) = self.walk.peek_next() {
+            if let Some(hp) = self.hyperperiod {
+                if delta > hp {
+                    break;
                 }
             }
-            times.push(c.period);
-            streams.push((i, EVENT_WRAP));
-            if c.ramp_start > 0 {
-                times.push(c.ramp_start);
-                streams.push((i, EVENT_RAMP_START));
+            if let Some(h) = self.horizon {
+                if delta >= h {
+                    self.pruned = true;
+                    break;
+                }
             }
-            let ramp_end = c.ramp_start.checked_add(c.ramp_len)?;
-            if c.ramp_len > 0 && ramp_end < c.period {
-                times.push(ramp_end);
-                streams.push((i, EVENT_RAMP_END));
+            if left == 0 {
+                return Ok(MachineStep::Pending);
+            }
+            left -= 1;
+            self.examined += 1;
+            limits.check_walk(self.examined)?;
+            mk!(self.walk.advance());
+            // ratio = (v'/K)/(Δ'/K) = v'/Δ' — the scale cancels.
+            let improved = match self.best {
+                None => true,
+                Some((bn, bd, _)) => {
+                    mk!(self.walk.value.mul_widen(bd)) > mk!(bn.mul_widen(self.walk.delta))
+                }
+            };
+            if improved {
+                if L::NARROW {
+                    // Proved-narrow walks keep the running best as the raw
+                    // (unreduced) `v'/Δ'` pair — later improvement tests
+                    // cross-multiply exactly in `i128` either way, and the
+                    // final report reduces once — so the per-improvement
+                    // gcd disappears. The horizon refresh runs on the
+                    // all-integer path below unless a product leaves
+                    // `i128`, where the exact rational refresh takes over
+                    // with the same value.
+                    self.best = Some((self.walk.value, self.walk.delta, self.walk.delta));
+                    match horizon_fast(
+                        self.walk.value.widen(),
+                        self.walk.delta.widen(),
+                        self.rate,
+                        self.envelope,
+                        self.scale,
+                    ) {
+                        HorizonFast::NotPast => {}
+                        HorizonFast::Scaled(h) => {
+                            self.horizon = Some(clamp_threshold::<L>(h));
+                        }
+                        HorizonFast::Overflow => {
+                            let ratio =
+                                Rational::new(self.walk.value.widen(), self.walk.delta.widen());
+                            if ratio > self.rate {
+                                // Same (panicking) rational ops as the exact walk.
+                                let h = self.envelope / (ratio - self.rate);
+                                self.horizon =
+                                    Some(clamp_threshold::<L>(mk!(scale_ceil(h, self.scale))));
+                            }
+                        }
+                    }
+                } else {
+                    let ratio = Rational::new(self.walk.value.widen(), self.walk.delta.widen());
+                    self.best = Some((
+                        mk!(L::from_i128(ratio.numer())),
+                        mk!(L::from_i128(ratio.denom())),
+                        self.walk.delta,
+                    ));
+                    if ratio > self.rate {
+                        // Same (panicking) rational ops as the exact walk.
+                        let h = self.envelope / (ratio - self.rate);
+                        self.horizon = Some(clamp_threshold::<L>(mk!(scale_ceil(h, self.scale))));
+                    }
+                }
             }
         }
-        let next = times.iter().copied().min().unwrap_or(0);
-        Some(ScaledWalk {
-            times,
-            streams,
-            next,
-            components,
-            delta: 0,
-            value,
-            slope,
+        let sup = match self.best {
+            None => SupRatio::Finite {
+                value: Rational::ZERO,
+                witness: None,
+            },
+            Some((bn, bd, delta)) => SupRatio::Finite {
+                value: Rational::new(bn.widen(), bd.widen()),
+                witness: Some(Rational::new(delta.widen(), self.scale)),
+            },
+        };
+        let done = (sup, self.pruned);
+        self.finished = Some(done);
+        Ok(MachineStep::Done(done))
+    }
+}
+
+/// [`ScaledProfile::fits`] as a resumable machine — see
+/// [`SupRatioMachine`] for the stepping and width-dispatch contract.
+pub(crate) enum FitsMachine {
+    /// Proved-narrow 64-bit lanes.
+    Narrow(FitsCore<i64>),
+    /// General 128-bit lanes with overflow bails.
+    Wide(FitsCore<i128>),
+}
+
+impl FitsMachine {
+    /// `None` when seeding (or the horizon rescale) overflows. The
+    /// caller must have rejected non-positive speeds already.
+    pub(crate) fn new(
+        profile: &ScaledProfile,
+        speed: Rational,
+        limits: &AnalysisLimits,
+    ) -> Option<FitsMachine> {
+        if let Some((s_num, s_den)) = narrow_speed(speed) {
+            if let Some(walk) = profile.seed_narrow(limits) {
+                return FitsCore::with_walk(walk, profile, speed, s_num, s_den)
+                    .map(FitsMachine::Narrow);
+            }
+        }
+        let walk = KernelWalk::<i128>::seed(&profile.components)?;
+        FitsCore::with_walk(walk, profile, speed, speed.numer(), speed.denom())
+            .map(FitsMachine::Wide)
+    }
+
+    /// Drives at most `batches` further breakpoint batches.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the budget errors the exact walk would report, at exactly
+    /// the same `examined` counts.
+    pub(crate) fn step(
+        &mut self,
+        batches: usize,
+        limits: &AnalysisLimits,
+    ) -> Result<MachineStep<(bool, bool)>, AnalysisError> {
+        match self {
+            FitsMachine::Narrow(core) => core.step(batches, limits),
+            FitsMachine::Wide(core) => core.step(batches, limits),
+        }
+    }
+}
+
+/// The width-generic state of a [`FitsMachine`].
+pub(crate) struct FitsCore<L: Lane> {
+    walk: KernelWalk<L>,
+    /// Scaled hyperperiod clamped to the lane width.
+    hyperperiod: Option<L>,
+    horizon: Option<L>,
+    s_num: L,
+    s_den: L,
+    pruned: bool,
+    examined: usize,
+    finished: Option<(bool, bool)>,
+}
+
+impl<L: Lane> FitsCore<L> {
+    fn with_walk(
+        walk: KernelWalk<L>,
+        profile: &ScaledProfile,
+        speed: Rational,
+        s_num: L,
+        s_den: L,
+    ) -> Option<FitsCore<L>> {
+        // Same early-return order as the one-shot query: positive demand
+        // at Δ = 0 first, then a rate deficit — and the horizon rescale
+        // (whose overflow bails the fast path) only happens when neither
+        // early return fired.
+        let finished =
+            (walk.value > L::default() || speed < profile.rate).then_some((false, false));
+        let horizon = if finished.is_none() && speed > profile.rate {
+            // Same (panicking) rational ops as the exact walk.
+            let h = profile.envelope / (speed - profile.rate);
+            Some(clamp_threshold::<L>(scale_ceil(h, profile.scale)?))
+        } else {
+            None
+        };
+        Some(FitsCore {
+            walk,
+            hyperperiod: profile.hyperperiod.map(clamp_threshold::<L>),
+            horizon,
+            s_num,
+            s_den,
+            pruned: false,
+            examined: 0,
+            finished,
         })
     }
 
-    fn peek_next(&self) -> Option<i128> {
-        (!self.times.is_empty()).then_some(self.next)
-    }
-
-    /// Advances to the next event batch; `None` on overflow (the caller
-    /// must then discard the walk and fall back to the exact path).
-    fn advance(&mut self) -> Option<()> {
-        assert!(!self.times.is_empty(), "advance on an empty profile");
-        let next = self.next;
-        self.value = self
-            .value
-            .checked_add(i128::from(self.slope).checked_mul(next - self.delta)?)?;
-        self.delta = next;
-        let mut new_min = i128::MAX;
-        for j in 0..self.times.len() {
-            let mut t = self.times[j];
-            if t == next {
-                let (i, kind) = self.streams[j];
-                let c = &self.components[i as usize];
-                match kind {
-                    EVENT_WRAP => {
-                        self.value = self.value.checked_add(c.wrap_value)?;
-                        self.slope += c.wrap_slope;
-                    }
-                    EVENT_RAMP_START => {
-                        self.value = self.value.checked_add(c.jump)?;
-                        if !c.ramp_is_step {
-                            self.slope += 1;
-                        }
-                    }
-                    _ => self.slope -= 1,
-                }
-                t = next.checked_add(c.period)?;
-                self.times[j] = t;
-            }
-            new_min = new_min.min(t);
+    fn step(
+        &mut self,
+        batches: usize,
+        limits: &AnalysisLimits,
+    ) -> Result<MachineStep<(bool, bool)>, AnalysisError> {
+        if let Some(done) = self.finished {
+            return Ok(MachineStep::Done(done));
         }
-        self.next = new_min;
-        Some(())
+        let mut left = batches;
+        while let Some(delta) = self.walk.peek_next() {
+            if let Some(h) = self.horizon {
+                if delta >= h {
+                    self.pruned = self.hyperperiod.is_none_or(|hp| delta <= hp);
+                    break;
+                }
+            }
+            if let Some(hp) = self.hyperperiod {
+                if delta > hp {
+                    break;
+                }
+            }
+            if left == 0 {
+                return Ok(MachineStep::Pending);
+            }
+            left -= 1;
+            self.examined += 1;
+            limits.check_walk(self.examined)?;
+            mk!(self.walk.advance());
+            // v > s·Δ ⟺ v'·s_den > s_num·Δ' (K > 0, s_den > 0).
+            if mk!(self.walk.value.mul_widen(self.s_den))
+                > mk!(self.s_num.mul_widen(self.walk.delta))
+            {
+                self.finished = Some((false, false));
+                return Ok(MachineStep::Done((false, false)));
+            }
+        }
+        let done = (true, self.pruned);
+        self.finished = Some(done);
+        Ok(MachineStep::Done(done))
     }
 }
 
@@ -810,6 +1130,55 @@ mod tests {
     }
 
     #[test]
+    fn small_profiles_walk_on_narrow_lanes() {
+        let comps = vec![
+            PeriodicDemand::step(int(5), int(3), int(2)),
+            PeriodicDemand::step(int(7), int(2), int(1)),
+        ];
+        let scaled = ScaledProfile::build(&comps).expect("fits");
+        let limits = AnalysisLimits::default();
+        assert!(scaled.seed_narrow(&limits).is_some());
+        assert!(matches!(
+            SupRatioMachine::new(&scaled, &limits),
+            Some(SupRatioMachine::Narrow(_))
+        ));
+    }
+
+    #[test]
+    fn wide_quantities_keep_the_wide_kernel() {
+        let big = i128::from(i64::MAX);
+        let comps = vec![PeriodicDemand::step(int(big), int(big / 2), int(1))];
+        let scaled = ScaledProfile::build(&comps).expect("fits");
+        let limits = AnalysisLimits::default();
+        assert!(scaled.seed_narrow(&limits).is_none());
+        assert!(matches!(
+            SupRatioMachine::new(&scaled, &limits),
+            Some(SupRatioMachine::Wide(_))
+        ));
+    }
+
+    #[test]
+    fn narrow_and_wide_sup_ratio_agree() {
+        let comps = vec![
+            PeriodicDemand::new(int(6), int(5), int(1), int(4), int(1), int(4)),
+            PeriodicDemand::step(int(5), int(3), int(2)),
+            PeriodicDemand::new(rat(7, 2), int(3), int(0), int(0), int(1), int(2)),
+        ];
+        let scaled = ScaledProfile::build(&comps).expect("fits");
+        let limits = AnalysisLimits::default();
+        let narrow_walk = scaled.seed_narrow(&limits).expect("narrow proof holds");
+        let mut narrow = SupCore::with_walk(narrow_walk, &scaled);
+        let wide_walk = KernelWalk::<i128>::seed(&scaled.components).expect("fits");
+        let mut wide = SupCore::with_walk(wide_walk, &scaled);
+        let narrow_done = narrow.step(usize::MAX, &limits).expect("completes");
+        let wide_done = wide.step(usize::MAX, &limits).expect("completes");
+        match (narrow_done, wide_done) {
+            (MachineStep::Done(n), MachineStep::Done(w)) => assert_eq!(n, w),
+            _ => panic!("both widths complete"),
+        }
+    }
+
+    #[test]
     fn scaled_walk_matches_profile_eval() {
         let comps = vec![
             PeriodicDemand::new(int(6), int(5), int(1), int(4), int(1), int(4)),
@@ -818,11 +1187,11 @@ mod tests {
         ];
         let profile = DemandProfile::new(comps.clone());
         let scaled = ScaledProfile::build(&comps).expect("fits");
-        let mut walk = ScaledWalk::new(&scaled.components).expect("fits");
+        let mut walk = KernelWalk::<i64>::seed(&scaled.components).expect("fits");
         for _ in 0..200 {
             walk.advance().expect("fits");
-            let delta = Rational::new(walk.delta, scaled.scale);
-            let value = Rational::new(walk.value, scaled.scale);
+            let delta = Rational::new(walk.delta.widen(), scaled.scale);
+            let value = Rational::new(walk.value.widen(), scaled.scale);
             assert_eq!(value, profile.eval(delta), "diverged at {delta}");
         }
     }

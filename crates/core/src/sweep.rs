@@ -68,9 +68,12 @@ use rbs_model::{Criticality, ImplicitTaskSpec};
 use rbs_timebase::{lcm_i128, Rational};
 
 use crate::analysis::{AnalysisScratch, WalkCounts};
-use crate::demand::{DemandProfile, PeriodicDemand, ResetFrontier, SupRatio, WalkTrace};
+use crate::demand::{
+    drive_lockstep, AnyMachine, AnyOutcome, DemandProfile, PeriodicDemand, ResetFrontier, SupRatio,
+    WalkKind, WalkTrace,
+};
 use crate::resetting::ResettingAnalysis;
-use crate::scaled::ScaledProfile;
+use crate::scaled::{FitsMachine, ScaledProfile, SupRatioMachine};
 use crate::speedup::SpeedupAnalysis;
 use crate::{AnalysisError, AnalysisLimits};
 
@@ -121,6 +124,11 @@ pub struct SweepAnalysis {
     avoided_walks: u64,
     reused_components: u64,
     rebuilt_components: u64,
+    lockstep_walks: u64,
+    /// Reused backing store for the per-`y` patch lists built by
+    /// [`SweepAnalysis::rescale_lo`], so rescaling allocates nothing in
+    /// the steady state.
+    patch_buffer: Vec<PeriodicDemand>,
     /// The per-grid-point `Δ_R` staircase (see
     /// [`crate::analysis::Analysis::resetting_time`]); re-armed by every
     /// [`SweepAnalysis::rescale_lo`].
@@ -324,6 +332,8 @@ impl SweepAnalysis {
             avoided_walks: 0,
             reused_components: 0,
             rebuilt_components,
+            lockstep_walks: 0,
+            patch_buffer: scratch.lease(),
             frontier: None,
         }
     }
@@ -334,6 +344,7 @@ impl SweepAnalysis {
         for profile in [self.lo, self.hi, self.arrival] {
             scratch.reclaim(profile.into_components());
         }
+        scratch.reclaim(self.patch_buffer);
     }
 
     /// The deadline-shortening factor `x` the context was built for.
@@ -381,18 +392,23 @@ impl SweepAnalysis {
             return;
         }
         self.y = y;
-        let patched: Vec<PeriodicDemand> = self
-            .lo_specs
-            .iter()
-            .map(|&(period, wcet)| hi_component_lo(period, wcet, y))
-            .collect();
+        let mut patched = std::mem::take(&mut self.patch_buffer);
+        patched.clear();
+        patched.extend(
+            self.lo_specs
+                .iter()
+                .map(|&(period, wcet)| hi_component_lo(period, wcet, y)),
+        );
         self.patch_profile(Profile::Hi, &patched);
-        let patched: Vec<PeriodicDemand> = self
-            .lo_specs
-            .iter()
-            .map(|&(period, wcet)| arrival_component_lo(period, wcet, y))
-            .collect();
+        patched.clear();
+        patched.extend(
+            self.lo_specs
+                .iter()
+                .map(|&(period, wcet)| arrival_component_lo(period, wcet, y)),
+        );
         self.patch_profile(Profile::Arrival, &patched);
+        patched.clear();
+        self.patch_buffer = patched;
         self.reused_components += self.lo.components().len() as u64;
     }
 
@@ -416,11 +432,14 @@ impl SweepAnalysis {
 
     fn record(&mut self, trace: WalkTrace) {
         match trace.kind {
-            crate::demand::WalkKind::Integer => self.integer_walks += 1,
-            crate::demand::WalkKind::Rational => self.exact_walks += 1,
+            WalkKind::Integer => self.integer_walks += 1,
+            WalkKind::Rational => self.exact_walks += 1,
         }
         if trace.pruned {
             self.pruned_walks += 1;
+        }
+        if trace.lockstep {
+            self.lockstep_walks += 1;
         }
     }
 
@@ -436,7 +455,125 @@ impl SweepAnalysis {
             avoided: self.avoided_walks,
             reused_components: self.reused_components,
             rebuilt_components: self.rebuilt_components,
+            lockstep: self.lockstep_walks,
         }
+    }
+
+    /// [`SweepAnalysis::minimum_speedup`] across many contexts at once:
+    /// the integer fast-path walks of all `sweeps` advance in one
+    /// chunked lockstep batch (see [`crate::demand::sup_ratio_many`] for
+    /// the chunking rule) instead of running to completion one profile
+    /// at a time. Contexts without a fast path — or whose fast path
+    /// overflows mid-walk — fall back to their usual sequential query.
+    ///
+    /// Returns one result per context, in order, each bit-identical to
+    /// that context's own [`SweepAnalysis::minimum_speedup`]; walk
+    /// counts are recorded on each context exactly as the sequential
+    /// query would, plus [`WalkCounts::lockstep`] for batch-served
+    /// walks.
+    pub fn minimum_speedup_many(
+        sweeps: &mut [&mut SweepAnalysis],
+    ) -> Vec<Result<SpeedupAnalysis, AnalysisError>> {
+        let mut slots: Vec<Option<Result<AnyOutcome, AnalysisError>>> =
+            sweeps.iter().map(|_| None).collect();
+        let mut live = Vec::with_capacity(sweeps.len());
+        for (slot, sweep) in sweeps.iter().enumerate() {
+            if let Some(machine) = sweep
+                .hi
+                .scaled()
+                .and_then(|s| SupRatioMachine::new(s, &sweep.limits))
+            {
+                live.push((slot, AnyMachine::Sup(machine), &sweep.limits));
+            }
+        }
+        drive_lockstep(live, &mut slots);
+        sweeps
+            .iter_mut()
+            .zip(slots)
+            .map(|(sweep, slot)| match slot {
+                Some(Ok(AnyOutcome::Sup(sup, pruned))) => {
+                    sweep.record(WalkTrace {
+                        kind: WalkKind::Integer,
+                        pruned,
+                        lockstep: true,
+                    });
+                    Ok(SpeedupAnalysis::from_sup_ratio(sup))
+                }
+                Some(Ok(AnyOutcome::Fits(..))) => {
+                    unreachable!("sup-ratio machines produce sup-ratio outcomes")
+                }
+                Some(Err(err)) => Err(err),
+                None => sweep.minimum_speedup(),
+            })
+            .collect()
+    }
+
+    /// [`SweepAnalysis::is_lo_schedulable`] across many contexts in one
+    /// lockstep batch; results and per-context walk accounting match the
+    /// sequential query bit for bit.
+    pub fn is_lo_schedulable_many(
+        sweeps: &mut [&mut SweepAnalysis],
+    ) -> Vec<Result<bool, AnalysisError>> {
+        SweepAnalysis::fits_many_inner(sweeps, FitsTarget::Lo, Rational::ONE)
+    }
+
+    /// [`SweepAnalysis::is_hi_schedulable`] at `speed` across many
+    /// contexts in one lockstep batch; results and per-context walk
+    /// accounting match the sequential query bit for bit.
+    pub fn is_hi_schedulable_many(
+        sweeps: &mut [&mut SweepAnalysis],
+        speed: Rational,
+    ) -> Vec<Result<bool, AnalysisError>> {
+        SweepAnalysis::fits_many_inner(sweeps, FitsTarget::Hi, speed)
+    }
+
+    fn fits_many_inner(
+        sweeps: &mut [&mut SweepAnalysis],
+        target: FitsTarget,
+        speed: Rational,
+    ) -> Vec<Result<bool, AnalysisError>> {
+        let mut slots: Vec<Option<Result<AnyOutcome, AnalysisError>>> =
+            sweeps.iter().map(|_| None).collect();
+        // A non-positive speed is an argument error the sequential query
+        // reports without walking; leave every slot to the fallback.
+        if speed.is_positive() {
+            let mut live = Vec::with_capacity(sweeps.len());
+            for (slot, sweep) in sweeps.iter().enumerate() {
+                let profile = match target {
+                    FitsTarget::Lo => &sweep.lo,
+                    FitsTarget::Hi => &sweep.hi,
+                };
+                if let Some(machine) = profile
+                    .scaled()
+                    .and_then(|s| FitsMachine::new(s, speed, &sweep.limits))
+                {
+                    live.push((slot, AnyMachine::Fits(machine), &sweep.limits));
+                }
+            }
+            drive_lockstep(live, &mut slots);
+        }
+        sweeps
+            .iter_mut()
+            .zip(slots)
+            .map(|(sweep, slot)| match slot {
+                Some(Ok(AnyOutcome::Fits(fits, pruned))) => {
+                    sweep.record(WalkTrace {
+                        kind: WalkKind::Integer,
+                        pruned,
+                        lockstep: true,
+                    });
+                    Ok(fits)
+                }
+                Some(Ok(AnyOutcome::Sup(..))) => {
+                    unreachable!("fits machines produce fits outcomes")
+                }
+                Some(Err(err)) => Err(err),
+                None => match target {
+                    FitsTarget::Lo => sweep.is_lo_schedulable(),
+                    FitsTarget::Hi => sweep.is_hi_schedulable(speed),
+                },
+            })
+            .collect()
     }
 
     /// Theorem 2's minimum HI-mode speedup at the current grid point
@@ -482,6 +619,7 @@ impl SweepAnalysis {
             self.record(WalkTrace {
                 kind,
                 pruned: false,
+                lockstep: false,
             });
             let fit = frontier
                 .lookup(speed)
@@ -529,6 +667,13 @@ impl SweepAnalysis {
 enum Profile {
     Hi,
     Arrival,
+}
+
+/// Which profile a batched fits query walks.
+#[derive(Clone, Copy)]
+enum FitsTarget {
+    Lo,
+    Hi,
 }
 
 #[cfg(test)]
@@ -690,6 +835,42 @@ mod tests {
             sweep.resetting_time(Rational::TWO).expect("ok"),
             ctx.resetting_time(Rational::TWO).expect("ok")
         );
+    }
+
+    #[test]
+    fn batched_speedup_matches_per_context_queries() {
+        let specs_a = table1_specs();
+        let specs_b = vec![
+            ImplicitTaskSpec::hi("h1", int(7), int(1), int(3)),
+            ImplicitTaskSpec::hi("h2", int(12), int(2), int(4)),
+            ImplicitTaskSpec::lo("l1", int(9), int(2)),
+        ];
+        let limits = AnalysisLimits::default();
+        let ys = [Rational::ONE, Rational::TWO];
+        for &y in &ys {
+            let build = |specs: &[ImplicitTaskSpec]| {
+                let mut sweep =
+                    SweepAnalysis::new(specs, rat(2, 5), &ys, SweepMode::Degraded, &limits);
+                sweep.rescale_lo(y);
+                sweep
+            };
+            let mut solo_a = build(&specs_a);
+            let mut solo_b = build(&specs_b);
+            let expected_a = solo_a.minimum_speedup().expect("ok");
+            let expected_b = solo_b.minimum_speedup().expect("ok");
+            let mut batched_a = build(&specs_a);
+            let mut batched_b = build(&specs_b);
+            let mut refs = [&mut batched_a, &mut batched_b];
+            let results = SweepAnalysis::minimum_speedup_many(&mut refs);
+            assert_eq!(results[0].as_ref().expect("ok"), &expected_a);
+            assert_eq!(results[1].as_ref().expect("ok"), &expected_b);
+            // The batch records the same walks as the sequential path,
+            // tagged as lockstep-served.
+            assert_eq!(batched_a.walk_counts().integer, 1);
+            assert_eq!(batched_a.walk_counts().lockstep, 1);
+            assert_eq!(batched_b.walk_counts().lockstep, 1);
+            assert_eq!(solo_a.walk_counts().lockstep, 0);
+        }
     }
 
     #[test]

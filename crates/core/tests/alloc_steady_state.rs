@@ -1,0 +1,111 @@
+//! Pins the zero-allocation steady state of the SoA walk kernels: once
+//! a thread's arena is warm, repeated integer fast-path walk queries
+//! must not touch the heap at all. A counting wrapper around the system
+//! allocator (thread-local, so the harness's other test threads don't
+//! pollute the count) measures exactly that.
+//!
+//! This is an integration test on purpose: the core library forbids
+//! `unsafe`, but a `GlobalAlloc` impl needs it, and each integration
+//! test binary is its own crate with its own allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use rbs_core::demand::{DemandProfile, PeriodicDemand, WalkKind};
+use rbs_core::AnalysisLimits;
+use rbs_timebase::Rational;
+
+/// Counts every allocation entry point on the current thread while
+/// delegating the actual memory management to [`System`].
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with` so allocations during thread teardown (after the TLS
+    // slot is destroyed) don't abort the process.
+    let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations on this thread while `f` runs.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+fn profile() -> DemandProfile {
+    let int = Rational::integer;
+    DemandProfile::new(vec![
+        PeriodicDemand::step(int(5), int(2), int(1)),
+        PeriodicDemand::step(int(7), int(7), int(3)),
+        PeriodicDemand::new(int(12), int(4), int(1), int(6), int(1), int(2)),
+    ])
+}
+
+#[test]
+fn steady_state_walk_queries_do_not_allocate() {
+    let profile = profile();
+    assert!(profile.has_fast_path());
+    let limits = AnalysisLimits::default();
+    let speed = Rational::new(3, 2);
+
+    // Warm-up: the first queries may check lanes out of an empty arena
+    // (which allocates the flat arrays once) and park them afterwards.
+    let (sup, trace) = profile.sup_ratio_traced(&limits).expect("completes");
+    assert_eq!(trace.kind, WalkKind::Integer, "fast path must engage");
+    let fits = profile.fits(speed, &limits).expect("completes");
+    let first = profile.first_fit(speed, &limits).expect("completes");
+
+    // Steady state: every walk checks its lanes back out of the
+    // thread's arena — zero heap traffic, bit-identical answers.
+    let count = allocations_during(|| {
+        for _ in 0..100 {
+            assert_eq!(profile.sup_ratio(&limits).expect("completes"), sup);
+            assert_eq!(profile.fits(speed, &limits).expect("completes"), fits);
+            assert_eq!(profile.first_fit(speed, &limits).expect("completes"), first);
+        }
+    });
+    assert_eq!(
+        count, 0,
+        "steady-state walks must not allocate ({count} allocations over 300 queries)"
+    );
+}
+
+#[test]
+fn the_counter_itself_sees_ordinary_allocations() {
+    // Guards against a silently broken hook: if the counting allocator
+    // were not installed (or the TLS bump never fired), the main assert
+    // above would pass vacuously.
+    let count = allocations_during(|| {
+        let v: Vec<u64> = Vec::with_capacity(32);
+        std::hint::black_box(&v);
+    });
+    assert!(count >= 1, "allocator hook must observe a Vec allocation");
+}

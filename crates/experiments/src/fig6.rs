@@ -14,6 +14,7 @@ use rbs_core::resetting::ResettingBound;
 use rbs_core::speedup::SpeedupBound;
 use rbs_core::{AnalysisLimits, AnalysisScratch, SweepAnalysis, SweepMode};
 use rbs_gen::synth::SynthConfig;
+use rbs_model::ImplicitTaskSpec;
 use rbs_timebase::Rational;
 
 use rbs_svc::WorkerPool;
@@ -106,6 +107,12 @@ struct SetContribution {
     resetting_by_sy: Vec<Option<Rational>>,
 }
 
+/// Sets analyzed together per pool job: each job drives its whole chunk's
+/// `minimum_speedup` walks through one lockstep batch per `y`
+/// ([`SweepAnalysis::minimum_speedup_many`]), so the batching pays off
+/// even at `jobs: 1`. Matches the core's lockstep chunk size.
+const CAMPAIGN_CHUNK: usize = 16;
+
 fn campaign_point(
     u_bound: Rational,
     config: &Fig6Config,
@@ -118,44 +125,28 @@ fn campaign_point(
     let seed = config.seed ^ (u_bound.numer() as u64);
     let sets = generator.generate_many(config.sets_per_point, seed);
 
-    let contributions = pool.run_ordered_scoped(sets, AnalysisScratch::new, |scratch, _, specs| {
-        let mut contribution = SetContribution {
-            infeasible: false,
-            s_min_by_y: vec![None; ys.len()],
-            resetting_by_sy: vec![None; ys.len() * speeds.len()],
-        };
-        let Some(x) = minimal_feasible_x(&specs) else {
-            contribution.infeasible = true;
-            return contribution;
-        };
-        // One sweep context per set: the LO profile and every HI-task
-        // demand component are built once (into the worker's recycled
-        // scratch buffers) and `rescale_lo` patches only the LO-task
-        // components per `y` — bit-identical to a fresh per-`y` context.
-        let mut sweep = SweepAnalysis::new_in(&specs, x, ys, SweepMode::Degraded, limits, scratch);
-        for (yi, &y) in ys.iter().enumerate() {
-            sweep.rescale_lo(y);
-            if let Ok(analysis) = sweep.minimum_speedup() {
-                if let SpeedupBound::Finite(s_min) = analysis.bound() {
-                    contribution.s_min_by_y[yi] = Some(s_min);
-                }
-            }
-            for (si, &s) in speeds.iter().enumerate() {
-                if let Ok(analysis) = sweep.resetting_time(s) {
-                    if let ResettingBound::Finite(dr) = analysis.bound() {
-                        contribution.resetting_by_sy[yi * speeds.len() + si] = Some(dr);
-                    }
-                }
-            }
+    // Chunks are consecutive runs of the generation order, and the pool
+    // returns them in submission order, so flattening the per-chunk
+    // contribution lists reproduces the per-set aggregation order.
+    let mut chunks: Vec<Vec<Vec<ImplicitTaskSpec>>> =
+        Vec::with_capacity(sets.len().div_ceil(CAMPAIGN_CHUNK.max(1)));
+    let mut iter = sets.into_iter();
+    loop {
+        let chunk: Vec<Vec<ImplicitTaskSpec>> = iter.by_ref().take(CAMPAIGN_CHUNK).collect();
+        if chunk.is_empty() {
+            break;
         }
-        sweep.recycle_into(scratch);
-        contribution
-    });
+        chunks.push(chunk);
+    }
+    let contributions =
+        pool.run_ordered_scoped(chunks, AnalysisScratch::new, |scratch, _, chunk| {
+            campaign_chunk(&chunk, scratch, limits, ys, speeds)
+        });
 
     let mut infeasible = 0usize;
     let mut s_min_at_y: Vec<Vec<Rational>> = vec![Vec::new(); ys.len()];
     let mut resetting_at_sy: Vec<Vec<Rational>> = vec![Vec::new(); ys.len() * speeds.len()];
-    for contribution in contributions {
+    for contribution in contributions.into_iter().flatten() {
         if contribution.infeasible {
             infeasible += 1;
         }
@@ -211,6 +202,67 @@ fn campaign_point(
 /// belongs in the denominator (it is schedulable at no threshold), which
 /// is why the denominator is the feasible-set count, not
 /// `finite_s_min.len()`.
+/// Analyzes one chunk of task sets on a single worker: one sweep context
+/// per feasible set, `rescale_lo` patching per `y`, and the chunk's
+/// `minimum_speedup` walks driven in lockstep. Per-set results are
+/// bit-identical to the set-at-a-time loop this replaces.
+fn campaign_chunk(
+    chunk: &[Vec<ImplicitTaskSpec>],
+    scratch: &mut AnalysisScratch,
+    limits: &AnalysisLimits,
+    ys: &[Rational],
+    speeds: &[Rational],
+) -> Vec<SetContribution> {
+    let mut contributions: Vec<SetContribution> = chunk
+        .iter()
+        .map(|_| SetContribution {
+            infeasible: false,
+            s_min_by_y: vec![None; ys.len()],
+            resetting_by_sy: vec![None; ys.len() * speeds.len()],
+        })
+        .collect();
+    // One sweep context per feasible set, held for the whole `y` loop:
+    // the LO profile and every HI-task demand component are built once
+    // (into the worker's recycled scratch buffers) and `rescale_lo`
+    // patches only the LO-task components per `y` — bit-identical to a
+    // fresh per-`y` context.
+    let mut sweeps: Vec<(usize, SweepAnalysis)> = Vec::with_capacity(chunk.len());
+    for (index, specs) in chunk.iter().enumerate() {
+        match minimal_feasible_x(specs) {
+            Some(x) => sweeps.push((
+                index,
+                SweepAnalysis::new_in(specs, x, ys, SweepMode::Degraded, limits, scratch),
+            )),
+            None => contributions[index].infeasible = true,
+        }
+    }
+    for (yi, &y) in ys.iter().enumerate() {
+        for (_, sweep) in &mut sweeps {
+            sweep.rescale_lo(y);
+        }
+        let mut refs: Vec<&mut SweepAnalysis> = sweeps.iter_mut().map(|(_, sweep)| sweep).collect();
+        let speedups = SweepAnalysis::minimum_speedup_many(&mut refs);
+        for ((index, sweep), speedup) in sweeps.iter_mut().zip(speedups) {
+            if let Ok(analysis) = speedup {
+                if let SpeedupBound::Finite(s_min) = analysis.bound() {
+                    contributions[*index].s_min_by_y[yi] = Some(s_min);
+                }
+            }
+            for (si, &s) in speeds.iter().enumerate() {
+                if let Ok(analysis) = sweep.resetting_time(s) {
+                    if let ResettingBound::Finite(dr) = analysis.bound() {
+                        contributions[*index].resetting_by_sy[yi * speeds.len() + si] = Some(dr);
+                    }
+                }
+            }
+        }
+    }
+    for (_, sweep) in sweeps {
+        sweep.recycle_into(scratch);
+    }
+    contributions
+}
+
 fn schedulable_fractions(finite_s_min: &[Rational], feasible: usize) -> Vec<(Rational, f64)> {
     let total = feasible.max(1) as f64;
     [Rational::ONE, Rational::new(19, 10)]

@@ -113,10 +113,16 @@ fn region_point(
 ) -> RegionPoint {
     let generator = GridConfig::new(u_hi, u_lo).with_gamma(Rational::integer(10));
     let mut evaluated = 0usize;
-    let mut accept_speedup = 0usize;
-    let mut accept_no_speedup = 0usize;
     let mut accept_edf_vd = 0usize;
     let mut accept_reservation = 0usize;
+    // One sweep context per set with a feasible x (the paper's scheme:
+    // x minimal, LO tasks terminated in HI mode). With LO tasks
+    // terminated every profile is y-invariant, so this is pure
+    // construction sharing — the LO profile serves the LO verdict and
+    // the HI/arrival profiles serve all speed queries, built once into
+    // the worker's recycled scratch buffers. The whole batch is held so
+    // its fits walks can run in lockstep below.
+    let mut sweeps: Vec<SweepAnalysis> = Vec::with_capacity(config.sets_per_point);
     for k in 0..config.sets_per_point {
         let seed = config
             .seed
@@ -134,31 +140,51 @@ fn region_point(
         if edf_vd::is_schedulable(&specs) {
             accept_edf_vd += 1;
         }
-        // The paper's scheme: x minimal, LO tasks terminated in HI mode.
         let Some(x) = minimal_feasible_x(&specs) else {
             continue;
         };
-        // One sweep context per set: with LO tasks terminated every
-        // profile is y-invariant, so this is pure construction sharing —
-        // the LO profile serves the LO verdict and the HI/arrival
-        // profiles serve all four speed queries, built once into the
-        // worker's recycled scratch buffers.
-        let mut sweep = SweepAnalysis::new_in(
+        sweeps.push(SweepAnalysis::new_in(
             &specs,
             x,
             &[Rational::ONE],
             SweepMode::Terminated,
             limits,
             scratch,
-        );
-        let (no_speedup_ok, speedup_ok) = speedup_verdicts(&mut sweep, speed, reset_budget);
+        ));
+    }
+    // Batched verdicts, same gates in the same order as the per-set
+    // protocol: the LO verdict first for every set, the HI verdicts at
+    // s = 1 and at `speed` only for LO-schedulable sets, and the reset
+    // budget only where the sped-up HI verdict passed. Analysis errors
+    // reject the set, matching the sequential protocol.
+    let accept_no_speedup;
+    let mut accept_speedup = 0usize;
+    {
+        let mut refs: Vec<&mut SweepAnalysis> = sweeps.iter_mut().collect();
+        let lo_ok = SweepAnalysis::is_lo_schedulable_many(&mut refs);
+        let mut survivors: Vec<&mut SweepAnalysis> = refs
+            .into_iter()
+            .zip(lo_ok)
+            .filter_map(|(sweep, ok)| ok.unwrap_or(false).then_some(sweep))
+            .collect();
+        accept_no_speedup = SweepAnalysis::is_hi_schedulable_many(&mut survivors, Rational::ONE)
+            .into_iter()
+            .filter(|ok| *ok.as_ref().unwrap_or(&false))
+            .count();
+        let hi_at_speed = SweepAnalysis::is_hi_schedulable_many(&mut survivors, speed);
+        for (sweep, ok) in survivors.into_iter().zip(hi_at_speed) {
+            if ok.unwrap_or(false)
+                && matches!(
+                    sweep.resetting_time(speed).map(|reset| reset.bound()),
+                    Ok(ResettingBound::Finite(dr)) if dr <= reset_budget
+                )
+            {
+                accept_speedup += 1;
+            }
+        }
+    }
+    for sweep in sweeps {
         sweep.recycle_into(scratch);
-        if no_speedup_ok {
-            accept_no_speedup += 1;
-        }
-        if speedup_ok {
-            accept_speedup += 1;
-        }
     }
     let denom = evaluated.max(1) as f64;
     RegionPoint {
@@ -170,25 +196,6 @@ fn region_point(
         edf_vd: accept_edf_vd as f64 / denom,
         reservation: accept_reservation as f64 / denom,
     }
-}
-
-/// The (no-speedup, speedup-with-budget) verdicts for one prepared set.
-/// Analysis errors reject the set, matching the sequential protocol.
-fn speedup_verdicts(
-    ctx: &mut SweepAnalysis,
-    speed: Rational,
-    reset_budget: Rational,
-) -> (bool, bool) {
-    if !ctx.is_lo_schedulable().unwrap_or(false) {
-        return (false, false);
-    }
-    let no_speedup = ctx.is_hi_schedulable(Rational::ONE).unwrap_or(false);
-    let speedup = ctx.is_hi_schedulable(speed).unwrap_or(false)
-        && matches!(
-            ctx.resetting_time(speed).map(|reset| reset.bound()),
-            Ok(ResettingBound::Finite(dr)) if dr <= reset_budget
-        );
-    (no_speedup, speedup)
 }
 
 impl fmt::Display for Fig7Results {

@@ -18,7 +18,11 @@
 //!   paths, with the same shared positive and negative caches, panic
 //!   containment, deadlines, and duplicate coalescing. One batch
 //!   saturates every worker core regardless of how many sockets the
-//!   requests arrived on.
+//!   requests arrived on, and because the service leases its
+//!   [`rbs_svc` analysis scratches](Service) from a pool shared across
+//!   batches, the walk-kernel arenas stay warm from one micro-batch to
+//!   the next: a long-lived daemon analyzes in zero-allocation steady
+//!   state even though each batch spawns fresh scoped workers.
 //!
 //! Responses are rendered [`rbs_svc::Response`] lines with `seq`
 //! rewritten to the connection's own counter; within a connection they

@@ -51,8 +51,10 @@
 
 pub mod fleet;
 
+use rbs_core::dbf::hi_profile;
+use rbs_core::demand::{sup_ratio_many, DemandProfile, SupRatio};
 use rbs_core::lo_mode::is_lo_schedulable;
-use rbs_core::speedup::{is_hi_schedulable, minimum_speedup, SpeedupBound};
+use rbs_core::speedup::{is_hi_schedulable, SpeedupBound};
 use rbs_core::{AnalysisError, AnalysisLimits};
 use rbs_model::{Mode, Task, TaskSet};
 use rbs_timebase::Rational;
@@ -204,9 +206,18 @@ pub fn partition(
     }
 
     let cores: Vec<TaskSet> = cores.into_iter().map(TaskSet::new).collect();
+    // Fleet sizing: one Theorem 2 walk per core, all driven in lockstep
+    // over the integer fast path — bit-identical to calling
+    // `minimum_speedup` core by core.
+    let profiles: Vec<DemandProfile> = cores.iter().map(hi_profile).collect();
+    let profile_refs: Vec<&DemandProfile> = profiles.iter().collect();
     let mut speedups = Vec::with_capacity(cores.len());
-    for core in &cores {
-        speedups.push(minimum_speedup(core, limits)?.bound());
+    for result in sup_ratio_many(&profile_refs, limits) {
+        let (sup, _) = result?;
+        speedups.push(match sup {
+            SupRatio::Finite { value, .. } => SpeedupBound::Finite(value),
+            SupRatio::Unbounded => SpeedupBound::Unbounded,
+        });
     }
     Ok(Some(Partition { cores, speedups }))
 }

@@ -23,7 +23,7 @@
 //! take the batch (or the daemon) down.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rbs_core::{
@@ -168,13 +168,46 @@ impl Default for ServiceConfig {
 }
 
 /// The admission-control service. Cloning shares both caches (and their
-/// hit/miss counters) with the original.
+/// hit/miss counters) and the scratch pool with the original.
 #[derive(Debug, Clone)]
 pub struct Service {
     pool: WorkerPool,
     cache: ResultCache,
     negative: ResultCache<SvcError>,
     config: ServiceConfig,
+    /// Analysis scratches (profile buffers + parked walk-kernel lanes)
+    /// parked between batches. [`WorkerPool`] spawns fresh scoped threads
+    /// per batch, so worker-local state alone would start cold every
+    /// time; leasing scratches from this shared pool carries the warmed
+    /// arenas across batches — the long-running daemons (`--follow`,
+    /// rbs-netd micro-batches) reach zero-allocation steady state. At
+    /// most `pool.jobs()` scratches are ever leased at once, so the pool
+    /// is naturally bounded.
+    scratches: Arc<Mutex<Vec<AnalysisScratch>>>,
+}
+
+/// A worker's checkout from the [`Service`] scratch pool; returns the
+/// scratch (and its grown buffers and arena) on drop — including when a
+/// contained panic unwinds the batch closure.
+struct ScratchLease {
+    pool: Arc<Mutex<Vec<AnalysisScratch>>>,
+    scratch: Option<AnalysisScratch>,
+}
+
+impl ScratchLease {
+    fn get(&mut self) -> &mut AnalysisScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchLease {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            if let Ok(mut pool) = self.pool.lock() {
+                pool.push(scratch);
+            }
+        }
+    }
 }
 
 /// What the service decided for one request.
@@ -250,13 +283,14 @@ impl Response {
                 };
                 let walks = match walks {
                     Some(meta) => format!(
-                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{},\"reused\":{},\"rebuilt\":{}}}",
+                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{},\"reused\":{},\"rebuilt\":{},\"lockstep\":{}}}",
                         meta.integer_walks,
                         meta.exact_walks,
                         meta.pruned_walks,
                         meta.avoided_walks,
                         meta.reused_components,
-                        meta.rebuilt_components
+                        meta.rebuilt_components,
+                        meta.lockstep_walks
                     ),
                     None => String::new(),
                 };
@@ -352,6 +386,12 @@ pub struct BatchStats {
     /// Demand components built (initial construction plus `rescale_lo`
     /// patches), summed over the executed analyses.
     pub rebuilt_components: u64,
+    /// Integer-fast-path walks answered by the chunked lockstep driver
+    /// (several profiles' event streams advanced together), summed over
+    /// the executed analyses. Each is also counted in
+    /// [`Self::integer_walks`] — this reports how many of those walks
+    /// ran batched rather than one at a time.
+    pub lockstep_walks: u64,
     /// Per-request service time in microseconds (parse + analysis share),
     /// indexed by `seq` within the batch.
     pub latencies_micros: Vec<u64>,
@@ -380,6 +420,7 @@ impl BatchStats {
         self.avoided_walks += other.avoided_walks;
         self.reused_components += other.reused_components;
         self.rebuilt_components += other.rebuilt_components;
+        self.lockstep_walks += other.lockstep_walks;
         self.latencies_micros
             .extend_from_slice(&other.latencies_micros);
     }
@@ -401,7 +442,7 @@ impl BatchStats {
         format!(
             "rbs-svc: served={} ok={} errors{{total={} parse={} limits={} timeout={} panic={} oversized={} overload={}}} \
              cache{{hits={} negative={}}} coalesced={} analyzed={} jobs={jobs} \
-             walks{{integer={} exact={} pruned={} avoided={} reused={} rebuilt={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
+             walks{{integer={} exact={} pruned={} avoided={} reused={} rebuilt={} lockstep={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
             self.served,
             self.ok,
             self.errors.total(),
@@ -420,7 +461,8 @@ impl BatchStats {
             self.pruned_walks,
             self.avoided_walks,
             self.reused_components,
-            self.rebuilt_components
+            self.rebuilt_components,
+            self.lockstep_walks
         )
     }
 }
@@ -525,6 +567,23 @@ impl Service {
             cache: ResultCache::new(config.cache_capacity),
             negative: ResultCache::new(config.negative_cache_capacity),
             config,
+            scratches: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Checks a scratch out of the shared pool (or starts a fresh one
+    /// when the pool is dry — the first batch, or more workers than ever
+    /// before).
+    fn lease_scratch(&self) -> ScratchLease {
+        let scratch = self
+            .scratches
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default();
+        ScratchLease {
+            pool: Arc::clone(&self.scratches),
+            scratch: Some(scratch),
         }
     }
 
@@ -586,44 +645,49 @@ impl Service {
         type JobResult = (Result<(Arc<str>, AnalyzeMeta), SvcError>, u64);
         let results: Vec<JobResult> = self
             .pool
-            .run_ordered_scoped_caught(pending, AnalysisScratch::new, |scratch, _, job| {
-                let start = Instant::now();
-                let limits = match config.timeout {
-                    Some(timeout) => config.limits.with_deadline(start + timeout),
-                    None => config.limits,
-                };
-                let outcome = match job.job {
-                    Job::Analyze { set } => {
-                        if config.fault_injection {
-                            inject_faults(&set);
-                        }
-                        analyze_with_meta_in(set, &limits, scratch)
-                            .map(|(report, meta)| {
-                                (Arc::<str>::from(rbs_json::to_string(&report)), meta)
-                            })
-                            .map_err(|error| SvcError::from_analysis(&error))
-                    }
-                    Job::Sweep { grid } => {
-                        if config.fault_injection {
-                            inject_sweep_faults(&grid.specs);
-                        }
-                        run_sweep_in(&grid, &limits, scratch)
-                            .map(|swept| match swept {
-                                Some((report, meta)) => {
+            .run_ordered_scoped_caught(
+                pending,
+                || self.lease_scratch(),
+                |lease, _, job| {
+                    let scratch = lease.get();
+                    let start = Instant::now();
+                    let limits = match config.timeout {
+                        Some(timeout) => config.limits.with_deadline(start + timeout),
+                        None => config.limits,
+                    };
+                    let outcome = match job.job {
+                        Job::Analyze { set } => {
+                            if config.fault_injection {
+                                inject_faults(&set);
+                            }
+                            analyze_with_meta_in(set, &limits, scratch)
+                                .map(|(report, meta)| {
                                     (Arc::<str>::from(rbs_json::to_string(&report)), meta)
-                                }
-                                // No density-feasible x at any y: a stable
-                                // verdict, cacheable like any report.
-                                None => (
-                                    Arc::<str>::from("{\"infeasible\":true}"),
-                                    AnalyzeMeta::default(),
-                                ),
-                            })
-                            .map_err(|error| SvcError::from_analysis(&error))
-                    }
-                };
-                (outcome, elapsed_micros(start))
-            })
+                                })
+                                .map_err(|error| SvcError::from_analysis(&error))
+                        }
+                        Job::Sweep { grid } => {
+                            if config.fault_injection {
+                                inject_sweep_faults(&grid.specs);
+                            }
+                            run_sweep_in(&grid, &limits, scratch)
+                                .map(|swept| match swept {
+                                    Some((report, meta)) => {
+                                        (Arc::<str>::from(rbs_json::to_string(&report)), meta)
+                                    }
+                                    // No density-feasible x at any y: a stable
+                                    // verdict, cacheable like any report.
+                                    None => (
+                                        Arc::<str>::from("{\"infeasible\":true}"),
+                                        AnalyzeMeta::default(),
+                                    ),
+                                })
+                                .map_err(|error| SvcError::from_analysis(&error))
+                        }
+                    };
+                    (outcome, elapsed_micros(start))
+                },
+            )
             .into_iter()
             .map(|slot| match slot {
                 Ok(result) => result,
@@ -644,6 +708,7 @@ impl Service {
                     stats.avoided_walks += meta.avoided_walks;
                     stats.reused_components += meta.reused_components;
                     stats.rebuilt_components += meta.rebuilt_components;
+                    stats.lockstep_walks += meta.lockstep_walks;
                 }
                 Err(error) => {
                     // Every post-parse failure (limits, timeout, panic) is
@@ -856,6 +921,22 @@ mod tests {
             json,
             "{\"kind\":\"timeout\",\"detail\":\"too \\\"slow\\\"\"}"
         );
+    }
+
+    #[test]
+    fn scratch_leases_return_to_the_shared_pool() {
+        let service = Service::new(WorkerPool::new(2), 0, AnalysisLimits::default());
+        {
+            let _a = service.lease_scratch();
+            let _b = service.lease_scratch();
+            assert_eq!(service.scratches.lock().unwrap().len(), 0);
+        }
+        assert_eq!(service.scratches.lock().unwrap().len(), 2);
+        // A clone shares the pool: the netd dispatcher's cloned service
+        // hands the same warmed scratches to every micro-batch.
+        let lease = service.clone().lease_scratch();
+        drop(lease);
+        assert_eq!(service.scratches.lock().unwrap().len(), 2);
     }
 
     #[test]

@@ -213,16 +213,22 @@ fn follow_mode_emits_periodic_footers() {
     assert_eq!(footers, 3, "{stderr}");
 }
 
-/// Extracts `[integer, exact, pruned, avoided, reused, rebuilt]` from a
-/// footer's `walks{integer=.. exact=.. pruned=.. avoided=.. reused=..
-/// rebuilt=..}` block.
-fn parse_walks(footer: &str) -> [u64; 6] {
+/// Extracts `[integer, exact, pruned, avoided, reused, rebuilt,
+/// lockstep]` from a footer's `walks{integer=.. exact=.. pruned=..
+/// avoided=.. reused=.. rebuilt=.. lockstep=..}` block.
+fn parse_walks(footer: &str) -> [u64; 7] {
     let start = footer.find("walks{").expect("footer has a walks block") + "walks{".len();
     let body = &footer[start..];
     let body = &body[..body.find('}').expect("walks block closes")];
-    let mut counters = [0u64; 6];
+    let mut counters = [0u64; 7];
     for (slot, key) in [
-        "integer=", "exact=", "pruned=", "avoided=", "reused=", "rebuilt=",
+        "integer=",
+        "exact=",
+        "pruned=",
+        "avoided=",
+        "reused=",
+        "rebuilt=",
+        "lockstep=",
     ]
     .into_iter()
     .enumerate()
@@ -248,6 +254,7 @@ fn walk_counters_appear_per_response_and_grow_monotonically() {
         "\"avoided\":",
         "\"reused\":",
         "\"rebuilt\":",
+        "\"lockstep\":",
     ] {
         assert!(
             first.contains(needle),
@@ -258,7 +265,7 @@ fn walk_counters_appear_per_response_and_grow_monotonically() {
     let _ = daemon.roundtrip(&good_line(13));
     let (success, stderr) = daemon.drain();
     assert!(success, "{stderr}");
-    let footers: Vec<[u64; 6]> = stderr
+    let footers: Vec<[u64; 7]> = stderr
         .lines()
         .filter(|line| line.starts_with("rbs-svc: served="))
         .map(parse_walks)

@@ -9,11 +9,42 @@ use rbs_core::lo_mode::{is_lo_schedulable, minimal_feasible_x, minimal_x_density
 use rbs_core::resetting::resetting_time;
 use rbs_core::speedup::minimum_speedup;
 use rbs_core::tuning::minimal_speed_within_budget;
-use rbs_core::{AnalysisLimits, SweepAnalysis, SweepMode};
+use rbs_core::{Analysis, AnalysisLimits, DeltaAnalysis, SweepAnalysis, SweepMode};
 use rbs_gen::fms;
 use rbs_gen::synth::SynthConfig;
+use rbs_model::{Criticality, Task, TaskSet};
+use rbs_rng::Rng;
 use rbs_timebase::Rational;
+use std::collections::VecDeque;
 use std::hint::black_box;
+
+/// A small-utilization fleet candidate drawn from a harmonic period
+/// menu (all periods divide 4800, as in avionics-style rate groups), so
+/// the resident timebase never shifts and exact rate sums stay
+/// representable at any fleet size — the same construction as
+/// `examples/online_monitor.rs --fleet`.
+fn fleet_candidate(rng: &mut Rng, id: usize) -> Task {
+    const PERIOD_MENU: [i128; 10] = [200, 240, 320, 400, 480, 600, 800, 960, 1200, 1600];
+    let period = Rational::integer(PERIOD_MENU[rng.gen_range_usize(0, PERIOD_MENU.len() - 1)]);
+    let wcet = Rational::integer(rng.gen_range_i128(1, 3));
+    if rng.gen_bool(0.4) {
+        Task::builder(format!("hi{id}"), Criticality::Hi)
+            .period(period)
+            .deadline_lo(period * Rational::new(1, 2))
+            .deadline_hi(period)
+            .wcet_lo(wcet)
+            .wcet_hi(wcet * Rational::TWO)
+            .build()
+            .expect("candidate parameters satisfy eq. (1)")
+    } else {
+        Task::builder(format!("lo{id}"), Criticality::Lo)
+            .period(period)
+            .deadline(period)
+            .wcet(wcet)
+            .build()
+            .expect("candidate parameters satisfy eq. (2)")
+    }
+}
 
 fn main() {
     let runner = Runner::new("analysis");
@@ -197,6 +228,49 @@ fn main() {
             turn += 1;
             sweep.rescale_lo(ys[turn % ys.len()]);
             sweep.minimum_speedup().expect("completes")
+        });
+    }
+
+    // Incremental delta-admission on a resident fleet vs fresh
+    // re-analysis of the same set: `admit_one` is one admission decision
+    // (admit + s_min + evict back), `churn_fleet` one steady-state
+    // replacement (evict + admit + s_min), and `fresh_fleet` the
+    // from-scratch analysis both are measured against — the churn case
+    // is required to stay at least 5x below it at this fleet size.
+    {
+        let fleet = 256usize;
+        let mut rng = Rng::seed_from_u64(2015);
+        let mut delta = DeltaAnalysis::new(TaskSet::empty(), &limits);
+        let mut residents = VecDeque::with_capacity(fleet);
+        for id in 0..fleet {
+            let task = fleet_candidate(&mut rng, id);
+            residents.push_back(task.name().to_owned());
+            delta.admit(task).expect("admits");
+        }
+        delta.minimum_speedup().expect("completes");
+        let mut next_id = fleet;
+        runner.bench(&format!("delta/admit_one/{fleet}"), || {
+            let task = fleet_candidate(&mut rng, next_id);
+            let name = task.name().to_owned();
+            next_id += 1;
+            delta.admit(task).expect("admits");
+            let s_min = delta.minimum_speedup().expect("completes");
+            delta.evict(&name).expect("evicts");
+            s_min
+        });
+        runner.bench(&format!("delta/churn_fleet/{fleet}"), || {
+            let victim = residents.pop_front().expect("resident fleet");
+            delta.evict(&victim).expect("evicts");
+            let task = fleet_candidate(&mut rng, next_id);
+            next_id += 1;
+            residents.push_back(task.name().to_owned());
+            delta.admit(task).expect("admits");
+            delta.minimum_speedup().expect("completes")
+        });
+        runner.bench(&format!("delta/fresh_fleet/{fleet}"), || {
+            let set = delta.set().clone();
+            let fresh = Analysis::new(&set, &limits);
+            fresh.minimum_speedup().expect("completes")
         });
     }
 

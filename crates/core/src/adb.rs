@@ -77,21 +77,25 @@ pub fn total_adb_hi(set: &TaskSet, delta: Rational) -> Rational {
     set.iter().map(|t| adb_hi(t, delta)).sum()
 }
 
+/// One task's `ADB_HI` component (Theorem 4), `None` for tasks
+/// terminated in HI mode.
+pub(crate) fn arrival_component_of(t: &Task) -> Option<PeriodicDemand> {
+    let hi = t.params(Mode::Hi)?;
+    let offset = hi.period() - t.lo().deadline();
+    Some(PeriodicDemand::new(
+        hi.period(),
+        hi.wcet(),
+        hi.wcet(), // the "+1" job: one full C(HI) from Δ = 0 on
+        offset,
+        hi.wcet() - t.lo().wcet(),
+        t.lo().wcet(),
+    ))
+}
+
 /// Appends [`hi_arrival_profile`]'s components to `out` — the
 /// buffer-reusing form behind [`crate::AnalysisScratch`].
 pub(crate) fn arrival_components_into(set: &TaskSet, out: &mut Vec<PeriodicDemand>) {
-    out.extend(set.iter().filter_map(|t| {
-        let hi = t.params(Mode::Hi)?;
-        let offset = hi.period() - t.lo().deadline();
-        Some(PeriodicDemand::new(
-            hi.period(),
-            hi.wcet(),
-            hi.wcet(), // the "+1" job: one full C(HI) from Δ = 0 on
-            offset,
-            hi.wcet() - t.lo().wcet(),
-            t.lo().wcet(),
-        ))
-    }));
+    out.extend(set.iter().filter_map(arrival_component_of));
 }
 
 /// The arrived demand of the whole set as an exact curve profile

@@ -94,6 +94,11 @@ pub struct WalkCounts {
     /// dedicated one-shot walk. Every lockstep walk is also counted in
     /// [`Self::integer`], so this is not part of [`Self::total`].
     pub lockstep: u64,
+    /// Profile updates applied by an in-place patch of the integer fast
+    /// path (no full rebuild): the sweep engine's `rescale_lo` hits and
+    /// the delta engine's ([`crate::delta::DeltaAnalysis`]) in-place
+    /// admit/evict/replace splices. Always `0` for a plain [`Analysis`].
+    pub patched: u64,
 }
 
 impl WalkCounts {
@@ -189,6 +194,59 @@ impl<'a> Analysis<'a> {
             .set(self.built_components.get() + components as u64);
     }
 
+    /// Creates a context around profiles built elsewhere — the delta
+    /// engine's ([`crate::delta::DeltaAnalysis`]) entry point, which
+    /// maintains the three profiles across set mutations and lends them
+    /// to a context per query session. No components are counted as
+    /// built here; the lender does its own reuse accounting.
+    ///
+    /// `frontier` seeds the resetting-time staircase cache (`None` for
+    /// the fresh-context behavior); [`Analysis::release`] hands back
+    /// whatever staircase the session deepened it to.
+    pub(crate) fn adopt(
+        set: &'a TaskSet,
+        limits: &AnalysisLimits,
+        lo: DemandProfile,
+        hi: DemandProfile,
+        arrival: DemandProfile,
+        frontier: Option<ResetFrontier>,
+    ) -> Analysis<'a> {
+        let ctx = Analysis::new(set, limits);
+        let _ = ctx.lo.set(lo);
+        let _ = ctx.hi.set(hi);
+        let _ = ctx.arrival.set(arrival);
+        *ctx.frontier.borrow_mut() = frontier;
+        ctx
+    }
+
+    /// Consumes an [`Analysis::adopt`]ed context, handing the profiles
+    /// (and the possibly-deepened frontier) back to the lender along
+    /// with the session's walk counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the context was not created via [`Analysis::adopt`]
+    /// (the profiles must all be present).
+    pub(crate) fn release(
+        self,
+    ) -> (
+        DemandProfile,
+        DemandProfile,
+        DemandProfile,
+        Option<ResetFrontier>,
+        WalkCounts,
+    ) {
+        let counts = self.walk_counts();
+        let lo = self.lo.into_inner().expect("adopted context has profiles");
+        let hi = self.hi.into_inner().expect("adopted context has profiles");
+        let arrival = self
+            .arrival
+            .into_inner()
+            .expect("adopted context has profiles");
+        let frontier = self.frontier.into_inner();
+        (lo, hi, arrival, frontier, counts)
+    }
+
     /// Consumes the context, returning its profile buffers to `scratch`
     /// for the next [`Analysis::new_with_scratch`] call.
     pub fn recycle_into(self, scratch: &mut AnalysisScratch) {
@@ -267,6 +325,7 @@ impl<'a> Analysis<'a> {
             reused_components: 0,
             rebuilt_components: self.built_components.get(),
             lockstep: self.lockstep_walks.get(),
+            patched: 0,
         }
     }
 

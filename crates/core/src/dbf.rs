@@ -130,13 +130,17 @@ pub fn total_dbf_hi(set: &TaskSet, delta: Rational) -> Rational {
     set.iter().map(|t| dbf_hi(t, delta)).sum()
 }
 
+/// One task's `DBF_LO` component (eq. (4)) — the unit the delta engine
+/// splices when a task is admitted or evicted.
+pub(crate) fn lo_component_of(t: &Task) -> PeriodicDemand {
+    let p = t.lo();
+    PeriodicDemand::step(p.period(), p.deadline(), p.wcet())
+}
+
 /// Appends [`lo_profile`]'s components to `out` — the buffer-reusing
 /// form behind [`crate::AnalysisScratch`].
 pub(crate) fn lo_components_into(set: &TaskSet, out: &mut Vec<PeriodicDemand>) {
-    out.extend(set.iter().map(|t| {
-        let p = t.lo();
-        PeriodicDemand::step(p.period(), p.deadline(), p.wcet())
-    }));
+    out.extend(set.iter().map(lo_component_of));
 }
 
 /// The LO-mode demand of the whole set as an exact curve profile.
@@ -147,21 +151,25 @@ pub fn lo_profile(set: &TaskSet) -> DemandProfile {
     DemandProfile::new(components)
 }
 
+/// One task's `DBF_HI` component (Lemma 1), `None` for tasks terminated
+/// in HI mode (they place no demand there).
+pub(crate) fn hi_component_of(t: &Task) -> Option<PeriodicDemand> {
+    let hi = t.params(Mode::Hi)?;
+    let offset = hi.deadline() - t.lo().deadline();
+    Some(PeriodicDemand::new(
+        hi.period(),
+        hi.wcet(),
+        Rational::ZERO,
+        offset,
+        hi.wcet() - t.lo().wcet(),
+        t.lo().wcet(),
+    ))
+}
+
 /// Appends [`hi_profile`]'s components to `out` — the buffer-reusing
 /// form behind [`crate::AnalysisScratch`].
 pub(crate) fn hi_components_into(set: &TaskSet, out: &mut Vec<PeriodicDemand>) {
-    out.extend(set.iter().filter_map(|t| {
-        let hi = t.params(Mode::Hi)?;
-        let offset = hi.deadline() - t.lo().deadline();
-        Some(PeriodicDemand::new(
-            hi.period(),
-            hi.wcet(),
-            Rational::ZERO,
-            offset,
-            hi.wcet() - t.lo().wcet(),
-            t.lo().wcet(),
-        ))
-    }));
+    out.extend(set.iter().filter_map(hi_component_of));
 }
 
 /// The HI-mode demand of the whole set as an exact curve profile

@@ -1,0 +1,785 @@
+//! Incremental task-set deltas against a cached analysis.
+//!
+//! The paper's analysis is a whole-set fixed point, but an online
+//! admission monitor mutates its set one task at a time: admit a task,
+//! evict one, replace one. Rebuilding the three demand profiles
+//! (`DBF_LO`, `DBF_HI`, `ADB_HI`) from scratch for every delta throws
+//! away almost all of the construction work — each profile holds one
+//! component per (HI-active) task, in declaration order, and a
+//! single-task delta touches exactly one component per profile.
+//!
+//! [`DeltaAnalysis`] owns the task set and its three profiles across
+//! deltas and splices components instead of rebuilding:
+//!
+//! * **admit** appends. The old component list is a prefix of the new
+//!   one, so every left-to-right fold of a fresh build — the timebase
+//!   lcm, the rate/envelope sums, the narrow-lane headroom aggregates —
+//!   extends the cached fold result by one step, in O(1).
+//! * **evict / replace** splice at the task's component index and
+//!   refold the profile aggregates over the per-component contributions
+//!   in component order — the same exact sums as a fresh build, without
+//!   re-deriving any untouched component's scaled form.
+//!
+//! Bit-identity with a fresh [`Analysis`] of the resulting set is the
+//! contract, overflow behavior included: an in-place splice is only
+//! kept when the patched profile stays on the timebase a fresh build
+//! would pick (otherwise the overflow-bail points of the integer walks
+//! could move), and any splice that cannot prove this rebuilds that
+//! profile exactly as [`crate::demand::DemandProfile::new`] would.
+//! `tests/delta_differential.rs` pins results *and* examined-walk
+//! counts after arbitrary admit/evict/replace churn.
+//!
+//! The reset-frontier staircase is invalidated by every delta: the
+//! frontier is an exact record of first-fit times, and any admitted or
+//! evicted demand moves those times in a way only a re-walk can
+//! reproduce bit-identically — and a fresh context starts frontier-less
+//! anyway, so whole-staircase invalidation is precisely what keeps the
+//! avoided-walk accounting aligned with a fresh analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use rbs_core::{DeltaAnalysis, AnalysisLimits};
+//! use rbs_model::{Criticality, Task, TaskSet};
+//! use rbs_timebase::Rational;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let base = TaskSet::new(vec![Task::builder("tau1", Criticality::Hi)
+//!     .period(Rational::integer(5))
+//!     .deadline_lo(Rational::integer(2))
+//!     .deadline_hi(Rational::integer(5))
+//!     .wcet_lo(Rational::integer(1))
+//!     .wcet_hi(Rational::integer(2))
+//!     .build()?]);
+//! let mut delta = DeltaAnalysis::new(base, &AnalysisLimits::default());
+//! let before = delta.minimum_speedup()?;
+//! delta.admit(
+//!     Task::builder("tau2", Criticality::Lo)
+//!         .period(Rational::integer(10))
+//!         .deadline(Rational::integer(10))
+//!         .wcet(Rational::integer(3))
+//!         .build()?,
+//! )?;
+//! let after = delta.minimum_speedup()?;
+//! assert_ne!(after, before); // tau2's demand moved the supremum
+//! delta.evict("tau2")?;
+//! assert_eq!(delta.minimum_speedup()?, before);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use rbs_model::{Mode, Task, TaskSet};
+use rbs_timebase::Rational;
+
+use crate::adb::{arrival_component_of, hi_arrival_profile};
+use crate::analysis::{Analysis, WalkCounts};
+use crate::dbf::{hi_component_of, hi_profile, lo_component_of, lo_profile};
+use crate::demand::{DemandProfile, ResetFrontier};
+use crate::resetting::ResettingAnalysis;
+use crate::speedup::SpeedupAnalysis;
+use crate::{AnalysisError, AnalysisLimits};
+
+/// A set mutation a [`DeltaAnalysis`] can apply — the in-memory form of
+/// the service's `{"delta": {"ops": [...]}}` wire entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Admit a new task (appended in declaration order).
+    Admit(Task),
+    /// Evict the task with this name.
+    Evict(String),
+    /// Replace the task with this name in place (the replacement may be
+    /// renamed).
+    Replace {
+        /// Name of the task being replaced.
+        id: String,
+        /// Its replacement.
+        task: Task,
+    },
+}
+
+/// Why a delta op could not be applied. The set (and every profile) is
+/// left exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// `evict`/`replace` named a task the set does not contain.
+    UnknownTask {
+        /// The unmatched name.
+        id: String,
+    },
+    /// `admit` (or a renaming `replace`) would duplicate a task name —
+    /// names are the delta engine's task ids, so they must stay unique.
+    DuplicateTask {
+        /// The already-present name.
+        id: String,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownTask { id } => write!(f, "no task named `{id}` in the base set"),
+            DeltaError::DuplicateTask { id } => {
+                write!(f, "a task named `{id}` is already in the set")
+            }
+        }
+    }
+}
+
+impl Error for DeltaError {}
+
+impl DeltaOp {
+    /// Applies this op to a bare task set — the same validation and set
+    /// mutation as [`DeltaAnalysis::apply`], without any profile work.
+    /// Lets a front-end compute the resulting set (e.g. to key a report
+    /// cache on it) before committing to the full incremental analysis.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DeltaAnalysis::apply`]; the set is unchanged on error.
+    pub fn apply_to(&self, set: &mut TaskSet) -> Result<(), DeltaError> {
+        match self {
+            DeltaOp::Admit(task) => {
+                if set.by_name(task.name()).is_some() {
+                    return Err(DeltaError::DuplicateTask {
+                        id: task.name().to_owned(),
+                    });
+                }
+                set.push(task.clone());
+            }
+            DeltaOp::Evict(id) => {
+                let Some(pos) = set.position(id) else {
+                    return Err(DeltaError::UnknownTask { id: id.clone() });
+                };
+                set.remove(pos);
+            }
+            DeltaOp::Replace { id, task } => {
+                let Some(pos) = set.position(id) else {
+                    return Err(DeltaError::UnknownTask { id: id.clone() });
+                };
+                if task.name() != id && set.by_name(task.name()).is_some() {
+                    return Err(DeltaError::DuplicateTask {
+                        id: task.name().to_owned(),
+                    });
+                }
+                set.replace(pos, task.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A resident analysis context that survives task-set mutations.
+///
+/// Owns the set and its three demand profiles; [`DeltaAnalysis::admit`],
+/// [`DeltaAnalysis::evict`] and [`DeltaAnalysis::replace`] splice the
+/// affected components in place (see the module docs for the
+/// bit-identity argument), and every query method answers exactly what
+/// a fresh [`Analysis`] of the current set would.
+#[derive(Debug)]
+pub struct DeltaAnalysis {
+    limits: AnalysisLimits,
+    set: TaskSet,
+    lo: DemandProfile,
+    hi: DemandProfile,
+    arrival: DemandProfile,
+    /// The resetting-time staircase carried between queries (exactly
+    /// [`Analysis`]' cache); dropped by every delta op.
+    frontier: Option<ResetFrontier>,
+    /// Set while the profiles are lent to a query session and cleared on
+    /// orderly return; a panic mid-session leaves it set, and the next
+    /// use rebuilds the profiles from the (never-lent) set.
+    dirty: bool,
+    integer_walks: u64,
+    exact_walks: u64,
+    pruned_walks: u64,
+    avoided_walks: u64,
+    lockstep_walks: u64,
+    reused_components: u64,
+    rebuilt_components: u64,
+    patched_profiles: u64,
+}
+
+impl DeltaAnalysis {
+    /// Builds the resident context: three fresh profiles, counted as
+    /// rebuilt — exactly the components a fresh [`Analysis`] constructs.
+    #[must_use]
+    pub fn new(set: TaskSet, limits: &AnalysisLimits) -> DeltaAnalysis {
+        let lo = lo_profile(&set);
+        let hi = hi_profile(&set);
+        let arrival = hi_arrival_profile(&set);
+        let rebuilt = (lo.components().len() + hi.components().len() + arrival.components().len())
+            as u64;
+        DeltaAnalysis {
+            limits: *limits,
+            set,
+            lo,
+            hi,
+            arrival,
+            frontier: None,
+            dirty: false,
+            integer_walks: 0,
+            exact_walks: 0,
+            pruned_walks: 0,
+            avoided_walks: 0,
+            lockstep_walks: 0,
+            reused_components: 0,
+            rebuilt_components: rebuilt,
+            patched_profiles: 0,
+        }
+    }
+
+    /// The current task set (base set with every applied delta).
+    #[must_use]
+    pub fn set(&self) -> &TaskSet {
+        &self.set
+    }
+
+    /// Consumes the context, returning the current task set.
+    #[must_use]
+    pub fn into_set(self) -> TaskSet {
+        self.set
+    }
+
+    /// The breakpoint budget every query runs under.
+    #[must_use]
+    pub fn limits(&self) -> &AnalysisLimits {
+        &self.limits
+    }
+
+    /// Cumulative walk/coverage counters across all deltas and queries.
+    /// `patched` counts profile updates applied by an in-place splice;
+    /// `reused_components`/`rebuilt_components` partition each delta's
+    /// component work exactly as the sweep engine's counters do.
+    #[must_use]
+    pub fn walk_counts(&self) -> WalkCounts {
+        WalkCounts {
+            integer: self.integer_walks,
+            exact: self.exact_walks,
+            pruned: self.pruned_walks,
+            avoided: self.avoided_walks,
+            reused_components: self.reused_components,
+            rebuilt_components: self.rebuilt_components,
+            lockstep: self.lockstep_walks,
+            patched: self.patched_profiles,
+        }
+    }
+
+    /// Applies one [`DeltaOp`].
+    ///
+    /// # Errors
+    ///
+    /// As for the named op; the set and profiles are unchanged on error.
+    pub fn apply(&mut self, op: DeltaOp) -> Result<(), DeltaError> {
+        match op {
+            DeltaOp::Admit(task) => self.admit(task),
+            DeltaOp::Evict(id) => self.evict(&id).map(|_| ()),
+            DeltaOp::Replace { id, task } => self.replace(&id, task).map(|_| ()),
+        }
+    }
+
+    /// Admits `task` (appended in declaration order), splicing its
+    /// demand components onto the ends of the profiles — O(1) per
+    /// profile when the task fits the resident timebase.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::DuplicateTask`] when a task of that name exists.
+    pub fn admit(&mut self, task: Task) -> Result<(), DeltaError> {
+        if self.set.by_name(task.name()).is_some() {
+            return Err(DeltaError::DuplicateTask {
+                id: task.name().to_owned(),
+            });
+        }
+        self.ensure_profiles();
+        let lo_c = lo_component_of(&task);
+        let hi_c = hi_component_of(&task);
+        let arrival_c = arrival_component_of(&task);
+        let hi_active = hi_c.is_some();
+        self.set.push(task);
+        let in_place = self.lo.append_component(lo_c);
+        self.note_touched(Which::Lo, in_place, 1);
+        if let (Some(hi_c), Some(arrival_c)) = (hi_c, arrival_c) {
+            let in_place = self.hi.append_component(hi_c);
+            self.note_touched(Which::Hi, in_place, 1);
+            let in_place = self.arrival.append_component(arrival_c);
+            self.note_touched(Which::Arrival, in_place, 1);
+        } else {
+            debug_assert!(!hi_active, "hi/arrival activity always agrees");
+            self.note_untouched(Which::Hi);
+            self.note_untouched(Which::Arrival);
+        }
+        self.frontier = None;
+        Ok(())
+    }
+
+    /// Evicts the task named `id`, returning it. The surviving
+    /// components keep their scaled forms unless the evicted task
+    /// carried the profile timebase (its denominators were the lcm).
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::UnknownTask`] when no task has that name.
+    pub fn evict(&mut self, id: &str) -> Result<Task, DeltaError> {
+        let Some(pos) = self.set.position(id) else {
+            return Err(DeltaError::UnknownTask { id: id.to_owned() });
+        };
+        self.ensure_profiles();
+        let rank = self.hi_rank(pos);
+        let was_active = self.set[pos].params(Mode::Hi).is_some();
+        let task = self.set.remove(pos);
+        let in_place = self.lo.remove_component(pos);
+        self.note_touched(Which::Lo, in_place, 0);
+        if was_active {
+            let in_place = self.hi.remove_component(rank);
+            self.note_touched(Which::Hi, in_place, 0);
+            let in_place = self.arrival.remove_component(rank);
+            self.note_touched(Which::Arrival, in_place, 0);
+        } else {
+            self.note_untouched(Which::Hi);
+            self.note_untouched(Which::Arrival);
+        }
+        self.frontier = None;
+        Ok(task)
+    }
+
+    /// Replaces the task named `id` with `task` in place (the
+    /// replacement may change name, parameters, and even HI-mode
+    /// activity — a termination change inserts or removes the
+    /// `DBF_HI`/`ADB_HI` components at the task's rank). Returns the
+    /// replaced task.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::UnknownTask`] when no task is named `id`;
+    /// [`DeltaError::DuplicateTask`] when renaming onto an existing
+    /// name.
+    pub fn replace(&mut self, id: &str, task: Task) -> Result<Task, DeltaError> {
+        let Some(pos) = self.set.position(id) else {
+            return Err(DeltaError::UnknownTask { id: id.to_owned() });
+        };
+        if task.name() != id && self.set.by_name(task.name()).is_some() {
+            return Err(DeltaError::DuplicateTask {
+                id: task.name().to_owned(),
+            });
+        }
+        self.ensure_profiles();
+        let rank = self.hi_rank(pos);
+        let old_active = self.set[pos].params(Mode::Hi).is_some();
+        let lo_c = lo_component_of(&task);
+        let hi_c = hi_component_of(&task);
+        let arrival_c = arrival_component_of(&task);
+        let old = self.set.replace(pos, task);
+        let in_place = self.lo.replace_component(pos, lo_c);
+        self.note_touched(Which::Lo, in_place, 1);
+        match (old_active, hi_c, arrival_c) {
+            (true, Some(hi_c), Some(arrival_c)) => {
+                let in_place = self.hi.replace_component(rank, hi_c);
+                self.note_touched(Which::Hi, in_place, 1);
+                let in_place = self.arrival.replace_component(rank, arrival_c);
+                self.note_touched(Which::Arrival, in_place, 1);
+            }
+            (true, None, None) => {
+                let in_place = self.hi.remove_component(rank);
+                self.note_touched(Which::Hi, in_place, 0);
+                let in_place = self.arrival.remove_component(rank);
+                self.note_touched(Which::Arrival, in_place, 0);
+            }
+            (false, Some(hi_c), Some(arrival_c)) => {
+                let in_place = self.hi.insert_component(rank, hi_c);
+                self.note_touched(Which::Hi, in_place, 1);
+                let in_place = self.arrival.insert_component(rank, arrival_c);
+                self.note_touched(Which::Arrival, in_place, 1);
+            }
+            (false, None, None) => {
+                self.note_untouched(Which::Hi);
+                self.note_untouched(Which::Arrival);
+            }
+            _ => unreachable!("hi/arrival activity always agrees"),
+        }
+        self.frontier = None;
+        Ok(old)
+    }
+
+    /// Lends the set and profiles to `f` as a regular [`Analysis`]
+    /// context — the full query surface, lockstep priming included —
+    /// and absorbs the session's walk counts when it returns. The
+    /// reset frontier persists across sessions (until the next delta),
+    /// exactly like repeated queries on one long-lived [`Analysis`].
+    pub fn with_analysis<R>(&mut self, f: impl FnOnce(&Analysis<'_>) -> R) -> R {
+        self.ensure_profiles();
+        let lo = std::mem::take(&mut self.lo);
+        let hi = std::mem::take(&mut self.hi);
+        let arrival = std::mem::take(&mut self.arrival);
+        let frontier = self.frontier.take();
+        // If `f` unwinds, the lent profiles are gone with the context;
+        // the flag makes the next use rebuild them from the set.
+        self.dirty = true;
+        let ctx = Analysis::adopt(&self.set, &self.limits, lo, hi, arrival, frontier);
+        let result = f(&ctx);
+        let (lo, hi, arrival, frontier, counts) = ctx.release();
+        self.lo = lo;
+        self.hi = hi;
+        self.arrival = arrival;
+        self.frontier = frontier;
+        self.dirty = false;
+        self.integer_walks += counts.integer;
+        self.exact_walks += counts.exact;
+        self.pruned_walks += counts.pruned;
+        self.avoided_walks += counts.avoided;
+        self.lockstep_walks += counts.lockstep;
+        result
+    }
+
+    /// Theorem 2's minimum HI-mode speedup (see
+    /// [`Analysis::minimum_speedup`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Analysis::minimum_speedup`].
+    pub fn minimum_speedup(&mut self) -> Result<SpeedupAnalysis, AnalysisError> {
+        self.with_analysis(|ctx| ctx.minimum_speedup())
+    }
+
+    /// Whether HI mode is EDF-schedulable at `speed` (see
+    /// [`Analysis::is_hi_schedulable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Analysis::is_hi_schedulable`].
+    pub fn is_hi_schedulable(&mut self, speed: Rational) -> Result<bool, AnalysisError> {
+        self.with_analysis(|ctx| ctx.is_hi_schedulable(speed))
+    }
+
+    /// Corollary 5's service resetting time at `speed` (see
+    /// [`Analysis::resetting_time`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Analysis::resetting_time`].
+    pub fn resetting_time(&mut self, speed: Rational) -> Result<ResettingAnalysis, AnalysisError> {
+        self.with_analysis(|ctx| ctx.resetting_time(speed))
+    }
+
+    /// Whether LO mode meets all deadlines at nominal speed (see
+    /// [`Analysis::is_lo_schedulable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Analysis::is_lo_schedulable`].
+    pub fn is_lo_schedulable(&mut self) -> Result<bool, AnalysisError> {
+        self.with_analysis(|ctx| ctx.is_lo_schedulable())
+    }
+
+    /// The smallest speed at which LO mode is EDF-schedulable (see
+    /// [`Analysis::lo_speed_requirement`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Analysis::lo_speed_requirement`].
+    pub fn lo_speed_requirement(&mut self) -> Result<Rational, AnalysisError> {
+        self.with_analysis(|ctx| ctx.lo_speed_requirement())
+    }
+
+    /// The smallest speed within `tolerance` meeting both HI-mode
+    /// schedulability and the resetting-time `budget` (see
+    /// [`Analysis::minimal_speed_within_budget`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Analysis::minimal_speed_within_budget`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Analysis::minimal_speed_within_budget`].
+    pub fn minimal_speed_within_budget(
+        &mut self,
+        budget: Rational,
+        max_speed: Rational,
+        tolerance: Rational,
+    ) -> Result<Option<Rational>, AnalysisError> {
+        self.with_analysis(|ctx| ctx.minimal_speed_within_budget(budget, max_speed, tolerance))
+    }
+
+    /// The number of HI-active components before task position `pos` —
+    /// the task's component index inside the `DBF_HI`/`ADB_HI` profiles
+    /// (the `DBF_LO` index is the task position itself).
+    fn hi_rank(&self, pos: usize) -> usize {
+        self.set
+            .iter()
+            .take(pos)
+            .filter(|t| t.params(Mode::Hi).is_some())
+            .count()
+    }
+
+    /// Rebuilds all three profiles from the set after a query session
+    /// panicked mid-lend (the panic-pill path): the set itself is never
+    /// lent, so the rebuild restores exactly the fresh-build state.
+    fn ensure_profiles(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.lo = lo_profile(&self.set);
+        self.hi = hi_profile(&self.set);
+        self.arrival = hi_arrival_profile(&self.set);
+        self.rebuilt_components += (self.lo.components().len()
+            + self.hi.components().len()
+            + self.arrival.components().len()) as u64;
+        self.frontier = None;
+        self.dirty = false;
+    }
+
+    /// Accounts one profile's delta: `changed` freshly constructed
+    /// components (1 for admit/replace/insert, 0 for a pure removal) and
+    /// the rest reused when the splice stayed in place; the whole
+    /// profile rebuilt otherwise.
+    fn note_touched(&mut self, which: Which, in_place: bool, changed: u64) {
+        let len = match which {
+            Which::Lo => self.lo.components().len(),
+            Which::Hi => self.hi.components().len(),
+            Which::Arrival => self.arrival.components().len(),
+        } as u64;
+        if in_place {
+            self.patched_profiles += 1;
+            self.rebuilt_components += changed;
+            self.reused_components += len - changed;
+        } else {
+            self.rebuilt_components += len;
+        }
+    }
+
+    /// Accounts a profile the delta did not touch at all (e.g. the
+    /// `DBF_HI` profile when a HI-terminated task is admitted): every
+    /// component is served as-is, mirroring the sweep engine's
+    /// whole-profile reuse tally.
+    fn note_untouched(&mut self, which: Which) {
+        let len = match which {
+            Which::Lo => self.lo.components().len(),
+            Which::Hi => self.hi.components().len(),
+            Which::Arrival => self.arrival.components().len(),
+        } as u64;
+        self.reused_components += len;
+    }
+}
+
+/// Which profile a delta accounting note addresses.
+#[derive(Clone, Copy)]
+enum Which {
+    Lo,
+    Hi,
+    Arrival,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_model::Criticality;
+
+    fn int(v: i128) -> Rational {
+        Rational::integer(v)
+    }
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn hi_task(name: &str, period: i128, dl_lo: i128, c_lo: i128, c_hi: i128) -> Task {
+        Task::builder(name, Criticality::Hi)
+            .period(int(period))
+            .deadline_lo(int(dl_lo))
+            .deadline_hi(int(period))
+            .wcet_lo(int(c_lo))
+            .wcet_hi(int(c_hi))
+            .build()
+            .expect("valid")
+    }
+
+    fn lo_task(name: &str, period: i128, wcet: i128) -> Task {
+        Task::builder(name, Criticality::Lo)
+            .period(int(period))
+            .deadline(int(period))
+            .wcet(int(wcet))
+            .build()
+            .expect("valid")
+    }
+
+    fn table1() -> TaskSet {
+        TaskSet::new(vec![hi_task("tau1", 5, 2, 1, 2), lo_task("tau2", 10, 3)])
+    }
+
+    fn assert_matches_fresh(delta: &mut DeltaAnalysis) {
+        let set = delta.set().clone();
+        let limits = *delta.limits();
+        let fresh = Analysis::new(&set, &limits);
+        assert_eq!(
+            delta.minimum_speedup().expect("ok"),
+            fresh.minimum_speedup().expect("ok")
+        );
+        assert_eq!(
+            delta.is_lo_schedulable().expect("ok"),
+            fresh.is_lo_schedulable().expect("ok")
+        );
+        assert_eq!(
+            delta.lo_speed_requirement().expect("ok"),
+            fresh.lo_speed_requirement().expect("ok")
+        );
+        for speed in [Rational::ONE, rat(3, 2), int(2)] {
+            assert_eq!(
+                delta.is_hi_schedulable(speed).expect("ok"),
+                fresh.is_hi_schedulable(speed).expect("ok")
+            );
+            assert_eq!(
+                delta.resetting_time(speed).expect("ok"),
+                fresh.resetting_time(speed).expect("ok")
+            );
+        }
+    }
+
+    #[test]
+    fn admit_then_evict_round_trips() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        assert_matches_fresh(&mut delta);
+        delta.admit(hi_task("tau3", 20, 6, 2, 5)).expect("admit");
+        assert_eq!(delta.set().len(), 3);
+        assert_matches_fresh(&mut delta);
+        let evicted = delta.evict("tau3").expect("evict");
+        assert_eq!(evicted.name(), "tau3");
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn replace_handles_activity_changes() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        // Active -> terminated: the DBF_HI/ADB_HI components vanish.
+        let old = delta
+            .replace("tau2", lo_task("tau2", 10, 3).terminated().expect("lo"))
+            .expect("replace");
+        assert!(!old.is_terminated_in_hi());
+        assert_matches_fresh(&mut delta);
+        // Terminated -> active again, renamed.
+        delta
+            .replace("tau2", lo_task("tau2b", 20, 4))
+            .expect("replace");
+        assert_eq!(delta.set().position("tau2b"), Some(1));
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn errors_leave_everything_unchanged() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        let before = delta.walk_counts();
+        assert_eq!(
+            delta.admit(lo_task("tau1", 4, 1)).expect_err("duplicate"),
+            DeltaError::DuplicateTask {
+                id: "tau1".to_owned()
+            }
+        );
+        assert_eq!(
+            delta.evict("ghost").expect_err("unknown"),
+            DeltaError::UnknownTask {
+                id: "ghost".to_owned()
+            }
+        );
+        assert_eq!(
+            delta
+                .replace("tau2", lo_task("tau1", 4, 1))
+                .expect_err("rename collision"),
+            DeltaError::DuplicateTask {
+                id: "tau1".to_owned()
+            }
+        );
+        assert_eq!(delta.walk_counts(), before);
+        assert_eq!(delta.set().len(), 2);
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn admit_splices_in_place_on_a_shared_timebase() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        let before = delta.walk_counts();
+        // Table I is integer-valued and tau3 is too: all three profiles
+        // extend in place.
+        delta.admit(hi_task("tau3", 4, 2, 1, 1)).expect("admit");
+        let counts = delta.walk_counts();
+        assert_eq!(counts.patched, before.patched + 3);
+        // One new component per profile; every old component reused.
+        assert_eq!(counts.rebuilt_components, before.rebuilt_components + 3);
+        assert_eq!(counts.reused_components, before.reused_components + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn offgrid_admit_rebuilds_and_still_matches() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        let before = delta.walk_counts();
+        // A denominator the resident timebase (1) misses forces the
+        // rebuild path of all three profiles.
+        delta
+            .admit(
+                Task::builder("frac", Criticality::Hi)
+                    .period(rat(7, 3))
+                    .deadline_lo(rat(2, 3))
+                    .deadline_hi(rat(7, 3))
+                    .wcet_lo(rat(1, 3))
+                    .wcet_hi(rat(2, 3))
+                    .build()
+                    .expect("valid"),
+            )
+            .expect("admit");
+        let counts = delta.walk_counts();
+        assert_eq!(counts.patched, before.patched);
+        assert_eq!(counts.rebuilt_components, before.rebuilt_components + 9);
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn panic_in_session_self_heals() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            delta.with_analysis(|_| panic!("poison pill"));
+        }));
+        assert!(result.is_err());
+        // The next use rebuilds the profiles from the set and answers
+        // exactly like a fresh context.
+        assert_matches_fresh(&mut delta);
+        delta.admit(lo_task("late", 8, 1)).expect("admit");
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn empty_base_set_grows() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(TaskSet::empty(), &limits);
+        assert!(delta.is_lo_schedulable().expect("ok"));
+        delta.admit(hi_task("first", 5, 2, 1, 2)).expect("admit");
+        assert_matches_fresh(&mut delta);
+        delta.evict("first").expect("evict");
+        assert!(delta.set().is_empty());
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn frontier_is_dropped_by_every_op() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        delta.resetting_time(int(2)).expect("ok");
+        delta.resetting_time(int(3)).expect("ok");
+        // Second query is served by the frontier carried across
+        // sessions, exactly like one long-lived Analysis.
+        assert_eq!(delta.walk_counts().avoided, 1);
+        delta.admit(lo_task("tau3", 8, 1)).expect("admit");
+        delta.resetting_time(int(3)).expect("ok");
+        // Post-delta the frontier was dropped: this walk rebuilt it.
+        assert_eq!(delta.walk_counts().avoided, 1);
+        delta.resetting_time(int(3)).expect("ok");
+        assert_eq!(delta.walk_counts().avoided, 2);
+    }
+}

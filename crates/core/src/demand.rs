@@ -400,6 +400,76 @@ impl DemandProfile {
         in_place
     }
 
+    /// Appends one component and extends the integer fast path in O(1)
+    /// when the new component fits the current timebase (the old list is
+    /// a prefix of the new one, so every stored fold extends
+    /// bit-identically); otherwise rebuilds the fast path from scratch —
+    /// exactly what [`DemandProfile::new`] on the appended list would
+    /// produce either way. Returns `true` when the extension stayed in
+    /// place.
+    pub(crate) fn append_component(&mut self, component: PeriodicDemand) -> bool {
+        self.components.push(component);
+        let in_place = match self.scaled.as_mut() {
+            Some(scaled) => scaled.append(&self.components).is_some(),
+            None => false,
+        };
+        if !in_place {
+            self.scaled = ScaledProfile::build(&self.components);
+        }
+        self.aggregates = Aggregates::default();
+        in_place
+    }
+
+    /// Splices one component in at `index`, reusing every other
+    /// component's scaled form when the fresh timebase is unchanged;
+    /// otherwise rebuilds. Returns `true` when the splice stayed in
+    /// place.
+    pub(crate) fn insert_component(&mut self, index: usize, component: PeriodicDemand) -> bool {
+        self.components.insert(index, component);
+        let in_place = match self.scaled.as_mut() {
+            Some(scaled) => scaled.insert_at(index, &self.components).is_some(),
+            None => false,
+        };
+        if !in_place {
+            self.scaled = ScaledProfile::build(&self.components);
+        }
+        self.aggregates = Aggregates::default();
+        in_place
+    }
+
+    /// Drops the component at `index`, keeping the survivors' scaled
+    /// forms when they still live on their own fresh timebase (the
+    /// removed component may have carried the lcm); otherwise rebuilds.
+    /// Returns `true` when the drop stayed in place.
+    pub(crate) fn remove_component(&mut self, index: usize) -> bool {
+        self.components.remove(index);
+        let in_place = match self.scaled.as_mut() {
+            Some(scaled) => scaled.remove_at(index, &self.components).is_some(),
+            None => false,
+        };
+        if !in_place {
+            self.scaled = ScaledProfile::build(&self.components);
+        }
+        self.aggregates = Aggregates::default();
+        in_place
+    }
+
+    /// Replaces the component at `index` in place when the fresh
+    /// timebase is unchanged; otherwise rebuilds. Returns `true` when
+    /// the replacement stayed in place.
+    pub(crate) fn replace_component(&mut self, index: usize, component: PeriodicDemand) -> bool {
+        self.components[index] = component;
+        let in_place = match self.scaled.as_mut() {
+            Some(scaled) => scaled.replace_at(index, &self.components).is_some(),
+            None => false,
+        };
+        if !in_place {
+            self.scaled = ScaledProfile::build(&self.components);
+        }
+        self.aggregates = Aggregates::default();
+        in_place
+    }
+
     /// Whether the profile carries the common-timebase integer fast path.
     #[must_use]
     pub fn has_fast_path(&self) -> bool {

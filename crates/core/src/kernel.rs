@@ -351,28 +351,47 @@ pub(crate) struct NarrowHeadroom {
 }
 
 impl NarrowHeadroom {
+    /// The empty-profile aggregates — the fold's starting point.
+    pub(crate) const EMPTY: NarrowHeadroom = NarrowHeadroom {
+        period_max: 0,
+        v_abs: 0,
+        fire_sum: 0,
+        streams: 0,
+    };
+
     /// Folds the proof aggregates over `components`; `None` when a fold
     /// itself overflows `i128` (such a profile is never narrow).
     pub(crate) fn fold(components: &[ScaledComponent]) -> Option<NarrowHeadroom> {
-        let mut period_max: i128 = 0;
-        let mut v_abs: i128 = 0;
-        let mut fire_sum: i128 = 0;
-        let mut streams: i128 = 0;
+        let mut headroom = NarrowHeadroom::EMPTY;
         for c in components {
-            period_max = period_max.max(c.period);
-            v_abs = v_abs.checked_add(c.constant.checked_abs()?)?;
-            v_abs = v_abs.checked_add(c.jump.checked_abs()?)?;
-            fire_sum = fire_sum.checked_add(c.wrap_value.checked_abs()?)?;
+            headroom = headroom.extend(c)?;
+        }
+        Some(headroom)
+    }
+
+    /// Extends the aggregates with one more component — the fold's loop
+    /// body, exposed so an append-only profile delta can grow the proof
+    /// in O(1). Every aggregate is a max or a checked sum of
+    /// non-negative terms, so extending a fold result is bit-identical
+    /// to refolding with the component appended, overflow included.
+    pub(crate) fn extend(&self, c: &ScaledComponent) -> Option<NarrowHeadroom> {
+        let mut period_max = self.period_max;
+        let mut v_abs = self.v_abs;
+        let mut fire_sum = self.fire_sum;
+        let mut streams = self.streams;
+        period_max = period_max.max(c.period);
+        v_abs = v_abs.checked_add(c.constant.checked_abs()?)?;
+        v_abs = v_abs.checked_add(c.jump.checked_abs()?)?;
+        fire_sum = fire_sum.checked_add(c.wrap_value.checked_abs()?)?;
+        streams += 1;
+        if c.ramp_start > 0 {
+            fire_sum = fire_sum.checked_add(c.jump.checked_abs()?)?;
             streams += 1;
-            if c.ramp_start > 0 {
-                fire_sum = fire_sum.checked_add(c.jump.checked_abs()?)?;
-                streams += 1;
-            }
-            let ramp_end = c.ramp_start.checked_add(c.ramp_len)?;
-            if c.ramp_len > 0 && ramp_end < c.period {
-                // The ramp-end stream fires with a zero value delta.
-                streams += 1;
-            }
+        }
+        let ramp_end = c.ramp_start.checked_add(c.ramp_len)?;
+        if c.ramp_len > 0 && ramp_end < c.period {
+            // The ramp-end stream fires with a zero value delta.
+            streams += 1;
         }
         Some(NarrowHeadroom {
             period_max,
@@ -380,6 +399,34 @@ impl NarrowHeadroom {
             fire_sum,
             streams,
         })
+    }
+
+    /// Removes one component's contribution from a fold result. Every
+    /// sum aggregate folds non-negative per-component terms, so the
+    /// subtraction is exact and cannot underflow when the fold itself
+    /// fit — a refold over the survivors is therefore bit-identical to
+    /// this retraction. `period_max` is a max, which a retraction cannot
+    /// lower; the caller re-establishes it from the surviving components
+    /// via [`NarrowHeadroom::with_period_max`]. `None` only when `c` was
+    /// never part of a successful fold (its own extension overflows).
+    pub(crate) fn retract(&self, c: &ScaledComponent) -> Option<NarrowHeadroom> {
+        let contribution = NarrowHeadroom::EMPTY.extend(c)?;
+        Some(NarrowHeadroom {
+            period_max: self.period_max,
+            v_abs: self.v_abs - contribution.v_abs,
+            fire_sum: self.fire_sum - contribution.fire_sum,
+            streams: self.streams - contribution.streams,
+        })
+    }
+
+    /// The same aggregates with `period_max` replaced — the second half
+    /// of a retraction, once the caller has recomputed the surviving
+    /// maximum.
+    pub(crate) fn with_period_max(self, period_max: i128) -> NarrowHeadroom {
+        NarrowHeadroom {
+            period_max,
+            ..self
+        }
     }
 
     /// Proves that a walk over the folded components driven for at most

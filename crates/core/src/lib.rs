@@ -27,7 +27,10 @@
 //!   above are built on;
 //! * [`sweep`] — the incremental campaign engine: one [`SweepAnalysis`]
 //!   per task set answering a whole `(y, s)` grid by patching the
-//!   `y`-dependent demand components in place instead of rebuilding.
+//!   `y`-dependent demand components in place instead of rebuilding;
+//! * [`delta`] — online admission: one [`DeltaAnalysis`] surviving
+//!   admit/evict/replace task-set deltas by splicing the affected
+//!   demand components instead of rebuilding the profiles.
 //!
 //! All computation is exact over [`rbs_timebase::Rational`].
 //!
@@ -70,6 +73,7 @@ pub mod adb;
 pub mod analysis;
 pub mod closed_form;
 pub mod dbf;
+pub mod delta;
 pub mod demand;
 pub mod lo_mode;
 pub mod qpa;
@@ -87,9 +91,11 @@ mod scaled;
 
 pub use analysis::{Analysis, AnalysisScratch, WalkCounts};
 pub use config::AnalysisLimits;
+pub use delta::{DeltaAnalysis, DeltaError, DeltaOp};
 pub use error::AnalysisError;
 pub use report::{
-    analyze, analyze_with_meta, analyze_with_meta_in, run_sweep, run_sweep_in, AnalyzeMeta,
-    AnalyzeReport, SweepGrid, SweepPoint, SweepReport,
+    analyze, analyze_with_meta, analyze_with_meta_in, run_delta, run_delta_in, run_sweep,
+    run_sweep_in, AnalyzeMeta, AnalyzeReport, DeltaBase, DeltaRequest, DeltaRunError, SweepGrid,
+    SweepPoint, SweepReport,
 };
 pub use sweep::{SweepAnalysis, SweepMode};

@@ -14,6 +14,7 @@ use rbs_model::{ImplicitTaskSpec, TaskSet};
 use rbs_timebase::Rational;
 
 use crate::analysis::{Analysis, AnalysisScratch};
+use crate::delta::{DeltaAnalysis, DeltaError, DeltaOp};
 use crate::kernel::with_arena;
 use crate::lo_mode::minimal_feasible_x;
 use crate::resetting::ResettingBound;
@@ -63,6 +64,11 @@ pub struct AnalyzeMeta {
     /// Walks served by a chunked multi-profile lockstep batch (each also
     /// counted in `integer_walks`).
     pub lockstep_walks: u64,
+    /// Demand profiles updated by an in-place patch of the integer fast
+    /// path — the sweep engine's per-`y` rescales and the delta engine's
+    /// admit/evict/replace splices (always `0` for single-point
+    /// analyses).
+    pub patched_profiles: u64,
 }
 
 impl AnalyzeMeta {
@@ -75,6 +81,7 @@ impl AnalyzeMeta {
             reused_components: counts.reused_components,
             rebuilt_components: counts.rebuilt_components,
             lockstep_walks: counts.lockstep,
+            patched_profiles: counts.patched,
         }
     }
 }
@@ -158,6 +165,16 @@ impl ReportParts {
 }
 
 fn run_queries(ctx: &Analysis) -> Result<(ReportParts, AnalyzeMeta), AnalysisError> {
+    let parts = query_parts(ctx)?;
+    let meta = AnalyzeMeta::from_counts(ctx.walk_counts());
+    Ok((parts, meta))
+}
+
+/// The query pass behind [`run_queries`], without the walk-count
+/// snapshot — the delta entry points take their counts from the
+/// resident [`DeltaAnalysis`] instead, which also owns the splice
+/// accounting.
+fn query_parts(ctx: &Analysis) -> Result<ReportParts, AnalysisError> {
     ctx.prime_lockstep();
     let lo_schedulable = ctx.is_lo_schedulable()?;
     let lo_requirement = ctx.lo_speed_requirement()?;
@@ -191,18 +208,14 @@ fn run_queries(ctx: &Analysis) -> Result<(ReportParts, AnalyzeMeta), AnalysisErr
             None => None,
         }
     };
-    let meta = AnalyzeMeta::from_counts(ctx.walk_counts());
-    Ok((
-        ReportParts {
-            lo_schedulable,
-            lo_requirement,
-            s_min,
-            witness,
-            resetting_rows,
-            sized_speed,
-        },
-        meta,
-    ))
+    Ok(ReportParts {
+        lo_schedulable,
+        lo_requirement,
+        s_min,
+        witness,
+        resetting_rows,
+        sized_speed,
+    })
 }
 
 impl ToJson for SpeedupBound {
@@ -437,6 +450,174 @@ fn sweep_points(
         });
     }
     Ok(points)
+}
+
+/// How a `delta` request names its base set: shipped inline as a bare
+/// task array, or by the canonical-form key of a set the service has
+/// already analyzed (the hex string its report cache uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaBase {
+    /// The base set shipped inline.
+    Inline(TaskSet),
+    /// A canonical-form cache key of a previously analyzed set.
+    Key(String),
+}
+
+/// One base set plus the admit/evict/replace ops to apply against it —
+/// the wire form of the service's `delta` request kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRequest {
+    /// The base set (inline or by cache key).
+    pub base: DeltaBase,
+    /// The ops, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl rbs_json::FromJson for DeltaRequest {
+    fn from_json(value: &Json) -> Result<DeltaRequest, JsonError> {
+        let base = match value.get("base") {
+            Some(Json::Str(key)) => DeltaBase::Key(key.clone()),
+            Some(inline @ Json::Array(_)) => {
+                DeltaBase::Inline(rbs_json::FromJson::from_json(inline)?)
+            }
+            Some(_) => {
+                return Err(JsonError::new(
+                    "delta \"base\" must be a task array or a cache-key string",
+                ))
+            }
+            None => return Err(JsonError::new("delta requires \"base\"")),
+        };
+        let Some(Json::Array(raw_ops)) = value.get("ops") else {
+            return Err(JsonError::new("delta requires an \"ops\" array"));
+        };
+        if raw_ops.is_empty() {
+            return Err(JsonError::new("delta \"ops\" must be non-empty"));
+        }
+        let mut ops = Vec::with_capacity(raw_ops.len());
+        for raw in raw_ops {
+            ops.push(delta_op_from_json(raw)?);
+        }
+        Ok(DeltaRequest { base, ops })
+    }
+}
+
+/// Decodes one wire op: `{"admit": task}`, `{"evict": "name"}`, or
+/// `{"replace": {"id": "...", "task": {...}}}`.
+fn delta_op_from_json(value: &Json) -> Result<DeltaOp, JsonError> {
+    let Json::Object(fields) = value else {
+        return Err(JsonError::new("each delta op must be a one-key object"));
+    };
+    let [(kind, body)] = fields.as_slice() else {
+        return Err(JsonError::new("each delta op must be a one-key object"));
+    };
+    match kind.as_str() {
+        "admit" => rbs_json::FromJson::from_json(body).map(DeltaOp::Admit),
+        "evict" => match body {
+            Json::Str(id) => Ok(DeltaOp::Evict(id.clone())),
+            _ => Err(JsonError::new("\"evict\" takes a task name string")),
+        },
+        "replace" => {
+            let Some(Json::Str(id)) = body.get("id") else {
+                return Err(JsonError::new("\"replace\" requires an \"id\" string"));
+            };
+            let task = body
+                .get("task")
+                .ok_or_else(|| JsonError::new("\"replace\" requires a \"task\""))
+                .and_then(rbs_json::FromJson::from_json)?;
+            Ok(DeltaOp::Replace {
+                id: id.clone(),
+                task,
+            })
+        }
+        other => Err(JsonError::new(format!(
+            "unknown delta op \"{other}\" (expected admit/evict/replace)"
+        ))),
+    }
+}
+
+/// Why a [`run_delta`] call failed: an op in the sequence could not be
+/// applied, or analyzing the resulting set hit a limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaRunError {
+    /// An op named an unknown task or would duplicate a name.
+    Delta(DeltaError),
+    /// The analysis of the resulting set failed.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for DeltaRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaRunError::Delta(e) => write!(f, "delta op rejected: {e}"),
+            DeltaRunError::Analysis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaRunError::Delta(e) => Some(e),
+            DeltaRunError::Analysis(e) => Some(e),
+        }
+    }
+}
+
+impl From<DeltaError> for DeltaRunError {
+    fn from(e: DeltaError) -> DeltaRunError {
+        DeltaRunError::Delta(e)
+    }
+}
+
+impl From<AnalysisError> for DeltaRunError {
+    fn from(e: AnalysisError) -> DeltaRunError {
+        DeltaRunError::Analysis(e)
+    }
+}
+
+/// Applies `ops` to `base` through a [`DeltaAnalysis`] and produces the
+/// [`AnalyzeReport`] of the resulting set — byte-for-byte the report
+/// [`analyze`] would emit for that set, so service caches keyed on the
+/// resulting set's canonical form can share entries between the two
+/// request kinds. The returned [`AnalyzeMeta`] additionally carries the
+/// splice accounting (`patched_profiles`, reused/rebuilt components).
+///
+/// # Errors
+///
+/// [`DeltaRunError::Delta`] when an op is rejected (the remaining ops
+/// are not attempted); [`DeltaRunError::Analysis`] as for [`analyze`].
+pub fn run_delta(
+    base: TaskSet,
+    ops: &[DeltaOp],
+    limits: &AnalysisLimits,
+) -> Result<(AnalyzeReport, AnalyzeMeta), DeltaRunError> {
+    run_delta_in(base, ops, limits, &mut AnalysisScratch::new())
+}
+
+/// [`run_delta`] with the walk arena leased from `scratch` — the
+/// allocation-recycling form for service workers. (The resident profiles
+/// live in the [`DeltaAnalysis`] itself; only the walk arena is shared.)
+///
+/// # Errors
+///
+/// As for [`run_delta`].
+pub fn run_delta_in(
+    base: TaskSet,
+    ops: &[DeltaOp],
+    limits: &AnalysisLimits,
+    scratch: &mut AnalysisScratch,
+) -> Result<(AnalyzeReport, AnalyzeMeta), DeltaRunError> {
+    let (arena, result) = with_arena(std::mem::take(&mut scratch.arena), || {
+        let mut delta = DeltaAnalysis::new(base, limits);
+        for op in ops {
+            delta.apply(op.clone())?;
+        }
+        let parts = delta.with_analysis(query_parts)?;
+        let meta = AnalyzeMeta::from_counts(delta.walk_counts());
+        Ok((parts.into_report(delta.into_set()), meta))
+    });
+    scratch.arena = arena;
+    result
 }
 
 impl ToJson for AnalyzeReport {

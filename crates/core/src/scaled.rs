@@ -88,7 +88,7 @@ pub(crate) struct ScaledComponent {
 
 /// A [`crate::demand::DemandProfile`] rescaled onto one common integer
 /// timebase, built once at profile construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub(crate) struct ScaledProfile {
     components: Vec<ScaledComponent>,
     /// The common denominator `K`: real time `Δ` corresponds to the
@@ -111,7 +111,30 @@ pub(crate) struct ScaledProfile {
     /// them overflows — such a profile is never narrow), so each walk's
     /// proof check is O(1) instead of a pass over the components.
     narrow: Option<NarrowHeadroom>,
+    /// Lazily-built splice bookkeeping (per-component denominator and
+    /// period keys plus their counted multisets), so a task-set delta
+    /// re-proves the fresh timebase, hyperperiod, and fold certificate
+    /// in O(distinct keys) instead of a pass over the components. Built
+    /// by the first splice; a fresh build leaves it empty.
+    aux: Option<SpliceAux>,
 }
+
+/// The lazily-derived `aux` cache never influences query results, so
+/// equality is over the analysis-visible fields only (as the former
+/// `derive` produced).
+impl PartialEq for ScaledProfile {
+    fn eq(&self, other: &ScaledProfile) -> bool {
+        self.components == other.components
+            && self.scale == other.scale
+            && self.rate == other.rate
+            && self.envelope == other.envelope
+            && self.hyperperiod == other.hyperperiod
+            && self.contribs == other.contribs
+            && self.narrow == other.narrow
+    }
+}
+
+impl Eq for ScaledProfile {}
 
 /// Rescales one component onto `scale`, returning its scaled form plus
 /// its exact `(rate, envelope)` contributions. `None` when any scaled
@@ -290,6 +313,212 @@ fn clamp_threshold<L: Lane>(threshold: i128) -> L {
     L::from_i128(threshold).unwrap_or(L::MAX)
 }
 
+/// The common integer timebase a fresh [`ScaledProfile::build`] would
+/// pick for `components`: the lcm of every quantity's denominator, in
+/// declaration order. `None` when the lcm overflows `i128` (the fold is
+/// None-sticky, so any association over a superset also overflows).
+pub(crate) fn profile_scale(components: &[PeriodicDemand]) -> Option<i128> {
+    let mut scale: i128 = 1;
+    for c in components {
+        for q in c.raw() {
+            scale = lcm_i128(scale, q.denom())?;
+        }
+    }
+    Some(scale)
+}
+
+/// The lcm of one component's six quantity denominators — its
+/// contribution to [`profile_scale`]'s fold. Inside a built profile the
+/// result always fits `i128`: every denominator divides the profile
+/// scale, so their lcm does too.
+fn component_denom_lcm(c: &PeriodicDemand) -> Option<i128> {
+    let mut denom: i128 = 1;
+    for q in c.raw() {
+        denom = lcm_i128(denom, q.denom())?;
+    }
+    Some(denom)
+}
+
+/// Sentinel for a contribution-denominator lcm that overflowed `i128`:
+/// real denominators are ≥ 1, and a poisoned key makes the fold
+/// certificate fail (forcing the exact refold) without affecting any
+/// result.
+const POISONED_DENOM: i128 = 0;
+
+/// A small counted multiset over ordered keys. Task sets draw their
+/// periods and denominators from small menus in practice, so the
+/// distinct-key list stays tiny even for large fleets — which is what
+/// makes the splice-time lcm/max refolds O(distinct) instead of O(n).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CountedSet<K: Ord + Copy> {
+    entries: Vec<(K, u32)>,
+}
+
+impl<K: Ord + Copy> Default for CountedSet<K> {
+    fn default() -> CountedSet<K> {
+        CountedSet {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy> CountedSet<K> {
+    fn add(&mut self, key: K) {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.entries[i].1 += 1,
+            Err(i) => self.entries.insert(i, (key, 1)),
+        }
+    }
+
+    fn remove(&mut self, key: K) {
+        let Ok(i) = self.entries.binary_search_by_key(&key, |&(k, _)| k) else {
+            unreachable!("splice multiset out of sync with its components");
+        };
+        self.entries[i].1 -= 1;
+        if self.entries[i].1 == 0 {
+            self.entries.remove(i);
+        }
+    }
+
+    fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.entries.iter().map(|&(k, _)| k)
+    }
+}
+
+/// One component's keys in the splice multisets, kept so a removal can
+/// retract exactly what its insertion added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AuxRecord {
+    /// [`component_denom_lcm`] — the component's timebase contribution.
+    denom: i128,
+    /// lcm of the `(rate, envelope)` contribution denominators
+    /// ([`POISONED_DENOM`] when that lcm overflows).
+    contrib_denom: i128,
+    /// The reduced rational period, as `(numerator, denominator)`.
+    period: (i128, i128),
+}
+
+/// Splice-time bookkeeping for one [`ScaledProfile`]: per-component key
+/// records (parallel to the component list) and their counted
+/// multisets, plus a magnitude bound feeding [`fold_certificate`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct SpliceAux {
+    recs: Vec<AuxRecord>,
+    denoms: CountedSet<i128>,
+    contrib_denoms: CountedSet<i128>,
+    periods: CountedSet<(i128, i128)>,
+    /// Upper bound on |numerator| over every contribution the profile
+    /// has held since this cache was built — exact right after a build,
+    /// and only growing under splices, which keeps the certificate
+    /// sound (a looser bound can only force the exact-refold fallback).
+    abs_num_max: i128,
+}
+
+impl SpliceAux {
+    /// Inserts the keys for one component (and its `(rate, envelope)`
+    /// contributions) at `index`. `None` when the component's quantity
+    /// denominators have no representable lcm — no finite timebase
+    /// covers it, so the caller bails to a rebuild.
+    fn insert(
+        &mut self,
+        index: usize,
+        c: &PeriodicDemand,
+        rate: Rational,
+        envelope: Rational,
+    ) -> Option<()> {
+        let period = c.period();
+        let rec = AuxRecord {
+            denom: component_denom_lcm(c)?,
+            contrib_denom: lcm_i128(rate.denom(), envelope.denom()).unwrap_or(POISONED_DENOM),
+            period: (period.numer(), period.denom()),
+        };
+        self.denoms.add(rec.denom);
+        self.contrib_denoms.add(rec.contrib_denom);
+        self.periods.add(rec.period);
+        let num_bound = |q: Rational| q.numer().checked_abs().unwrap_or(i128::MAX);
+        self.abs_num_max = self
+            .abs_num_max
+            .max(num_bound(rate))
+            .max(num_bound(envelope));
+        self.recs.insert(index, rec);
+        Some(())
+    }
+
+    /// Retracts the keys of the component at `index`.
+    fn remove(&mut self, index: usize) {
+        let rec = self.recs.remove(index);
+        self.denoms.remove(rec.denom);
+        self.contrib_denoms.remove(rec.contrib_denom);
+        self.periods.remove(rec.period);
+    }
+
+    /// The fresh timebase [`profile_scale`] would pick for the resident
+    /// components: the lcm over the counted denominators. Same exact
+    /// value and same overflow verdict as the declaration-order fold —
+    /// every partial lcm divides the full one, so if the full value
+    /// fits every intermediate does, and if it does not then the fold
+    /// fails in any order.
+    fn fresh_scale(&self) -> Option<i128> {
+        self.denoms.keys().try_fold(1i128, lcm_i128)
+    }
+
+    /// The lcm over the counted contribution denominators, `None` when
+    /// poisoned or overflowing (the certificate then fails).
+    fn contrib_denom_lcm(&self) -> Option<i128> {
+        self.contrib_denoms.keys().try_fold(1i128, |acc, d| {
+            if d == POISONED_DENOM {
+                None
+            } else {
+                lcm_i128(acc, d)
+            }
+        })
+    }
+
+    /// The scaled hyperperiod over the counted periods — the
+    /// [`scaled_hyperperiod`] fold with duplicates collapsed (lcm is
+    /// idempotent) in key order instead of declaration order; value and
+    /// overflow verdict are order-independent by the same
+    /// partial-divides-full argument as [`SpliceAux::fresh_scale`].
+    fn hyperperiod(&self, scale: i128) -> Option<i128> {
+        let mut hp: Option<Rational> = None;
+        for (num, den) in self.periods.keys() {
+            let period = Rational::new(num, den);
+            hp = Some(match hp {
+                None => period,
+                Some(a) => a.lcm(period)?,
+            });
+        }
+        to_scaled(hp?, scale)
+    }
+
+    /// The largest scaled period over the counted periods — the
+    /// `period_max` a fresh narrow-headroom fold over the resident
+    /// components would see.
+    fn period_max(&self, scale: i128) -> Option<i128> {
+        self.periods.keys().try_fold(0i128, |acc, (num, den)| {
+            Some(acc.max(to_scaled(Rational::new(num, den), scale)?))
+        })
+    }
+}
+
+/// Proof that no checked rational step over the resident contributions
+/// can overflow — neither the O(1) add/subtract shortcut nor any
+/// left-to-right refold a fresh build would run. Every partial sum has
+/// |value| ≤ `n·a` (each |contribution| is at most its |numerator| ≤
+/// `a`) and a reduced denominator dividing `l`, so each intermediate
+/// product inside [`Rational::checked_add`] is bounded by `(n+2)·a·l`.
+/// When that bound fits `i128`, every fold order reaches the same
+/// unique reduced rational — which is what lets a splice update the
+/// totals in O(1) and still be bit-identical to the fresh fold.
+fn fold_certificate(n: usize, a: i128, l: i128) -> bool {
+    i128::try_from(n)
+        .ok()
+        .and_then(|n| n.checked_add(2))
+        .and_then(|n| n.checked_mul(a))
+        .and_then(|m| m.checked_mul(l))
+        .is_some()
+}
+
 impl ScaledProfile {
     /// Rescales `components` onto their common integer timebase.
     ///
@@ -297,12 +526,7 @@ impl ScaledProfile {
     /// overflows `i128` — the profile then has no fast path and every
     /// query runs the exact rational walk.
     pub(crate) fn build(components: &[PeriodicDemand]) -> Option<ScaledProfile> {
-        let mut scale: i128 = 1;
-        for c in components {
-            for q in c.raw() {
-                scale = lcm_i128(scale, q.denom())?;
-            }
-        }
+        let scale = profile_scale(components)?;
         ScaledProfile::build_with_scale(components, scale)
     }
 
@@ -343,36 +567,281 @@ impl ScaledProfile {
             hyperperiod,
             contribs,
             narrow,
+            aux: None,
         })
+    }
+
+    /// Builds the splice bookkeeping from the resident component list
+    /// if it is not already present — one O(n) pass paid by the first
+    /// splice, amortized across a delta churn. `None` when a component
+    /// cannot be keyed (it does not fit the resident scale, or its
+    /// denominators have no representable lcm); the caller then bails
+    /// to a rebuild, which re-decides the fast path from scratch.
+    fn ensure_aux(&mut self, components: &[PeriodicDemand]) -> Option<()> {
+        if self.aux.is_some() {
+            return Some(());
+        }
+        let mut aux = SpliceAux::default();
+        for c in components {
+            let (_, rate_c, envelope_c) = scale_component(c, self.scale)?;
+            let at = aux.recs.len();
+            aux.insert(at, c, rate_c, envelope_c)?;
+        }
+        self.aux = Some(aux);
+        Some(())
+    }
+
+    /// Whether [`fold_certificate`] covers the resident contributions
+    /// plus the listed outgoing/incoming ones. The aux multisets
+    /// already describe the post-delta component list, so outgoing
+    /// denominators and magnitudes are folded in explicitly — the
+    /// certificate must also cover the pre-delta totals the shortcut
+    /// starts from.
+    fn certificate_covers(
+        &self,
+        removed: &[(Rational, Rational)],
+        added: &[(Rational, Rational)],
+    ) -> bool {
+        let Some(aux) = self.aux.as_ref() else {
+            return false;
+        };
+        let Some(mut l) = aux.contrib_denom_lcm() else {
+            return false;
+        };
+        let mut a = aux.abs_num_max;
+        for &(rate, envelope) in removed.iter().chain(added) {
+            let next = lcm_i128(l, rate.denom()).and_then(|l| lcm_i128(l, envelope.denom()));
+            let Some(next) = next else {
+                return false;
+            };
+            l = next;
+            a = a
+                .max(rate.numer().checked_abs().unwrap_or(i128::MAX))
+                .max(envelope.numer().checked_abs().unwrap_or(i128::MAX));
+        }
+        let n = self.contribs.len() + removed.len() + added.len();
+        fold_certificate(n, a, l)
+    }
+
+    /// Refolds the profile aggregates after a splice has updated
+    /// `components`/`contribs`/aux: the `(rate, envelope)` totals via
+    /// the O(1) shortcut when [`fold_certificate`] proves no fold order
+    /// can overflow (exact in-order refold otherwise), the hyperperiod
+    /// and narrow-lane proof from the counted aux state. Bit-identical
+    /// to a fresh [`ScaledProfile::build_with_scale`] on the same
+    /// components and scale, overflow-bail points included.
+    fn apply_agg_delta(
+        &mut self,
+        removed: &[(Rational, Rational)],
+        added: &[(Rational, Rational)],
+        removed_scaled: &[ScaledComponent],
+        added_scaled: &[ScaledComponent],
+    ) -> Option<()> {
+        if self.certificate_covers(removed, added) {
+            let mut rate = self.rate;
+            let mut envelope = self.envelope;
+            for &(rate_c, envelope_c) in removed {
+                rate = rate.checked_sub(rate_c).ok()?;
+                envelope = envelope.checked_sub(envelope_c).ok()?;
+            }
+            for &(rate_c, envelope_c) in added {
+                rate = rate.checked_add(rate_c).ok()?;
+                envelope = envelope.checked_add(envelope_c).ok()?;
+            }
+            self.rate = rate;
+            self.envelope = envelope;
+        } else {
+            // The certificate could not rule out an overflow somewhere,
+            // so run the exact fold a fresh build runs — same sums, same
+            // order, same bail points.
+            let mut rate = Rational::ZERO;
+            let mut envelope = Rational::ZERO;
+            for &(rate_c, envelope_c) in &self.contribs {
+                rate = rate.checked_add(rate_c).ok()?;
+                envelope = envelope.checked_add(envelope_c).ok()?;
+            }
+            self.rate = rate;
+            self.envelope = envelope;
+        }
+        let (hyperperiod, period_max) = {
+            let aux = self.aux.as_ref()?;
+            (aux.hyperperiod(self.scale), aux.period_max(self.scale))
+        };
+        self.hyperperiod = hyperperiod;
+        self.narrow = match self.narrow {
+            Some(headroom) => {
+                let shortcut = (|| {
+                    let mut h = headroom;
+                    for c in removed_scaled {
+                        h = h.retract(c)?;
+                    }
+                    for c in added_scaled {
+                        h = h.extend(c)?;
+                    }
+                    Some(h.with_period_max(period_max?))
+                })();
+                // A shortcut miss is authoritative for additions
+                // (non-negative sums overflow order-independently) but
+                // not for retractions; the refold settles both exactly.
+                match shortcut {
+                    Some(h) => Some(h),
+                    None => NarrowHeadroom::fold(&self.components),
+                }
+            }
+            // The proof previously overflowed; a removal can bring the
+            // sums back in range, so re-prove from the survivors.
+            None => NarrowHeadroom::fold(&self.components),
+        };
+        Some(())
     }
 
     /// Re-scales only the components at `indices` (already updated in
     /// `components`) and refolds the profile aggregates, leaving every
     /// other component's scaled form untouched.
     ///
-    /// The aggregates are refolded over the per-component contributions
-    /// in component order with exact rational sums, so the patched
-    /// profile answers every query bit-identically to
+    /// The aggregates refold via [`ScaledProfile::apply_agg_delta`], so
+    /// the patched profile answers every query bit-identically to
     /// [`ScaledProfile::build_with_scale`] on the same components and
     /// scale. Returns `None` when a patched quantity overflows or its
     /// denominator does not divide the profile's scale; the profile may
     /// then be partially updated and the caller must rebuild it.
+    ///
+    /// Profiles that have never seen a task-set delta (`aux` unbuilt —
+    /// the sweep engine's case, where patches touch most components
+    /// every call) skip the splice bookkeeping entirely and refold the
+    /// aggregates in component order, exactly as a fresh build would.
     pub(crate) fn patch(&mut self, components: &[PeriodicDemand], indices: &[usize]) -> Option<()> {
+        if self.aux.is_none() {
+            for &i in indices {
+                let (sc, rate_c, envelope_c) = scale_component(&components[i], self.scale)?;
+                self.components[i] = sc;
+                self.contribs[i] = (rate_c, envelope_c);
+            }
+            let mut rate = Rational::ZERO;
+            let mut envelope = Rational::ZERO;
+            for &(rate_c, envelope_c) in &self.contribs {
+                rate = rate.checked_add(rate_c).ok()?;
+                envelope = envelope.checked_add(envelope_c).ok()?;
+            }
+            self.rate = rate;
+            self.envelope = envelope;
+            self.hyperperiod = scaled_hyperperiod(components, self.scale);
+            self.narrow = NarrowHeadroom::fold(&self.components);
+            return Some(());
+        }
+        let mut removed = Vec::with_capacity(indices.len());
+        let mut added = Vec::with_capacity(indices.len());
+        let mut removed_scaled = Vec::with_capacity(indices.len());
+        let mut added_scaled = Vec::with_capacity(indices.len());
         for &i in indices {
             let (sc, rate_c, envelope_c) = scale_component(&components[i], self.scale)?;
+            let aux = self.aux.as_mut()?;
+            aux.remove(i);
+            aux.insert(i, &components[i], rate_c, envelope_c)?;
+            removed.push(self.contribs[i]);
+            removed_scaled.push(self.components[i]);
             self.components[i] = sc;
             self.contribs[i] = (rate_c, envelope_c);
+            added.push((rate_c, envelope_c));
+            added_scaled.push(sc);
         }
-        let mut rate = Rational::ZERO;
-        let mut envelope = Rational::ZERO;
-        for &(rate_c, envelope_c) in &self.contribs {
-            rate = rate.checked_add(rate_c).ok()?;
-            envelope = envelope.checked_add(envelope_c).ok()?;
+        self.apply_agg_delta(&removed, &added, &removed_scaled, &added_scaled)
+    }
+
+    /// Appends one component (already pushed as the last entry of
+    /// `components`) without touching any existing scaled form.
+    ///
+    /// The old component list is a prefix of the new one, so every
+    /// left-to-right fold a fresh build runs — scale lcm, rate and
+    /// envelope sums, the narrow-headroom aggregates — extends the
+    /// stored fold result by exactly one step, and the appended profile
+    /// is query-for-query what [`ScaledProfile::build`] would produce
+    /// (overflow-bail points included). Returns `None` when the fresh
+    /// timebase differs from the current one (the appended denominators
+    /// would grow the lcm) or any extension overflows; the profile is
+    /// then partially updated and the caller must rebuild.
+    pub(crate) fn append(&mut self, components: &[PeriodicDemand]) -> Option<()> {
+        let c = components.last()?;
+        let aux_ready = self.aux.is_some();
+        self.ensure_aux(components)?;
+        let (sc, rate_c, envelope_c) = scale_component(c, self.scale)?;
+        if aux_ready {
+            let at = self.components.len();
+            self.aux.as_mut()?.insert(at, c, rate_c, envelope_c)?;
         }
+        if self.aux.as_ref()?.fresh_scale()? != self.scale {
+            return None;
+        }
+        let rate = self.rate.checked_add(rate_c).ok()?;
+        let envelope = self.envelope.checked_add(envelope_c).ok()?;
+        let narrow = match self.narrow {
+            Some(headroom) => headroom.extend(&sc),
+            None => None,
+        };
+        let hyperperiod = self.aux.as_ref()?.hyperperiod(self.scale);
+        self.components.push(sc);
+        self.contribs.push((rate_c, envelope_c));
         self.rate = rate;
         self.envelope = envelope;
-        self.hyperperiod = scaled_hyperperiod(components, self.scale);
-        self.narrow = NarrowHeadroom::fold(&self.components);
+        self.hyperperiod = hyperperiod;
+        self.narrow = narrow;
+        Some(())
+    }
+
+    /// Splices a freshly scaled component in at `index` (`components` is
+    /// the post-insert list), reusing every other component's scaled
+    /// form and refolding the aggregates. Returns `None` when the fresh
+    /// timebase differs from the current scale or anything overflows;
+    /// the profile may then be partially updated and the caller must
+    /// rebuild.
+    pub(crate) fn insert_at(&mut self, index: usize, components: &[PeriodicDemand]) -> Option<()> {
+        let aux_ready = self.aux.is_some();
+        self.ensure_aux(components)?;
+        let (sc, rate_c, envelope_c) = scale_component(&components[index], self.scale)?;
+        if aux_ready {
+            self.aux
+                .as_mut()?
+                .insert(index, &components[index], rate_c, envelope_c)?;
+        }
+        if self.aux.as_ref()?.fresh_scale()? != self.scale {
+            return None;
+        }
+        self.components.insert(index, sc);
+        self.contribs.insert(index, (rate_c, envelope_c));
+        self.apply_agg_delta(&[], &[(rate_c, envelope_c)], &[], &[sc])
+    }
+
+    /// Drops the component at `index` (`components` is the post-remove
+    /// list) and refolds the aggregates over the survivors. Returns
+    /// `None` when the survivors' fresh timebase is smaller than the
+    /// current scale (the removed component carried the lcm) or a refold
+    /// overflows; the profile may then be partially updated and the
+    /// caller must rebuild.
+    pub(crate) fn remove_at(&mut self, index: usize, components: &[PeriodicDemand]) -> Option<()> {
+        let aux_ready = self.aux.is_some();
+        self.ensure_aux(components)?;
+        if aux_ready {
+            self.aux.as_mut()?.remove(index);
+        }
+        if self.aux.as_ref()?.fresh_scale()? != self.scale {
+            return None;
+        }
+        let removed_scaled = self.components.remove(index);
+        let removed_contrib = self.contribs.remove(index);
+        self.apply_agg_delta(&[removed_contrib], &[], &[removed_scaled], &[])
+    }
+
+    /// Replace-in-place with a fresh-timebase guard: plain
+    /// [`ScaledProfile::patch`] keeps the current scale unconditionally
+    /// (the sweep engine pins a grid-wide timebase on purpose), while a
+    /// set delta must stay on the scale a fresh build of the new list
+    /// would pick, so overflow-bail points cannot move.
+    pub(crate) fn replace_at(&mut self, index: usize, components: &[PeriodicDemand]) -> Option<()> {
+        self.ensure_aux(components)?;
+        self.patch(components, &[index])?;
+        if self.aux.as_ref()?.fresh_scale()? != self.scale {
+            return None;
+        }
         Some(())
     }
 

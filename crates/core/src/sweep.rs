@@ -125,6 +125,7 @@ pub struct SweepAnalysis {
     reused_components: u64,
     rebuilt_components: u64,
     lockstep_walks: u64,
+    patched_profiles: u64,
     /// Reused backing store for the per-`y` patch lists built by
     /// [`SweepAnalysis::rescale_lo`], so rescaling allocates nothing in
     /// the steady state.
@@ -333,6 +334,7 @@ impl SweepAnalysis {
             reused_components: 0,
             rebuilt_components,
             lockstep_walks: 0,
+            patched_profiles: 0,
             patch_buffer: scratch.lease(),
             frontier: None,
         }
@@ -422,6 +424,7 @@ impl SweepAnalysis {
         if profile.patch_components(&self.lo_indices, patched) {
             self.rebuilt_components += moved;
             self.reused_components += total - moved;
+            self.patched_profiles += 1;
         } else {
             // The grid timebase missed this `y`: the rational components
             // are still patched, but the integer fast path was rebuilt
@@ -456,6 +459,7 @@ impl SweepAnalysis {
             reused_components: self.reused_components,
             rebuilt_components: self.rebuilt_components,
             lockstep: self.lockstep_walks,
+            patched: self.patched_profiles,
         }
     }
 

@@ -1,0 +1,373 @@
+//! Differential property tests for incremental delta admission: a
+//! [`DeltaAnalysis`] churned through admit/evict/replace sequences must
+//! be bit-identical to a fresh [`Analysis`] of the resulting set —
+//! values, verdicts, errors, and examined-walk outcomes alike — across
+//! seeded random churn, sets engineered off the integer fast path
+//! (overflow fallback), wall-clock deadlines, and a panic mid-query
+//! (the panic-pill self-heal path).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use rbs_core::{
+    analyze, run_delta, Analysis, AnalysisError, AnalysisLimits, DeltaAnalysis, DeltaOp,
+    WalkCounts,
+};
+use rbs_model::{Criticality, Task, TaskSet};
+use rbs_rng::Rng;
+use rbs_timebase::Rational;
+
+const CASES: usize = 48;
+const OPS_PER_CASE: usize = 8;
+
+fn int(v: i128) -> Rational {
+    Rational::integer(v)
+}
+
+fn rat(n: i128, d: i128) -> Rational {
+    Rational::new(n, d)
+}
+
+/// A random valid task covering all three shapes of the model: a HI
+/// task with a shortened LO deadline (eq. (1)), a LO task degraded in
+/// HI mode (eq. (2)), and a LO task terminated at the switch (eq. (3)).
+/// Fractional periods keep the shared timebase moving so admits land on
+/// both the in-place-splice and rebuild paths.
+fn arb_task(rng: &mut Rng, name: &str) -> Task {
+    let den = [1, 2, 3, 4][rng.gen_range_usize(0, 3)];
+    let period = rat(rng.gen_range_i128(2, 20), den);
+    let wcet = period * rat(rng.gen_range_i128(1, 3), 8);
+    match rng.gen_range_usize(0, 2) {
+        0 => {
+            let deadline_lo = period * rat(rng.gen_range_i128(2, 4), 4);
+            let wcet_hi = (wcet * rat(rng.gen_range_i128(4, 9), 4)).min(period);
+            Task::builder(name, Criticality::Hi)
+                .period(period)
+                .deadline_lo(deadline_lo)
+                .deadline_hi(period)
+                .wcet_lo(wcet)
+                .wcet_hi(wcet_hi)
+                .build()
+                .expect("valid HI task")
+        }
+        1 => {
+            let stretch = rat(rng.gen_range_i128(4, 8), 4);
+            Task::builder(name, Criticality::Lo)
+                .period(period)
+                .deadline(period)
+                .period_hi(period * stretch)
+                .deadline_hi(period * stretch)
+                .wcet(wcet)
+                .build()
+                .expect("valid degraded LO task")
+        }
+        _ => Task::builder(name, Criticality::Lo)
+            .period(period)
+            .deadline(period)
+            .wcet(wcet)
+            .terminated()
+            .build()
+            .expect("valid terminated LO task"),
+    }
+}
+
+/// Runs the full query surface on `delta` and on an independent fresh
+/// context of the same set, asserting bit-identical results (values and
+/// errors), and returns the fresh context's walk counters so callers
+/// can pin walk *outcomes*, not just answers.
+fn assert_checkpoint(delta: &mut DeltaAnalysis, limits: &AnalysisLimits, label: &str) -> WalkCounts {
+    let set = delta.set().clone();
+    let ctx = Analysis::new(&set, limits);
+    assert_eq!(
+        delta.minimum_speedup(),
+        ctx.minimum_speedup(),
+        "{label}: s_min"
+    );
+    assert_eq!(
+        delta.is_lo_schedulable(),
+        ctx.is_lo_schedulable(),
+        "{label}: LO verdict"
+    );
+    assert_eq!(
+        delta.lo_speed_requirement(),
+        ctx.lo_speed_requirement(),
+        "{label}: LO speed requirement"
+    );
+    for s in [Rational::ONE, rat(3, 2), Rational::TWO] {
+        assert_eq!(
+            delta.is_hi_schedulable(s),
+            ctx.is_hi_schedulable(s),
+            "{label}: HI verdict at s = {s}"
+        );
+        assert_eq!(
+            delta.resetting_time(s),
+            ctx.resetting_time(s),
+            "{label}: Delta_R at s = {s}"
+        );
+    }
+    ctx.walk_counts()
+}
+
+#[test]
+fn random_churn_matches_fresh_contexts_bit_identically() {
+    let mut rng = Rng::seed_from_u64(0xde17_a001);
+    let limits = AnalysisLimits::default();
+    for case in 0..CASES {
+        let mut next_id = 0usize;
+        let fresh_name = |next_id: &mut usize| {
+            let name = format!("t{next_id}");
+            *next_id += 1;
+            name
+        };
+        let base: Vec<Task> = (0..rng.gen_range_usize(1, 4))
+            .map(|_| {
+                let name = fresh_name(&mut next_id);
+                arb_task(&mut rng, &name)
+            })
+            .collect();
+        let mut delta = DeltaAnalysis::new(TaskSet::new(base), &limits);
+        let mut fresh = WalkCounts::default();
+        let absorb = |fresh: &mut WalkCounts, counts: WalkCounts| {
+            fresh.integer += counts.integer;
+            fresh.exact += counts.exact;
+            fresh.pruned += counts.pruned;
+            fresh.avoided += counts.avoided;
+            fresh.lockstep += counts.lockstep;
+        };
+        absorb(
+            &mut fresh,
+            assert_checkpoint(&mut delta, &limits, &format!("case {case} base")),
+        );
+        for step in 0..OPS_PER_CASE {
+            let names: Vec<String> = delta.set().iter().map(|t| t.name().to_owned()).collect();
+            let roll = rng.gen_range_usize(0, 2);
+            if roll == 0 || names.is_empty() {
+                let name = fresh_name(&mut next_id);
+                delta
+                    .admit(arb_task(&mut rng, &name))
+                    .expect("fresh name admits");
+            } else if roll == 1 {
+                let victim = &names[rng.gen_range_usize(0, names.len() - 1)];
+                delta.evict(victim).expect("present task evicts");
+            } else {
+                let victim = names[rng.gen_range_usize(0, names.len() - 1)].clone();
+                // Half the replacements also rename the task.
+                let name = if rng.gen_bool(0.5) {
+                    fresh_name(&mut next_id)
+                } else {
+                    victim.clone()
+                };
+                let task = arb_task(&mut rng, &name);
+                delta.replace(&victim, task).expect("present task replaces");
+            }
+            absorb(
+                &mut fresh,
+                assert_checkpoint(&mut delta, &limits, &format!("case {case} step {step}")),
+            );
+        }
+        // Walk outcomes, not just answers: churned profiles run exactly
+        // the walks the fresh contexts run — same fast-path/exact split,
+        // same prunes, same frontier-avoided resetting queries.
+        let counts = delta.walk_counts();
+        assert_eq!(counts.integer, fresh.integer, "case {case}: integer walks");
+        assert_eq!(counts.exact, fresh.exact, "case {case}: exact walks");
+        assert_eq!(counts.pruned, fresh.pruned, "case {case}: pruned walks");
+        assert_eq!(counts.avoided, fresh.avoided, "case {case}: avoided walks");
+        assert_eq!(counts.lockstep, fresh.lockstep, "case {case}: lockstep");
+    }
+}
+
+#[test]
+fn overflow_fallback_churn_stays_bit_identical() {
+    // The HI task's power-of-two period is so large that combining it
+    // with the thirds-denominated LO task overflows every shared
+    // timebase — fresh builds of this set run exact rational walks. The
+    // delta engine must follow: its in-place splice is only kept when
+    // the patched profile stays on the scale a fresh build would pick,
+    // so admitting and evicting `thirds` must flip the profiles between
+    // the exact and integer paths exactly as fresh rebuilds do. (The
+    // construction keeps the exact walks panic-free: every quantity of
+    // the huge task is a power of two, and the thirds task's
+    // breakpoints start beyond the walks' pruning horizons.)
+    let limits = AnalysisLimits::default();
+    let huge = Task::builder("huge", Criticality::Hi)
+        .period(int(1 << 126))
+        .deadline_lo(int(1 << 125))
+        .deadline_hi(int(1 << 126))
+        .wcet_lo(int(16))
+        .wcet_hi(int(32))
+        .build()
+        .expect("valid HI task");
+    // Both LO tasks continue into HI mode unchanged: their demand
+    // envelopes are what keep every walk's pruning horizon small (far
+    // below the huge task's breakpoints), so the exact walks stay
+    // panic-free.
+    let beat = Task::builder("beat", Criticality::Lo)
+        .period(int(2))
+        .deadline(int(2))
+        .wcet(int(1))
+        .build()
+        .expect("valid LO task");
+    let thirds = Task::builder("thirds", Criticality::Lo)
+        .period(rat(1024, 3))
+        .deadline(rat(1024, 3))
+        .wcet(int(1))
+        .build()
+        .expect("valid LO task");
+
+    let mut delta = DeltaAnalysis::new(TaskSet::new(vec![huge, beat]), &limits);
+    let mut fresh_exact = 0u64;
+    let mut fresh_integer = 0u64;
+    let counts = assert_checkpoint(&mut delta, &limits, "powers of two");
+    fresh_exact += counts.exact;
+    fresh_integer += counts.integer;
+
+    // Admitting the thirds task overflows the shared timebase: both
+    // engines must drop to exact walks.
+    delta.admit(thirds).expect("fresh name admits");
+    let counts = assert_checkpoint(&mut delta, &limits, "with thirds");
+    assert!(counts.exact > 0, "set engineered off the fast path");
+    fresh_exact += counts.exact;
+    fresh_integer += counts.integer;
+
+    // Evicting it restores a representable timebase: the delta profiles
+    // must return to the integer path like a fresh rebuild would.
+    delta.evict("thirds").expect("present task evicts");
+    let counts = assert_checkpoint(&mut delta, &limits, "thirds evicted");
+    fresh_exact += counts.exact;
+    fresh_integer += counts.integer;
+
+    let counts = delta.walk_counts();
+    assert_eq!(counts.exact, fresh_exact, "exact walks diverge");
+    assert_eq!(counts.integer, fresh_integer, "integer walks diverge");
+}
+
+#[test]
+fn expired_deadlines_error_identically_after_deltas() {
+    // A deadline can only turn a slow success into an error, never
+    // change a value — and the error itself is part of the bit-identity
+    // contract (same variant, same examined count).
+    let base = TaskSet::new(vec![
+        Task::builder("h", Criticality::Hi)
+            .period(int(5))
+            .deadline_lo(int(2))
+            .deadline_hi(int(5))
+            .wcet_lo(int(1))
+            .wcet_hi(int(2))
+            .build()
+            .expect("valid HI task"),
+        Task::builder("l", Criticality::Lo)
+            .period(int(10))
+            .deadline(int(10))
+            .wcet(int(3))
+            .build()
+            .expect("valid LO task"),
+    ]);
+    let expired = AnalysisLimits::default().with_deadline(Instant::now());
+    let mut delta = DeltaAnalysis::new(base.clone(), &expired);
+    delta
+        .admit(
+            Task::builder("x", Criticality::Lo)
+                .period(int(4))
+                .deadline(int(4))
+                .wcet(int(1))
+                .terminated()
+                .build()
+                .expect("valid LO task"),
+        )
+        .expect("fresh name admits");
+    let mut grown = base.clone();
+    DeltaOp::Admit(
+        Task::builder("x", Criticality::Lo)
+            .period(int(4))
+            .deadline(int(4))
+            .wcet(int(1))
+            .terminated()
+            .build()
+            .expect("valid LO task"),
+    )
+    .apply_to(&mut grown)
+    .expect("fresh name admits");
+    let ctx = Analysis::new(&grown, &expired);
+    assert_eq!(
+        delta.minimum_speedup(),
+        ctx.minimum_speedup(),
+        "expired deadline must classify identically"
+    );
+    assert!(matches!(
+        delta.minimum_speedup(),
+        Err(AnalysisError::DeadlineExceeded { examined: 1 })
+    ));
+
+    // A generous deadline changes nothing: results match the
+    // deadline-free analysis bit for bit.
+    let generous = AnalysisLimits::default().with_deadline(Instant::now() + Duration::from_secs(3600));
+    let mut timed = DeltaAnalysis::new(grown.clone(), &generous);
+    let mut untimed = DeltaAnalysis::new(grown, &AnalysisLimits::default());
+    assert_eq!(timed.minimum_speedup(), untimed.minimum_speedup());
+    assert_eq!(timed.resetting_time(Rational::TWO), untimed.resetting_time(Rational::TWO));
+}
+
+#[test]
+fn a_panicking_query_session_heals_back_to_bit_identity() {
+    let mut rng = Rng::seed_from_u64(0xde17_a003);
+    let limits = AnalysisLimits::default();
+    let base: Vec<Task> = (0..3).map(|i| arb_task(&mut rng, &format!("t{i}"))).collect();
+    let mut delta = DeltaAnalysis::new(TaskSet::new(base), &limits);
+    let _ = delta.minimum_speedup().expect("completes");
+
+    // The pill: a query session that unwinds mid-lend takes the lent
+    // profiles down with it.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        delta.with_analysis(|_| panic!("poison pill"));
+    }));
+    assert!(result.is_err(), "the pill must propagate");
+
+    // The next use rebuilds from the set, and every subsequent delta
+    // still matches fresh contexts exactly.
+    assert_checkpoint(&mut delta, &limits, "after panic");
+    delta
+        .admit(arb_task(&mut rng, "t3"))
+        .expect("fresh name admits");
+    assert_checkpoint(&mut delta, &limits, "admit after panic");
+    delta.evict("t0").expect("present task evicts");
+    assert_checkpoint(&mut delta, &limits, "evict after panic");
+}
+
+#[test]
+fn run_delta_reports_are_byte_identical_to_fresh_analyze() {
+    let mut rng = Rng::seed_from_u64(0xde17_a002);
+    let limits = AnalysisLimits::default();
+    for case in 0..16 {
+        let base: Vec<Task> = (0..rng.gen_range_usize(1, 3))
+            .map(|i| arb_task(&mut rng, &format!("t{i}")))
+            .collect();
+        let first = base[0].name().to_owned();
+        let base = TaskSet::new(base);
+        let ops = vec![
+            DeltaOp::Admit(arb_task(&mut rng, "new")),
+            DeltaOp::Replace {
+                id: first,
+                task: arb_task(&mut rng, "swapped"),
+            },
+        ];
+        let mut resulting = base.clone();
+        for op in &ops {
+            op.apply_to(&mut resulting).expect("ops apply");
+        }
+        let (report, meta) = run_delta(base, &ops, &limits).expect("completes");
+        let fresh = analyze(resulting, &limits).expect("completes");
+        assert_eq!(report, fresh, "case {case}: reports diverge");
+        assert_eq!(
+            rbs_json::to_string(&report),
+            rbs_json::to_string(&fresh),
+            "case {case}: rendered bytes diverge"
+        );
+        // The delta run did real incremental work: the admit landed as
+        // either an in-place patch or a counted rebuild, never silently.
+        assert!(
+            meta.patched_profiles > 0 || meta.rebuilt_components > 0,
+            "case {case}: no profile accounting"
+        );
+    }
+}

@@ -166,7 +166,20 @@ fn campaign_point(
     let y2 = 1usize;
     let s3 = 1usize; // speeds[1] = 3
     let s_min_summary = five_number(&s_min_at_y[y2]);
-    let feasible = config.sets_per_point.saturating_sub(infeasible);
+    // The generator owes exactly `sets_per_point` contributions, so the
+    // infeasible count can never exceed it. If it does, the aggregation
+    // and the generator disagree — clamping to zero here would silently
+    // zero every schedulable fraction, so fail loudly instead.
+    let feasible = config
+        .sets_per_point
+        .checked_sub(infeasible)
+        .unwrap_or_else(|| {
+            panic!(
+                "campaign accounting inconsistent at U_bound {u_bound}: \
+                 {infeasible} infeasible sets out of {} generated",
+                config.sets_per_point
+            )
+        });
     let schedulable_at = schedulable_fractions(&s_min_at_y[y2], feasible);
     let median_s_min_by_y = ys
         .iter()

@@ -714,6 +714,58 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pair_escapes_decode_and_round_trip() {
+        // U+1F600 via its escaped surrogate pair decodes to the same
+        // string as the literal code point…
+        let escaped = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(escaped, Json::Str("\u{1F600}".into()));
+        // …and the writer emits it as a literal (no escaping needed),
+        // which re-parses to the same value.
+        assert_eq!(escaped.render(), "\"\u{1F600}\"");
+        assert_eq!(parse(&escaped.render()).unwrap(), escaped);
+        // Uppercase hex digits are accepted too.
+        assert_eq!(parse("\"\\uD83D\\uDE00\"").unwrap(), escaped);
+    }
+
+    #[test]
+    fn lone_surrogates_error_instead_of_panicking() {
+        for bad in [
+            r#""\ud800""#,        // high surrogate at end of string
+            r#""\ud800x""#,       // high surrogate followed by a plain char
+            r#""\ud800\n""#,      // high surrogate followed by a non-\u escape
+            r#""\ud800A""#,  // high surrogate paired with a non-surrogate
+            r#""\ud800\ud800""#,  // two high surrogates
+            r#""\udc00""#,        // unpaired low surrogate
+            r#""\ud8"#,           // truncated inside the hex digits
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn every_control_character_round_trips_through_escapes() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).expect("ascii control");
+            let value = Json::Str(format!("a{c}b"));
+            let rendered = value.render();
+            assert_eq!(
+                parse(&rendered).unwrap(),
+                value,
+                "round trip of U+{code:04X} via {rendered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_control_characters_in_strings_are_rejected() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).expect("ascii control");
+            let input = format!("\"a{c}b\"");
+            assert!(parse(&input).is_err(), "should reject raw U+{code:04X}");
+        }
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         for bad in [
             "",

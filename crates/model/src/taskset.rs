@@ -112,9 +112,34 @@ impl TaskSet {
         self.tasks.iter().find(|t| t.name() == name)
     }
 
+    /// The declaration-order index of the task with the given name.
+    #[must_use]
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.tasks.iter().position(|t| t.name() == name)
+    }
+
     /// Adds a task to the set.
     pub fn push(&mut self, task: Task) {
         self.tasks.push(task);
+    }
+
+    /// Removes and returns the task at `index`, shifting later tasks left
+    /// (declaration order of the remaining tasks is preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove(&mut self, index: usize) -> Task {
+        self.tasks.remove(index)
+    }
+
+    /// Replaces the task at `index` in place, returning the old task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn replace(&mut self, index: usize, task: Task) -> Task {
+        std::mem::replace(&mut self.tasks[index], task)
     }
 
     /// Iterates over the tasks of one criticality level (the paper's
@@ -280,6 +305,28 @@ mod tests {
         assert_eq!(set.by_name("tau2").map(Task::name), Some("tau2"));
         assert_eq!(set.by_name("nope"), None);
         assert!(TaskSet::empty().is_empty());
+    }
+
+    #[test]
+    fn position_remove_replace() {
+        let mut set = example_set();
+        assert_eq!(set.position("tau2"), Some(1));
+        assert_eq!(set.position("nope"), None);
+        let swapped = Task::builder("tau3", Criticality::Lo)
+            .period(int(20))
+            .deadline(int(20))
+            .wcet(int(5))
+            .build()
+            .expect("valid");
+        let old = set.replace(1, swapped);
+        assert_eq!(old.name(), "tau2");
+        assert_eq!(set[1].name(), "tau3");
+        assert_eq!(set.len(), 2);
+        let removed = set.remove(0);
+        assert_eq!(removed.name(), "tau1");
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].name(), "tau3");
+        assert_eq!(set.position("tau3"), Some(0));
     }
 
     #[test]

@@ -36,4 +36,4 @@ mod conn;
 pub mod poller;
 pub mod server;
 
-pub use server::{NetConfig, Server};
+pub use server::{NetConfig, NetStats, Server};

@@ -80,6 +80,35 @@ impl Default for NetConfig {
     }
 }
 
+/// Cumulative front-end statistics: the wrapped service's batch
+/// counters plus net-layer-only bookkeeping that has no [`BatchStats`]
+/// slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// The service pipeline's counters (same taxonomy as `rbs-svc`).
+    pub batch: BatchStats,
+    /// Dispatcher completions that arrived for a connection with no
+    /// in-flight request. Exactly one completion must come back per
+    /// dispatched job, so this is always `0` unless the accounting is
+    /// broken; a saturating decrement used to swallow such a bug
+    /// silently, which is precisely why it gets a footer counter (and a
+    /// `debug_assert` under test builds) instead.
+    pub double_done: u64,
+}
+
+impl NetStats {
+    /// The cumulative footer line: [`BatchStats::footer`] plus the
+    /// net-layer block.
+    #[must_use]
+    pub fn footer(&self, jobs: usize) -> String {
+        format!(
+            "{} net{{double_done={}}}",
+            self.batch.footer(jobs),
+            self.double_done
+        )
+    }
+}
+
 /// One framed request travelling to the dispatcher.
 struct Job {
     conn: u64,
@@ -100,7 +129,7 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     wake: WakeHandle,
-    thread: JoinHandle<io::Result<BatchStats>>,
+    thread: JoinHandle<io::Result<NetStats>>,
 }
 
 impl Server {
@@ -115,7 +144,7 @@ impl Server {
         addr: impl ToSocketAddrs,
         service: Service,
         config: NetConfig,
-        footer: impl FnMut(&BatchStats) + Send + 'static,
+        footer: impl FnMut(&NetStats) + Send + 'static,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -158,7 +187,7 @@ impl Server {
     ///
     /// Propagates event-loop I/O failures (a poll or accept error that
     /// ended the loop early).
-    pub fn shutdown(self) -> io::Result<BatchStats> {
+    pub fn shutdown(self) -> io::Result<NetStats> {
         self.shutdown.store(true, Ordering::SeqCst);
         self.wake.wake();
         match self.thread.join() {
@@ -232,7 +261,7 @@ fn dispatcher(
 struct Loop {
     config: NetConfig,
     conns: HashMap<u64, Conn>,
-    cumulative: BatchStats,
+    cumulative: NetStats,
     job_tx: Option<mpsc::Sender<Job>>,
     draining: bool,
 }
@@ -294,16 +323,25 @@ impl Loop {
 
     /// Counts one shed request in the cumulative footer stats.
     fn shed(&mut self) {
-        self.cumulative.served += 1;
-        self.cumulative.errors.bump(SvcErrorKind::Overload);
-        self.cumulative.latencies_micros.push(0);
+        self.cumulative.batch.served += 1;
+        self.cumulative.batch.errors.bump(SvcErrorKind::Overload);
+        self.cumulative.batch.latencies_micros.push(0);
     }
 
     /// Routes one dispatcher completion to its connection (dropped if
-    /// the connection died in the meantime).
+    /// the connection died in the meantime). Exactly one completion
+    /// comes back per dispatched job; one arriving with nothing in
+    /// flight is a double completion, counted (never decremented
+    /// through zero, which would let a later legitimate completion
+    /// shed a live request) and asserted on under test builds.
     fn route(&mut self, conn: u64, line: String) {
         if let Some(c) = self.conns.get_mut(&conn) {
-            c.in_flight = c.in_flight.saturating_sub(1);
+            if c.in_flight == 0 {
+                debug_assert!(false, "double completion for connection {conn}");
+                self.cumulative.double_done += 1;
+            } else {
+                c.in_flight -= 1;
+            }
             c.enqueue(line);
         }
     }
@@ -317,8 +355,8 @@ fn event_loop(
     shutdown: &AtomicBool,
     wake: WakeHandle,
     mut wake_source: WakeSource,
-    mut footer: impl FnMut(&BatchStats),
-) -> io::Result<BatchStats> {
+    mut footer: impl FnMut(&NetStats),
+) -> io::Result<NetStats> {
     listener.set_nonblocking(true)?;
     let cap = service.config().max_request_bytes;
     let (job_tx, job_rx) = mpsc::channel::<Job>();
@@ -341,7 +379,7 @@ fn event_loop(
     let mut state = Loop {
         config,
         conns: HashMap::new(),
-        cumulative: BatchStats::default(),
+        cumulative: NetStats::default(),
         job_tx: Some(job_tx),
         draining: false,
     };
@@ -358,12 +396,14 @@ fn event_loop(
         for done in done_rx.try_iter() {
             match done {
                 Done::Response { conn, line } => state.route(conn, line),
-                Done::Stats(stats) => state.cumulative.absorb(&stats),
+                Done::Stats(stats) => state.cumulative.batch.absorb(&stats),
             }
         }
-        if config.stats_every > 0 && state.cumulative.served >= last_footer + config.stats_every {
+        if config.stats_every > 0
+            && state.cumulative.batch.served >= last_footer + config.stats_every
+        {
             footer(&state.cumulative);
-            last_footer = state.cumulative.served;
+            last_footer = state.cumulative.batch.served;
         }
 
         // 2. Enter drain mode on the shutdown flag.
@@ -402,7 +442,7 @@ fn event_loop(
                 state.job_tx = None;
                 for done in done_rx.iter() {
                     if let Done::Stats(stats) = done {
-                        state.cumulative.absorb(&stats);
+                        state.cumulative.batch.absorb(&stats);
                     }
                 }
                 let _ = dispatcher.join();

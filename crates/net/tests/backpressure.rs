@@ -84,10 +84,12 @@ fn full_connection_queue_sheds_in_band_without_stalling_the_loop() {
     assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
 
     let stats = server.shutdown().expect("drains");
-    assert_eq!(stats.served, 5);
-    assert_eq!(stats.ok, 1);
-    assert_eq!(stats.errors.overload, 4);
-    assert_eq!(stats.errors.total(), 4);
+    assert_eq!(stats.batch.served, 5);
+    assert_eq!(stats.batch.ok, 1);
+    assert_eq!(stats.batch.errors.overload, 4);
+    assert_eq!(stats.batch.errors.total(), 4);
+    // One completion per dispatched job, never a spurious extra.
+    assert_eq!(stats.double_done, 0);
 }
 
 #[test]
@@ -138,7 +140,8 @@ fn connections_beyond_the_cap_get_one_overload_line_and_a_close() {
     assert!(answers[0].contains("\"kind\":\"parse\""), "{}", answers[0]);
 
     let stats = server.shutdown().expect("drains");
-    assert_eq!(stats.served, 3);
-    assert_eq!(stats.errors.overload, 1);
-    assert_eq!(stats.errors.parse, 2);
+    assert_eq!(stats.batch.served, 3);
+    assert_eq!(stats.batch.errors.overload, 1);
+    assert_eq!(stats.batch.errors.parse, 2);
+    assert_eq!(stats.double_done, 0);
 }

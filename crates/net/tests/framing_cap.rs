@@ -1,0 +1,64 @@
+//! The TCP path shares the stdin path's byte-capped framing — this
+//! suite pins the cap's adversarial corner: an oversized line whose
+//! kept prefix is a valid request must be rejected as oversized, never
+//! served, and the connection stays synchronized for the next line.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+
+use rbs_net::{NetConfig, Server};
+use rbs_svc::{Service, ServiceConfig, WorkerPool};
+
+/// One LO task with unit parameters — a healthy, analyzable set.
+fn task_set() -> String {
+    concat!(
+        "[{\"name\":\"w\",\"criticality\":\"Lo\",",
+        "\"lo\":{\"period\":{\"num\":5,\"den\":1},",
+        "\"deadline\":{\"num\":5,\"den\":1},",
+        "\"wcet\":{\"num\":1,\"den\":1}},",
+        "\"hi\":{\"Continue\":{\"period\":{\"num\":5,\"den\":1},",
+        "\"deadline\":{\"num\":5,\"den\":1},",
+        "\"wcet\":{\"num\":1,\"den\":1}}}}]"
+    )
+    .to_owned()
+}
+
+#[test]
+fn truncated_line_cut_at_a_cr_never_leaks_its_prefix() {
+    // The cap equals the valid request's length, and the poison line is
+    // that request plus `\r` plus junk: the framer keeps cap + 1 bytes
+    // ending in the coincidental `\r`. Stripping it as a CRLF
+    // terminator would hand the valid prefix to the service as a
+    // request the client never finished sending.
+    let valid = task_set();
+    let service = Service::with_config(
+        WorkerPool::new(2),
+        ServiceConfig {
+            max_request_bytes: Some(valid.len()),
+            ..ServiceConfig::default()
+        },
+    );
+    let server =
+        Server::bind("127.0.0.1:0", service, NetConfig::default(), |_| {}).expect("binds");
+
+    // Both lines arrive in one write so the framer sees the cut and the
+    // healthy line in the same read.
+    let mut client = TcpStream::connect(server.addr()).expect("connects");
+    let payload = format!("{valid}\r{}\n{valid}\n", "x".repeat(1 << 16));
+    client.write_all(payload.as_bytes()).expect("sends");
+    client.shutdown(Shutdown::Write).expect("half-closes");
+
+    let lines: Vec<String> = BufReader::new(&client)
+        .lines()
+        .map(|line| line.expect("reads response"))
+        .collect();
+    assert_eq!(lines.len(), 2, "{lines:#?}");
+    assert!(lines[0].contains("\"kind\":\"oversized\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"report\":"), "{}", lines[1]);
+
+    let stats = server.shutdown().expect("drains");
+    assert_eq!(stats.batch.served, 2);
+    assert_eq!(stats.batch.ok, 1);
+    assert_eq!(stats.batch.errors.oversized, 1);
+    assert_eq!(stats.double_done, 0);
+}

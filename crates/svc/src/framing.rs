@@ -38,6 +38,11 @@ pub struct LineFramer {
     /// line keeps fewer bytes than it consumed, so `line.is_empty()`
     /// alone cannot distinguish "nothing yet" from "empty line").
     saw_any: bool,
+    /// Whether the current line dropped bytes to the cap. A truncated
+    /// line must keep all `cap + 1` bytes it is entitled to — stripping
+    /// a trailing `\r` from the *kept prefix* would shrink it to exactly
+    /// `cap` bytes and defeat the oversized check downstream.
+    truncated: bool,
     /// Complete lines ready to pop, oldest first.
     ready: VecDeque<String>,
 }
@@ -51,6 +56,7 @@ impl LineFramer {
             keep: cap.map_or(usize::MAX, |c| c.saturating_add(1)),
             line: Vec::new(),
             saw_any: false,
+            truncated: false,
             ready: VecDeque::new(),
         }
     }
@@ -101,17 +107,25 @@ impl LineFramer {
             self.saw_any = true;
         }
         let room = self.keep.saturating_sub(self.line.len());
+        if bytes.len() > room {
+            self.truncated = true;
+        }
         self.line.extend_from_slice(&bytes[..bytes.len().min(room)]);
     }
 
     fn complete(&mut self) {
-        if self.line.last() == Some(&b'\r') {
+        // Only a line that really *ended* in CRLF gets its `\r` stripped.
+        // On a truncated line the last kept byte is a cut mid-line, not a
+        // terminator — stripping a coincidental `\r` there would hand a
+        // `cap`-byte prefix downstream as if it were the whole line.
+        if !self.truncated && self.line.last() == Some(&b'\r') {
             self.line.pop();
         }
         self.ready
             .push_back(String::from_utf8_lossy(&self.line).into_owned());
         self.line.clear();
         self.saw_any = false;
+        self.truncated = false;
     }
 }
 
@@ -169,6 +183,42 @@ mod tests {
         framer.push(b"\nok\n");
         let lines = drain(&mut framer);
         assert_eq!(lines[0].len(), 3);
+        assert_eq!(lines[1], "ok");
+    }
+
+    #[test]
+    fn truncated_line_cut_at_a_cr_keeps_its_sentinel_byte() {
+        // The kept prefix of the oversized line happens to end in `\r`.
+        // It must still surface with `cap + 1` bytes so the downstream
+        // oversized check fires — stripping the `\r` would disguise the
+        // truncated prefix as a complete `cap`-byte line.
+        let mut framer = LineFramer::new(Some(4));
+        framer.push(b"abcd\rTRAILING BYTES\nok\n");
+        let lines = drain(&mut framer);
+        assert_eq!(lines[0], "abcd\r");
+        assert_eq!(lines[0].len(), 5); // cap + 1: sentinel intact
+        assert_eq!(lines[1], "ok");
+    }
+
+    #[test]
+    fn crlf_exactly_at_the_cap_still_strips() {
+        // `cap` payload bytes plus the `\r` fill the keep budget without
+        // dropping anything: a genuine CRLF terminator, not a cut.
+        let mut framer = LineFramer::new(Some(4));
+        framer.push(b"abcd\r\nok\r\n");
+        assert_eq!(drain(&mut framer), vec!["abcd", "ok"]);
+    }
+
+    #[test]
+    fn truncation_cut_at_a_cr_across_chunk_boundaries() {
+        // The cut lands on a `\r` fed in an earlier chunk; the truncated
+        // flag must persist until the newline arrives.
+        let mut framer = LineFramer::new(Some(4));
+        framer.push(b"abcd\r");
+        framer.push(b"more");
+        framer.push(b"\nok\n");
+        let lines = drain(&mut framer);
+        assert_eq!(lines[0], "abcd\r");
         assert_eq!(lines[1], "ok");
     }
 

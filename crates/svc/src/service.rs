@@ -1,10 +1,15 @@
 //! The admission-control service: JSONL requests in, JSONL reports out.
 //!
-//! Each request line is either one task-set document (the same format as
-//! `examples/workloads/*.json`) or a campaign sweep
+//! Each request line is one task-set document (the same format as
+//! `examples/workloads/*.json`), a campaign sweep
 //! `{"sweep":{"specs":[...],"ys":[...],"speeds":[...]}}` answered by the
 //! incremental [`rbs_core::SweepAnalysis`] engine — one set plus a
-//! `(y, s)` grid in, the full grid of `s_min`/`Δ_R` values out. The
+//! `(y, s)` grid in, the full grid of `s_min`/`Δ_R` values out — or an
+//! online-admission delta `{"delta":{"base":...,"ops":[...]}}` answered
+//! by the incremental [`rbs_core::DeltaAnalysis`] engine: admit/evict/
+//! replace ops against a base set named inline or by the canonical hash
+//! of any previously seen set, cached under the canonical form of the
+//! resulting set (byte-identical to analyzing that set directly). The
 //! service canonicalizes the request (task sets and sweep grids live in
 //! disjoint canonical domains), consults the sharded LRU [`ResultCache`]
 //! (and a bounded negative cache of failed outcomes), and analyzes misses
@@ -22,13 +27,13 @@
 //! rejected before it is even parsed — one poison-pill request can never
 //! take the batch (or the daemon) down.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rbs_core::{
-    analyze_with_meta_in, run_sweep_in, AnalysisError, AnalysisLimits, AnalysisScratch,
-    AnalyzeMeta, SweepGrid,
+    analyze_with_meta_in, run_delta_in, run_sweep_in, AnalysisError, AnalysisLimits,
+    AnalysisScratch, AnalyzeMeta, DeltaBase, DeltaOp, DeltaRequest, DeltaRunError, SweepGrid,
 };
 use rbs_json::{FromJson, Json};
 use rbs_model::{CanonicalTaskSet, ImplicitTaskSpec, TaskSet};
@@ -152,6 +157,10 @@ pub struct ServiceConfig {
     /// ([`FAULT_PANIC_TASK`], [`FAULT_SLEEP_PREFIX`]). Off by default:
     /// production sets may name tasks anything they like.
     pub fault_injection: bool,
+    /// Task sets kept in the base registry that `delta` requests resolve
+    /// `"base": "<hash>"` keys against (0 disables key-based bases;
+    /// inline bases always work).
+    pub base_registry_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -163,6 +172,7 @@ impl Default for ServiceConfig {
             timeout: None,
             max_request_bytes: None,
             fault_injection: false,
+            base_registry_capacity: 1024,
         }
     }
 }
@@ -184,6 +194,41 @@ pub struct Service {
     /// most `pool.jobs()` scratches are ever leased at once, so the pool
     /// is naturally bounded.
     scratches: Arc<Mutex<Vec<AnalysisScratch>>>,
+    /// Canonical-hash → task-set bindings for `delta` base resolution;
+    /// shared by clones like the caches. Fed by every successfully
+    /// parsed task set (analyze requests, inline delta bases, and delta
+    /// results), so a client can chain deltas off the `hash` field of
+    /// any earlier response.
+    bases: Arc<Mutex<BaseRegistry>>,
+}
+
+/// A bounded FIFO registry of canonical-hash → task-set bindings (see
+/// [`Service::bases`]). FIFO rather than LRU: resident fleets re-ship a
+/// base at most once per eviction, and insertion order is deterministic
+/// where recency under parallel batches is not.
+#[derive(Debug, Default)]
+struct BaseRegistry {
+    map: HashMap<String, Arc<TaskSet>>,
+    order: VecDeque<String>,
+}
+
+impl BaseRegistry {
+    fn insert(&mut self, capacity: usize, hash: String, set: &Arc<TaskSet>) {
+        if capacity == 0 || self.map.contains_key(&hash) {
+            return;
+        }
+        while self.order.len() >= capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(hash.clone());
+        self.map.insert(hash, Arc::clone(set));
+    }
+
+    fn get(&self, hash: &str) -> Option<Arc<TaskSet>> {
+        self.map.get(hash).cloned()
+    }
 }
 
 /// A worker's checkout from the [`Service`] scratch pool; returns the
@@ -283,14 +328,15 @@ impl Response {
                 };
                 let walks = match walks {
                     Some(meta) => format!(
-                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{},\"reused\":{},\"rebuilt\":{},\"lockstep\":{}}}",
+                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{},\"reused\":{},\"rebuilt\":{},\"lockstep\":{},\"patched\":{}}}",
                         meta.integer_walks,
                         meta.exact_walks,
                         meta.pruned_walks,
                         meta.avoided_walks,
                         meta.reused_components,
                         meta.rebuilt_components,
-                        meta.lockstep_walks
+                        meta.lockstep_walks,
+                        meta.patched_profiles
                     ),
                     None => String::new(),
                 };
@@ -392,6 +438,10 @@ pub struct BatchStats {
     /// [`Self::integer_walks`] — this reports how many of those walks
     /// ran batched rather than one at a time.
     pub lockstep_walks: u64,
+    /// Demand profiles updated by an in-place patch (sweep rescales and
+    /// delta splices), summed over the executed analyses. Zero for
+    /// single-set requests.
+    pub patched_profiles: u64,
     /// Per-request service time in microseconds (parse + analysis share),
     /// indexed by `seq` within the batch.
     pub latencies_micros: Vec<u64>,
@@ -421,6 +471,7 @@ impl BatchStats {
         self.reused_components += other.reused_components;
         self.rebuilt_components += other.rebuilt_components;
         self.lockstep_walks += other.lockstep_walks;
+        self.patched_profiles += other.patched_profiles;
         self.latencies_micros
             .extend_from_slice(&other.latencies_micros);
     }
@@ -442,7 +493,7 @@ impl BatchStats {
         format!(
             "rbs-svc: served={} ok={} errors{{total={} parse={} limits={} timeout={} panic={} oversized={} overload={}}} \
              cache{{hits={} negative={}}} coalesced={} analyzed={} jobs={jobs} \
-             walks{{integer={} exact={} pruned={} avoided={} reused={} rebuilt={} lockstep={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
+             walks{{integer={} exact={} pruned={} avoided={} reused={} rebuilt={} lockstep={} patched={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
             self.served,
             self.ok,
             self.errors.total(),
@@ -462,7 +513,8 @@ impl BatchStats {
             self.avoided_walks,
             self.reused_components,
             self.rebuilt_components,
-            self.lockstep_walks
+            self.lockstep_walks,
+            self.patched_profiles
         )
     }
 }
@@ -484,13 +536,15 @@ fn median(sorted: &[u64]) -> u64 {
     }
 }
 
-/// Nearest-rank percentile of an already-sorted slice.
+/// Nearest-rank percentile of an already-sorted slice. `pct` is clamped
+/// to `[0, 100]`: values above 100 would otherwise compute a rank past
+/// the end of the slice and panic on the index.
 fn percentile(sorted: &[u64], pct: usize) -> u64 {
     let n = sorted.len();
     if n == 0 {
         return 0;
     }
-    let rank = (n * pct).div_ceil(100).max(1);
+    let rank = (n * pct.min(100)).div_ceil(100).clamp(1, n);
     sorted[rank - 1]
 }
 
@@ -500,13 +554,21 @@ struct Pending {
     job: Job,
 }
 
-/// The two kinds of work a request can ask for.
+/// The kinds of work a request can ask for.
 enum Job {
     /// Classic single-set admission analysis.
     Analyze { set: TaskSet },
     /// A `(y, s)` campaign grid over one spec list, answered by the
     /// incremental sweep engine.
     Sweep { grid: SweepGrid },
+    /// Admit/evict/replace ops against a resident base set, answered by
+    /// the incremental delta engine. Cached under the canonical form of
+    /// the *resulting* set — the report is byte-identical to analyzing
+    /// that set directly, so both request kinds share entries.
+    Delta {
+        base: Arc<TaskSet>,
+        ops: Vec<DeltaOp>,
+    },
 }
 
 /// Per-request bookkeeping between the parse pass and response assembly.
@@ -568,6 +630,22 @@ impl Service {
             negative: ResultCache::new(config.negative_cache_capacity),
             config,
             scratches: Arc::new(Mutex::new(Vec::new())),
+            bases: Arc::new(Mutex::new(BaseRegistry::default())),
+        }
+    }
+
+    /// Binds `canonical → set` in the base registry (no-op when the
+    /// registry is disabled or the poisoned-lock case ever occurs).
+    fn register_base(&self, canonical: &CanonicalTaskSet, set: &Arc<TaskSet>) {
+        if self.config.base_registry_capacity == 0 {
+            return;
+        }
+        if let Ok(mut bases) = self.bases.lock() {
+            bases.insert(
+                self.config.base_registry_capacity,
+                canonical.to_string(),
+                set,
+            );
         }
     }
 
@@ -666,6 +744,34 @@ impl Service {
                                 })
                                 .map_err(|error| SvcError::from_analysis(&error))
                         }
+                        Job::Delta { base, ops } => {
+                            if config.fault_injection {
+                                inject_faults(&base);
+                                for op in &ops {
+                                    if let DeltaOp::Admit(task) | DeltaOp::Replace { task, .. } =
+                                        op
+                                    {
+                                        fault_for_name(task.name());
+                                    }
+                                }
+                            }
+                            run_delta_in((*base).clone(), &ops, &limits, scratch)
+                                .map(|(report, meta)| {
+                                    (Arc::<str>::from(rbs_json::to_string(&report)), meta)
+                                })
+                                .map_err(|error| match error {
+                                    // Op validation re-runs inside the worker;
+                                    // triage already vetted the sequence, so
+                                    // this arm is unreachable in practice but
+                                    // keeps the taxonomy honest if it ever
+                                    // fires.
+                                    DeltaRunError::Delta(e) => SvcError::new(
+                                        SvcErrorKind::Parse,
+                                        format!("delta op rejected: {e}"),
+                                    ),
+                                    DeltaRunError::Analysis(e) => SvcError::from_analysis(&e),
+                                })
+                        }
                         Job::Sweep { grid } => {
                             if config.fault_injection {
                                 inject_sweep_faults(&grid.specs);
@@ -709,6 +815,7 @@ impl Service {
                     stats.reused_components += meta.reused_components;
                     stats.rebuilt_components += meta.rebuilt_components;
                     stats.lockstep_walks += meta.lockstep_walks;
+                    stats.patched_profiles += meta.patched_profiles;
                 }
                 Err(error) => {
                     // Every post-parse failure (limits, timeout, panic) is
@@ -797,9 +904,10 @@ impl Service {
                 });
             }
         };
-        // A request is either a campaign sweep (an object wrapping the
-        // grid under a "sweep" key — impossible for a task-set document,
-        // which is a JSON array) or a plain task set.
+        // A request is a campaign sweep (an object wrapping the grid
+        // under a "sweep" key), a delta (an object wrapping base + ops
+        // under a "delta" key — both impossible for a task-set document,
+        // which is a JSON array), or a plain task set.
         let (canonical, job) = if let Some(sweep) = parsed.get("sweep") {
             match SweepGrid::from_json(sweep) {
                 Ok(grid) => (
@@ -816,9 +924,24 @@ impl Service {
                     });
                 }
             }
+        } else if let Some(delta) = parsed.get("delta") {
+            match self.triage_delta(delta) {
+                Ok(entry) => entry,
+                Err(error) => return Slot::Done(Outcome::Error {
+                    error,
+                    cached: false,
+                }),
+            }
         } else {
             match TaskSet::from_json(&parsed) {
-                Ok(set) => (CanonicalTaskSet::of(&set), Job::Analyze { set }),
+                Ok(set) => {
+                    let canonical = CanonicalTaskSet::of(&set);
+                    // Every successfully parsed set becomes a delta base
+                    // candidate, addressable by the hash echoed in the
+                    // response.
+                    self.register_base(&canonical, &Arc::new(set.clone()));
+                    (canonical, Job::Analyze { set })
+                }
                 Err(error) => {
                     return Slot::Done(Outcome::Error {
                         error: SvcError::new(
@@ -852,6 +975,58 @@ impl Service {
             pending.len() - 1
         });
         Slot::Waiting(slot)
+    }
+
+    /// Pass-1 handling of a `{"delta": ...}` body: decode the request,
+    /// resolve its base (inline or registry key), vet the op sequence by
+    /// applying it at the set level, and key the job on the canonical
+    /// form of the *resulting* set so delta and analyze requests share
+    /// cache entries. All rejections here are `parse`-class: they are
+    /// properties of the request, not of the analysis.
+    fn triage_delta(&self, delta: &Json) -> Result<(CanonicalTaskSet, Job), SvcError> {
+        let request = DeltaRequest::from_json(delta).map_err(|error| {
+            SvcError::new(
+                SvcErrorKind::Parse,
+                format!("invalid delta request: {error}"),
+            )
+        })?;
+        let base = match request.base {
+            DeltaBase::Inline(set) => {
+                let set = Arc::new(set);
+                self.register_base(&CanonicalTaskSet::of(&set), &set);
+                set
+            }
+            DeltaBase::Key(key) => self
+                .bases
+                .lock()
+                .ok()
+                .and_then(|bases| bases.get(&key))
+                .ok_or_else(|| {
+                    SvcError::new(
+                        SvcErrorKind::Parse,
+                        format!(
+                            "unknown delta base key \"{key}\" (analyze the set first or ship it inline)"
+                        ),
+                    )
+                })?,
+        };
+        let mut result = (*base).clone();
+        for op in &request.ops {
+            op.apply_to(&mut result).map_err(|error| {
+                SvcError::new(SvcErrorKind::Parse, format!("delta op rejected: {error}"))
+            })?;
+        }
+        let canonical = CanonicalTaskSet::of(&result);
+        // The resulting set is itself a base candidate, so clients can
+        // chain deltas off each response's hash.
+        self.register_base(&canonical, &Arc::new(result));
+        Ok((
+            canonical,
+            Job::Delta {
+                base,
+                ops: request.ops,
+            },
+        ))
     }
 
     /// Serves a single request (a one-element batch).
@@ -891,6 +1066,21 @@ mod tests {
         assert_eq!(percentile(&[], 99), 0);
         let small: Vec<u64> = (1..=10).collect();
         assert_eq!(percentile(&small, 99), 10);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_requests() {
+        let v: Vec<u64> = (1..=100).collect();
+        // pct = 0 still selects the first element (rank floor of 1).
+        assert_eq!(percentile(&v, 0), 1);
+        // pct > 100 must clamp to the maximum instead of indexing past
+        // the end of the slice.
+        assert_eq!(percentile(&v, 101), 100);
+        assert_eq!(percentile(&v, usize::MAX / 128), 100);
+        assert_eq!(percentile(&[7], 0), 7);
+        assert_eq!(percentile(&[7], 250), 7);
+        assert_eq!(percentile(&[], 0), 0);
+        assert_eq!(percentile(&[], 250), 0);
     }
 
     #[test]

@@ -199,6 +199,29 @@ fn follow_mode_survives_poison_pills_and_oversized_lines() {
 }
 
 #[test]
+fn truncated_line_cut_at_a_cr_never_leaks_its_prefix() {
+    // The wire cap is exactly the length of a valid request, and the
+    // poison line is that request plus a `\r` plus junk: the framer
+    // keeps cap + 1 bytes, ending in the coincidental `\r`. Stripping
+    // it as a CRLF terminator would hand the valid prefix to the
+    // service, which would serve a report for a request the client
+    // never finished sending.
+    let valid = good_line(5);
+    let cap = valid.len().to_string();
+    let mut daemon = Follow::spawn(&["--max-request-bytes", &cap]);
+    let smuggled = format!("{valid}\r{}", "x".repeat(4096));
+    let response = daemon.roundtrip(&smuggled);
+    assert!(response.contains("\"kind\":\"oversized\""), "{response}");
+    // The stream stays synchronized, and the same bytes sent as a whole
+    // line still fit the cap.
+    let healthy = daemon.roundtrip(&valid);
+    assert!(healthy.contains("\"report\":"), "{healthy}");
+    let (success, stderr) = daemon.drain();
+    assert!(success, "in-band oversized must not fail the daemon:\n{stderr}");
+    assert!(stderr.contains("oversized=1"), "{stderr}");
+}
+
+#[test]
 fn follow_mode_emits_periodic_footers() {
     let mut daemon = Follow::spawn(&["--stats-every", "1"]);
     let _ = daemon.roundtrip(&good_line(5));
@@ -214,13 +237,14 @@ fn follow_mode_emits_periodic_footers() {
 }
 
 /// Extracts `[integer, exact, pruned, avoided, reused, rebuilt,
-/// lockstep]` from a footer's `walks{integer=.. exact=.. pruned=..
-/// avoided=.. reused=.. rebuilt=.. lockstep=..}` block.
-fn parse_walks(footer: &str) -> [u64; 7] {
+/// lockstep, patched]` from a footer's `walks{integer=.. exact=..
+/// pruned=.. avoided=.. reused=.. rebuilt=.. lockstep=.. patched=..}`
+/// block.
+fn parse_walks(footer: &str) -> [u64; 8] {
     let start = footer.find("walks{").expect("footer has a walks block") + "walks{".len();
     let body = &footer[start..];
     let body = &body[..body.find('}').expect("walks block closes")];
-    let mut counters = [0u64; 7];
+    let mut counters = [0u64; 8];
     for (slot, key) in [
         "integer=",
         "exact=",
@@ -229,6 +253,7 @@ fn parse_walks(footer: &str) -> [u64; 7] {
         "reused=",
         "rebuilt=",
         "lockstep=",
+        "patched=",
     ]
     .into_iter()
     .enumerate()
@@ -255,6 +280,7 @@ fn walk_counters_appear_per_response_and_grow_monotonically() {
         "\"reused\":",
         "\"rebuilt\":",
         "\"lockstep\":",
+        "\"patched\":",
     ] {
         assert!(
             first.contains(needle),
@@ -265,7 +291,7 @@ fn walk_counters_appear_per_response_and_grow_monotonically() {
     let _ = daemon.roundtrip(&good_line(13));
     let (success, stderr) = daemon.drain();
     assert!(success, "{stderr}");
-    let footers: Vec<[u64; 7]> = stderr
+    let footers: Vec<[u64; 8]> = stderr
         .lines()
         .filter(|line| line.starts_with("rbs-svc: served="))
         .map(parse_walks)
@@ -359,6 +385,78 @@ fn sweep_requests_answer_the_full_grid_and_reuse_components() {
     assert!(last[4] > 0, "footer must aggregate reused: {stderr}");
     assert!(last[5] > 0, "footer must aggregate rebuilt: {stderr}");
     assert!(stderr.contains("cache{hits=1"), "{stderr}");
+}
+
+/// A HI-terminated admittee for delta requests.
+fn admit_task_json() -> String {
+    "{\"name\":\"x\",\"criticality\":\"Lo\",\
+     \"lo\":{\"period\":{\"num\":4,\"den\":1},\
+     \"deadline\":{\"num\":4,\"den\":1},\
+     \"wcet\":{\"num\":1,\"den\":1}},\
+     \"hi\":\"Terminated\"}"
+        .to_owned()
+}
+
+/// Extracts the `"hash":"..."` field of a response line.
+fn extract_hash(response: &str) -> String {
+    response
+        .split("\"hash\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("response carries a hash")
+        .to_owned()
+}
+
+#[test]
+fn delta_requests_resolve_bases_and_share_the_report_cache() {
+    let mut daemon = Follow::spawn(&[]);
+    // Analyzing a set registers it as a delta base under its hash.
+    let base = daemon.roundtrip(&good_line(5));
+    let base_hash = extract_hash(&base);
+    // Admit one task against the resident base by key. The splice stays
+    // on the integer fast path: exactly one profile patched in place.
+    let admit = format!(
+        "{{\"delta\":{{\"base\":\"{base_hash}\",\"ops\":[{{\"admit\":{}}}]}}}}",
+        admit_task_json()
+    );
+    let grown = daemon.roundtrip(&admit);
+    assert!(grown.contains("\"report\":"), "{grown}");
+    assert!(grown.contains("\"cached\":false"), "{grown}");
+    assert!(grown.contains("\"patched\":1"), "{grown}");
+    let grown_hash = extract_hash(&grown);
+    assert_ne!(grown_hash, base_hash);
+    // The same delta again is a cache hit under the resulting set's
+    // canonical form.
+    let again = daemon.roundtrip(&admit);
+    assert!(again.contains("\"cached\":true"), "{again}");
+    // Evicting the admittee from the grown set lands back on the base
+    // set's cache entry — delta responses chain by hash, and delta and
+    // analyze requests share the cache.
+    let evict = format!("{{\"delta\":{{\"base\":\"{grown_hash}\",\"ops\":[{{\"evict\":\"x\"}}]}}}}");
+    let shrunk = daemon.roundtrip(&evict);
+    assert!(shrunk.contains("\"cached\":true"), "{shrunk}");
+    assert_eq!(extract_hash(&shrunk), base_hash);
+    // An inline base works without prior registration.
+    let inline = format!(
+        "{{\"delta\":{{\"base\":{},\"ops\":[{{\"admit\":{}}}]}}}}",
+        good_line(7),
+        admit_task_json()
+    );
+    let inline_response = daemon.roundtrip(&inline);
+    assert!(inline_response.contains("\"report\":"), "{inline_response}");
+    // Request-level rejections are parse-class: unknown base keys and
+    // ops naming unknown tasks never reach a worker.
+    let unknown_key = daemon.roundtrip("{\"delta\":{\"base\":\"feedfeed\",\"ops\":[{\"evict\":\"x\"}]}}");
+    assert!(unknown_key.contains("\"kind\":\"parse\""), "{unknown_key}");
+    assert!(unknown_key.contains("unknown delta base key"), "{unknown_key}");
+    let unknown_task = daemon.roundtrip(&format!(
+        "{{\"delta\":{{\"base\":\"{base_hash}\",\"ops\":[{{\"evict\":\"ghost\"}}]}}}}"
+    ));
+    assert!(unknown_task.contains("\"kind\":\"parse\""), "{unknown_task}");
+    assert!(unknown_task.contains("delta op rejected"), "{unknown_task}");
+    let (success, stderr) = daemon.drain();
+    assert!(success, "{stderr}");
+    assert!(stderr.contains("patched="), "{stderr}");
 }
 
 #[test]

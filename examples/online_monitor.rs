@@ -5,12 +5,137 @@
 //! out.
 //!
 //! Run with: `cargo run -p rbs-experiments --example online_monitor`
+//!
+//! With `--fleet [N]` the example instead demonstrates *online
+//! admission* over a resident fleet: candidates stream in one at a
+//! time, each admit/evict is applied incrementally to a cached
+//! [`rbs_core::DeltaAnalysis`] (splicing demand components instead of
+//! rebuilding the profiles), and a candidate is kept only if the
+//! fleet's `s_min` stays within the overclock cap. The closing stats
+//! show the component reuse the incremental engine gets from churn, and
+//! wall-clock time against rebuilding a fresh analysis per step.
 
+use std::time::Instant;
+
+use rbs_core::{Analysis, AnalysisLimits, DeltaAnalysis};
 use rbs_model::{Criticality, Task, TaskSet};
+use rbs_rng::Rng;
 use rbs_sim::{timeline, ExecutionScenario, Simulation, TraceEvent};
 use rbs_timebase::Rational;
 
+/// A small-utilization candidate task: 40% HI tasks with a halved LO
+/// deadline and doubled HI WCET, the rest plain LO tasks. Periods come
+/// from a harmonic-style menu (all divide 1200, as in avionics-style
+/// rate groups), which also keeps every exact rate sum representable no
+/// matter how large the fleet grows.
+fn candidate(rng: &mut Rng, id: usize) -> Task {
+    const PERIOD_MENU: [i128; 10] = [200, 240, 320, 400, 480, 600, 800, 960, 1200, 1600];
+    let period = Rational::integer(PERIOD_MENU[rng.gen_range_usize(0, PERIOD_MENU.len() - 1)]);
+    let wcet = Rational::integer(rng.gen_range_i128(1, 3));
+    if rng.gen_bool(0.4) {
+        Task::builder(format!("hi{id}"), Criticality::Hi)
+            .period(period)
+            .deadline_lo(period * Rational::new(1, 2))
+            .deadline_hi(period)
+            .wcet_lo(wcet)
+            .wcet_hi(wcet * Rational::TWO)
+            .build()
+            .expect("candidate parameters satisfy eq. (1)")
+    } else {
+        Task::builder(format!("lo{id}"), Criticality::Lo)
+            .period(period)
+            .deadline(period)
+            .wcet(wcet)
+            .build()
+            .expect("candidate parameters satisfy eq. (2)")
+    }
+}
+
+/// Streams `target` admission offers (then 64 evict+admit churn rounds)
+/// through one resident [`DeltaAnalysis`], rejecting any candidate that
+/// would push the fleet's `s_min` past the overclock cap.
+fn fleet(target: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let cap = Rational::TWO;
+    let limits = AnalysisLimits::default();
+    let mut rng = Rng::seed_from_u64(2015);
+    let mut delta = DeltaAnalysis::new(TaskSet::empty(), &limits);
+    let mut next_id = 0usize;
+    let mut admitted = 0usize;
+    let mut rejected = 0usize;
+
+    for _ in 0..target {
+        let task = candidate(&mut rng, next_id);
+        let name = task.name().to_owned();
+        next_id += 1;
+        delta.admit(task)?;
+        if delta.minimum_speedup()?.bound().is_met_by(cap) {
+            admitted += 1;
+        } else {
+            delta.evict(&name)?;
+            rejected += 1;
+        }
+    }
+    println!("online admission with an s_min <= {cap} overclock cap:");
+    println!("  {admitted} admitted, {rejected} rejected of {target} offers");
+
+    // Steady-state churn: retire one resident, offer one candidate.
+    // Each round times the incremental path (splice + query on the
+    // resident context) against a from-scratch analysis of the same set.
+    let churn_rounds = 64usize.min(delta.set().len());
+    let mut incremental_elapsed = std::time::Duration::ZERO;
+    let mut fresh_elapsed = std::time::Duration::ZERO;
+    for _ in 0..churn_rounds {
+        let names: Vec<String> = delta.set().iter().map(|t| t.name().to_owned()).collect();
+        let victim = names[rng.gen_range_usize(0, names.len() - 1)].clone();
+        let task = candidate(&mut rng, next_id);
+        let name = task.name().to_owned();
+        next_id += 1;
+
+        let incremental_start = Instant::now();
+        delta.evict(&victim)?;
+        delta.admit(task)?;
+        if !delta.minimum_speedup()?.bound().is_met_by(cap) {
+            delta.evict(&name)?;
+        }
+        incremental_elapsed += incremental_start.elapsed();
+
+        let fresh_start = Instant::now();
+        let set = delta.set().clone();
+        let ctx = Analysis::new(&set, &limits);
+        let _ = ctx.minimum_speedup()?;
+        fresh_elapsed += fresh_start.elapsed();
+    }
+
+    let counts = delta.walk_counts();
+    println!(
+        "  {churn_rounds} churn rounds on a {}-task resident fleet",
+        delta.set().len()
+    );
+    println!(
+        "  components: {} reused, {} rebuilt across {} in-place profile patches",
+        counts.reused_components, counts.rebuilt_components, counts.patched
+    );
+    println!(
+        "  churn step: {:.1?} incremental vs {:.1?} fresh re-analysis",
+        incremental_elapsed / churn_rounds.max(1) as u32,
+        fresh_elapsed / churn_rounds.max(1) as u32
+    );
+    assert!(
+        counts.reused_components > counts.rebuilt_components,
+        "churn must reuse more components than it rebuilds"
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--fleet") {
+        let target = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        return fleet(target);
+    }
     let set = TaskSet::new(vec![
         Task::builder("control", Criticality::Hi)
             .period(Rational::integer(5))

@@ -14,10 +14,25 @@ if [ ! -x "$BIN" ]; then
     exit 1
 fi
 
+task() { # task <name> <period_num> <period_den>
+    # One LO task object; the period doubles as the deadline.
+    printf '{"name":"%s","criticality":"Lo","lo":{"period":{"num":%s,"den":%s},"deadline":{"num":%s,"den":%s},"wcet":{"num":1,"den":1}},"hi":{"Continue":{"period":{"num":%s,"den":%s},"deadline":{"num":%s,"den":%s},"wcet":{"num":1,"den":1}}}}' \
+        "$1" "$2" "$3" "$2" "$3" "$2" "$3" "$2" "$3"
+}
+
 good() {
     # One LO task with the given period; distinct periods = distinct sets.
-    printf '[{"name":"%s","criticality":"Lo","lo":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}},"hi":{"Continue":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}}}}]' \
-        "$1" "$2" "$2" "$2" "$2"
+    printf '[%s]' "$(task "$1" "$2" 1)"
+}
+
+delta() { # delta <base_task> <ops...>
+    # An online-admission delta: inline base plus an op sequence.
+    local base="$1"
+    shift
+    local ops="$1"
+    shift
+    for op in "$@"; do ops="$ops,$op"; done
+    printf '{"delta":{"base":[%s],"ops":[%s]}}' "$base" "$ops"
 }
 
 sweep() {
@@ -48,6 +63,16 @@ trap 'rm -rf "$workdir"' EXIT
     echo
     sweep __rbs_fault_panic__ 7
     echo
+    # Delta pills: a healthy in-place admit, an evict naming a task the
+    # base never had (must classify, not panic), and an admit whose
+    # period denominator shifts the resident timebase (the splice must
+    # fall back to a rebuild and still answer).
+    delta "$(task w 5 1)" "{\"admit\":$(task x 7 1)}"
+    echo
+    delta "$(task w 5 1)" '{"evict":"ghost"}'
+    echo
+    delta "$(task w 5 1)" "{\"admit\":$(task q 7 3)}"
+    echo
 } > "$workdir/batch.jsonl"
 
 "$BIN" - --jobs 4 --fault-injection --timeout-ms 5 --max-request-bytes 4096 \
@@ -70,8 +95,8 @@ check() { # check <description> <command...>
 check "poison batch exits non-zero" test "$status" -ne 0
 
 # One response per request, in submission order.
-check "eight responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 8
-for seq in 0 1 2 3 4 5 6 7; do
+check "eleven responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 11
+for seq in 0 1 2 3 4 5 6 7 8 9 10; do
     line="$(sed -n "$((seq + 1))p" "$workdir/out.jsonl")"
     check "seq $seq in order" \
         sh -c "printf '%s' '$line' | grep -q '^{\"seq\":$seq,'"
@@ -92,14 +117,33 @@ expect_line 6 '"report":'
 expect_line 7 '"points":'
 expect_line 7 '"reused":[1-9]'
 expect_line 8 '"kind":"panic"'
+# The healthy delta splices in place and answers a full report; the
+# evict of a name the base never had is classified (parse-class, it is
+# a property of the request), and the timebase-shifting admit falls
+# back to a rebuild but still answers.
+expect_line 9 '"report":'
+expect_line 9 '"patched":[1-9]'
+expect_line 10 '"kind":"parse"'
+expect_line 10 'no task named'
+expect_line 11 '"report":'
 
 # The footer reports the full taxonomy plus the sweep engine's
 # component-reuse split.
 check "footer taxonomy" \
-    grep -q 'errors{total=5 parse=1 limits=0 timeout=1 panic=2 oversized=1 overload=0}' \
+    grep -q 'errors{total=6 parse=2 limits=0 timeout=1 panic=2 oversized=1 overload=0}' \
     "$workdir/footer.txt"
 check "footer component reuse" \
     grep -Eq 'reused=[1-9][0-9]* rebuilt=[1-9]' "$workdir/footer.txt"
+
+# Bit-identity across the wire: a fresh process (empty caches) asked to
+# analyze the delta's resulting set from scratch must emit the exact
+# report bytes the incremental splice produced above.
+printf '[%s,%s]\n' "$(task w 5 1)" "$(task x 7 1)" > "$workdir/fresh.jsonl"
+"$BIN" - --jobs 1 < "$workdir/fresh.jsonl" > "$workdir/fresh_out.jsonl" 2>/dev/null
+delta_report="$(sed -n '9p' "$workdir/out.jsonl" | sed 's/.*"report"://')"
+fresh_report="$(sed 's/.*"report"://' "$workdir/fresh_out.jsonl")"
+check "delta report bit-identical to a fresh analyze" \
+    test -n "$delta_report" -a "$delta_report" = "$fresh_report"
 
 if [ "$fail" -ne 0 ]; then
     echo "--- stdout ---" >&2

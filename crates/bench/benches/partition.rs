@@ -1,0 +1,57 @@
+//! Campaign-scale fleet partitioning: delta-backed vs fresh-per-probe.
+//!
+//! `first_fit_delta` vs `first_fit_fresh` is the tentpole comparison —
+//! identical decisions (pinned by `tests/partition_differential.rs`),
+//! but the delta engine answers each placement attempt against the
+//! candidate core's resident profiles (O(1) admit/evict splices) where
+//! the fresh engine rebuilds the core's three demand profiles from
+//! scratch on every probe. `worst_fit_budget` exercises the
+//! speedup-aware path: every probe sizes the candidate core exactly
+//! (Theorem 2 `s_min`) under a shared overclock budget.
+
+use rbs_bench::fleet_set;
+use rbs_bench::harness::Runner;
+use rbs_core::AnalysisLimits;
+use rbs_partition::{
+    partition_with_engine, Engine, Heuristic, Objective, PartitionSpec, PlatformCap,
+};
+use rbs_pool::WorkerPool;
+use rbs_timebase::Rational;
+
+fn main() {
+    let runner = Runner::new("partition");
+    let limits = AnalysisLimits::default();
+    let pool = WorkerPool::with_available_parallelism();
+
+    for size in [256usize, 4096] {
+        let set = fleet_set(size, 0xf1ee7 + size as u64);
+        // The fleet packs ~60 tasks per core, so first-fit drives every
+        // core close to full and late placements probe (and screen) many
+        // nearly-full candidates — the campaign-scale steady state. The
+        // divisor leaves ~1.5x headroom over the cores first-fit uses.
+        let cores = (set.len() / 40).max(2);
+        let cap = PlatformCap::new(cores, Rational::TWO);
+
+        let first_fit = PartitionSpec::new(cap, Heuristic::FirstFit);
+        for (engine, tag) in [(Engine::Delta, "delta"), (Engine::Fresh, "fresh")] {
+            runner.bench(&format!("partition/first_fit_{tag}/{size}"), || {
+                let outcome = partition_with_engine(&set, &first_fit, engine, &pool, &limits)
+                    .expect("partitioning completes");
+                assert!(outcome.is_fit(), "fixture must fit its fleet");
+                outcome.probes()
+            });
+        }
+
+        // An average budget of 1.25x per core binds without starving.
+        let budget = Rational::new(5 * cores as i128, 4);
+        let worst_fit = PartitionSpec::new(cap, Heuristic::WorstFit)
+            .with_objective(Objective::SharedBudget(budget));
+        runner.bench(&format!("partition/worst_fit_budget/{size}"), || {
+            let outcome = partition_with_engine(&set, &worst_fit, Engine::Delta, &pool, &limits)
+                .expect("partitioning completes");
+            outcome.probes()
+        });
+    }
+
+    runner.finish();
+}

@@ -8,7 +8,10 @@
 //! * `figures` — one benchmark per paper table/figure, regenerating a
 //!   scaled-down version of the corresponding experiment;
 //! * `simulation` — event-loop throughput of the variable-speed EDF
-//!   simulator under sustained and sporadic overruns.
+//!   simulator under sustained and sporadic overruns;
+//! * `net` — round-trip overhead of the TCP admission front-end;
+//! * `partition` — campaign-scale fleet bin-packing, delta-backed vs
+//!   fresh-per-probe.
 //!
 //! The suites are plain `harness = false` binaries driven by the
 //! dependency-free [`harness`] in this crate; shared fixtures live here so
@@ -68,6 +71,53 @@ pub fn synthetic_specs(size: usize, seed: u64) -> Vec<ImplicitTaskSpec> {
         assert!(!specs.is_empty(), "fixture became empty");
     }
     specs
+}
+
+/// A deterministic fleet-scale workload: `size` uniquely named tasks
+/// (40% HI with a halved LO deadline and doubled HI WCET, 60% LO
+/// terminated at the mode switch) drawn from an avionics-style harmonic
+/// period menu, each contributing 1/128 to 3/128 of a processor — so a
+/// core holds ~60 tasks and campaign-scale bin-packing probes many
+/// nearly-full candidates. The LO tasks are terminated because a
+/// continuing task with `D(HI) = D(LO)` adds a full unit to the sup
+/// ratio (its carry-over job can be due *at* the switch, eq. (7)), so
+/// `s_min` would grow with the per-core task count instead of the
+/// per-core load. Unlike [`synthetic_set`], the result is *not* shrunk
+/// to single-processor feasibility; it is meant for the multicore
+/// partitioner.
+#[must_use]
+pub fn fleet_set(size: usize, seed: u64) -> TaskSet {
+    // All menu entries are multiples of 128, so every WCET below lands
+    // on the integer grid and the resident profiles keep one stable
+    // timebase — admit/evict splices stay in place instead of rescaling.
+    const PERIOD_MENU: [i128; 10] = [256, 384, 512, 640, 768, 896, 1024, 1280, 1536, 1920];
+    let mut rng = rbs_rng::Rng::seed_from_u64(seed);
+    let tasks = (0..size)
+        .map(|id| {
+            let period =
+                Rational::integer(PERIOD_MENU[rng.gen_range_usize(0, PERIOD_MENU.len() - 1)]);
+            let wcet = period * Rational::new(rng.gen_range_i128(1, 3), 128);
+            if rng.gen_bool(0.4) {
+                Task::builder(format!("hi{id}"), Criticality::Hi)
+                    .period(period)
+                    .deadline_lo(period * Rational::new(1, 2))
+                    .deadline_hi(period)
+                    .wcet_lo(wcet)
+                    .wcet_hi(wcet * Rational::TWO)
+                    .build()
+                    .expect("fleet HI parameters satisfy eq. (1)")
+            } else {
+                Task::builder(format!("lo{id}"), Criticality::Lo)
+                    .period(period)
+                    .deadline(period)
+                    .wcet(wcet)
+                    .terminated()
+                    .build()
+                    .expect("fleet LO parameters satisfy eq. (2)")
+            }
+        })
+        .collect();
+    TaskSet::new(tasks)
 }
 
 fn prepare_or_shrink(specs: &[ImplicitTaskSpec]) -> TaskSet {

@@ -610,6 +610,21 @@ impl AnalysisScratch {
         buffer.clear();
         self.buffers.push(buffer);
     }
+
+    /// Runs `f` with this scratch's walk-kernel arena attached to the
+    /// calling thread, so every walk performed inside checks its lanes
+    /// out of the arena instead of allocating, and parks them back on
+    /// completion. This is the hook external drivers (the fleet
+    /// partitioner's per-worker probe loops, custom campaign runners)
+    /// use to get the same steady-state zero-allocation behavior as the
+    /// report entry points. If `f` unwinds, the scratch is left with an
+    /// empty arena (exactly as the report entry points leave it) and
+    /// warms back up on the next use.
+    pub fn with_arena<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let (arena, result) = crate::kernel::with_arena(std::mem::take(&mut self.arena), f);
+        self.arena = arena;
+        result
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,24 @@ use crate::resetting::ResettingAnalysis;
 use crate::speedup::SpeedupAnalysis;
 use crate::{AnalysisError, AnalysisLimits};
 
+thread_local! {
+    /// One-shot fault armed by [`DeltaAnalysis::arm_mid_splice_fault`]:
+    /// the next admit on this thread panics between its profile splices.
+    static MID_SPLICE_FAULT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Panics (once) if a mid-splice fault is armed on this thread — the
+/// injection point sits after the set mutation and the `DBF_LO` splice
+/// but before the `DBF_HI`/`ADB_HI` splices, the worst spot a real
+/// splice could bail: set and profiles disagree until the dirty guard
+/// heals them.
+fn mid_splice_fault_check() {
+    if MID_SPLICE_FAULT.with(std::cell::Cell::get) {
+        MID_SPLICE_FAULT.with(|flag| flag.set(false));
+        panic!("injected fault: admit bailed mid-splice");
+    }
+}
+
 /// A set mutation a [`DeltaAnalysis`] can apply — the in-memory form of
 /// the service's `{"delta": {"ops": [...]}}` wire entries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,9 +207,10 @@ pub struct DeltaAnalysis {
     /// The resetting-time staircase carried between queries (exactly
     /// [`Analysis`]' cache); dropped by every delta op.
     frontier: Option<ResetFrontier>,
-    /// Set while the profiles are lent to a query session and cleared on
-    /// orderly return; a panic mid-session leaves it set, and the next
-    /// use rebuilds the profiles from the (never-lent) set.
+    /// Set while the profiles are lent to a query session *or* while a
+    /// delta op is mid-splice, and cleared on orderly completion; a panic
+    /// in either window leaves it set, and the next use rebuilds the
+    /// profiles from the (never-lent, mutated-first) set.
     dirty: bool,
     integer_walks: u64,
     exact_walks: u64,
@@ -211,8 +230,8 @@ impl DeltaAnalysis {
         let lo = lo_profile(&set);
         let hi = hi_profile(&set);
         let arrival = hi_arrival_profile(&set);
-        let rebuilt = (lo.components().len() + hi.components().len() + arrival.components().len())
-            as u64;
+        let rebuilt =
+            (lo.components().len() + hi.components().len() + arrival.components().len()) as u64;
         DeltaAnalysis {
             limits: *limits,
             set,
@@ -268,6 +287,17 @@ impl DeltaAnalysis {
         }
     }
 
+    /// Arms a one-shot fault on the calling thread: the next
+    /// [`DeltaAnalysis::admit`] panics after the set mutation and the
+    /// `DBF_LO` splice but before the `DBF_HI`/`ADB_HI` splices. This is
+    /// the fault-injection hook behind the service's mid-splice poison
+    /// pill; the dirty guard must make the bailed context heal on its
+    /// next use (an evict of the half-admitted task restores the
+    /// original set bit-identically).
+    pub fn arm_mid_splice_fault() {
+        MID_SPLICE_FAULT.with(|flag| flag.set(true));
+    }
+
     /// Applies one [`DeltaOp`].
     ///
     /// # Errors
@@ -299,9 +329,16 @@ impl DeltaAnalysis {
         let hi_c = hi_component_of(&task);
         let arrival_c = arrival_component_of(&task);
         let hi_active = hi_c.is_some();
+        // Mid-splice guard: the set mutates before the three profile
+        // splices, so a panic anywhere in between (overflow in a splice,
+        // an injected fault) must not strand profiles that disagree with
+        // the set. With the flag raised, the next use — including the
+        // rollback evict — rebuilds all three profiles from the set.
+        self.dirty = true;
         self.set.push(task);
         let in_place = self.lo.append_component(lo_c);
         self.note_touched(Which::Lo, in_place, 1);
+        mid_splice_fault_check();
         if let (Some(hi_c), Some(arrival_c)) = (hi_c, arrival_c) {
             let in_place = self.hi.append_component(hi_c);
             self.note_touched(Which::Hi, in_place, 1);
@@ -313,6 +350,7 @@ impl DeltaAnalysis {
             self.note_untouched(Which::Arrival);
         }
         self.frontier = None;
+        self.dirty = false;
         Ok(())
     }
 
@@ -330,6 +368,7 @@ impl DeltaAnalysis {
         self.ensure_profiles();
         let rank = self.hi_rank(pos);
         let was_active = self.set[pos].params(Mode::Hi).is_some();
+        self.dirty = true;
         let task = self.set.remove(pos);
         let in_place = self.lo.remove_component(pos);
         self.note_touched(Which::Lo, in_place, 0);
@@ -343,6 +382,7 @@ impl DeltaAnalysis {
             self.note_untouched(Which::Arrival);
         }
         self.frontier = None;
+        self.dirty = false;
         Ok(task)
     }
 
@@ -372,6 +412,7 @@ impl DeltaAnalysis {
         let lo_c = lo_component_of(&task);
         let hi_c = hi_component_of(&task);
         let arrival_c = arrival_component_of(&task);
+        self.dirty = true;
         let old = self.set.replace(pos, task);
         let in_place = self.lo.replace_component(pos, lo_c);
         self.note_touched(Which::Lo, in_place, 1);
@@ -401,6 +442,7 @@ impl DeltaAnalysis {
             _ => unreachable!("hi/arrival activity always agrees"),
         }
         self.frontier = None;
+        self.dirty = false;
         Ok(old)
     }
 
@@ -711,7 +753,10 @@ mod tests {
         assert_eq!(counts.patched, before.patched + 3);
         // One new component per profile; every old component reused.
         assert_eq!(counts.rebuilt_components, before.rebuilt_components + 3);
-        assert_eq!(counts.reused_components, before.reused_components + 2 + 2 + 2);
+        assert_eq!(
+            counts.reused_components,
+            before.reused_components + 2 + 2 + 2
+        );
     }
 
     #[test]
@@ -751,6 +796,37 @@ mod tests {
         // exactly like a fresh context.
         assert_matches_fresh(&mut delta);
         delta.admit(lo_task("late", 8, 1)).expect("admit");
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn admit_bailing_mid_splice_still_rolls_back_by_evict() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        let baseline = delta.minimum_speedup().expect("ok");
+
+        // The admit panics after the set mutation and the DBF_LO splice
+        // but before the DBF_HI/ADB_HI splices — the worst interleaving
+        // a real splice bail could produce.
+        DeltaAnalysis::arm_mid_splice_fault();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            delta
+                .admit(hi_task("probe", 7, 3, 2, 3))
+                .expect("unreached");
+        }));
+        assert!(result.is_err(), "the armed fault must fire");
+
+        // The half-admitted task is in the set; the dirty guard makes the
+        // rollback evict heal the profiles first, then remove it — the
+        // probe-then-rollback invariant the partitioner relies on.
+        assert!(delta.set().by_name("probe").is_some());
+        delta.evict("probe").expect("rollback evict");
+        assert_matches_fresh(&mut delta);
+        assert_eq!(delta.minimum_speedup().expect("ok"), baseline);
+
+        // And the context is fully usable afterwards: the same admit,
+        // unarmed, completes and matches a fresh analysis.
+        delta.admit(hi_task("probe", 7, 3, 2, 3)).expect("admit");
         assert_matches_fresh(&mut delta);
     }
 

@@ -423,10 +423,7 @@ impl NarrowHeadroom {
     /// of a retraction, once the caller has recomputed the surviving
     /// maximum.
     pub(crate) fn with_period_max(self, period_max: i128) -> NarrowHeadroom {
-        NarrowHeadroom {
-            period_max,
-            ..self
-        }
+        NarrowHeadroom { period_max, ..self }
     }
 
     /// Proves that a walk over the folded components driven for at most

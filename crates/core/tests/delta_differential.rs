@@ -10,8 +10,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use rbs_core::{
-    analyze, run_delta, Analysis, AnalysisError, AnalysisLimits, DeltaAnalysis, DeltaOp,
-    WalkCounts,
+    analyze, run_delta, Analysis, AnalysisError, AnalysisLimits, DeltaAnalysis, DeltaOp, WalkCounts,
 };
 use rbs_model::{Criticality, Task, TaskSet};
 use rbs_rng::Rng;
@@ -75,7 +74,11 @@ fn arb_task(rng: &mut Rng, name: &str) -> Task {
 /// context of the same set, asserting bit-identical results (values and
 /// errors), and returns the fresh context's walk counters so callers
 /// can pin walk *outcomes*, not just answers.
-fn assert_checkpoint(delta: &mut DeltaAnalysis, limits: &AnalysisLimits, label: &str) -> WalkCounts {
+fn assert_checkpoint(
+    delta: &mut DeltaAnalysis,
+    limits: &AnalysisLimits,
+    label: &str,
+) -> WalkCounts {
     let set = delta.set().clone();
     let ctx = Analysis::new(&set, limits);
     assert_eq!(
@@ -301,18 +304,24 @@ fn expired_deadlines_error_identically_after_deltas() {
 
     // A generous deadline changes nothing: results match the
     // deadline-free analysis bit for bit.
-    let generous = AnalysisLimits::default().with_deadline(Instant::now() + Duration::from_secs(3600));
+    let generous =
+        AnalysisLimits::default().with_deadline(Instant::now() + Duration::from_secs(3600));
     let mut timed = DeltaAnalysis::new(grown.clone(), &generous);
     let mut untimed = DeltaAnalysis::new(grown, &AnalysisLimits::default());
     assert_eq!(timed.minimum_speedup(), untimed.minimum_speedup());
-    assert_eq!(timed.resetting_time(Rational::TWO), untimed.resetting_time(Rational::TWO));
+    assert_eq!(
+        timed.resetting_time(Rational::TWO),
+        untimed.resetting_time(Rational::TWO)
+    );
 }
 
 #[test]
 fn a_panicking_query_session_heals_back_to_bit_identity() {
     let mut rng = Rng::seed_from_u64(0xde17_a003);
     let limits = AnalysisLimits::default();
-    let base: Vec<Task> = (0..3).map(|i| arb_task(&mut rng, &format!("t{i}"))).collect();
+    let base: Vec<Task> = (0..3)
+        .map(|i| arb_task(&mut rng, &format!("t{i}")))
+        .collect();
     let mut delta = DeltaAnalysis::new(TaskSet::new(base), &limits);
     let _ = delta.minimum_speedup().expect("completes");
 

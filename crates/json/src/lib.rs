@@ -730,13 +730,13 @@ mod tests {
     #[test]
     fn lone_surrogates_error_instead_of_panicking() {
         for bad in [
-            r#""\ud800""#,        // high surrogate at end of string
-            r#""\ud800x""#,       // high surrogate followed by a plain char
-            r#""\ud800\n""#,      // high surrogate followed by a non-\u escape
-            r#""\ud800A""#,  // high surrogate paired with a non-surrogate
-            r#""\ud800\ud800""#,  // two high surrogates
-            r#""\udc00""#,        // unpaired low surrogate
-            r#""\ud8"#,           // truncated inside the hex digits
+            r#""\ud800""#,       // high surrogate at end of string
+            r#""\ud800x""#,      // high surrogate followed by a plain char
+            r#""\ud800\n""#,     // high surrogate followed by a non-\u escape
+            r#""\ud800A""#,      // high surrogate paired with a non-surrogate
+            r#""\ud800\ud800""#, // two high surrogates
+            r#""\udc00""#,       // unpaired low surrogate
+            r#""\ud8"#,          // truncated inside the hex digits
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

@@ -133,6 +133,29 @@ impl CanonicalTaskSet {
         CanonicalTaskSet { bytes, hash }
     }
 
+    /// The canonical form of a partition request: the parameter-sorted
+    /// task set plus an opaque `detail` blob encoding the placement spec
+    /// (cores, speedup cap, heuristic, objective — rendered by the
+    /// partitioning crate, which owns those types). Domain-prefixed so
+    /// it can never collide with a plain task-set or sweep form; task
+    /// order never affects a placement result (the partitioner sorts by
+    /// utilization internally), so permuted sets canonicalize
+    /// identically.
+    #[must_use]
+    pub fn of_partition(set: &TaskSet, detail: &[u8]) -> CanonicalTaskSet {
+        let mut tasks: Vec<&Task> = set.iter().collect();
+        tasks.sort_by(|a, b| task_order(a, b));
+        let mut bytes = Vec::with_capacity(tasks.len() * 64 + detail.len() + 16);
+        bytes.extend_from_slice(b"partition");
+        bytes.extend_from_slice(detail);
+        bytes.push(b'|');
+        for task in tasks {
+            encode_task(task, &mut bytes);
+        }
+        let hash = fnv1a64(&bytes);
+        CanonicalTaskSet { bytes, hash }
+    }
+
     /// The canonical byte string. Equal bytes ⇔ same canonical set.
     #[must_use]
     pub fn bytes(&self) -> &[u8] {
@@ -295,6 +318,27 @@ mod tests {
             .terminated()
             .expect("LO task terminates")]);
         assert_ne!(CanonicalTaskSet::of(&keep), CanonicalTaskSet::of(&term));
+    }
+
+    #[test]
+    fn partition_domain_is_disjoint_and_order_independent() {
+        let a = lo_task("a", 10, 2);
+        let b = hi_task("b", 6, 3, 1, 2);
+        let forward = TaskSet::new(vec![a.clone(), b.clone()]);
+        let reversed = TaskSet::new(vec![b, a]);
+        let detail = b"cores 4|cap 2/1|h ff|obj cap";
+        assert_eq!(
+            CanonicalTaskSet::of_partition(&forward, detail),
+            CanonicalTaskSet::of_partition(&reversed, detail)
+        );
+        assert_ne!(
+            CanonicalTaskSet::of_partition(&forward, detail),
+            CanonicalTaskSet::of(&forward)
+        );
+        assert_ne!(
+            CanonicalTaskSet::of_partition(&forward, detail),
+            CanonicalTaskSet::of_partition(&forward, b"cores 5|cap 2/1|h ff|obj cap")
+        );
     }
 
     #[test]

@@ -38,8 +38,7 @@ fn truncated_line_cut_at_a_cr_never_leaks_its_prefix() {
             ..ServiceConfig::default()
         },
     );
-    let server =
-        Server::bind("127.0.0.1:0", service, NetConfig::default(), |_| {}).expect("binds");
+    let server = Server::bind("127.0.0.1:0", service, NetConfig::default(), |_| {}).expect("binds");
 
     // Both lines arrive in one write so the framer sees the cut and the
     // healthy line in the same read.

@@ -16,6 +16,50 @@
 //! exact acceptance tests and reports each core's individual minimum
 //! speedup, so a deployment can set per-core DVFS levels.
 //!
+//! # Delta-backed placement
+//!
+//! Placement attempts dominate the cost of bin-packing: first-fit over
+//! `C` cores runs up to `C` acceptance tests per task, and a fresh
+//! [`Analysis`] per attempt rebuilds the candidate core's three demand
+//! profiles from scratch every time. The partitioner instead keeps one
+//! resident [`DeltaAnalysis`] per core: a placement attempt is an O(1)
+//! admit splice followed by the exact acceptance walks, and a rejected
+//! attempt is rolled back by an evict splice. Decisions are
+//! bit-identical to the fresh-per-attempt reference (kept available as
+//! [`Engine::Fresh`] and pinned — verdicts *and* examined-walk counts —
+//! by `tests/partition_differential.rs`).
+//!
+//! Two further cost levers, applied identically by both engines so they
+//! stay mutually bit-identical:
+//!
+//! * **Utilization screen.** `sup_Δ DBF(Δ)/Δ` is at least the demand
+//!   rate `Σ C/T`, so a candidate core whose LO utilization would
+//!   exceed 1 (or whose HI utilization would exceed the speedup cap)
+//!   is rejected without walking a single breakpoint. On a saturating
+//!   fleet almost every probe of a full core is screened.
+//! * **Sorted probing.** Best-fit ranks candidate cores by decreasing
+//!   (worst-fit: increasing) HI utilization and probes in that order,
+//!   so the first accepting core *is* the heuristic's choice — no need
+//!   to probe every core and select afterwards.
+//!
+//! Fleet sizing (each core's exact Theorem 2 `s_min`) fans out over a
+//! [`WorkerPool`] with per-worker [`AnalysisScratch`] buffers and walk
+//! arenas; results are collected by core index, so the worker count
+//! never changes the outcome.
+//!
+//! # Objectives
+//!
+//! Beyond the classic feasibility-only packing ([`Objective::CapOnly`]),
+//! two speedup-aware objectives size each probe with the exact `s_min`:
+//!
+//! * [`Objective::MinMaxSpeedup`] places every task on the accepting
+//!   core whose resulting `s_min` is smallest, greedily minimizing the
+//!   fleet's maximum per-core DVFS level.
+//! * [`Objective::SharedBudget`] admits a placement only while the sum
+//!   of `max(s_min, 1)` over non-empty cores stays within a shared
+//!   overclock budget — the "how much total boost can the power rail
+//!   deliver" deployment constraint.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,13 +94,14 @@
 #![warn(missing_docs)]
 
 pub mod fleet;
+pub mod wire;
 
-use rbs_core::dbf::hi_profile;
-use rbs_core::demand::{sup_ratio_many, DemandProfile, SupRatio};
-use rbs_core::lo_mode::is_lo_schedulable;
-use rbs_core::speedup::{is_hi_schedulable, SpeedupBound};
-use rbs_core::{AnalysisError, AnalysisLimits};
+use rbs_core::speedup::SpeedupBound;
+use rbs_core::{
+    Analysis, AnalysisError, AnalysisLimits, AnalysisScratch, DeltaAnalysis, WalkCounts,
+};
 use rbs_model::{Mode, Task, TaskSet};
+use rbs_pool::WorkerPool;
 use rbs_timebase::Rational;
 
 /// The platform: number of cores and the per-core speedup cap.
@@ -109,6 +154,85 @@ pub enum Heuristic {
     WorstFit,
 }
 
+/// What a placement must optimize or respect beyond per-core
+/// feasibility at the speedup cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Objective {
+    /// Classic feasibility packing: accept any core that passes the LO
+    /// test and the HI decision at the cap; choose per the heuristic.
+    CapOnly,
+    /// Among accepting cores, place on the one whose resulting exact
+    /// `s_min` is smallest (ties broken by the heuristic's probe
+    /// order), greedily minimizing the fleet's maximum per-core DVFS
+    /// level. Every probe sizes the candidate core exactly.
+    MinMaxSpeedup,
+    /// Admit a placement only while `Σ max(s_min, 1)` over non-empty
+    /// cores stays within this shared overclock budget (each core still
+    /// individually within the cap); among admissible cores, choose per
+    /// the heuristic.
+    SharedBudget(Rational),
+}
+
+/// A full placement request: platform, heuristic and objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    cap: PlatformCap,
+    heuristic: Heuristic,
+    objective: Objective,
+}
+
+impl PartitionSpec {
+    /// A spec with the classic [`Objective::CapOnly`] objective.
+    #[must_use]
+    pub fn new(cap: PlatformCap, heuristic: Heuristic) -> PartitionSpec {
+        PartitionSpec {
+            cap,
+            heuristic,
+            objective: Objective::CapOnly,
+        }
+    }
+
+    /// Replaces the objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> PartitionSpec {
+        self.objective = objective;
+        self
+    }
+
+    /// The platform.
+    #[must_use]
+    pub fn cap(&self) -> PlatformCap {
+        self.cap
+    }
+
+    /// The placement heuristic.
+    #[must_use]
+    pub fn heuristic(&self) -> Heuristic {
+        self.heuristic
+    }
+
+    /// The placement objective.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+}
+
+/// Which probe implementation drives the partitioner. Both engines make
+/// bit-identical decisions and run bit-identical acceptance walks; they
+/// differ only in how the candidate core's demand profiles come to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// One resident [`DeltaAnalysis`] per core: a placement attempt is
+    /// an O(1) admit splice, a rejection an evict splice. The default.
+    Delta,
+    /// A fresh [`Analysis`] (full profile build) per placement attempt —
+    /// the pre-delta reference implementation, kept as the differential
+    /// and benchmark baseline.
+    Fresh,
+}
+
 /// A successful partitioning.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
@@ -149,77 +273,549 @@ impl Partition {
     }
 }
 
+/// Everything one partitioning run produced: the placement (when every
+/// task landed), the first task that could not be placed otherwise, and
+/// the run's cost counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionOutcome {
+    partition: Option<Partition>,
+    unplaced: Option<String>,
+    walks: WalkCounts,
+    probes: u64,
+    screened: u64,
+}
+
+impl PartitionOutcome {
+    /// The placement, when every task found a core.
+    #[must_use]
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// Consumes the outcome into its placement.
+    #[must_use]
+    pub fn into_partition(self) -> Option<Partition> {
+        self.partition
+    }
+
+    /// The first task the heuristic could not place — the fleet must
+    /// shed it (or grow the platform); `None` when everything fits.
+    #[must_use]
+    pub fn unplaced(&self) -> Option<&str> {
+        self.unplaced.as_deref()
+    }
+
+    /// Whether every task was placed.
+    #[must_use]
+    pub fn is_fit(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Aggregate walk counters across every probe and the sizing pass —
+    /// the observability block the service surfaces per request.
+    #[must_use]
+    pub fn walks(&self) -> WalkCounts {
+        self.walks
+    }
+
+    /// Placement attempts that ran acceptance walks.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Placement attempts rejected by the utilization screen without
+    /// walking.
+    #[must_use]
+    pub fn screened(&self) -> u64 {
+        self.screened
+    }
+}
+
 /// Partitions `set` onto the platform, or returns `Ok(None)` when the
 /// heuristic cannot place every task.
 ///
 /// Tasks are placed in decreasing HI-mode utilization order; each
 /// placement is validated with the exact LO-mode test and the exact
-/// HI-mode decision at the platform's speedup cap.
+/// HI-mode decision at the platform's speedup cap, probed against the
+/// core's resident [`DeltaAnalysis`]. This is the single-threaded
+/// [`Objective::CapOnly`] convenience form of [`partition_with`].
 ///
 /// # Errors
 ///
 /// Propagates exact-analysis errors.
+///
+/// # Panics
+///
+/// Panics if two tasks share a name (placement is tracked by name).
 pub fn partition(
     set: &TaskSet,
     cap: PlatformCap,
     heuristic: Heuristic,
     limits: &AnalysisLimits,
 ) -> Result<Option<Partition>, AnalysisError> {
+    let spec = PartitionSpec::new(cap, heuristic);
+    let pool = WorkerPool::new(1);
+    partition_with(set, &spec, &pool, limits).map(PartitionOutcome::into_partition)
+}
+
+/// Partitions `set` per `spec` with the delta-backed engine, sizing
+/// cores in parallel over `pool`.
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+///
+/// # Panics
+///
+/// Panics if two tasks share a name (placement is tracked by name).
+pub fn partition_with(
+    set: &TaskSet,
+    spec: &PartitionSpec,
+    pool: &WorkerPool,
+    limits: &AnalysisLimits,
+) -> Result<PartitionOutcome, AnalysisError> {
+    partition_with_engine(set, spec, Engine::Delta, pool, limits)
+}
+
+/// [`partition_with`] with an explicit probe engine — the entry point
+/// the differential suite and the benchmark baseline drive.
+///
+/// # Errors
+///
+/// Propagates exact-analysis errors.
+///
+/// # Panics
+///
+/// Panics if two tasks share a name (placement is tracked by name).
+pub fn partition_with_engine(
+    set: &TaskSet,
+    spec: &PartitionSpec,
+    engine: Engine,
+    pool: &WorkerPool,
+    limits: &AnalysisLimits,
+) -> Result<PartitionOutcome, AnalysisError> {
+    assert_unique_names(set);
+    let order = placement_order(set);
+    let mut cores: Vec<CoreState> = (0..spec.cap.cores)
+        .map(|_| CoreState::new(engine, limits))
+        .collect();
+    let mut scratch = AnalysisScratch::new();
+    let mut tally = Tally::default();
+    let mut budget_used = Rational::ZERO;
+    let mut scan: Vec<usize> = Vec::with_capacity(cores.len());
+
+    for task in order {
+        probe_order(spec.heuristic, &cores, &mut scan);
+        let placed = place_task(
+            &mut cores,
+            &scan,
+            task,
+            spec,
+            limits,
+            &mut scratch,
+            &mut budget_used,
+            &mut tally,
+        )?;
+        if placed.is_none() {
+            let mut walks = WalkCounts::default();
+            for core in &cores {
+                absorb(&mut walks, core.counts());
+            }
+            return Ok(PartitionOutcome {
+                partition: None,
+                unplaced: Some(task.name().to_owned()),
+                walks,
+                probes: tally.probes,
+                screened: tally.screened,
+            });
+        }
+    }
+
+    // Fleet sizing: one exact Theorem 2 query per core, fanned out over
+    // the pool with per-worker scratch buffers and walk arenas. Cores
+    // already sized by a speedup-aware accepting probe reuse that bound.
+    let sized = pool.run_ordered_scoped(
+        cores,
+        AnalysisScratch::new,
+        |scratch,
+         _,
+         mut core: CoreState|
+         -> Result<(TaskSet, SpeedupBound, WalkCounts), AnalysisError> {
+            let bound = match core.sized {
+                Some(bound) => bound,
+                None if core.len == 0 => SpeedupBound::Finite(Rational::ZERO),
+                None => core.size(limits, scratch)?,
+            };
+            let counts = core.counts();
+            Ok((core.into_set(), bound, counts))
+        },
+    );
+
+    let mut core_sets = Vec::with_capacity(spec.cap.cores);
+    let mut speedups = Vec::with_capacity(spec.cap.cores);
+    let mut walks = WalkCounts::default();
+    for slot in sized {
+        let (core_set, bound, counts) = slot?;
+        core_sets.push(core_set);
+        speedups.push(bound);
+        absorb(&mut walks, counts);
+    }
+    Ok(PartitionOutcome {
+        partition: Some(Partition {
+            cores: core_sets,
+            speedups,
+        }),
+        unplaced: None,
+        walks,
+        probes: tally.probes,
+        screened: tally.screened,
+    })
+}
+
+/// Placement tracks tasks by name (the delta rollback is an evict by
+/// name), so names must be unique.
+fn assert_unique_names(set: &TaskSet) {
+    let mut names: Vec<&str> = set.iter().map(Task::name).collect();
+    names.sort_unstable();
+    for pair in names.windows(2) {
+        assert!(
+            pair[0] != pair[1],
+            "partition requires unique task names; '{}' appears twice",
+            pair[0]
+        );
+    }
+}
+
+/// Decreasing HI-mode utilization, names breaking ties — the classic
+/// "decreasing" packing order, stable across input permutations.
+fn placement_order(set: &TaskSet) -> Vec<&Task> {
     let mut order: Vec<&Task> = set.iter().collect();
     order.sort_by(|a, b| {
         b.utilization(Mode::Hi)
             .cmp(&a.utilization(Mode::Hi))
             .then_with(|| a.name().cmp(b.name()))
     });
+    order
+}
 
-    let mut cores: Vec<Vec<Task>> = vec![Vec::new(); cap.cores];
-    for task in order {
-        let mut candidates: Vec<usize> = Vec::new();
-        for (i, core) in cores.iter().enumerate() {
-            let mut trial: Vec<Task> = core.clone();
-            trial.push(task.clone());
-            let trial_set = TaskSet::new(trial);
-            if is_lo_schedulable(&trial_set, limits)?
-                && is_hi_schedulable(&trial_set, cap.max_speedup, limits)?
-            {
-                candidates.push(i);
-                if heuristic == Heuristic::FirstFit {
-                    break;
+/// The order cores are probed in, chosen so the *first* accepting core
+/// is exactly the heuristic's selection: best-fit probes in decreasing
+/// utilization (highest index first among ties, matching `max_by_key`
+/// over an index-ordered candidate list), worst-fit in increasing
+/// (lowest index first among ties, matching `min_by_key`).
+fn probe_order(heuristic: Heuristic, cores: &[CoreState], scan: &mut Vec<usize>) {
+    scan.clear();
+    scan.extend(0..cores.len());
+    match heuristic {
+        Heuristic::FirstFit => {}
+        Heuristic::BestFit => {
+            scan.sort_by(|&a, &b| cores[b].u_hi.cmp(&cores[a].u_hi).then_with(|| b.cmp(&a)));
+        }
+        Heuristic::WorstFit => {
+            scan.sort_by(|&a, &b| cores[a].u_hi.cmp(&cores[b].u_hi).then_with(|| a.cmp(&b)));
+        }
+    }
+}
+
+/// Probe/screen counters for one partitioning run.
+#[derive(Debug, Default)]
+struct Tally {
+    probes: u64,
+    screened: u64,
+}
+
+/// Tries every core in `scan` order and commits `task` to the chosen
+/// one; returns the core index, or `None` when no core admits the task.
+#[allow(clippy::too_many_arguments)]
+fn place_task(
+    cores: &mut [CoreState],
+    scan: &[usize],
+    task: &Task,
+    spec: &PartitionSpec,
+    limits: &AnalysisLimits,
+    scratch: &mut AnalysisScratch,
+    budget_used: &mut Rational,
+    tally: &mut Tally,
+) -> Result<Option<usize>, AnalysisError> {
+    let cap = spec.cap.max_speedup;
+    let u_lo = task.utilization(Mode::Lo);
+    let u_hi = task.utilization(Mode::Hi);
+
+    match spec.objective {
+        Objective::CapOnly => {
+            for &i in scan {
+                let core = &mut cores[i];
+                if core.screens(u_lo, u_hi, cap) {
+                    tally.screened += 1;
+                    continue;
+                }
+                tally.probes += 1;
+                core.tentative(task);
+                match core.query_fits(cap, limits, scratch) {
+                    Ok(true) => {
+                        core.commit(u_lo, u_hi, None);
+                        return Ok(Some(i));
+                    }
+                    Ok(false) => core.rollback(task.name()),
+                    Err(error) => {
+                        core.rollback(task.name());
+                        return Err(error);
+                    }
                 }
             }
+            Ok(None)
         }
-        let chosen = match heuristic {
-            Heuristic::FirstFit => candidates.first().copied(),
-            Heuristic::BestFit => candidates
-                .iter()
-                .copied()
-                .max_by_key(|&i| TaskSet::new(cores[i].clone()).utilization(Mode::Hi)),
-            Heuristic::WorstFit => candidates
-                .iter()
-                .copied()
-                .min_by_key(|&i| TaskSet::new(cores[i].clone()).utilization(Mode::Hi)),
+        Objective::MinMaxSpeedup => {
+            // Every admissible core is sized exactly; the placement is
+            // the argmin of the resulting s_min, ties broken by probe
+            // order. Probes are rolled back and the winner re-admitted —
+            // pure splices, no extra walks.
+            let mut best: Option<(Rational, usize)> = None;
+            for &i in scan {
+                let core = &mut cores[i];
+                if core.screens(u_lo, u_hi, cap) {
+                    tally.screened += 1;
+                    continue;
+                }
+                tally.probes += 1;
+                core.tentative(task);
+                let answer = core.query_speedup(limits, scratch);
+                core.rollback(task.name());
+                if let Some(SpeedupBound::Finite(s)) = answer? {
+                    if s <= cap && best.is_none_or(|(b, _)| s < b) {
+                        best = Some((s, i));
+                    }
+                }
+            }
+            Ok(best.map(|(s, i)| {
+                cores[i].tentative(task);
+                cores[i].commit(u_lo, u_hi, Some(SpeedupBound::Finite(s)));
+                i
+            }))
+        }
+        Objective::SharedBudget(budget) => {
+            for &i in scan {
+                let core = &mut cores[i];
+                if core.screens(u_lo, u_hi, cap) {
+                    tally.screened += 1;
+                    continue;
+                }
+                tally.probes += 1;
+                core.tentative(task);
+                let answer = match core.query_speedup(limits, scratch) {
+                    Ok(answer) => answer,
+                    Err(error) => {
+                        core.rollback(task.name());
+                        return Err(error);
+                    }
+                };
+                if let Some(SpeedupBound::Finite(s)) = answer {
+                    // A non-empty core is charged max(s_min, 1): it runs
+                    // at nominal speed at minimum, and only its excess
+                    // above 1 draws on the shared overclock headroom.
+                    let contrib = s.max(Rational::ONE);
+                    if s <= cap && *budget_used - core.contrib + contrib <= budget {
+                        *budget_used = *budget_used - core.contrib + contrib;
+                        core.contrib = contrib;
+                        core.commit(u_lo, u_hi, Some(SpeedupBound::Finite(s)));
+                        return Ok(Some(i));
+                    }
+                }
+                core.rollback(task.name());
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// One candidate core: its probe backend plus the incrementally
+/// maintained exact utilization sums driving the screen and the
+/// best/worst-fit keys.
+#[derive(Debug)]
+struct CoreState {
+    back: CoreBack,
+    u_lo: Rational,
+    u_hi: Rational,
+    len: usize,
+    /// `s_min` of the current content when the accepting probe computed
+    /// it (speedup-aware objectives); `None` means the sizing pass must
+    /// walk it.
+    sized: Option<SpeedupBound>,
+    /// Current charge against a shared overclock budget (zero while
+    /// empty).
+    contrib: Rational,
+}
+
+impl CoreState {
+    fn new(engine: Engine, limits: &AnalysisLimits) -> CoreState {
+        let back = match engine {
+            Engine::Delta => CoreBack::Delta(Box::new(DeltaAnalysis::new(
+                TaskSet::new(Vec::new()),
+                limits,
+            ))),
+            Engine::Fresh => CoreBack::Fresh {
+                tasks: Vec::new(),
+                walks: WalkCounts::default(),
+            },
         };
-        match chosen {
-            Some(i) => cores[i].push(task.clone()),
-            None => return Ok(None),
+        CoreState {
+            back,
+            u_lo: Rational::ZERO,
+            u_hi: Rational::ZERO,
+            len: 0,
+            sized: None,
+            contrib: Rational::ZERO,
         }
     }
 
-    let cores: Vec<TaskSet> = cores.into_iter().map(TaskSet::new).collect();
-    // Fleet sizing: one Theorem 2 walk per core, all driven in lockstep
-    // over the integer fast path — bit-identical to calling
-    // `minimum_speedup` core by core.
-    let profiles: Vec<DemandProfile> = cores.iter().map(hi_profile).collect();
-    let profile_refs: Vec<&DemandProfile> = profiles.iter().collect();
-    let mut speedups = Vec::with_capacity(cores.len());
-    for result in sup_ratio_many(&profile_refs, limits) {
-        let (sup, _) = result?;
-        speedups.push(match sup {
-            SupRatio::Finite { value, .. } => SpeedupBound::Finite(value),
-            SupRatio::Unbounded => SpeedupBound::Unbounded,
-        });
+    /// The sound no-walk rejection: `sup_Δ DBF(Δ)/Δ ≥ Σ C/T` (the demand
+    /// rate is the walk's limit as `Δ → ∞`), so a trial set whose LO
+    /// utilization exceeds 1 fails the LO test, and one whose HI
+    /// utilization exceeds the cap fails the HI decision at the cap —
+    /// and, a fortiori, has `s_min` above the cap. Equality is *not*
+    /// screened: utilization exactly 1 can still be schedulable.
+    fn screens(&self, task_u_lo: Rational, task_u_hi: Rational, cap: Rational) -> bool {
+        self.u_lo + task_u_lo > Rational::ONE || self.u_hi + task_u_hi > cap
     }
-    Ok(Some(Partition { cores, speedups }))
+
+    /// Tentatively places `task`: a delta admit splice (or a trial push).
+    /// Follow with [`CoreState::commit`] or [`CoreState::rollback`].
+    fn tentative(&mut self, task: &Task) {
+        match &mut self.back {
+            CoreBack::Delta(delta) => delta
+                .admit(task.clone())
+                .expect("placement admits each unique name once"),
+            CoreBack::Fresh { tasks, .. } => tasks.push(task.clone()),
+        }
+    }
+
+    /// Keeps the tentatively placed task and updates the running sums.
+    fn commit(&mut self, task_u_lo: Rational, task_u_hi: Rational, sized: Option<SpeedupBound>) {
+        self.u_lo += task_u_lo;
+        self.u_hi += task_u_hi;
+        self.len += 1;
+        self.sized = sized;
+    }
+
+    /// Rolls a rejected placement back: the delta evict restores the
+    /// resident profiles bit-identically (even after a mid-splice bail —
+    /// the dirty guard rebuilds from the set first).
+    fn rollback(&mut self, name: &str) {
+        match &mut self.back {
+            CoreBack::Delta(delta) => {
+                delta.evict(name).expect("rolling back the probed task");
+            }
+            CoreBack::Fresh { tasks, .. } => {
+                tasks.pop();
+            }
+        }
+    }
+
+    /// The [`Objective::CapOnly`] acceptance probe: LO test, then (only
+    /// if it passes) the HI decision at the cap.
+    fn query_fits(
+        &mut self,
+        cap: Rational,
+        limits: &AnalysisLimits,
+        scratch: &mut AnalysisScratch,
+    ) -> Result<bool, AnalysisError> {
+        self.back.query(limits, scratch, |ctx| {
+            Ok(ctx.is_lo_schedulable()? && ctx.is_hi_schedulable(cap)?)
+        })
+    }
+
+    /// The speedup-aware acceptance probe: LO test, then the exact
+    /// `s_min`; `None` when LO mode already fails.
+    fn query_speedup(
+        &mut self,
+        limits: &AnalysisLimits,
+        scratch: &mut AnalysisScratch,
+    ) -> Result<Option<SpeedupBound>, AnalysisError> {
+        self.back.query(limits, scratch, |ctx| {
+            if !ctx.is_lo_schedulable()? {
+                return Ok(None);
+            }
+            Ok(Some(ctx.minimum_speedup()?.bound()))
+        })
+    }
+
+    /// Sizes the core's current content (Theorem 2's exact `s_min`).
+    fn size(
+        &mut self,
+        limits: &AnalysisLimits,
+        scratch: &mut AnalysisScratch,
+    ) -> Result<SpeedupBound, AnalysisError> {
+        self.back
+            .query(limits, scratch, |ctx| Ok(ctx.minimum_speedup()?.bound()))
+    }
+
+    /// Cumulative walk counters for this core, probes and rollbacks
+    /// included.
+    fn counts(&self) -> WalkCounts {
+        match &self.back {
+            CoreBack::Delta(delta) => delta.walk_counts(),
+            CoreBack::Fresh { walks, .. } => *walks,
+        }
+    }
+
+    /// The core's final task set.
+    fn into_set(self) -> TaskSet {
+        match self.back {
+            CoreBack::Delta(delta) => delta.into_set(),
+            CoreBack::Fresh { tasks, .. } => TaskSet::new(tasks),
+        }
+    }
+}
+
+/// The probe backend of one core.
+#[derive(Debug)]
+enum CoreBack {
+    /// Resident incremental context; Boxed so empty cores stay small.
+    Delta(Box<DeltaAnalysis>),
+    /// Fresh-per-attempt reference: the placed tasks plus the walk
+    /// counters absorbed from each throwaway context.
+    Fresh { tasks: Vec<Task>, walks: WalkCounts },
+}
+
+impl CoreBack {
+    /// Runs `f` against an analysis context of the core's current
+    /// content — the resident delta profiles, or a freshly built
+    /// context — with the scratch's walk arena attached either way, so
+    /// steady-state probes allocate nothing.
+    fn query<R>(
+        &mut self,
+        limits: &AnalysisLimits,
+        scratch: &mut AnalysisScratch,
+        f: impl Fn(&Analysis<'_>) -> Result<R, AnalysisError>,
+    ) -> Result<R, AnalysisError> {
+        match self {
+            CoreBack::Delta(delta) => scratch.with_arena(|| delta.with_analysis(|ctx| f(ctx))),
+            CoreBack::Fresh { tasks, walks } => {
+                // Deliberately the un-amortized reference: a cloned set
+                // and a cold `Analysis` per probe, exactly what
+                // re-running the uniprocessor analysis from scratch on
+                // every placement attempt costs.
+                let set = TaskSet::new(tasks.clone());
+                let ctx = Analysis::new(&set, limits);
+                let result = f(&ctx);
+                absorb(walks, ctx.walk_counts());
+                result
+            }
+        }
+    }
+}
+
+/// Accumulates walk counters (all eight fields).
+fn absorb(into: &mut WalkCounts, from: WalkCounts) {
+    into.integer += from.integer;
+    into.exact += from.exact;
+    into.pruned += from.pruned;
+    into.avoided += from.avoided;
+    into.reused_components += from.reused_components;
+    into.rebuilt_components += from.rebuilt_components;
+    into.lockstep += from.lockstep;
+    into.patched += from.patched;
 }
 
 #[cfg(test)]
@@ -292,7 +888,7 @@ mod tests {
                 if core.is_empty() {
                     continue;
                 }
-                assert!(is_lo_schedulable(core, &limits).expect("ok"));
+                assert!(rbs_core::lo_mode::is_lo_schedulable(core, &limits).expect("ok"));
                 match bound {
                     SpeedupBound::Finite(s) => assert!(*s <= Rational::TWO, "core needs {s}"),
                     SpeedupBound::Unbounded => panic!("accepted core unbounded"),
@@ -384,5 +980,103 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         let _ = PlatformCap::new(0, Rational::TWO);
+    }
+
+    #[test]
+    fn outcome_reports_the_unplaced_task_and_probe_counters() {
+        let limits = AnalysisLimits::default();
+        let spec = PartitionSpec::new(PlatformCap::new(1, Rational::TWO), Heuristic::FirstFit);
+        let outcome =
+            partition_with(&heavy_set(), &spec, &WorkerPool::new(1), &limits).expect("completes");
+        assert!(!outcome.is_fit());
+        assert!(outcome.unplaced().is_some());
+        assert!(outcome.probes() + outcome.screened() > 0);
+
+        let fits = PartitionSpec::new(PlatformCap::new(3, Rational::TWO), Heuristic::FirstFit);
+        let outcome =
+            partition_with(&heavy_set(), &fits, &WorkerPool::new(1), &limits).expect("completes");
+        assert!(outcome.is_fit());
+        assert_eq!(outcome.unplaced(), None);
+        assert!(outcome.walks().total() > 0);
+    }
+
+    #[test]
+    fn min_max_speedup_never_needs_more_than_cap_only() {
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(3, Rational::TWO);
+        let pool = WorkerPool::new(1);
+        let classic = PartitionSpec::new(cap, Heuristic::FirstFit);
+        let greedy = classic.with_objective(Objective::MinMaxSpeedup);
+        let a = partition_with(&heavy_set(), &classic, &pool, &limits)
+            .expect("ok")
+            .into_partition()
+            .expect("fits");
+        let b = partition_with(&heavy_set(), &greedy, &pool, &limits)
+            .expect("ok")
+            .into_partition()
+            .expect("fits");
+        let worst = |p: &Partition| match p.max_core_speedup() {
+            SpeedupBound::Finite(s) => s,
+            SpeedupBound::Unbounded => panic!("accepted fleet unbounded"),
+        };
+        assert!(
+            worst(&b) <= worst(&a),
+            "greedy min-max ({}) must not exceed first-fit ({})",
+            worst(&b),
+            worst(&a)
+        );
+    }
+
+    #[test]
+    fn shared_budget_binds_and_relaxes() {
+        let limits = AnalysisLimits::default();
+        let cap = PlatformCap::new(3, Rational::TWO);
+        let pool = WorkerPool::new(1);
+        // A generous budget fits exactly like CapOnly...
+        let roomy = PartitionSpec::new(cap, Heuristic::FirstFit)
+            .with_objective(Objective::SharedBudget(int(6)));
+        let fit = partition_with(&heavy_set(), &roomy, &pool, &limits).expect("ok");
+        assert!(fit.is_fit(), "budget 6 covers three cores at the cap");
+        // ...while a budget below even nominal speed on one core sheds.
+        let starved = PartitionSpec::new(cap, Heuristic::FirstFit)
+            .with_objective(Objective::SharedBudget(Rational::new(1, 2)));
+        let shed = partition_with(&heavy_set(), &starved, &pool, &limits).expect("ok");
+        assert!(!shed.is_fit());
+        assert!(shed.unplaced().is_some());
+        // The budget constraint holds on the accepted fleet.
+        let partition = fit.into_partition().expect("fits");
+        let mut total = Rational::ZERO;
+        for (core, bound) in partition.cores().iter().zip(partition.core_speedups()) {
+            if core.is_empty() {
+                continue;
+            }
+            match bound {
+                SpeedupBound::Finite(s) => total += (*s).max(Rational::ONE),
+                SpeedupBound::Unbounded => panic!("accepted core unbounded"),
+            }
+        }
+        assert!(total <= int(6), "Σ max(s_min, 1) = {total} over budget");
+    }
+
+    #[test]
+    fn pool_width_does_not_change_the_outcome() {
+        let limits = AnalysisLimits::default();
+        let spec = PartitionSpec::new(PlatformCap::new(4, Rational::TWO), Heuristic::WorstFit);
+        let one = partition_with(&heavy_set(), &spec, &WorkerPool::new(1), &limits).expect("ok");
+        let eight = partition_with(&heavy_set(), &spec, &WorkerPool::new(8), &limits).expect("ok");
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique task names")]
+    fn duplicate_names_are_rejected() {
+        let limits = AnalysisLimits::default();
+        let set = TaskSet::new(vec![lo_task("twin", 10, 1), lo_task("twin", 20, 1)]);
+        let _ = partition(
+            &set,
+            PlatformCap::new(2, Rational::TWO),
+            Heuristic::FirstFit,
+            &limits,
+        );
     }
 }

@@ -1,4 +1,6 @@
-//! A fixed-size `std::thread` worker pool over `mpsc` channels.
+//! `rbs-pool`: a fixed-size `std::thread` worker pool over `mpsc`
+//! channels, shared by the service (`rbs-svc`), the campaign runners,
+//! and the fleet partitioner (`rbs-partition`).
 //!
 //! [`WorkerPool::run_ordered`] fans a batch of jobs out to exactly
 //! `jobs` scoped worker threads and collects the results *by submission
@@ -10,6 +12,11 @@
 //! every other job still runs to completion. This is the crash-isolation
 //! layer of the service — one poison-pill analysis can no longer take a
 //! whole batch (or a long-running daemon) down with it.
+//!
+//! No external dependencies: the whole crate is `std`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};

@@ -58,16 +58,19 @@
 pub mod cache;
 pub mod framing;
 pub mod ingest;
-pub mod pool;
+/// The worker pool now lives in its own crate (`rbs-pool`) so the fleet
+/// partitioner can parallelize without depending on the service; this
+/// alias keeps `rbs_svc::pool::WorkerPool` paths working.
+pub use rbs_pool as pool;
 mod service;
 pub mod stream;
 
 pub use cache::ResultCache;
 pub use framing::LineFramer;
 pub use ingest::{read_line_bounded, read_source, Request};
-pub use pool::WorkerPool;
+pub use rbs_pool::WorkerPool;
 pub use service::{
     BatchStats, ErrorCounters, Outcome, Response, Service, ServiceConfig, SvcError, SvcErrorKind,
-    FAULT_PANIC_TASK, FAULT_SLEEP_PREFIX,
+    FAULT_PANIC_TASK, FAULT_SLEEP_PREFIX, FAULT_SPLICE_TASK,
 };
 pub use stream::{serve_jsonl, StreamEnd, StreamOutcome};

@@ -9,8 +9,13 @@
 //! by the incremental [`rbs_core::DeltaAnalysis`] engine: admit/evict/
 //! replace ops against a base set named inline or by the canonical hash
 //! of any previously seen set, cached under the canonical form of the
-//! resulting set (byte-identical to analyzing that set directly). The
-//! service canonicalizes the request (task sets and sweep grids live in
+//! resulting set (byte-identical to analyzing that set directly), or a
+//! fleet partitioning `{"partition":{"tasks":[...],"cores":N,...}}`
+//! answered by the delta-backed bin-packer in `rbs-partition` — the
+//! per-core assignment with each core's exact `s_min`, or the first
+//! task the fleet must shed. The
+//! service canonicalizes the request (task sets, sweep grids and
+//! partition specs live in
 //! disjoint canonical domains), consults the sharded LRU [`ResultCache`]
 //! (and a bounded negative cache of failed outcomes), and analyzes misses
 //! on the fixed-size [`WorkerPool`]; duplicate submissions inside one
@@ -35,8 +40,10 @@ use rbs_core::{
     analyze_with_meta_in, run_delta_in, run_sweep_in, AnalysisError, AnalysisLimits,
     AnalysisScratch, AnalyzeMeta, DeltaBase, DeltaOp, DeltaRequest, DeltaRunError, SweepGrid,
 };
-use rbs_json::{FromJson, Json};
+use rbs_json::{FromJson, Json, ToJson};
 use rbs_model::{CanonicalTaskSet, ImplicitTaskSpec, TaskSet};
+use rbs_partition::wire::PartitionRequest;
+use rbs_partition::PartitionSpec;
 
 use crate::cache::ResultCache;
 use crate::ingest::Request;
@@ -52,6 +59,13 @@ pub const FAULT_PANIC_TASK: &str = "__rbs_fault_panic__";
 /// [`ServiceConfig::fault_injection`] is enabled — used to exercise the
 /// per-request deadline deterministically.
 pub const FAULT_SLEEP_PREFIX: &str = "__rbs_fault_sleep_ms_";
+
+/// Task-name marker that makes the delta engine panic *between* its
+/// profile splices when [`ServiceConfig::fault_injection`] is enabled
+/// (admitted or replaced tasks only) — the chaos hook proving a
+/// half-spliced context is contained and the service keeps answering
+/// correctly afterwards.
+pub const FAULT_SPLICE_TASK: &str = "__rbs_fault_splice__";
 
 /// Machine-readable failure class of a request, mirrored in the JSONL
 /// `error.kind` field and the footer counters.
@@ -569,6 +583,9 @@ enum Job {
         base: Arc<TaskSet>,
         ops: Vec<DeltaOp>,
     },
+    /// Fleet partitioning: place a set onto the platform's cores with
+    /// the delta-backed bin-packer, reporting per-core `s_min`.
+    Partition { set: TaskSet, spec: PartitionSpec },
 }
 
 /// Per-request bookkeeping between the parse pass and response assembly.
@@ -748,10 +765,12 @@ impl Service {
                             if config.fault_injection {
                                 inject_faults(&base);
                                 for op in &ops {
-                                    if let DeltaOp::Admit(task) | DeltaOp::Replace { task, .. } =
-                                        op
+                                    if let DeltaOp::Admit(task) | DeltaOp::Replace { task, .. } = op
                                     {
                                         fault_for_name(task.name());
+                                        if task.name() == FAULT_SPLICE_TASK {
+                                            rbs_core::DeltaAnalysis::arm_mid_splice_fault();
+                                        }
                                     }
                                 }
                             }
@@ -787,6 +806,34 @@ impl Service {
                                         Arc::<str>::from("{\"infeasible\":true}"),
                                         AnalyzeMeta::default(),
                                     ),
+                                })
+                                .map_err(|error| SvcError::from_analysis(&error))
+                        }
+                        Job::Partition { set, spec } => {
+                            if config.fault_injection {
+                                inject_faults(&set);
+                            }
+                            // Batch-level parallelism already fans out over
+                            // the service pool; a width-1 sizing pool avoids
+                            // oversubscribing it (the outcome is pool-width
+                            // independent either way).
+                            rbs_partition::partition_with(&set, &spec, &WorkerPool::new(1), &limits)
+                                .map(|outcome| {
+                                    let walks = outcome.walks();
+                                    let meta = AnalyzeMeta {
+                                        integer_walks: walks.integer,
+                                        exact_walks: walks.exact,
+                                        pruned_walks: walks.pruned,
+                                        avoided_walks: walks.avoided,
+                                        reused_components: walks.reused_components,
+                                        rebuilt_components: walks.rebuilt_components,
+                                        lockstep_walks: walks.lockstep,
+                                        patched_profiles: walks.patched,
+                                    };
+                                    (
+                                        Arc::<str>::from(rbs_json::to_string(&outcome.to_json())),
+                                        meta,
+                                    )
                                 })
                                 .map_err(|error| SvcError::from_analysis(&error))
                         }
@@ -927,10 +974,31 @@ impl Service {
         } else if let Some(delta) = parsed.get("delta") {
             match self.triage_delta(delta) {
                 Ok(entry) => entry,
-                Err(error) => return Slot::Done(Outcome::Error {
-                    error,
-                    cached: false,
-                }),
+                Err(error) => {
+                    return Slot::Done(Outcome::Error {
+                        error,
+                        cached: false,
+                    })
+                }
+            }
+        } else if let Some(partition) = parsed.get("partition") {
+            match PartitionRequest::from_json(partition) {
+                Ok(request) => (
+                    CanonicalTaskSet::of_partition(&request.set, &request.spec.canonical_detail()),
+                    Job::Partition {
+                        set: request.set,
+                        spec: request.spec,
+                    },
+                ),
+                Err(error) => {
+                    return Slot::Done(Outcome::Error {
+                        error: SvcError::new(
+                            SvcErrorKind::Parse,
+                            format!("invalid partition request: {error}"),
+                        ),
+                        cached: false,
+                    });
+                }
             }
         } else {
             match TaskSet::from_json(&parsed) {

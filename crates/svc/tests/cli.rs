@@ -217,7 +217,10 @@ fn truncated_line_cut_at_a_cr_never_leaks_its_prefix() {
     let healthy = daemon.roundtrip(&valid);
     assert!(healthy.contains("\"report\":"), "{healthy}");
     let (success, stderr) = daemon.drain();
-    assert!(success, "in-band oversized must not fail the daemon:\n{stderr}");
+    assert!(
+        success,
+        "in-band oversized must not fail the daemon:\n{stderr}"
+    );
     assert!(stderr.contains("oversized=1"), "{stderr}");
 }
 
@@ -432,7 +435,8 @@ fn delta_requests_resolve_bases_and_share_the_report_cache() {
     // Evicting the admittee from the grown set lands back on the base
     // set's cache entry — delta responses chain by hash, and delta and
     // analyze requests share the cache.
-    let evict = format!("{{\"delta\":{{\"base\":\"{grown_hash}\",\"ops\":[{{\"evict\":\"x\"}}]}}}}");
+    let evict =
+        format!("{{\"delta\":{{\"base\":\"{grown_hash}\",\"ops\":[{{\"evict\":\"x\"}}]}}}}");
     let shrunk = daemon.roundtrip(&evict);
     assert!(shrunk.contains("\"cached\":true"), "{shrunk}");
     assert_eq!(extract_hash(&shrunk), base_hash);
@@ -446,13 +450,20 @@ fn delta_requests_resolve_bases_and_share_the_report_cache() {
     assert!(inline_response.contains("\"report\":"), "{inline_response}");
     // Request-level rejections are parse-class: unknown base keys and
     // ops naming unknown tasks never reach a worker.
-    let unknown_key = daemon.roundtrip("{\"delta\":{\"base\":\"feedfeed\",\"ops\":[{\"evict\":\"x\"}]}}");
+    let unknown_key =
+        daemon.roundtrip("{\"delta\":{\"base\":\"feedfeed\",\"ops\":[{\"evict\":\"x\"}]}}");
     assert!(unknown_key.contains("\"kind\":\"parse\""), "{unknown_key}");
-    assert!(unknown_key.contains("unknown delta base key"), "{unknown_key}");
+    assert!(
+        unknown_key.contains("unknown delta base key"),
+        "{unknown_key}"
+    );
     let unknown_task = daemon.roundtrip(&format!(
         "{{\"delta\":{{\"base\":\"{base_hash}\",\"ops\":[{{\"evict\":\"ghost\"}}]}}}}"
     ));
-    assert!(unknown_task.contains("\"kind\":\"parse\""), "{unknown_task}");
+    assert!(
+        unknown_task.contains("\"kind\":\"parse\""),
+        "{unknown_task}"
+    );
     assert!(unknown_task.contains("delta op rejected"), "{unknown_task}");
     let (success, stderr) = daemon.drain();
     assert!(success, "{stderr}");

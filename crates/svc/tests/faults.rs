@@ -8,7 +8,7 @@ use std::time::Duration;
 use rbs_core::AnalysisLimits;
 use rbs_svc::{
     Outcome, Request, Service, ServiceConfig, SvcErrorKind, WorkerPool, FAULT_PANIC_TASK,
-    FAULT_SLEEP_PREFIX,
+    FAULT_SLEEP_PREFIX, FAULT_SPLICE_TASK,
 };
 
 /// One LO task as a JSON object; distinct periods make distinct sets.
@@ -305,6 +305,80 @@ fn coalesced_duplicates_are_marked_and_charged_once() {
         .collect();
     assert_eq!(reports[0], reports[1]);
     assert_eq!(reports[1], reports[2]);
+}
+
+/// A fleet-partitioning request over the given task objects.
+fn partition_request(label: &str, tasks: &[String], cores: usize) -> Request {
+    Request {
+        label: label.to_owned(),
+        body: format!(
+            "{{\"partition\":{{\"tasks\":[{}],\"cores\":{cores},\
+             \"max_speedup\":{{\"num\":2,\"den\":1}}}}}}",
+            tasks.join(",")
+        ),
+    }
+}
+
+fn report_of(outcome: &Outcome) -> &str {
+    match outcome {
+        Outcome::Report { report_json, .. } => report_json.as_ref(),
+        Outcome::Error { error, .. } => panic!("expected a report, got {error:?}"),
+    }
+}
+
+#[test]
+fn partition_requests_are_served_poisoned_and_cached() {
+    let svc = Service::with_config(WorkerPool::new(4), chaos_config());
+    let fit = partition_request("fit", &[lo_task("a", 5, 1), lo_task("b", 7, 1)], 2);
+    let batch = vec![
+        fit.clone(),
+        partition_request("boom", &[lo_task(FAULT_PANIC_TASK, 7, 1)], 1),
+        // Three half-utilization tasks cannot share one core: the fleet
+        // must shed (a healthy report naming the task), not error.
+        partition_request(
+            "shed",
+            &[lo_task("x", 2, 1), lo_task("y", 2, 1), lo_task("z", 2, 1)],
+            1,
+        ),
+    ];
+    let (responses, stats) = svc.process_batch(&batch);
+    let placed = report_of(&responses[0].outcome);
+    assert!(placed.contains("\"fits\":true"), "{placed}");
+    assert!(placed.contains("\"s_min\""), "{placed}");
+    assert_eq!(kind(&responses[1].outcome), Some(SvcErrorKind::Panic));
+    let shed = report_of(&responses[2].outcome);
+    assert!(shed.contains("\"fits\":false"), "{shed}");
+    assert!(shed.contains("\"unplaced\""), "{shed}");
+    assert_eq!(stats.ok, 2);
+    assert_eq!(stats.errors.panic, 1);
+    // The placement ran real walks, surfaced through the footer counters.
+    assert!(stats.integer_walks + stats.exact_walks > 0, "{stats:?}");
+    // Resubmission answers from the result cache without re-partitioning.
+    let (again, stats) = svc.process_batch(&[fit]);
+    assert_eq!(stats.analyzed, 0);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(report_of(&again[0].outcome), placed);
+}
+
+#[test]
+fn a_mid_splice_delta_fault_is_contained() {
+    let svc = Service::with_config(WorkerPool::new(2), chaos_config());
+    let poisoned = Request {
+        label: "splice".to_owned(),
+        body: format!(
+            "{{\"delta\":{{\"base\":[{}],\"ops\":[{{\"admit\":{}}}]}}}}",
+            lo_task("w", 5, 1),
+            lo_task(FAULT_SPLICE_TASK, 7, 1)
+        ),
+    };
+    let (responses, stats) = svc.process_batch(&[poisoned, good("after", 9)]);
+    assert_eq!(kind(&responses[0].outcome), Some(SvcErrorKind::Panic));
+    let detail = &responses[0].outcome.error().expect("error").detail;
+    assert!(detail.contains("mid-splice"), "{detail}");
+    // The worker that unwound mid-splice still serves the next request.
+    assert!(matches!(responses[1].outcome, Outcome::Report { .. }));
+    assert_eq!(stats.ok, 1);
+    assert_eq!(stats.errors.panic, 1);
 }
 
 #[test]

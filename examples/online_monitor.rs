@@ -14,6 +14,13 @@
 //! fleet's `s_min` stays within the overclock cap. The closing stats
 //! show the component reuse the incremental engine gets from churn, and
 //! wall-clock time against rebuilding a fresh analysis per step.
+//!
+//! With `--cores N` the resident fleet is *partitioned*: each of the
+//! `N` cores keeps its own resident [`rbs_core::DeltaAnalysis`], an
+//! admission offer is routed first-fit by delta-probing candidate cores
+//! (admit splice, exact query, evict splice on rejection — the same
+//! protocol `rbs-partition` runs offline), and retiring a resident
+//! frees exactly its core's capacity for later offers.
 
 use std::time::Instant;
 
@@ -127,8 +134,98 @@ fn fleet(target: usize) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Streams admission offers over a partitioned platform: `count` cores,
+/// each with its own resident [`DeltaAnalysis`], an offer routed to the
+/// first core whose delta probe (admit splice, `s_min` query, evict
+/// splice on rejection) stays within the overclock cap — then churn
+/// rounds retiring a resident and re-offering, showing that an evict
+/// frees exactly its core's capacity.
+fn cores(count: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let cap = Rational::TWO;
+    let limits = AnalysisLimits::default();
+    let mut rng = Rng::seed_from_u64(2015);
+    let mut fleet: Vec<DeltaAnalysis> = (0..count)
+        .map(|_| DeltaAnalysis::new(TaskSet::empty(), &limits))
+        .collect();
+    let offers = 24 * count;
+    let mut next_id = 0usize;
+    let mut admitted = 0usize;
+    let mut rejected = 0usize;
+
+    let place = |fleet: &mut Vec<DeltaAnalysis>,
+                 rng: &mut Rng,
+                 next_id: &mut usize|
+     -> Result<bool, Box<dyn std::error::Error>> {
+        let task = candidate(rng, *next_id);
+        let name = task.name().to_owned();
+        *next_id += 1;
+        for core in fleet.iter_mut() {
+            core.admit(task.clone())?;
+            if core.minimum_speedup()?.bound().is_met_by(cap) {
+                return Ok(true);
+            }
+            core.evict(&name)?;
+        }
+        Ok(false)
+    };
+
+    for _ in 0..offers {
+        if place(&mut fleet, &mut rng, &mut next_id)? {
+            admitted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    println!("first-fit delta routing over {count} cores (s_min <= {cap} each):");
+    println!("  {admitted} admitted, {rejected} rejected of {offers} offers");
+
+    // Retiring a resident frees its core: each churn round evicts one
+    // task from the fullest core and re-offers a fresh candidate, which
+    // must land (first-fit) no later than the freed core.
+    let mut reclaimed = 0usize;
+    for _ in 0..count.min(16) {
+        let fullest = (0..fleet.len())
+            .max_by_key(|&i| fleet[i].set().len())
+            .expect("at least one core");
+        let victim = fleet[fullest].set()[0].name().to_owned();
+        fleet[fullest].evict(&victim)?;
+        if place(&mut fleet, &mut rng, &mut next_id)? {
+            reclaimed += 1;
+        }
+    }
+    println!(
+        "  churn: {reclaimed} of {} re-offers landed after an evict",
+        count.min(16)
+    );
+
+    for (slot, core) in fleet.iter_mut().enumerate() {
+        let s_min = core.minimum_speedup()?.bound();
+        let resident = core.set().len();
+        println!("  core {slot}: {resident} resident, s_min {s_min:?}");
+        assert!(
+            s_min.is_met_by(cap),
+            "every resident core stays within the cap"
+        );
+    }
+    let totals = fleet
+        .iter()
+        .map(DeltaAnalysis::walk_counts)
+        .fold((0u64, 0u64), |acc, w| {
+            (acc.0 + w.reused_components, acc.1 + w.rebuilt_components)
+        });
+    println!(
+        "  components: {} reused, {} rebuilt across the fleet",
+        totals.0, totals.1
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--cores") {
+        let count = args.get(pos + 1).and_then(|v| v.parse().ok()).unwrap_or(4);
+        return cores(count);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--fleet") {
         let target = args
             .get(pos + 1)

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Fleet-partitioning smoke test for rbs-netd: start the daemon on an
+# ephemeral port, submit a partition request for a 1000-task fleet, and
+# assert (a) the fleet fits, (b) every reported per-core s_min stays
+# within the requested speedup cap, and (c) resubmitting the identical
+# request — served from the result cache the second time — produces a
+# byte-identical response line. Mirrors tests/partition_differential.rs
+# but exercises the shipped binary end-to-end exactly as CI consumers
+# would.
+set -u
+
+BIN="${RBS_NETD_BIN:-target/release/rbs-netd}"
+if [ ! -x "$BIN" ]; then
+    echo "fleet_smoke: $BIN not found; run 'cargo build --release' first" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# A deterministic 1000-task fleet shaped like rbs_bench::fleet_set: 40%
+# HI tasks (halved LO deadline, doubled HI WCET), 60% LO tasks
+# terminated at the mode switch, periods from a 128-aligned harmonic
+# menu so each task contributes 1/128 to 3/128 of a processor.
+{
+    printf '{"partition":{"cores":32,"max_speedup":{"num":2,"den":1},"tasks":['
+    menu=(256 384 512 640 768 896 1024 1280 1536 1920)
+    for i in $(seq 0 999); do
+        period="${menu[$((i % 10))]}"
+        wcet=$(((period / 128) * (1 + i % 3)))
+        [ "$i" -gt 0 ] && printf ','
+        if [ $((i % 5)) -lt 2 ]; then
+            printf '{"name":"hi%s","criticality":"Hi","lo":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":%s,"den":1}},"hi":{"Continue":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":%s,"den":1}}}}' \
+                "$i" "$period" "$((period / 2))" "$wcet" "$period" "$period" "$((wcet * 2))"
+        else
+            printf '{"name":"lo%s","criticality":"Lo","lo":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":%s,"den":1}},"hi":"Terminated"}' \
+                "$i" "$period" "$period" "$wcet"
+        fi
+    done
+    printf ']}}\n'
+} > "$workdir/request.jsonl"
+
+mkfifo "$workdir/ctl"
+"$BIN" --listen 127.0.0.1:0 --port-file "$workdir/addr" --jobs 2 \
+    < "$workdir/ctl" 2> "$workdir/daemon.err" &
+daemon_pid=$!
+exec 3> "$workdir/ctl" # unblocks the daemon's open(2) and holds stdin open
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$workdir/addr" ]; then
+    echo "fleet_smoke: daemon never published its address" >&2
+    cat "$workdir/daemon.err" >&2
+    exit 1
+fi
+addr="$(cat "$workdir/addr")"
+
+fail=0
+check() { # check <description> <command...>
+    local desc="$1"
+    shift
+    if "$@"; then
+        echo "ok: $desc"
+    else
+        echo "FAIL: $desc" >&2
+        fail=1
+    fi
+}
+
+# Two identical runs: the first analyzes, the second must be served from
+# the shared result cache — and the wire bytes must not differ either way.
+for run in 1 2; do
+    "$BIN" --connect "$addr" "$workdir/request.jsonl" \
+        > "$workdir/run$run.out" 2> "$workdir/run$run.err"
+    check "run $run client exits zero" test "$?" -eq 0
+    check "run $run got one response" \
+        test "$(wc -l < "$workdir/run$run.out")" -eq 1
+done
+
+check "fleet fits" grep -q '"fits":true' "$workdir/run1.out"
+check "no task was shed" \
+    test "$(grep -c '"unplaced"' "$workdir/run1.out")" -eq 0
+check "response reports per-core s_min" \
+    grep -q '"s_min":{"Finite"' "$workdir/run1.out"
+
+# The envelope carries per-run timing ("micros") and cache state
+# ("cached"); the partition report itself must not differ by a byte.
+for run in 1 2; do
+    sed 's/.*"report"://' "$workdir/run$run.out" > "$workdir/run$run.report"
+done
+check "reports are byte-identical across runs" \
+    cmp -s "$workdir/run1.report" "$workdir/run2.report"
+
+# Every reported s_min (num/den) must respect the requested cap of 2.
+over_cap="$(grep -o '"s_min":{"Finite":{"num":[0-9]*,"den":[0-9]*}}' "$workdir/run1.out" \
+    | sed 's/[^0-9,]//g' \
+    | awk -F, '$1 > 2 * $2 { bad++ } END { print bad + 0 }')"
+check "every per-core s_min is within the cap" test "$over_cap" -eq 0
+
+# Graceful drain: both requests counted, none errored.
+exec 3>&-
+drain_status=1
+if wait "$daemon_pid"; then drain_status=0; fi
+daemon_pid=""
+check "daemon drains with exit zero" test "$drain_status" -eq 0
+check "footer counts both requests" grep -q 'served=2' "$workdir/daemon.err"
+check "second run hit the cache" grep -q 'cache{hits=1' "$workdir/daemon.err"
+
+if [ "$fail" -ne 0 ]; then
+    for f in "$workdir"/run*.out "$workdir/daemon.err"; do
+        echo "--- $f ---" >&2
+        cat "$f" >&2
+    done
+    exit 1
+fi
+echo "fleet_smoke: all checks passed"

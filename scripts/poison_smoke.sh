@@ -35,6 +35,13 @@ delta() { # delta <base_task> <ops...>
     printf '{"delta":{"base":[%s],"ops":[%s]}}' "$base" "$ops"
 }
 
+partition() { # partition <tasks_csv> <cores>
+    # A fleet-partitioning request: place the tasks onto <cores> cores,
+    # each overclockable up to 2x.
+    printf '{"partition":{"tasks":[%s],"cores":%s,"max_speedup":{"num":2,"den":1}}}' \
+        "$1" "$2"
+}
+
 sweep() {
     # A two-spec campaign sweep over a 2x2 (y, s) grid, answered by the
     # incremental sweep engine; as for good(), distinct HI-task periods
@@ -73,6 +80,18 @@ trap 'rm -rf "$workdir"' EXIT
     echo
     delta "$(task w 5 1)" "{\"admit\":$(task q 7 3)}"
     echo
+    # A healthy fleet partitioning: two light tasks onto two cores.
+    partition "$(task w 5 1),$(task x 7 1)" 2
+    echo
+    # A delta admit that panics *between* its profile splices: the
+    # half-spliced context must be contained like any worker panic and
+    # the daemon must keep answering.
+    delta "$(task w 5 1)" "{\"admit\":$(task __rbs_fault_splice__ 7 1)}"
+    echo
+    # An over-budget fleet (three half-utilization tasks onto one core)
+    # must shed — a healthy report naming the unplaced task, not a wedge.
+    partition "$(task p1 2 1),$(task p2 2 1),$(task p3 2 1)" 1
+    echo
 } > "$workdir/batch.jsonl"
 
 "$BIN" - --jobs 4 --fault-injection --timeout-ms 5 --max-request-bytes 4096 \
@@ -95,8 +114,8 @@ check() { # check <description> <command...>
 check "poison batch exits non-zero" test "$status" -ne 0
 
 # One response per request, in submission order.
-check "eleven responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 11
-for seq in 0 1 2 3 4 5 6 7 8 9 10; do
+check "fourteen responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 14
+for seq in 0 1 2 3 4 5 6 7 8 9 10 11 12 13; do
     line="$(sed -n "$((seq + 1))p" "$workdir/out.jsonl")"
     check "seq $seq in order" \
         sh -c "printf '%s' '$line' | grep -q '^{\"seq\":$seq,'"
@@ -126,11 +145,20 @@ expect_line 9 '"patched":[1-9]'
 expect_line 10 '"kind":"parse"'
 expect_line 10 'no task named'
 expect_line 11 '"report":'
+# The healthy partitioning places every task and reports per-core s_min;
+# the mid-splice fault is contained as a panic; the over-budget fleet
+# sheds with a structured report naming the unplaced task.
+expect_line 12 '"fits":true'
+expect_line 12 '"s_min"'
+expect_line 13 '"kind":"panic"'
+expect_line 13 'mid-splice'
+expect_line 14 '"fits":false'
+expect_line 14 '"unplaced"'
 
 # The footer reports the full taxonomy plus the sweep engine's
 # component-reuse split.
 check "footer taxonomy" \
-    grep -q 'errors{total=6 parse=2 limits=0 timeout=1 panic=2 oversized=1 overload=0}' \
+    grep -q 'errors{total=7 parse=2 limits=0 timeout=1 panic=3 oversized=1 overload=0}' \
     "$workdir/footer.txt"
 check "footer component reuse" \
     grep -Eq 'reused=[1-9][0-9]* rebuilt=[1-9]' "$workdir/footer.txt"

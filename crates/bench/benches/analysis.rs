@@ -9,7 +9,7 @@ use rbs_core::lo_mode::{is_lo_schedulable, minimal_feasible_x, minimal_x_density
 use rbs_core::resetting::resetting_time;
 use rbs_core::speedup::minimum_speedup;
 use rbs_core::tuning::minimal_speed_within_budget;
-use rbs_core::{Analysis, AnalysisLimits, DeltaAnalysis, SweepAnalysis, SweepMode};
+use rbs_core::{Analysis, AnalysisLimits, DeltaAnalysis, DeltaOp, SweepAnalysis, SweepMode};
 use rbs_gen::fms;
 use rbs_gen::synth::SynthConfig;
 use rbs_model::{Criticality, Task, TaskSet};
@@ -44,6 +44,33 @@ fn fleet_candidate(rng: &mut Rng, id: usize) -> Task {
             .build()
             .expect("candidate parameters satisfy eq. (2)")
     }
+}
+
+/// A `fleet_candidate` variant whose LO tasks are terminated at the
+/// mode switch (eq. (3)): they carry no `ADB_HI` component, so churning
+/// them never touches the arrival profile — the workload the frontier
+/// repair is built for.
+fn frontier_candidate(rng: &mut Rng, id: usize) -> Task {
+    let task = fleet_candidate(rng, id);
+    if task.criticality() == Criticality::Hi {
+        return task;
+    }
+    terminated_candidate(rng, id)
+}
+
+/// A HI-terminated LO candidate from the same menu (the churned share
+/// of the `churn_frontier` fleet).
+fn terminated_candidate(rng: &mut Rng, id: usize) -> Task {
+    const PERIOD_MENU: [i128; 10] = [200, 240, 320, 400, 480, 600, 800, 960, 1200, 1600];
+    let period = Rational::integer(PERIOD_MENU[rng.gen_range_usize(0, PERIOD_MENU.len() - 1)]);
+    let wcet = Rational::integer(rng.gen_range_i128(1, 3));
+    Task::builder(format!("stop{id}"), Criticality::Lo)
+        .period(period)
+        .deadline(period)
+        .wcet(wcet)
+        .terminated()
+        .build()
+        .expect("candidate parameters satisfy eq. (3)")
 }
 
 fn main() {
@@ -234,9 +261,10 @@ fn main() {
     // Incremental delta-admission on a resident fleet vs fresh
     // re-analysis of the same set: `admit_one` is one admission decision
     // (admit + s_min + evict back), `churn_fleet` one steady-state
-    // replacement (evict + admit + s_min), and `fresh_fleet` the
-    // from-scratch analysis both are measured against — the churn case
-    // is required to stay at least 5x below it at this fleet size.
+    // replacement (a batched evict + admit, then s_min), and
+    // `fresh_fleet` the from-scratch analysis both are measured against
+    // — the churn case is required to stay at least 5x below it at this
+    // fleet size.
     {
         let fleet = 256usize;
         let mut rng = Rng::seed_from_u64(2015);
@@ -260,17 +288,109 @@ fn main() {
         });
         runner.bench(&format!("delta/churn_fleet/{fleet}"), || {
             let victim = residents.pop_front().expect("resident fleet");
-            delta.evict(&victim).expect("evicts");
             let task = fleet_candidate(&mut rng, next_id);
             next_id += 1;
             residents.push_back(task.name().to_owned());
-            delta.admit(task).expect("admits");
+            delta
+                .apply_batch(vec![DeltaOp::Evict(victim), DeltaOp::Admit(task)])
+                .expect("applies");
             delta.minimum_speedup().expect("completes")
         });
         runner.bench(&format!("delta/fresh_fleet/{fleet}"), || {
             let set = delta.set().clone();
             let fresh = Analysis::new(&set, &limits);
             fresh.minimum_speedup().expect("completes")
+        });
+    }
+
+    // Batched multi-op splices: one composite 8-op churn burst against
+    // the single replace it collapses to. The burst carries two
+    // transient admit/evict pairs (cancelled during simulation, before
+    // any profile work) and a four-link replace chain on one resident
+    // (collapsed to the chain's last task), so the batch performs one
+    // effective splice — one aux adjustment, one certificate check, one
+    // frontier repair — and must land under 3x the single op, not 8x.
+    for fleet in [256usize, 4096] {
+        let mut rng = Rng::seed_from_u64(2015);
+        let mut delta = DeltaAnalysis::new(TaskSet::empty(), &limits);
+        let mut residents = VecDeque::with_capacity(fleet);
+        for id in 0..fleet {
+            let task = fleet_candidate(&mut rng, id);
+            residents.push_back(task.name().to_owned());
+            delta.admit(task).expect("admits");
+        }
+        let mut next_id = fleet;
+        runner.bench(&format!("delta/single_op/{fleet}"), || {
+            let victim = residents.pop_front().expect("resident fleet");
+            let task = fleet_candidate(&mut rng, next_id);
+            next_id += 1;
+            residents.push_back(task.name().to_owned());
+            delta.replace(&victim, task).expect("replaces")
+        });
+        runner.bench(&format!("delta/batched_ops/{fleet}"), || {
+            let victim = residents.pop_front().expect("resident fleet");
+            let transient_a = fleet_candidate(&mut rng, next_id);
+            let transient_b = fleet_candidate(&mut rng, next_id + 1);
+            let chain: Vec<Task> = (0..4)
+                .map(|link| fleet_candidate(&mut rng, next_id + 2 + link))
+                .collect();
+            next_id += 6;
+            residents.push_back(chain[3].name().to_owned());
+            let ops = vec![
+                DeltaOp::Admit(transient_a.clone()),
+                DeltaOp::Replace {
+                    id: victim,
+                    task: chain[0].clone(),
+                },
+                DeltaOp::Admit(transient_b.clone()),
+                DeltaOp::Evict(transient_a.name().to_owned()),
+                DeltaOp::Replace {
+                    id: chain[0].name().to_owned(),
+                    task: chain[1].clone(),
+                },
+                DeltaOp::Replace {
+                    id: chain[1].name().to_owned(),
+                    task: chain[2].clone(),
+                },
+                DeltaOp::Evict(transient_b.name().to_owned()),
+                DeltaOp::Replace {
+                    id: chain[2].name().to_owned(),
+                    task: chain[3].clone(),
+                },
+            ];
+            delta.apply_batch(ops).expect("applies")
+        });
+    }
+
+    // Frontier repair under churn-dominated admission: the churned
+    // tasks are HI-terminated (eq. (3)), so every delta leaves the
+    // `ADB_HI` profile untouched and the repaired staircase keeps
+    // serving `Δ_R` queries without a walk — the resident HI base is
+    // what the staircase describes. The pre-repair engine re-walked the
+    // arrival profile on every delta here.
+    for (fleet, speed) in [(256usize, 4), (4096, 16)] {
+        let mut rng = Rng::seed_from_u64(2015);
+        let mut delta = DeltaAnalysis::new(TaskSet::empty(), &limits);
+        let mut residents = VecDeque::with_capacity(fleet);
+        for id in 0..fleet {
+            let task = frontier_candidate(&mut rng, id);
+            if task.criticality() == Criticality::Lo {
+                residents.push_back(task.name().to_owned());
+            }
+            delta.admit(task).expect("admits");
+        }
+        let speed = Rational::integer(speed);
+        delta.resetting_time(speed).expect("completes");
+        let mut next_id = fleet;
+        runner.bench(&format!("delta/churn_frontier/{fleet}"), || {
+            let victim = residents.pop_front().expect("resident fleet");
+            let task = terminated_candidate(&mut rng, next_id);
+            next_id += 1;
+            residents.push_back(task.name().to_owned());
+            delta
+                .apply_batch(vec![DeltaOp::Evict(victim), DeltaOp::Admit(task)])
+                .expect("applies");
+            delta.resetting_time(speed).expect("completes")
         });
     }
 

@@ -99,6 +99,19 @@ pub struct WalkCounts {
     /// the delta engine's ([`crate::delta::DeltaAnalysis`]) in-place
     /// admit/evict/replace splices. Always `0` for a plain [`Analysis`].
     pub patched: u64,
+    /// Deltas after which the resetting-time staircase survived (whole
+    /// or truncated to its unchanged prefix) instead of being dropped —
+    /// the delta engine's frontier repair. Always `0` for a plain
+    /// [`Analysis`], which never mutates its set.
+    pub repaired: u64,
+    /// Frontier records kept across deltas by repairs; each one is a
+    /// staircase segment the next resetting-time query can serve without
+    /// re-walking.
+    pub kept: u64,
+    /// Frontier records invalidated by deltas (whole-staircase drops
+    /// included); the walk that rebuilds them runs on the next uncovered
+    /// resetting-time query.
+    pub rewalked: u64,
 }
 
 impl WalkCounts {
@@ -326,6 +339,9 @@ impl<'a> Analysis<'a> {
             rebuilt_components: self.built_components.get(),
             lockstep: self.lockstep_walks.get(),
             patched: 0,
+            repaired: 0,
+            kept: 0,
+            rewalked: 0,
         }
     }
 

@@ -77,7 +77,7 @@ use rbs_timebase::Rational;
 use crate::adb::{arrival_component_of, hi_arrival_profile};
 use crate::analysis::{Analysis, WalkCounts};
 use crate::dbf::{hi_component_of, hi_profile, lo_component_of, lo_profile};
-use crate::demand::{DemandProfile, ResetFrontier};
+use crate::demand::{DemandProfile, PeriodicDemand, ResetFrontier};
 use crate::resetting::ResettingAnalysis;
 use crate::speedup::SpeedupAnalysis;
 use crate::{AnalysisError, AnalysisLimits};
@@ -86,6 +86,9 @@ thread_local! {
     /// One-shot fault armed by [`DeltaAnalysis::arm_mid_splice_fault`]:
     /// the next admit on this thread panics between its profile splices.
     static MID_SPLICE_FAULT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// One-shot fault armed by [`DeltaAnalysis::arm_mid_repair_fault`]:
+    /// the next delta on this thread panics as it enters frontier repair.
+    static MID_REPAIR_FAULT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 /// Panics (once) if a mid-splice fault is armed on this thread — the
@@ -98,6 +101,55 @@ fn mid_splice_fault_check() {
         MID_SPLICE_FAULT.with(|flag| flag.set(false));
         panic!("injected fault: admit bailed mid-splice");
     }
+}
+
+/// Panics (once) if a mid-repair fault is armed on this thread — the
+/// injection point sits at the top of the frontier repair, after every
+/// profile splice has landed but before the dirty guard clears: the set
+/// and profiles already agree, yet an unwind here must still leave the
+/// context rebuildable (the heal rebuild discards the stale staircase,
+/// so the next resetting-time query simply re-walks).
+fn mid_repair_fault_check() {
+    if MID_REPAIR_FAULT.with(std::cell::Cell::get) {
+        MID_REPAIR_FAULT.with(|flag| flag.set(false));
+        panic!("injected fault: delta bailed mid-repair");
+    }
+}
+
+/// The earliest instant at which any of `changed` contributes demand —
+/// the truncation bound for a frontier repair ([`ResetFrontier`] keeps
+/// records whose segments end at or below it). `None` when no changed
+/// component ever contributes (empty delta on this profile, or
+/// identically-zero components): the whole staircase survives.
+fn frontier_cut<'c>(changed: impl IntoIterator<Item = &'c PeriodicDemand>) -> Option<Rational> {
+    let mut cut = None;
+    for c in changed {
+        cut = merge_cut(cut, c.first_positive_instant());
+    }
+    cut
+}
+
+/// Combines two truncation bounds: `None` means "never diverges"
+/// (+∞), so the merge is the finite minimum.
+fn merge_cut(a: Option<Rational>, b: Option<Rational>) -> Option<Rational> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (cut, None) | (None, cut) => cut,
+    }
+}
+
+/// A one-bit name fingerprint for [`DeltaAnalysis::apply_batch`]'s
+/// resolver prefilter: cheap enough to compute per resident (four byte
+/// peeks, no full-string hashing), selective enough that residents a
+/// batch never names almost always miss the combined mask. A collision
+/// only costs the string comparisons the prefilter would have skipped.
+fn name_fingerprint(name: &str) -> u64 {
+    let b = name.as_bytes();
+    let mix = (b.len() as u64)
+        ^ (u64::from(b.first().copied().unwrap_or(0)) << 8)
+        ^ (u64::from(b.last().copied().unwrap_or(0)) << 16)
+        ^ (u64::from(b.get(b.len() / 2).copied().unwrap_or(0)) << 24);
+    1 << (mix.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
 }
 
 /// A set mutation a [`DeltaAnalysis`] can apply — the in-memory form of
@@ -220,6 +272,9 @@ pub struct DeltaAnalysis {
     reused_components: u64,
     rebuilt_components: u64,
     patched_profiles: u64,
+    repaired_frontiers: u64,
+    kept_records: u64,
+    rewalked_records: u64,
 }
 
 impl DeltaAnalysis {
@@ -248,6 +303,9 @@ impl DeltaAnalysis {
             reused_components: 0,
             rebuilt_components: rebuilt,
             patched_profiles: 0,
+            repaired_frontiers: 0,
+            kept_records: 0,
+            rewalked_records: 0,
         }
     }
 
@@ -284,6 +342,9 @@ impl DeltaAnalysis {
             rebuilt_components: self.rebuilt_components,
             lockstep: self.lockstep_walks,
             patched: self.patched_profiles,
+            repaired: self.repaired_frontiers,
+            kept: self.kept_records,
+            rewalked: self.rewalked_records,
         }
     }
 
@@ -298,6 +359,28 @@ impl DeltaAnalysis {
         MID_SPLICE_FAULT.with(|flag| flag.set(true));
     }
 
+    /// Arms a one-shot fault on the calling thread: the next delta op
+    /// panics as it enters frontier repair — after all profile splices,
+    /// before the dirty guard clears. This is the fault-injection hook
+    /// behind the service's mid-repair poison pill; it proves a panic
+    /// inside the repair window leaves the context rebuildable and at
+    /// worst costs the staircase (the next `Δ_R` query re-walks).
+    pub fn arm_mid_repair_fault() {
+        MID_REPAIR_FAULT.with(|flag| flag.set(true));
+    }
+
+    /// Test hook: unconditionally drops the resetting-time staircase,
+    /// exactly what every delta op did before frontier repair existed.
+    /// The frontier-repair differential suite churns a shadow context
+    /// through this whole-invalidation path to pin that repair changes
+    /// walk *counts* only, never answers.
+    #[doc(hidden)]
+    pub fn invalidate_frontier(&mut self) {
+        if let Some(frontier) = self.frontier.take() {
+            self.rewalked_records += frontier.len() as u64;
+        }
+    }
+
     /// Applies one [`DeltaOp`].
     ///
     /// # Errors
@@ -309,6 +392,265 @@ impl DeltaAnalysis {
             DeltaOp::Evict(id) => self.evict(&id).map(|_| ()),
             DeltaOp::Replace { id, task } => self.replace(&id, task).map(|_| ()),
         }
+    }
+
+    /// Applies a multi-op delta as **one composite splice**: the ops are
+    /// validated atomically against the simulated final set, per-name
+    /// chains are canonicalized (an admit later evicted vanishes, a
+    /// replace chain collapses to its last task), and each profile then
+    /// pays the splice bookkeeping — aggregate refold, overflow
+    /// certificate, narrow-lane update, frontier repair — once for the
+    /// whole batch instead of once per op.
+    ///
+    /// The resulting set (and every query answer) is bit-identical to
+    /// applying the ops one by one: survivors keep their relative order,
+    /// surviving admits append in admit order, and a replace keeps its
+    /// task's position. An evict-then-readmit of the same name is a
+    /// removal plus an append (the readmitted task moves to the end),
+    /// exactly as the sequential ops would leave it.
+    ///
+    /// # Errors
+    ///
+    /// The error of the first op that would fail when applying the ops
+    /// in order; the set and profiles are unchanged on error.
+    pub fn apply_batch(&mut self, ops: Vec<DeltaOp>) -> Result<(), DeltaError> {
+        // Slot simulation, O(k) in the batch size: only the slots the
+        // ops touch are tracked (a map over every resident name would
+        // make a 2-op delta pay O(set) setup). A name resolves to a
+        // pending admit, a touched original slot's *current* name, or —
+        // failing both — an untouched original slot.
+        enum SlotRef {
+            Orig(usize),
+            New(usize),
+        }
+        enum OrigState {
+            Removed,
+            Replaced(Box<Task>),
+        }
+        let mut touched: Vec<(usize, OrigState)> = Vec::new();
+        let mut new_tasks: Vec<Option<Task>> = Vec::new();
+        // Each op resolves up to two names against the resident set. A
+        // full name → position map would pay O(set) hashing and
+        // allocation per batch, and per-op linear scans pay O(ops·set),
+        // so base positions come from one fingerprint-filtered pass:
+        // the ops' names fold into a 64-bit mask of one-bit name
+        // fingerprints, and a single scan of the set string-compares
+        // only the residents whose fingerprint bit is set — O(set)
+        // byte peeks plus O(ops²) real work.
+        let mut op_names: Vec<&str> = Vec::with_capacity(ops.len() * 2);
+        for op in &ops {
+            match op {
+                DeltaOp::Admit(task) => op_names.push(task.name()),
+                DeltaOp::Evict(id) => op_names.push(id),
+                DeltaOp::Replace { id, task } => {
+                    op_names.push(id);
+                    op_names.push(task.name());
+                }
+            }
+        }
+        let mask: u64 = op_names
+            .iter()
+            .fold(0, |m, name| m | name_fingerprint(name));
+        let mut positions: Vec<(&str, usize)> = Vec::with_capacity(op_names.len());
+        for (i, t) in self.set.iter().enumerate() {
+            let name = t.name();
+            if mask & name_fingerprint(name) != 0 && op_names.contains(&name) {
+                positions.push((name, i));
+            }
+        }
+        let resolve = |touched: &[(usize, OrigState)],
+                       new_tasks: &[Option<Task>],
+                       id: &str|
+         -> Option<SlotRef> {
+            for (j, slot) in new_tasks.iter().enumerate() {
+                if slot.as_ref().is_some_and(|t| t.name() == id) {
+                    return Some(SlotRef::New(j));
+                }
+            }
+            for (i, state) in touched {
+                // A removed slot no longer owns a name; a replaced slot
+                // answers to its replacement's (possibly new) name.
+                if let OrigState::Replaced(t) = state {
+                    if t.name() == id {
+                        return Some(SlotRef::Orig(*i));
+                    }
+                }
+            }
+            let i = positions
+                .iter()
+                .find_map(|&(name, i)| (name == id).then_some(i))?;
+            touched
+                .iter()
+                .all(|(p, _)| *p != i)
+                .then_some(SlotRef::Orig(i))
+        };
+        let touch = |touched: &mut Vec<(usize, OrigState)>, i: usize, state: OrigState| {
+            match touched.iter_mut().find(|(p, _)| *p == i) {
+                Some(entry) => entry.1 = state,
+                None => touched.push((i, state)),
+            }
+        };
+        for op in &ops {
+            match op {
+                DeltaOp::Admit(task) => {
+                    if resolve(&touched, &new_tasks, task.name()).is_some() {
+                        return Err(DeltaError::DuplicateTask {
+                            id: task.name().to_owned(),
+                        });
+                    }
+                    new_tasks.push(Some(task.clone()));
+                }
+                DeltaOp::Evict(id) => {
+                    match resolve(&touched, &new_tasks, id) {
+                        None => return Err(DeltaError::UnknownTask { id: id.clone() }),
+                        Some(SlotRef::Orig(i)) => touch(&mut touched, i, OrigState::Removed),
+                        Some(SlotRef::New(j)) => new_tasks[j] = None,
+                    }
+                }
+                DeltaOp::Replace { id, task } => {
+                    let Some(slot) = resolve(&touched, &new_tasks, id) else {
+                        return Err(DeltaError::UnknownTask { id: id.clone() });
+                    };
+                    if task.name() != id
+                        && resolve(&touched, &new_tasks, task.name()).is_some()
+                    {
+                        return Err(DeltaError::DuplicateTask {
+                            id: task.name().to_owned(),
+                        });
+                    }
+                    match slot {
+                        SlotRef::Orig(i) => {
+                            touch(&mut touched, i, OrigState::Replaced(Box::new(task.clone())));
+                        }
+                        SlotRef::New(j) => new_tasks[j] = Some(task.clone()),
+                    }
+                }
+            }
+        }
+
+        // Canonical plan: in-place replacements, removals (ascending),
+        // and surviving admits, all against the pre-edit set.
+        touched.sort_unstable_by_key(|(i, _)| *i);
+        let mut replaced: Vec<(usize, Task)> = Vec::new();
+        let mut removed: Vec<usize> = Vec::new();
+        for (i, state) in touched {
+            match state {
+                OrigState::Removed => removed.push(i),
+                OrigState::Replaced(task) => replaced.push((i, *task)),
+            }
+        }
+        let admits: Vec<Task> = new_tasks.into_iter().flatten().collect();
+        if replaced.is_empty() && removed.is_empty() && admits.is_empty() {
+            // Fully cancelled (or empty) batch: the final set is the
+            // current set, so there is nothing to splice or invalidate.
+            return Ok(());
+        }
+
+        // A replace that turns a HI-terminated task HI-active inserts
+        // components mid-profile — rarer than every other shape and not
+        // worth a batched insert path. The canonical plan cannot stand
+        // in for the op sequence here (rename chains can be impossible
+        // to replay pairwise), so replay the original, validated ops one
+        // by one — none of them can fail.
+        let flips_active = replaced.iter().any(|(pos, task)| {
+            self.set[*pos].params(Mode::Hi).is_none() && hi_component_of(task).is_some()
+        });
+        if flips_active {
+            for op in ops {
+                self.apply(op)?;
+            }
+            return Ok(());
+        }
+
+        self.ensure_profiles();
+        // Per-profile splice plans, on pre-edit positions/ranks.
+        let mut lo_patched = Vec::with_capacity(replaced.len());
+        let mut hi_patched = Vec::new();
+        let mut arrival_patched = Vec::new();
+        let mut hi_removed = Vec::new();
+        for &(pos, ref task) in &replaced {
+            lo_patched.push((pos, lo_component_of(task)));
+            if self.set[pos].params(Mode::Hi).is_some() {
+                let rank = self.hi_rank(pos);
+                match (hi_component_of(task), arrival_component_of(task)) {
+                    (Some(hi_c), Some(arrival_c)) => {
+                        hi_patched.push((rank, hi_c));
+                        arrival_patched.push((rank, arrival_c));
+                    }
+                    (None, None) => hi_removed.push(rank),
+                    _ => unreachable!("hi/arrival activity always agrees"),
+                }
+            }
+        }
+        for &pos in &removed {
+            if self.set[pos].params(Mode::Hi).is_some() {
+                hi_removed.push(self.hi_rank(pos));
+            }
+        }
+        hi_removed.sort_unstable();
+        let mut lo_appended = Vec::with_capacity(admits.len());
+        let mut hi_appended = Vec::new();
+        let mut arrival_appended = Vec::new();
+        for task in &admits {
+            lo_appended.push(lo_component_of(task));
+            if let (Some(hi_c), Some(arrival_c)) =
+                (hi_component_of(task), arrival_component_of(task))
+            {
+                hi_appended.push(hi_c);
+                arrival_appended.push(arrival_c);
+            }
+        }
+        let hi_untouched =
+            hi_patched.is_empty() && hi_removed.is_empty() && hi_appended.is_empty();
+        let cut = {
+            let arrival_components = self.arrival.components();
+            let mut cut = frontier_cut(
+                hi_removed
+                    .iter()
+                    .map(|&rank| &arrival_components[rank])
+                    .chain(arrival_appended.iter()),
+            );
+            // Patched (replaced-in-place) components diverge only where
+            // old and new actually disagree, exactly as in the single
+            // replace path.
+            for &(rank, ref new_c) in &arrival_patched {
+                cut = merge_cut(cut, arrival_components[rank].divergence_bound(new_c));
+            }
+            cut
+        };
+
+        // Mid-splice guard, as for the single-op paths: the set mutates
+        // first; a panic in a profile splice leaves the dirty flag set
+        // and the next use rebuilds from the set.
+        self.dirty = true;
+        for (pos, task) in replaced {
+            self.set.replace(pos, task);
+        }
+        for &pos in removed.iter().rev() {
+            self.set.remove(pos);
+        }
+        for task in admits {
+            self.set.push(task);
+        }
+        let lo_changed = (lo_patched.len() + lo_appended.len()) as u64;
+        let in_place = self.lo.splice_components(&lo_patched, &removed, lo_appended);
+        self.note_touched(Which::Lo, in_place, lo_changed);
+        mid_splice_fault_check();
+        if hi_untouched {
+            self.note_untouched(Which::Hi);
+            self.note_untouched(Which::Arrival);
+        } else {
+            let hi_changed = (hi_patched.len() + hi_appended.len()) as u64;
+            let in_place = self.hi.splice_components(&hi_patched, &hi_removed, hi_appended);
+            self.note_touched(Which::Hi, in_place, hi_changed);
+            let in_place =
+                self.arrival
+                    .splice_components(&arrival_patched, &hi_removed, arrival_appended);
+            self.note_touched(Which::Arrival, in_place, hi_changed);
+        }
+        self.repair_frontier(cut);
+        self.dirty = false;
+        Ok(())
     }
 
     /// Admits `task` (appended in declaration order), splicing its
@@ -329,6 +671,7 @@ impl DeltaAnalysis {
         let hi_c = hi_component_of(&task);
         let arrival_c = arrival_component_of(&task);
         let hi_active = hi_c.is_some();
+        let cut = frontier_cut(arrival_c.as_ref());
         // Mid-splice guard: the set mutates before the three profile
         // splices, so a panic anywhere in between (overflow in a splice,
         // an injected fault) must not strand profiles that disagree with
@@ -349,7 +692,7 @@ impl DeltaAnalysis {
             self.note_untouched(Which::Hi);
             self.note_untouched(Which::Arrival);
         }
-        self.frontier = None;
+        self.repair_frontier(cut);
         self.dirty = false;
         Ok(())
     }
@@ -368,6 +711,7 @@ impl DeltaAnalysis {
         self.ensure_profiles();
         let rank = self.hi_rank(pos);
         let was_active = self.set[pos].params(Mode::Hi).is_some();
+        let cut = frontier_cut(was_active.then(|| &self.arrival.components()[rank]));
         self.dirty = true;
         let task = self.set.remove(pos);
         let in_place = self.lo.remove_component(pos);
@@ -381,7 +725,7 @@ impl DeltaAnalysis {
             self.note_untouched(Which::Hi);
             self.note_untouched(Which::Arrival);
         }
-        self.frontier = None;
+        self.repair_frontier(cut);
         self.dirty = false;
         Ok(task)
     }
@@ -412,6 +756,16 @@ impl DeltaAnalysis {
         let lo_c = lo_component_of(&task);
         let hi_c = hi_component_of(&task);
         let arrival_c = arrival_component_of(&task);
+        let cut = match (old_active, &arrival_c) {
+            // An in-place swap diverges only where old and new arrival
+            // curves actually disagree — a replace that keeps the
+            // `ADB_HI` component (rename, LO-deadline tweak past the
+            // shared flat prefix) keeps more of the staircase than
+            // treating it as an evict + admit would.
+            (true, Some(new_c)) => self.arrival.components()[rank].divergence_bound(new_c),
+            (true, None) => frontier_cut(Some(&self.arrival.components()[rank])),
+            (false, _) => frontier_cut(arrival_c.as_ref()),
+        };
         self.dirty = true;
         let old = self.set.replace(pos, task);
         let in_place = self.lo.replace_component(pos, lo_c);
@@ -441,7 +795,7 @@ impl DeltaAnalysis {
             }
             _ => unreachable!("hi/arrival activity always agrees"),
         }
-        self.frontier = None;
+        self.repair_frontier(cut);
         self.dirty = false;
         Ok(old)
     }
@@ -544,6 +898,32 @@ impl DeltaAnalysis {
         tolerance: Rational,
     ) -> Result<Option<Rational>, AnalysisError> {
         self.with_analysis(|ctx| ctx.minimal_speed_within_budget(budget, max_speed, tolerance))
+    }
+
+    /// Repairs the resetting-time staircase across a delta instead of
+    /// dropping it: records whose whole segment lies below `cut` — the
+    /// earliest instant any changed `ADB_HI` component contributes
+    /// demand — still answer lookups bit-identically against the new
+    /// profile (see [`ResetFrontier::truncated_below`] for the
+    /// argument), and a delta that never touches the arrival profile
+    /// (`cut = None`, e.g. LO-task churn) keeps the staircase whole.
+    fn repair_frontier(&mut self, cut: Option<Rational>) {
+        mid_repair_fault_check();
+        let Some(frontier) = self.frontier.take() else {
+            return;
+        };
+        let before = frontier.len() as u64;
+        match frontier.truncated_below(cut) {
+            Some(repaired) => {
+                self.repaired_frontiers += 1;
+                self.kept_records += repaired.len() as u64;
+                self.rewalked_records += before - repaired.len() as u64;
+                self.frontier = Some(repaired);
+            }
+            None => {
+                self.rewalked_records += before;
+            }
+        }
     }
 
     /// The number of HI-active components before task position `pos` —
@@ -843,6 +1223,121 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_sequential_ops() {
+        let limits = AnalysisLimits::default();
+        let mut batched = DeltaAnalysis::new(table1(), &limits);
+        let mut sequential = DeltaAnalysis::new(table1(), &limits);
+        let ops = vec![
+            DeltaOp::Evict("tau1".to_owned()),
+            DeltaOp::Admit(hi_task("tau3", 20, 6, 2, 5)),
+            DeltaOp::Replace {
+                id: "tau2".to_owned(),
+                task: lo_task("tau2b", 8, 2),
+            },
+            DeltaOp::Admit(lo_task("tau4", 16, 1)),
+        ];
+        for op in ops.clone() {
+            sequential.apply(op).expect("ok");
+        }
+        batched.apply_batch(ops).expect("ok");
+        assert_eq!(batched.set(), sequential.set());
+        assert_matches_fresh(&mut batched);
+        assert_eq!(
+            batched.minimum_speedup().expect("ok"),
+            sequential.minimum_speedup().expect("ok")
+        );
+    }
+
+    #[test]
+    fn batch_cancels_opposing_ops() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        let before = delta.walk_counts();
+        delta
+            .apply_batch(vec![
+                DeltaOp::Admit(hi_task("ghost", 12, 4, 1, 2)),
+                DeltaOp::Replace {
+                    id: "ghost".to_owned(),
+                    task: lo_task("ghost2", 6, 1),
+                },
+                DeltaOp::Evict("ghost2".to_owned()),
+            ])
+            .expect("ok");
+        // The batch cancels to a no-op: no profile was touched at all.
+        assert_eq!(delta.walk_counts(), before);
+        assert_eq!(delta.set().len(), 2);
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn batch_evict_readmit_moves_task_to_the_end() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        delta
+            .apply_batch(vec![
+                DeltaOp::Evict("tau1".to_owned()),
+                DeltaOp::Admit(hi_task("tau1", 6, 3, 1, 2)),
+            ])
+            .expect("ok");
+        // Same order the sequential ops leave: tau1 re-enters at the end.
+        assert_eq!(delta.set().position("tau1"), Some(1));
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn batch_replays_rename_chains_on_activity_flip() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        // tau2 goes HI-terminated first so the flip back to active takes
+        // the sequential-replay path, together with a rename chain the
+        // canonical plan could not apply pairwise.
+        delta
+            .replace("tau2", lo_task("tau2", 10, 3).terminated().expect("lo"))
+            .expect("ok");
+        delta
+            .apply_batch(vec![
+                DeltaOp::Replace {
+                    id: "tau1".to_owned(),
+                    task: hi_task("tmp", 5, 2, 1, 2),
+                },
+                DeltaOp::Replace {
+                    id: "tau2".to_owned(),
+                    task: lo_task("tau1", 10, 3),
+                },
+                DeltaOp::Replace {
+                    id: "tmp".to_owned(),
+                    task: hi_task("tau2", 5, 2, 1, 2),
+                },
+            ])
+            .expect("ok");
+        assert_eq!(delta.set().position("tau2"), Some(0));
+        assert_eq!(delta.set().position("tau1"), Some(1));
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn batch_first_failing_op_reports_and_leaves_state() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        let err = delta
+            .apply_batch(vec![
+                DeltaOp::Admit(lo_task("tau3", 8, 1)),
+                DeltaOp::Evict("ghost".to_owned()),
+                DeltaOp::Admit(lo_task("tau3", 8, 1)),
+            ])
+            .expect_err("second op fails first");
+        assert_eq!(
+            err,
+            DeltaError::UnknownTask {
+                id: "ghost".to_owned()
+            }
+        );
+        // Atomic: the valid first op was not applied either.
+        assert_eq!(delta.set().len(), 2);
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
     fn frontier_is_dropped_by_every_op() {
         let limits = AnalysisLimits::default();
         let mut delta = DeltaAnalysis::new(table1(), &limits);
@@ -851,11 +1346,103 @@ mod tests {
         // Second query is served by the frontier carried across
         // sessions, exactly like one long-lived Analysis.
         assert_eq!(delta.walk_counts().avoided, 1);
+        // A degraded LO task stays live in HI mode, so its arrival
+        // component contributes the carried-over job from Δ = 0: the
+        // repair cut is 0 and the whole staircase must go.
         delta.admit(lo_task("tau3", 8, 1)).expect("admit");
         delta.resetting_time(int(3)).expect("ok");
         // Post-delta the frontier was dropped: this walk rebuilt it.
         assert_eq!(delta.walk_counts().avoided, 1);
+        assert_eq!(delta.walk_counts().repaired, 0);
+        assert!(delta.walk_counts().rewalked > 0);
         delta.resetting_time(int(3)).expect("ok");
         assert_eq!(delta.walk_counts().avoided, 2);
+    }
+
+    fn terminated_task(name: &str, period: i128, wcet: i128) -> Task {
+        Task::builder(name, Criticality::Lo)
+            .period(int(period))
+            .deadline(int(period))
+            .wcet(int(wcet))
+            .terminated()
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn frontier_survives_terminated_task_churn() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        delta.resetting_time(int(2)).expect("ok");
+        let staircase = {
+            delta.resetting_time(int(3)).expect("ok");
+            assert_eq!(delta.walk_counts().avoided, 1);
+            delta.walk_counts()
+        };
+        // A HI-terminated task never touches the `ADB_HI` profile, so
+        // churning one leaves the resetting staircase whole — the next
+        // queries are still served without a walk.
+        delta
+            .admit(terminated_task("stop3", 8, 1))
+            .expect("admit");
+        delta.resetting_time(int(2)).expect("ok");
+        delta.resetting_time(int(3)).expect("ok");
+        let counts = delta.walk_counts();
+        assert_eq!(counts.avoided, staircase.avoided + 2, "kept staircase serves");
+        assert_eq!(counts.repaired, 1, "one repaired delta");
+        assert!(counts.kept > 0, "records were kept");
+        assert_eq!(counts.rewalked, 0, "nothing to re-walk");
+        // And eviction repairs just the same.
+        delta.evict("stop3").expect("evict");
+        delta.resetting_time(int(3)).expect("ok");
+        let counts = delta.walk_counts();
+        assert_eq!(counts.avoided, staircase.avoided + 3);
+        assert_eq!(counts.repaired, 2);
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn frontier_survives_arrival_identical_replace() {
+        let limits = AnalysisLimits::default();
+        let mut delta = DeltaAnalysis::new(table1(), &limits);
+        delta.resetting_time(int(2)).expect("ok");
+        delta.resetting_time(int(2)).expect("ok");
+        assert_eq!(delta.walk_counts().avoided, 1);
+        // A pure rename keeps every demand curve: the replace path's
+        // divergence cut is +∞ and the staircase survives whole.
+        delta
+            .replace("tau1", hi_task("tau1b", 5, 2, 1, 2))
+            .expect("replace");
+        delta.resetting_time(int(2)).expect("ok");
+        let counts = delta.walk_counts();
+        assert_eq!(counts.avoided, 2, "kept staircase serves post-rename");
+        assert_eq!(counts.repaired, 1);
+        assert_eq!(counts.rewalked, 0);
+        assert_matches_fresh(&mut delta);
+    }
+
+    #[test]
+    fn batched_terminated_churn_keeps_the_frontier() {
+        let limits = AnalysisLimits::default();
+        let mut set = table1();
+        set.push(terminated_task("stop0", 6, 1));
+        let mut delta = DeltaAnalysis::new(set, &limits);
+        delta.resetting_time(int(2)).expect("ok");
+        delta.resetting_time(int(2)).expect("ok");
+        assert_eq!(delta.walk_counts().avoided, 1);
+        // One batched evict + admit of HI-terminated tasks: a single
+        // repair, and the staircase still answers.
+        delta
+            .apply_batch(vec![
+                DeltaOp::Evict("stop0".to_owned()),
+                DeltaOp::Admit(terminated_task("stop1", 9, 2)),
+            ])
+            .expect("batch");
+        delta.resetting_time(int(2)).expect("ok");
+        let counts = delta.walk_counts();
+        assert_eq!(counts.avoided, 2);
+        assert_eq!(counts.repaired, 1);
+        assert_eq!(counts.rewalked, 0);
+        assert_matches_fresh(&mut delta);
     }
 }

@@ -34,6 +34,7 @@ use std::sync::OnceLock;
 use rbs_timebase::{lcm_i128, Rational};
 
 use crate::scaled::{FitsMachine, MachineStep, ScaledProfile, SupRatioMachine};
+use crate::splice_buf::SpliceBuf;
 use crate::{AnalysisError, AnalysisLimits};
 
 /// One periodic demand component (typically: one task's demand curve).
@@ -208,6 +209,72 @@ impl PeriodicDemand {
         ]
     }
 
+    /// The infimum of `{Δ ≥ 0 : eval(Δ) > 0}` — the instant before which
+    /// this component contributes nothing — or `None` for an identically
+    /// zero curve (which contributes nothing anywhere).
+    ///
+    /// The curve is non-decreasing and piecewise linear, so it is zero
+    /// on `[0, t)` for the returned `t`: a positive `constant` makes it
+    /// positive from `Δ = 0`; otherwise the earliest demand is the jump
+    /// (or ramp onset) at `ramp_start` and/or the first per-period
+    /// accrual at `period`, whichever comes first. This is what the
+    /// frontier repair keys on: a delta whose changed components all
+    /// have `first_positive_instant ≥ cut` leaves the profile's demand
+    /// bit-identical on `[0, cut)`.
+    pub(crate) fn first_positive_instant(&self) -> Option<Rational> {
+        if self.constant.is_positive() {
+            return Some(Rational::ZERO);
+        }
+        let mut first = self.per_period.is_positive().then_some(self.period);
+        if self.jump.is_positive() || self.ramp_len.is_positive() {
+            first = Some(match first {
+                None => self.ramp_start,
+                Some(t) => t.min(self.ramp_start),
+            });
+        }
+        first
+    }
+
+    /// The earliest instant at which this curve departs from its
+    /// constant term — `None` when it is constant forever.
+    fn first_departure_from_constant(&self) -> Option<Rational> {
+        let mut first = self.per_period.is_positive().then_some(self.period);
+        if self.jump.is_positive() || self.ramp_len.is_positive() {
+            first = Some(match first {
+                None => self.ramp_start,
+                Some(t) => t.min(self.ramp_start),
+            });
+        }
+        first
+    }
+
+    /// A lower bound on the earliest instant at which this curve and
+    /// `other` differ: `None` when they are identical (they never
+    /// diverge), otherwise the first instant either departs from the
+    /// shared constant (both are flat before that, so they agree on the
+    /// whole prefix). This is the replace-op frontier-repair cut: a
+    /// swap whose components agree below `cut` leaves the profile's
+    /// demand bit-identical on `[0, cut)` even though both components
+    /// contribute demand from `Δ = 0`.
+    pub(crate) fn divergence_bound(&self, other: &PeriodicDemand) -> Option<Rational> {
+        if self == other {
+            return None;
+        }
+        if self.constant != other.constant {
+            return Some(Rational::ZERO);
+        }
+        match (
+            self.first_departure_from_constant(),
+            other.first_departure_from_constant(),
+        ) {
+            // Both flat forever at the same constant: value-equal even
+            // when the (irrelevant) periods differ.
+            (None, None) => None,
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        }
+    }
+
     /// Evaluates the curve at `Δ`.
     ///
     /// # Panics
@@ -311,7 +378,7 @@ pub struct WalkTrace {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DemandProfile {
-    components: Vec<PeriodicDemand>,
+    components: SpliceBuf<PeriodicDemand>,
     /// The integer fast path, built once here; `None` when the common
     /// timebase does not fit in `i128` (queries then always walk the
     /// exact rational path).
@@ -353,7 +420,7 @@ impl DemandProfile {
     pub fn new(components: Vec<PeriodicDemand>) -> DemandProfile {
         let scaled = ScaledProfile::build(&components);
         DemandProfile {
-            components,
+            components: components.into(),
             scaled,
             aggregates: Aggregates::default(),
         }
@@ -368,7 +435,7 @@ impl DemandProfile {
         scaled: Option<ScaledProfile>,
     ) -> DemandProfile {
         DemandProfile {
-            components,
+            components: components.into(),
             scaled,
             aggregates: Aggregates::default(),
         }
@@ -470,6 +537,43 @@ impl DemandProfile {
         in_place
     }
 
+    /// Applies one composite splice — replace the components at
+    /// `patched` (pre-edit indices, ascending), drop the ones at
+    /// `removed` (pre-edit, strictly ascending, disjoint from `patched`),
+    /// append `appended` — patching the integer fast path with a single
+    /// aggregate refold (see [`ScaledProfile::splice_batch`]); otherwise
+    /// rebuilds the fast path from scratch, exactly what
+    /// [`DemandProfile::new`] on the post-edit list would produce.
+    /// Returns `true` when the splice stayed in place.
+    pub(crate) fn splice_components(
+        &mut self,
+        patched: &[(usize, PeriodicDemand)],
+        removed: &[usize],
+        appended: Vec<PeriodicDemand>,
+    ) -> bool {
+        let appended_len = appended.len();
+        for &(i, ref component) in patched {
+            self.components[i] = component.clone();
+        }
+        self.components.remove_sorted(removed);
+        for component in appended {
+            self.components.push(component);
+        }
+        let components = &self.components;
+        let appended_tail = &components[components.len() - appended_len..];
+        let in_place = match self.scaled.as_mut() {
+            Some(scaled) => scaled
+                .splice_batch(patched, removed, appended_tail, components)
+                .is_some(),
+            None => false,
+        };
+        if !in_place {
+            self.scaled = ScaledProfile::build(&self.components);
+        }
+        self.aggregates = Aggregates::default();
+        in_place
+    }
+
     /// Whether the profile carries the common-timebase integer fast path.
     #[must_use]
     pub fn has_fast_path(&self) -> bool {
@@ -533,7 +637,7 @@ impl DemandProfile {
     /// [`crate::analysis::AnalysisScratch`] and reused for the next set.
     #[must_use]
     pub fn into_components(self) -> Vec<PeriodicDemand> {
-        self.components
+        self.components.into_vec()
     }
 
     /// The demand hyperperiod (lcm of component periods), if it fits in
@@ -542,7 +646,7 @@ impl DemandProfile {
     pub fn hyperperiod(&self) -> Option<Rational> {
         *self.aggregates.hyperperiod.get_or_init(|| {
             let mut acc: Option<Rational> = None;
-            for c in &self.components {
+            for c in self.components.iter() {
                 acc = Some(match acc {
                     None => c.period(),
                     Some(a) => a.lcm(c.period())?,
@@ -1664,6 +1768,111 @@ impl ResetFrontier {
                 .iter()
                 .find_map(|record| record.serve(*scale, speed))
                 .map(FirstFit::At),
+        }
+    }
+
+    /// Repairs this frontier across a task-set delta whose removed and
+    /// added components are all zero on `[0, cut)` (`cut = None`: the
+    /// changed components are identically zero, so the whole staircase
+    /// survives). Returns the surviving frontier, or `None` when no
+    /// record can be kept and the next query must re-walk.
+    ///
+    /// Demand below `cut` is bit-identical before and after the delta,
+    /// so every record whose *whole* segment lies below `cut` still
+    /// reproduces [`DemandProfile::first_fit`] on the new profile: its
+    /// `value`/`slope`/threshold data only describe demand inside the
+    /// segment, and both the closed answer (the segment start) and the
+    /// crossing answer land strictly inside it. A record's segment ends
+    /// at the next breakpoint, which is at most the next *record's*
+    /// start — that is the bound checked here, which conservatively
+    /// drops the final record (its end is not stored). Records are kept
+    /// in breakpoint order as a prefix, so "first serving record" —
+    /// the lookup rule — still selects the segment a fresh walk would
+    /// stop at, and the coverage thresholds are refolded over the kept
+    /// prefix (a covered speed is thus still served by a kept record).
+    #[must_use]
+    pub(crate) fn truncated_below(self, cut: Option<Rational>) -> Option<ResetFrontier> {
+        let Some(cut) = cut else {
+            return Some(self);
+        };
+        if self.fits_at_zero {
+            // Demand at Δ = 0 is still zero (the changed components are
+            // zero on [0, cut) ∋ 0), so every positive speed still fits
+            // instantly — but only when the cut is not itself at zero.
+            return cut.is_positive().then_some(self);
+        }
+        match self.repr {
+            FrontierRepr::Exact { records, .. } => {
+                let kept = records
+                    .iter()
+                    .skip(1)
+                    .take_while(|r| r.start <= cut)
+                    .count();
+                if kept == 0 {
+                    return None;
+                }
+                let mut records = records;
+                records.truncate(kept);
+                let closed_cover = records.iter().filter_map(|r| r.closed_at).min();
+                let open_cover = records.iter().map(|r| r.open_above).min();
+                Some(ResetFrontier {
+                    repr: FrontierRepr::Exact {
+                        records,
+                        closed_cover,
+                        open_cover,
+                    },
+                    fits_at_zero: false,
+                })
+            }
+            FrontierRepr::Scaled { scale, records, .. } => {
+                let kept = records
+                    .iter()
+                    .skip(1)
+                    .take_while(|r| Rational::new(r.start, scale) <= cut)
+                    .count();
+                if kept == 0 {
+                    return None;
+                }
+                let mut records = records;
+                records.truncate(kept);
+                // Raw running minima, exactly as the integer builder
+                // tracks them; an overflowing cross-multiply falls back
+                // to the reduced comparison (value-equal either way).
+                let raw_min = |acc: Option<(i128, i128)>, cand: (i128, i128)| match acc {
+                    None => Some(cand),
+                    Some(best) => {
+                        let cand_smaller = match cmp_raw(
+                            Rational::new(cand.0, cand.1),
+                            best.0,
+                            best.1,
+                        ) {
+                            Some(ord) => ord == Ordering::Less,
+                            None => {
+                                Rational::new(cand.0, cand.1) < Rational::new(best.0, best.1)
+                            }
+                        };
+                        Some(if cand_smaller { cand } else { best })
+                    }
+                };
+                let closed_cover = records
+                    .iter()
+                    .filter(|r| r.start > 0)
+                    .map(|r| (r.value, r.start))
+                    .fold(None, raw_min);
+                let open_cover = records
+                    .iter()
+                    .map(|r| (r.open_num, r.open_den))
+                    .fold(None, raw_min);
+                Some(ResetFrontier {
+                    repr: FrontierRepr::Scaled {
+                        scale,
+                        records,
+                        closed_cover,
+                        open_cover,
+                    },
+                    fits_at_zero: false,
+                })
+            }
         }
     }
 

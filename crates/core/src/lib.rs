@@ -88,6 +88,7 @@ mod config;
 mod error;
 mod kernel;
 mod scaled;
+mod splice_buf;
 
 pub use analysis::{Analysis, AnalysisScratch, WalkCounts};
 pub use config::AnalysisLimits;

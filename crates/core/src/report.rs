@@ -69,6 +69,14 @@ pub struct AnalyzeMeta {
     /// admit/evict/replace splices (always `0` for single-point
     /// analyses).
     pub patched_profiles: u64,
+    /// Deltas whose reset frontier survived (possibly truncated) instead
+    /// of being dropped wholesale (always `0` for single-point analyses).
+    pub repaired_frontiers: u64,
+    /// Frontier records kept across those repairs.
+    pub kept_records: u64,
+    /// Deltas that invalidated the frontier and forced the next `Δ_R`
+    /// query to walk again.
+    pub rewalked_frontiers: u64,
 }
 
 impl AnalyzeMeta {
@@ -82,6 +90,9 @@ impl AnalyzeMeta {
             rebuilt_components: counts.rebuilt_components,
             lockstep_walks: counts.lockstep,
             patched_profiles: counts.patched,
+            repaired_frontiers: counts.repaired,
+            kept_records: counts.kept,
+            rewalked_frontiers: counts.rewalked,
         }
     }
 }
@@ -609,9 +620,11 @@ pub fn run_delta_in(
 ) -> Result<(AnalyzeReport, AnalyzeMeta), DeltaRunError> {
     let (arena, result) = with_arena(std::mem::take(&mut scratch.arena), || {
         let mut delta = DeltaAnalysis::new(base, limits);
-        for op in ops {
-            delta.apply(op.clone())?;
-        }
+        // One composite splice for the whole request: opposing ops
+        // cancel during simulation and the per-splice bookkeeping runs
+        // once, while the op-at-a-time sequence it replaces is pinned
+        // bit-identical by the delta differential suite.
+        delta.apply_batch(ops.to_vec())?;
         let parts = delta.with_analysis(query_parts)?;
         let meta = AnalyzeMeta::from_counts(delta.walk_counts());
         Ok((parts.into_report(delta.into_set()), meta))

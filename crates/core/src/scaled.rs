@@ -46,6 +46,7 @@ use rbs_timebase::{lcm_i128, Rational};
 
 use crate::demand::{FirstFit, PeriodicDemand, ResetFrontier, ScaledFrontierRecord, SupRatio};
 use crate::kernel::{KernelWalk, Lane, NarrowHeadroom};
+use crate::splice_buf::SpliceBuf;
 use crate::{AnalysisError, AnalysisLimits};
 
 /// Bails out of the fast path (`return Ok(None)`) when a checked
@@ -90,7 +91,7 @@ pub(crate) struct ScaledComponent {
 /// timebase, built once at profile construction.
 #[derive(Debug, Clone)]
 pub(crate) struct ScaledProfile {
-    components: Vec<ScaledComponent>,
+    components: SpliceBuf<ScaledComponent>,
     /// The common denominator `K`: real time `Δ` corresponds to the
     /// integer `Δ·K`, curve values `v` to `v·K`.
     scale: i128,
@@ -106,7 +107,7 @@ pub(crate) struct ScaledProfile {
     /// Per-component `(rate, envelope)` contributions, kept so
     /// [`ScaledProfile::patch`] can refold the aggregates after swapping
     /// a few components without touching the others.
-    contribs: Vec<(Rational, Rational)>,
+    contribs: SpliceBuf<(Rational, Rational)>,
     /// Precomputed narrow-lane headroom aggregates (`None` when folding
     /// them overflows — such a profile is never narrow), so each walk's
     /// proof check is O(1) instead of a pass over the components.
@@ -363,21 +364,31 @@ impl<K: Ord + Copy> Default for CountedSet<K> {
 }
 
 impl<K: Ord + Copy> CountedSet<K> {
-    fn add(&mut self, key: K) {
+    /// Adds one copy of `key`; `true` when the distinct-key set grew.
+    fn add(&mut self, key: K) -> bool {
         match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
-            Ok(i) => self.entries[i].1 += 1,
-            Err(i) => self.entries.insert(i, (key, 1)),
+            Ok(i) => {
+                self.entries[i].1 += 1;
+                false
+            }
+            Err(i) => {
+                self.entries.insert(i, (key, 1));
+                true
+            }
         }
     }
 
-    fn remove(&mut self, key: K) {
+    /// Drops one copy of `key`; `true` when its last copy left the set.
+    fn remove(&mut self, key: K) -> bool {
         let Ok(i) = self.entries.binary_search_by_key(&key, |&(k, _)| k) else {
             unreachable!("splice multiset out of sync with its components");
         };
         self.entries[i].1 -= 1;
         if self.entries[i].1 == 0 {
             self.entries.remove(i);
+            return true;
         }
+        false
     }
 
     fn keys(&self) -> impl Iterator<Item = K> + '_ {
@@ -401,9 +412,9 @@ struct AuxRecord {
 /// Splice-time bookkeeping for one [`ScaledProfile`]: per-component key
 /// records (parallel to the component list) and their counted
 /// multisets, plus a magnitude bound feeding [`fold_certificate`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct SpliceAux {
-    recs: Vec<AuxRecord>,
+    recs: SpliceBuf<AuxRecord>,
     denoms: CountedSet<i128>,
     contrib_denoms: CountedSet<i128>,
     periods: CountedSet<(i128, i128)>,
@@ -412,6 +423,40 @@ struct SpliceAux {
     /// and only growing under splices, which keeps the certificate
     /// sound (a looser bound can only force the exact-refold fallback).
     abs_num_max: i128,
+    /// Cached key-set folds, maintained across splices so the per-op
+    /// cost is O(1) while the distinct-key sets are stable (the common
+    /// case — fleets draw periods and denominators from small menus).
+    /// An insert extends each fold by one key (`fold(S ∪ {k}) =
+    /// op(fold(S), k)` for lcm and max, overflow verdicts included, by
+    /// the partial-divides-full argument on the getter docs); only the
+    /// departure of a distinct key refolds from the surviving keys.
+    folds: AuxFolds,
+}
+
+/// The cached key-set folds of a [`SpliceAux`] — see its `folds` field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AuxFolds {
+    /// lcm over the counted denominators (`None`: overflow).
+    fresh_scale: Option<i128>,
+    /// lcm over the counted contribution denominators (`None`: poisoned
+    /// or overflow).
+    contrib_lcm: Option<i128>,
+    /// Rational hyperperiod over the counted periods (`None`: empty or
+    /// overflow).
+    hyperperiod: Option<Rational>,
+    /// Largest counted period (`None`: empty).
+    period_max: Option<Rational>,
+}
+
+impl Default for AuxFolds {
+    fn default() -> AuxFolds {
+        AuxFolds {
+            fresh_scale: Some(1),
+            contrib_lcm: Some(1),
+            hyperperiod: None,
+            period_max: None,
+        }
+    }
 }
 
 impl SpliceAux {
@@ -432,9 +477,30 @@ impl SpliceAux {
             contrib_denom: lcm_i128(rate.denom(), envelope.denom()).unwrap_or(POISONED_DENOM),
             period: (period.numer(), period.denom()),
         };
-        self.denoms.add(rec.denom);
-        self.contrib_denoms.add(rec.contrib_denom);
-        self.periods.add(rec.period);
+        if self.denoms.add(rec.denom) {
+            self.folds.fresh_scale = self.folds.fresh_scale.and_then(|l| lcm_i128(l, rec.denom));
+        }
+        if self.contrib_denoms.add(rec.contrib_denom) {
+            self.folds.contrib_lcm = if rec.contrib_denom == POISONED_DENOM {
+                None
+            } else {
+                self.folds
+                    .contrib_lcm
+                    .and_then(|l| lcm_i128(l, rec.contrib_denom))
+            };
+        }
+        if self.periods.add(rec.period) {
+            let period = Rational::new(rec.period.0, rec.period.1);
+            self.folds.hyperperiod = match self.folds.hyperperiod {
+                None if self.periods.entries.len() == 1 => Some(period),
+                None => None,
+                Some(a) => a.lcm(period),
+            };
+            self.folds.period_max = Some(match self.folds.period_max {
+                None => period,
+                Some(m) => m.max(period),
+            });
+        }
         let num_bound = |q: Rational| q.numer().checked_abs().unwrap_or(i128::MAX);
         self.abs_num_max = self
             .abs_num_max
@@ -444,27 +510,93 @@ impl SpliceAux {
         Some(())
     }
 
+    /// Swaps the keys of the component at `index` for the keys of `c`
+    /// (and its contributions) in place. A patch keeps its rank, so the
+    /// remove-then-insert alternative would shift half the record
+    /// buffer twice for nothing; here each multiset is touched only
+    /// when its key actually changed, and the fold maintenance is the
+    /// same retract-then-extend a remove/insert pair performs — the
+    /// folds are functions of the final key multiset, so the cached
+    /// values (overflow verdicts included) cannot diverge.
+    fn replace(
+        &mut self,
+        index: usize,
+        c: &PeriodicDemand,
+        rate: Rational,
+        envelope: Rational,
+    ) -> Option<()> {
+        let old = self.recs[index];
+        let period = c.period();
+        let rec = AuxRecord {
+            denom: component_denom_lcm(c)?,
+            contrib_denom: lcm_i128(rate.denom(), envelope.denom()).unwrap_or(POISONED_DENOM),
+            period: (period.numer(), period.denom()),
+        };
+        if rec.denom != old.denom {
+            if self.denoms.remove(old.denom) {
+                self.folds.fresh_scale = self.denoms.keys().try_fold(1i128, lcm_i128);
+            }
+            if self.denoms.add(rec.denom) {
+                self.folds.fresh_scale =
+                    self.folds.fresh_scale.and_then(|l| lcm_i128(l, rec.denom));
+            }
+        }
+        if rec.contrib_denom != old.contrib_denom {
+            if self.contrib_denoms.remove(old.contrib_denom) {
+                self.folds.contrib_lcm = self.refold_contrib_lcm();
+            }
+            if self.contrib_denoms.add(rec.contrib_denom) {
+                self.folds.contrib_lcm = if rec.contrib_denom == POISONED_DENOM {
+                    None
+                } else {
+                    self.folds
+                        .contrib_lcm
+                        .and_then(|l| lcm_i128(l, rec.contrib_denom))
+                };
+            }
+        }
+        if rec.period != old.period {
+            let arrived = self.periods.add(rec.period);
+            if self.periods.remove(old.period) {
+                self.refold_periods();
+            } else if arrived {
+                let period = Rational::new(rec.period.0, rec.period.1);
+                self.folds.hyperperiod = match self.folds.hyperperiod {
+                    None if self.periods.entries.len() == 1 => Some(period),
+                    None => None,
+                    Some(a) => a.lcm(period),
+                };
+                self.folds.period_max = Some(match self.folds.period_max {
+                    None => period,
+                    Some(m) => m.max(period),
+                });
+            }
+        }
+        let num_bound = |q: Rational| q.numer().checked_abs().unwrap_or(i128::MAX);
+        self.abs_num_max = self
+            .abs_num_max
+            .max(num_bound(rate))
+            .max(num_bound(envelope));
+        self.recs[index] = rec;
+        Some(())
+    }
+
     /// Retracts the keys of the component at `index`.
     fn remove(&mut self, index: usize) {
         let rec = self.recs.remove(index);
-        self.denoms.remove(rec.denom);
-        self.contrib_denoms.remove(rec.contrib_denom);
-        self.periods.remove(rec.period);
+        if self.denoms.remove(rec.denom) {
+            self.folds.fresh_scale = self.denoms.keys().try_fold(1i128, lcm_i128);
+        }
+        if self.contrib_denoms.remove(rec.contrib_denom) {
+            self.folds.contrib_lcm = self.refold_contrib_lcm();
+        }
+        if self.periods.remove(rec.period) {
+            self.refold_periods();
+        }
     }
 
-    /// The fresh timebase [`profile_scale`] would pick for the resident
-    /// components: the lcm over the counted denominators. Same exact
-    /// value and same overflow verdict as the declaration-order fold —
-    /// every partial lcm divides the full one, so if the full value
-    /// fits every intermediate does, and if it does not then the fold
-    /// fails in any order.
-    fn fresh_scale(&self) -> Option<i128> {
-        self.denoms.keys().try_fold(1i128, lcm_i128)
-    }
-
-    /// The lcm over the counted contribution denominators, `None` when
-    /// poisoned or overflowing (the certificate then fails).
-    fn contrib_denom_lcm(&self) -> Option<i128> {
+    /// Refolds the contribution-denominator lcm from the surviving keys.
+    fn refold_contrib_lcm(&self) -> Option<i128> {
         self.contrib_denoms.keys().try_fold(1i128, |acc, d| {
             if d == POISONED_DENOM {
                 None
@@ -474,30 +606,68 @@ impl SpliceAux {
         })
     }
 
+    /// Refolds the hyperperiod and period maximum from the surviving
+    /// period keys.
+    fn refold_periods(&mut self) {
+        let mut hp: Option<Rational> = None;
+        let mut overflowed = false;
+        let mut max: Option<Rational> = None;
+        for (num, den) in self.periods.keys() {
+            let period = Rational::new(num, den);
+            if !overflowed {
+                hp = Some(match hp {
+                    None => period,
+                    Some(a) => match a.lcm(period) {
+                        Some(l) => l,
+                        None => {
+                            overflowed = true;
+                            period // value unused once overflowed
+                        }
+                    },
+                });
+            }
+            max = Some(match max {
+                None => period,
+                Some(m) => m.max(period),
+            });
+        }
+        self.folds.hyperperiod = if overflowed { None } else { hp };
+        self.folds.period_max = max;
+    }
+
+    /// The fresh timebase [`profile_scale`] would pick for the resident
+    /// components: the lcm over the counted denominators. Same exact
+    /// value and same overflow verdict as the declaration-order fold —
+    /// every partial lcm divides the full one, so if the full value
+    /// fits every intermediate does, and if it does not then the fold
+    /// fails in any order.
+    fn fresh_scale(&self) -> Option<i128> {
+        self.folds.fresh_scale
+    }
+
+    /// The lcm over the counted contribution denominators, `None` when
+    /// poisoned or overflowing (the certificate then fails).
+    fn contrib_denom_lcm(&self) -> Option<i128> {
+        self.folds.contrib_lcm
+    }
+
     /// The scaled hyperperiod over the counted periods — the
     /// [`scaled_hyperperiod`] fold with duplicates collapsed (lcm is
     /// idempotent) in key order instead of declaration order; value and
     /// overflow verdict are order-independent by the same
     /// partial-divides-full argument as [`SpliceAux::fresh_scale`].
     fn hyperperiod(&self, scale: i128) -> Option<i128> {
-        let mut hp: Option<Rational> = None;
-        for (num, den) in self.periods.keys() {
-            let period = Rational::new(num, den);
-            hp = Some(match hp {
-                None => period,
-                Some(a) => a.lcm(period)?,
-            });
-        }
-        to_scaled(hp?, scale)
+        to_scaled(self.folds.hyperperiod?, scale)
     }
 
     /// The largest scaled period over the counted periods — the
     /// `period_max` a fresh narrow-headroom fold over the resident
     /// components would see.
     fn period_max(&self, scale: i128) -> Option<i128> {
-        self.periods.keys().try_fold(0i128, |acc, (num, den)| {
-            Some(acc.max(to_scaled(Rational::new(num, den), scale)?))
-        })
+        match self.folds.period_max {
+            None => Some(0),
+            Some(m) => to_scaled(m, scale),
+        }
     }
 }
 
@@ -560,12 +730,12 @@ impl ScaledProfile {
         let hyperperiod = scaled_hyperperiod(components, scale);
         let narrow = NarrowHeadroom::fold(&scaled);
         Some(ScaledProfile {
-            components: scaled,
+            components: scaled.into(),
             scale,
             rate,
             envelope,
             hyperperiod,
-            contribs,
+            contribs: contribs.into(),
             narrow,
             aux: None,
         })
@@ -656,7 +826,7 @@ impl ScaledProfile {
             // order, same bail points.
             let mut rate = Rational::ZERO;
             let mut envelope = Rational::ZERO;
-            for &(rate_c, envelope_c) in &self.contribs {
+            for &(rate_c, envelope_c) in self.contribs.iter() {
                 rate = rate.checked_add(rate_c).ok()?;
                 envelope = envelope.checked_add(envelope_c).ok()?;
             }
@@ -685,7 +855,9 @@ impl ScaledProfile {
                 // not for retractions; the refold settles both exactly.
                 match shortcut {
                     Some(h) => Some(h),
-                    None => NarrowHeadroom::fold(&self.components),
+                    None => {
+                        NarrowHeadroom::fold(&self.components)
+                    }
                 }
             }
             // The proof previously overflowed; a removal can bring the
@@ -719,7 +891,7 @@ impl ScaledProfile {
             }
             let mut rate = Rational::ZERO;
             let mut envelope = Rational::ZERO;
-            for &(rate_c, envelope_c) in &self.contribs {
+            for &(rate_c, envelope_c) in self.contribs.iter() {
                 rate = rate.checked_add(rate_c).ok()?;
                 envelope = envelope.checked_add(envelope_c).ok()?;
             }
@@ -735,9 +907,9 @@ impl ScaledProfile {
         let mut added_scaled = Vec::with_capacity(indices.len());
         for &i in indices {
             let (sc, rate_c, envelope_c) = scale_component(&components[i], self.scale)?;
-            let aux = self.aux.as_mut()?;
-            aux.remove(i);
-            aux.insert(i, &components[i], rate_c, envelope_c)?;
+            self.aux
+                .as_mut()?
+                .replace(i, &components[i], rate_c, envelope_c)?;
             removed.push(self.contribs[i]);
             removed_scaled.push(self.components[i]);
             self.components[i] = sc;
@@ -843,6 +1015,80 @@ impl ScaledProfile {
             return None;
         }
         Some(())
+    }
+
+    /// Applies one composite splice — replace the components at
+    /// `patched` (pre-edit indices, ascending), drop the ones at
+    /// `removed` (pre-edit indices, strictly ascending, disjoint from
+    /// `patched`), append `appended` at the end — with a *single*
+    /// aggregate refold, overflow-certificate check, and narrow-lane
+    /// update, so a k-op delta pays the per-splice bookkeeping once.
+    /// `components` is the POST-edit list (used only to bootstrap the
+    /// splice bookkeeping on a profile that has never seen a delta).
+    ///
+    /// Per-component key accounting still happens op by op (it is O(1)
+    /// per op while the distinct-key sets are stable), and the one
+    /// refold runs through [`ScaledProfile::apply_agg_delta`] with the
+    /// full removed/added contribution lists — the certificate bound
+    /// `(n + 2 + |removed| + |added|)·a·l` covers every partial sum of
+    /// the combined adjustment in any order, so the shortcut-vs-refold
+    /// decision stays bit-identical to a fresh build's bail points.
+    /// Returns `None` when the post-edit list leaves the resident
+    /// timebase or anything overflows; the profile may then be partially
+    /// updated and the caller must rebuild.
+    pub(crate) fn splice_batch(
+        &mut self,
+        patched: &[(usize, PeriodicDemand)],
+        removed: &[usize],
+        appended: &[PeriodicDemand],
+        components: &[PeriodicDemand],
+    ) -> Option<()> {
+        let aux_ready = self.aux.is_some();
+        self.ensure_aux(components)?;
+        let mut outgoing = Vec::with_capacity(patched.len() + removed.len());
+        let mut outgoing_scaled = Vec::with_capacity(patched.len() + removed.len());
+        let mut incoming = Vec::with_capacity(patched.len() + appended.len());
+        let mut incoming_scaled = Vec::with_capacity(patched.len() + appended.len());
+        for &(i, ref c) in patched {
+            let (sc, rate_c, envelope_c) = scale_component(c, self.scale)?;
+            if aux_ready {
+                self.aux.as_mut()?.replace(i, c, rate_c, envelope_c)?;
+            }
+            outgoing.push(self.contribs[i]);
+            outgoing_scaled.push(self.components[i]);
+            self.components[i] = sc;
+            self.contribs[i] = (rate_c, envelope_c);
+            incoming.push((rate_c, envelope_c));
+            incoming_scaled.push(sc);
+        }
+        if aux_ready {
+            // Descending keeps the earlier pre-edit indices valid while
+            // the later ones splice out.
+            for &i in removed.iter().rev() {
+                self.aux.as_mut()?.remove(i);
+            }
+        }
+        for &i in removed {
+            outgoing.push(self.contribs[i]);
+            outgoing_scaled.push(self.components[i]);
+        }
+        self.components.remove_sorted(removed);
+        self.contribs.remove_sorted(removed);
+        for c in appended {
+            let (sc, rate_c, envelope_c) = scale_component(c, self.scale)?;
+            if aux_ready {
+                let at = self.components.len();
+                self.aux.as_mut()?.insert(at, c, rate_c, envelope_c)?;
+            }
+            self.components.push(sc);
+            self.contribs.push((rate_c, envelope_c));
+            incoming.push((rate_c, envelope_c));
+            incoming_scaled.push(sc);
+        }
+        if self.aux.as_ref()?.fresh_scale()? != self.scale {
+            return None;
+        }
+        self.apply_agg_delta(&outgoing, &incoming, &outgoing_scaled, &incoming_scaled)
     }
 
     /// Seeds the narrow (`i64`) kernel when the headroom proof covers

@@ -460,6 +460,9 @@ impl SweepAnalysis {
             rebuilt_components: self.rebuilt_components,
             lockstep: self.lockstep_walks,
             patched: self.patched_profiles,
+            repaired: 0,
+            kept: 0,
+            rewalked: 0,
         }
     }
 

@@ -168,15 +168,46 @@ fn random_churn_matches_fresh_contexts_bit_identically() {
                 assert_checkpoint(&mut delta, &limits, &format!("case {case} step {step}")),
             );
         }
-        // Walk outcomes, not just answers: churned profiles run exactly
-        // the walks the fresh contexts run — same fast-path/exact split,
-        // same prunes, same frontier-avoided resetting queries.
+        // Walk outcomes, not just answers: a churned profile stays on
+        // the same fast-path/exact split a fresh context picks, and
+        // frontier repair can only *save* walks — every query the delta
+        // context does walk examines what a fresh walk examines, and
+        // every walk it skips shows up as an extra frontier hit instead.
         let counts = delta.walk_counts();
-        assert_eq!(counts.integer, fresh.integer, "case {case}: integer walks");
-        assert_eq!(counts.exact, fresh.exact, "case {case}: exact walks");
-        assert_eq!(counts.pruned, fresh.pruned, "case {case}: pruned walks");
-        assert_eq!(counts.avoided, fresh.avoided, "case {case}: avoided walks");
+        assert!(
+            counts.integer <= fresh.integer,
+            "case {case}: integer walks grew ({} > {})",
+            counts.integer,
+            fresh.integer
+        );
+        assert!(
+            counts.exact <= fresh.exact,
+            "case {case}: exact walks grew ({} > {})",
+            counts.exact,
+            fresh.exact
+        );
+        assert!(
+            counts.pruned <= fresh.pruned,
+            "case {case}: prunes grew ({} > {})",
+            counts.pruned,
+            fresh.pruned
+        );
+        assert!(
+            counts.avoided >= fresh.avoided,
+            "case {case}: frontier hits shrank ({} < {})",
+            counts.avoided,
+            fresh.avoided
+        );
         assert_eq!(counts.lockstep, fresh.lockstep, "case {case}: lockstep");
+        // The saved walks are exactly the repaired-frontier hits: when
+        // the delta context never repairs a staircase, its counters
+        // must match the fresh accumulation bit for bit.
+        if counts.repaired == 0 {
+            assert_eq!(counts.integer, fresh.integer, "case {case}: integer walks");
+            assert_eq!(counts.exact, fresh.exact, "case {case}: exact walks");
+            assert_eq!(counts.pruned, fresh.pruned, "case {case}: pruned walks");
+            assert_eq!(counts.avoided, fresh.avoided, "case {case}: avoided walks");
+        }
     }
 }
 

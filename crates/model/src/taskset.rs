@@ -1,5 +1,6 @@
 //! Task sets.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::ops::Index;
 use std::slice;
@@ -40,10 +41,23 @@ use crate::{Criticality, Mode, ModelError, Task};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TaskSet {
-    tasks: Vec<Task>,
+    /// Kept contiguous at all times (see [`TaskSet::fixup`]): a deque
+    /// makes removals shift only the shorter side — a churn loop evicts
+    /// its oldest admissions first, turning the former whole-set
+    /// memmove into an O(1) head adjustment — while every read path
+    /// still sees one plain slice in declaration order.
+    tasks: VecDeque<Task>,
 }
+
+impl PartialEq for TaskSet {
+    fn eq(&self, other: &TaskSet) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TaskSet {}
 
 /// Wire format: a bare JSON array of tasks (transparent wrapper).
 impl ToJson for TaskSet {
@@ -59,7 +73,7 @@ impl FromJson for TaskSet {
             .ok_or_else(|| JsonError::new("expected a task array"))?
             .iter()
             .map(Task::from_json)
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<VecDeque<_>, _>>()?;
         Ok(TaskSet { tasks })
     }
 }
@@ -68,7 +82,9 @@ impl TaskSet {
     /// Creates a task set from already-validated tasks.
     #[must_use]
     pub fn new(tasks: Vec<Task>) -> TaskSet {
-        TaskSet { tasks }
+        TaskSet {
+            tasks: tasks.into(),
+        }
     }
 
     /// An empty task set.
@@ -91,13 +107,27 @@ impl TaskSet {
 
     /// Iterates over the tasks in declaration order.
     pub fn iter(&self) -> slice::Iter<'_, Task> {
-        self.tasks.iter()
+        self.as_slice().iter()
     }
 
     /// The tasks as a slice.
     #[must_use]
     pub fn as_slice(&self) -> &[Task] {
-        &self.tasks
+        let (head, tail) = self.tasks.as_slices();
+        debug_assert!(tail.is_empty(), "task deque contiguity invariant broken");
+        head
+    }
+
+    /// Restores the contiguity invariant after a mutation: a wrapped
+    /// ring is rotated straight, which happens at most once per O(len)
+    /// front-biased removals and so amortizes to O(1) per mutation.
+    fn fixup(&mut self) {
+        if !self.tasks.as_slices().1.is_empty() {
+            // Linear slack first, so the next wrap is Ω(len) mutations
+            // away and this rotation amortizes to O(1).
+            self.tasks.reserve(self.tasks.len() + 1);
+            self.tasks.make_contiguous();
+        }
     }
 
     /// The task at `index`, if any.
@@ -120,7 +150,8 @@ impl TaskSet {
 
     /// Adds a task to the set.
     pub fn push(&mut self, task: Task) {
-        self.tasks.push(task);
+        self.tasks.push_back(task);
+        self.fixup();
     }
 
     /// Removes and returns the task at `index`, shifting later tasks left
@@ -130,7 +161,9 @@ impl TaskSet {
     ///
     /// Panics if `index` is out of bounds.
     pub fn remove(&mut self, index: usize) -> Task {
-        self.tasks.remove(index)
+        let removed = self.tasks.remove(index).expect("index in bounds");
+        self.fixup();
+        removed
     }
 
     /// Replaces the task at `index` in place, returning the old task.
@@ -213,7 +246,9 @@ impl TaskSet {
                 tasks.push(task.clone());
             }
         }
-        Ok(TaskSet { tasks })
+        Ok(TaskSet {
+            tasks: tasks.into(),
+        })
     }
 }
 
@@ -241,7 +276,7 @@ impl Extend<Task> for TaskSet {
 
 impl IntoIterator for TaskSet {
     type Item = Task;
-    type IntoIter = std::vec::IntoIter<Task>;
+    type IntoIter = std::collections::vec_deque::IntoIter<Task>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.tasks.into_iter()
@@ -253,7 +288,7 @@ impl<'a> IntoIterator for &'a TaskSet {
     type IntoIter = slice::Iter<'a, Task>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.tasks.iter()
+        self.iter()
     }
 }
 

@@ -2,7 +2,7 @@
 //! line-oriented test client (`--connect`) in one executable.
 
 use std::fs;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::process::ExitCode;
 use std::thread;
@@ -38,6 +38,15 @@ client mode (--connect):
   non-zero if any response is an error line — mirroring `rbs-svc`
   batch mode.
 
+options (client mode):
+  --pool N               keep N persistent connections open and spread
+                         request lines across them round-robin, reusing
+                         each connection for its whole share instead of
+                         reconnecting per batch (default: 1). Response
+                         payloads and the exit code are those of the
+                         single-connection form; lines may interleave
+                         across connections (each carries its own seq).
+
 options (server mode):
   --port-file PATH       write the resolved listen address to PATH
   --queue-depth N        per-connection in-flight bound before shedding
@@ -63,6 +72,7 @@ enum Mode {
 
 struct Args {
     mode: Mode,
+    pool: usize,
     jobs: Option<usize>,
     stats_every: usize,
     port_file: Option<String>,
@@ -75,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
     let mut input = None;
     let mut parsed = Args {
         mode: Mode::Listen(String::new()), // replaced below
+        pool: 1,
         jobs: None,
         stats_every: 0,
         port_file: None,
@@ -106,6 +117,7 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
                 i += 2;
             }
             flag @ ("--jobs"
+            | "--pool"
             | "--queue-depth"
             | "--max-conns"
             | "--batch-max"
@@ -119,6 +131,7 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
                 };
                 match flag {
                     "--jobs" => parsed.jobs = Some(value),
+                    "--pool" => parsed.pool = value.max(1),
                     "--queue-depth" => parsed.net.queue_depth = value.max(1),
                     "--max-conns" => parsed.net.max_connections = value.max(1),
                     "--batch-max" => parsed.net.batch_max = value.max(1),
@@ -183,7 +196,7 @@ fn main() -> ExitCode {
         Mode::Connect {
             ref addr,
             ref input,
-        } => run_connect(addr, input),
+        } => run_connect(addr, input, args.pool),
     }
 }
 
@@ -233,52 +246,121 @@ fn run_listen(addr: &str, args: &Args) -> ExitCode {
 /// Client mode: stream INPUT to the server while a reader thread prints
 /// response lines, half-close after the last request, and exit like
 /// `rbs-svc` batch mode (non-zero if any response is an error line).
-fn run_connect(addr: &str, input: &str) -> ExitCode {
-    let mut stream = match TcpStream::connect(addr) {
+///
+/// With `--pool N` the request lines spread round-robin over N
+/// persistent connections, each opened once and reused for its whole
+/// share — the keep-alive shape of a re-validation sweep, where a
+/// connect-per-batch client would pay a handshake per delta. Every
+/// connection half-closes after its last line and drains its responses
+/// concurrently; payloads and the exit-code contract are exactly the
+/// single-connection form's.
+fn run_connect(addr: &str, input: &str, pool: usize) -> ExitCode {
+    if pool == 1 {
+        // Streaming fast path: one connection needs no line splitting,
+        // so stdin pipes through unbuffered-by-line exactly as before.
+        let Some(stream) = open_connection(addr) else {
+            return ExitCode::FAILURE;
+        };
+        let (mut stream, reader) = stream;
+        let sent = match input {
+            "-" => io::copy(&mut io::stdin().lock(), &mut stream),
+            path => fs::File::open(path).and_then(|mut file| io::copy(&mut file, &mut stream)),
+        };
+        if let Err(error) = sent {
+            eprintln!("rbs-netd: cannot send {input}: {error}");
+            return ExitCode::FAILURE;
+        }
+        let _ = stream.shutdown(Shutdown::Write);
+        return join_readers(vec![reader]);
+    }
+    let text = match input {
+        "-" => {
+            let mut text = String::new();
+            io::stdin().lock().read_to_string(&mut text).map(|_| text)
+        }
+        path => fs::read_to_string(path),
+    };
+    let text = match text {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("rbs-netd: cannot read {input}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let width = pool.min(lines.len().max(1));
+    let mut connections = Vec::with_capacity(width);
+    for _ in 0..width {
+        let Some(connection) = open_connection(addr) else {
+            return ExitCode::FAILURE;
+        };
+        connections.push(connection);
+    }
+    let mut readers = Vec::with_capacity(width);
+    for (lane, (mut stream, reader)) in connections.into_iter().enumerate() {
+        for line in lines.iter().skip(lane).step_by(width) {
+            if let Err(error) = writeln!(stream, "{line}") {
+                eprintln!("rbs-netd: cannot send {input}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let _ = stream.shutdown(Shutdown::Write);
+        readers.push(reader);
+    }
+    join_readers(readers)
+}
+
+/// Opens one keep-alive connection: the write half plus a spawned
+/// reader that prints response lines to (locked) stdout and reports
+/// whether any was an error line. Draining concurrently keeps a large
+/// burst from deadlocking both sides on full socket buffers.
+fn open_connection(addr: &str) -> Option<(TcpStream, thread::JoinHandle<bool>)> {
+    let stream = match TcpStream::connect(addr) {
         Ok(stream) => stream,
         Err(error) => {
             eprintln!("rbs-netd: cannot connect to {addr}: {error}");
-            return ExitCode::FAILURE;
+            return None;
         }
     };
     let receiving = match stream.try_clone() {
         Ok(stream) => stream,
         Err(error) => {
             eprintln!("rbs-netd: cannot clone socket: {error}");
-            return ExitCode::FAILURE;
+            return None;
         }
     };
-    // Drain responses concurrently so a large burst can't deadlock both
-    // sides on full socket buffers.
     let reader = thread::spawn(move || {
         let mut failed = false;
         let stdout = io::stdout();
-        let mut out = stdout.lock();
         for line in BufReader::new(receiving).lines() {
             let Ok(line) = line else { break };
             failed |= line.contains("\"error\":{");
-            if writeln!(out, "{line}").is_err() {
+            if writeln!(stdout.lock(), "{line}").is_err() {
                 return true; // stdout gone: report failure
             }
         }
-        let _ = out.flush();
+        let _ = stdout.lock().flush();
         failed
     });
-    let sent = match input {
-        "-" => io::copy(&mut io::stdin().lock(), &mut stream),
-        path => fs::File::open(path).and_then(|mut file| io::copy(&mut file, &mut stream)),
-    };
-    if let Err(error) = sent {
-        eprintln!("rbs-netd: cannot send {input}: {error}");
-        return ExitCode::FAILURE;
-    }
-    let _ = stream.shutdown(Shutdown::Write);
-    match reader.join() {
-        Ok(false) => ExitCode::SUCCESS,
-        Ok(true) => ExitCode::FAILURE,
-        Err(_) => {
-            eprintln!("rbs-netd: response reader panicked");
-            ExitCode::FAILURE
+    Some((stream, reader))
+}
+
+/// Joins every connection's reader; the exit code is `rbs-svc` batch
+/// mode's (non-zero if any response anywhere was an error line).
+fn join_readers(readers: Vec<thread::JoinHandle<bool>>) -> ExitCode {
+    let mut failed = false;
+    for reader in readers {
+        match reader.join() {
+            Ok(f) => failed |= f,
+            Err(_) => {
+                eprintln!("rbs-netd: response reader panicked");
+                failed = true;
+            }
         }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

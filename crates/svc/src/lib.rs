@@ -71,6 +71,6 @@ pub use ingest::{read_line_bounded, read_source, Request};
 pub use rbs_pool::WorkerPool;
 pub use service::{
     BatchStats, ErrorCounters, Outcome, Response, Service, ServiceConfig, SvcError, SvcErrorKind,
-    FAULT_PANIC_TASK, FAULT_SLEEP_PREFIX, FAULT_SPLICE_TASK,
+    FAULT_PANIC_TASK, FAULT_REPAIR_TASK, FAULT_SLEEP_PREFIX, FAULT_SPLICE_TASK,
 };
 pub use stream::{serve_jsonl, StreamEnd, StreamOutcome};

@@ -57,7 +57,8 @@ options:
   --stats-every N        in --follow mode, print the cumulative footer to
                          stderr every N requests (default: 0 = only at EOF)
   --fault-injection      honor chaos-testing task-name markers
-                         (__rbs_fault_panic__, __rbs_fault_sleep_ms_N__)
+                         (__rbs_fault_panic__, __rbs_fault_sleep_ms_N__,
+                         __rbs_fault_splice__, __rbs_fault_repair__)
 ";
 
 struct Args {

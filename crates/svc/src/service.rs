@@ -67,6 +67,13 @@ pub const FAULT_SLEEP_PREFIX: &str = "__rbs_fault_sleep_ms_";
 /// correctly afterwards.
 pub const FAULT_SPLICE_TASK: &str = "__rbs_fault_splice__";
 
+/// Task-name marker that makes the delta engine panic as it enters
+/// frontier repair when [`ServiceConfig::fault_injection`] is enabled
+/// (admitted or replaced tasks only) — the chaos hook proving a panic
+/// inside the repair window (profiles spliced, dirty guard still set)
+/// is contained and the next request heals from the set.
+pub const FAULT_REPAIR_TASK: &str = "__rbs_fault_repair__";
+
 /// Machine-readable failure class of a request, mirrored in the JSONL
 /// `error.kind` field and the footer counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -342,7 +349,7 @@ impl Response {
                 };
                 let walks = match walks {
                     Some(meta) => format!(
-                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{},\"reused\":{},\"rebuilt\":{},\"lockstep\":{},\"patched\":{}}}",
+                        ",\"walks\":{{\"integer\":{},\"exact\":{},\"pruned\":{},\"avoided\":{},\"reused\":{},\"rebuilt\":{},\"lockstep\":{},\"patched\":{},\"repaired\":{},\"kept\":{},\"rewalked\":{}}}",
                         meta.integer_walks,
                         meta.exact_walks,
                         meta.pruned_walks,
@@ -350,7 +357,10 @@ impl Response {
                         meta.reused_components,
                         meta.rebuilt_components,
                         meta.lockstep_walks,
-                        meta.patched_profiles
+                        meta.patched_profiles,
+                        meta.repaired_frontiers,
+                        meta.kept_records,
+                        meta.rewalked_frontiers
                     ),
                     None => String::new(),
                 };
@@ -456,6 +466,15 @@ pub struct BatchStats {
     /// delta splices), summed over the executed analyses. Zero for
     /// single-set requests.
     pub patched_profiles: u64,
+    /// Deltas whose reset frontier survived (possibly truncated) a
+    /// splice, summed over the executed analyses.
+    pub repaired_frontiers: u64,
+    /// Frontier records kept across those repairs, summed over the
+    /// executed analyses.
+    pub kept_records: u64,
+    /// Deltas that dropped the frontier and forced a re-walk, summed
+    /// over the executed analyses.
+    pub rewalked_frontiers: u64,
     /// Per-request service time in microseconds (parse + analysis share),
     /// indexed by `seq` within the batch.
     pub latencies_micros: Vec<u64>,
@@ -486,6 +505,9 @@ impl BatchStats {
         self.rebuilt_components += other.rebuilt_components;
         self.lockstep_walks += other.lockstep_walks;
         self.patched_profiles += other.patched_profiles;
+        self.repaired_frontiers += other.repaired_frontiers;
+        self.kept_records += other.kept_records;
+        self.rewalked_frontiers += other.rewalked_frontiers;
         self.latencies_micros
             .extend_from_slice(&other.latencies_micros);
     }
@@ -507,7 +529,7 @@ impl BatchStats {
         format!(
             "rbs-svc: served={} ok={} errors{{total={} parse={} limits={} timeout={} panic={} oversized={} overload={}}} \
              cache{{hits={} negative={}}} coalesced={} analyzed={} jobs={jobs} \
-             walks{{integer={} exact={} pruned={} avoided={} reused={} rebuilt={} lockstep={} patched={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
+             walks{{integer={} exact={} pruned={} avoided={} reused={} rebuilt={} lockstep={} patched={} repaired={} kept={} rewalked={}}} latency_micros{{p50={p50} p99={p99} mean={mean} max={max}}}",
             self.served,
             self.ok,
             self.errors.total(),
@@ -528,7 +550,10 @@ impl BatchStats {
             self.reused_components,
             self.rebuilt_components,
             self.lockstep_walks,
-            self.patched_profiles
+            self.patched_profiles,
+            self.repaired_frontiers,
+            self.kept_records,
+            self.rewalked_frontiers
         )
     }
 }
@@ -771,6 +796,9 @@ impl Service {
                                         if task.name() == FAULT_SPLICE_TASK {
                                             rbs_core::DeltaAnalysis::arm_mid_splice_fault();
                                         }
+                                        if task.name() == FAULT_REPAIR_TASK {
+                                            rbs_core::DeltaAnalysis::arm_mid_repair_fault();
+                                        }
                                     }
                                 }
                             }
@@ -829,6 +857,9 @@ impl Service {
                                         rebuilt_components: walks.rebuilt_components,
                                         lockstep_walks: walks.lockstep,
                                         patched_profiles: walks.patched,
+                                        repaired_frontiers: walks.repaired,
+                                        kept_records: walks.kept,
+                                        rewalked_frontiers: walks.rewalked,
                                     };
                                     (
                                         Arc::<str>::from(rbs_json::to_string(&outcome.to_json())),
@@ -863,6 +894,9 @@ impl Service {
                     stats.rebuilt_components += meta.rebuilt_components;
                     stats.lockstep_walks += meta.lockstep_walks;
                     stats.patched_profiles += meta.patched_profiles;
+                    stats.repaired_frontiers += meta.repaired_frontiers;
+                    stats.kept_records += meta.kept_records;
+                    stats.rewalked_frontiers += meta.rewalked_frontiers;
                 }
                 Err(error) => {
                     // Every post-parse failure (limits, timeout, panic) is

@@ -8,7 +8,7 @@ use std::time::Duration;
 use rbs_core::AnalysisLimits;
 use rbs_svc::{
     Outcome, Request, Service, ServiceConfig, SvcErrorKind, WorkerPool, FAULT_PANIC_TASK,
-    FAULT_SLEEP_PREFIX, FAULT_SPLICE_TASK,
+    FAULT_REPAIR_TASK, FAULT_SLEEP_PREFIX, FAULT_SPLICE_TASK,
 };
 
 /// One LO task as a JSON object; distinct periods make distinct sets.
@@ -376,6 +376,28 @@ fn a_mid_splice_delta_fault_is_contained() {
     let detail = &responses[0].outcome.error().expect("error").detail;
     assert!(detail.contains("mid-splice"), "{detail}");
     // The worker that unwound mid-splice still serves the next request.
+    assert!(matches!(responses[1].outcome, Outcome::Report { .. }));
+    assert_eq!(stats.ok, 1);
+    assert_eq!(stats.errors.panic, 1);
+}
+
+#[test]
+fn a_mid_repair_delta_fault_is_contained() {
+    let svc = Service::with_config(WorkerPool::new(2), chaos_config());
+    let poisoned = Request {
+        label: "repair".to_owned(),
+        body: format!(
+            "{{\"delta\":{{\"base\":[{}],\"ops\":[{{\"admit\":{}}}]}}}}",
+            lo_task("w", 5, 1),
+            lo_task(FAULT_REPAIR_TASK, 7, 1)
+        ),
+    };
+    let (responses, stats) = svc.process_batch(&[poisoned, good("after", 9)]);
+    assert_eq!(kind(&responses[0].outcome), Some(SvcErrorKind::Panic));
+    let detail = &responses[0].outcome.error().expect("error").detail;
+    assert!(detail.contains("mid-repair"), "{detail}");
+    // The worker that unwound inside frontier repair still serves the
+    // next request.
     assert!(matches!(responses[1].outcome, Outcome::Report { .. }));
     assert_eq!(stats.ok, 1);
     assert_eq!(stats.errors.panic, 1);

@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use rbs_core::{Analysis, AnalysisLimits, DeltaAnalysis};
+use rbs_core::{Analysis, AnalysisLimits, DeltaAnalysis, DeltaOp};
 use rbs_model::{Criticality, Task, TaskSet};
 use rbs_rng::Rng;
 use rbs_sim::{timeline, ExecutionScenario, Simulation, TraceEvent};
@@ -58,6 +58,24 @@ fn candidate(rng: &mut Rng, id: usize) -> Task {
     }
 }
 
+/// A HI-terminated standby task — the shape the Section IV fallback
+/// produces: the monitor terminates it on a mode switch, so it adds no
+/// HI-mode demand and an admit/evict of one leaves the `ADB_HI`
+/// profile untouched (the reset-frontier staircase survives the
+/// splice).
+fn standby(rng: &mut Rng, id: usize) -> Task {
+    const PERIOD_MENU: [i128; 10] = [200, 240, 320, 400, 480, 600, 800, 960, 1200, 1600];
+    let period = Rational::integer(PERIOD_MENU[rng.gen_range_usize(0, PERIOD_MENU.len() - 1)]);
+    let wcet = Rational::integer(rng.gen_range_i128(1, 3));
+    Task::builder(format!("standby{id}"), Criticality::Lo)
+        .period(period)
+        .deadline(period)
+        .wcet(wcet)
+        .terminated()
+        .build()
+        .expect("standby parameters satisfy eq. (3)")
+}
+
 /// Streams `target` admission offers (then 64 evict+admit churn rounds)
 /// through one resident [`DeltaAnalysis`], rejecting any candidate that
 /// would push the fleet's `s_min` past the overclock cap.
@@ -85,31 +103,46 @@ fn fleet(target: usize) -> Result<(), Box<dyn std::error::Error>> {
     println!("online admission with an s_min <= {cap} overclock cap:");
     println!("  {admitted} admitted, {rejected} rejected of {target} offers");
 
-    // Steady-state churn: retire one resident, offer one candidate.
-    // Each round times the incremental path (splice + query on the
-    // resident context) against a from-scratch analysis of the same set.
+    // Steady-state churn in the monitor's fallback shape: each round
+    // retires a standby (a random resident while the standby cohort is
+    // still building up) and admits a fresh HI-terminated one as a
+    // single batched delta, then re-sizes both `s_min` and the reset
+    // time `Δ_R` at the cap. The standbys leave `ADB_HI` untouched, so
+    // the reset-frontier staircase is *repaired* across those splices
+    // — the `Δ_R` query is answered from the kept records instead of a
+    // re-walk — while rounds that retire a HI-active resident drop it.
+    // Each round times the incremental path against a from-scratch
+    // analysis answering the same two queries.
     let churn_rounds = 64usize.min(delta.set().len());
+    let mut standbys = std::collections::VecDeque::new();
     let mut incremental_elapsed = std::time::Duration::ZERO;
     let mut fresh_elapsed = std::time::Duration::ZERO;
     for _ in 0..churn_rounds {
-        let names: Vec<String> = delta.set().iter().map(|t| t.name().to_owned()).collect();
-        let victim = names[rng.gen_range_usize(0, names.len() - 1)].clone();
-        let task = candidate(&mut rng, next_id);
+        let victim = if standbys.len() >= 8 {
+            standbys.pop_front().expect("cohort is non-empty")
+        } else {
+            let names: Vec<String> = delta.set().iter().map(|t| t.name().to_owned()).collect();
+            names[rng.gen_range_usize(0, names.len() - 1)].clone()
+        };
+        let task = standby(&mut rng, next_id);
         let name = task.name().to_owned();
         next_id += 1;
 
         let incremental_start = Instant::now();
-        delta.evict(&victim)?;
-        delta.admit(task)?;
-        if !delta.minimum_speedup()?.bound().is_met_by(cap) {
+        delta.apply_batch(vec![DeltaOp::Evict(victim), DeltaOp::Admit(task)])?;
+        if delta.minimum_speedup()?.bound().is_met_by(cap) {
+            standbys.push_back(name);
+        } else {
             delta.evict(&name)?;
         }
+        let _ = delta.resetting_time(cap)?;
         incremental_elapsed += incremental_start.elapsed();
 
         let fresh_start = Instant::now();
         let set = delta.set().clone();
         let ctx = Analysis::new(&set, &limits);
         let _ = ctx.minimum_speedup()?;
+        let _ = ctx.resetting_time(cap)?;
         fresh_elapsed += fresh_start.elapsed();
     }
 
@@ -123,6 +156,14 @@ fn fleet(target: usize) -> Result<(), Box<dyn std::error::Error>> {
         counts.reused_components, counts.rebuilt_components, counts.patched
     );
     println!(
+        "  frontier: {} deltas repaired the staircase, keeping {} of {} \
+         records; {} reset queries answered without a walk",
+        counts.repaired,
+        counts.kept,
+        counts.kept + counts.rewalked,
+        counts.avoided
+    );
+    println!(
         "  churn step: {:.1?} incremental vs {:.1?} fresh re-analysis",
         incremental_elapsed / churn_rounds.max(1) as u32,
         fresh_elapsed / churn_rounds.max(1) as u32
@@ -130,6 +171,10 @@ fn fleet(target: usize) -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         counts.reused_components > counts.rebuilt_components,
         "churn must reuse more components than it rebuilds"
+    );
+    assert!(
+        counts.kept > counts.rewalked,
+        "standby churn must keep more staircase records than it re-walks"
     );
     Ok(())
 }

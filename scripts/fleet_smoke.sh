@@ -10,10 +10,13 @@
 set -u
 
 BIN="${RBS_NETD_BIN:-target/release/rbs-netd}"
-if [ ! -x "$BIN" ]; then
-    echo "fleet_smoke: $BIN not found; run 'cargo build --release' first" >&2
-    exit 1
-fi
+SVC_BIN="${RBS_SVC_BIN:-target/release/rbs-svc}"
+for bin in "$BIN" "$SVC_BIN"; do
+    if [ ! -x "$bin" ]; then
+        echo "fleet_smoke: $bin not found; run 'cargo build --release' first" >&2
+        exit 1
+    fi
+done
 
 workdir="$(mktemp -d)"
 daemon_pid=""
@@ -104,13 +107,58 @@ over_cap="$(grep -o '"s_min":{"Finite":{"num":[0-9]*,"den":[0-9]*}}' "$workdir/r
     | awk -F, '$1 > 2 * $2 { bad++ } END { print bad + 0 }')"
 check "every per-core s_min is within the cap" test "$over_cap" -eq 0
 
-# Graceful drain: both requests counted, none errored.
+# Keep-alive churn: 200 admit/evict deltas stream over an 8-connection
+# keep-alive pool (one composite splice per request), and a fresh
+# re-analysis of each resulting set must produce byte-identical report
+# objects. The fresh side runs in a separate rbs-svc process with empty
+# caches — the daemon's result cache keys delta reports by resulting
+# set, so asking it again would only echo the delta's own bytes back.
+# Pool lanes interleave responses and each connection numbers its own
+# seq, so the two sides are compared as sorted multisets — sound
+# because every resulting set is unique by churn-task name.
+task() { # task <name> <period>
+    printf '{"name":"%s","criticality":"Lo","lo":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}},"hi":{"Continue":{"period":{"num":%s,"den":1},"deadline":{"num":%s,"den":1},"wcet":{"num":1,"den":1}}}}' \
+        "$1" "$2" "$2" "$2" "$2"
+}
+base_w="$(task w 5)"
+base_x="$(task x 7)"
+base_y="$(task y 9)"
+: > "$workdir/churn.jsonl"
+: > "$workdir/fresh_churn.jsonl"
+for i in $(seq 0 199); do
+    churn="$(task "churn$i" $((11 + (i % 4) * 2)))"
+    case $((i % 3)) in
+        0) victim=w; rest="$base_x,$base_y" ;;
+        1) victim=x; rest="$base_w,$base_y" ;;
+        *) victim=y; rest="$base_w,$base_x" ;;
+    esac
+    printf '{"delta":{"base":[%s,%s,%s],"ops":[{"admit":%s},{"evict":"%s"}]}}\n' \
+        "$base_w" "$base_x" "$base_y" "$churn" "$victim" >> "$workdir/churn.jsonl"
+    printf '[%s,%s]\n' "$rest" "$churn" >> "$workdir/fresh_churn.jsonl"
+done
+"$BIN" --connect "$addr" --pool 8 "$workdir/churn.jsonl" \
+    > "$workdir/churn.out" 2> "$workdir/churn.err"
+check "churn client exits zero" test "$?" -eq 0
+check "churn got 200 responses" \
+    test "$(wc -l < "$workdir/churn.out")" -eq 200
+check "churn deltas spliced in place" grep -q '"patched":[1-9]' "$workdir/churn.out"
+"$SVC_BIN" - --jobs 4 < "$workdir/fresh_churn.jsonl" \
+    > "$workdir/fresh_churn.out" 2> "$workdir/fresh_churn.err"
+check "fresh re-analysis exits zero" test "$?" -eq 0
+check "fresh re-analysis got 200 responses" \
+    test "$(wc -l < "$workdir/fresh_churn.out")" -eq 200
+sed 's/.*"report"://' "$workdir/churn.out" | sort > "$workdir/churn.reports"
+sed 's/.*"report"://' "$workdir/fresh_churn.out" | sort > "$workdir/fresh_churn.reports"
+check "churned reports byte-identical to fresh re-analysis" \
+    cmp -s "$workdir/churn.reports" "$workdir/fresh_churn.reports"
+
+# Graceful drain: all requests counted, none errored.
 exec 3>&-
 drain_status=1
 if wait "$daemon_pid"; then drain_status=0; fi
 daemon_pid=""
 check "daemon drains with exit zero" test "$drain_status" -eq 0
-check "footer counts both requests" grep -q 'served=2' "$workdir/daemon.err"
+check "footer counts every request" grep -q 'served=202' "$workdir/daemon.err"
 check "second run hit the cache" grep -q 'cache{hits=1' "$workdir/daemon.err"
 
 if [ "$fail" -ne 0 ]; then

@@ -122,8 +122,33 @@ done
 check "poison client healthy line served" \
     grep -q '"report":' "$workdir/client4.out"
 
+# Keep-alive pool mode: the same corpora over several persistent
+# connections must yield the same exit codes and the same payloads as
+# the single-connection runs above. Each pool lane numbers its own seq
+# and lanes interleave, so payloads are compared as sorted report
+# bodies (the envelope's seq/micros/cached fields legitimately differ).
+"$BIN" --connect "$addr" --pool 2 "$workdir/healthy.jsonl" \
+    > "$workdir/pool_healthy.out" 2> "$workdir/pool_healthy.err"
+check "pooled healthy client exits zero" test "$?" -eq 0
+check "pooled healthy client got 4 responses" \
+    test "$(wc -l < "$workdir/pool_healthy.out")" -eq 4
+sed 's/.*"report"://' "$workdir/client1.out" | sort > "$workdir/single.reports"
+sed 's/.*"report"://' "$workdir/pool_healthy.out" | sort > "$workdir/pool.reports"
+check "pooled reports byte-identical to single-connection mode" \
+    cmp -s "$workdir/single.reports" "$workdir/pool.reports"
+"$BIN" --connect "$addr" --pool 3 "$workdir/poison.jsonl" \
+    > "$workdir/pool_poison.out" 2> "$workdir/pool_poison.err"
+check "pooled poison client exits non-zero" test "$?" -ne 0
+check "pooled poison client got 5 responses" \
+    test "$(wc -l < "$workdir/pool_poison.out")" -eq 5
+for kind in parse panic timeout oversized; do
+    check "pooled poison client saw $kind" \
+        grep -q "\"kind\":\"$kind\"" "$workdir/pool_poison.out"
+done
+
 # Graceful drain: close the daemon's stdin, expect a clean exit and the
-# cumulative footer over all 17 requests (3x4 healthy + 5 poison).
+# cumulative footer over all 26 requests (3x4 healthy + 5 poison,
+# single-connection; 4 healthy + 5 poison, pooled).
 exec 3>&-
 drain_status=1
 if wait "$daemon_pid"; then drain_status=0; fi
@@ -132,9 +157,9 @@ check "daemon drains with exit zero" test "$drain_status" -eq 0
 check "daemon announced its address" \
     grep -q "rbs-netd: listening on $addr" "$workdir/daemon.err"
 check "footer counts every request" \
-    grep -q 'served=17' "$workdir/daemon.err"
+    grep -q 'served=26' "$workdir/daemon.err"
 check "footer taxonomy" \
-    grep -q 'errors{total=4 parse=1 limits=0 timeout=1 panic=1 oversized=1 overload=0}' \
+    grep -q 'errors{total=8 parse=2 limits=0 timeout=2 panic=2 oversized=2 overload=0}' \
     "$workdir/daemon.err"
 
 if [ "$fail" -ne 0 ]; then

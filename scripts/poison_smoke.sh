@@ -88,6 +88,11 @@ trap 'rm -rf "$workdir"' EXIT
     # the daemon must keep answering.
     delta "$(task w 5 1)" "{\"admit\":$(task __rbs_fault_splice__ 7 1)}"
     echo
+    # A delta that panics *inside* frontier repair — after every profile
+    # splice lands, before the dirty guard clears: contained the same
+    # way, and the daemon keeps answering.
+    delta "$(task w 5 1)" "{\"admit\":$(task __rbs_fault_repair__ 7 1)}"
+    echo
     # An over-budget fleet (three half-utilization tasks onto one core)
     # must shed — a healthy report naming the unplaced task, not a wedge.
     partition "$(task p1 2 1),$(task p2 2 1),$(task p3 2 1)" 1
@@ -114,8 +119,8 @@ check() { # check <description> <command...>
 check "poison batch exits non-zero" test "$status" -ne 0
 
 # One response per request, in submission order.
-check "fourteen responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 14
-for seq in 0 1 2 3 4 5 6 7 8 9 10 11 12 13; do
+check "fifteen responses" test "$(wc -l < "$workdir/out.jsonl")" -eq 15
+for seq in 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14; do
     line="$(sed -n "$((seq + 1))p" "$workdir/out.jsonl")"
     check "seq $seq in order" \
         sh -c "printf '%s' '$line' | grep -q '^{\"seq\":$seq,'"
@@ -146,19 +151,22 @@ expect_line 10 '"kind":"parse"'
 expect_line 10 'no task named'
 expect_line 11 '"report":'
 # The healthy partitioning places every task and reports per-core s_min;
-# the mid-splice fault is contained as a panic; the over-budget fleet
-# sheds with a structured report naming the unplaced task.
+# the mid-splice and mid-repair faults are contained as panics; the
+# over-budget fleet sheds with a structured report naming the unplaced
+# task.
 expect_line 12 '"fits":true'
 expect_line 12 '"s_min"'
 expect_line 13 '"kind":"panic"'
 expect_line 13 'mid-splice'
-expect_line 14 '"fits":false'
-expect_line 14 '"unplaced"'
+expect_line 14 '"kind":"panic"'
+expect_line 14 'mid-repair'
+expect_line 15 '"fits":false'
+expect_line 15 '"unplaced"'
 
 # The footer reports the full taxonomy plus the sweep engine's
 # component-reuse split.
 check "footer taxonomy" \
-    grep -q 'errors{total=7 parse=2 limits=0 timeout=1 panic=3 oversized=1 overload=0}' \
+    grep -q 'errors{total=8 parse=2 limits=0 timeout=1 panic=4 oversized=1 overload=0}' \
     "$workdir/footer.txt"
 check "footer component reuse" \
     grep -Eq 'reused=[1-9][0-9]* rebuilt=[1-9]' "$workdir/footer.txt"
